@@ -1,0 +1,147 @@
+// Command minos-bench regenerates the paper's tables and figures from the
+// deterministic full-system simulation.
+//
+// Usage:
+//
+//	minos-bench -fig 3                 # one figure (1-10)
+//	minos-bench -tab 1                 # Table 1
+//	minos-bench -all                   # everything, in paper order
+//	minos-bench -fig 6 -scale quick    # sparse grids, seconds per figure
+//	minos-bench -all -csv out/         # also write one CSV per experiment
+//
+// The default scale is "full" (the EXPERIMENTS.md scale, minutes per
+// figure); "quick" matches the bench_test.go benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/minoskv/minos/internal/harness"
+)
+
+// tabler is the common shape of every experiment result.
+type tabler interface{ Table() harness.Table }
+
+// experiments lists every regenerable artifact in paper order.
+var experiments = []struct {
+	id  string
+	run func(harness.Options) (tabler, error)
+}{
+	{"fig1", wrap(harness.Figure1)},
+	{"fig2", wrap(harness.Figure2)},
+	{"tab1", wrap(harness.Table1)},
+	{"fig3", wrap(harness.Figure3)},
+	{"fig4", wrap(harness.Figure4)},
+	{"fig5", wrap(harness.Figure5)},
+	{"fig6", wrap(harness.Figure6)},
+	{"fig7", wrap(harness.Figure7)},
+	{"fig8", wrap(harness.Figure8)},
+	{"fig9", wrap(harness.Figure9)},
+	{"fig10", wrap(harness.Figure10)},
+}
+
+// wrap adapts each typed harness function to the common signature.
+func wrap[T tabler](fn func(harness.Options) (T, error)) func(harness.Options) (tabler, error) {
+	return func(o harness.Options) (tabler, error) { return fn(o) }
+}
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1-10)")
+	tab := flag.Int("tab", 0, "table number to regenerate (1)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	scale := flag.String("scale", "full", "experiment scale: quick or full")
+	csvDir := flag.String("csv", "", "directory to write one CSV per experiment (optional)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	flag.Parse()
+
+	opts := harness.Options{Seed: *seed}
+	switch *scale {
+	case "quick":
+		opts.Scale = harness.Quick
+	case "full":
+		opts.Scale = harness.Full
+	default:
+		fatalf("unknown -scale %q (want quick or full)", *scale)
+	}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	var want []string
+	switch {
+	case *all:
+		for _, e := range experiments {
+			want = append(want, e.id)
+		}
+	case *fig >= 1 && *fig <= 10:
+		want = []string{fmt.Sprintf("fig%d", *fig)}
+	case *tab == 1:
+		want = []string{"tab1"}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range want {
+		e, ok := find(id)
+		if !ok {
+			fatalf("unknown experiment %q", id)
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== %s (scale %s) ==\n", id, *scale)
+		res, err := e.run(opts)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		table := res.Table()
+		fmt.Println(table.String())
+		fmt.Fprintf(os.Stderr, "-- %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, table); err != nil {
+				fatalf("writing csv: %v", err)
+			}
+		}
+	}
+}
+
+func find(id string) (struct {
+	id  string
+	run func(harness.Options) (tabler, error)
+}, bool) {
+	for _, e := range experiments {
+		if e.id == id {
+			return e, true
+		}
+	}
+	return experiments[0], false
+}
+
+func writeCSV(dir, id string, t harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "minos-bench: "+strings.TrimSuffix(format, "\n")+"\n", args...)
+	os.Exit(1)
+}

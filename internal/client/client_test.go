@@ -1,0 +1,113 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/wire"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+func TestReqIDClassRoundTrip(t *testing.T) {
+	for _, class := range []workload.Class{workload.ClassTiny, workload.ClassSmall, workload.ClassLarge} {
+		for _, seq := range []uint64{0, 1, 12345, 1 << 40} {
+			id := encodeReqID(seq, class)
+			if got := decodeClass(id); got != class {
+				t.Fatalf("seq=%d class=%v: decoded %v", seq, class, got)
+			}
+		}
+	}
+}
+
+func TestSteering(t *testing.T) {
+	c := New(nil, 8, 1)
+	// PUTs steer deterministically by keyhash.
+	key := []byte("steady-k")
+	q1 := c.steer(wire.OpPutRequest, key)
+	q2 := c.steer(wire.OpPutRequest, key)
+	if q1 != q2 {
+		t.Fatalf("PUT steering not deterministic: %d vs %d", q1, q2)
+	}
+	if want := uint16(kv.Hash(key) % 8); q1 != want {
+		t.Fatalf("PUT steered to %d, want keyhash queue %d", q1, want)
+	}
+	// GETs spread across all queues.
+	seen := make(map[uint16]bool)
+	for i := 0; i < 256; i++ {
+		seen[c.steer(wire.OpGetRequest, key)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("GET steering covered %d of 8 queues", len(seen))
+	}
+}
+
+func TestGetTimesOut(t *testing.T) {
+	c := New(&fakeReplyless{}, 4, 1)
+	c.Timeout = 20 * time.Millisecond
+	if _, _, err := c.Get([]byte("key")); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+// fakeReplyless swallows sends and never replies.
+type fakeReplyless struct{}
+
+func (f *fakeReplyless) Send(int, []byte) error { return nil }
+func (f *fakeReplyless) Recv([]byte, time.Duration) (int, bool) {
+	time.Sleep(time.Millisecond)
+	return 0, false
+}
+func (f *fakeReplyless) Endpoint() nic.Endpoint { return nic.Endpoint{} }
+func (f *fakeReplyless) Close() error           { return nil }
+
+func TestStaleRepliesAreSkipped(t *testing.T) {
+	ft := &fakeScripted{}
+	c := New(ft, 4, 1)
+	c.Timeout = time.Second
+
+	// Script: a stale reply (wrong id), then the real one. The client
+	// sends request id 1; the stale reply claims id 99.
+	stale := &wire.Message{Op: wire.OpGetReply, ReqID: 99, Value: []byte("old")}
+	real := &wire.Message{Op: wire.OpGetReply, ReqID: 1, Value: []byte("new")}
+	ft.replies = append(ft.replies, stale.Frames()...)
+	ft.replies = append(ft.replies, real.Frames()...)
+
+	val, ok, err := c.Get([]byte("any-key1"))
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if string(val) != "new" {
+		t.Fatalf("got stale reply %q", val)
+	}
+}
+
+// fakeScripted replays queued reply frames.
+type fakeScripted struct {
+	replies [][]byte
+}
+
+func (f *fakeScripted) Send(int, []byte) error { return nil }
+func (f *fakeScripted) Recv(buf []byte, _ time.Duration) (int, bool) {
+	if len(f.replies) == 0 {
+		return 0, false
+	}
+	r := f.replies[0]
+	f.replies = f.replies[1:]
+	return copy(buf, r), true
+}
+func (f *fakeScripted) Endpoint() nic.Endpoint { return nic.Endpoint{} }
+func (f *fakeScripted) Close() error           { return nil }
+
+func TestMalformedReplyIgnored(t *testing.T) {
+	ft := &fakeScripted{}
+	c := New(ft, 4, 1)
+	c.Timeout = time.Second
+	good := &wire.Message{Op: wire.OpPutReply, ReqID: 1, Status: wire.StatusOK}
+	ft.replies = append(ft.replies, []byte{0xde, 0xad}) // garbage first
+	ft.replies = append(ft.replies, good.Frames()...)
+	if err := c.Put([]byte("some-key"), []byte("v")); err != nil {
+		t.Fatalf("put should survive malformed reply: %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/wire"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// LoadConfig parameterizes one open-loop load generator thread.
+type LoadConfig struct {
+	// Rate is the target request rate in requests per second.
+	Rate float64
+	// Duration bounds the sending phase; the receiver drains for a
+	// short grace period afterwards.
+	Duration time.Duration
+	// Seed drives arrivals and request sampling.
+	Seed int64
+}
+
+// LoadResult accumulates one generator's measurements.
+type LoadResult struct {
+	Sent     uint64
+	Received uint64
+	// Lat is the end-to-end latency histogram (ns), computed from the
+	// send timestamp echoed in every reply (§5.4). SmallLat and
+	// LargeLat split it by item size class.
+	Lat, SmallLat, LargeLat *stats.Histogram
+}
+
+// Loss returns the fraction of requests that never got a reply.
+func (r *LoadResult) Loss() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Sent-r.Received) / float64(r.Sent)
+}
+
+// classBits encodes the request's size class into the low bits of the
+// request id, so the receiver can attribute PUT acknowledgments (which
+// carry no payload) to a class without per-request state.
+func encodeReqID(seq uint64, class workload.Class) uint64 {
+	return seq<<2 | uint64(class)
+}
+
+func decodeClass(reqID uint64) workload.Class {
+	return workload.Class(reqID & 3)
+}
+
+// RunOpenLoop drives an open-loop request stream from a workload
+// generator: exponentially distributed gaps at the target rate, one
+// receiver goroutine computing latencies from echoed timestamps. It
+// returns when the duration elapses and in-flight replies drain.
+func RunOpenLoop(tr nic.ClientTransport, queues int, gen *workload.Generator, cfg LoadConfig) *LoadResult {
+	res := &LoadResult{
+		Lat:      stats.NewLatencyHistogram(),
+		SmallLat: stats.NewLatencyHistogram(),
+		LargeLat: stats.NewLatencyHistogram(),
+	}
+	arr := workload.NewArrivals(cfg.Rate, cfg.Seed)
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // receiver
+		defer wg.Done()
+		reasm := wire.NewReassembler(0)
+		buf := make([]byte, wire.MTU)
+		for {
+			n, ok := tr.Recv(buf, 5*time.Millisecond)
+			if !ok {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			msg, err := reasm.Add(0, buf[:n])
+			if err != nil || msg == nil {
+				continue
+			}
+			lat := time.Now().UnixNano() - msg.Timestamp
+			res.Received++
+			res.Lat.Record(lat)
+			if decodeClass(msg.ReqID) == workload.ClassLarge {
+				res.LargeLat.Record(lat)
+			} else {
+				res.SmallLat.Record(lat)
+			}
+		}
+	}()
+
+	// Sender: open loop with exponential gaps. The value buffer is
+	// shared; the transport frames copy out of it before returning.
+	maxVal := 0
+	cat := gen.Catalog()
+	for id := 0; id < cat.NumKeys(); id++ {
+		if s := cat.Size(uint64(id)); s > maxVal {
+			maxVal = s
+		}
+	}
+	filler := make([]byte, maxVal)
+	var keyBuf []byte
+	start := time.Now()
+	var seq uint64
+	steer := rand.New(rand.NewSource(cfg.Seed + 7))
+	// Open loop on an absolute schedule: oversleeping (coarse timer
+	// granularity, scheduler preemption) is repaid by sending the backlog
+	// immediately, so the achieved rate tracks the target.
+	next := start
+	for {
+		now := time.Now()
+		if now.Sub(start) >= cfg.Duration {
+			break
+		}
+		next = next.Add(arr.ExpGap())
+		if wait := next.Sub(now); wait > 0 {
+			time.Sleep(wait)
+		}
+		r := gen.Next()
+		keyBuf = kv.AppendKeyForID(keyBuf[:0], r.Key)
+		seq++
+		msg := wire.Message{
+			ReqID:     encodeReqID(seq, r.Class),
+			Timestamp: time.Now().UnixNano(),
+			Key:       keyBuf,
+		}
+		if r.Op == workload.OpGet {
+			msg.Op = wire.OpGetRequest
+			msg.RxQueue = uint16(steer.Intn(queues)) // random queue (§3)
+		} else {
+			msg.Op = wire.OpPutRequest
+			msg.RxQueue = uint16(kv.Hash(keyBuf) % uint64(queues))
+			msg.Value = filler[:r.Size]
+		}
+		sendErr := false
+		for _, frame := range msg.Frames() {
+			if err := tr.Send(int(msg.RxQueue), frame); err != nil {
+				sendErr = true
+				break
+			}
+		}
+		if !sendErr {
+			res.Sent++
+		}
+	}
+
+	// Grace period for in-flight replies, then stop the receiver.
+	time.Sleep(50 * time.Millisecond)
+	close(done)
+	wg.Wait()
+	return res
+}

@@ -1,0 +1,432 @@
+// Package core implements the paper's primary contribution (§3): the
+// control logic of size-aware sharding. It is deliberately independent of
+// any execution substrate — the discrete-event simulator (internal/simsys)
+// and the live concurrent server (internal/server) both drive the same
+// controller, so every figure exercises exactly the logic a downstream
+// user would adopt.
+//
+// Per epoch (1 s in the paper), the controller:
+//
+//  1. aggregates the per-core histograms of requested item sizes,
+//  2. smooths them into a moving average with discount factor alpha = 0.9,
+//  3. declares the 99th percentile of the smoothed histogram to be the
+//     small/large threshold for the next epoch,
+//  4. allocates ceil(n × smallCostShare) cores to small requests, where
+//     cost is the number of network packets a request handles (§3, "How to
+//     choose the number of small cores"),
+//  5. splits the large-size spectrum into contiguous, non-overlapping
+//     ranges of equal cost, one per large core — load balancing large
+//     cores while keeping requests for the same item on the same core,
+//  6. designates a standby large core when every core is deemed small, so
+//     large requests are never dropped.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/wire"
+)
+
+// CostFunc assigns a processing cost to a request for an item of the given
+// value size. The paper's default is the number of network packets handled
+// for the request (incoming frames of a PUT, outgoing frames of a GET
+// reply); alternatives named in §3 are provided for the ablation studies.
+type CostFunc func(size int64) int64
+
+// PacketCost is the paper's default cost function: frames needed for the
+// item payload.
+func PacketCost(size int64) int64 {
+	return int64(wire.FragmentsFor(int(size)))
+}
+
+// ByteCost charges one unit per payload byte (minimum 1).
+func ByteCost(size int64) int64 {
+	if size < 1 {
+		return 1
+	}
+	return size
+}
+
+// BasePlusByteCost charges a fixed per-request unit equivalent plus the
+// payload bytes ("a constant plus the number of bytes", §3). The constant
+// is one MTU's worth of bytes, making the fixed and variable parts
+// commensurable.
+func BasePlusByteCost(size int64) int64 {
+	if size < 0 {
+		size = 0
+	}
+	return int64(wire.MTU) + size
+}
+
+// ConstantCost charges every request the same, reducing the allocator to
+// request counting; used by ablations to show why size-blind allocation
+// misbalances cores.
+func ConstantCost(int64) int64 { return 1 }
+
+// Config parameterizes a Controller. Zero fields take the paper's values.
+type Config struct {
+	// Cores is the total number of server cores, n.
+	Cores int
+
+	// Quantile is the request-size quantile that becomes the threshold
+	// (paper: 0.99, matching the targeted 99th-percentile latency SLO).
+	Quantile float64
+
+	// Alpha is the EMA discount factor for histogram smoothing
+	// (paper: 0.9).
+	Alpha float64
+
+	// Cost is the request cost function (default PacketCost).
+	Cost CostFunc
+
+	// InitialThreshold seeds the plan before the first epoch completes.
+	// The default is one fragment payload: items answered in a single
+	// frame are small by construction.
+	InitialThreshold int64
+
+	// StaticThreshold, when positive, pins the threshold permanently —
+	// the paper's off-line variant for workloads with known traces
+	// (§6.2) and the static-threshold ablation. Core allocation still
+	// adapts each epoch.
+	StaticThreshold int64
+
+	// ExtraLargeCores shifts the allocation toward large requests by
+	// the given number of cores beyond what the cost share dictates —
+	// the first half of the §6.1 alternative design ("allocate one more
+	// core to large requests, and let large cores steal from the RX
+	// queues of small ones"). At least one small core always remains.
+	ExtraLargeCores int
+
+	// MaxItemSize bounds the size histograms (default 16 MiB).
+	MaxItemSize int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Quantile == 0 {
+		c.Quantile = 0.99
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.9
+	}
+	if c.Cost == nil {
+		c.Cost = PacketCost
+	}
+	if c.InitialThreshold == 0 {
+		c.InitialThreshold = wire.MaxFragPayload
+	}
+	if c.MaxItemSize == 0 {
+		c.MaxItemSize = 16 << 20
+	}
+}
+
+// Validate reports nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("core: Cores = %d, need >= 1", c.Cores)
+	case c.Quantile < 0 || c.Quantile > 1:
+		return fmt.Errorf("core: Quantile = %g, need in [0, 1]", c.Quantile)
+	case c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("core: Alpha = %g, need in [0, 1]", c.Alpha)
+	case c.StaticThreshold < 0:
+		return fmt.Errorf("core: StaticThreshold = %d, need >= 0", c.StaticThreshold)
+	}
+	return nil
+}
+
+// SizeRange is a contiguous range of item sizes [Lo, Hi], inclusive.
+type SizeRange struct {
+	Lo, Hi int64
+}
+
+// Contains reports whether size falls in the range.
+func (r SizeRange) Contains(size int64) bool { return size >= r.Lo && size <= r.Hi }
+
+// Plan is the controller's output for one epoch: the small/large split and
+// the size-range sharding across large cores. Plans are immutable once
+// published.
+type Plan struct {
+	// Epoch counts published plans, starting at 0 for the initial plan.
+	Epoch int
+
+	// Cores is the total core count n, copied from the config.
+	Cores int
+
+	// Threshold is the small/large cutoff: requests for items of size
+	// <= Threshold are small.
+	Threshold int64
+
+	// NumSmall and NumLarge partition the cores; NumSmall + NumLarge ==
+	// Cores unless Standby is set, in which case NumSmall == Cores and
+	// NumLarge == 0.
+	NumSmall, NumLarge int
+
+	// Standby reports that all cores are small and the last core is the
+	// designated standby large core (§3: "it handles small requests,
+	// but if a large request arrives, it is sent to this core").
+	Standby bool
+
+	// Ranges assigns contiguous size ranges to large cores: Ranges[i]
+	// belongs to the i-th large core. They cover (Threshold, MaxInt64]
+	// without gaps or overlap, ordered by size — "the smallest among
+	// the large requests are assigned to the first large core" (§3).
+	// In standby mode there is exactly one range, owned by the standby
+	// core.
+	Ranges []SizeRange
+
+	// SmallCostShare is the fraction of total request cost incurred by
+	// small requests in the epoch that produced this plan.
+	SmallCostShare float64
+}
+
+// IsSmall reports whether a request for an item of the given size is
+// served by small cores.
+func (p *Plan) IsSmall(size int64) bool { return size <= p.Threshold }
+
+// LargeTargets returns how many distinct large-request destinations the
+// plan has (at least 1: the standby core counts).
+func (p *Plan) LargeTargets() int {
+	if p.Standby {
+		return 1
+	}
+	return p.NumLarge
+}
+
+// LargeIndexFor returns the index (into Ranges) of the large core
+// responsible for an item of the given size. It must only be called for
+// large sizes; small sizes map to index 0 defensively.
+func (p *Plan) LargeIndexFor(size int64) int {
+	// Ranges are few (nl is at most a handful of cores), ordered and
+	// contiguous: linear scan beats binary search at this length.
+	for i := range p.Ranges {
+		if size <= p.Ranges[i].Hi {
+			return i
+		}
+	}
+	return len(p.Ranges) - 1
+}
+
+// LargeCoreID maps a range index to an absolute core id. Small cores
+// occupy [0, NumSmall); large cores occupy [NumSmall, Cores). In standby
+// mode the standby large core is the last core.
+func (p *Plan) LargeCoreID(rangeIdx int) int {
+	if p.Standby {
+		return p.Cores - 1
+	}
+	return p.NumSmall + rangeIdx
+}
+
+// CoreForSize returns the absolute core id that serves an item of the
+// given size under this plan (for large sizes; small sizes are served by
+// whichever small core drained them, so this returns -1).
+func (p *Plan) CoreForSize(size int64) int {
+	if p.IsSmall(size) {
+		return -1
+	}
+	return p.LargeCoreID(p.LargeIndexFor(size))
+}
+
+// IsSmallCore reports whether core id serves small requests under this
+// plan. The standby core serves both.
+func (p *Plan) IsSmallCore(id int) bool {
+	return id < p.NumSmall
+}
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	mode := ""
+	if p.Standby {
+		mode = " standby"
+	}
+	return fmt.Sprintf("Plan{epoch=%d thr=%dB small=%d large=%d%s share=%.4f}",
+		p.Epoch, p.Threshold, p.NumSmall, p.NumLarge, mode, p.SmallCostShare)
+}
+
+// Controller computes the plan for each epoch from the aggregated
+// item-size histogram. It is not safe for concurrent use; the live server
+// confines it to its control goroutine (the paper runs it on core 0), and
+// the simulator is single-threaded.
+type Controller struct {
+	cfg      Config
+	smoothed *stats.SmoothedHistogram
+	plan     Plan
+}
+
+// NewController returns a controller publishing an initial plan with
+// NumSmall = Cores-1 and one large core (a neutral split until the first
+// epoch of data arrives), or all-small standby when Cores == 1.
+func NewController(cfg Config) (*Controller, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	template := stats.NewHistogram(cfg.MaxItemSize, 7)
+	c := &Controller{
+		cfg:      cfg,
+		smoothed: stats.NewSmoothedHistogram(cfg.Alpha, template),
+	}
+	threshold := cfg.InitialThreshold
+	if cfg.StaticThreshold > 0 {
+		threshold = cfg.StaticThreshold
+	}
+	c.plan = Plan{
+		Cores:          cfg.Cores,
+		Threshold:      threshold,
+		NumSmall:       max(cfg.Cores-1, 1),
+		NumLarge:       min(1, cfg.Cores-1),
+		Standby:        cfg.Cores == 1,
+		Ranges:         []SizeRange{{Lo: threshold + 1, Hi: math.MaxInt64}},
+		SmallCostShare: 1,
+	}
+	return c, nil
+}
+
+// NewSizeHistogram returns a histogram compatible with the controller's
+// aggregation, for callers that record request sizes per core.
+func (c *Controller) NewSizeHistogram() *stats.Histogram {
+	return stats.NewHistogram(c.cfg.MaxItemSize, 7)
+}
+
+// Plan returns the current plan.
+func (c *Controller) Plan() Plan { return c.plan }
+
+// Config returns the controller's effective configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Epoch folds the item-size histogram collected over the epoch that just
+// ended (already aggregated across cores) and publishes the plan for the
+// next epoch. An epoch with no traffic republishes the current plan.
+func (c *Controller) Epoch(epochSizes *stats.Histogram) Plan {
+	if epochSizes == nil || epochSizes.Count() == 0 {
+		c.plan.Epoch++
+		return c.plan
+	}
+	c.smoothed.Fold(epochSizes)
+	smoothed := c.smoothed.Current()
+
+	threshold := c.cfg.StaticThreshold
+	if threshold == 0 {
+		threshold = smoothed.Quantile(c.cfg.Quantile)
+	}
+
+	smallCost, largeCost := costSplit(smoothed, threshold, c.cfg.Cost)
+	total := smallCost + largeCost
+	share := 1.0
+	if total > 0 {
+		share = float64(smallCost) / float64(total)
+	}
+
+	n := c.cfg.Cores
+	numSmall := int(math.Ceil(share*float64(n))) - c.cfg.ExtraLargeCores
+	if numSmall < 1 {
+		numSmall = 1
+	}
+	if numSmall > n {
+		numSmall = n
+	}
+	numLarge := n - numSmall
+
+	plan := Plan{
+		Epoch:          c.plan.Epoch + 1,
+		Cores:          n,
+		Threshold:      threshold,
+		NumSmall:       numSmall,
+		NumLarge:       numLarge,
+		Standby:        numLarge == 0,
+		SmallCostShare: share,
+	}
+	targets := numLarge
+	if targets == 0 {
+		targets = 1 // the standby core
+	}
+	plan.Ranges = splitRanges(smoothed, threshold, targets, c.cfg.Cost)
+	c.plan = plan
+	return plan
+}
+
+// costSplit sums request cost below and above the threshold. A bucket is
+// small when its low edge is at or below the threshold: the threshold is
+// itself a bucket's high edge (it comes from Quantile), so this keeps the
+// quantile bucket on the small side, consistent with IsSmall for the
+// values in it.
+func costSplit(h *stats.Histogram, threshold int64, cost CostFunc) (small, large int64) {
+	h.Buckets(func(lo, hi int64, count uint64) {
+		w := cost(lo+(hi-lo)/2) * int64(count)
+		if lo <= threshold {
+			small += w
+		} else {
+			large += w
+		}
+	})
+	return small, large
+}
+
+// splitRanges partitions (threshold, MaxInt64] into targets contiguous
+// ranges with approximately equal cost, based on the smoothed histogram.
+// The ranges always cover the whole spectrum: sizes beyond anything
+// observed fall into the last range.
+func splitRanges(h *stats.Histogram, threshold int64, targets int, cost CostFunc) []SizeRange {
+	if targets < 1 {
+		targets = 1
+	}
+	ranges := make([]SizeRange, 0, targets)
+	if targets == 1 {
+		return append(ranges, SizeRange{Lo: threshold + 1, Hi: math.MaxInt64})
+	}
+
+	// Collect the large-size buckets and their costs.
+	type bucketCost struct {
+		hi   int64
+		cost int64
+	}
+	var buckets []bucketCost
+	var total int64
+	h.Buckets(func(lo, hi int64, count uint64) {
+		if lo <= threshold {
+			return
+		}
+		w := cost(lo+(hi-lo)/2) * int64(count)
+		buckets = append(buckets, bucketCost{hi: hi, cost: w})
+		total += w
+	})
+	if total > 0 {
+		// Walk buckets, cutting each time the running cost passes the
+		// next equal-share boundary. A single bucket crossing several
+		// boundaries yields minimal one-value ranges via the padding
+		// below rather than multiple cuts at the same bucket.
+		lo := threshold + 1
+		var acc int64
+		cut := 1
+		for _, b := range buckets {
+			acc += b.cost
+			if cut < targets && b.hi >= lo &&
+				acc >= int64(math.Round(float64(total)*float64(cut)/float64(targets))) {
+				ranges = append(ranges, SizeRange{Lo: lo, Hi: b.hi})
+				lo = b.hi + 1
+				cut++
+			}
+			if cut >= targets {
+				break
+			}
+		}
+		ranges = append(ranges, SizeRange{Lo: lo, Hi: math.MaxInt64})
+	} else {
+		// No large traffic observed: a single range covering the whole
+		// large spectrum; padding below splits it into the required
+		// count.
+		ranges = append(ranges, SizeRange{Lo: threshold + 1, Hi: math.MaxInt64})
+	}
+	// If fewer cuts materialized than targets (too few distinct buckets,
+	// or no traffic), split minimal ranges off the front of the final
+	// range so that Ranges[i] still maps one-to-one onto large cores
+	// while staying contiguous and covering.
+	for len(ranges) < targets {
+		last := &ranges[len(ranges)-1]
+		lo := last.Lo
+		last.Lo = lo + 1
+		ranges = append(ranges[:len(ranges)-1], SizeRange{Lo: lo, Hi: lo}, *last)
+	}
+	return ranges
+}

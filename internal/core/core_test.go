@@ -1,0 +1,411 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/minoskv/minos/internal/stats"
+)
+
+func mustController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	return c
+}
+
+// histWith builds a size histogram with count observations at each size.
+func histWith(c *Controller, obs map[int64]uint64) *stats.Histogram {
+	h := c.NewSizeHistogram()
+	for size, count := range obs {
+		h.RecordN(size, count)
+	}
+	return h
+}
+
+// checkPlanInvariants asserts the structural properties every plan must
+// satisfy, whatever the workload.
+func checkPlanInvariants(t *testing.T, p Plan) {
+	t.Helper()
+	if p.NumSmall < 1 || p.NumSmall > p.Cores {
+		t.Fatalf("NumSmall = %d out of [1, %d]: %v", p.NumSmall, p.Cores, p.String())
+	}
+	if p.Standby {
+		if p.NumSmall != p.Cores || p.NumLarge != 0 {
+			t.Fatalf("standby plan must have all cores small: %v", p.String())
+		}
+	} else if p.NumSmall+p.NumLarge != p.Cores {
+		t.Fatalf("NumSmall+NumLarge = %d+%d != %d", p.NumSmall, p.NumLarge, p.Cores)
+	}
+	if len(p.Ranges) != p.LargeTargets() {
+		t.Fatalf("len(Ranges) = %d, want %d targets", len(p.Ranges), p.LargeTargets())
+	}
+	// Ranges are contiguous from threshold+1 and cover to MaxInt64.
+	wantLo := p.Threshold + 1
+	for i, r := range p.Ranges {
+		if r.Lo != wantLo {
+			t.Fatalf("range %d Lo = %d, want %d (contiguity)", i, r.Lo, wantLo)
+		}
+		if r.Hi < r.Lo {
+			t.Fatalf("range %d inverted: %+v", i, r)
+		}
+		wantLo = r.Hi + 1
+	}
+	if last := p.Ranges[len(p.Ranges)-1]; last.Hi != math.MaxInt64 {
+		t.Fatalf("last range must extend to MaxInt64, got %d", last.Hi)
+	}
+	// Every large size maps to exactly the range that contains it.
+	for _, size := range []int64{p.Threshold + 1, p.Threshold + 1000, 250_000, 500_000, 1_000_000} {
+		if size <= p.Threshold {
+			continue
+		}
+		idx := p.LargeIndexFor(size)
+		if !p.Ranges[idx].Contains(size) {
+			t.Fatalf("size %d mapped to range %d %+v which does not contain it", size, idx, p.Ranges[idx])
+		}
+		id := p.LargeCoreID(idx)
+		if p.Standby {
+			if id != p.Cores-1 {
+				t.Fatalf("standby large core id = %d, want %d", id, p.Cores-1)
+			}
+		} else if id < p.NumSmall || id >= p.Cores {
+			t.Fatalf("large core id = %d outside [%d, %d)", id, p.NumSmall, p.Cores)
+		}
+	}
+}
+
+func TestInitialPlan(t *testing.T) {
+	c := mustController(t, Config{Cores: 8})
+	p := c.Plan()
+	checkPlanInvariants(t, p)
+	if p.NumSmall != 7 || p.NumLarge != 1 {
+		t.Fatalf("initial split = %d/%d, want 7/1", p.NumSmall, p.NumLarge)
+	}
+	if p.Threshold <= 0 {
+		t.Fatalf("initial threshold = %d, want > 0", p.Threshold)
+	}
+}
+
+func TestSingleCoreIsStandby(t *testing.T) {
+	c := mustController(t, Config{Cores: 1})
+	p := c.Plan()
+	checkPlanInvariants(t, p)
+	if !p.Standby {
+		t.Fatal("single-core plan must be standby")
+	}
+	if p.LargeCoreID(0) != 0 {
+		t.Fatal("standby core on a 1-core server must be core 0")
+	}
+}
+
+func TestThresholdTracksQuantile(t *testing.T) {
+	c := mustController(t, Config{Cores: 8})
+	// 99% of requests at 100 B, 1% at 500 KB: the 99th percentile sits
+	// at the small mode, so the threshold must be far below 500 KB.
+	h := histWith(c, map[int64]uint64{100: 99_000, 500_000: 1_000})
+	p := c.Epoch(h)
+	checkPlanInvariants(t, p)
+	if p.Threshold >= 500_000 || p.Threshold < 100 {
+		t.Fatalf("threshold = %d, want in [100, 500000)", p.Threshold)
+	}
+	if p.IsSmall(500_000) {
+		t.Fatal("500 KB item classified small")
+	}
+	if !p.IsSmall(100) {
+		t.Fatal("100 B item classified large")
+	}
+}
+
+func TestAllSmallWorkloadGoesStandby(t *testing.T) {
+	c := mustController(t, Config{Cores: 8})
+	h := histWith(c, map[int64]uint64{50: 10_000, 900: 10_000})
+	p := c.Epoch(h)
+	checkPlanInvariants(t, p)
+	if !p.Standby {
+		t.Fatalf("pure-small workload should yield standby plan, got %v", p.String())
+	}
+	// Large requests still have a destination: the last core.
+	if got := p.CoreForSize(1 << 20); got != 7 {
+		t.Fatalf("large request routed to core %d, want standby core 7", got)
+	}
+}
+
+func TestHeavyLargeWorkloadAddsLargeCores(t *testing.T) {
+	c := mustController(t, Config{Cores: 8})
+	light := histWith(c, map[int64]uint64{100: 100_000, 500_000: 125}) // pL = 0.125%
+	pLight := c.Epoch(light)
+	checkPlanInvariants(t, pLight)
+
+	c2 := mustController(t, Config{Cores: 8})
+	heavy := histWith(c2, map[int64]uint64{100: 100_000, 500_000: 750}) // pL = 0.75%
+	pHeavy := c2.Epoch(heavy)
+	checkPlanInvariants(t, pHeavy)
+
+	if pHeavy.NumLarge <= pLight.NumLarge {
+		t.Fatalf("NumLarge light=%d heavy=%d: more large traffic should take more cores",
+			pLight.NumLarge, pHeavy.NumLarge)
+	}
+	// With packet cost, a 500 KB item is ~350 packets vs 1 for small:
+	// 0.75% of requests carry ~72% of cost, so expect several large cores.
+	if pHeavy.NumLarge < 2 {
+		t.Fatalf("heavy plan NumLarge = %d, want >= 2", pHeavy.NumLarge)
+	}
+}
+
+func TestRangesBalanceCost(t *testing.T) {
+	c := mustController(t, Config{Cores: 8})
+	// Large items uniform over [1500, 500000], enough large traffic for
+	// several large cores.
+	h := c.NewSizeHistogram()
+	h.RecordN(100, 50_000)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5_000; i++ {
+		h.Record(1500 + rng.Int63n(498_500))
+	}
+	p := c.Epoch(h)
+	checkPlanInvariants(t, p)
+	if p.NumLarge < 2 {
+		t.Skipf("need >= 2 large cores to test balancing, got %d", p.NumLarge)
+	}
+	// Recompute the cost that lands in each range; shares should be
+	// roughly equal (within 2x of each other given bucket granularity).
+	costs := make([]int64, len(p.Ranges))
+	h.Buckets(func(lo, hi int64, count uint64) {
+		if lo <= p.Threshold {
+			return
+		}
+		mid := lo + (hi-lo)/2
+		costs[p.LargeIndexFor(mid)] += PacketCost(mid) * int64(count)
+	})
+	var minC, maxC int64 = math.MaxInt64, 0
+	for _, v := range costs {
+		if v < minC {
+			minC = v
+		}
+		if v > maxC {
+			maxC = v
+		}
+	}
+	if minC == 0 || float64(maxC)/float64(minC) > 2.5 {
+		t.Fatalf("large-core cost imbalance: %v", costs)
+	}
+	// Size-aware ordering: first large core gets the smallest sizes.
+	if p.Ranges[0].Lo > p.Ranges[len(p.Ranges)-1].Lo {
+		t.Fatal("ranges not ordered by size")
+	}
+}
+
+func TestStaticThreshold(t *testing.T) {
+	c := mustController(t, Config{Cores: 8, StaticThreshold: 2000})
+	if got := c.Plan().Threshold; got != 2000 {
+		t.Fatalf("initial static threshold = %d, want 2000", got)
+	}
+	h := histWith(c, map[int64]uint64{100: 1000, 1_000_000: 900}) // would move a dynamic threshold
+	p := c.Epoch(h)
+	checkPlanInvariants(t, p)
+	if p.Threshold != 2000 {
+		t.Fatalf("static threshold moved to %d", p.Threshold)
+	}
+	// Core allocation still adapts.
+	if p.NumLarge == 0 {
+		t.Fatal("static-threshold plan should still allocate large cores for heavy large traffic")
+	}
+}
+
+func TestEmptyEpochKeepsPlan(t *testing.T) {
+	c := mustController(t, Config{Cores: 8})
+	h := histWith(c, map[int64]uint64{100: 10_000, 500_000: 200})
+	p1 := c.Epoch(h)
+	p2 := c.Epoch(c.NewSizeHistogram())
+	if p2.Threshold != p1.Threshold || p2.NumSmall != p1.NumSmall {
+		t.Fatalf("empty epoch changed plan: %v -> %v", p1.String(), p2.String())
+	}
+	if p2.Epoch != p1.Epoch+1 {
+		t.Fatal("epoch counter should still advance")
+	}
+}
+
+func TestSmoothingResistsTransients(t *testing.T) {
+	// With alpha = 0.5, a one-epoch burst of large requests (1.8%, which
+	// unsmoothed would push the 99th percentile into the large mode) is
+	// halved by the moving average and the threshold stays small.
+	steady := func(c *Controller) *stats.Histogram {
+		return histWith(c, map[int64]uint64{100: 100_000})
+	}
+	spike := func(c *Controller) *stats.Histogram {
+		return histWith(c, map[int64]uint64{100: 98_200, 400_000: 1_800})
+	}
+
+	smooth := mustController(t, Config{Cores: 8, Alpha: 0.5})
+	for i := 0; i < 5; i++ {
+		smooth.Epoch(steady(smooth))
+	}
+	smoothedThr := smooth.Epoch(spike(smooth)).Threshold
+
+	raw := mustController(t, Config{Cores: 8, Alpha: 1.0})
+	for i := 0; i < 5; i++ {
+		raw.Epoch(steady(raw))
+	}
+	rawThr := raw.Epoch(spike(raw)).Threshold
+
+	if smoothedThr >= rawThr {
+		t.Fatalf("smoothed threshold %d >= unsmoothed %d after a spike epoch", smoothedThr, rawThr)
+	}
+}
+
+func TestAdaptationOverEpochs(t *testing.T) {
+	// Figure 10's control behaviour: pL stepping up pulls large cores
+	// up within an epoch or two; stepping back releases them.
+	c := mustController(t, Config{Cores: 8})
+	mkEpoch := func(pL float64) *stats.Histogram {
+		h := c.NewSizeHistogram()
+		total := uint64(100_000)
+		nLarge := uint64(pL / 100 * float64(total))
+		h.RecordN(100, total-nLarge)
+		h.RecordN(250_000, nLarge)
+		return h
+	}
+	var largeAt []int
+	for _, pL := range []float64{0.125, 0.125, 0.75, 0.75, 0.75, 0.125, 0.125, 0.125} {
+		p := c.Epoch(mkEpoch(pL))
+		checkPlanInvariants(t, p)
+		largeAt = append(largeAt, p.NumLarge)
+	}
+	if largeAt[4] <= largeAt[1] {
+		t.Fatalf("NumLarge did not grow with pL: %v", largeAt)
+	}
+	if largeAt[7] >= largeAt[4] {
+		t.Fatalf("NumLarge did not shrink after pL dropped: %v", largeAt)
+	}
+}
+
+func TestExtraLargeCores(t *testing.T) {
+	mkHist := func(c *Controller) *stats.Histogram {
+		return histWith(c, map[int64]uint64{100: 100_000, 500_000: 125})
+	}
+	base := mustController(t, Config{Cores: 8})
+	pBase := base.Epoch(mkHist(base))
+	extra := mustController(t, Config{Cores: 8, ExtraLargeCores: 1})
+	pExtra := extra.Epoch(mkHist(extra))
+	checkPlanInvariants(t, pExtra)
+	if pExtra.NumLarge != pBase.NumLarge+1 {
+		t.Fatalf("ExtraLargeCores: NumLarge = %d, want %d", pExtra.NumLarge, pBase.NumLarge+1)
+	}
+	// At least one small core always remains, however many extras.
+	greedy := mustController(t, Config{Cores: 4, ExtraLargeCores: 10})
+	pGreedy := greedy.Epoch(histWith(greedy, map[int64]uint64{100: 1000}))
+	checkPlanInvariants(t, pGreedy)
+	if pGreedy.NumSmall < 1 {
+		t.Fatalf("NumSmall = %d, want >= 1", pGreedy.NumSmall)
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	if PacketCost(0) != 1 || PacketCost(100) != 1 {
+		t.Error("small items cost one packet")
+	}
+	if PacketCost(500_000) < 300 {
+		t.Errorf("PacketCost(500KB) = %d, want hundreds of packets", PacketCost(500_000))
+	}
+	if ByteCost(0) != 1 || ByteCost(100) != 100 {
+		t.Error("ByteCost")
+	}
+	if ConstantCost(1<<20) != 1 {
+		t.Error("ConstantCost")
+	}
+	if BasePlusByteCost(100) <= ByteCost(100) {
+		t.Error("BasePlusByteCost must include a constant")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Cores: 0},
+		{Cores: 8, Quantile: 1.5},
+		{Cores: 8, Alpha: -0.1},
+		{Cores: 8, StaticThreshold: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewController(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+// TestPlanInvariantsProperty feeds random workload histograms through the
+// controller and asserts the structural invariants hold for every plan.
+func TestPlanInvariantsProperty(t *testing.T) {
+	prop := func(seed int64, cores uint8, epochs uint8) bool {
+		n := int(cores%15) + 1
+		c, err := NewController(Config{Cores: n})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for e := 0; e < int(epochs%8)+1; e++ {
+			h := c.NewSizeHistogram()
+			// Random trimodal-ish mixture.
+			nSmall := rng.Intn(100_000)
+			nLarge := rng.Intn(2_000)
+			for i := 0; i < 20; i++ {
+				h.RecordN(1+rng.Int63n(1400), uint64(nSmall/20))
+			}
+			for i := 0; i < 10; i++ {
+				h.RecordN(1500+rng.Int63n(1_000_000), uint64(nLarge/10))
+			}
+			p := c.Epoch(h)
+			if err := planInvariantErr(p); err != "" {
+				t.Logf("seed=%d cores=%d epoch=%d: %s (%v)", seed, n, e, err, p.String())
+				return false
+			}
+			// Routing is total: every size maps to a valid core.
+			for i := 0; i < 50; i++ {
+				size := rng.Int63n(2_000_000)
+				if p.IsSmall(size) {
+					continue
+				}
+				idx := p.LargeIndexFor(size)
+				if idx < 0 || idx >= len(p.Ranges) || !p.Ranges[idx].Contains(size) {
+					t.Logf("size %d -> bad range %d of %v", size, idx, p.Ranges)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// planInvariantErr is the non-fatal twin of checkPlanInvariants for use
+// inside quick.Check properties.
+func planInvariantErr(p Plan) string {
+	if p.NumSmall < 1 || p.NumSmall > p.Cores {
+		return "NumSmall out of range"
+	}
+	if p.Standby && (p.NumSmall != p.Cores || p.NumLarge != 0) {
+		return "bad standby split"
+	}
+	if !p.Standby && p.NumSmall+p.NumLarge != p.Cores {
+		return "split does not sum to cores"
+	}
+	if len(p.Ranges) != p.LargeTargets() {
+		return "range count mismatch"
+	}
+	wantLo := p.Threshold + 1
+	for _, r := range p.Ranges {
+		if r.Lo != wantLo || r.Hi < r.Lo {
+			return "ranges not contiguous"
+		}
+		wantLo = r.Hi + 1
+	}
+	if p.Ranges[len(p.Ranges)-1].Hi != math.MaxInt64 {
+		return "ranges do not cover"
+	}
+	return ""
+}

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/minoskv/minos/internal/simsys"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// Curve runs a throughput-vs-latency sweep for one design and profile.
+func Curve(design simsys.Design, prof workload.Profile, rates []float64, o Options) ([]Point, error) {
+	dur, warm := o.duration()
+	points := make([]Point, 0, len(rates))
+	for i, rate := range rates {
+		p, err := runPoint(simsys.Config{
+			Design:   design,
+			Profile:  prof,
+			Rate:     rate,
+			Duration: dur,
+			Warmup:   warm,
+			Epoch:    o.epoch(),
+			Seed:     o.seed() + int64(i)*131,
+		}, o)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// rateGrid returns the load grid for the throughput-latency figures.
+func (o Options) rateGrid() []float64 {
+	if o.Scale == Full {
+		return []float64{0.25e6, 0.5e6, 1e6, 1.5e6, 2e6, 3e6, 4e6, 5e6, 5.5e6, 6e6, 6.25e6, 6.5e6}
+	}
+	return []float64{0.5e6, 1e6, 2e6, 4e6, 5.5e6, 6.25e6}
+}
+
+// CurvesResult holds one throughput-vs-latency figure: a curve per design.
+type CurvesResult struct {
+	Title  string
+	Curves map[simsys.Design][]Point
+	Order  []simsys.Design
+}
+
+// Table renders all curves row-per-point.
+func (r *CurvesResult) Table() Table {
+	t := Table{
+		Title:   r.Title,
+		Headers: []string{"design", "offered(Mops)", "thr(Mops)", "p50(us)", "p99(us)", "large-p99(us)", "tx-util", "loss"},
+	}
+	for _, d := range r.Order {
+		for _, p := range r.Curves[d] {
+			t.Rows = append(t.Rows, []string{
+				d.String(), mops(p.Offered), mops(p.Throughput),
+				us(p.P50), us(p.P99), us(p.LargeP99),
+				fmt.Sprintf("%.2f", p.TXUtil), fmt.Sprintf("%.4f", p.Loss),
+			})
+		}
+	}
+	return t
+}
+
+// PeakThroughput returns a design's maximum measured throughput.
+func (r *CurvesResult) PeakThroughput(d simsys.Design) float64 {
+	var peak float64
+	for _, p := range r.Curves[d] {
+		if p.Throughput > peak {
+			peak = p.Throughput
+		}
+	}
+	return peak
+}
+
+// designCurves sweeps all four designs over the grid.
+func designCurves(title string, prof workload.Profile, o Options) (*CurvesResult, error) {
+	r := &CurvesResult{
+		Title:  title,
+		Curves: make(map[simsys.Design][]Point),
+		Order:  simsys.AllDesigns(),
+	}
+	for _, d := range r.Order {
+		pts, err := Curve(d, prof, o.rateGrid(), o)
+		if err != nil {
+			return nil, err
+		}
+		r.Curves[d] = pts
+	}
+	return r, nil
+}
+
+// Figure3 reproduces the default-workload comparison: throughput vs 99th
+// percentile latency for the four designs (95:5 GET:PUT, pL = 0.125%,
+// sL = 500 KB).
+func Figure3(o Options) (*CurvesResult, error) {
+	return designCurves(
+		"Figure 3: throughput vs 99th percentile latency, default workload",
+		workload.DefaultProfile(), o)
+}
+
+// Figure4 reproduces the large-request latency comparison: the same runs
+// as Figure 3 restricted to Minos and HKH+WS, reported on the LargeP99
+// column — Minos trades a bounded large-request penalty for the overall
+// tail win.
+func Figure4(o Options) (*CurvesResult, error) {
+	r := &CurvesResult{
+		Title:  "Figure 4: throughput vs 99th percentile latency of large requests",
+		Curves: make(map[simsys.Design][]Point),
+		Order:  []simsys.Design{simsys.Minos, simsys.HKHWS},
+	}
+	for _, d := range r.Order {
+		pts, err := Curve(d, workload.DefaultProfile(), o.rateGrid(), o)
+		if err != nil {
+			return nil, err
+		}
+		r.Curves[d] = pts
+	}
+	return r, nil
+}
+
+// Figure5 reproduces the write-intensive comparison (50:50 GET:PUT).
+func Figure5(o Options) (*CurvesResult, error) {
+	return designCurves(
+		"Figure 5: throughput vs 99th percentile latency, 50:50 GET:PUT",
+		workload.WriteIntensiveProfile(), o)
+}
+
+// Figure8Result holds the reply-sampling scalability experiment.
+type Figure8Result struct {
+	// SamplingPercents lists S values (100, 75, 50, 25).
+	SamplingPercents []int
+	// Curves maps S to its load sweep.
+	Curves map[int][]Point
+}
+
+// Figure8 reproduces the higher-network-bandwidth experiment: Minos with
+// pL = 0.75% replying only to S% of requests, shifting the bottleneck
+// from the NIC to the CPU (§6.4).
+func Figure8(o Options) (*Figure8Result, error) {
+	prof := workload.DefaultProfile().WithPercentLarge(0.75)
+	rates := []float64{0.5e6, 1e6, 1.5e6, 2e6, 2.5e6, 3e6, 3.5e6, 4e6}
+	if o.Scale == Quick {
+		rates = []float64{1e6, 2e6, 3e6, 4e6}
+	}
+	dur, warm := o.duration()
+	r := &Figure8Result{
+		SamplingPercents: []int{100, 75, 50, 25},
+		Curves:           make(map[int][]Point),
+	}
+	for _, s := range r.SamplingPercents {
+		for i, rate := range rates {
+			p, err := runPoint(simsys.Config{
+				Design:        simsys.Minos,
+				Profile:       prof,
+				Rate:          rate,
+				ReplySampling: float64(s) / 100,
+				Duration:      dur,
+				Warmup:        warm,
+				Epoch:         o.epoch(),
+				Seed:          o.seed() + int64(i)*131 + int64(s),
+			}, o)
+			if err != nil {
+				return nil, err
+			}
+			r.Curves[s] = append(r.Curves[s], p)
+		}
+	}
+	return r, nil
+}
+
+// Table renders both panels of Figure 8 (p99 and NIC utilization vs
+// throughput).
+func (r *Figure8Result) Table() Table {
+	t := Table{
+		Title:   "Figure 8: Minos with reply sampling S% (pL = 0.75%): throughput vs p99 and NIC utilization",
+		Headers: []string{"S%", "offered(Mops)", "thr(Mops)", "p99(us)", "nic-tx-util", "nic-rx-util", "loss"},
+	}
+	for _, s := range r.SamplingPercents {
+		for _, p := range r.Curves[s] {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", s), mops(p.Offered), mops(p.Throughput),
+				us(p.P99), fmt.Sprintf("%.2f", p.TXUtil), fmt.Sprintf("%.2f", p.RXUtil),
+				fmt.Sprintf("%.4f", p.Loss),
+			})
+		}
+	}
+	return t
+}

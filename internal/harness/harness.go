@@ -1,0 +1,181 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§2.2 Figure 2, §5.3 Table 1, §6 Figures 3-10). Each
+// FigureN/TableN function runs the corresponding experiment on the
+// simulation substrate and returns typed rows plus a uniform Table for
+// printing or CSV export; EXPERIMENTS.md records the measured outputs next
+// to the paper's.
+//
+// Two scales are provided: Quick (seconds per figure, used by the
+// bench_test.go benchmarks and CI) and Full (the cmd/minos-bench defaults,
+// minutes per figure, denser grids and longer virtual runs).
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/simsys"
+)
+
+// Scale selects run length and grid density.
+type Scale int
+
+// The two scales.
+const (
+	// Quick trades precision for time: short virtual runs, sparse
+	// grids. Figures keep their shape; absolute tail values are noisier.
+	Quick Scale = iota
+	// Full is the scale EXPERIMENTS.md records.
+	Full
+)
+
+// String returns the scale name.
+func (s Scale) String() string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// Options configures a harness run.
+type Options struct {
+	Scale Scale
+
+	// Seed makes every experiment reproducible; 0 means 1.
+	Seed int64
+
+	// Progress, if non-nil, receives one line per completed simulation
+	// run (the CLIs print these; benchmarks leave it nil).
+	Progress func(format string, args ...any)
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// duration returns the per-run virtual horizon and warmup for the scale.
+func (o Options) duration() (d, w sim.Time) {
+	if o.Scale == Full {
+		return 1 * sim.Second, 150 * sim.Millisecond
+	}
+	return 150 * sim.Millisecond, 30 * sim.Millisecond
+}
+
+// epoch returns the controller period, scaled with run length (the paper
+// uses 1 s epochs in 60 s runs; see DESIGN.md).
+func (o Options) epoch() sim.Time {
+	if o.Scale == Full {
+		return 100 * sim.Millisecond
+	}
+	return 20 * sim.Millisecond
+}
+
+// The SLOs of §5.4: the paper states them as 10 and 20 times the mean
+// request service time (5 µs on its platform), i.e. 50 µs and 100 µs
+// absolute. This reproduction's latency floor (~8 µs) matches the paper's
+// (~10 µs) by calibration, so the absolute values carry over; see
+// EXPERIMENTS.md for the discussion.
+const (
+	SLOStrict = 50 * sim.Microsecond
+	SLOLoose  = 100 * sim.Microsecond
+)
+
+// Table is the uniform printable/exportable rendering of an experiment.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV exports the table.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Point is one load point of a throughput-vs-latency curve.
+type Point struct {
+	Offered    float64 // requests per second
+	Throughput float64 // completed requests per second
+	P50        int64   // ns
+	P99        int64   // ns
+	LargeP99   int64   // ns (99th percentile of requests on large items)
+	TXUtil     float64
+	RXUtil     float64
+	Loss       float64
+}
+
+func us(ns int64) string       { return fmt.Sprintf("%.1f", float64(ns)/1000) }
+func mops(rate float64) string { return fmt.Sprintf("%.2f", rate/1e6) }
+
+// runPoint executes one simulation and converts it to a Point.
+func runPoint(cfg simsys.Config, o Options) (Point, error) {
+	res, err := simsys.Run(cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{
+		Offered:    res.Offered,
+		Throughput: res.Throughput,
+		P50:        res.Lat.P50,
+		P99:        res.Lat.P99,
+		LargeP99:   res.LargeLat.P99,
+		TXUtil:     res.TXUtil,
+		RXUtil:     res.RXUtil,
+		Loss:       res.LossRate(),
+	}
+	o.progress("%-7s rate=%sM thr=%sM p99=%sus loss=%.3f%%",
+		cfg.Design, mops(p.Offered), mops(p.Throughput), us(p.P99), p.Loss*100)
+	return p, nil
+}

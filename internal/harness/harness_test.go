@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/minoskv/minos/internal/queueing"
+	"github.com/minoskv/minos/internal/simsys"
+)
+
+func opts() Options { return Options{Scale: Quick, Seed: 1} }
+
+func TestFigure1ShapeSpansDecades(t *testing.T) {
+	r, err := Figure1(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if first.Size != 1 || last.Size != 1_000_000 {
+		t.Fatalf("size range [%d, %d], want [1, 1000000]", first.Size, last.Size)
+	}
+	span := float64(last.Service) / float64(first.Service)
+	if span < 100 {
+		t.Errorf("service-time span = %.0fx, want orders of magnitude (paper: ~4 decades)", span)
+	}
+	// Monotone non-decreasing in size.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Service < r.Rows[i-1].Service {
+			t.Fatalf("service time decreased at size %d", r.Rows[i].Size)
+		}
+	}
+}
+
+func TestFigure2HOLInflation(t *testing.T) {
+	r, err := Figure2(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index series by (model, K).
+	get := func(m queueing.Model, k float64) Figure2Series {
+		for _, s := range r.Series {
+			if s.Model == m && s.K == k {
+				return s
+			}
+		}
+		t.Fatalf("missing series %v K=%g", m, k)
+		return Figure2Series{}
+	}
+	// At a mid-grid load, K=1000 must sit orders of magnitude above K=1
+	// for nxM/G/1.
+	base := get(queueing.NxMG1, 1)
+	heavy := get(queueing.NxMG1, 1000)
+	mid := len(base.Points) / 2
+	if heavy.Points[mid].Result.P99 < 20*base.Points[mid].Result.P99 {
+		t.Errorf("nxM/G/1 K=1000 p99 %.1f vs K=1 %.1f at rho=%.1f: want >= 20x",
+			heavy.Points[mid].Result.P99, base.Points[mid].Result.P99, base.Points[mid].Rho)
+	}
+	if len(r.Series) != 12 {
+		t.Fatalf("series = %d, want 3 models x 4 K values", len(r.Series))
+	}
+}
+
+func TestTable1MatchesPaperShares(t *testing.T) {
+	r, err := Table1(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The paper rounds to the nearest 5%; allow a few points of
+		// slack on the measured share.
+		if diff := row.MeasuredPctBytes - row.PaperPctBytes; diff < -7 || diff > 7 {
+			t.Errorf("pL=%g sL=%d: measured %.1f%%, paper %.0f%%",
+				row.PercentLarge, row.MaxLargeSizeKB, row.MeasuredPctBytes, row.PaperPctBytes)
+		}
+	}
+}
+
+func TestFigure3MinosWins(t *testing.T) {
+	r, err := Figure3(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak throughput: Minos within 10% of HKH (hardware dispatch), SHO
+	// clearly below.
+	minosPeak := r.PeakThroughput(simsys.Minos)
+	hkhPeak := r.PeakThroughput(simsys.HKH)
+	shoPeak := r.PeakThroughput(simsys.SHO)
+	if minosPeak < hkhPeak*0.9 {
+		t.Errorf("Minos peak %.2fM < 0.9x HKH peak %.2fM", minosPeak/1e6, hkhPeak/1e6)
+	}
+	if shoPeak > hkhPeak*0.95 {
+		t.Errorf("SHO peak %.2fM not below HKH peak %.2fM (handoff bottleneck)", shoPeak/1e6, hkhPeak/1e6)
+	}
+	// At every common load point below saturation, Minos p99 is at or
+	// below the others' (10% slack: near the latency floor all designs
+	// coincide and run-to-run noise is a few percent).
+	for i, mp := range r.Curves[simsys.Minos] {
+		if mp.Loss > 0 || mp.Offered > 5.5e6 {
+			continue
+		}
+		for _, d := range []simsys.Design{simsys.HKH, simsys.HKHWS} {
+			if op := r.Curves[d][i]; op.Loss == 0 && float64(mp.P99) > 1.1*float64(op.P99) {
+				t.Errorf("at %.1fM: Minos p99 %d > %v p99 %d", mp.Offered/1e6, mp.P99, d, op.P99)
+			}
+		}
+	}
+}
+
+func TestFigure4BoundedPenalty(t *testing.T) {
+	r, err := Figure4(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minos, ws := r.Curves[simsys.Minos], r.Curves[simsys.HKHWS]
+	for i := range minos {
+		if minos[i].Loss > 0 || minos[i].Offered > 5e6 {
+			continue
+		}
+		penalty := float64(minos[i].LargeP99) / float64(ws[i].LargeP99)
+		if penalty > 5 {
+			t.Errorf("at %.1fM: large-request penalty %.1fx, want bounded (paper: ~2x)",
+				minos[i].Offered/1e6, penalty)
+		}
+	}
+}
+
+func TestFigure6SpeedupsExceedOne(t *testing.T) {
+	r, err := Figure6(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var maxSpeedup float64
+	for _, row := range r.Rows {
+		for d, sp := range row.Speedup {
+			if row.Tp[d] > 0 && sp < 0.95 {
+				t.Errorf("%s slo=%dus: speedup vs %v = %.2f < 1", row.Label, row.SLO/1000, d, sp)
+			}
+			if sp > maxSpeedup {
+				maxSpeedup = sp
+			}
+		}
+		if row.MinosTp == 0 {
+			t.Errorf("%s: Minos found no feasible throughput", row.Label)
+		}
+	}
+	// The paper reports up to 7.4x at pL=0.75 under the strict SLO; at
+	// quick scale we only require a clearly super-linear win somewhere.
+	if maxSpeedup < 2 {
+		t.Errorf("max speedup = %.2f, want >= 2", maxSpeedup)
+	}
+}
+
+func TestFigure8BottleneckShifts(t *testing.T) {
+	r, err := Figure8(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := func(s int) (tp, tx float64) {
+		for _, p := range r.Curves[s] {
+			if p.Throughput > tp {
+				tp, tx = p.Throughput, p.TXUtil
+			}
+		}
+		return tp, tx
+	}
+	tp100, tx100 := peak(100)
+	tp25, tx25 := peak(25)
+	if tp25 <= tp100 {
+		t.Errorf("S=25 peak %.2fM <= S=100 peak %.2fM: sampling should raise sustainable load", tp25/1e6, tp100/1e6)
+	}
+	if tx100 < 0.85 {
+		t.Errorf("S=100 peak TX util %.2f, want NIC near saturation", tx100)
+	}
+	if tx25 > 0.7 {
+		t.Errorf("S=25 peak TX util %.2f, want CPU-bound (NIC unloaded)", tx25)
+	}
+}
+
+func TestFigure9PacketBalance(t *testing.T) {
+	r, err := Figure9(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range r.PLs {
+		stats := r.PerCore[pl]
+		var minP, maxP uint64 = ^uint64(0), 0
+		for _, cs := range stats {
+			minP = min(minP, cs.Packets)
+			maxP = max(maxP, cs.Packets)
+		}
+		if float64(maxP) > 3*float64(minP) {
+			t.Errorf("pL=%g: packet share spread %d..%d exceeds 3x", pl, minP, maxP)
+		}
+	}
+}
+
+func TestFigure10AdaptsAndWins(t *testing.T) {
+	r, err := Figure10(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Minos) == 0 || len(r.HKHWS) == 0 {
+		t.Fatal("missing traces")
+	}
+	// Large-core count must rise and fall across the phase schedule.
+	var maxNL, firstNL, lastNL int
+	firstNL = r.Minos[1].NumLarge
+	lastNL = r.Minos[len(r.Minos)-1].NumLarge
+	for _, w := range r.Minos {
+		maxNL = max(maxNL, w.NumLarge)
+	}
+	if maxNL <= firstNL {
+		t.Errorf("NumLarge never rose above initial %d", firstNL)
+	}
+	if lastNL >= maxNL {
+		t.Errorf("NumLarge did not fall back (last %d, max %d)", lastNL, maxNL)
+	}
+	// During the heavy phases Minos' windows stay far below HKH+WS'.
+	var minosWorst, wsWorst int64
+	for i := 1; i < min(len(r.Minos), len(r.HKHWS)); i++ {
+		minosWorst = max(minosWorst, r.Minos[i].P99)
+		wsWorst = max(wsWorst, r.HKHWS[i].P99)
+	}
+	if minosWorst*5 > wsWorst {
+		t.Errorf("worst-window p99: Minos %dus vs HKH+WS %dus, want >= 5x separation",
+			minosWorst/1000, wsWorst/1000)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "t",
+		Headers: []string{"a", "long-header"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "long-header") || !strings.Contains(s, "333") {
+		t.Fatalf("rendering lost cells:\n%s", s)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("csv lines = %d, want 3", got)
+	}
+}

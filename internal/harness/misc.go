@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/minoskv/minos/internal/queueing"
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/simsys"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// Figure1Row is one point of the service-time-vs-size curve.
+type Figure1Row struct {
+	Size    int
+	CPU     sim.Time
+	Wire    sim.Time
+	Service sim.Time // CPU + wire: Figure 1's request-reception-to-reply-transmission interval
+}
+
+// Figure1Result is the GET service-time curve.
+type Figure1Result struct {
+	Rows []Figure1Row
+}
+
+// Figure1 reproduces the service time of GET operations across item sizes
+// from 1 B to 1 MB (four decades), measured on the calibrated service
+// model with no queueing — the paper's single closed-loop client.
+func Figure1(o Options) (*Figure1Result, error) {
+	sizes := []int{
+		1, 4, 13, 64, 256, 1_000, 1_400, 4_000, 16_000, 64_000,
+		100_000, 250_000, 500_000, 1_000_000,
+	}
+	r := &Figure1Result{}
+	for _, size := range sizes {
+		cpu, wire := simsys.ServiceBreakdown(workload.OpGet, int32(size), 40)
+		r.Rows = append(r.Rows, Figure1Row{Size: size, CPU: cpu, Wire: wire, Service: cpu + wire})
+	}
+	o.progress("figure 1: %d sizes, span %.0fx", len(r.Rows),
+		float64(r.Rows[len(r.Rows)-1].Service)/float64(r.Rows[0].Service))
+	return r, nil
+}
+
+// Table renders the curve.
+func (r *Figure1Result) Table() Table {
+	t := Table{
+		Title:   "Figure 1: service time of GET operations vs item size (single closed-loop client)",
+		Headers: []string{"size(KB)", "cpu(us)", "wire(us)", "service(us)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.3f", float64(row.Size)/1000),
+			us(row.CPU), us(row.Wire), us(row.Service),
+		})
+	}
+	return t
+}
+
+// Figure2Series is one (model, K) curve of the queueing simulations.
+type Figure2Series struct {
+	Model  queueing.Model
+	K      float64
+	Points []queueing.CurvePoint
+}
+
+// Figure2Result is the full Figure 2 grid.
+type Figure2Result struct {
+	Series []Figure2Series
+}
+
+// Figure2 reproduces the queueing-model simulations of §2.2: 99th
+// percentile response time vs normalized throughput for the three
+// size-unaware disciplines under bimodal service times with
+// K ∈ {1, 10, 100, 1000} and 0.125% large requests.
+func Figure2(o Options) (*Figure2Result, error) {
+	dur := 2 * sim.Second
+	if o.Scale == Quick {
+		dur = 300 * sim.Millisecond
+	}
+	rhos := queueing.DefaultRhos()
+	if o.Scale == Quick {
+		rhos = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	r := &Figure2Result{}
+	for _, model := range []queueing.Model{queueing.NxMG1, queueing.MGn, queueing.NxMG1Steal} {
+		for _, k := range queueing.PaperKs() {
+			pts, err := queueing.Curve(model, k, queueing.PaperFracLarge, rhos, dur, dur/10, o.seed())
+			if err != nil {
+				return nil, err
+			}
+			r.Series = append(r.Series, Figure2Series{Model: model, K: k, Points: pts})
+			o.progress("figure 2: %v K=%g done", model, k)
+		}
+	}
+	return r, nil
+}
+
+// Table renders every series point.
+func (r *Figure2Result) Table() Table {
+	t := Table{
+		Title:   "Figure 2: 99th percentile response time (in small-service units) vs normalized throughput",
+		Headers: []string{"model", "K", "rho", "p99(units)", "mean(units)"},
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			t.Rows = append(t.Rows, []string{
+				s.Model.String(), fmt.Sprintf("%g", s.K), fmt.Sprintf("%.2f", p.Rho),
+				fmt.Sprintf("%.1f", p.Result.P99), fmt.Sprintf("%.2f", p.Result.Mean),
+			})
+		}
+	}
+	return t
+}
+
+// Table1Result wraps the workload-profile table.
+type Table1Result struct {
+	Rows []workload.Table1Row
+}
+
+// Table1 reproduces the item-size variability profiles: for each (pL, sL)
+// combination, the percentage of transferred bytes due to large requests.
+func Table1(o Options) (*Table1Result, error) {
+	samples := 2_000_000
+	if o.Scale == Quick {
+		samples = 300_000
+	}
+	return &Table1Result{Rows: workload.Table1(samples)}, nil
+}
+
+// Table renders it in the paper's row order.
+func (r *Table1Result) Table() Table {
+	t := Table{
+		Title:   "Table 1: item size variability profiles",
+		Headers: []string{"pL(%)", "sL(KB)", "data-from-large-analytic(%)", "data-from-large-measured(%)", "paper(%)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", row.PercentLarge),
+			fmt.Sprintf("%d", row.MaxLargeSizeKB),
+			fmt.Sprintf("%.1f", row.AnalyticPctBytes),
+			fmt.Sprintf("%.1f", row.MeasuredPctBytes),
+			fmt.Sprintf("%.0f", row.PaperPctBytes),
+		})
+	}
+	return t
+}
+
+// Figure9Result holds the per-core load breakdown for several pL values.
+type Figure9Result struct {
+	PLs     []float64
+	PerCore map[float64][]simsys.CoreStat
+}
+
+// Figure9 reproduces the load-balancing breakdown: the share of operations
+// and packets processed by each core under pL ∈ {0.0625, 0.25, 0.75}%.
+func Figure9(o Options) (*Figure9Result, error) {
+	dur, warm := o.duration()
+	r := &Figure9Result{
+		PLs:     []float64{0.0625, 0.25, 0.75},
+		PerCore: make(map[float64][]simsys.CoreStat),
+	}
+	for _, pl := range r.PLs {
+		res, err := simsys.Run(simsys.Config{
+			Design:   simsys.Minos,
+			Profile:  workload.DefaultProfile().WithPercentLarge(pl),
+			Rate:     1.5e6,
+			Duration: dur,
+			Warmup:   warm,
+			Epoch:    o.epoch(),
+			Seed:     o.seed(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.PerCore[pl] = res.PerCore
+		o.progress("figure 9: pL=%g done", pl)
+	}
+	return r, nil
+}
+
+// Table renders per-core shares.
+func (r *Figure9Result) Table() Table {
+	t := Table{
+		Title:   "Figure 9: per-core share of operations and packets (Minos, 1.5 Mops)",
+		Headers: []string{"pL(%)", "core", "role", "ops(%)", "packets(%)"},
+	}
+	for _, pl := range r.PLs {
+		stats := r.PerCore[pl]
+		var ops, pkts uint64
+		for _, cs := range stats {
+			ops += cs.Ops
+			pkts += cs.Packets
+		}
+		for i, cs := range stats {
+			role := "small"
+			if cs.LargeRole {
+				role = "large"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%g", pl), fmt.Sprintf("%d", i), role,
+				fmt.Sprintf("%.2f", 100*float64(cs.Ops)/float64(ops)),
+				fmt.Sprintf("%.2f", 100*float64(cs.Packets)/float64(pkts)),
+			})
+		}
+	}
+	return t
+}
+
+// Figure10Result holds the dynamic-workload traces for Minos and HKH+WS.
+type Figure10Result struct {
+	// Rate is the fixed offered load.
+	Rate float64
+	// PhaseLen is the duration of each pL phase.
+	PhaseLen time.Duration
+	// Minos and HKHWS are per-window traces; the NumLarge column is
+	// meaningful for Minos only.
+	Minos, HKHWS []simsys.WindowSample
+}
+
+// Figure10 reproduces the dynamic workload: pL steps
+// 0.125 → 0.25 → 0.5 → 0.75 → 0.5 → 0.25 → 0.125 at a fixed offered load,
+// tracking the per-window 99th percentile and Minos' large-core count.
+// The paper holds each phase for 20 s at 2.25 Mops; this reproduction
+// scales phases with the controller epoch and runs at 1.9 Mops, inside the
+// calibrated NIC's capacity for pL = 0.75% (see EXPERIMENTS.md).
+func Figure10(o Options) (*Figure10Result, error) {
+	phase := 400 * time.Millisecond
+	epoch := 25 * sim.Millisecond
+	window := 100 * sim.Millisecond
+	if o.Scale == Full {
+		phase = 1 * time.Second
+		epoch = 50 * sim.Millisecond
+		window = 250 * sim.Millisecond
+	}
+	phases := workload.Figure10Phases(phase)
+	total := sim.Time(workload.Schedule(phases).TotalDuration())
+	r := &Figure10Result{Rate: 1.9e6, PhaseLen: phase}
+	for _, d := range []simsys.Design{simsys.Minos, simsys.HKHWS} {
+		res, err := simsys.Run(simsys.Config{
+			Design:    d,
+			Rate:      r.Rate,
+			Phases:    phases,
+			Duration:  total,
+			Warmup:    sim.Time(phase) / 4,
+			Epoch:     epoch,
+			WindowLen: window,
+			Seed:      o.seed(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if d == simsys.Minos {
+			r.Minos = res.Windows
+		} else {
+			r.HKHWS = res.Windows
+		}
+		o.progress("figure 10: %v done (%d windows)", d, len(res.Windows))
+	}
+	return r, nil
+}
+
+// Table renders both traces side by side.
+func (r *Figure10Result) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("Figure 10: dynamic workload at %s Mops, phase %v (pL steps 0.125..0.75..0.125)",
+			mops(r.Rate), r.PhaseLen),
+		Headers: []string{"t(s)", "minos-p99(us)", "minos-large-cores", "hkh+ws-p99(us)"},
+	}
+	n := min(len(r.Minos), len(r.HKHWS))
+	for i := 0; i < n; i++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", float64(r.Minos[i].Start)/1e9),
+			us(r.Minos[i].P99),
+			fmt.Sprintf("%d", r.Minos[i].NumLarge),
+			us(r.HKHWS[i].P99),
+		})
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/simsys"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// MaxThroughputUnderSLO finds the highest offered load (requests/s) at
+// which a design keeps its 99th percentile latency within slo and loses no
+// requests, by bisection over the offered rate. This is the quantity the
+// speedup bars of Figures 6 and 7 compare.
+func MaxThroughputUnderSLO(design simsys.Design, prof workload.Profile, slo sim.Time, o Options) (float64, error) {
+	dur, warm := o.duration()
+	iters := 9
+	if o.Scale == Quick {
+		iters = 7
+	}
+	eval := func(rate float64) (bool, error) {
+		res, err := simsys.Run(simsys.Config{
+			Design:   design,
+			Profile:  prof,
+			Rate:     rate,
+			Duration: dur,
+			Warmup:   warm,
+			Epoch:    o.epoch(),
+			Seed:     o.seed(),
+		})
+		if err != nil {
+			return false, err
+		}
+		ok := res.Lat.P99 <= int64(slo) && res.LossRate() == 0
+		o.progress("%-7s slo=%sus rate=%sM p99=%sus -> %v",
+			design, us(int64(slo)), mops(rate), us(res.Lat.P99), ok)
+		return ok, nil
+	}
+
+	// The physical ceiling is a little above the NIC-bound peak; no
+	// design exceeds 8 Mops on the calibrated platform.
+	lo, hi := 0.0, 8e6
+	// Establish a feasible lower bound; if even 50 Kops misses the SLO
+	// the answer is effectively zero.
+	ok, err := eval(50e3)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	lo = 50e3
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		ok, err := eval(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// SpeedupRow is one bar group of Figures 6/7: Minos' max throughput under
+// an SLO divided by each alternative design's.
+type SpeedupRow struct {
+	Label   string // "pL=0.25%" or "sL=500KB"
+	SLO     sim.Time
+	MinosTp float64
+	Tp      map[simsys.Design]float64
+	Speedup map[simsys.Design]float64
+}
+
+// SpeedupResult holds one of Figures 6/7.
+type SpeedupResult struct {
+	Title string
+	Rows  []SpeedupRow
+}
+
+// Table renders the speedup bars.
+func (r *SpeedupResult) Table() Table {
+	t := Table{
+		Title: r.Title,
+		Headers: []string{"workload", "slo(us)", "minos(Mops)",
+			"hkh(Mops)", "x-hkh", "hkh+ws(Mops)", "x-hkh+ws", "sho(Mops)", "x-sho"},
+	}
+	for _, row := range r.Rows {
+		cell := func(d simsys.Design) (string, string) {
+			tp, sp := row.Tp[d], row.Speedup[d]
+			if tp == 0 {
+				return "0.00", "inf"
+			}
+			return mops(tp), fmt.Sprintf("%.2f", sp)
+		}
+		hkhTp, hkhSp := cell(simsys.HKH)
+		wsTp, wsSp := cell(simsys.HKHWS)
+		shoTp, shoSp := cell(simsys.SHO)
+		t.Rows = append(t.Rows, []string{
+			row.Label, us(int64(row.SLO)), mops(row.MinosTp),
+			hkhTp, hkhSp, wsTp, wsSp, shoTp, shoSp,
+		})
+	}
+	return t
+}
+
+// speedups computes one figure's bars across workload variants.
+func speedups(title string, variants []workload.Profile, labels []string, o Options) (*SpeedupResult, error) {
+	r := &SpeedupResult{Title: title}
+	alternatives := []simsys.Design{simsys.HKH, simsys.HKHWS, simsys.SHO}
+	for i, prof := range variants {
+		for _, slo := range []sim.Time{SLOStrict, SLOLoose} {
+			row := SpeedupRow{
+				Label:   labels[i],
+				SLO:     slo,
+				Tp:      make(map[simsys.Design]float64),
+				Speedup: make(map[simsys.Design]float64),
+			}
+			minosTp, err := MaxThroughputUnderSLO(simsys.Minos, prof, slo, o)
+			if err != nil {
+				return nil, err
+			}
+			row.MinosTp = minosTp
+			for _, d := range alternatives {
+				tp, err := MaxThroughputUnderSLO(d, prof, slo, o)
+				if err != nil {
+					return nil, err
+				}
+				row.Tp[d] = tp
+				if tp > 0 {
+					row.Speedup[d] = minosTp / tp
+				}
+			}
+			r.Rows = append(r.Rows, row)
+		}
+	}
+	return r, nil
+}
+
+// Figure6 reproduces the sensitivity to the percentage of large requests:
+// max throughput under the 50 µs and 100 µs SLOs for
+// pL ∈ {0.0625, 0.125, 0.25, 0.5, 0.75}%, sL fixed at 500 KB, reported as
+// Minos' speedup over each alternative.
+func Figure6(o Options) (*SpeedupResult, error) {
+	pls := []float64{0.0625, 0.125, 0.25, 0.5, 0.75}
+	if o.Scale == Quick {
+		pls = []float64{0.0625, 0.25, 0.75}
+	}
+	var variants []workload.Profile
+	var labels []string
+	for _, pl := range pls {
+		variants = append(variants, workload.DefaultProfile().WithPercentLarge(pl))
+		labels = append(labels, fmt.Sprintf("pL=%g%%", pl))
+	}
+	return speedups("Figure 6: Minos speedup under SLO vs percentage of large requests", variants, labels, o)
+}
+
+// Figure7 reproduces the sensitivity to the maximum size of large
+// requests: sL ∈ {250, 500, 1000} KB, pL fixed at 0.125%.
+func Figure7(o Options) (*SpeedupResult, error) {
+	sls := []int{250_000, 500_000, 1_000_000}
+	var variants []workload.Profile
+	var labels []string
+	for _, sl := range sls {
+		variants = append(variants, workload.DefaultProfile().WithMaxLargeSize(sl))
+		labels = append(labels, fmt.Sprintf("sL=%dKB", sl/1000))
+	}
+	return speedups("Figure 7: Minos speedup under SLO vs maximum large-request size", variants, labels, o)
+}

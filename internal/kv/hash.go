@@ -1,0 +1,67 @@
+// Package kv implements the MICA-style key-value data structures Minos
+// builds on (§4.2): keys are split into partitions; each partition is a
+// hash table whose entries are cache-line-sized buckets of tagged slots
+// pointing to key-value items; overflow buckets are chained dynamically;
+// reads are optimistic under a per-bucket 64-bit epoch (seqlock) and writes
+// are serialized per bucket, realizing the paper's CREW scheme (writes to a
+// key go through its partition's master core; writes to keys mastered by
+// large cores additionally contend on the bucket spinlock, which doubles as
+// the seqlock epoch).
+//
+// Items are immutable after publication and replaced wholesale on PUT, the
+// Go-idiomatic analogue of RCU: readers that lose a seqlock race retry, but
+// never observe torn values and never race on bytes, so the package is
+// clean under the race detector. Retired items are reclaimed by the garbage
+// collector rather than recycled in place; see DESIGN.md for why this
+// substitution preserves the paper's behaviour.
+package kv
+
+import "encoding/binary"
+
+// Hash returns the 64-bit keyhash used for partitioning, bucket selection
+// and tagging. It is FNV-1a folded through the SplitMix64 finalizer for
+// good bit diffusion even on tiny sequential keys (the workload's keys are
+// 8-byte little-endian integers).
+func Hash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// SplitMix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// KeyForID renders a uint64 workload key ID as the fixed 8-byte key the
+// paper uses ("we keep the size of the keys constant to 8 bytes", §5.3).
+func KeyForID(id uint64) []byte {
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], id)
+	return k[:]
+}
+
+// AppendKeyForID appends the 8-byte encoding of id to dst, for callers
+// that want to avoid the allocation of KeyForID.
+func AppendKeyForID(dst []byte, id uint64) []byte {
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], id)
+	return append(dst, k[:]...)
+}
+
+// IDForKey decodes an 8-byte key back to its workload ID. Short keys
+// return 0, false.
+func IDForKey(key []byte) (uint64, bool) {
+	if len(key) != 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(key), true
+}

@@ -1,0 +1,302 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// slotsPerBucket mirrors MICA's cache-line bucket layout: a handful of
+// tagged slots per bucket with dynamic overflow chaining.
+const slotsPerBucket = 7
+
+// Item is one immutable key-value pair. Once published to a slot, an Item
+// and its Key/Value bytes are never modified; a PUT replaces the whole
+// Item. Readers may therefore copy Value without holding any lock.
+type Item struct {
+	Hash  uint64
+	Key   []byte
+	Value []byte
+}
+
+// bucket is one hash-table bucket. The primary bucket's epoch guards its
+// entire overflow chain: it is incremented to odd when a write begins and
+// to even when it ends (§4.2), so readers can detect concurrent writes;
+// writers acquire it with a CAS, making it double as a per-bucket spinlock.
+type bucket struct {
+	epoch atomic.Uint64 // only meaningful on primary buckets
+	next  atomic.Pointer[bucket]
+	tags  [slotsPerBucket]atomic.Uint32 // tag+1; 0 means empty
+	items [slotsPerBucket]atomic.Pointer[Item]
+}
+
+// Config sizes a Store. Zero fields take defaults.
+type Config struct {
+	// NumPartitions is the number of key partitions (power of two,
+	// default 16). With CREW each server core masters NumPartitions /
+	// nCores partitions.
+	NumPartitions int
+	// BucketsPerPartition is the number of primary buckets per partition
+	// (power of two, default 4096). With 7 slots per bucket the default
+	// comfortably holds ~100k items per partition before chaining.
+	BucketsPerPartition int
+}
+
+func (c *Config) setDefaults() {
+	if c.NumPartitions == 0 {
+		c.NumPartitions = 16
+	}
+	if c.BucketsPerPartition == 0 {
+		c.BucketsPerPartition = 4096
+	}
+}
+
+func (c Config) validate() error {
+	if c.NumPartitions <= 0 || c.NumPartitions&(c.NumPartitions-1) != 0 {
+		return fmt.Errorf("kv: NumPartitions %d must be a positive power of two", c.NumPartitions)
+	}
+	if c.BucketsPerPartition <= 0 || c.BucketsPerPartition&(c.BucketsPerPartition-1) != 0 {
+		return fmt.Errorf("kv: BucketsPerPartition %d must be a positive power of two", c.BucketsPerPartition)
+	}
+	return nil
+}
+
+// partition is one hash table.
+type partition struct {
+	buckets []bucket
+	mask    uint64
+	count   atomic.Int64 // live items
+	bytes   atomic.Int64 // live value bytes
+}
+
+// Store is the MICA-style partitioned hash table. All methods are safe for
+// concurrent use; see the package comment for the concurrency design.
+type Store struct {
+	cfg      Config
+	parts    []partition
+	partMask uint64
+}
+
+// NewStore returns an empty store. Invalid configs return an error.
+func NewStore(cfg Config) (*Store, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, parts: make([]partition, cfg.NumPartitions), partMask: uint64(cfg.NumPartitions - 1)}
+	for i := range s.parts {
+		s.parts[i].buckets = make([]bucket, cfg.BucketsPerPartition)
+		s.parts[i].mask = uint64(cfg.BucketsPerPartition - 1)
+	}
+	return s, nil
+}
+
+// NumPartitions returns the partition count (for CREW core mastering).
+func (s *Store) NumPartitions() int { return len(s.parts) }
+
+// PartitionOf returns the partition index for a keyhash. The top bits pick
+// the partition, the middle bits the bucket, the low 16 bits the tag —
+// "a first portion of the keyhash is used to determine the partition, a
+// second portion to map a key to a bucket, and a third portion forms the
+// tag" (§4.2).
+func (s *Store) PartitionOf(hash uint64) int {
+	return int((hash >> 48) & s.partMask)
+}
+
+func tagOf(hash uint64) uint32 { return uint32(hash&0xFFFF) + 1 }
+
+func (s *Store) bucketFor(hash uint64) (*partition, *bucket) {
+	p := &s.parts[s.PartitionOf(hash)]
+	return p, &p.buckets[(hash>>16)&p.mask]
+}
+
+// lockBucket acquires the primary bucket's write lock by moving its epoch
+// from even to odd. On the paper's platform this is the spinlock guarding
+// PUTs on keys mastered by large cores; with CREW-mastered keys it is
+// uncontended and costs one uncontended CAS.
+func lockBucket(b *bucket) uint64 {
+	for spins := 0; ; spins++ {
+		e := b.epoch.Load()
+		if e&1 == 0 && b.epoch.CompareAndSwap(e, e+1) {
+			return e + 1
+		}
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// unlockBucket publishes the write by moving the epoch back to even.
+func unlockBucket(b *bucket, locked uint64) {
+	b.epoch.Store(locked + 1)
+}
+
+// Get copies the value for key into dst (appending) and returns the
+// extended slice. ok is false if the key is absent. The read is optimistic:
+// it snapshots the bucket epoch, scans, and retries if a concurrent write
+// moved the epoch (§4.2).
+func (s *Store) Get(key []byte, dst []byte) (val []byte, ok bool) {
+	h := Hash(key)
+	item := s.lookup(h, key)
+	if item == nil {
+		return dst, false
+	}
+	return append(dst, item.Value...), true
+}
+
+// GetItem returns the immutable item for key, or nil. The caller must not
+// modify the returned item. This is the zero-copy path the server uses to
+// build replies directly from item memory.
+func (s *Store) GetItem(key []byte) *Item {
+	return s.lookup(Hash(key), key)
+}
+
+// GetSize returns the value size for key without copying the value. Small
+// cores use it to decide whether a GET is small (serve) or large (hand
+// off) — the size lookup the paper describes in §3.
+func (s *Store) GetSize(key []byte) (size int, ok bool) {
+	item := s.lookup(Hash(key), key)
+	if item == nil {
+		return 0, false
+	}
+	return len(item.Value), true
+}
+
+// lookup finds the item for (hash, key) under the seqlock protocol.
+func (s *Store) lookup(h uint64, key []byte) *Item {
+	_, b := s.bucketFor(h)
+	tag := tagOf(h)
+	for attempt := 0; ; attempt++ {
+		e1 := b.epoch.Load()
+		if e1&1 == 1 {
+			// A write is in progress; wait for it to finish (§4.2:
+			// "the read is stalled until the epoch becomes even").
+			if attempt > 16 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		var found *Item
+		for cur := b; cur != nil; cur = cur.next.Load() {
+			for i := 0; i < slotsPerBucket; i++ {
+				if cur.tags[i].Load() != tag {
+					continue
+				}
+				it := cur.items[i].Load()
+				if it != nil && it.Hash == h && bytes.Equal(it.Key, key) {
+					found = it
+					break
+				}
+			}
+			if found != nil {
+				break
+			}
+		}
+		if b.epoch.Load() == e1 {
+			return found
+		}
+		// A conflicting write might have taken place; restart (§4.2).
+	}
+}
+
+// Put inserts or replaces the value for key. The value bytes are copied
+// into a fresh immutable item, so the caller keeps ownership of value.
+func (s *Store) Put(key, value []byte) {
+	h := Hash(key)
+	item := &Item{
+		Hash:  h,
+		Key:   append(make([]byte, 0, len(key)), key...),
+		Value: append(make([]byte, 0, len(value)), value...),
+	}
+	s.PutItem(item)
+}
+
+// PutItem publishes a pre-built item. The item and its slices must not be
+// modified after the call. This is the zero-extra-copy path for servers
+// that already assembled the value from the network.
+func (s *Store) PutItem(item *Item) {
+	p, b := s.bucketFor(item.Hash)
+	tag := tagOf(item.Hash)
+	locked := lockBucket(b)
+
+	// Pass 1: replace an existing slot for this key.
+	for cur := b; cur != nil; cur = cur.next.Load() {
+		for i := 0; i < slotsPerBucket; i++ {
+			if cur.tags[i].Load() != tag {
+				continue
+			}
+			old := cur.items[i].Load()
+			if old != nil && old.Hash == item.Hash && bytes.Equal(old.Key, item.Key) {
+				cur.items[i].Store(item)
+				p.bytes.Add(int64(len(item.Value)) - int64(len(old.Value)))
+				unlockBucket(b, locked)
+				return
+			}
+		}
+	}
+	// Pass 2: claim the first empty slot, chaining an overflow bucket if
+	// the chain is full ("overflow buckets are dynamically assigned",
+	// §4.2).
+	for cur := b; ; {
+		for i := 0; i < slotsPerBucket; i++ {
+			if cur.items[i].Load() == nil {
+				cur.items[i].Store(item)
+				cur.tags[i].Store(tag)
+				p.count.Add(1)
+				p.bytes.Add(int64(len(item.Value)))
+				unlockBucket(b, locked)
+				return
+			}
+		}
+		next := cur.next.Load()
+		if next == nil {
+			next = new(bucket)
+			cur.next.Store(next)
+		}
+		cur = next
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key []byte) bool {
+	h := Hash(key)
+	p, b := s.bucketFor(h)
+	tag := tagOf(h)
+	locked := lockBucket(b)
+	defer func() { unlockBucket(b, locked) }()
+	for cur := b; cur != nil; cur = cur.next.Load() {
+		for i := 0; i < slotsPerBucket; i++ {
+			if cur.tags[i].Load() != tag {
+				continue
+			}
+			it := cur.items[i].Load()
+			if it != nil && it.Hash == h && bytes.Equal(it.Key, key) {
+				cur.items[i].Store(nil)
+				cur.tags[i].Store(0)
+				p.count.Add(-1)
+				p.bytes.Add(-int64(len(it.Value)))
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of live items.
+func (s *Store) Len() int {
+	var n int64
+	for i := range s.parts {
+		n += s.parts[i].count.Load()
+	}
+	return int(n)
+}
+
+// ValueBytes returns the total size of live values in bytes.
+func (s *Store) ValueBytes() int64 {
+	var n int64
+	for i := range s.parts {
+		n += s.parts[i].bytes.Load()
+	}
+	return n
+}

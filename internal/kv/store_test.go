@@ -1,0 +1,392 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestStore(t testing.TB) *Store {
+	t.Helper()
+	s, err := NewStore(Config{NumPartitions: 8, BucketsPerPartition: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewStore(Config{}); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []Config{
+		{NumPartitions: 3},
+		{NumPartitions: -4},
+		{BucketsPerPartition: 100},
+	}
+	for _, c := range bad {
+		if _, err := NewStore(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	key := []byte("hello")
+	val := []byte("world")
+	s.Put(key, val)
+	got, ok := s.Get(key, nil)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q,%v, want %q", got, ok, val)
+	}
+	if size, ok := s.GetSize(key); !ok || size != len(val) {
+		t.Fatalf("GetSize = %d,%v", size, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if s.ValueBytes() != int64(len(val)) {
+		t.Fatalf("ValueBytes = %d, want %d", s.ValueBytes(), len(val))
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newTestStore(t)
+	if _, ok := s.Get([]byte("nope"), nil); ok {
+		t.Fatal("Get on empty store returned ok")
+	}
+	if _, ok := s.GetSize([]byte("nope")); ok {
+		t.Fatal("GetSize on empty store returned ok")
+	}
+	if s.GetItem([]byte("nope")) != nil {
+		t.Fatal("GetItem on empty store returned an item")
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	s := newTestStore(t)
+	key := []byte("k")
+	s.Put(key, []byte("v1"))
+	s.Put(key, []byte("a-much-longer-second-value"))
+	got, ok := s.Get(key, nil)
+	if !ok || string(got) != "a-much-longer-second-value" {
+		t.Fatalf("Get after replace = %q,%v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after replace = %d, want 1", s.Len())
+	}
+	if s.ValueBytes() != 26 {
+		t.Fatalf("ValueBytes after replace = %d, want 26", s.ValueBytes())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newTestStore(t)
+	key := []byte("k")
+	s.Put(key, []byte("v"))
+	if !s.Delete(key) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if s.Delete(key) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if _, ok := s.Get(key, nil); ok {
+		t.Fatal("Get after Delete returned ok")
+	}
+	if s.Len() != 0 || s.ValueBytes() != 0 {
+		t.Fatalf("Len/Bytes after delete = %d/%d", s.Len(), s.ValueBytes())
+	}
+}
+
+func TestGetAppendsToDst(t *testing.T) {
+	s := newTestStore(t)
+	s.Put([]byte("k"), []byte("v"))
+	dst := []byte("prefix-")
+	got, ok := s.Get([]byte("k"), dst)
+	if !ok || string(got) != "prefix-v" {
+		t.Fatalf("Get with dst = %q,%v", got, ok)
+	}
+}
+
+func TestCallerKeepsValueOwnership(t *testing.T) {
+	s := newTestStore(t)
+	val := []byte("mutable")
+	s.Put([]byte("k"), val)
+	val[0] = 'X' // caller mutates its buffer after Put
+	got, _ := s.Get([]byte("k"), nil)
+	if string(got) != "mutable" {
+		t.Fatalf("store aliases caller buffer: %q", got)
+	}
+	got[0] = 'Y' // caller mutates the returned copy
+	got2, _ := s.Get([]byte("k"), nil)
+	if string(got2) != "mutable" {
+		t.Fatalf("Get returns aliased memory: %q", got2)
+	}
+}
+
+func TestOverflowChaining(t *testing.T) {
+	// Force every key into one bucket's chain by using a single-bucket,
+	// single-partition store.
+	s, err := NewStore(Config{NumPartitions: 1, BucketsPerPartition: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200 // ≫ slotsPerBucket, forcing deep chains
+	for i := 0; i < n; i++ {
+		s.Put(KeyForID(uint64(i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s.Get(KeyForID(uint64(i)), nil)
+		if !ok || string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d: Get = %q,%v", i, got, ok)
+		}
+	}
+	// Delete half, verify the rest.
+	for i := 0; i < n; i += 2 {
+		if !s.Delete(KeyForID(uint64(i))) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok := s.Get(KeyForID(uint64(i)), nil)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d: present=%v, want %v", i, ok, want)
+		}
+	}
+	// Slots freed by deletes must be reused by new inserts.
+	for i := n; i < n+50; i++ {
+		s.Put(KeyForID(uint64(i)), []byte("new"))
+	}
+	if got := s.Len(); got != n/2+50 {
+		t.Fatalf("Len = %d, want %d", got, n/2+50)
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Sequential 8-byte keys must spread across partitions and tags.
+	s := newTestStore(t)
+	counts := make([]int, s.NumPartitions())
+	tags := make(map[uint32]bool)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		h := Hash(KeyForID(uint64(i)))
+		counts[s.PartitionOf(h)]++
+		tags[tagOf(h)] = true
+	}
+	want := n / s.NumPartitions()
+	for p, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("partition %d holds %d of %d keys (expected ~%d)", p, c, n, want)
+		}
+	}
+	if len(tags) < 1000 {
+		t.Errorf("only %d distinct tags over %d keys", len(tags), n)
+	}
+}
+
+func TestKeyIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		k := KeyForID(id)
+		if len(k) != 8 {
+			t.Fatalf("KeyForID length %d", len(k))
+		}
+		got, ok := IDForKey(k)
+		if !ok || got != id {
+			t.Fatalf("IDForKey(KeyForID(%d)) = %d,%v", id, got, ok)
+		}
+	}
+	if _, ok := IDForKey([]byte("short")); ok {
+		t.Fatal("IDForKey accepted short key")
+	}
+	buf := AppendKeyForID(nil, 42)
+	if id, _ := IDForKey(buf); id != 42 {
+		t.Fatalf("AppendKeyForID round trip = %d", id)
+	}
+}
+
+// Property: the store behaves exactly like a map[string][]byte under any
+// single-threaded sequence of puts, gets and deletes.
+func TestStoreMatchesMapModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		s, err := NewStore(Config{NumPartitions: 2, BucketsPerPartition: 2})
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		for _, o := range ops {
+			key := KeyForID(uint64(o.Key % 32))
+			switch o.Kind % 3 {
+			case 0:
+				val := fmt.Sprintf("v%d", o.Val)
+				s.Put(key, []byte(val))
+				model[string(key)] = val
+			case 1:
+				got, ok := s.Get(key, nil)
+				want, wantOK := model[string(key)]
+				if ok != wantOK || (ok && string(got) != want) {
+					return false
+				}
+			case 2:
+				got := s.Delete(key)
+				_, want := model[string(key)]
+				if got != want {
+					return false
+				}
+				delete(model, string(key))
+			}
+			if s.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentReadersWriter exercises the seqlock: concurrent GETs during
+// PUT storms must always observe one of the values ever written for the
+// key, never a torn mixture. Run under -race this also proves the
+// implementation has no data races.
+func TestConcurrentReadersWriter(t *testing.T) {
+	s := newTestStore(t)
+	const keys = 64
+	// Values encode their version in every byte so tearing is detectable.
+	mkVal := func(version int) []byte {
+		v := make([]byte, 100)
+		for i := range v {
+			v[i] = byte(version)
+		}
+		return v
+	}
+	for k := 0; k < keys; k++ {
+		s.Put(KeyForID(uint64(k)), mkVal(0))
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() { // writer: PUT storm until told to stop
+		defer close(writerDone)
+		rng := rand.New(rand.NewSource(1))
+		for version := 1; ; version++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := uint64(rng.Intn(keys))
+			s.Put(KeyForID(k), mkVal(version%256))
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 0, 128)
+			for i := 0; i < 20_000; i++ {
+				k := uint64(rng.Intn(keys))
+				got, ok := s.Get(KeyForID(k), buf[:0])
+				if !ok {
+					t.Errorf("key %d vanished", k)
+					return
+				}
+				if len(got) != 100 {
+					t.Errorf("key %d: len %d", k, len(got))
+					return
+				}
+				for j := 1; j < len(got); j++ {
+					if got[j] != got[0] {
+						t.Errorf("torn read on key %d: byte0=%d byte%d=%d", k, got[0], j, got[j])
+						return
+					}
+				}
+			}
+		}(int64(r + 10))
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}
+
+// TestConcurrentDistinctWriters has each "core" write its own partition's
+// keys (the CREW pattern) while readers scan everything.
+func TestConcurrentDistinctWriters(t *testing.T) {
+	s := newTestStore(t)
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i)
+				s.Put(KeyForID(id), []byte(fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i += 97 {
+			id := uint64(w*perWriter + i)
+			got, ok := s.Get(KeyForID(id), nil)
+			if !ok || string(got) != fmt.Sprintf("w%d-%d", w, i) {
+				t.Fatalf("key %d: Get = %q,%v", id, got, ok)
+			}
+		}
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	s, _ := NewStore(Config{})
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		s.Put(KeyForID(uint64(i)), make([]byte, 100))
+	}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = s.Get(KeyForID(uint64(i%n)), buf[:0])
+	}
+}
+
+func BenchmarkGetSize(b *testing.B) {
+	s, _ := NewStore(Config{})
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		s.Put(KeyForID(uint64(i)), make([]byte, 100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.GetSize(KeyForID(uint64(i % n)))
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s, _ := NewStore(Config{})
+	val := make([]byte, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(KeyForID(uint64(i%100_000)), val)
+	}
+}

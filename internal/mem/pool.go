@@ -1,0 +1,159 @@
+// Package mem implements a segregated-fit slab allocator for key-value
+// item buffers, substituting for the DPDK memory manager the Minos
+// prototype uses (§4.2: "Minos can be extended to integrate more efficient
+// memory allocators, such as the one based on segregated fits of MICA").
+//
+// Buffers are recycled through per-class free lists carved out of large
+// pre-allocated arenas, so the steady-state data path performs no Go heap
+// allocation and puts no pressure on the garbage collector — the property
+// that matters for microsecond tails.
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Size classes double from MinClassSize up to MaxClassSize, covering the
+// paper's item range (1 B tiny items to 1 MB large items) with bounded
+// internal fragmentation (< 2x).
+const (
+	MinClassSize = 64              // bytes; also the slot granularity
+	MaxClassSize = 2 * 1024 * 1024 // bytes; fits a 1 MB item plus headers
+	arenaSize    = 4 * 1024 * 1024 // bytes per arena slab
+)
+
+// numClasses is the number of doubling size classes.
+var numClasses = func() int {
+	n := 0
+	for s := MinClassSize; s <= MaxClassSize; s <<= 1 {
+		n++
+	}
+	return n
+}()
+
+// classForSize returns the index of the smallest class that fits size, or
+// -1 if the size exceeds MaxClassSize.
+func classForSize(size int) int {
+	if size > MaxClassSize {
+		return -1
+	}
+	c, s := 0, MinClassSize
+	for s < size {
+		s <<= 1
+		c++
+	}
+	return c
+}
+
+// classSize returns the slot size of class c.
+func classSize(c int) int { return MinClassSize << c }
+
+// Buf is an allocated buffer. Data has the exact requested length; its
+// capacity is the size-class slot. Return it with Pool.Free; using Data
+// after Free is a use-after-free bug just as it would be in C.
+type Buf struct {
+	Data  []byte
+	class int8
+}
+
+// Cap returns the underlying slot capacity.
+func (b *Buf) Cap() int { return cap(b.Data) }
+
+// Stats is a point-in-time snapshot of pool usage.
+type Stats struct {
+	ArenaBytes int64 // bytes reserved in arenas
+	InUseBytes int64 // bytes of live slots (slot sizes, not request sizes)
+	Allocs     int64 // total successful Alloc calls
+	Frees      int64 // total Free calls
+	Oversize   int64 // allocations that exceeded MaxClassSize (heap-backed)
+}
+
+// Pool is a thread-safe segregated-fit allocator. The zero value is not
+// usable; use NewPool.
+type Pool struct {
+	mu     sync.Mutex
+	free   [][]*Buf // per-class free lists
+	arenas [][]byte
+	cursor int // bytes used in the newest arena
+	stats  Stats
+}
+
+// NewPool returns an empty pool; arenas are reserved on demand.
+func NewPool() *Pool {
+	return &Pool{free: make([][]*Buf, numClasses)}
+}
+
+// Alloc returns a buffer of exactly size bytes (zero-length allowed).
+// Sizes above MaxClassSize fall back to the Go heap — they still work, but
+// are counted in Stats.Oversize so operators can see the pool is
+// misconfigured for their workload.
+func (p *Pool) Alloc(size int) *Buf {
+	if size < 0 {
+		panic(fmt.Sprintf("mem: Alloc(%d)", size))
+	}
+	c := classForSize(size)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Allocs++
+	if c < 0 {
+		p.stats.Oversize++
+		return &Buf{Data: make([]byte, size), class: -1}
+	}
+	if list := p.free[c]; len(list) > 0 {
+		b := list[len(list)-1]
+		p.free[c] = list[:len(list)-1]
+		b.Data = b.Data[:size]
+		clear(b.Data)
+		p.stats.InUseBytes += int64(classSize(c))
+		return b
+	}
+	slot := p.carve(classSize(c))
+	p.stats.InUseBytes += int64(classSize(c))
+	return &Buf{Data: slot[:size], class: int8(c)}
+}
+
+// carve returns a fresh slot of slotSize bytes from the arenas, reserving
+// a new arena if needed. Caller holds p.mu.
+func (p *Pool) carve(slotSize int) []byte {
+	need := slotSize
+	arena := arenaSize
+	if need > arena {
+		arena = need
+	}
+	if len(p.arenas) == 0 || p.cursor+need > len(p.arenas[len(p.arenas)-1]) {
+		p.arenas = append(p.arenas, make([]byte, arena))
+		p.cursor = 0
+		p.stats.ArenaBytes += int64(arena)
+	}
+	a := p.arenas[len(p.arenas)-1]
+	slot := a[p.cursor : p.cursor+need : p.cursor+need]
+	p.cursor += need
+	return slot
+}
+
+// Free recycles a buffer. Freeing nil is a no-op; double frees are not
+// detected (as with any slab allocator, they corrupt the free list) —
+// the KV store is the single owner of item buffers and frees exactly once.
+func (p *Pool) Free(b *Buf) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Frees++
+	if b.class < 0 {
+		return // oversize heap allocation: let the GC have it
+	}
+	c := int(b.class)
+	b.Data = b.Data[:0]
+	p.free[c] = append(p.free[c], b)
+	p.stats.InUseBytes -= int64(classSize(c))
+}
+
+// Stats returns a snapshot of usage counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

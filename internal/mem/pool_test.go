@@ -1,0 +1,207 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassForSize(t *testing.T) {
+	cases := map[int]int{
+		0:                0,
+		1:                0,
+		64:               0,
+		65:               1,
+		128:              1,
+		129:              2,
+		1 << 20:          classForSize(1 << 20),
+		MaxClassSize:     numClasses - 1,
+		MaxClassSize + 1: -1,
+	}
+	for size, want := range cases {
+		if got := classForSize(size); got != want {
+			t.Errorf("classForSize(%d) = %d, want %d", size, got, want)
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		if classForSize(classSize(c)) != c {
+			t.Errorf("classSize/classForSize disagree at class %d", c)
+		}
+	}
+}
+
+func TestAllocExactLength(t *testing.T) {
+	p := NewPool()
+	for _, size := range []int{0, 1, 13, 64, 100, 1400, 1500, 500_000, 1_000_000} {
+		b := p.Alloc(size)
+		if len(b.Data) != size {
+			t.Fatalf("Alloc(%d) returned len %d", size, len(b.Data))
+		}
+		if size > 0 && cap(b.Data) < size {
+			t.Fatalf("Alloc(%d) returned cap %d", size, cap(b.Data))
+		}
+		p.Free(b)
+	}
+}
+
+func TestAllocZeroed(t *testing.T) {
+	p := NewPool()
+	b := p.Alloc(128)
+	for i := range b.Data {
+		b.Data[i] = 0xFF
+	}
+	p.Free(b)
+	b2 := p.Alloc(128)
+	for i, v := range b2.Data {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d", i)
+		}
+	}
+}
+
+func TestRecycling(t *testing.T) {
+	p := NewPool()
+	b := p.Alloc(100)
+	ptr := &b.Data[:cap(b.Data)][0]
+	p.Free(b)
+	b2 := p.Alloc(90) // same class (64..128]
+	ptr2 := &b2.Data[:cap(b2.Data)][0]
+	if ptr != ptr2 {
+		t.Fatal("free list did not recycle the slot")
+	}
+	s := p.Stats()
+	if s.Allocs != 2 || s.Frees != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOversizeFallsBackToHeap(t *testing.T) {
+	p := NewPool()
+	b := p.Alloc(MaxClassSize + 1)
+	if len(b.Data) != MaxClassSize+1 {
+		t.Fatalf("oversize len = %d", len(b.Data))
+	}
+	p.Free(b)
+	s := p.Stats()
+	if s.Oversize != 1 {
+		t.Fatalf("Oversize = %d, want 1", s.Oversize)
+	}
+	if s.InUseBytes != 0 {
+		t.Fatalf("InUseBytes = %d, want 0 after free", s.InUseBytes)
+	}
+}
+
+func TestInUseAccounting(t *testing.T) {
+	p := NewPool()
+	b1 := p.Alloc(64)  // class 0: 64 bytes
+	b2 := p.Alloc(100) // class 1: 128 bytes
+	if got := p.Stats().InUseBytes; got != 192 {
+		t.Fatalf("InUseBytes = %d, want 192", got)
+	}
+	p.Free(b1)
+	p.Free(b2)
+	if got := p.Stats().InUseBytes; got != 0 {
+		t.Fatalf("InUseBytes after frees = %d, want 0", got)
+	}
+}
+
+func TestAllocNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool().Alloc(-1)
+}
+
+func TestFreeNilNoop(t *testing.T) {
+	p := NewPool()
+	p.Free(nil)
+	if p.Stats().Frees != 0 {
+		t.Fatal("Free(nil) counted")
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sizes := []int{13, 700, 1400, 1500, 50_000}
+			bufs := make([]*Buf, 0, 16)
+			for i := 0; i < 2000; i++ {
+				b := p.Alloc(sizes[(i+g)%len(sizes)])
+				b.Data[0] = byte(g) // touch
+				bufs = append(bufs, b)
+				if len(bufs) == 16 {
+					for _, bb := range bufs {
+						p.Free(bb)
+					}
+					bufs = bufs[:0]
+				}
+			}
+			for _, bb := range bufs {
+				p.Free(bb)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.InUseBytes != 0 {
+		t.Fatalf("InUseBytes = %d after balanced alloc/free", s.InUseBytes)
+	}
+	if s.Allocs != s.Frees {
+		t.Fatalf("Allocs %d != Frees %d", s.Allocs, s.Frees)
+	}
+}
+
+// Property: buffers of distinct live allocations never alias — writing a
+// distinct fill pattern into every live buffer and re-reading them all must
+// find every pattern intact.
+func TestNoAliasingProperty(t *testing.T) {
+	f := func(sizesRaw []uint16) bool {
+		p := NewPool()
+		var bufs []*Buf
+		for i, sr := range sizesRaw {
+			size := int(sr)%2000 + 1
+			b := p.Alloc(size)
+			fill := byte(i + 1)
+			for j := range b.Data {
+				b.Data[j] = fill
+			}
+			bufs = append(bufs, b)
+		}
+		for i, b := range bufs {
+			fill := byte(i + 1)
+			for _, v := range b.Data {
+				if v != fill {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocFreeSmall(b *testing.B) {
+	p := NewPool()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Alloc(700)
+		p.Free(buf)
+	}
+}
+
+func BenchmarkAllocFreeLarge(b *testing.B) {
+	p := NewPool()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Alloc(500_000)
+		p.Free(buf)
+	}
+}

@@ -1,0 +1,134 @@
+package nic
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minoskv/minos/internal/ring"
+)
+
+// Fabric is the in-process network: bounded multi-producer rings stand in
+// for NIC RX queues (many clients, one draining core at a time) and client
+// mailboxes (several server cores may reply concurrently). Overflowing a
+// ring drops the frame and counts it, as the hardware would.
+type Fabric struct {
+	rx      []*ring.MPMC[Frame]
+	mailbox []*ring.MPMC[Frame]
+	drops   atomic.Uint64
+	closed  atomic.Bool
+
+	mu      sync.Mutex
+	clients int
+}
+
+// Queue capacities: RX rings match the simulator's default; mailboxes are
+// larger because a burst of large-reply fragments lands in one mailbox.
+const (
+	fabricRxCap      = 4096
+	fabricMailboxCap = 65536
+)
+
+// NewFabric returns a fabric with the given number of server RX queues.
+// Clients attach with NewClient.
+func NewFabric(queues int) *Fabric {
+	f := &Fabric{rx: make([]*ring.MPMC[Frame], queues)}
+	for i := range f.rx {
+		f.rx[i] = ring.NewMPMC[Frame](fabricRxCap)
+	}
+	return f
+}
+
+// Drops returns frames lost to ring overflow.
+func (f *Fabric) Drops() uint64 { return f.drops.Load() }
+
+// Server returns the fabric's server-side transport.
+func (f *Fabric) Server() ServerTransport { return (*fabricServer)(f) }
+
+// NewClient attaches a client endpoint.
+func (f *Fabric) NewClient() ClientTransport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.clients
+	f.clients++
+	mb := ring.NewMPMC[Frame](fabricMailboxCap)
+	f.mailbox = append(f.mailbox, mb)
+	return &fabricClient{f: f, id: uint64(id), mb: mb}
+}
+
+type fabricServer Fabric
+
+func (s *fabricServer) Queues() int { return len(s.rx) }
+
+func (s *fabricServer) Recv(q int, out []Frame) int {
+	if s.closed.Load() {
+		return 0
+	}
+	return s.rx[q].DequeueBatch(out)
+}
+
+func (s *fabricServer) Send(_ int, dst Endpoint, data []byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	var mb *ring.MPMC[Frame]
+	if int(dst.ID) < len(s.mailbox) {
+		mb = s.mailbox[dst.ID]
+	}
+	s.mu.Unlock()
+	if mb == nil {
+		return nil // unknown client: silently dropped, like the network
+	}
+	if !mb.Enqueue(Frame{Data: data}) {
+		s.drops.Add(1)
+	}
+	return nil
+}
+
+func (s *fabricServer) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+type fabricClient struct {
+	f  *Fabric
+	id uint64
+	mb *ring.MPMC[Frame]
+}
+
+func (c *fabricClient) Endpoint() Endpoint { return Endpoint{ID: c.id} }
+
+func (c *fabricClient) Send(q int, data []byte) error {
+	if c.f.closed.Load() {
+		return ErrClosed
+	}
+	if q < 0 || q >= len(c.f.rx) {
+		return nil // misdirected frame vanishes, like the network
+	}
+	if !c.f.rx[q].Enqueue(Frame{Src: Endpoint{ID: c.id}, Data: data}) {
+		c.f.drops.Add(1)
+	}
+	return nil
+}
+
+func (c *fabricClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
+	deadline := time.Now().Add(timeout)
+	for spins := 0; ; spins++ {
+		if frame, ok := c.mb.Dequeue(); ok {
+			n := copy(buf, frame.Data)
+			return n, true
+		}
+		if c.f.closed.Load() || time.Now().After(deadline) {
+			return 0, false
+		}
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+func (c *fabricClient) Close() error { return nil }

@@ -1,0 +1,97 @@
+// Package nic provides the multi-queue network substrate the live server
+// and clients run on, substituting for the paper's DPDK + 40 GbE NIC
+// (§4.1, §5.1). Two transports implement the same contract:
+//
+//   - Fabric: an in-process network built on the lock-free rings of
+//     internal/ring. It preserves the properties the design depends on —
+//     per-queue FIFO order, client-selected RX queue, bounded queues that
+//     drop on overflow — with nanosecond-scale delivery, so the examples
+//     and integration tests exercise the real concurrent server without a
+//     network stack.
+//   - UDP: one socket per RX queue on consecutive ports. The client picks
+//     the server queue by destination port, exactly the mechanism the
+//     paper uses to steer packets via RSS on its testbed (§5.1): the
+//     kernel demultiplexes by port as the NIC would by RSS hash.
+//
+// Frames are the wire.Message fragments of internal/wire; neither
+// transport parses them beyond delivery.
+package nic
+
+import (
+	"fmt"
+	"time"
+)
+
+// Endpoint identifies a client for replies. ID is stable and unique per
+// client; Addr carries transport-specific addressing (nil for the
+// in-process fabric).
+type Endpoint struct {
+	ID   uint64
+	Addr any
+}
+
+// Frame is one received packet.
+type Frame struct {
+	Src  Endpoint
+	Data []byte
+}
+
+// ServerTransport is the server side of the multi-queue network: Recv
+// drains an RX queue without blocking; Send transmits a reply frame from
+// the given queue's TX path.
+type ServerTransport interface {
+	// Queues returns the number of RX queues (one per core).
+	Queues() int
+	// Recv fills out with up to len(out) frames from queue q and
+	// returns the count. It never blocks.
+	Recv(q int, out []Frame) int
+	// Send transmits one frame to dst from queue q's TX side.
+	Send(q int, dst Endpoint, data []byte) error
+	// Close releases transport resources; subsequent calls error.
+	Close() error
+}
+
+// ClientTransport is one client thread's connection.
+type ClientTransport interface {
+	// Send transmits one frame to server RX queue q.
+	Send(q int, data []byte) error
+	// Recv waits up to timeout for one reply frame into buf, returning
+	// the frame length and whether one arrived.
+	Recv(buf []byte, timeout time.Duration) (int, bool)
+	// Endpoint returns this client's reply address.
+	Endpoint() Endpoint
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = fmt.Errorf("nic: transport closed")
+
+// RSSQueue maps a flow to an RX queue the way receive-side scaling does:
+// a deterministic hash of the 5-tuple reduced modulo the queue count. The
+// paper's clients search for source ports whose RSS hash lands on the
+// queue they want (§5.1); SourcePortFor automates that search.
+func RSSQueue(srcIP, dstIP uint32, srcPort, dstPort uint16, queues int) int {
+	if queues <= 0 {
+		return 0
+	}
+	h := uint64(srcIP)<<32 | uint64(dstIP)
+	h ^= uint64(srcPort)<<16 | uint64(dstPort)
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return int(h % uint64(queues))
+}
+
+// SourcePortFor returns a source port that RSS-steers the flow to the
+// wanted queue, mirroring the paper's preliminary port-probing experiments
+// ("we ran a set of preliminary experiments to determine to which port to
+// send a packet so that it is received by a specific RX queue").
+func SourcePortFor(srcIP, dstIP uint32, dstPort uint16, queues, wantQueue int) (uint16, bool) {
+	for p := 1024; p < 65536; p++ {
+		if RSSQueue(srcIP, dstIP, uint16(p), dstPort, queues) == wantQueue {
+			return uint16(p), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,160 @@
+package nic
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFabricRoundTrip(t *testing.T) {
+	f := NewFabric(4)
+	srv := f.Server()
+	cli := f.NewClient()
+
+	if err := cli.Send(2, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Frame, 8)
+	if n := srv.Recv(2, out); n != 1 {
+		t.Fatalf("server recv = %d frames, want 1", n)
+	}
+	if string(out[0].Data) != "ping" {
+		t.Fatalf("payload = %q", out[0].Data)
+	}
+	// Other queues see nothing.
+	for q := 0; q < 4; q++ {
+		if q != 2 && srv.Recv(q, out) != 0 {
+			t.Fatalf("queue %d received a frame steered to queue 2", q)
+		}
+	}
+
+	if err := srv.Send(2, out[0].Src, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, ok := cli.Recv(buf, time.Second)
+	if !ok || string(buf[:n]) != "pong" {
+		t.Fatalf("client recv = %q ok=%v", buf[:n], ok)
+	}
+}
+
+func TestFabricMisdirectedAndUnknown(t *testing.T) {
+	f := NewFabric(2)
+	cli := f.NewClient()
+	if err := cli.Send(99, []byte("lost")); err != nil {
+		t.Fatalf("misdirected send should vanish, got %v", err)
+	}
+	if err := f.Server().Send(0, Endpoint{ID: 12345}, []byte("lost")); err != nil {
+		t.Fatalf("send to unknown endpoint should vanish, got %v", err)
+	}
+}
+
+func TestFabricDropsOnOverflow(t *testing.T) {
+	f := NewFabric(1)
+	cli := f.NewClient()
+	for i := 0; i < fabricRxCap+100; i++ {
+		_ = cli.Send(0, []byte("x"))
+	}
+	if f.Drops() == 0 {
+		t.Fatal("expected drops after overfilling the RX ring")
+	}
+}
+
+func TestFabricClosed(t *testing.T) {
+	f := NewFabric(1)
+	cli := f.NewClient()
+	srv := f.Server()
+	_ = srv.Close()
+	if err := cli.Send(0, []byte("x")); err != ErrClosed {
+		t.Fatalf("send on closed fabric = %v, want ErrClosed", err)
+	}
+	buf := make([]byte, 8)
+	if _, ok := cli.Recv(buf, 10*time.Millisecond); ok {
+		t.Fatal("recv on closed fabric should fail")
+	}
+}
+
+func TestRSSQueueDeterministicAndSpread(t *testing.T) {
+	counts := make([]int, 8)
+	for p := 1024; p < 1024+4096; p++ {
+		q := RSSQueue(0x0A000001, 0x0A000002, uint16(p), 7000, 8)
+		if q2 := RSSQueue(0x0A000001, 0x0A000002, uint16(p), 7000, 8); q2 != q {
+			t.Fatal("RSSQueue not deterministic")
+		}
+		counts[q]++
+	}
+	for q, c := range counts {
+		if c < 256 {
+			t.Fatalf("queue %d got %d of 4096 flows: bad spread %v", q, c, counts)
+		}
+	}
+}
+
+func TestSourcePortFor(t *testing.T) {
+	for want := 0; want < 8; want++ {
+		port, ok := SourcePortFor(0x0A000001, 0x0A000002, 7000, 8, want)
+		if !ok {
+			t.Fatalf("no source port found for queue %d", want)
+		}
+		if got := RSSQueue(0x0A000001, 0x0A000002, port, 7000, 8); got != want {
+			t.Fatalf("port %d steers to %d, want %d", port, got, want)
+		}
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	srv, err := NewUDPServer("127.0.0.1", 0, 0) // invalid: zero queues
+	if err == nil {
+		srv.Close()
+	}
+	s, err := NewUDPServer("127.0.0.1", 39100, 2)
+	if err != nil {
+		t.Skipf("cannot bind UDP: %v", err)
+	}
+	defer s.Close()
+	c, err := NewUDPClient("127.0.0.1", 39100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := bytes.Repeat([]byte("u"), 900)
+	if err := c.Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Frame, 4)
+	var n int
+	for range 100 {
+		if n = s.Recv(1, out); n > 0 {
+			break
+		}
+	}
+	if n != 1 || !bytes.Equal(out[0].Data, payload) {
+		t.Fatalf("server recv n=%d", n)
+	}
+	if s.Recv(0, out) != 0 {
+		t.Fatal("frame leaked to the wrong queue")
+	}
+	if err := s.Send(1, out[0].Src, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	rn, ok := c.Recv(buf, time.Second)
+	if !ok || string(buf[:rn]) != "reply" {
+		t.Fatalf("client recv %q ok=%v", buf[:rn], ok)
+	}
+	// Same source must intern to the same endpoint id.
+	if err := c.Send(1, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	out2 := make([]Frame, 4)
+	var n2 int
+	for range 100 {
+		if n2 = s.Recv(1, out2); n2 > 0 {
+			break
+		}
+	}
+	if n2 != 1 || out2[0].Src.ID != out[0].Src.ID {
+		t.Fatalf("endpoint id changed: %d vs %d", out2[0].Src.ID, out[0].Src.ID)
+	}
+}

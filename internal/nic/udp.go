@@ -1,0 +1,143 @@
+package nic
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/minoskv/minos/internal/wire"
+)
+
+// UDPServer binds one UDP socket per RX queue on consecutive ports
+// starting at basePort. The destination port selects the queue — the
+// kernel demultiplexes by port exactly as the paper's NIC steers by RSS
+// hash of the port (§5.1). Each queue's socket doubles as that core's TX
+// path, preserving per-core TX ordering.
+type UDPServer struct {
+	conns []*net.UDPConn
+	// ids interns client addresses to stable endpoint IDs so the
+	// server's reassemblers and accounting can key on uint64; guarded
+	// by mu because every core's RX path interns addresses.
+	mu  sync.Mutex
+	ids map[string]uint64
+}
+
+// NewUDPServer binds queues sockets on host starting at basePort.
+func NewUDPServer(host string, basePort, queues int) (*UDPServer, error) {
+	s := &UDPServer{ids: make(map[string]uint64)}
+	for q := 0; q < queues; q++ {
+		addr := &net.UDPAddr{IP: net.ParseIP(host), Port: basePort + q}
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("nic: binding queue %d on %v: %w", q, addr, err)
+		}
+		s.conns = append(s.conns, conn)
+	}
+	return s, nil
+}
+
+// Queues returns the RX queue count.
+func (s *UDPServer) Queues() int { return len(s.conns) }
+
+// Recv drains up to len(out) datagrams from queue q without blocking
+// beyond a very short poll deadline.
+func (s *UDPServer) Recv(q int, out []Frame) int {
+	conn := s.conns[q]
+	got := 0
+	buf := make([]byte, wire.MTU)
+	for got < len(out) {
+		// A short deadline turns the blocking socket into a poll; the
+		// first read waits briefly (so an idle server does not spin a
+		// CPU), subsequent reads in the batch must be immediate.
+		wait := 50 * time.Microsecond
+		if got > 0 {
+			wait = time.Nanosecond
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(wait))
+		n, addr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			break
+		}
+		out[got] = Frame{Src: s.endpointFor(addr), Data: append([]byte(nil), buf[:n]...)}
+		got++
+	}
+	return got
+}
+
+func (s *UDPServer) endpointFor(addr *net.UDPAddr) Endpoint {
+	key := addr.String()
+	s.mu.Lock()
+	id, ok := s.ids[key]
+	if !ok {
+		id = uint64(len(s.ids) + 1)
+		s.ids[key] = id
+	}
+	s.mu.Unlock()
+	return Endpoint{ID: id, Addr: addr}
+}
+
+// Send transmits one reply frame from queue q's socket.
+func (s *UDPServer) Send(q int, dst Endpoint, data []byte) error {
+	addr, ok := dst.Addr.(*net.UDPAddr)
+	if !ok {
+		return fmt.Errorf("nic: endpoint %d has no UDP address", dst.ID)
+	}
+	_, err := s.conns[q].WriteToUDP(data, addr)
+	return err
+}
+
+// Close closes every socket.
+func (s *UDPServer) Close() error {
+	var first error
+	for _, c := range s.conns {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// UDPClient is one client thread's socket.
+type UDPClient struct {
+	conn     *net.UDPConn
+	host     net.IP
+	basePort int
+}
+
+// NewUDPClient dials toward a UDPServer at host:basePort.
+func NewUDPClient(host string, basePort int) (*UDPClient, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4zero, Port: 0})
+	if err != nil {
+		return nil, fmt.Errorf("nic: client socket: %w", err)
+	}
+	return &UDPClient{conn: conn, host: net.ParseIP(host), basePort: basePort}, nil
+}
+
+// Endpoint returns the client's local address identity.
+func (c *UDPClient) Endpoint() Endpoint {
+	addr := c.conn.LocalAddr().(*net.UDPAddr)
+	return Endpoint{ID: uint64(addr.Port), Addr: addr}
+}
+
+// Send transmits one frame to server queue q (port basePort+q).
+func (c *UDPClient) Send(q int, data []byte) error {
+	_, err := c.conn.WriteToUDP(data, &net.UDPAddr{IP: c.host, Port: c.basePort + q})
+	return err
+}
+
+// Recv waits up to timeout for one reply datagram.
+func (c *UDPClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
+	_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
+	n, _, err := c.conn.ReadFromUDP(buf)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Close closes the socket.
+func (c *UDPClient) Close() error { return c.conn.Close() }

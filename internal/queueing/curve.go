@@ -1,0 +1,47 @@
+package queueing
+
+import (
+	"github.com/minoskv/minos/internal/sim"
+)
+
+// CurvePoint pairs an offered load with the run that measured it.
+type CurvePoint struct {
+	Rho    float64
+	Result Result
+}
+
+// Curve sweeps normalized load for one (model, K) pair, reproducing one
+// line of Figure 2. Points beyond the stability bound saturate and report
+// the correspondingly huge tail latencies, exactly as the paper's curves
+// bend upward; callers that only want stable points can filter with
+// Config.MaxStableRho.
+func Curve(model Model, k, fracLarge float64, rhos []float64, duration, warmup sim.Time, seed int64) ([]CurvePoint, error) {
+	points := make([]CurvePoint, 0, len(rhos))
+	for i, rho := range rhos {
+		res, err := Run(Config{
+			Model:     model,
+			FracLarge: fracLarge,
+			K:         k,
+			Rho:       rho,
+			Duration:  duration,
+			Warmup:    warmup,
+			Seed:      seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, CurvePoint{Rho: rho, Result: res})
+	}
+	return points, nil
+}
+
+// DefaultRhos returns the load grid used by the Figure 2 reproduction.
+func DefaultRhos() []float64 {
+	return []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// PaperKs returns the large-request service multipliers of Figure 2.
+func PaperKs() []float64 { return []float64{1, 10, 100, 1000} }
+
+// PaperFracLarge is the large-request fraction of §2.2 (0.125%).
+const PaperFracLarge = 0.00125

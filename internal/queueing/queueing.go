@@ -1,0 +1,338 @@
+// Package queueing implements the abstract queueing simulations of §2.2
+// (Figure 2): three size-unaware request-dispatch disciplines on an n-core
+// server under a bimodal service-time distribution, showing how a tiny
+// fraction of large requests inflates the 99th-percentile response time.
+//
+//   - NxMG1: requests are bound to a uniformly random core on arrival
+//     (early binding; the keyhash dispatch of MICA's EREW mode).
+//   - MGn: one shared queue, requests bound to a core when it becomes idle
+//     (late binding; RAMCloud-style).
+//   - NxMG1Steal: NxMG1 plus work stealing — an idle core takes the
+//     head-of-queue request from another core (ZygOS-style).
+//
+// Per the paper, the simulation is idealized: dispatch, synchronization and
+// stealing are free, and there are no locality effects. Its purpose is to
+// isolate head-of-line blocking, not to predict absolute performance of
+// real systems (that is what internal/simsys does).
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/stats"
+)
+
+// Model selects the dispatch discipline.
+type Model int
+
+// The three disciplines of Figure 2.
+const (
+	NxMG1 Model = iota
+	MGn
+	NxMG1Steal
+)
+
+// String returns the paper's name for the model.
+func (m Model) String() string {
+	switch m {
+	case NxMG1:
+		return "nxM/G/1"
+	case MGn:
+		return "M/G/n"
+	case NxMG1Steal:
+		return "nxM/G/1+WS"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Config parameterizes one simulation run. The service-time unit is one
+// small-request service time, mapped to 1 µs of virtual time.
+type Config struct {
+	Model Model
+
+	// Cores is n (the paper's platform has 8).
+	Cores int
+
+	// FracLarge is the fraction of requests that are large
+	// (paper: 0.00125, i.e. 0.125%).
+	FracLarge float64
+
+	// K is the service time of a large request in units of a small one
+	// (paper: 1, 10, 100, 1000).
+	K float64
+
+	// Rho is the offered load normalized to the maximum throughput with
+	// K = 1, i.e. the arrival rate is Rho × Cores requests per unit.
+	Rho float64
+
+	// Duration and Warmup bound the measured window: latencies of
+	// requests arriving before Warmup or after Duration are discarded.
+	Duration, Warmup sim.Time
+
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// Unit is the virtual duration of one small-request service time.
+const Unit = sim.Microsecond
+
+func (c *Config) setDefaults() {
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.K == 0 {
+		c.K = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * sim.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Duration / 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Validate reports nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("queueing: Cores = %d, need >= 1", c.Cores)
+	case c.FracLarge < 0 || c.FracLarge > 1:
+		return fmt.Errorf("queueing: FracLarge = %g, need in [0, 1]", c.FracLarge)
+	case c.K < 1:
+		return fmt.Errorf("queueing: K = %g, need >= 1", c.K)
+	case c.Rho <= 0:
+		return fmt.Errorf("queueing: Rho = %g, need > 0", c.Rho)
+	case c.Warmup >= c.Duration:
+		return fmt.Errorf("queueing: Warmup %d >= Duration %d", c.Warmup, c.Duration)
+	}
+	return nil
+}
+
+// Result summarizes one run. Latencies are sojourn times (wait + service)
+// in small-service units.
+type Result struct {
+	Config    Config
+	Completed uint64
+	// Mean, P50, P99, P999 and Max are response-time statistics in
+	// small-service units.
+	Mean, P50, P99, P999, Max float64
+	// MeanService is E[S] in units, for capacity sanity checks.
+	MeanService float64
+	// AchievedRho is completed work divided by capacity over the
+	// measured window; it trails Rho when the system is saturated.
+	AchievedRho float64
+}
+
+// MaxStableRho returns the largest normalized load the configuration can
+// sustain: Rho × E[S] < 1.
+func (c Config) MaxStableRho() float64 {
+	es := 1 + c.FracLarge*(c.K-1)
+	return 1 / es
+}
+
+// job is one request flowing through the simulated server.
+type job struct {
+	arrive  sim.Time
+	service sim.Time
+}
+
+// fifo is a slice-backed FIFO with O(1) amortized push/pop.
+type fifo struct {
+	buf  []job
+	head int
+}
+
+func (q *fifo) push(j job) { q.buf = append(q.buf, j) }
+
+func (q *fifo) pop() (job, bool) {
+	if q.head >= len(q.buf) {
+		return job{}, false
+	}
+	j := q.buf[q.head]
+	q.head++
+	// Compact once the dead prefix dominates, keeping memory bounded.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return j, true
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+// system is the simulation state shared by all three models.
+type system struct {
+	cfg     Config
+	eng     *sim.Engine
+	rng     interface{ Float64() float64 }
+	gap     float64 // mean inter-arrival time in ns
+	queues  []fifo  // per-core (NxMG1 variants) or queues[0] (MGn)
+	busy    []bool
+	current []job // job in service per core, for latency on completion
+	lat     *stats.Histogram
+	done    uint64
+	busyNS  int64
+	endAt   sim.Time
+}
+
+// Event arguments: arrival uses arg = -1; completion uses arg = core index.
+const argArrival = -1
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (Result, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	eng := &sim.Engine{}
+	rng := sim.Stream(cfg.Seed, 0)
+	s := &system{
+		cfg:     cfg,
+		eng:     eng,
+		rng:     rng,
+		gap:     float64(Unit) / (cfg.Rho * float64(cfg.Cores)),
+		busy:    make([]bool, cfg.Cores),
+		current: make([]job, cfg.Cores),
+		lat:     stats.NewLatencyHistogram(),
+		endAt:   cfg.Duration,
+	}
+	if cfg.Model == MGn {
+		s.queues = make([]fifo, 1)
+	} else {
+		s.queues = make([]fifo, cfg.Cores)
+	}
+	// Prime the arrival process and run. Completions scheduled before
+	// endAt may land after it; RunUntil past the horizon drains them so
+	// in-flight work finishes, then measurement stops at endAt anyway.
+	eng.After(s.nextGap(), s, argArrival, nil)
+	eng.RunUntil(cfg.Duration + sim.Second*1000)
+
+	res := Result{
+		Config:      cfg,
+		Completed:   s.done,
+		Mean:        float64(s.lat.Mean()) / float64(Unit),
+		P50:         float64(s.lat.P50()) / float64(Unit),
+		P99:         float64(s.lat.P99()) / float64(Unit),
+		P999:        float64(s.lat.Quantile(0.999)) / float64(Unit),
+		Max:         float64(s.lat.Max()) / float64(Unit),
+		MeanService: 1 + cfg.FracLarge*(cfg.K-1),
+	}
+	window := float64(cfg.Duration - cfg.Warmup)
+	res.AchievedRho = float64(s.busyNS) / (window * float64(cfg.Cores))
+	return res, nil
+}
+
+// nextGap draws an exponential inter-arrival time in ns.
+func (s *system) nextGap() sim.Time {
+	u := s.rng.Float64()
+	for u <= 0 {
+		u = s.rng.Float64()
+	}
+	return sim.Time(math.Round(-math.Log(u) * s.gap))
+}
+
+// drawService draws the bimodal service time.
+func (s *system) drawService() sim.Time {
+	if s.cfg.FracLarge > 0 && s.rng.Float64() < s.cfg.FracLarge {
+		return sim.Time(math.Round(s.cfg.K * float64(Unit)))
+	}
+	return Unit
+}
+
+// Handle dispatches arrival and completion events.
+func (s *system) Handle(e *sim.Engine, arg int64, _ any) {
+	if arg == argArrival {
+		s.arrive(e)
+		return
+	}
+	s.complete(e, int(arg))
+}
+
+func (s *system) arrive(e *sim.Engine) {
+	now := e.Now()
+	if now < s.endAt {
+		// Keep the arrival process going only inside the horizon.
+		e.After(s.nextGap(), s, argArrival, nil)
+	} else {
+		return
+	}
+	j := job{arrive: now, service: s.drawService()}
+	switch s.cfg.Model {
+	case MGn:
+		// Late binding: any idle core takes the job immediately.
+		for c := range s.busy {
+			if !s.busy[c] {
+				s.start(e, c, j)
+				return
+			}
+		}
+		s.queues[0].push(j)
+	default:
+		// Early binding to a uniformly random core (keyhash dispatch).
+		c := int(s.rng.Float64() * float64(s.cfg.Cores))
+		if c >= s.cfg.Cores {
+			c = s.cfg.Cores - 1
+		}
+		if !s.busy[c] {
+			s.start(e, c, j)
+			return
+		}
+		s.queues[c].push(j)
+	}
+}
+
+// start puts job j in service on core c.
+func (s *system) start(e *sim.Engine, c int, j job) {
+	s.busy[c] = true
+	s.current[c] = j
+	e.After(j.service, s, int64(c), nil)
+}
+
+func (s *system) complete(e *sim.Engine, c int) {
+	now := e.Now()
+	j := s.current[c]
+	// Latency is sampled by arrival window (the open-system view: every
+	// request sent during the window counts, however late it finishes).
+	if j.arrive >= s.cfg.Warmup && j.arrive < s.endAt {
+		s.lat.Record(now - j.arrive)
+	}
+	// Throughput and utilization are sampled by completion window.
+	if now >= s.cfg.Warmup && now < s.endAt {
+		s.done++
+		s.busyNS += int64(j.service)
+	}
+	// Take the next job: own queue first, then steal if the model
+	// allows.
+	var src *fifo
+	switch s.cfg.Model {
+	case MGn:
+		src = &s.queues[0]
+	default:
+		src = &s.queues[c]
+	}
+	if next, ok := src.pop(); ok {
+		s.start(e, c, next)
+		return
+	}
+	if s.cfg.Model == NxMG1Steal {
+		// Steal the oldest waiting request from the first non-empty
+		// peer queue, scanning round-robin from our right neighbour.
+		// Stealing one at a time avoids re-introducing head-of-line
+		// blocking inside a stolen batch (§5.2).
+		for i := 1; i < s.cfg.Cores; i++ {
+			victim := (c + i) % s.cfg.Cores
+			if next, ok := s.queues[victim].pop(); ok {
+				s.start(e, c, next)
+				return
+			}
+		}
+	}
+	s.busy[c] = false
+}

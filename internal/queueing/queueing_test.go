@@ -1,0 +1,194 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"github.com/minoskv/minos/internal/sim"
+)
+
+// testDur keeps unit-test runs short while collecting enough samples for
+// stable 99th percentiles (hundreds of thousands of jobs per run).
+const (
+	testDur  = 400 * sim.Millisecond
+	testWarm = 40 * sim.Millisecond
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	cfg.Duration = testDur
+	cfg.Warmup = testWarm
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", cfg, err)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("Run(%+v): no completions", cfg)
+	}
+	return res
+}
+
+// TestMD1MeanWait checks the simulator against M/D/1 theory: with one core
+// and deterministic unit service, the mean waiting time is
+// rho/(2(1-rho)) service units.
+func TestMD1MeanWait(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.5, 0.7} {
+		res := run(t, Config{Model: NxMG1, Cores: 1, K: 1, Rho: rho, Seed: 42})
+		wantSojourn := 1 + rho/(2*(1-rho))
+		if rel := math.Abs(res.Mean-wantSojourn) / wantSojourn; rel > 0.05 {
+			t.Errorf("rho=%.1f: mean sojourn = %.3f, M/D/1 theory %.3f (rel err %.1f%%)",
+				rho, res.Mean, wantSojourn, rel*100)
+		}
+	}
+}
+
+// TestKOneModelsAgree: with no large requests all three disciplines face
+// the same workload; late binding must be at least as good as early
+// binding, and all should be within a small factor at moderate load.
+func TestKOneModelsAgree(t *testing.T) {
+	base := Config{Cores: 8, K: 1, Rho: 0.5, Seed: 7}
+	var p99 [3]float64
+	for m := NxMG1; m <= NxMG1Steal; m++ {
+		cfg := base
+		cfg.Model = m
+		p99[m] = run(t, cfg).P99
+	}
+	if p99[MGn] > p99[NxMG1] {
+		t.Errorf("M/G/n p99 %.2f > nxM/G/1 p99 %.2f at K=1: late binding should not lose", p99[MGn], p99[NxMG1])
+	}
+	if p99[NxMG1Steal] > p99[NxMG1] {
+		t.Errorf("stealing p99 %.2f > plain p99 %.2f at K=1", p99[NxMG1Steal], p99[NxMG1])
+	}
+}
+
+// TestHeadOfLineBlocking is the paper's core claim (§2.2): 0.125% of
+// requests at K=1000 inflate the 99th percentile of nxM/G/1 by orders of
+// magnitude even at low load.
+func TestHeadOfLineBlocking(t *testing.T) {
+	at := func(k float64) float64 {
+		return run(t, Config{Model: NxMG1, Cores: 8, FracLarge: PaperFracLarge, K: k, Rho: 0.2, Seed: 3}).P99
+	}
+	base := at(1)
+	inflated := at(1000)
+	if inflated < 20*base {
+		t.Errorf("K=1000 p99 = %.1f, K=1 p99 = %.1f: want >= 20x inflation from HOL blocking", inflated, base)
+	}
+}
+
+// TestLateBindingResists: at low load M/G/n absorbs large requests far
+// better than nxM/G/1 (Figure 2b vs 2a).
+func TestLateBindingResists(t *testing.T) {
+	cfg := Config{Cores: 8, FracLarge: PaperFracLarge, K: 100, Rho: 0.3, Seed: 5}
+	cfg.Model = NxMG1
+	early := run(t, cfg).P99
+	cfg.Model = MGn
+	late := run(t, cfg).P99
+	if late >= early {
+		t.Errorf("M/G/n p99 %.1f >= nxM/G/1 p99 %.1f at rho=0.3, K=100: late binding should win", late, early)
+	}
+}
+
+// TestStealingHelpsAtLowLoad: stealing recovers much of the HOL damage at
+// low load (Figure 2c), sitting between plain nxM/G/1 and M/G/n.
+func TestStealingHelpsAtLowLoad(t *testing.T) {
+	cfg := Config{Cores: 8, FracLarge: PaperFracLarge, K: 1000, Rho: 0.3, Seed: 11}
+	cfg.Model = NxMG1
+	plain := run(t, cfg).P99
+	cfg.Model = NxMG1Steal
+	steal := run(t, cfg).P99
+	if steal >= plain {
+		t.Errorf("stealing p99 %.1f >= plain p99 %.1f at rho=0.3, K=1000", steal, plain)
+	}
+}
+
+// TestStealingDegradesAtHighLoad: as load grows idle cores become rare and
+// stealing's advantage over plain keyhash sharding shrinks — the reason
+// Minos does not rely on stealing (§2.2). We check the ratio
+// p99(steal)/p99(plain) grows from low to high load.
+func TestStealingDegradesAtHighLoad(t *testing.T) {
+	ratio := func(rho float64) float64 {
+		cfg := Config{Cores: 8, FracLarge: PaperFracLarge, K: 100, Rho: rho, Seed: 13}
+		cfg.Model = NxMG1
+		plain := run(t, cfg).P99
+		cfg.Model = NxMG1Steal
+		steal := run(t, cfg).P99
+		return steal / plain
+	}
+	low, high := ratio(0.2), ratio(0.75)
+	if high <= low {
+		t.Errorf("steal/plain p99 ratio: low load %.3f, high load %.3f; want advantage to erode with load", low, high)
+	}
+}
+
+func TestMaxStableRho(t *testing.T) {
+	c := Config{FracLarge: 0.00125, K: 1000}
+	want := 1 / (1 + 0.00125*999)
+	if got := c.MaxStableRho(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MaxStableRho = %v, want %v", got, want)
+	}
+	c.K = 1
+	if got := c.MaxStableRho(); got != 1 {
+		t.Fatalf("MaxStableRho at K=1 = %v, want 1", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Model: NxMG1Steal, Cores: 4, FracLarge: 0.01, K: 50, Rho: 0.6,
+		Duration: 100 * sim.Millisecond, Warmup: 10 * sim.Millisecond, Seed: 99}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P99 != b.P99 || a.Completed != b.Completed || a.Mean != b.Mean {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Cores: -1, Rho: 0.5, K: 1},
+		{Cores: 8, Rho: 0, K: 1},
+		{Cores: 8, Rho: 0.5, K: 0.5},
+		{Cores: 8, Rho: 0.5, K: 1, FracLarge: 1.5},
+	}
+	for i, cfg := range bad {
+		if cfg.Duration == 0 {
+			cfg.Duration = sim.Second
+		}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+}
+
+func TestThroughputTracksOfferedLoad(t *testing.T) {
+	// Below saturation, completions per unit time must match arrivals.
+	res := run(t, Config{Model: MGn, Cores: 8, FracLarge: PaperFracLarge, K: 100, Rho: 0.5, Seed: 21})
+	window := float64(testDur - testWarm)
+	gotRate := float64(res.Completed) / window * float64(Unit) // jobs per unit time
+	wantRate := 0.5 * 8
+	if rel := math.Abs(gotRate-wantRate) / wantRate; rel > 0.05 {
+		t.Errorf("throughput = %.2f jobs/unit, want %.2f (rel err %.1f%%)", gotRate, wantRate, rel*100)
+	}
+	if res.AchievedRho > 0.6 || res.AchievedRho < 0.4 {
+		t.Errorf("AchievedRho = %.3f, want about 0.5", res.AchievedRho)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	points, err := Curve(NxMG1, 10, PaperFracLarge, []float64{0.2, 0.5},
+		100*sim.Millisecond, 10*sim.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	if points[1].Result.P99 < points[0].Result.P99 {
+		t.Errorf("p99 decreased with load: %.2f -> %.2f", points[0].Result.P99, points[1].Result.P99)
+	}
+}

@@ -1,0 +1,117 @@
+package ring
+
+import (
+	"sync/atomic"
+)
+
+// mpmcSlot pairs an element with its sequence number. The sequence encodes
+// slot state: seq == pos means free for the producer claiming position pos;
+// seq == pos+1 means filled and readable by the consumer claiming pos.
+type mpmcSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// MPMC is a bounded multi-producer/multi-consumer FIFO ring after Dmitry
+// Vyukov's bounded MPMC queue: producers and consumers claim positions with
+// a CAS on separate cursors and then synchronize per slot through sequence
+// numbers, so a stalled producer never blocks consumers of other slots.
+//
+// Minos uses it for the software queues through which small cores hand
+// large requests to large cores ("DPDK-provided lockless software rings",
+// §4.1) and for the stealable queues of the HKH+WS design.
+type MPMC[T any] struct {
+	mask  uint64
+	slots []mpmcSlot[T]
+	_     cacheLinePad
+	enq   atomic.Uint64
+	_     cacheLinePad
+	deq   atomic.Uint64
+	_     cacheLinePad
+}
+
+// NewMPMC returns an MPMC ring with capacity rounded up to a power of two
+// (minimum 2).
+func NewMPMC[T any](capacity int) *MPMC[T] {
+	n := ceilPow2(capacity)
+	q := &MPMC[T]{mask: uint64(n - 1), slots: make([]mpmcSlot[T], n)}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Enqueue appends v; it reports false if the ring is full.
+func (q *MPMC[T]) Enqueue(v T) bool {
+	pos := q.enq.Load()
+	for {
+		slot := &q.slots[pos&q.mask]
+		seq := slot.seq.Load()
+		diff := int64(seq) - int64(pos)
+		switch {
+		case diff == 0:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				slot.val = v
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enq.Load()
+		case diff < 0:
+			return false // slot still holds an unconsumed element: full
+		default:
+			pos = q.enq.Load()
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest element; ok is false when empty.
+func (q *MPMC[T]) Dequeue() (v T, ok bool) {
+	pos := q.deq.Load()
+	for {
+		slot := &q.slots[pos&q.mask]
+		seq := slot.seq.Load()
+		diff := int64(seq) - int64(pos+1)
+		switch {
+		case diff == 0:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				v = slot.val
+				var zero T
+				slot.val = zero
+				slot.seq.Store(pos + q.mask + 1)
+				return v, true
+			}
+			pos = q.deq.Load()
+		case diff < 0:
+			return v, false // slot not yet produced: empty
+		default:
+			pos = q.deq.Load()
+		}
+	}
+}
+
+// DequeueBatch fills out with up to len(out) elements and returns the count.
+func (q *MPMC[T]) DequeueBatch(out []T) int {
+	for i := range out {
+		v, ok := q.Dequeue()
+		if !ok {
+			return i
+		}
+		out[i] = v
+	}
+	return len(out)
+}
+
+// Len returns an instantaneous (racy) element count.
+func (q *MPMC[T]) Len() int {
+	n := int64(q.enq.Load()) - int64(q.deq.Load())
+	if n < 0 {
+		return 0
+	}
+	if n > int64(q.mask+1) {
+		return int(q.mask + 1)
+	}
+	return int(n)
+}
+
+// Cap returns the ring capacity.
+func (q *MPMC[T]) Cap() int { return int(q.mask + 1) }

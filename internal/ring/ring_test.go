@@ -1,0 +1,381 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{-1: 2, 0: 2, 1: 2, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSPSCFIFO(t *testing.T) {
+	r := NewSPSC[int](8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 8; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("Enqueue(%d) failed on non-full ring", i)
+		}
+	}
+	if r.Enqueue(99) {
+		t.Fatal("Enqueue succeeded on full ring")
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("Dequeue succeeded on empty ring")
+	}
+}
+
+func TestSPSCBatch(t *testing.T) {
+	r := NewSPSC[int](8)
+	n := r.EnqueueBatch([]int{1, 2, 3, 4, 5})
+	if n != 5 {
+		t.Fatalf("EnqueueBatch = %d, want 5", n)
+	}
+	n = r.EnqueueBatch([]int{6, 7, 8, 9, 10})
+	if n != 3 {
+		t.Fatalf("EnqueueBatch on nearly-full = %d, want 3", n)
+	}
+	out := make([]int, 16)
+	n = r.DequeueBatch(out)
+	if n != 8 {
+		t.Fatalf("DequeueBatch = %d, want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i+1)
+		}
+	}
+	if n = r.DequeueBatch(out); n != 0 {
+		t.Fatalf("DequeueBatch on empty = %d, want 0", n)
+	}
+}
+
+func TestSPSCConcurrentNoLossNoDup(t *testing.T) {
+	r := NewSPSC[int](64)
+	const total = 200_000
+	seen := make([]bool, total)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if r.Enqueue(i) {
+				i++
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		prev := -1
+		for n := 0; n < total; {
+			if v, ok := r.Dequeue(); ok {
+				if v <= prev {
+					t.Errorf("out of order: %d after %d", v, prev)
+					return
+				}
+				if seen[v] {
+					t.Errorf("duplicate %d", v)
+					return
+				}
+				seen[v] = true
+				prev = v
+				n++
+			}
+		}
+	}()
+	wg.Wait()
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("lost element %d", i)
+		}
+	}
+}
+
+func TestMPMCBasic(t *testing.T) {
+	q := NewMPMC[string](4)
+	if q.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", q.Cap())
+	}
+	for _, s := range []string{"a", "b", "c", "d"} {
+		if !q.Enqueue(s) {
+			t.Fatalf("Enqueue(%q) failed", s)
+		}
+	}
+	if q.Enqueue("e") {
+		t.Fatal("Enqueue succeeded on full ring")
+	}
+	for _, want := range []string{"a", "b", "c", "d"} {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = %q,%v, want %q", v, ok, want)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue succeeded on empty ring")
+	}
+}
+
+func TestMPMCWrapAround(t *testing.T) {
+	q := NewMPMC[int](4)
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Enqueue(round*3 + i) {
+				t.Fatalf("round %d: enqueue failed", round)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != round*3+i {
+				t.Fatalf("round %d: dequeue = %d,%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestMPMCConcurrentProducersSingleConsumer(t *testing.T) {
+	// The Minos software-queue pattern: several small cores produce, one
+	// large core consumes. Verify no loss, no duplication.
+	q := NewMPMC[int](128)
+	const producers = 4
+	const perProducer = 50_000
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for !q.Enqueue(v) {
+				}
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*perProducer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lastPer := make([]int, producers) // per-producer FIFO check
+		for i := range lastPer {
+			lastPer[i] = -1
+		}
+		for n := 0; n < producers*perProducer; {
+			v, ok := q.Dequeue()
+			if !ok {
+				continue
+			}
+			if seen[v] {
+				t.Errorf("duplicate %d", v)
+				return
+			}
+			seen[v] = true
+			p := v / perProducer
+			if v%perProducer <= lastPer[p] {
+				t.Errorf("producer %d out of order: %d after %d", p, v%perProducer, lastPer[p])
+				return
+			}
+			lastPer[p] = v % perProducer
+			n++
+		}
+	}()
+	wg.Wait()
+	<-done
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("lost element %d", i)
+		}
+	}
+}
+
+func TestMPMCConcurrentConsumers(t *testing.T) {
+	q := NewMPMC[int](64)
+	const total = 100_000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if q.Enqueue(i) {
+				i++
+			}
+		}
+	}()
+	var mu sync.Mutex
+	seen := make([]bool, total)
+	var consumed int
+	var cwg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				mu.Lock()
+				if consumed >= total {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				if v, ok := q.Dequeue(); ok {
+					mu.Lock()
+					if seen[v] {
+						t.Errorf("duplicate %d", v)
+						mu.Unlock()
+						return
+					}
+					seen[v] = true
+					consumed++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("lost element %d", i)
+		}
+	}
+}
+
+func TestMPMCDequeueBatch(t *testing.T) {
+	q := NewMPMC[int](16)
+	for i := 0; i < 10; i++ {
+		q.Enqueue(i)
+	}
+	out := make([]int, 4)
+	if n := q.DequeueBatch(out); n != 4 {
+		t.Fatalf("DequeueBatch = %d, want 4", n)
+	}
+	out2 := make([]int, 16)
+	if n := q.DequeueBatch(out2); n != 6 {
+		t.Fatalf("DequeueBatch = %d, want 6", n)
+	}
+}
+
+// Property: any single-threaded interleaving of enqueues and dequeues
+// behaves exactly like a bounded slice-backed queue (model checking).
+func TestSPSCMatchesModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewSPSC[int](8)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				got := r.Enqueue(next)
+				want := len(model) < r.Cap()
+				if got != want {
+					return false
+				}
+				if want {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				got, ok := r.Dequeue()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if got != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the MPMC ring matches the same model single-threaded.
+func TestMPMCMatchesModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewMPMC[int](8)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				got := q.Enqueue(next)
+				want := len(model) < q.Cap()
+				if got != want {
+					return false
+				}
+				if want {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				got, ok := q.Dequeue()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if got != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSPSCEnqueueDequeue(b *testing.B) {
+	r := NewSPSC[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(i)
+		r.Dequeue()
+	}
+}
+
+func BenchmarkMPMCEnqueueDequeue(b *testing.B) {
+	q := NewMPMC[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i)
+		q.Dequeue()
+	}
+}
+
+func BenchmarkMPMCContended(b *testing.B) {
+	q := NewMPMC[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%2 == 0 {
+				q.Enqueue(i)
+			} else {
+				q.Dequeue()
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,118 @@
+// Package ring provides bounded lock-free FIFO rings, the in-process
+// substitute for the DPDK rte_ring library Minos uses to dispatch large
+// requests from small cores to large cores and to model NIC RX/TX queues
+// (§4.1). Two variants are provided:
+//
+//   - SPSC: single-producer/single-consumer, wait-free on both sides. Used
+//     for per-queue NIC RX/TX paths, which have exactly one writer (the
+//     steering NIC) and one reader (the owning core).
+//   - MPMC: multi-producer/multi-consumer (Vyukov bounded queue). Used for
+//     the software queues of large cores, where any small core may be the
+//     producer, and for work-stealing designs where any core may consume.
+//
+// Both are bounded: Enqueue reports failure when full instead of blocking,
+// matching hardware queue semantics — callers decide whether a full queue
+// means drop (NIC) or retry (software handoff).
+package ring
+
+import "sync/atomic"
+
+// cacheLinePad separates hot fields onto distinct cache lines to avoid
+// false sharing between producer and consumer.
+type cacheLinePad struct{ _ [64]byte } //nolint:unused // padding by design
+
+// SPSC is a bounded single-producer/single-consumer FIFO ring. Exactly one
+// goroutine may call Enqueue* and exactly one may call Dequeue*; Len and
+// Cap are safe anywhere. The zero value is not usable; use NewSPSC.
+type SPSC[T any] struct {
+	mask uint64
+	buf  []T
+	_    cacheLinePad
+	head atomic.Uint64 // next slot to dequeue
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot to enqueue
+	_    cacheLinePad
+}
+
+// NewSPSC returns an SPSC ring with capacity rounded up to a power of two
+// (minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := ceilPow2(capacity)
+	return &SPSC[T]{mask: uint64(n - 1), buf: make([]T, n)}
+}
+
+func ceilPow2(n int) int {
+	if n < 2 {
+		return 2
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Enqueue appends v; it reports false if the ring is full.
+func (r *SPSC[T]) Enqueue(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() > r.mask {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Dequeue removes and returns the oldest element; ok is false when empty.
+func (r *SPSC[T]) Dequeue() (v T, ok bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return v, false
+	}
+	v = r.buf[head&r.mask]
+	var zero T
+	r.buf[head&r.mask] = zero // release references for the GC
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// EnqueueBatch appends as many of vs as fit and returns how many were
+// enqueued. Batching amortizes the atomic store, mirroring DPDK bulk ops.
+func (r *SPSC[T]) EnqueueBatch(vs []T) int {
+	tail := r.tail.Load()
+	free := int(r.mask + 1 - (tail - r.head.Load()))
+	n := len(vs)
+	if n > free {
+		n = free
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(tail+uint64(i))&r.mask] = vs[i]
+	}
+	r.tail.Store(tail + uint64(n))
+	return n
+}
+
+// DequeueBatch fills out with up to len(out) elements and returns the count.
+func (r *SPSC[T]) DequeueBatch(out []T) int {
+	head := r.head.Load()
+	avail := int(r.tail.Load() - head)
+	n := len(out)
+	if n > avail {
+		n = avail
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		idx := (head + uint64(i)) & r.mask
+		out[i] = r.buf[idx]
+		r.buf[idx] = zero
+	}
+	r.head.Store(head + uint64(n))
+	return n
+}
+
+// Len returns the number of queued elements (racy but monotonic-consistent
+// for the owning endpoints).
+func (r *SPSC[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Cap returns the ring capacity.
+func (r *SPSC[T]) Cap() int { return int(r.mask + 1) }

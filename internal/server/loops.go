@@ -1,0 +1,319 @@
+package server
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/minoskv/minos/internal/core"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/wire"
+)
+
+// coreLoop is one polling core. The loop structure mirrors the paper's
+// run-to-completion processing: drain the software queue, then the RX
+// queues the design assigns to this core, then yield briefly if nothing
+// was found (the paper's cores spin; on shared hardware we must yield).
+func (s *Server) coreLoop(c *coreState) {
+	defer s.wg.Done()
+	frames := make([]nic.Frame, s.cfg.Batch)
+	idleSpins := 0
+	for !s.stopped() {
+		did := s.drainSwq(c)
+		did += s.drainRx(c, frames)
+		if did == 0 {
+			idleSpins++
+			if idleSpins < 32 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+		} else {
+			idleSpins = 0
+		}
+	}
+}
+
+// drainSwq serves queued software work: complete messages, and — on Minos
+// large cores — raw fragments fed to this core's reassembler. SHO handoff
+// cores skip it: their ring is an output consumed by workers.
+func (s *Server) drainSwq(c *coreState) int {
+	if s.cfg.Design == SHO && c.id < s.cfg.HandoffCores {
+		return 0
+	}
+	did := 0
+	for i := 0; i < s.cfg.Batch; i++ {
+		w, ok := c.swq.Dequeue()
+		if !ok {
+			break
+		}
+		did++
+		switch {
+		case w.msg != nil:
+			s.serve(c, w.src, w.msg)
+		case w.frag != nil:
+			msg, err := c.reasm.Add(w.src.ID, w.frag)
+			if err != nil {
+				s.badFrame.Add(1)
+				continue
+			}
+			c.pkts.Add(1)
+			if msg != nil {
+				s.serve(c, w.src, msg)
+			}
+		}
+	}
+	return did
+}
+
+// drainRx reads RX queues according to the design's policy.
+func (s *Server) drainRx(c *coreState, frames []nic.Frame) int {
+	switch s.cfg.Design {
+	case Minos:
+		return s.drainMinos(c, frames)
+	case HKH:
+		return s.processBatch(c, frames[:s.tr.Recv(c.id, frames)])
+	case HKHWS:
+		return s.drainWS(c, frames)
+	case SHO:
+		return s.drainSHO(c, frames)
+	}
+	return 0
+}
+
+// drainMinos: small cores read B from their own queue and B/ns from each
+// large core's queue (§3); pure large cores never touch RX queues.
+func (s *Server) drainMinos(c *coreState, frames []nic.Frame) int {
+	plan := s.plan.Load()
+	if !plan.IsSmallCore(c.id) {
+		return 0
+	}
+	did := s.processBatch(c, frames[:s.tr.Recv(c.id, frames)])
+	if plan.Standby {
+		return did
+	}
+	quota := (s.cfg.Batch + plan.NumSmall - 1) / plan.NumSmall
+	for i := 0; i < plan.NumLarge; i++ {
+		q := plan.LargeCoreID(i)
+		did += s.processBatch(c, frames[:s.tr.Recv(q, frames[:quota])])
+	}
+	return did
+}
+
+// drainWS: move the own RX queue into the stealable software queue (the
+// serving happens in drainSwq); once both are empty, steal one queued
+// request from a peer's software queue (ZygOS-style; see DESIGN.md for the
+// live-path simplification of packet stealing).
+func (s *Server) drainWS(c *coreState, frames []nic.Frame) int {
+	if did := s.processBatch(c, frames[:s.tr.Recv(c.id, frames)]); did > 0 {
+		return did
+	}
+	if c.swq.Len() > 0 {
+		return 0 // own queued work next loop; no stealing while busy
+	}
+	n := len(s.cores)
+	for i := 1; i < n; i++ {
+		victim := &s.cores[(c.id+i)%n]
+		if w, ok := victim.swq.Dequeue(); ok && w.msg != nil {
+			s.serve(c, w.src, w.msg)
+			return 1
+		}
+	}
+	return 0
+}
+
+// drainSHO: handoff cores reassemble their RX queues and deposit complete
+// requests on their handoff ring; workers pull one request at a time
+// (§5.2). Worker pulls happen in drainSwq via the shared rings, so here a
+// worker scans the handoff queues round-robin.
+func (s *Server) drainSHO(c *coreState, frames []nic.Frame) int {
+	h := s.cfg.HandoffCores
+	if c.id < h {
+		n := s.tr.Recv(c.id, frames)
+		did := 0
+		for _, fr := range frames[:n] {
+			c.pkts.Add(1)
+			msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+			if err != nil {
+				s.badFrame.Add(1)
+				continue
+			}
+			if msg == nil {
+				continue
+			}
+			if !c.swq.Enqueue(work{src: fr.Src, msg: msg}) {
+				s.swDrops.Add(1)
+			}
+			did++
+		}
+		return did
+	}
+	// Worker: pull one request from the handoff queues.
+	for i := 0; i < h; i++ {
+		if w, ok := s.cores[(c.id+i)%h].swq.Dequeue(); ok && w.msg != nil {
+			s.serve(c, w.src, w.msg)
+			return 1
+		}
+	}
+	return 0
+}
+
+// processBatch handles freshly drained frames on a (small) core.
+func (s *Server) processBatch(c *coreState, frames []nic.Frame) int {
+	for i := range frames {
+		s.processFrame(c, &frames[i])
+	}
+	return len(frames)
+}
+
+// processFrame classifies one frame: small work is completed in place;
+// large work is routed to the owning large core (§3). Fragmented PUTs are
+// routed fragment-by-fragment using the size carried in every header, so a
+// single large core sees the whole message.
+func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
+	c.pkts.Add(1)
+	h, _, err := wire.DecodeHeader(fr.Data)
+	if err != nil {
+		s.badFrame.Add(1)
+		return
+	}
+	if s.cfg.Design != Minos {
+		// Size-unaware designs reassemble at the draining core. HKH
+		// serves run-to-completion; HKH+WS queues the request on its
+		// stealable software ring first.
+		msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+		if err != nil {
+			s.badFrame.Add(1)
+			return
+		}
+		if msg == nil {
+			return
+		}
+		if s.cfg.Design == HKHWS {
+			if !c.swq.Enqueue(work{src: fr.Src, msg: msg}) {
+				s.swDrops.Add(1)
+			}
+			return
+		}
+		s.serve(c, fr.Src, msg)
+		return
+	}
+
+	plan := s.plan.Load()
+	switch h.Op {
+	case wire.OpPutRequest:
+		valSize := int64(h.TotalSize) - int64(h.KeyLen)
+		// The profiling histogram counts requests, not packets (§3):
+		// record a fragmented PUT once, on its first fragment.
+		if h.FragOff == 0 {
+			s.recordSize(c, valSize)
+		}
+		// Multi-fragment PUTs always go to a large core, even when the
+		// size is below the threshold: a large core's reassembler is
+		// the only place guaranteed to see every fragment, because
+		// several small cores may drain the same RX queue (§4.1).
+		if plan.IsSmall(valSize) && wire.FragmentsFor(int(h.TotalSize)) == 1 {
+			msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+			if err != nil {
+				s.badFrame.Add(1)
+				return
+			}
+			if msg != nil {
+				s.serve(c, fr.Src, msg)
+			}
+			return
+		}
+		s.routeLarge(plan, valSize, work{src: fr.Src, frag: fr.Data})
+	case wire.OpGetRequest:
+		msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+		if err != nil {
+			s.badFrame.Add(1)
+			return
+		}
+		if msg == nil {
+			return
+		}
+		// The small core looks the item up to learn its size (§3);
+		// the actual serve reuses the lookup's target.
+		size, ok := s.store.GetSize(msg.Key)
+		if !ok {
+			s.replyMiss(c, fr.Src, msg)
+			return
+		}
+		s.recordSize(c, int64(size))
+		if plan.IsSmall(int64(size)) {
+			s.serve(c, fr.Src, msg)
+			return
+		}
+		s.routeLarge(plan, int64(size), work{src: fr.Src, msg: msg})
+	default:
+		s.badFrame.Add(1)
+	}
+}
+
+// routeLarge pushes work onto the owning large core's ring.
+func (s *Server) routeLarge(plan *core.Plan, size int64, w work) {
+	target := plan.LargeCoreID(plan.LargeIndexFor(size))
+	if !s.cores[target].swq.Enqueue(w) {
+		s.swDrops.Add(1)
+	}
+}
+
+// recordSize updates the per-core profiling histogram (§3).
+func (s *Server) recordSize(c *coreState, size int64) {
+	c.histMu.Lock()
+	c.sizeHist.Record(size)
+	c.histMu.Unlock()
+}
+
+// serve completes one request and transmits the reply from this core's TX
+// queue.
+func (s *Server) serve(c *coreState, src nic.Endpoint, msg *wire.Message) {
+	c.ops.Add(1)
+	reply := wire.Message{
+		RxQueue:   msg.RxQueue,
+		ReqID:     msg.ReqID,
+		Timestamp: msg.Timestamp,
+	}
+	switch msg.Op {
+	case wire.OpGetRequest:
+		item := s.store.GetItem(msg.Key)
+		if item == nil {
+			s.replyMiss(c, src, msg)
+			return
+		}
+		reply.Op = wire.OpGetReply
+		reply.Status = wire.StatusOK
+		reply.Value = item.Value
+	case wire.OpPutRequest:
+		s.store.Put(msg.Key, msg.Value)
+		reply.Op = wire.OpPutReply
+		reply.Status = wire.StatusOK
+	default:
+		reply.Op = wire.OpErrorReply
+		reply.Status = wire.StatusError
+	}
+	s.transmit(c, src, &reply)
+}
+
+func (s *Server) replyMiss(c *coreState, src nic.Endpoint, msg *wire.Message) {
+	op := wire.OpGetReply
+	if msg.Op == wire.OpPutRequest {
+		op = wire.OpPutReply
+	}
+	s.transmit(c, src, &wire.Message{
+		Op:        op,
+		Status:    wire.StatusNotFound,
+		RxQueue:   msg.RxQueue,
+		ReqID:     msg.ReqID,
+		Timestamp: msg.Timestamp,
+	})
+}
+
+func (s *Server) transmit(c *coreState, dst nic.Endpoint, reply *wire.Message) {
+	for _, frame := range reply.Frames() {
+		c.pkts.Add(1)
+		if err := s.tr.Send(c.id, dst, frame); err != nil {
+			return
+		}
+	}
+}

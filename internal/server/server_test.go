@@ -1,0 +1,261 @@
+package server_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/server"
+	"github.com/minoskv/minos/internal/wire"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// testCores keeps goroutine counts sane on small CI machines while still
+// exercising the multi-core paths (small cores + at least one large core).
+const testCores = 4
+
+// startServer launches a server of the given design over a fresh fabric.
+func startServer(t *testing.T, design server.Design) (*server.Server, *nic.Fabric) {
+	t.Helper()
+	fabric := nic.NewFabric(testCores)
+	srv, err := server.New(server.Config{
+		Design: design,
+		Cores:  testCores,
+		Epoch:  20 * time.Millisecond,
+	}, fabric.Server())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return srv, fabric
+}
+
+func TestGetPutAllDesigns(t *testing.T) {
+	for _, design := range []server.Design{server.Minos, server.HKH, server.SHO, server.HKHWS} {
+		t.Run(design.String(), func(t *testing.T) {
+			_, fabric := startServer(t, design)
+			// SHO clients only target the handoff cores' queues; they
+			// know the handoff count a priori (§5.2).
+			queues := testCores
+			if design == server.SHO {
+				queues = 1
+			}
+			c := client.New(fabric.NewClient(), queues, 1)
+
+			key := []byte("hello-01")
+			if err := c.Put(key, []byte("world")); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			val, ok, err := c.Get(key)
+			if err != nil || !ok {
+				t.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+			if string(val) != "world" {
+				t.Fatalf("value = %q", val)
+			}
+			// Overwrite.
+			if err := c.Put(key, []byte("world2")); err != nil {
+				t.Fatal(err)
+			}
+			val, ok, _ = c.Get(key)
+			if !ok || string(val) != "world2" {
+				t.Fatalf("after overwrite: %q ok=%v", val, ok)
+			}
+			// Miss.
+			if _, ok, err := c.Get([]byte("missing!")); err != nil || ok {
+				t.Fatalf("miss: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+// TestLargeValueRoundTrip pushes values across the fragmentation boundary
+// through the full stack: multi-frame PUT in, multi-frame GET reply out,
+// for the two designs with the most different large-request paths.
+func TestLargeValueRoundTrip(t *testing.T) {
+	for _, design := range []server.Design{server.Minos, server.HKH} {
+		t.Run(design.String(), func(t *testing.T) {
+			_, fabric := startServer(t, design)
+			c := client.New(fabric.NewClient(), testCores, 2)
+			c.Timeout = 5 * time.Second
+
+			for _, size := range []int{wire.MaxFragPayload - 8, wire.MaxFragPayload, 10_000, 120_000} {
+				value := bytes.Repeat([]byte{byte('A' + size%26)}, size)
+				key := kv.KeyForID(uint64(size))
+				if err := c.Put(key, value); err != nil {
+					t.Fatalf("put %dB: %v", size, err)
+				}
+				got, ok, err := c.Get(key)
+				if err != nil || !ok {
+					t.Fatalf("get %dB: ok=%v err=%v", size, ok, err)
+				}
+				if !bytes.Equal(got, value) {
+					t.Fatalf("%dB value corrupted (len %d)", size, len(got))
+				}
+			}
+		})
+	}
+}
+
+// TestControllerAdaptsLive drives a large-heavy stream and checks the
+// epoch controller republishes a plan with a sensible threshold.
+func TestControllerAdaptsLive(t *testing.T) {
+	srv, fabric := startServer(t, server.Minos)
+	c := client.New(fabric.NewClient(), testCores, 3)
+	c.Timeout = 5 * time.Second
+
+	// 1% of writes are 50 KB: below the 99th size percentile, so the
+	// threshold must settle at the small mode, classifying the 50 KB
+	// items as large.
+	big := bytes.Repeat([]byte("B"), 50_000)
+	for i := 0; i < 300; i++ {
+		key := kv.KeyForID(uint64(i))
+		v := []byte("small-value")
+		if i%100 == 0 {
+			v = big
+		}
+		if err := c.Put(key, v); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		p := srv.Plan()
+		if p.Epoch > 0 && p.Threshold >= 11 && p.Threshold < 50_000 {
+			return // threshold separates the 2% of 50 KB writes
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p := srv.Plan()
+	t.Fatalf("controller never adapted: %v", p.String())
+}
+
+func TestMalformedFramesAreCounted(t *testing.T) {
+	srv, fabric := startServer(t, server.Minos)
+	ct := fabric.NewClient()
+	_ = ct.Send(0, []byte{0xFF, 0xFF, 0x00}) // garbage
+	_ = ct.Send(1, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats().BadFrames >= 1 {
+			// The server must still serve after garbage.
+			c := client.New(fabric.NewClient(), testCores, 4)
+			if err := c.Put([]byte("after-bad"), []byte("ok")); err != nil {
+				t.Fatalf("server wedged after malformed frame: %v", err)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("malformed frames never counted")
+}
+
+func TestPreloadAndStats(t *testing.T) {
+	srv, fabric := startServer(t, server.Minos)
+	prof := workload.Profile{
+		Name: "tiny-test", PercentLarge: 1, MaxLargeSize: 20_000,
+		GetRatio: 0.9, ZipfTheta: 0.99, NumKeys: 2_000, NumLargeKeys: 5,
+		TinyKeyFrac: 0.4, Seed: 1,
+	}
+	cat := workload.NewCatalog(prof)
+	n := server.Preload(srv.Store(), cat)
+	if n != 2000 || srv.Store().Len() != 2000 {
+		t.Fatalf("preloaded %d items, store has %d", n, srv.Store().Len())
+	}
+
+	// Every catalogued key must be readable with its catalogued size.
+	c := client.New(fabric.NewClient(), testCores, 5)
+	c.Timeout = 5 * time.Second
+	for _, id := range []uint64{0, 1, 99, 1999} {
+		val, ok, err := c.Get(kv.KeyForID(id))
+		if err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", id, ok, err)
+		}
+		if len(val) != cat.Size(id) {
+			t.Fatalf("key %d: size %d, want %d", id, len(val), cat.Size(id))
+		}
+	}
+	st := srv.Stats()
+	if st.Ops == 0 {
+		t.Fatal("stats recorded no ops")
+	}
+}
+
+// TestOpenLoopLoad runs the open-loop generator against a live Minos at a
+// gentle rate and checks latencies are recorded with low loss.
+func TestOpenLoopLoad(t *testing.T) {
+	srv, fabric := startServer(t, server.Minos)
+	prof := workload.Profile{
+		Name: "loadgen-test", PercentLarge: 0.5, MaxLargeSize: 30_000,
+		GetRatio: 0.95, ZipfTheta: 0.99, NumKeys: 5_000, NumLargeKeys: 10,
+		TinyKeyFrac: 0.4, Seed: 2,
+	}
+	cat := workload.NewCatalog(prof)
+	server.Preload(srv.Store(), cat)
+
+	gen := workload.NewGenerator(cat, 7)
+	res := client.RunOpenLoop(fabric.NewClient(), testCores, gen, client.LoadConfig{
+		Rate:     3_000,
+		Duration: 400 * time.Millisecond,
+		Seed:     9,
+	})
+	if res.Sent < 500 {
+		t.Fatalf("sent only %d requests", res.Sent)
+	}
+	if res.Loss() > 0.05 {
+		t.Fatalf("loss = %.2f%% at 3 kops on the in-process fabric", res.Loss()*100)
+	}
+	if res.Lat.Count() == 0 || res.Lat.P99() <= 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if res.SmallLat.Count()+res.LargeLat.Count() != res.Lat.Count() {
+		t.Fatal("class histograms do not partition the total")
+	}
+}
+
+// TestUDPEndToEnd exercises the UDP transport through the full stack.
+func TestUDPEndToEnd(t *testing.T) {
+	tr, err := nic.NewUDPServer("127.0.0.1", 39200, testCores)
+	if err != nil {
+		t.Skipf("cannot bind UDP: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		Design: server.Minos,
+		Cores:  testCores,
+		Epoch:  50 * time.Millisecond,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() { srv.Stop(); tr.Close() })
+
+	ct, err := nic.NewUDPClient("127.0.0.1", 39200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	c := client.New(ct, testCores, 11)
+	c.Timeout = 5 * time.Second
+
+	if err := c.Put([]byte("udp-key1"), []byte("via-udp")); err != nil {
+		t.Fatalf("put over UDP: %v", err)
+	}
+	val, ok, err := c.Get([]byte("udp-key1"))
+	if err != nil || !ok || string(val) != "via-udp" {
+		t.Fatalf("get over UDP: %q ok=%v err=%v", val, ok, err)
+	}
+	// A multi-frame value over loopback UDP.
+	big := bytes.Repeat([]byte("U"), 40_000)
+	if err := c.Put([]byte("udp-key2"), big); err != nil {
+		t.Fatalf("large put over UDP: %v", err)
+	}
+	val, ok, err = c.Get([]byte("udp-key2"))
+	if err != nil || !ok || !bytes.Equal(val, big) {
+		t.Fatalf("large get over UDP: len=%d ok=%v err=%v", len(val), ok, err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that the queueing models of §2.2 and the full-system simulations of §6
+// run on. Virtual time is int64 nanoseconds; events fire in (time,
+// insertion-order) order, so simulations are exactly reproducible — the
+// property that lets this reproduction report microsecond-scale tail
+// latencies unperturbed by Go's garbage collector and goroutine scheduler
+// (see DESIGN.md, substitutions).
+//
+// The engine is deliberately allocation-free on the event path: events are
+// stored by value in a binary-heap slice and dispatch through a small
+// Handler interface implemented by long-lived simulation entities (cores,
+// links, arrival sources). At the event rates the evaluation needs (tens of
+// millions of events per run) this keeps the engine itself at a few tens of
+// nanoseconds per event.
+package sim
+
+import "math/rand"
+
+// Time aliases int64 nanoseconds of virtual time, for documentation.
+type Time = int64
+
+// Handy durations in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+// Handler is implemented by simulation entities that receive events.
+// arg and obj are opaque values passed through from Schedule; by
+// convention arg carries a small enum or index and obj a request pointer.
+type Handler interface {
+	Handle(e *Engine, arg int64, obj any)
+}
+
+// HandlerFunc adapts a function to the Handler interface. Use sparingly:
+// each distinct closure allocates, so hot-path entities should implement
+// Handler on a struct instead.
+type HandlerFunc func(e *Engine, arg int64, obj any)
+
+// Handle calls f.
+func (f HandlerFunc) Handle(e *Engine, arg int64, obj any) { f(e, arg, obj) }
+
+// event is one scheduled callback. Events are ordered by (t, seq) so that
+// simultaneous events fire in scheduling order, which makes runs
+// deterministic regardless of heap internals.
+type event struct {
+	t   Time
+	seq uint64
+	h   Handler
+	arg int64
+	obj any
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// It is not safe for concurrent use; a simulation is single-threaded by
+// design (determinism), and parallel experiments run one Engine each.
+type Engine struct {
+	now    Time
+	seq    uint64
+	heap   []event
+	fired  uint64
+	maxLen int
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events dispatched so far (observability for
+// tests and performance reporting).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// MaxQueueLen returns the high-water mark of the pending-event heap.
+func (e *Engine) MaxQueueLen() int { return e.maxLen }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule enqueues an event at absolute virtual time t. Events scheduled
+// in the past fire at the current time (never before: virtual time is
+// monotonic).
+func (e *Engine) Schedule(t Time, h Handler, arg int64, obj any) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.heap = append(e.heap, event{t: t, seq: e.seq, h: h, arg: arg, obj: obj})
+	e.siftUp(len(e.heap) - 1)
+	if len(e.heap) > e.maxLen {
+		e.maxLen = len(e.heap)
+	}
+}
+
+// After enqueues an event d nanoseconds from now. Negative d means now.
+func (e *Engine) After(d Time, h Handler, arg int64, obj any) {
+	e.Schedule(e.now+max(d, 0), h, arg, obj)
+}
+
+// Step fires the earliest pending event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.heap[0]
+	e.pop()
+	e.now = ev.t
+	e.fired++
+	ev.h.Handle(e, ev.arg, ev.obj)
+	return true
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires all events with time <= t, then advances the clock to t.
+// Events scheduled at exactly t do fire.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 && e.heap[0].t <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// less orders events by (time, sequence).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.heap[i], &e.heap[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			return
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = event{} // release references
+	e.heap = e.heap[:n]
+	// Sift down from the root.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+}
+
+// Stream returns a deterministic RNG derived from (seed, id). Distinct ids
+// give statistically independent streams, so each simulation entity
+// (arrival source, size sampler, steering hash) can own one without
+// cross-coupling the experiments.
+func Stream(seed int64, id uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(uint64(seed) + id*0x9E3779B97F4A7C15))))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator, a strong cheap
+// bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// recorder appends (time, arg) pairs as events fire.
+type recorder struct {
+	times []Time
+	args  []int64
+}
+
+func (r *recorder) Handle(e *Engine, arg int64, obj any) {
+	r.times = append(r.times, e.Now())
+	r.args = append(r.args, arg)
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var e Engine
+	rec := &recorder{}
+	rng := rand.New(rand.NewSource(1))
+	want := make([]Time, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		at := Time(rng.Intn(10_000))
+		want = append(want, at)
+		e.Schedule(at, rec, int64(i), nil)
+	}
+	e.Run()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(rec.times) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(rec.times), len(want))
+	}
+	for i := range want {
+		if rec.times[i] != want[i] {
+			t.Fatalf("event %d fired at %d, want %d", i, rec.times[i], want[i])
+		}
+	}
+	if e.Fired() != 1000 {
+		t.Fatalf("Fired = %d, want 1000", e.Fired())
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	var e Engine
+	rec := &recorder{}
+	for i := 0; i < 100; i++ {
+		e.Schedule(42, rec, int64(i), nil)
+	}
+	e.Run()
+	for i, a := range rec.args {
+		if a != int64(i) {
+			t.Fatalf("tie-broken order violated at %d: got arg %d", i, a)
+		}
+	}
+}
+
+func TestPastEventsFireNow(t *testing.T) {
+	var e Engine
+	rec := &recorder{}
+	e.Schedule(100, HandlerFunc(func(e *Engine, _ int64, _ any) {
+		// Scheduling in the past must clamp to now.
+		e.Schedule(5, rec, 0, nil)
+	}), 0, nil)
+	e.Run()
+	if len(rec.times) != 1 || rec.times[0] != 100 {
+		t.Fatalf("past event fired at %v, want [100]", rec.times)
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	var e Engine
+	rec := &recorder{}
+	e.Schedule(50, HandlerFunc(func(e *Engine, _ int64, _ any) {
+		e.After(-10, rec, 0, nil)
+	}), 0, nil)
+	e.Run()
+	if len(rec.times) != 1 || rec.times[0] != 50 {
+		t.Fatalf("negative After fired at %v, want [50]", rec.times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	rec := &recorder{}
+	for _, at := range []Time{10, 20, 30, 40} {
+		e.Schedule(at, rec, at, nil)
+	}
+	e.RunUntil(25)
+	if len(rec.times) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(rec.times))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %d, want 25", e.Now())
+	}
+	// Events at exactly the boundary fire.
+	e.RunUntil(30)
+	if len(rec.times) != 3 {
+		t.Fatalf("fired %d events by t=30, want 3", len(rec.times))
+	}
+	e.RunUntil(100)
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after draining, want 0", e.Pending())
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d, want 100 (clock advances to the limit)", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// A chain of events each scheduling the next must run to completion
+	// with exact timing.
+	var e Engine
+	var hops int
+	var hop HandlerFunc
+	hop = func(e *Engine, arg int64, _ any) {
+		hops++
+		if arg > 0 {
+			e.After(7, hop, arg-1, nil)
+		}
+	}
+	e.After(0, hop, 9, nil)
+	e.Run()
+	if hops != 10 {
+		t.Fatalf("hops = %d, want 10", hops)
+	}
+	if e.Now() != 9*7 {
+		t.Fatalf("final time = %d, want 63", e.Now())
+	}
+}
+
+// TestHeapOrderingProperty: for any batch of events with arbitrary times,
+// firing order is a stable sort by time.
+func TestHeapOrderingProperty(t *testing.T) {
+	prop := func(times []uint16) bool {
+		var e Engine
+		rec := &recorder{}
+		for i, at := range times {
+			e.Schedule(Time(at), rec, int64(i), nil)
+		}
+		e.Run()
+		if len(rec.times) != len(times) {
+			return false
+		}
+		for i := 1; i < len(rec.times); i++ {
+			if rec.times[i] < rec.times[i-1] {
+				return false
+			}
+			// Stability: equal times preserve schedule order.
+			if rec.times[i] == rec.times[i-1] && rec.args[i] < rec.args[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDeterminismAndIndependence(t *testing.T) {
+	a1 := Stream(1, 0)
+	a2 := Stream(1, 0)
+	b := Stream(1, 1)
+	var sameAsA, sameAsB int
+	for i := 0; i < 100; i++ {
+		v1, v2, v3 := a1.Uint64(), a2.Uint64(), b.Uint64()
+		if v1 == v2 {
+			sameAsA++
+		}
+		if v1 == v3 {
+			sameAsB++
+		}
+	}
+	if sameAsA != 100 {
+		t.Fatal("same (seed, id) must give identical streams")
+	}
+	if sameAsB > 1 {
+		t.Fatalf("distinct ids should give distinct streams (got %d collisions)", sameAsB)
+	}
+}
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	var e Engine
+	h := HandlerFunc(func(e *Engine, arg int64, _ any) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i), h, 0, nil)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineHotQueue(b *testing.B) {
+	// 1024 pending events at all times: the realistic regime for the
+	// full-system simulations.
+	var e Engine
+	h := HandlerFunc(func(e *Engine, arg int64, _ any) {})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(rng.Intn(1024)), h, 0, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Time(rng.Intn(1024)), h, 0, nil)
+		e.Step()
+	}
+}

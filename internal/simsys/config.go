@@ -1,0 +1,291 @@
+// Package simsys is the full-system discrete-event simulation of the four
+// key-value store designs the paper evaluates (§5.2, §6): Minos
+// (size-aware sharding), HKH (hardware keyhash sharding, MICA-style nxM/G/1),
+// SHO (software handoff, RAMCloud-style M/G/n) and HKH+WS (hardware sharding
+// plus work stealing, ZygOS-style).
+//
+// Unlike the idealized queueing models of internal/queueing, this simulation
+// models the parts of the platform the paper's results depend on: a
+// multi-queue 40 Gb/s NIC with per-queue round-robin transmit arbitration
+// and client-selected receive steering, packetization at the Ethernet MTU,
+// bounded RX rings, batched polling, software dispatch rings, the epoch
+// controller of internal/core, and per-design software overheads (handoff,
+// stealing, spinlocks, workload profiling). Virtual time makes microsecond
+// tails exactly reproducible — the substitution DESIGN.md documents for the
+// paper's bare-metal DPDK testbed.
+package simsys
+
+import (
+	"fmt"
+
+	"github.com/minoskv/minos/internal/core"
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// Design selects the server architecture, §5.2.
+type Design int
+
+// The four designs of the evaluation.
+const (
+	// Minos is size-aware sharding (§3).
+	Minos Design = iota
+	// HKH is hardware keyhash-based sharding: every core serves
+	// whatever its RX queue receives, run to completion (MICA).
+	HKH
+	// SHO is software handoff: dedicated dispatch cores feed worker
+	// cores one request at a time (RAMCloud).
+	SHO
+	// HKHWS is HKH plus work stealing by idle cores (ZygOS).
+	HKHWS
+)
+
+// String returns the paper's abbreviation.
+func (d Design) String() string {
+	switch d {
+	case Minos:
+		return "Minos"
+	case HKH:
+		return "HKH"
+	case SHO:
+		return "SHO"
+	case HKHWS:
+		return "HKH+WS"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// AllDesigns lists the four designs in the paper's comparison order.
+func AllDesigns() []Design { return []Design{Minos, HKHWS, HKH, SHO} }
+
+// Config parameterizes one simulated run. Zero fields take defaults
+// matching the paper's platform (§5.1) scaled per DESIGN.md.
+type Config struct {
+	Design Design
+
+	// Cores is the number of server cores n (paper: 8).
+	Cores int
+
+	// Clients is the number of client threads sharing the inbound link
+	// (paper: 7 machines x 8 threads = 56).
+	Clients int
+
+	// Profile is the workload (§5.3); defaults to the paper's default
+	// workload.
+	Profile workload.Profile
+
+	// Rate is the offered load in requests per second.
+	Rate float64
+
+	// Duration is the virtual measurement horizon; Warmup trims the
+	// start (latencies and throughput are measured for [Warmup,
+	// Duration)). The paper runs 60 s and trims 10; the simulator's
+	// defaults are shorter because virtual time needs no settling
+	// beyond queue warm-up.
+	Duration, Warmup sim.Time
+
+	// LinkRateGbps is the NIC speed in Gb/s, each direction (paper: 40).
+	LinkRateGbps float64
+
+	// Batch is the RX-drain batch size B (paper: 32).
+	Batch int
+
+	// Epoch is the controller period (paper: 1 s; default here 100 ms,
+	// scaled with the shorter runs — see DESIGN.md).
+	Epoch sim.Time
+
+	// HandoffCores is SHO's dispatcher count (paper tries 1-3).
+	HandoffCores int
+
+	// ReplySampling, in (0, 1], is the fraction S of replies actually
+	// transmitted (Figure 8); 0 means 1.0.
+	ReplySampling float64
+
+	// Phases optionally varies pL over time (Figure 10): the generator
+	// steps through the schedule, then holds the last phase.
+	Phases []workload.Phase
+
+	// WindowLen > 0 collects per-window P99/plan samples (Figure 10).
+	WindowLen sim.Time
+
+	// RxQueueCap and SwQueueCap bound the receive rings and software
+	// queues; overflow counts as a drop, as on the real NIC.
+	RxQueueCap, SwQueueCap int
+
+	// Controller tuning (Minos only). Zero values take the paper's
+	// defaults (quantile 0.99, alpha 0.9, packet cost).
+	Quantile        float64
+	Alpha           float64
+	Cost            core.CostFunc
+	StaticThreshold int64
+
+	// Ablation switches (see DESIGN.md §5).
+	//
+	// NoBatchedDrain removes the paper's B/ns drain of large-core RX
+	// queues: large cores read their own RX queue instead, so small
+	// requests steered there queue behind large work.
+	NoBatchedDrain bool
+	// SingleLargeQueue replaces per-large-core size ranges with one
+	// shared software queue, re-introducing head-of-line blocking
+	// among large requests.
+	SingleLargeQueue bool
+
+	// Extensions the paper proposes but does not evaluate.
+	//
+	// LargeCoreStealing enables the §6.1 alternative design: one more
+	// core is allocated to large requests than the cost share dictates,
+	// and large cores with empty software queues steal one request at a
+	// time from small cores' RX queues — improving large-request
+	// latency while never queueing a small request behind a large one.
+	LargeCoreStealing bool
+	// ProfileSampling, in (0, 1], is the §6.2 profiling-overhead
+	// reduction: only the given fraction of requests update the size
+	// histograms (0 means 1.0, i.e. every request as in the paper).
+	ProfileSampling float64
+
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.Clients == 0 {
+		c.Clients = 56
+	}
+	if c.Profile.NumKeys == 0 {
+		c.Profile = workload.DefaultProfile()
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * sim.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Duration / 10
+	}
+	if c.LinkRateGbps == 0 {
+		c.LinkRateGbps = 40
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 100 * sim.Millisecond
+	}
+	if c.HandoffCores == 0 {
+		c.HandoffCores = 1
+	}
+	if c.ReplySampling == 0 {
+		c.ReplySampling = 1
+	}
+	if c.ProfileSampling == 0 {
+		c.ProfileSampling = 1
+	}
+	if c.RxQueueCap == 0 {
+		c.RxQueueCap = 4096
+	}
+	if c.SwQueueCap == 0 {
+		c.SwQueueCap = 65536
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Validate reports nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("simsys: Cores = %d, need >= 1", c.Cores)
+	case c.Design == SHO && c.HandoffCores >= c.Cores:
+		return fmt.Errorf("simsys: SHO needs at least one worker (handoff %d of %d cores)", c.HandoffCores, c.Cores)
+	case c.Rate <= 0:
+		return fmt.Errorf("simsys: Rate = %g, need > 0", c.Rate)
+	case c.Warmup >= c.Duration:
+		return fmt.Errorf("simsys: Warmup %d >= Duration %d", c.Warmup, c.Duration)
+	case c.ReplySampling < 0 || c.ReplySampling > 1:
+		return fmt.Errorf("simsys: ReplySampling = %g, need in (0, 1]", c.ReplySampling)
+	case c.ProfileSampling < 0 || c.ProfileSampling > 1:
+		return fmt.Errorf("simsys: ProfileSampling = %g, need in (0, 1]", c.ProfileSampling)
+	}
+	return c.Profile.Validate()
+}
+
+// LatencySummary condenses a latency histogram. Times are nanoseconds.
+type LatencySummary struct {
+	Count               uint64
+	Mean                float64
+	P50, P99, P999, Max int64
+}
+
+// CoreStat is the per-core accounting of Figure 9.
+type CoreStat struct {
+	// Ops is the number of requests this core completed (for small
+	// cores this includes dispatches it forwarded to large cores).
+	Ops uint64
+	// Packets is the number of network frames this core handled
+	// (frames drained from RX queues plus reply frames it produced).
+	Packets uint64
+	// LargeRole reports whether the core was serving large requests
+	// under the final plan.
+	LargeRole bool
+}
+
+// PlanSample traces the controller's decisions over time (Figure 10
+// bottom).
+type PlanSample struct {
+	T         sim.Time
+	NumLarge  int
+	Threshold int64
+	Standby   bool
+}
+
+// WindowSample is one measurement window of the dynamic-workload
+// experiment (Figure 10 top).
+type WindowSample struct {
+	Start      sim.Time
+	P99        int64 // ns; 0 if the window saw no completions
+	Throughput float64
+	NumLarge   int
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config    Config
+	Offered   float64 // requests per second
+	Completed uint64  // ops completed inside the measured window
+
+	// Throughput is completed ops per second of measured window.
+	Throughput float64
+
+	// Latency summaries: all requests, requests on tiny/small items,
+	// and requests on large items (Figure 4 tracks the latter).
+	Lat, SmallLat, LargeLat LatencySummary
+
+	// TXUtil and RXUtil are the NIC link busy fractions (Figure 8b).
+	TXUtil, RXUtil float64
+
+	// Drops: RX ring overflows and software-queue overflows. The paper
+	// reports only zero-loss points; harnesses use these to mark
+	// saturation.
+	RxDrops, SwDrops uint64
+
+	PerCore []CoreStat
+
+	PlanTrace []PlanSample
+	Windows   []WindowSample
+
+	// Events is the number of simulator events fired (performance
+	// observability).
+	Events uint64
+}
+
+// LossRate returns the fraction of offered requests dropped at queues.
+func (r *Result) LossRate() float64 {
+	total := float64(r.Completed) + float64(r.RxDrops) + float64(r.SwDrops)
+	if total == 0 {
+		return 0
+	}
+	return (float64(r.RxDrops) + float64(r.SwDrops)) / total
+}

@@ -1,0 +1,390 @@
+package simsys
+
+import (
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// workKind tags what a core is busy doing; it is the arg of the core's
+// completion event.
+type workKind int64
+
+const (
+	// kindServe is full request service ending in a reply.
+	kindServe workKind = iota
+	// kindDispatch is a Minos small core pushing a large request onto a
+	// large core's software ring.
+	kindDispatch
+	// kindHandoff is an SHO handoff core moving one request from its RX
+	// queue to its handoff queue.
+	kindHandoff
+	// kindMove is an HKH+WS core moving a batch from an RX queue into a
+	// stealable software queue; the requests are already queued when the
+	// busy period starts.
+	kindMove
+)
+
+// coreUnit is one simulated server core: an RX ring, a software queue, the
+// batch it is working through, and accounting. Cores implement sim.Handler
+// for their own completion events.
+type coreUnit struct {
+	sys *system
+	id  int
+
+	rxq reqFifo
+	swq reqFifo
+
+	batch []*request
+	pos   int
+
+	busy    bool
+	cur     *request
+	curKind workKind
+
+	// pendingPoll charges one pollCost on the next item (set when a
+	// fresh batch is read); pendingExtra charges arbitrary one-shot
+	// overhead (steal, worker pull); extraBusy injects asynchronous
+	// work (the controller's epoch aggregation on core 0).
+	pendingPoll  bool
+	pendingExtra sim.Time
+	extraBusy    sim.Time
+
+	stealRR int
+	profCnt uint64
+
+	ops  uint64
+	pkts uint64
+
+	sizeHist *stats.Histogram // Minos per-core profiling (§3)
+}
+
+// coreNext is the scheduling loop: take the next item from the current
+// batch, or refill according to the design's polling policy, or go idle.
+func (s *system) coreNext(c *coreUnit) {
+	if c.busy {
+		return
+	}
+	for {
+		if c.pos < len(c.batch) {
+			r := c.batch[c.pos]
+			c.batch[c.pos] = nil
+			c.pos++
+			s.startItem(c, r)
+			return
+		}
+		c.batch = c.batch[:0]
+		c.pos = 0
+		progress, scheduled := s.refill(c)
+		if scheduled {
+			return // refill started a busy period itself
+		}
+		if !progress {
+			return // idle; a future enqueue will kick us
+		}
+	}
+}
+
+// refill implements the per-design polling policy. It either fills
+// c.batch (progress=true), starts a busy period directly
+// (scheduled=true), or finds nothing (both false: the core goes idle).
+func (s *system) refill(c *coreUnit) (progress, scheduled bool) {
+	switch s.cfg.Design {
+	case Minos:
+		return s.refillMinos(c)
+	case HKH:
+		return s.refillHKH(c)
+	case SHO:
+		return s.refillSHO(c)
+	case HKHWS:
+		return s.refillWS(c)
+	}
+	return false, false
+}
+
+// drainInto moves up to n requests from src's RX queue into c's batch,
+// charging the drained frames to c (it performs the NIC reads).
+func (s *system) drainInto(c *coreUnit, src *coreUnit, n int) int {
+	got := 0
+	for got < n {
+		r, ok := src.rxq.pop()
+		if !ok {
+			break
+		}
+		r.reader = int32(c.id)
+		c.pkts += uint64(inFrames(r.op, r.size))
+		c.batch = append(c.batch, r)
+		got++
+	}
+	return got
+}
+
+// refillMinos: software queue first (large work, and drain-out after a
+// role change), then — for small cores — batch B from the own RX queue
+// plus B/ns from each large core's RX queue so all queues drain at the
+// same rate (§3).
+func (s *system) refillMinos(c *coreUnit) (progress, scheduled bool) {
+	if r, ok := c.swq.pop(); ok {
+		s.startServe(c, r)
+		return false, true
+	}
+	if s.cfg.SingleLargeQueue && s.servesSharedQueue(c.id) {
+		if r, ok := s.sharedQ.pop(); ok {
+			s.startServe(c, r)
+			return false, true
+		}
+	}
+	small := s.isSmallCore(c.id)
+	if !small {
+		// A pure large core only reads its software queue (§3: "a
+		// large core never reads incoming requests from its RX
+		// queue") — except under the NoBatchedDrain ablation, where
+		// nobody else would.
+		if s.cfg.NoBatchedDrain {
+			if s.drainInto(c, c, s.cfg.Batch) > 0 {
+				c.pendingPoll = true
+				return true, false
+			}
+		}
+		// §6.1 extension: an otherwise-idle large core steals one
+		// request at a time from a small core's RX queue, so spare
+		// large capacity serves small traffic without ever queueing a
+		// small request behind a large one.
+		if s.cfg.LargeCoreStealing {
+			ns := s.plan.NumSmall
+			for i := 0; i < ns; i++ {
+				victim := &s.cores[(c.stealRR+i)%ns]
+				if s.drainInto(c, victim, 1) > 0 {
+					c.stealRR = (c.stealRR + i + 1) % ns
+					c.pendingExtra += stealCost
+					return true, false
+				}
+			}
+		}
+		return false, false
+	}
+	got := s.drainInto(c, c, s.cfg.Batch)
+	if !s.cfg.NoBatchedDrain {
+		ns := s.plan.NumSmall
+		quota := (s.cfg.Batch + ns - 1) / ns
+		s.largeCoreIDs(func(id int) {
+			got += s.drainInto(c, &s.cores[id], quota)
+		})
+	}
+	if got > 0 {
+		c.pendingPoll = true
+		return true, false
+	}
+	return false, false
+}
+
+// refillHKH: every core serves its own RX queue, run to completion.
+func (s *system) refillHKH(c *coreUnit) (progress, scheduled bool) {
+	if s.drainInto(c, c, s.cfg.Batch) > 0 {
+		c.pendingPoll = true
+		return true, false
+	}
+	return false, false
+}
+
+// refillSHO: handoff cores turn their RX queues into handoff-queue
+// entries; workers pull one request at a time, round-robin over handoff
+// queues (§5.2).
+func (s *system) refillSHO(c *coreUnit) (progress, scheduled bool) {
+	h := s.cfg.HandoffCores
+	if c.id < h {
+		if s.drainInto(c, c, s.cfg.Batch) > 0 {
+			c.pendingPoll = true
+			return true, false
+		}
+		return false, false
+	}
+	for i := 0; i < h; i++ {
+		src := &s.cores[(c.stealRR+i)%h]
+		if r, ok := src.swq.pop(); ok {
+			c.stealRR = (c.stealRR + i + 1) % h
+			c.pendingExtra += workerPullCost
+			s.startServe(c, r)
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// refillWS: move the own RX queue into the stealable software queue, then
+// serve from it; once both are empty, steal one queued request from a
+// peer, and as a last resort steal a batch from a peer's RX queue into the
+// own software queue — so stolen requests can be stolen in turn (§5.2).
+func (s *system) refillWS(c *coreUnit) (progress, scheduled bool) {
+	if c.rxq.len() > 0 {
+		k := s.moveToSwq(c, c, s.cfg.Batch)
+		if k > 0 {
+			s.startBusy(c, nil, kindMove, pollCost+sim.Time(k)*wsMoveCost)
+			return false, true
+		}
+		// Software queue full: fall through and serve to make room.
+	}
+	if r, ok := c.swq.pop(); ok {
+		s.startServe(c, r)
+		return false, true
+	}
+	n := s.cfg.Cores
+	// Steal one request from a peer's software queue.
+	for i := 1; i < n; i++ {
+		victim := &s.cores[(c.id+c.stealRR+i)%n]
+		if victim == c {
+			continue
+		}
+		if r, ok := victim.swq.pop(); ok {
+			c.stealRR = (c.stealRR + i) % n
+			c.pendingExtra += stealCost
+			s.startServe(c, r)
+			return false, true
+		}
+	}
+	// Steal a batch of packets from a peer's RX queue.
+	for i := 1; i < n; i++ {
+		victim := &s.cores[(c.id+c.stealRR+i)%n]
+		if victim == c || victim.rxq.len() == 0 {
+			continue
+		}
+		k := s.moveToSwq(c, victim, s.cfg.Batch)
+		if k > 0 {
+			c.stealRR = (c.stealRR + i) % n
+			s.startBusy(c, nil, kindMove, stealCost+pollCost+sim.Time(k)*wsMoveCost)
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// moveToSwq moves up to n requests from src's RX queue into c's software
+// queue, charging the frame reads to c.
+func (s *system) moveToSwq(c *coreUnit, src *coreUnit, n int) int {
+	moved := 0
+	for moved < n {
+		if c.swq.len() >= s.cfg.SwQueueCap {
+			break
+		}
+		r, ok := src.rxq.pop()
+		if !ok {
+			break
+		}
+		r.reader = int32(c.id)
+		c.pkts += uint64(inFrames(r.op, r.size))
+		c.swq.push(r)
+		moved++
+	}
+	return moved
+}
+
+// servesSharedQueue reports whether core id pulls from the shared large
+// queue under the SingleLargeQueue ablation.
+func (s *system) servesSharedQueue(id int) bool {
+	if s.plan.Standby {
+		return id == s.cfg.Cores-1
+	}
+	return !s.isSmallCore(id)
+}
+
+// startItem classifies a batch item and starts the corresponding busy
+// period.
+func (s *system) startItem(c *coreUnit, r *request) {
+	switch s.cfg.Design {
+	case Minos:
+		// Profiling: record the item size in the reading core's
+		// histogram (§3). PUT sizes come from the request; GET sizes
+		// from the lookup, whose cost is part of baseCost. Under the
+		// §6.2 sampling extension only every k-th request pays.
+		if s.profEvery <= 1 {
+			c.sizeHist.Record(int64(r.size))
+			c.pendingExtra += profilingCost
+		} else if c.profCnt++; c.profCnt%uint64(s.profEvery) == 0 {
+			c.sizeHist.Record(int64(r.size))
+			c.pendingExtra += profilingCost
+		}
+		if !s.plan.IsSmall(int64(r.size)) {
+			s.startBusy(c, r, kindDispatch, dispatchCost)
+			return
+		}
+		if r.op == workload.OpPut {
+			c.pendingExtra += putLockCost
+		}
+		s.startServe(c, r)
+	case SHO:
+		if c.id < s.cfg.HandoffCores {
+			s.startBusy(c, r, kindHandoff, handoffCost)
+			return
+		}
+		s.startServe(c, r)
+	default: // HKH; HKH+WS batch items do not occur (all work flows via swq)
+		s.startServe(c, r)
+	}
+}
+
+// startServe begins full service of r on c.
+func (s *system) startServe(c *coreUnit, r *request) {
+	s.startBusy(c, r, kindServe, serviceCPU(r.op, r.size, r.sampled))
+}
+
+// startBusy schedules the completion event for a busy period, folding in
+// any pending one-shot overheads.
+func (s *system) startBusy(c *coreUnit, r *request, kind workKind, svc sim.Time) {
+	if c.pendingPoll {
+		svc += pollCost
+		c.pendingPoll = false
+	}
+	svc += c.pendingExtra
+	c.pendingExtra = 0
+	svc += c.extraBusy
+	c.extraBusy = 0
+	c.busy = true
+	c.cur = r
+	c.curKind = kind
+	s.eng.After(svc, c, int64(kind), nil)
+}
+
+// Handle fires when the core's busy period ends.
+func (c *coreUnit) Handle(e *sim.Engine, arg int64, _ any) {
+	s := c.sys
+	r := c.cur
+	c.cur = nil
+	c.busy = false
+	switch workKind(arg) {
+	case kindServe:
+		c.ops++
+		frames := outFrames(r.op, r.size)
+		if r.sampled {
+			c.pkts += uint64(frames)
+			s.txLink.send(c.id, r, frames, outWireBytes(r.op, r.size))
+		} else {
+			s.completeUnsampled(r)
+		}
+	case kindDispatch:
+		s.dispatchLarge(r)
+	case kindHandoff:
+		if !c.swq.push(r) {
+			s.swDrops++
+			s.pool.put(r)
+		} else {
+			s.wakeWorker()
+		}
+	case kindMove:
+		// Requests were queued when the move started; stealers may
+		// already have taken them.
+	}
+	s.coreNext(c)
+}
+
+// wakeWorker kicks an idle SHO worker.
+func (s *system) wakeWorker() {
+	h := s.cfg.HandoffCores
+	n := s.cfg.Cores
+	for i := h; i < n; i++ {
+		c := &s.cores[i]
+		if !c.busy {
+			s.coreNext(c)
+			return
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package simsys
+
+import (
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// request is one in-flight operation. Requests are pooled: at multi-Mops
+// rates a run touches tens of millions of them and per-request allocation
+// would dominate runtime.
+type request struct {
+	sendT   sim.Time // client send timestamp
+	key     uint64
+	size    int32
+	op      workload.Op
+	class   workload.Class
+	rxq     int32 // client-chosen RX queue
+	client  int32 // originating client thread (inbound link source)
+	reader  int32 // core that drained it from the RX queue
+	sampled bool  // reply actually transmitted (Figure 8 sampling)
+}
+
+// reqPool is a trivial freelist; the simulation is single-threaded so no
+// synchronization is needed.
+type reqPool struct {
+	free []*request
+}
+
+func (p *reqPool) get() *request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		*r = request{}
+		return r
+	}
+	return new(request)
+}
+
+func (p *reqPool) put(r *request) {
+	if len(p.free) < 1<<16 {
+		p.free = append(p.free, r)
+	}
+}
+
+// reqFifo is a bounded slice-backed FIFO of requests with O(1) amortized
+// operations, modelling an RX ring or software queue.
+type reqFifo struct {
+	buf  []*request
+	head int
+	cap  int
+}
+
+func newReqFifo(capacity int) reqFifo {
+	return reqFifo{cap: capacity}
+}
+
+// push appends r, reporting false when the queue is at capacity (the
+// caller counts a drop, as the NIC would).
+func (q *reqFifo) push(r *request) bool {
+	if q.len() >= q.cap {
+		return false
+	}
+	q.buf = append(q.buf, r)
+	return true
+}
+
+func (q *reqFifo) pop() (*request, bool) {
+	if q.head >= len(q.buf) {
+		return nil, false
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return r, true
+}
+
+func (q *reqFifo) len() int { return len(q.buf) - q.head }

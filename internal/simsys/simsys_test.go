@@ -1,0 +1,381 @@
+package simsys
+
+import (
+	"math"
+	"testing"
+
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// testRun executes a short run with test-friendly defaults.
+func testRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	if cfg.Duration == 0 {
+		cfg.Duration = 150 * sim.Millisecond
+		cfg.Warmup = 30 * sim.Millisecond
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 20 * sim.Millisecond
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestThroughputMatchesOfferedLoad(t *testing.T) {
+	for _, d := range AllDesigns() {
+		res := testRun(t, Config{Design: d, Rate: 1e6})
+		if res.LossRate() != 0 {
+			t.Errorf("%v: loss = %v at 1 Mops, want 0", d, res.LossRate())
+		}
+		if rel := math.Abs(res.Throughput-1e6) / 1e6; rel > 0.05 {
+			t.Errorf("%v: throughput = %.0f, want ~1e6 (%.1f%% off)", d, res.Throughput, rel*100)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Design: Minos, Rate: 1.5e6, Seed: 42}
+	a := testRun(t, cfg)
+	b := testRun(t, cfg)
+	if a.Completed != b.Completed || a.Lat.P99 != b.Lat.P99 || a.TXUtil != b.TXUtil {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a.Lat, b.Lat)
+	}
+	c := testRun(t, Config{Design: Minos, Rate: 1.5e6, Seed: 43})
+	if a.Lat.P99 == c.Lat.P99 && a.Completed == c.Completed {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+// TestMinosAvoidsHeadOfLineBlocking is the headline comparison (Figure 3):
+// at moderate load Minos' overall p99 is far below HKH's, and work
+// stealing lands in between.
+func TestMinosAvoidsHeadOfLineBlocking(t *testing.T) {
+	p99 := make(map[Design]int64)
+	for _, d := range []Design{Minos, HKH, HKHWS} {
+		p99[d] = testRun(t, Config{Design: d, Rate: 2e6}).Lat.P99
+	}
+	if p99[Minos]*5 > p99[HKH] {
+		t.Errorf("Minos p99 %d vs HKH %d: want >= 5x separation", p99[Minos], p99[HKH])
+	}
+	if !(p99[Minos] <= p99[HKHWS] && p99[HKHWS] <= p99[HKH]) {
+		t.Errorf("ordering violated: Minos %d, HKH+WS %d, HKH %d", p99[Minos], p99[HKHWS], p99[HKH])
+	}
+}
+
+// TestWorkStealingDegradesWithLoad: HKH+WS approaches HKH as load grows
+// and idle cores become rare (§2.2, §6.1).
+func TestWorkStealingDegradesWithLoad(t *testing.T) {
+	ratio := func(rate float64) float64 {
+		ws := testRun(t, Config{Design: HKHWS, Rate: rate}).Lat.P99
+		hkh := testRun(t, Config{Design: HKH, Rate: rate}).Lat.P99
+		return float64(ws) / float64(hkh)
+	}
+	low, high := ratio(1e6), ratio(5e6)
+	if high <= low {
+		t.Errorf("WS/HKH p99 ratio: %.3f at 1M, %.3f at 5M; want advantage to erode", low, high)
+	}
+}
+
+// TestSHOBoundByHandoff: SHO saturates at the handoff dispatch rate,
+// below the other designs' NIC-bound peak (§6.1).
+func TestSHOBoundByHandoff(t *testing.T) {
+	ok := testRun(t, Config{Design: SHO, Rate: 3e6})
+	if ok.LossRate() != 0 {
+		t.Fatalf("SHO at 3 Mops: loss %.4f, want 0", ok.LossRate())
+	}
+	over := testRun(t, Config{Design: SHO, Rate: 6.3e6})
+	if over.LossRate() == 0 && over.Throughput > 6e6 {
+		t.Fatalf("SHO sustained %.2f Mops without loss; expected the handoff core to bottleneck", over.Throughput/1e6)
+	}
+}
+
+// TestLargeRequestPenaltyModerate (Figure 4): Minos pays a bounded price
+// on large-request tails pre-saturation — a small factor, not orders of
+// magnitude.
+func TestLargeRequestPenaltyModerate(t *testing.T) {
+	m := testRun(t, Config{Design: Minos, Rate: 3e6})
+	ws := testRun(t, Config{Design: HKHWS, Rate: 3e6})
+	if m.LargeLat.Count == 0 || ws.LargeLat.Count == 0 {
+		t.Fatal("no large requests measured")
+	}
+	penalty := float64(m.LargeLat.P99) / float64(ws.LargeLat.P99)
+	if penalty > 4 {
+		t.Errorf("Minos large p99 penalty = %.1fx vs HKH+WS, want moderate (<= 4x)", penalty)
+	}
+	// And the flip side: the overall p99 win must be large.
+	if m.Lat.P99*5 > ws.Lat.P99 {
+		t.Errorf("overall p99: Minos %d vs HKH+WS %d, want >= 5x win", m.Lat.P99, ws.Lat.P99)
+	}
+}
+
+func TestClassHistogramsPartitionOverall(t *testing.T) {
+	res := testRun(t, Config{Design: Minos, Rate: 1e6})
+	if res.Lat.Count != res.SmallLat.Count+res.LargeLat.Count {
+		t.Fatalf("class counts %d + %d != total %d",
+			res.SmallLat.Count, res.LargeLat.Count, res.Lat.Count)
+	}
+	if res.LargeLat.Count == 0 {
+		t.Fatal("no large requests in default workload")
+	}
+	frac := float64(res.LargeLat.Count) / float64(res.Lat.Count)
+	if frac < 0.0005 || frac > 0.003 {
+		t.Fatalf("large fraction = %.5f, want ~0.00125", frac)
+	}
+}
+
+func TestNICUtilizationAccounting(t *testing.T) {
+	// At 2 Mops the default workload should put the TX link at roughly
+	// a third of 40 Gb/s (measured ~35% during calibration), and RX far
+	// lower (GET-dominated).
+	res := testRun(t, Config{Design: Minos, Rate: 2e6})
+	if res.TXUtil < 0.35-0.08 || res.TXUtil > 0.35+0.08 {
+		t.Errorf("TXUtil = %.3f, want ~0.35", res.TXUtil)
+	}
+	if res.RXUtil >= res.TXUtil {
+		t.Errorf("RXUtil %.3f >= TXUtil %.3f for a GET-dominated workload", res.RXUtil, res.TXUtil)
+	}
+}
+
+func TestReplySampling(t *testing.T) {
+	full := testRun(t, Config{Design: Minos, Rate: 2e6, Profile: workload.DefaultProfile().WithPercentLarge(0.75)})
+	half := testRun(t, Config{Design: Minos, Rate: 2e6, Profile: workload.DefaultProfile().WithPercentLarge(0.75), ReplySampling: 0.5})
+	// Same work completes.
+	if rel := math.Abs(half.Throughput-full.Throughput) / full.Throughput; rel > 0.05 {
+		t.Errorf("sampling changed throughput: %.0f vs %.0f", half.Throughput, full.Throughput)
+	}
+	// Roughly half the TX bytes.
+	r := half.TXUtil / full.TXUtil
+	if r < 0.4 || r > 0.62 {
+		t.Errorf("TXUtil ratio with S=50%% = %.3f, want ~0.5", r)
+	}
+	// Latency is still measured, on the sampled half.
+	if half.Lat.Count == 0 || half.Lat.Count > full.Lat.Count*6/10 {
+		t.Errorf("sampled latency count = %d of %d", half.Lat.Count, full.Lat.Count)
+	}
+}
+
+// TestLoadBalance (Figure 9): packet work is near-uniform across cores
+// while op counts split by orders of magnitude between small and large
+// cores.
+func TestLoadBalance(t *testing.T) {
+	res := testRun(t, Config{
+		Design:  Minos,
+		Rate:    1.5e6,
+		Profile: workload.DefaultProfile().WithPercentLarge(0.25),
+	})
+	var largeCores, smallCores []CoreStat
+	for _, cs := range res.PerCore {
+		if cs.LargeRole {
+			largeCores = append(largeCores, cs)
+		} else {
+			smallCores = append(smallCores, cs)
+		}
+	}
+	if len(largeCores) == 0 {
+		t.Fatal("no large cores at pL=0.25")
+	}
+	var minPkts, maxPkts uint64 = math.MaxUint64, 0
+	for _, cs := range res.PerCore {
+		minPkts = min(minPkts, cs.Packets)
+		maxPkts = max(maxPkts, cs.Packets)
+	}
+	if float64(maxPkts)/float64(minPkts) > 3 {
+		t.Errorf("packet imbalance: min %d, max %d", minPkts, maxPkts)
+	}
+	// Small cores serve far more ops each than any large core.
+	for _, sc := range smallCores {
+		for _, lc := range largeCores {
+			if sc.Ops < lc.Ops*2 {
+				t.Errorf("small core ops %d not >> large core ops %d", sc.Ops, lc.Ops)
+			}
+		}
+	}
+}
+
+// TestDynamicAdaptation (Figure 10): the controller grows the large-core
+// count when pL steps up and releases cores when it steps back.
+func TestDynamicAdaptation(t *testing.T) {
+	phase := 150 * sim.Millisecond
+	res := testRun(t, Config{
+		Design: Minos,
+		Rate:   1.5e6,
+		Phases: []workload.Phase{
+			{Duration: 150_000_000, PercentLarge: 0.125},
+			{Duration: 150_000_000, PercentLarge: 0.75},
+			{Duration: 150_000_000, PercentLarge: 0.125},
+		},
+		Duration:  3 * phase,
+		Warmup:    10 * sim.Millisecond,
+		Epoch:     15 * sim.Millisecond,
+		WindowLen: 50 * sim.Millisecond,
+	})
+	nlAt := func(t0 sim.Time) int {
+		n := 0
+		for _, ps := range res.PlanTrace {
+			if ps.T > t0 {
+				break
+			}
+			n = ps.NumLarge
+		}
+		return n
+	}
+	before := nlAt(phase - 10*sim.Millisecond)
+	during := nlAt(2*phase - 10*sim.Millisecond)
+	after := nlAt(3*phase - 10*sim.Millisecond)
+	if during <= before {
+		t.Errorf("NumLarge did not grow with pL: before=%d during=%d", before, during)
+	}
+	if after >= during {
+		t.Errorf("NumLarge did not shrink after pL dropped: during=%d after=%d", during, after)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no windows collected")
+	}
+}
+
+// TestStandbyKeepsTailsLow: at pL=0.0625 the allocator deems all cores
+// small and the standby mechanism must keep the overall p99 in the tens
+// of microseconds (§3).
+func TestStandbyKeepsTailsLow(t *testing.T) {
+	res := testRun(t, Config{
+		Design:  Minos,
+		Rate:    1e6,
+		Profile: workload.DefaultProfile().WithPercentLarge(0.0625),
+	})
+	last := res.PlanTrace[len(res.PlanTrace)-1]
+	if !last.Standby {
+		t.Logf("note: final plan not standby (NumLarge=%d)", last.NumLarge)
+	}
+	if res.Lat.P99 > 50_000 {
+		t.Errorf("p99 = %d ns at 1 Mops with pL=0.0625, want < 50 µs", res.Lat.P99)
+	}
+	if res.LargeLat.Count == 0 {
+		t.Error("standby core served no large requests")
+	}
+}
+
+func TestOverloadDropsAtQueues(t *testing.T) {
+	res := testRun(t, Config{Design: HKH, Rate: 12e6})
+	if res.RxDrops == 0 {
+		t.Error("12 Mops against an ~6 Mops system should overflow RX rings")
+	}
+	if res.Throughput > 7e6 {
+		t.Errorf("throughput %.1f Mops exceeds physical capacity", res.Throughput/1e6)
+	}
+}
+
+func TestThresholdSeparatesClasses(t *testing.T) {
+	res := testRun(t, Config{Design: Minos, Rate: 2e6})
+	last := res.PlanTrace[len(res.PlanTrace)-1]
+	// With pL = 0.125%, the 99th percentile of requested sizes falls near
+	// the top of the small mode (~1.4 KB) and far below the large mode:
+	// every large item must classify as large, nearly all smalls as small.
+	if last.Threshold < 1000 || last.Threshold >= int64(workload.LargeMinSize) {
+		t.Errorf("threshold = %d, want in [1000, %d): near the small/large boundary",
+			last.Threshold, workload.LargeMinSize)
+	}
+}
+
+func TestAblationNoBatchedDrain(t *testing.T) {
+	normal := testRun(t, Config{Design: Minos, Rate: 2e6})
+	ablated := testRun(t, Config{Design: Minos, Rate: 2e6, NoBatchedDrain: true})
+	// Without the B/ns drain, small requests steered to large-core RX
+	// queues wait behind large work: the tail must be clearly worse.
+	if ablated.Lat.P99 < normal.Lat.P99*2 {
+		t.Errorf("NoBatchedDrain p99 %d vs normal %d: expected clear degradation",
+			ablated.Lat.P99, normal.Lat.P99)
+	}
+}
+
+func TestAblationSingleLargeQueue(t *testing.T) {
+	prof := workload.DefaultProfile().WithPercentLarge(0.75)
+	normal := testRun(t, Config{Design: Minos, Rate: 1.5e6, Profile: prof})
+	ablated := testRun(t, Config{Design: Minos, Rate: 1.5e6, Profile: prof, SingleLargeQueue: true})
+	// Size-range sharding orders large requests by size; a single shared
+	// queue mixes them, hurting the smaller large requests' tail.
+	if ablated.LargeLat.P99 <= normal.LargeLat.P99 {
+		t.Logf("note: shared-queue large p99 %d <= sharded %d (can happen at low load)",
+			ablated.LargeLat.P99, normal.LargeLat.P99)
+	}
+	if ablated.Lat.P99 > normal.Lat.P99*20 {
+		t.Errorf("SingleLargeQueue should not destroy the small-request tail: %d vs %d",
+			ablated.Lat.P99, normal.Lat.P99)
+	}
+}
+
+// TestExtensionLargeCoreStealing exercises the §6.1 alternative design:
+// an extra large core plus one-at-a-time stealing from small RX queues
+// must improve the large-request tail without wrecking the small one.
+func TestExtensionLargeCoreStealing(t *testing.T) {
+	base := testRun(t, Config{Design: Minos, Rate: 4e6})
+	ext := testRun(t, Config{Design: Minos, Rate: 4e6, LargeCoreStealing: true})
+	if ext.LargeLat.P99 >= base.LargeLat.P99 {
+		t.Errorf("large p99 with stealing %d >= baseline %d: extra large capacity should help",
+			ext.LargeLat.P99, base.LargeLat.P99)
+	}
+	// One-at-a-time stealing must not reintroduce head-of-line blocking:
+	// the small-request tail stays the same order of magnitude.
+	if float64(ext.SmallLat.P99) > 3*float64(base.SmallLat.P99) {
+		t.Errorf("small p99 with stealing %d vs baseline %d: stealing wrecked the small tail",
+			ext.SmallLat.P99, base.SmallLat.P99)
+	}
+	// Throughput is not sacrificed.
+	if ext.Throughput < base.Throughput*0.98 {
+		t.Errorf("throughput dropped: %.0f vs %.0f", ext.Throughput, base.Throughput)
+	}
+}
+
+// TestExtensionProfileSampling exercises the §6.2 overhead reduction:
+// sampling 1-in-10 requests must reach the same plan while recording a
+// tenth of the observations.
+func TestExtensionProfileSampling(t *testing.T) {
+	full := testRun(t, Config{Design: Minos, Rate: 2e6})
+	sampled := testRun(t, Config{Design: Minos, Rate: 2e6, ProfileSampling: 0.1})
+	fullPlan := full.PlanTrace[len(full.PlanTrace)-1]
+	samPlan := sampled.PlanTrace[len(sampled.PlanTrace)-1]
+	if samPlan.NumLarge != fullPlan.NumLarge {
+		t.Errorf("sampling changed the allocation: %d vs %d large cores",
+			samPlan.NumLarge, fullPlan.NumLarge)
+	}
+	// The thresholds must classify the same classes (both at the
+	// small-mode edge, far below the large mode).
+	if samPlan.Threshold >= int64(workload.LargeMinSize) || samPlan.Threshold < 1000 {
+		t.Errorf("sampled threshold = %d, want near the small/large boundary", samPlan.Threshold)
+	}
+	// And the tail is not hurt.
+	if float64(sampled.Lat.P99) > 2*float64(full.Lat.P99) {
+		t.Errorf("sampling hurt the tail: %d vs %d", sampled.Lat.P99, full.Lat.P99)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Design: Minos, Rate: 0},
+		{Design: SHO, Rate: 1e6, Cores: 2, HandoffCores: 2},
+		{Design: Minos, Rate: 1e6, ReplySampling: 1.5},
+		{Design: Minos, Rate: 1e6, Duration: sim.Second, Warmup: 2 * sim.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestMeanServiceTime(t *testing.T) {
+	mst := MeanServiceTime(workload.DefaultProfile())
+	// baseCost plus the rare-but-heavy large contribution: ~1.1 µs.
+	if mst < baseCost || mst > 2*baseCost {
+		t.Errorf("mean service time = %d ns, want in [%d, %d)", mst, baseCost, 2*baseCost)
+	}
+	// The write-intensive profile has more multi-frame PUTs inbound but
+	// fewer sampled reply frames; it should stay the same order.
+	wi := MeanServiceTime(workload.WriteIntensiveProfile())
+	if wi < baseCost || wi > 3*baseCost {
+		t.Errorf("write-intensive mean service = %d ns out of range", wi)
+	}
+}

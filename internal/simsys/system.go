@@ -1,0 +1,479 @@
+package simsys
+
+import (
+	"math/rand"
+
+	"github.com/minoskv/minos/internal/core"
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// system wires the simulation together: arrival process, inbound and
+// outbound NIC links, cores, controller and measurement.
+type system struct {
+	cfg Config
+	eng *sim.Engine
+
+	gen      *workload.Generator
+	arrivals *workload.Arrivals
+	steerRNG *rand.Rand
+
+	rxLink *link
+	txLink *link
+
+	cores   []coreUnit
+	sharedQ reqFifo // SingleLargeQueue ablation
+
+	ctrl *core.Controller
+	plan core.Plan
+
+	// profEvery implements the §6.2 profiling-sampling extension: only
+	// every profEvery-th request updates the size histograms (1 = all).
+	profEvery int
+
+	pool reqPool
+
+	// Measurement state.
+	lat, smallLat, largeLat *stats.Histogram
+	completed               uint64
+	rxDrops, swDrops        uint64
+	kickRR                  int
+
+	planTrace []PlanSample
+	winHists  []*stats.Histogram
+	winOps    []uint64
+
+	phaseIdx int
+}
+
+// Event kinds for system.Handle.
+const (
+	evArrival int64 = iota
+	evEpoch
+	evPhase
+)
+
+// hash64 is a strong 64-bit mixer for keyhash steering.
+func hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Run executes one full-system simulation.
+func Run(cfg Config) (Result, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	cat := workload.NewCatalog(cfg.Profile)
+	s := &system{
+		cfg:      cfg,
+		eng:      &sim.Engine{},
+		gen:      workload.NewGenerator(cat, cfg.Seed+101),
+		arrivals: workload.NewArrivals(cfg.Rate, cfg.Seed+202),
+		steerRNG: sim.Stream(cfg.Seed, 303),
+		lat:      stats.NewLatencyHistogram(),
+		smallLat: stats.NewLatencyHistogram(),
+		largeLat: stats.NewLatencyHistogram(),
+		sharedQ:  newReqFifo(cfg.SwQueueCap),
+	}
+	s.rxLink = newLink(s.eng, cfg.LinkRateGbps, cfg.Clients, s.deliver)
+	s.txLink = newLink(s.eng, cfg.LinkRateGbps, cfg.Cores, s.replyDelivered)
+	s.profEvery = 1
+	if cfg.ProfileSampling < 1 {
+		s.profEvery = int(1 / cfg.ProfileSampling)
+	}
+
+	if cfg.Design == Minos {
+		extra := 0
+		if cfg.LargeCoreStealing {
+			extra = 1 // §6.1: "allocate one more core to large requests"
+		}
+		ctrl, err := core.NewController(core.Config{
+			Cores:           cfg.Cores,
+			Quantile:        cfg.Quantile,
+			Alpha:           cfg.Alpha,
+			Cost:            cfg.Cost,
+			StaticThreshold: cfg.StaticThreshold,
+			ExtraLargeCores: extra,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		s.ctrl = ctrl
+		s.plan = ctrl.Plan()
+		s.tracePlan(0)
+	}
+
+	s.cores = make([]coreUnit, cfg.Cores)
+	for i := range s.cores {
+		c := &s.cores[i]
+		c.sys = s
+		c.id = i
+		c.rxq = newReqFifo(cfg.RxQueueCap)
+		c.swq = newReqFifo(cfg.SwQueueCap)
+		if s.ctrl != nil {
+			c.sizeHist = s.ctrl.NewSizeHistogram()
+		}
+	}
+
+	if cfg.WindowLen > 0 {
+		n := int((cfg.Duration + cfg.WindowLen - 1) / cfg.WindowLen)
+		s.winHists = make([]*stats.Histogram, n)
+		s.winOps = make([]uint64, n)
+		for i := range s.winHists {
+			s.winHists[i] = stats.NewLatencyHistogram()
+		}
+	}
+
+	// Prime the event streams.
+	s.eng.Schedule(sim.Time(s.arrivals.Next()), s, evArrival, nil)
+	if s.ctrl != nil {
+		s.eng.Schedule(cfg.Epoch, s, evEpoch, nil)
+	}
+	if len(cfg.Phases) > 0 {
+		s.gen.SetPercentLarge(cfg.Phases[0].PercentLarge)
+		s.eng.Schedule(sim.Time(cfg.Phases[0].Duration), s, evPhase, nil)
+	}
+
+	s.eng.RunUntil(cfg.Duration)
+
+	return s.buildResult(), nil
+}
+
+// Handle dispatches the system-level events.
+func (s *system) Handle(e *sim.Engine, arg int64, _ any) {
+	switch arg {
+	case evArrival:
+		s.arrive(e)
+	case evEpoch:
+		s.epoch(e)
+	case evPhase:
+		s.phase(e)
+	}
+}
+
+// arrive admits one client request into the inbound link.
+func (s *system) arrive(e *sim.Engine) {
+	now := e.Now()
+	if next := sim.Time(s.arrivals.Next()); next < s.cfg.Duration {
+		e.Schedule(next, s, evArrival, nil)
+	}
+
+	wr := s.gen.Next()
+	r := s.pool.get()
+	r.sendT = now
+	r.key = wr.Key
+	r.size = wr.Size
+	r.op = wr.Op
+	r.class = wr.Class
+	r.client = int32(s.steerRNG.Intn(s.cfg.Clients))
+	r.sampled = s.cfg.ReplySampling >= 1 || s.steerRNG.Float64() < s.cfg.ReplySampling
+
+	// RX steering (§3): GETs to a uniformly random queue, PUTs by
+	// keyhash. SHO clients only target the handoff cores' queues.
+	nq := s.cfg.Cores
+	if s.cfg.Design == SHO {
+		nq = s.cfg.HandoffCores
+	}
+	if r.op == workload.OpGet {
+		r.rxq = int32(s.steerRNG.Intn(nq))
+	} else {
+		r.rxq = int32(hash64(r.key) % uint64(nq))
+	}
+
+	s.rxLink.send(int(r.client), r, inFrames(r.op, r.size), inWireBytes(r.op, r.size))
+}
+
+// deliver lands a fully received request in its RX queue (called by the
+// inbound link when the last frame arrives).
+func (s *system) deliver(r *request) {
+	c := &s.cores[r.rxq]
+	if !c.rxq.push(r) {
+		s.rxDrops++
+		s.pool.put(r)
+		return
+	}
+	s.wakeForRx(c)
+}
+
+// wakeForRx kicks a core that can drain the queue that just received r.
+func (s *system) wakeForRx(owner *coreUnit) {
+	switch s.cfg.Design {
+	case Minos:
+		if s.cfg.NoBatchedDrain || s.isSmallCore(owner.id) {
+			s.kick(owner)
+			return
+		}
+		// Large-core RX queues are drained by small cores; kick an
+		// idle one, round-robin so the load spreads.
+		s.kickIdleSmall()
+	case HKHWS:
+		if !owner.busy {
+			s.kick(owner)
+			return
+		}
+		// The owner is busy, but an idle peer may steal it.
+		s.kickAnyIdle()
+	default: // HKH, SHO: only the owning core reads this queue.
+		s.kick(owner)
+	}
+}
+
+// kick runs a core's scheduling loop if it is idle.
+func (s *system) kick(c *coreUnit) {
+	if !c.busy {
+		s.coreNext(c)
+	}
+}
+
+func (s *system) kickIdleSmall() {
+	n := s.plan.NumSmall
+	for i := 0; i < n; i++ {
+		c := &s.cores[(s.kickRR+i)%n]
+		if !c.busy {
+			s.kickRR = (s.kickRR + i + 1) % n
+			s.coreNext(c)
+			return
+		}
+	}
+}
+
+func (s *system) kickAnyIdle() {
+	n := s.cfg.Cores
+	for i := 0; i < n; i++ {
+		c := &s.cores[(s.kickRR+i)%n]
+		if !c.busy {
+			s.kickRR = (s.kickRR + i + 1) % n
+			s.coreNext(c)
+			return
+		}
+	}
+}
+
+// isSmallCore reports whether core id serves small requests under the
+// current plan. The standby core counts as small only while disengaged
+// (§3: "it handles small requests, but if a large request arrives, it is
+// sent to this core, which then becomes a large core").
+func (s *system) isSmallCore(id int) bool {
+	if s.plan.Standby && id == s.cfg.Cores-1 && s.standbyEngaged() {
+		return false
+	}
+	return s.plan.IsSmallCore(id)
+}
+
+// standbyEngaged reports whether the standby core is currently acting as a
+// large core: it has queued or in-service large work. While engaged, its
+// RX queue is drained by the other small cores exactly like a regular
+// large core's.
+func (s *system) standbyEngaged() bool {
+	if !s.plan.Standby {
+		return false
+	}
+	c := &s.cores[s.cfg.Cores-1]
+	if c.swq.len() > 0 {
+		return true
+	}
+	return c.busy && c.curKind == kindServe && c.cur != nil && !s.plan.IsSmall(int64(c.cur.size))
+}
+
+// largeCoreIDs invokes fn for each core id currently serving large
+// requests: the plan's large cores, or an engaged standby core.
+func (s *system) largeCoreIDs(fn func(id int)) {
+	if s.plan.Standby {
+		if s.standbyEngaged() {
+			fn(s.cfg.Cores - 1)
+		}
+		return
+	}
+	for i := 0; i < s.plan.NumLarge; i++ {
+		fn(s.plan.LargeCoreID(i))
+	}
+}
+
+// dispatchLarge routes a large request from a small core to its large
+// core's software queue (§3).
+func (s *system) dispatchLarge(r *request) {
+	if s.cfg.SingleLargeQueue {
+		if !s.sharedQ.push(r) {
+			s.swDrops++
+			s.pool.put(r)
+			return
+		}
+		// Wake the first idle large core.
+		if s.plan.Standby {
+			s.kick(&s.cores[s.cfg.Cores-1])
+			return
+		}
+		for i := 0; i < s.plan.NumLarge; i++ {
+			c := &s.cores[s.plan.LargeCoreID(i)]
+			if !c.busy {
+				s.kick(c)
+				return
+			}
+		}
+		return
+	}
+	target := s.plan.LargeCoreID(s.plan.LargeIndexFor(int64(r.size)))
+	c := &s.cores[target]
+	if !c.swq.push(r) {
+		s.swDrops++
+		s.pool.put(r)
+		return
+	}
+	s.kick(c)
+}
+
+// epoch runs the Minos controller: aggregate per-core histograms, fold,
+// re-plan (§3). The aggregation cost lands on core 0, the paper's choice.
+func (s *system) epoch(e *sim.Engine) {
+	e.After(s.cfg.Epoch, s, evEpoch, nil)
+	agg := s.ctrl.NewSizeHistogram()
+	for i := range s.cores {
+		h := s.cores[i].sizeHist
+		if h.Count() > 0 {
+			agg.Merge(h)
+			h.Reset()
+		}
+	}
+	s.plan = s.ctrl.Epoch(agg)
+	s.tracePlan(e.Now())
+	s.cores[0].extraBusy += epochAggCost
+}
+
+func (s *system) tracePlan(t sim.Time) {
+	numLarge := s.plan.NumLarge
+	if s.plan.Standby {
+		numLarge = 0
+	}
+	s.planTrace = append(s.planTrace, PlanSample{
+		T:         t,
+		NumLarge:  numLarge,
+		Threshold: s.plan.Threshold,
+		Standby:   s.plan.Standby,
+	})
+}
+
+// phase steps the dynamic workload (Figure 10).
+func (s *system) phase(e *sim.Engine) {
+	s.phaseIdx++
+	if s.phaseIdx >= len(s.cfg.Phases) {
+		return // hold the last phase
+	}
+	p := s.cfg.Phases[s.phaseIdx]
+	s.gen.SetPercentLarge(p.PercentLarge)
+	e.After(sim.Time(p.Duration), s, evPhase, nil)
+}
+
+// replyDelivered fires when the last frame of a reply leaves the TX wire:
+// the client-observed completion (§5.4), modulo constant propagation.
+func (s *system) replyDelivered(r *request) {
+	now := s.eng.Now()
+	lat := now - r.sendT + 2*(propagationDelay+clientOverhead)
+	s.recordCompletion(now, lat, r)
+	s.pool.put(r)
+}
+
+// completeUnsampled accounts a request whose reply was suppressed by the
+// Figure 8 sampling: it counts for throughput but not latency.
+func (s *system) completeUnsampled(r *request) {
+	now := s.eng.Now()
+	if now >= s.cfg.Warmup && now < s.cfg.Duration {
+		s.completed++
+		if s.winOps != nil {
+			if w := int(now / s.cfg.WindowLen); w < len(s.winOps) {
+				s.winOps[w]++
+			}
+		}
+	}
+	s.pool.put(r)
+}
+
+func (s *system) recordCompletion(now sim.Time, lat int64, r *request) {
+	if now < s.cfg.Warmup || now >= s.cfg.Duration {
+		return
+	}
+	s.completed++
+	s.lat.Record(lat)
+	if r.class == workload.ClassLarge {
+		s.largeLat.Record(lat)
+	} else {
+		s.smallLat.Record(lat)
+	}
+	if s.winHists != nil {
+		if w := int(now / s.cfg.WindowLen); w < len(s.winHists) {
+			s.winHists[w].Record(lat)
+			s.winOps[w]++
+		}
+	}
+}
+
+func summarize(h *stats.Histogram) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.P50(),
+		P99:   h.P99(),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+func (s *system) buildResult() Result {
+	cfg := s.cfg
+	window := float64(cfg.Duration - cfg.Warmup)
+	res := Result{
+		Config:     cfg,
+		Offered:    cfg.Rate,
+		Completed:  s.completed,
+		Throughput: float64(s.completed) / window * 1e9,
+		Lat:        summarize(s.lat),
+		SmallLat:   summarize(s.smallLat),
+		LargeLat:   summarize(s.largeLat),
+		TXUtil:     float64(s.txLink.busyNS) / float64(cfg.Duration),
+		RXUtil:     float64(s.rxLink.busyNS) / float64(cfg.Duration),
+		RxDrops:    s.rxDrops,
+		SwDrops:    s.swDrops,
+		PlanTrace:  s.planTrace,
+		Events:     s.eng.Fired(),
+	}
+	res.PerCore = make([]CoreStat, len(s.cores))
+	for i := range s.cores {
+		c := &s.cores[i]
+		res.PerCore[i] = CoreStat{
+			Ops:       c.ops,
+			Packets:   c.pkts,
+			LargeRole: cfg.Design == Minos && !s.isSmallCore(i),
+		}
+	}
+	if s.winHists != nil {
+		winSec := float64(cfg.WindowLen) / 1e9
+		for w, h := range s.winHists {
+			start := sim.Time(w) * cfg.WindowLen
+			ws := WindowSample{
+				Start:      start,
+				P99:        h.P99(),
+				Throughput: float64(s.winOps[w]) / winSec,
+				NumLarge:   s.numLargeAt(start),
+			}
+			res.Windows = append(res.Windows, ws)
+		}
+	}
+	return res
+}
+
+// numLargeAt returns the plan's large-core count in effect at time t.
+func (s *system) numLargeAt(t sim.Time) int {
+	n := 0
+	for _, ps := range s.planTrace {
+		if ps.T > t {
+			break
+		}
+		n = ps.NumLarge
+	}
+	return n
+}

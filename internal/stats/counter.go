@@ -1,0 +1,52 @@
+package stats
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event counter safe for concurrent
+// use. The zero value is ready to use. Live-server cores use Counters for
+// per-core ops/packets accounting (Figure 9); the simulator uses plain
+// int64 fields since it is single-threaded by construction.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset sets the counter to zero and returns the previous value.
+func (c *Counter) Reset() uint64 { return c.v.Swap(0) }
+
+// CoreLoad captures one core's share of work over a measurement interval,
+// the unit of Figure 9's load-balance breakdown.
+type CoreLoad struct {
+	Core     int     // core index
+	IsLarge  bool    // whether the core served large requests
+	Ops      uint64  // requests completed
+	Packets  uint64  // network packets handled (cost-function units)
+	OpsPct   float64 // share of total ops, in percent
+	PktsPct  float64 // share of total packets, in percent
+	CostUsed float64 // fraction of the interval the core was busy
+}
+
+// ShareOut fills the percentage fields of each CoreLoad from the totals.
+func ShareOut(loads []CoreLoad) {
+	var ops, pkts uint64
+	for _, l := range loads {
+		ops += l.Ops
+		pkts += l.Packets
+	}
+	for i := range loads {
+		if ops > 0 {
+			loads[i].OpsPct = 100 * float64(loads[i].Ops) / float64(ops)
+		}
+		if pkts > 0 {
+			loads[i].PktsPct = 100 * float64(loads[i].Packets) / float64(pkts)
+		}
+	}
+}

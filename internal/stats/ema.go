@@ -1,0 +1,83 @@
+package stats
+
+// EMA is a scalar exponential moving average with discount factor alpha in
+// [0,1]: after Update(x), Value = (1-alpha)*old + alpha*x. The paper's
+// threshold controller uses alpha = 0.9, weighting fresh measurements
+// heavily because an epoch at high throughput samples many item sizes
+// (§3, "How to find the threshold").
+type EMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEMA returns an EMA with the given discount factor, clamped to [0,1].
+func NewEMA(alpha float64) *EMA {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EMA{alpha: alpha}
+}
+
+// Update folds observation x into the average. The first observation
+// initializes the average to x exactly.
+func (e *EMA) Update(x float64) {
+	if !e.started {
+		e.value = x
+		e.started = true
+		return
+	}
+	e.value = (1-e.alpha)*e.value + e.alpha*x
+}
+
+// Value returns the current average (0 before any update).
+func (e *EMA) Value() float64 { return e.value }
+
+// Started reports whether at least one observation has been folded in.
+func (e *EMA) Started() bool { return e.started }
+
+// SmoothedHistogram maintains the paper's histogram moving average:
+// Hcurr = (1-alpha)*Hcurr + alpha*H, where H is the histogram collected in
+// the epoch that just ended. The smoothed histogram is what the controller
+// takes the 99th percentile of, making the threshold resilient to transient
+// workload oscillations (§3).
+type SmoothedHistogram struct {
+	alpha   float64
+	curr    *Histogram
+	started bool
+}
+
+// NewSmoothedHistogram returns a smoother with the given discount factor.
+// template provides the histogram configuration (range and precision).
+func NewSmoothedHistogram(alpha float64, template *Histogram) *SmoothedHistogram {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	c := template.Clone()
+	c.Reset()
+	return &SmoothedHistogram{alpha: alpha, curr: c}
+}
+
+// Fold incorporates the epoch histogram h. The first fold adopts h
+// unscaled so the controller has a meaningful view from epoch one.
+func (s *SmoothedHistogram) Fold(h *Histogram) {
+	if !s.started {
+		s.curr.Merge(h)
+		s.started = true
+		return
+	}
+	s.curr.Scale(1 - s.alpha)
+	s.curr.ScaledAdd(s.alpha, h)
+}
+
+// Current returns the smoothed histogram. Callers must not modify it.
+func (s *SmoothedHistogram) Current() *Histogram { return s.curr }
+
+// Quantile returns the q-quantile of the smoothed histogram.
+func (s *SmoothedHistogram) Quantile(q float64) int64 { return s.curr.Quantile(q) }

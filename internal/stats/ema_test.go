@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEMAFirstObservationAdopted(t *testing.T) {
+	e := NewEMA(0.9)
+	if e.Started() {
+		t.Fatal("fresh EMA reports Started")
+	}
+	e.Update(100)
+	if !e.Started() || e.Value() != 100 {
+		t.Fatalf("after first update Value = %v, want 100", e.Value())
+	}
+}
+
+func TestEMAPaperFormula(t *testing.T) {
+	// Hcurr = (1-alpha)*Hcurr + alpha*H with alpha = 0.9.
+	e := NewEMA(0.9)
+	e.Update(100)
+	e.Update(200)
+	want := 0.1*100 + 0.9*200
+	if math.Abs(e.Value()-want) > 1e-9 {
+		t.Fatalf("Value = %v, want %v", e.Value(), want)
+	}
+}
+
+func TestEMAAlphaClamped(t *testing.T) {
+	e := NewEMA(5)
+	e.Update(1)
+	e.Update(9)
+	if e.Value() != 9 {
+		t.Fatalf("alpha>1 should clamp to 1 (track latest), got %v", e.Value())
+	}
+	e2 := NewEMA(-1)
+	e2.Update(1)
+	e2.Update(9)
+	if e2.Value() != 1 {
+		t.Fatalf("alpha<0 should clamp to 0 (freeze), got %v", e2.Value())
+	}
+}
+
+// Property: EMA output always lies between the min and max of the inputs.
+func TestEMABoundedByInputs(t *testing.T) {
+	f := func(xs []float64, alphaRaw uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		alpha := float64(alphaRaw) / 255
+		e := NewEMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			e.Update(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		// Allow tiny floating-point slack.
+		eps := 1e-9 * (math.Abs(lo) + math.Abs(hi) + 1)
+		return e.Value() >= lo-eps && e.Value() <= hi+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothedHistogramFirstFoldAdopts(t *testing.T) {
+	tmpl := NewSizeHistogram()
+	s := NewSmoothedHistogram(0.9, tmpl)
+	h := NewSizeHistogram()
+	h.RecordN(100, 1000)
+	s.Fold(h)
+	if got := s.Current().Count(); got != 1000 {
+		t.Fatalf("after first fold Count = %d, want 1000", got)
+	}
+}
+
+func TestSmoothedHistogramConverges(t *testing.T) {
+	// Feeding the same epoch histogram repeatedly must converge to it.
+	tmpl := NewSizeHistogram()
+	s := NewSmoothedHistogram(0.9, tmpl)
+	old := NewSizeHistogram()
+	old.RecordN(1<<19, 10000) // old regime: large values
+	s.Fold(old)
+	epoch := NewSizeHistogram()
+	epoch.RecordN(100, 10000) // new regime: small values
+	for i := 0; i < 6; i++ {
+		s.Fold(epoch)
+	}
+	// After several folds of the new regime, p99 must reflect it.
+	if p := s.Quantile(0.99); p > 1000 {
+		t.Fatalf("smoothed p99 = %d, old regime still dominates", p)
+	}
+}
+
+func TestSmoothedHistogramResistsTransient(t *testing.T) {
+	// One anomalous epoch must not fully take over (that is the point of
+	// the moving average): with alpha=0.9, 10% of the steady state remains.
+	tmpl := NewSizeHistogram()
+	s := NewSmoothedHistogram(0.9, tmpl)
+	steady := NewSizeHistogram()
+	steady.RecordN(100, 100000)
+	s.Fold(steady)
+	spike := NewSizeHistogram()
+	spike.RecordN(1<<19, 100)
+	s.Fold(spike)
+	// Steady-state mass: 10% of 100000 = 10000 at value 100; spike mass:
+	// 90 at 512K. p99 over 10090 samples has rank 9990 < 10000 -> small.
+	if p := s.Quantile(0.99); p > 1000 {
+		t.Fatalf("one spike epoch moved p99 to %d; smoothing ineffective", p)
+	}
+}
+
+func TestCoreLoadShareOut(t *testing.T) {
+	loads := []CoreLoad{
+		{Core: 0, Ops: 75, Packets: 50},
+		{Core: 1, Ops: 25, Packets: 50},
+	}
+	ShareOut(loads)
+	if loads[0].OpsPct != 75 || loads[1].OpsPct != 25 {
+		t.Fatalf("OpsPct = %v/%v, want 75/25", loads[0].OpsPct, loads[1].OpsPct)
+	}
+	if loads[0].PktsPct != 50 || loads[1].PktsPct != 50 {
+		t.Fatalf("PktsPct = %v/%v, want 50/50", loads[0].PktsPct, loads[1].PktsPct)
+	}
+	// All-zero totals must not divide by zero.
+	zero := []CoreLoad{{Core: 0}, {Core: 1}}
+	ShareOut(zero)
+	if zero[0].OpsPct != 0 || zero[0].PktsPct != 0 {
+		t.Fatal("zero totals produced nonzero shares")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if c.Load() != 4000 {
+		t.Fatalf("Counter = %d, want 4000", c.Load())
+	}
+	if prev := c.Reset(); prev != 4000 || c.Load() != 0 {
+		t.Fatalf("Reset returned %d (want 4000), now %d (want 0)", prev, c.Load())
+	}
+}

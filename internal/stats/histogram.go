@@ -1,0 +1,360 @@
+// Package stats provides the measurement primitives used throughout the
+// Minos reproduction: log-bucketed histograms for latencies and item sizes,
+// percentile extraction, exponential moving averages for the threshold
+// controller, and small summary helpers.
+//
+// The histograms follow the HDR-histogram idea — fixed sub-bucket precision
+// within power-of-two ranges — so that recording is O(1), memory is bounded
+// and percentiles are accurate to a configurable relative error at any
+// magnitude. This matters because the paper's measurements span almost four
+// orders of magnitude (sub-microsecond to millisecond latencies, byte to
+// megabyte item sizes).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Histogram is a log-bucketed histogram of non-negative int64 values.
+// The zero value is not usable; create one with NewHistogram.
+//
+// Values are grouped into buckets whose width doubles every subCount
+// buckets, giving a constant relative error of about 1/subCount. Values
+// above max are clamped into the top bucket and reported by OverflowCount.
+type Histogram struct {
+	max      int64
+	subBits  uint // log2 of the number of sub-buckets per doubling
+	subCount int64
+	counts   []uint64
+	total    uint64
+	overflow uint64
+	sum      int64
+	min      int64
+	maxSeen  int64
+}
+
+// NewHistogram returns a histogram covering [0, max] with a relative
+// precision of 2^-subBits (subBits in [1, 12]). A subBits of 7 gives
+// better than 1% relative error, which is ample for 99th percentiles.
+func NewHistogram(max int64, subBits uint) *Histogram {
+	if max < 1 {
+		max = 1
+	}
+	if subBits < 1 {
+		subBits = 1
+	}
+	if subBits > 12 {
+		subBits = 12
+	}
+	h := &Histogram{
+		max:      max,
+		subBits:  subBits,
+		subCount: 1 << subBits,
+		min:      math.MaxInt64,
+	}
+	h.counts = make([]uint64, h.bucketIndex(max)+1)
+	return h
+}
+
+// NewLatencyHistogram returns a histogram sized for nanosecond latencies up
+// to 100 seconds with ~0.8% relative error, suitable for every latency
+// measurement in the reproduction.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(100e9, 7)
+}
+
+// NewSizeHistogram returns a histogram sized for item sizes up to 16 MiB,
+// the range the paper's workloads span (1 B to 1 MB with headroom).
+func NewSizeHistogram() *Histogram {
+	return NewHistogram(16<<20, 7)
+}
+
+// bucketIndex maps a value to its bucket. Layout: values < subCount map
+// one-to-one; above that, each power-of-two range is split into subCount
+// sub-buckets.
+func (h *Histogram) bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < h.subCount {
+		return int(v)
+	}
+	// Position of the highest set bit.
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	// Number of doublings beyond the linear region.
+	shift := uint(msb) - h.subBits
+	sub := v >> shift // in [subCount, 2*subCount)
+	return int((int64(shift)+1)<<h.subBits) + int(sub-h.subCount)
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func (h *Histogram) bucketLow(i int) int64 {
+	if int64(i) < h.subCount {
+		return int64(i)
+	}
+	shift := uint(i>>h.subBits) - 1
+	sub := int64(i&int(h.subCount-1)) + h.subCount
+	return sub << shift
+}
+
+// bucketHigh returns the largest value mapping to bucket i.
+func (h *Histogram) bucketHigh(i int) int64 {
+	if int64(i) < h.subCount {
+		return int64(i)
+	}
+	shift := uint(i>>h.subBits) - 1
+	sub := int64(i&int(h.subCount-1)) + h.subCount
+	return (sub+1)<<shift - 1
+}
+
+// Record adds one observation of value v.
+func (h *Histogram) Record(v int64) {
+	h.RecordN(v, 1)
+}
+
+// RecordN adds n observations of value v.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	clamped := v
+	if clamped > h.max {
+		clamped = h.max
+		h.overflow += n
+	}
+	h.counts[h.bucketIndex(clamped)] += n
+	h.total += n
+	h.sum += v * int64(n)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+}
+
+// Count returns the total number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// OverflowCount returns how many observations exceeded the histogram range
+// and were clamped into the top bucket.
+func (h *Histogram) OverflowCount() uint64 { return h.overflow }
+
+// Sum returns the sum of all recorded values (unclamped).
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the mean of recorded values, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min returns the smallest recorded value, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.maxSeen
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) of the
+// recorded distribution: the high edge of the bucket containing the
+// q-quantile observation. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			hi := h.bucketHigh(i)
+			if hi > h.maxSeen {
+				hi = h.maxSeen
+			}
+			// The top bucket absorbs clamped overflow values; the only
+			// honest upper bound for it is the largest value seen.
+			if i == len(h.counts)-1 && h.overflow > 0 {
+				hi = h.maxSeen
+			}
+			return hi
+		}
+	}
+	return h.maxSeen
+}
+
+// P99 is shorthand for Quantile(0.99), the statistic the paper reports.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// P50 is shorthand for Quantile(0.50).
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+
+// Reset zeroes the histogram in place, retaining its configuration.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.overflow = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.maxSeen = 0
+}
+
+// Clone returns a deep copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = make([]uint64, len(h.counts))
+	copy(c.counts, h.counts)
+	return &c
+}
+
+// Merge adds all observations of other into h. The histograms must have the
+// same configuration (max and precision); Merge panics otherwise, since
+// merging incompatible histograms is a programming error.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if h.max != other.max || h.subBits != other.subBits {
+		panic(fmt.Sprintf("stats: merging incompatible histograms (max %d/%d, subBits %d/%d)",
+			h.max, other.max, h.subBits, other.subBits))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.overflow += other.overflow
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.maxSeen > h.maxSeen {
+			h.maxSeen = other.maxSeen
+		}
+	}
+}
+
+// Scale multiplies every bucket count by f (f >= 0), used by the EMA
+// smoothing of the threshold controller. Counts are rounded to nearest.
+// Value statistics (sum, min, max) are scaled best-effort.
+func (h *Histogram) Scale(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	var total uint64
+	for i, c := range h.counts {
+		nc := uint64(math.Round(float64(c) * f))
+		h.counts[i] = nc
+		total += nc
+	}
+	h.total = total
+	h.overflow = uint64(math.Round(float64(h.overflow) * f))
+	h.sum = int64(math.Round(float64(h.sum) * f))
+	if total == 0 {
+		h.min = math.MaxInt64
+		h.maxSeen = 0
+	}
+}
+
+// ScaledAdd adds f times other's bucket counts into h (EMA helper:
+// h = h + f*other). Configurations must match.
+func (h *Histogram) ScaledAdd(f float64, other *Histogram) {
+	if other == nil || f <= 0 {
+		return
+	}
+	if h.max != other.max || h.subBits != other.subBits {
+		panic("stats: ScaledAdd with incompatible histograms")
+	}
+	var added uint64
+	for i, c := range other.counts {
+		nc := uint64(math.Round(float64(c) * f))
+		h.counts[i] += nc
+		added += nc
+	}
+	h.total += added
+	h.overflow += uint64(math.Round(float64(other.overflow) * f))
+	h.sum += int64(math.Round(float64(other.sum) * f))
+	if added > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.maxSeen > h.maxSeen {
+			h.maxSeen = other.maxSeen
+		}
+	}
+}
+
+// Buckets invokes fn for every non-empty bucket with the bucket's value
+// range [low, high] and count, in increasing value order.
+func (h *Histogram) Buckets(fn func(low, high int64, count uint64)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		fn(h.bucketLow(i), h.bucketHigh(i), c)
+	}
+}
+
+// String summarizes the histogram for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("Histogram{n=%d mean=%.1f p50=%d p99=%d max=%d}",
+		h.total, h.Mean(), h.P50(), h.P99(), h.Max())
+}
+
+// Percentiles computes exact percentiles of a small sample slice; it is the
+// reference implementation the histogram is tested against and is also used
+// where exact values over small samples are preferable (e.g. per-window
+// percentiles in Figure 10 with few thousand samples).
+//
+// The slice is sorted in place. q values are in [0,1]. The nearest-rank
+// definition is used, matching Histogram.Quantile's rank computation.
+func Percentiles(sample []int64, qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	if len(sample) == 0 {
+		return out
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		rank := int(math.Ceil(q * float64(len(sample))))
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = sample[rank-1]
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1000, 7)
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 {
+		t.Fatalf("empty histogram not zero: %v", h)
+	}
+	h.Record(5)
+	h.Record(10)
+	h.Record(15)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 30 {
+		t.Fatalf("Sum = %d, want 30", got)
+	}
+	if got := h.Mean(); got != 10 {
+		t.Fatalf("Mean = %v, want 10", got)
+	}
+	if got := h.Min(); got != 5 {
+		t.Fatalf("Min = %d, want 5", got)
+	}
+	if got := h.Max(); got != 15 {
+		t.Fatalf("Max = %d, want 15", got)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below 2^subBits are stored exactly.
+	h := NewHistogram(1<<20, 7)
+	for v := int64(0); v < 128; v++ {
+		h.Record(v)
+	}
+	for q, want := range map[float64]int64{0.5: 63, 1.0: 127} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram(100e9, 7)
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform values across nearly the whole range.
+		v := int64(math.Exp(rng.Float64()*23)) + 1
+		values = append(values, v)
+		h.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Percentiles(append([]int64(nil), values...), q)[0]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		if relErr > 0.01 {
+			t.Errorf("Quantile(%v) = %d, exact %d, rel err %.4f > 1%%", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramOverflowClamp(t *testing.T) {
+	h := NewHistogram(1000, 7)
+	h.Record(5000)
+	if h.OverflowCount() != 1 {
+		t.Fatalf("OverflowCount = %d, want 1", h.OverflowCount())
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if got := h.Quantile(1.0); got != 5000 {
+		// maxSeen tracks the unclamped value; quantile caps at maxSeen.
+		t.Fatalf("Quantile(1) = %d, want 5000", got)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram(1000, 7)
+	h.Record(-5)
+	if got := h.Quantile(1.0); got != 0 {
+		t.Fatalf("Quantile(1) = %d, want 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1000, 7)
+	b := NewHistogram(1000, 7)
+	a.Record(10)
+	b.Record(20)
+	b.Record(30)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", a.Count())
+	}
+	if a.Sum() != 60 {
+		t.Fatalf("Sum = %d, want 60", a.Sum())
+	}
+	if a.Min() != 10 || a.Max() != 30 {
+		t.Fatalf("Min/Max = %d/%d, want 10/30", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on incompatible merge")
+		}
+	}()
+	a := NewHistogram(1000, 7)
+	b := NewHistogram(2000, 7)
+	a.Merge(b)
+}
+
+func TestHistogramResetAndClone(t *testing.T) {
+	h := NewHistogram(1000, 7)
+	h.Record(42)
+	c := h.Clone()
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatalf("after Reset Count = %d, want 0", h.Count())
+	}
+	if c.Count() != 1 || c.Quantile(1) != 42 {
+		t.Fatalf("clone corrupted by Reset: %v", c)
+	}
+	c.Record(7)
+	if h.Count() != 0 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestHistogramScale(t *testing.T) {
+	h := NewHistogram(1000, 7)
+	for i := 0; i < 100; i++ {
+		h.Record(50)
+	}
+	h.Scale(0.5)
+	if h.Count() != 50 {
+		t.Fatalf("Count after Scale(0.5) = %d, want 50", h.Count())
+	}
+	h.Scale(0)
+	if h.Count() != 0 {
+		t.Fatalf("Count after Scale(0) = %d, want 0", h.Count())
+	}
+}
+
+func TestHistogramBucketsIteration(t *testing.T) {
+	h := NewHistogram(1<<20, 7)
+	h.Record(3)
+	h.RecordN(100000, 5)
+	var total uint64
+	var lastHigh int64 = -1
+	h.Buckets(func(low, high int64, count uint64) {
+		if low <= lastHigh {
+			t.Errorf("buckets not increasing: low %d after high %d", low, lastHigh)
+		}
+		if low > high {
+			t.Errorf("bucket inverted: [%d,%d]", low, high)
+		}
+		lastHigh = high
+		total += count
+	})
+	if total != 6 {
+		t.Fatalf("bucket total = %d, want 6", total)
+	}
+}
+
+// Property: for any set of recorded values, Quantile(q) is an upper bound on
+// the exact nearest-rank percentile and within the configured relative error.
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(raw []uint32, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(1<<32, 7)
+		values := make([]int64, len(raw))
+		for i, r := range raw {
+			values[i] = int64(r)
+			h.Record(int64(r))
+		}
+		q := float64(qRaw%101) / 100
+		exact := Percentiles(values, q)[0]
+		got := h.Quantile(q)
+		if got < exact {
+			return false // must be an upper bound (bucket high edge)
+		}
+		// Relative error bound: bucket width / bucket low <= 2^-7.
+		if exact > 0 && float64(got-exact)/float64(exact) > 1.0/64 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := NewHistogram(1<<20, 7)
+		for _, r := range raw {
+			h.Record(int64(r))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two histograms preserves total count and sum.
+func TestHistogramMergeProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := NewHistogram(1<<20, 7)
+		b := NewHistogram(1<<20, 7)
+		for _, x := range xs {
+			a.Record(int64(x))
+		}
+		for _, y := range ys {
+			b.Record(int64(y))
+		}
+		wantCount := a.Count() + b.Count()
+		wantSum := a.Sum() + b.Sum()
+		a.Merge(b)
+		return a.Count() == wantCount && a.Sum() == wantSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilesNearestRank(t *testing.T) {
+	s := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	got := Percentiles(s, 0.5, 0.9, 0.99, 1.0)
+	want := []int64{50, 90, 100, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if out := Percentiles(nil, 0.5); out[0] != 0 {
+		t.Errorf("empty sample percentile = %d, want 0", out[0])
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewLatencyHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000000 + 1))
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(rng.Int63n(1e9))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.P99()
+	}
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// Reassembler collects fragments until a message is complete, the receive
+// side of the UDP-level fragmentation of §4.1. It is keyed by (source,
+// request id): the live server uses the client's transport address as
+// source; the client uses the server's.
+//
+// A Reassembler is not safe for concurrent use; in the live server each
+// core owns one, matching the paper's share-nothing RX path.
+//
+// Incomplete messages are abandoned after MaxPending other messages from
+// the same source complete or when Expire is called; the paper's clients
+// handle loss by retransmission (or, in the evaluation, by reporting only
+// zero-loss runs), so the reassembler only has to bound its own memory.
+type Reassembler struct {
+	pending map[reassemblyKey]*pendingMessage
+	// maxPending bounds distinct in-flight messages; beyond it the
+	// oldest-started message is dropped.
+	maxPending int
+	dropped    uint64
+	completed  uint64
+	seq        uint64
+}
+
+type reassemblyKey struct {
+	source uint64
+	reqID  uint64
+}
+
+type pendingMessage struct {
+	header   Header
+	body     []byte // key||value, filled in fragment order
+	received int    // payload bytes received so far
+	started  uint64 // arrival sequence number, for eviction
+}
+
+// DefaultMaxPending bounds the number of partially reassembled messages.
+// Large messages are ~0.1% of the workload and each source sends them
+// sequentially, so a small bound suffices.
+const DefaultMaxPending = 64
+
+// NewReassembler returns an empty reassembler. maxPending <= 0 selects
+// DefaultMaxPending.
+func NewReassembler(maxPending int) *Reassembler {
+	if maxPending <= 0 {
+		maxPending = DefaultMaxPending
+	}
+	return &Reassembler{
+		pending:    make(map[reassemblyKey]*pendingMessage),
+		maxPending: maxPending,
+	}
+}
+
+// Add ingests one frame from source. If the frame completes a message, the
+// message is returned. A single-fragment message completes immediately and
+// allocates no reassembly state. Decoding errors are returned to the
+// caller, which should count and drop the frame (a malformed packet must
+// never take the server down).
+func (r *Reassembler) Add(source uint64, frame []byte) (*Message, error) {
+	h, payload, err := DecodeHeader(frame)
+	if err != nil {
+		return nil, err
+	}
+	if int(h.KeyLen) > int(h.TotalSize) {
+		return nil, fmt.Errorf("%w: key %d > total %d", ErrBadLength, h.KeyLen, h.TotalSize)
+	}
+	if int64(h.FragOff)+int64(h.FragLen) > int64(h.TotalSize) {
+		return nil, ErrOverlap
+	}
+
+	// Fast path: the whole message fits in this frame.
+	if int(h.TotalSize) == int(h.FragLen) && h.FragOff == 0 {
+		r.completed++
+		return messageFrom(h, append([]byte(nil), payload...)), nil
+	}
+
+	key := reassemblyKey{source: source, reqID: h.ReqID}
+	p := r.pending[key]
+	if p == nil {
+		if len(r.pending) >= r.maxPending {
+			r.evictOldest()
+		}
+		r.seq++
+		p = &pendingMessage{
+			header:  h,
+			body:    make([]byte, h.TotalSize),
+			started: r.seq,
+		}
+		r.pending[key] = p
+	}
+	copy(p.body[h.FragOff:], payload)
+	p.received += int(h.FragLen)
+	if p.received < int(h.TotalSize) {
+		return nil, nil
+	}
+	delete(r.pending, key)
+	r.completed++
+	return messageFrom(p.header, p.body), nil
+}
+
+func messageFrom(h Header, body []byte) *Message {
+	return &Message{
+		Op:        h.Op,
+		Status:    h.Status,
+		RxQueue:   h.RxQueue,
+		ReqID:     h.ReqID,
+		Timestamp: h.Timestamp,
+		Key:       body[:h.KeyLen:h.KeyLen],
+		Value:     body[h.KeyLen:],
+	}
+}
+
+func (r *Reassembler) evictOldest() {
+	var oldestKey reassemblyKey
+	var oldest *pendingMessage
+	for k, p := range r.pending {
+		if oldest == nil || p.started < oldest.started {
+			oldest, oldestKey = p, k
+		}
+	}
+	if oldest != nil {
+		delete(r.pending, oldestKey)
+		r.dropped++
+	}
+}
+
+// Pending returns the number of partially reassembled messages.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Dropped returns how many partial messages were evicted.
+func (r *Reassembler) Dropped() uint64 { return r.dropped }
+
+// Completed returns how many messages finished reassembly.
+func (r *Reassembler) Completed() uint64 { return r.completed }
+
+// Reset discards all partial state.
+func (r *Reassembler) Reset() {
+	clear(r.pending)
+}

@@ -1,0 +1,339 @@
+// Package wire defines the UDP-level message format of the Minos
+// reproduction: a fixed binary header carried in every Ethernet frame,
+// fragmentation of requests and replies that exceed the MTU, and the
+// byte/packet accounting the rest of the system builds on.
+//
+// The format follows §4.1 of the paper: communication is UDP over IP over
+// Ethernet; the client chooses the server RX queue for each request and
+// encodes it in the request (on the paper's testbed this is done by picking
+// the UDP destination port that RSS maps to the desired queue); large PUT
+// requests and large GET replies span multiple frames and are fragmented
+// and reassembled at the UDP level; the client's send timestamp is carried
+// in the request and echoed in the reply so the client can compute
+// end-to-end latency without synchronized clocks (§5.4).
+//
+// Packet counting matters beyond message framing: the number of frames an
+// operation touches is Minos' default request cost function (§3, "Minos ...
+// currently uses the number of network packets handled to serve the request
+// as cost"), so CostPackets lives here and is shared by the controller, the
+// simulator and the live server.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Network framing constants. Sizes are bytes.
+const (
+	// MTU is the IP maximum transmission unit of a standard Ethernet
+	// link, the value on the paper's testbed.
+	MTU = 1500
+
+	// IPHeaderSize and UDPHeaderSize are the fixed header sizes; the
+	// reproduction does not use IP options.
+	IPHeaderSize  = 20
+	UDPHeaderSize = 8
+
+	// EthHeaderSize is the Ethernet header (no VLAN tag).
+	EthHeaderSize = 14
+
+	// EthOverheadSize is what the wire carries around every frame beyond
+	// the header: preamble (7), start-of-frame delimiter (1), frame check
+	// sequence (4) and minimum inter-frame gap (12). It is included in
+	// link-serialization accounting so that NIC utilization matches what
+	// a hardware counter would report.
+	EthOverheadSize = 7 + 1 + 4 + 12
+
+	// MaxUDPPayload is the UDP payload that fits in one frame.
+	MaxUDPPayload = MTU - IPHeaderSize - UDPHeaderSize // 1472
+
+	// HeaderSize is the size of the Minos message header, present in
+	// every fragment.
+	HeaderSize = 40
+
+	// MaxFragPayload is the application payload (key and value bytes)
+	// that fits in one fragment after the Minos header.
+	MaxFragPayload = MaxUDPPayload - HeaderSize // 1432
+
+	// FrameOverhead is everything on the wire besides application
+	// payload, per frame.
+	FrameOverhead = EthOverheadSize + EthHeaderSize + IPHeaderSize + UDPHeaderSize + HeaderSize // 106
+
+	// MinWireFrame is the wire occupancy of a frame with an empty
+	// payload (padding to Ethernet's 64-byte minimum is below this for
+	// any Minos frame, so no extra padding term is needed).
+	MinWireFrame = FrameOverhead
+)
+
+// Op identifies the message type.
+type Op uint8
+
+// Message types. Creates and deletes are special versions of PUT (§3) and
+// share OpPutRequest.
+const (
+	OpInvalid Op = iota
+	OpGetRequest
+	OpGetReply
+	OpPutRequest
+	OpPutReply
+	OpErrorReply
+)
+
+// String returns the op name.
+func (o Op) String() string {
+	switch o {
+	case OpGetRequest:
+		return "GET"
+	case OpGetReply:
+		return "GET-REPLY"
+	case OpPutRequest:
+		return "PUT"
+	case OpPutReply:
+		return "PUT-REPLY"
+	case OpErrorReply:
+		return "ERR-REPLY"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Status codes carried in replies.
+const (
+	StatusOK       uint8 = 0
+	StatusNotFound uint8 = 1
+	StatusError    uint8 = 2
+)
+
+// Header is the fixed per-fragment message header.
+//
+// Wire layout (big endian), 40 bytes:
+//
+//	off len field
+//	  0   2 magic 0x4D4E ("MN")
+//	  2   1 version (1)
+//	  3   1 op
+//	  4   1 status
+//	  5   1 flags (reserved, 0)
+//	  6   2 rx queue id chosen by the client
+//	  8   8 request id
+//	 16   8 client send timestamp (ns), echoed in replies
+//	 24   4 total value size of the message being fragmented
+//	 28   4 fragment byte offset into key||value
+//	 32   2 key length (bytes; 0 in GET replies)
+//	 34   2 fragment payload length
+//	 36   4 reserved (0)
+type Header struct {
+	Op        Op
+	Status    uint8
+	RxQueue   uint16
+	ReqID     uint64
+	Timestamp int64
+	TotalSize uint32
+	FragOff   uint32
+	KeyLen    uint16
+	FragLen   uint16
+}
+
+const (
+	headerMagic   = 0x4D4E
+	headerVersion = 1
+)
+
+// Errors returned by decoding and reassembly.
+var (
+	ErrTruncated  = errors.New("wire: frame shorter than header")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadLength  = errors.New("wire: fragment length disagrees with frame")
+	ErrBadOp      = errors.New("wire: invalid op")
+	ErrOverlap    = errors.New("wire: fragment beyond message bounds")
+)
+
+// EncodeHeader writes h into dst, which must be at least HeaderSize long.
+func EncodeHeader(dst []byte, h *Header) {
+	_ = dst[HeaderSize-1]
+	binary.BigEndian.PutUint16(dst[0:2], headerMagic)
+	dst[2] = headerVersion
+	dst[3] = byte(h.Op)
+	dst[4] = h.Status
+	dst[5] = 0
+	binary.BigEndian.PutUint16(dst[6:8], h.RxQueue)
+	binary.BigEndian.PutUint64(dst[8:16], h.ReqID)
+	binary.BigEndian.PutUint64(dst[16:24], uint64(h.Timestamp))
+	binary.BigEndian.PutUint32(dst[24:28], h.TotalSize)
+	binary.BigEndian.PutUint32(dst[28:32], h.FragOff)
+	binary.BigEndian.PutUint16(dst[32:34], h.KeyLen)
+	binary.BigEndian.PutUint16(dst[34:36], h.FragLen)
+	binary.BigEndian.PutUint32(dst[36:40], 0)
+}
+
+// DecodeHeader parses the header at the start of frame and returns the
+// payload that follows it.
+func DecodeHeader(frame []byte) (Header, []byte, error) {
+	if len(frame) < HeaderSize {
+		return Header{}, nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(frame[0:2]) != headerMagic {
+		return Header{}, nil, ErrBadMagic
+	}
+	if frame[2] != headerVersion {
+		return Header{}, nil, ErrBadVersion
+	}
+	h := Header{
+		Op:        Op(frame[3]),
+		Status:    frame[4],
+		RxQueue:   binary.BigEndian.Uint16(frame[6:8]),
+		ReqID:     binary.BigEndian.Uint64(frame[8:16]),
+		Timestamp: int64(binary.BigEndian.Uint64(frame[16:24])),
+		TotalSize: binary.BigEndian.Uint32(frame[24:28]),
+		FragOff:   binary.BigEndian.Uint32(frame[28:32]),
+		KeyLen:    binary.BigEndian.Uint16(frame[32:34]),
+		FragLen:   binary.BigEndian.Uint16(frame[34:36]),
+	}
+	if h.Op == OpInvalid || h.Op > OpErrorReply {
+		return Header{}, nil, ErrBadOp
+	}
+	payload := frame[HeaderSize:]
+	if int(h.FragLen) > len(payload) {
+		return Header{}, nil, ErrBadLength
+	}
+	return h, payload[:h.FragLen], nil
+}
+
+// Message is one application-level request or reply, independent of how
+// many fragments carry it.
+type Message struct {
+	Op        Op
+	Status    uint8
+	RxQueue   uint16
+	ReqID     uint64
+	Timestamp int64
+	Key       []byte
+	Value     []byte
+}
+
+// body returns the fragmented byte stream of m: key followed by value.
+// GET replies carry no key (the request id identifies them).
+func (m *Message) bodyLens() (keyLen, valLen int) {
+	return len(m.Key), len(m.Value)
+}
+
+// FragmentCount returns the number of frames needed to carry m.
+func (m *Message) FragmentCount() int {
+	k, v := m.bodyLens()
+	return FragmentsFor(k + v)
+}
+
+// FragmentsFor returns the number of frames needed for a message whose
+// key+value body is n bytes. Zero-byte bodies still need one frame for the
+// header.
+func FragmentsFor(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + MaxFragPayload - 1) / MaxFragPayload
+}
+
+// AppendFrames encodes m into one or more frames, appending each frame to
+// frames and returning the extended slice. Each frame is a freshly
+// allocated []byte ready to be handed to a transport. The fragments carry
+// contiguous slices of key||value, all with the same header identity.
+func (m *Message) AppendFrames(frames [][]byte) [][]byte {
+	keyLen, valLen := m.bodyLens()
+	total := keyLen + valLen
+	h := Header{
+		Op:        m.Op,
+		Status:    m.Status,
+		RxQueue:   m.RxQueue,
+		ReqID:     m.ReqID,
+		Timestamp: m.Timestamp,
+		TotalSize: uint32(total),
+		KeyLen:    uint16(keyLen),
+	}
+	n := FragmentsFor(total)
+	for i := 0; i < n; i++ {
+		off := i * MaxFragPayload
+		fragLen := total - off
+		if fragLen > MaxFragPayload {
+			fragLen = MaxFragPayload
+		}
+		if fragLen < 0 {
+			fragLen = 0
+		}
+		frame := make([]byte, HeaderSize+fragLen)
+		h.FragOff = uint32(off)
+		h.FragLen = uint16(fragLen)
+		EncodeHeader(frame, &h)
+		// Copy the [off, off+fragLen) window of key||value.
+		dst := frame[HeaderSize:]
+		for len(dst) > 0 {
+			switch {
+			case off < keyLen:
+				c := copy(dst, m.Key[off:])
+				dst = dst[c:]
+				off += c
+			default:
+				c := copy(dst, m.Value[off-keyLen:])
+				dst = dst[c:]
+				off += c
+			}
+		}
+		frames = append(frames, frame)
+	}
+	return frames
+}
+
+// Frames is shorthand for AppendFrames(nil).
+func (m *Message) Frames() [][]byte { return m.AppendFrames(nil) }
+
+// WireBytes returns the total bytes m occupies on the wire, including all
+// per-frame protocol overhead. This is what link-serialization and NIC
+// utilization accounting use.
+func (m *Message) WireBytes() int64 {
+	k, v := m.bodyLens()
+	return WireBytesFor(k + v)
+}
+
+// WireBytesFor returns the wire occupancy of a message with an n-byte
+// key+value body.
+func WireBytesFor(n int) int64 {
+	if n < 0 {
+		n = 0
+	}
+	return int64(n) + int64(FragmentsFor(n))*FrameOverhead
+}
+
+// CostPackets is the request cost function of §3: the number of network
+// packets handled to serve the request — the frames of an incoming PUT
+// request, or the frames of an outgoing GET reply. keyLen is the request's
+// key length and valSize the item value size.
+func CostPackets(op Op, keyLen, valSize int) int {
+	switch op {
+	case OpGetRequest, OpGetReply:
+		return FragmentsFor(valSize) // reply carries value only
+	case OpPutRequest, OpPutReply:
+		return FragmentsFor(keyLen + valSize) // request carries key+value
+	default:
+		return 1
+	}
+}
+
+// CostBytes is an alternative cost function mentioned in §3: the number of
+// payload bytes moved for the request.
+func CostBytes(op Op, keyLen, valSize int) int {
+	switch op {
+	case OpGetRequest, OpGetReply:
+		return valSize
+	case OpPutRequest, OpPutReply:
+		return keyLen + valSize
+	default:
+		return 0
+	}
+}
+
+// CostConstant is the degenerate cost function that charges every request
+// the same; it reduces the allocator to counting request rates and is used
+// by the ablation benchmarks.
+func CostConstant(Op, int, int) int { return 1 }

@@ -1,0 +1,339 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	in := Header{
+		Op:        OpPutRequest,
+		Status:    StatusOK,
+		RxQueue:   7,
+		ReqID:     0xDEADBEEFCAFEF00D,
+		Timestamp: 1234567890123,
+		TotalSize: 500_008,
+		FragOff:   1432,
+		KeyLen:    8,
+		FragLen:   1432,
+	}
+	frame := make([]byte, HeaderSize+int(in.FragLen))
+	EncodeHeader(frame, &in)
+	out, payload, err := DecodeHeader(frame)
+	if err != nil {
+		t.Fatalf("DecodeHeader: %v", err)
+	}
+	if out != in {
+		t.Fatalf("header round trip: got %+v want %+v", out, in)
+	}
+	if len(payload) != int(in.FragLen) {
+		t.Fatalf("payload length = %d, want %d", len(payload), in.FragLen)
+	}
+}
+
+func TestDecodeHeaderErrors(t *testing.T) {
+	valid := func() []byte {
+		h := Header{Op: OpGetRequest, FragLen: 0}
+		frame := make([]byte, HeaderSize)
+		EncodeHeader(frame, &h)
+		return frame
+	}
+	tests := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated", func(f []byte) []byte { return f[:HeaderSize-1] }, ErrTruncated},
+		{"empty", func(f []byte) []byte { return nil }, ErrTruncated},
+		{"bad magic", func(f []byte) []byte { f[0] = 0xFF; return f }, ErrBadMagic},
+		{"bad version", func(f []byte) []byte { f[2] = 99; return f }, ErrBadVersion},
+		{"bad op zero", func(f []byte) []byte { f[3] = 0; return f }, ErrBadOp},
+		{"bad op high", func(f []byte) []byte { f[3] = 200; return f }, ErrBadOp},
+		{"frag len beyond frame", func(f []byte) []byte { f[35] = 10; return f }, ErrBadLength},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeHeader(tc.mutate(valid()))
+			if err != tc.wantErr {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestFragmentsFor(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{-1, 1},
+		{0, 1},
+		{1, 1},
+		{MaxFragPayload, 1},
+		{MaxFragPayload + 1, 2},
+		{2 * MaxFragPayload, 2},
+		{2*MaxFragPayload + 1, 3},
+		{500_000, (500_000 + MaxFragPayload - 1) / MaxFragPayload},
+		{1_000_000, (1_000_000 + MaxFragPayload - 1) / MaxFragPayload},
+	}
+	for _, tc := range tests {
+		if got := FragmentsFor(tc.n); got != tc.want {
+			t.Errorf("FragmentsFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestMessageSingleFragmentRoundTrip(t *testing.T) {
+	m := &Message{
+		Op:        OpGetReply,
+		Status:    StatusOK,
+		RxQueue:   3,
+		ReqID:     42,
+		Timestamp: 99,
+		Value:     []byte("hello world"),
+	}
+	frames := m.Frames()
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	r := NewReassembler(0)
+	got, err := r.Add(1, frames[0])
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if got == nil {
+		t.Fatal("single-fragment message did not complete")
+	}
+	if !bytes.Equal(got.Value, m.Value) || got.ReqID != m.ReqID || got.Op != m.Op {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", r.Pending())
+	}
+}
+
+func TestMessageMultiFragmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	value := make([]byte, 3*MaxFragPayload+117)
+	rng.Read(value)
+	key := []byte("key-0001")
+	m := &Message{
+		Op:        OpPutRequest,
+		RxQueue:   5,
+		ReqID:     1001,
+		Timestamp: 55,
+		Key:       key,
+		Value:     value,
+	}
+	frames := m.Frames()
+	if want := FragmentsFor(len(key) + len(value)); len(frames) != want {
+		t.Fatalf("frames = %d, want %d", len(frames), want)
+	}
+
+	// Deliver out of order: reassembly must not depend on arrival order.
+	order := rng.Perm(len(frames))
+	r := NewReassembler(0)
+	var got *Message
+	for i, idx := range order {
+		msg, err := r.Add(1, frames[idx])
+		if err != nil {
+			t.Fatalf("Add frame %d: %v", idx, err)
+		}
+		if msg != nil {
+			if i != len(order)-1 {
+				t.Fatalf("message completed after %d of %d frames", i+1, len(frames))
+			}
+			got = msg
+		}
+	}
+	if got == nil {
+		t.Fatal("message never completed")
+	}
+	if !bytes.Equal(got.Key, key) {
+		t.Fatalf("key mismatch: %q", got.Key)
+	}
+	if !bytes.Equal(got.Value, value) {
+		t.Fatal("value mismatch after reassembly")
+	}
+}
+
+// TestFragmentationRoundTripProperty is the testing/quick property: any
+// message survives fragmentation and reassembly in any fragment order.
+func TestFragmentationRoundTripProperty(t *testing.T) {
+	prop := func(keyLen uint8, valLen uint16, op bool, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Op:        OpPutRequest,
+			ReqID:     rng.Uint64(),
+			Timestamp: rng.Int63(),
+			Key:       make([]byte, int(keyLen)),
+			Value:     make([]byte, int(valLen)*3), // up to ~196 KB
+		}
+		if op {
+			m.Op = OpGetReply
+			m.Key = nil
+		}
+		rng.Read(m.Key)
+		rng.Read(m.Value)
+		frames := m.Frames()
+		r := NewReassembler(0)
+		var got *Message
+		for _, i := range rng.Perm(len(frames)) {
+			msg, err := r.Add(9, frames[i])
+			if err != nil {
+				return false
+			}
+			if msg != nil {
+				got = msg
+			}
+		}
+		return got != nil &&
+			bytes.Equal(got.Key, m.Key) &&
+			bytes.Equal(got.Value, m.Value) &&
+			got.ReqID == m.ReqID &&
+			got.Timestamp == m.Timestamp &&
+			got.Op == m.Op
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassemblerInterleavedSources(t *testing.T) {
+	// Two sources send messages with the same request id; they must not
+	// be mixed.
+	mk := func(fill byte) *Message {
+		v := bytes.Repeat([]byte{fill}, 2*MaxFragPayload-1)
+		return &Message{Op: OpPutRequest, ReqID: 7, Key: []byte("k"), Value: v}
+	}
+	a, b := mk('a'), mk('b')
+	fa, fb := a.Frames(), b.Frames()
+	r := NewReassembler(0)
+	if _, err := r.Add(1, fa[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(2, fb[0]); err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := r.Add(1, fa[1])
+	if err != nil || gotA == nil {
+		t.Fatalf("source 1 incomplete: %v", err)
+	}
+	gotB, err := r.Add(2, fb[1])
+	if err != nil || gotB == nil {
+		t.Fatalf("source 2 incomplete: %v", err)
+	}
+	if gotA.Value[0] != 'a' || gotB.Value[0] != 'b' {
+		t.Fatal("sources were mixed during reassembly")
+	}
+}
+
+func TestReassemblerEviction(t *testing.T) {
+	r := NewReassembler(2)
+	big := &Message{Op: OpPutRequest, Key: []byte("k"), Value: make([]byte, 2*MaxFragPayload)}
+	// Start three incomplete messages; the first must be evicted.
+	for reqID := uint64(1); reqID <= 3; reqID++ {
+		m := *big
+		m.ReqID = reqID
+		frames := m.Frames()
+		if _, err := r.Add(1, frames[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", r.Pending())
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+}
+
+func TestReassemblerRejectsBadFragments(t *testing.T) {
+	// Fragment claiming bytes beyond TotalSize must be rejected.
+	h := Header{Op: OpPutRequest, TotalSize: 10, FragOff: 8, FragLen: 8, KeyLen: 0}
+	frame := make([]byte, HeaderSize+8)
+	EncodeHeader(frame, &h)
+	r := NewReassembler(0)
+	if _, err := r.Add(1, frame); err == nil {
+		t.Fatal("expected error for out-of-bounds fragment")
+	}
+	// KeyLen beyond TotalSize must be rejected.
+	h = Header{Op: OpPutRequest, TotalSize: 4, KeyLen: 8, FragLen: 4}
+	frame = make([]byte, HeaderSize+4)
+	EncodeHeader(frame, &h)
+	if _, err := r.Add(1, frame); err == nil {
+		t.Fatal("expected error for key longer than message")
+	}
+}
+
+func TestCostPackets(t *testing.T) {
+	tests := []struct {
+		op          Op
+		keyLen, val int
+		want        int
+	}{
+		{OpGetRequest, 8, 100, 1},            // small reply: one frame
+		{OpGetRequest, 8, MaxFragPayload, 1}, // exactly one frame
+		{OpGetRequest, 8, MaxFragPayload + 1, 2},
+		{OpGetRequest, 8, 500_000, FragmentsFor(500_000)},
+		{OpPutRequest, 8, 100, 1},
+		{OpPutRequest, 8, MaxFragPayload - 8, 1}, // key+value exactly fills
+		{OpPutRequest, 8, MaxFragPayload - 7, 2},
+		{OpPutRequest, 8, 500_000, FragmentsFor(500_008)},
+	}
+	for _, tc := range tests {
+		if got := CostPackets(tc.op, tc.keyLen, tc.val); got != tc.want {
+			t.Errorf("CostPackets(%v, %d, %d) = %d, want %d", tc.op, tc.keyLen, tc.val, got, tc.want)
+		}
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	if CostBytes(OpGetRequest, 8, 100) != 100 {
+		t.Error("CostBytes GET should count value only")
+	}
+	if CostBytes(OpPutRequest, 8, 100) != 108 {
+		t.Error("CostBytes PUT should count key+value")
+	}
+	if CostConstant(OpGetRequest, 8, 1<<20) != 1 {
+		t.Error("CostConstant should always be 1")
+	}
+}
+
+func TestWireBytesFor(t *testing.T) {
+	if got := WireBytesFor(0); got != FrameOverhead {
+		t.Fatalf("WireBytesFor(0) = %d, want %d", got, FrameOverhead)
+	}
+	// A 500 KB value: payload + per-frame overhead.
+	n := 500_000
+	want := int64(n) + int64(FragmentsFor(n))*FrameOverhead
+	if got := WireBytesFor(n); got != want {
+		t.Fatalf("WireBytesFor(%d) = %d, want %d", n, got, want)
+	}
+	// Wire bytes are monotonic in body size.
+	prev := int64(0)
+	for i := 0; i < 4000; i += 37 {
+		wb := WireBytesFor(i)
+		if wb < prev {
+			t.Fatalf("WireBytesFor not monotonic at %d", i)
+		}
+		prev = wb
+	}
+}
+
+func TestMessageFramePayloadSizes(t *testing.T) {
+	// Every frame except the last must be full-size.
+	m := &Message{Op: OpGetReply, Value: make([]byte, 5*MaxFragPayload+10)}
+	frames := m.Frames()
+	for i, f := range frames[:len(frames)-1] {
+		if len(f) != HeaderSize+MaxFragPayload {
+			t.Fatalf("frame %d size = %d, want %d", i, len(f), HeaderSize+MaxFragPayload)
+		}
+	}
+	last := frames[len(frames)-1]
+	if len(last) != HeaderSize+10 {
+		t.Fatalf("last frame size = %d, want %d", len(last), HeaderSize+10)
+	}
+}

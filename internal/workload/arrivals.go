@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrivals generates a Poisson (open-loop) arrival process: inter-arrival
+// times are exponentially distributed around a target rate, exactly the
+// load-generation model of §5.4. It is not safe for concurrent use.
+type Arrivals struct {
+	rng  *rand.Rand
+	rate float64 // requests per second
+	next float64 // next arrival time in nanoseconds
+	last int64   // last returned timestamp, for strict monotonicity
+}
+
+// NewArrivals returns an arrival process with the given rate in requests
+// per second, starting at time 0.
+func NewArrivals(rate float64, seed int64) *Arrivals {
+	return &Arrivals{rng: rand.New(rand.NewSource(seed)), rate: rate}
+}
+
+// Rate returns the current target rate in requests per second.
+func (a *Arrivals) Rate() float64 { return a.rate }
+
+// SetRate changes the target rate; subsequent gaps use the new rate.
+func (a *Arrivals) SetRate(rate float64) { a.rate = rate }
+
+// Next returns the next arrival timestamp in nanoseconds since the start
+// of the process. Arrival times are strictly increasing: sub-nanosecond
+// gaps (possible at very high rates) are rounded up to one nanosecond.
+func (a *Arrivals) Next() int64 {
+	if a.rate <= 0 {
+		// A zero rate would never fire; treat it as one request per hour
+		// so misconfigured callers make progress and the bug is visible.
+		a.next += float64(time.Hour.Nanoseconds())
+	} else {
+		a.next += a.rng.ExpFloat64() / a.rate * 1e9
+	}
+	ts := int64(a.next)
+	if ts <= a.last {
+		ts = a.last + 1
+	}
+	a.last = ts
+	return ts
+}
+
+// ExpGap returns one exponentially distributed inter-arrival gap for the
+// current rate, as a duration. Live clients sleep on this between sends.
+func (a *Arrivals) ExpGap() time.Duration {
+	if a.rate <= 0 {
+		return time.Hour
+	}
+	ns := a.rng.ExpFloat64() / a.rate * 1e9
+	if ns > math.MaxInt64 {
+		ns = math.MaxInt64
+	}
+	return time.Duration(ns)
+}
+
+// Phase is one segment of a time-varying workload: for Duration, requests
+// use PercentLarge. Figure 10 steps pL every 20 seconds:
+// 0.125 → 0.25 → 0.5 → 0.75 → 0.5 → 0.25 → 0.125.
+type Phase struct {
+	Duration     time.Duration
+	PercentLarge float64
+}
+
+// Figure10Phases returns the dynamic schedule of §6.6 with the given
+// per-phase duration (the paper uses 20 s).
+func Figure10Phases(phase time.Duration) []Phase {
+	steps := []float64{0.125, 0.25, 0.5, 0.75, 0.5, 0.25, 0.125}
+	out := make([]Phase, len(steps))
+	for i, pl := range steps {
+		out[i] = Phase{Duration: phase, PercentLarge: pl}
+	}
+	return out
+}
+
+// Schedule evaluates a phase list at an instant.
+type Schedule []Phase
+
+// TotalDuration returns the sum of phase durations.
+func (s Schedule) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, p := range s {
+		d += p.Duration
+	}
+	return d
+}
+
+// At returns the PercentLarge in force at time t from the schedule start.
+// Past the end, the last phase's value persists. An empty schedule
+// returns 0.
+func (s Schedule) At(t time.Duration) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var elapsed time.Duration
+	for _, p := range s {
+		elapsed += p.Duration
+		if t < elapsed {
+			return p.PercentLarge
+		}
+	}
+	return s[len(s)-1].PercentLarge
+}

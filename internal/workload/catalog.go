@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// Catalog is the immutable key → (class, size) mapping for a dataset.
+// Key IDs are dense in [0, NumKeys); the last NumLargeKeys IDs are the
+// large items, the rest are tiny or small per TinyKeyFrac. Sizes are drawn
+// uniformly at random within each class (§5.3) at construction time, so
+// every component of the reproduction — simulator, live server, clients —
+// agrees on item sizes without communication.
+//
+// A Catalog is safe for concurrent use after construction.
+type Catalog struct {
+	prof        Profile
+	sizes       []int32
+	numRegular  int // tiny + small keys
+	avgTiny     float64
+	avgSmall    float64
+	avgLarge    float64
+	countTiny   int
+	countSmall  int
+	totalTinyB  int64
+	totalSmallB int64
+	totalLargeB int64
+}
+
+// NewCatalog builds the catalogue for a profile. It panics if the profile
+// is invalid; callers should Validate first if the profile is user input.
+func NewCatalog(p Profile) *Catalog {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := &Catalog{
+		prof:       p,
+		sizes:      make([]int32, p.NumKeys),
+		numRegular: p.NumKeys - p.NumLargeKeys,
+	}
+	for i := 0; i < c.numRegular; i++ {
+		if rng.Float64() < p.TinyKeyFrac {
+			s := int32(TinyMinSize + rng.Intn(TinyMaxSize-TinyMinSize+1))
+			c.sizes[i] = s
+			c.countTiny++
+			c.totalTinyB += int64(s)
+		} else {
+			s := int32(SmallMinSize + rng.Intn(SmallMaxSize-SmallMinSize+1))
+			c.sizes[i] = s
+			c.countSmall++
+			c.totalSmallB += int64(s)
+		}
+	}
+	for i := c.numRegular; i < p.NumKeys; i++ {
+		s := int32(LargeMinSize + rng.Intn(p.MaxLargeSize-LargeMinSize+1))
+		c.sizes[i] = s
+		c.totalLargeB += int64(s)
+	}
+	if c.countTiny > 0 {
+		c.avgTiny = float64(c.totalTinyB) / float64(c.countTiny)
+	}
+	if c.countSmall > 0 {
+		c.avgSmall = float64(c.totalSmallB) / float64(c.countSmall)
+	}
+	if p.NumLargeKeys > 0 {
+		c.avgLarge = float64(c.totalLargeB) / float64(p.NumLargeKeys)
+	}
+	return c
+}
+
+// Profile returns the profile the catalogue was built from.
+func (c *Catalog) Profile() Profile { return c.prof }
+
+// NumKeys returns the total number of keys.
+func (c *Catalog) NumKeys() int { return len(c.sizes) }
+
+// NumRegularKeys returns the number of tiny+small keys.
+func (c *Catalog) NumRegularKeys() int { return c.numRegular }
+
+// NumLargeKeys returns the number of large keys.
+func (c *Catalog) NumLargeKeys() int { return len(c.sizes) - c.numRegular }
+
+// Size returns the value size in bytes of the item with the given key.
+// Keys outside [0, NumKeys) report size 0.
+func (c *Catalog) Size(key uint64) int {
+	if key >= uint64(len(c.sizes)) {
+		return 0
+	}
+	return int(c.sizes[key])
+}
+
+// ClassOf returns the size class of a key.
+func (c *Catalog) ClassOf(key uint64) Class {
+	if key >= uint64(c.numRegular) {
+		return ClassLarge
+	}
+	if c.sizes[key] <= TinyMaxSize {
+		return ClassTiny
+	}
+	return ClassSmall
+}
+
+// IsLargeKey reports whether the key is one of the large items.
+func (c *Catalog) IsLargeKey(key uint64) bool { return key >= uint64(c.numRegular) }
+
+// AvgSize returns the average item size of a class, in bytes.
+func (c *Catalog) AvgSize(class Class) float64 {
+	switch class {
+	case ClassTiny:
+		return c.avgTiny
+	case ClassSmall:
+		return c.avgSmall
+	default:
+		return c.avgLarge
+	}
+}
+
+// MeanRequestBytes returns the expected item bytes moved per request when
+// requests follow pL (percent of requests to large keys) and non-large
+// requests land on tiny/small keys proportionally to their populations.
+// This is the quantity behind Table 1's "% data for large reqs" column.
+func (c *Catalog) MeanRequestBytes(percentLarge float64) (mean, largeShare float64) {
+	pl := percentLarge / 100
+	regular := float64(c.countTiny + c.countSmall)
+	var tinyFrac, smallFrac float64
+	if regular > 0 {
+		tinyFrac = float64(c.countTiny) / regular
+		smallFrac = float64(c.countSmall) / regular
+	}
+	largeBytes := pl * c.avgLarge
+	regularBytes := (1 - pl) * (tinyFrac*c.avgTiny + smallFrac*c.avgSmall)
+	mean = largeBytes + regularBytes
+	if mean > 0 {
+		largeShare = 100 * largeBytes / mean
+	}
+	return mean, largeShare
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Request is one client operation. Size is the value length in bytes: for
+// GETs, the size of the item that will be read (used by the simulator's
+// service model and by the server's size-aware dispatch after lookup); for
+// PUTs, the size being written, which the client knows and encodes in the
+// request (§3).
+type Request struct {
+	Key   uint64
+	Op    Op
+	Size  int32
+	Class Class
+}
+
+// Generator produces a request stream for one catalogue. It is not safe
+// for concurrent use; create one per client thread (they are cheap — the
+// catalogue and zipf tables are shared).
+//
+// The percent of large requests can be changed at runtime with
+// SetPercentLarge, which is how the dynamic workload of Figure 10 is
+// produced. That method is safe to call from a different goroutine than
+// Next.
+type Generator struct {
+	cat  *Catalog
+	zipf *Zipf
+	rng  *rand.Rand
+
+	mu       sync.Mutex
+	pLarge   float64 // fraction, not percent
+	getRatio float64
+}
+
+// NewGenerator returns a generator over cat seeded with seed. Generators
+// with distinct seeds produce independent streams over the same catalogue.
+func NewGenerator(cat *Catalog, seed int64) *Generator {
+	p := cat.Profile()
+	return &Generator{
+		cat:      cat,
+		zipf:     NewZipf(cat.NumRegularKeys(), p.ZipfTheta),
+		rng:      rand.New(rand.NewSource(seed)),
+		pLarge:   p.PercentLarge / 100,
+		getRatio: p.GetRatio,
+	}
+}
+
+// SharedZipf returns a generator that reuses a pre-built Zipf table, so
+// many client threads avoid recomputing the O(NumKeys) harmonic sum.
+func NewGeneratorWithZipf(cat *Catalog, z *Zipf, seed int64) *Generator {
+	p := cat.Profile()
+	return &Generator{
+		cat:      cat,
+		zipf:     z,
+		rng:      rand.New(rand.NewSource(seed)),
+		pLarge:   p.PercentLarge / 100,
+		getRatio: p.GetRatio,
+	}
+}
+
+// Catalog returns the generator's catalogue.
+func (g *Generator) Catalog() *Catalog { return g.cat }
+
+// SetPercentLarge changes the probability (in percent) that the next
+// requests target large items.
+func (g *Generator) SetPercentLarge(pl float64) {
+	g.mu.Lock()
+	g.pLarge = pl / 100
+	g.mu.Unlock()
+}
+
+// PercentLarge returns the current large-request percentage.
+func (g *Generator) PercentLarge() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pLarge * 100
+}
+
+// SetGetRatio changes the fraction of GETs.
+func (g *Generator) SetGetRatio(r float64) {
+	g.mu.Lock()
+	g.getRatio = r
+	g.mu.Unlock()
+}
+
+// Next draws the next request: with probability pL a uniformly random
+// large key (§5.3: large items are few and highly variable in size, so
+// they are chosen uniformly to avoid pathological skew); otherwise a
+// zipf-popular tiny/small key, scrambled across the key space.
+func (g *Generator) Next() Request {
+	g.mu.Lock()
+	pLarge, getRatio := g.pLarge, g.getRatio
+	g.mu.Unlock()
+
+	var key uint64
+	if nL := g.cat.NumLargeKeys(); nL > 0 && g.rng.Float64() < pLarge {
+		key = uint64(g.cat.NumRegularKeys() + g.rng.Intn(nL))
+	} else {
+		rank := g.zipf.Next(g.rng)
+		key = scramble(uint64(rank), uint64(g.cat.NumRegularKeys()))
+	}
+	op := OpGet
+	if g.rng.Float64() >= getRatio {
+		op = OpPut
+	}
+	return Request{
+		Key:   key,
+		Op:    op,
+		Size:  int32(g.cat.Size(key)),
+		Class: g.cat.ClassOf(key),
+	}
+}

@@ -1,0 +1,189 @@
+package workload
+
+import "fmt"
+
+// Size-class boundaries of the paper's trimodal item-size distribution
+// (§5.3), modelled on Facebook's ETC pool.
+const (
+	TinyMinSize  = 1    // bytes
+	TinyMaxSize  = 13   // bytes
+	SmallMinSize = 14   // bytes
+	SmallMaxSize = 1400 // bytes
+	LargeMinSize = 1500 // bytes; the maximum is the profile's MaxLargeSize
+	KeySize      = 8    // bytes; the paper keeps keys constant at 8 bytes
+)
+
+// Class identifies which mode of the trimodal size distribution an item
+// belongs to.
+type Class int
+
+// The three item-size classes.
+const (
+	ClassTiny Class = iota
+	ClassSmall
+	ClassLarge
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassTiny:
+		return "tiny"
+	case ClassSmall:
+		return "small"
+	case ClassLarge:
+		return "large"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Op is the request type. Creates and deletes are treated as special
+// versions of PUT, exactly as in the paper (§3).
+type Op int
+
+// Supported operations.
+const (
+	OpGet Op = iota
+	OpPut
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	if o == OpGet {
+		return "GET"
+	}
+	return "PUT"
+}
+
+// Profile describes one workload configuration of §5.3. The zero value is
+// not meaningful; start from DefaultProfile and override fields.
+type Profile struct {
+	Name string
+
+	// PercentLarge is pL: the percentage of requests that target large
+	// items, in percent (the paper's default is 0.125, i.e. 0.125%).
+	PercentLarge float64
+
+	// MaxLargeSize is sL: the maximum size of a large item in bytes
+	// (default 500 KB; the paper sweeps 250 KB–1 MB).
+	MaxLargeSize int
+
+	// GetRatio is the fraction of GET requests (default 0.95; the
+	// write-intensive workload uses 0.50).
+	GetRatio float64
+
+	// ZipfTheta is the zipfian skew over tiny+small keys (default 0.99).
+	ZipfTheta float64
+
+	// NumKeys is the total number of key-value pairs in the dataset.
+	// The paper uses 16M; the default here is scaled to 1M with the same
+	// large-key ratio (see DESIGN.md substitutions).
+	NumKeys int
+
+	// NumLargeKeys is the number of large items (paper: 10K of 16M).
+	NumLargeKeys int
+
+	// TinyKeyFrac is the fraction of non-large keys that are tiny
+	// (paper: 40% tiny, 60% small).
+	TinyKeyFrac float64
+
+	// Seed makes catalogue construction and request generation
+	// deterministic.
+	Seed int64
+}
+
+// DefaultProfile returns the paper's default workload: skewed (zipf 0.99),
+// 95:5 GET:PUT, pL = 0.125%, sL = 500 KB, with the dataset scaled from the
+// paper's 16M keys to 1M keys at the same large-key ratio.
+func DefaultProfile() Profile {
+	return Profile{
+		Name:         "default",
+		PercentLarge: 0.125,
+		MaxLargeSize: 500 * 1000,
+		GetRatio:     0.95,
+		ZipfTheta:    0.99,
+		NumKeys:      1_000_000,
+		NumLargeKeys: 625, // preserves the paper's 10K/16M ratio
+		TinyKeyFrac:  0.4,
+		Seed:         1,
+	}
+}
+
+// PaperScaleProfile returns the default workload at the paper's full
+// dataset scale (16M keys, 10K large). Building its catalogue allocates
+// roughly 64 MB and is meant for the cmd/ tools, not unit tests.
+func PaperScaleProfile() Profile {
+	p := DefaultProfile()
+	p.Name = "paper-scale"
+	p.NumKeys = 16_000_000
+	p.NumLargeKeys = 10_000
+	return p
+}
+
+// WriteIntensiveProfile returns the 50:50 GET:PUT variant (§6.2).
+func WriteIntensiveProfile() Profile {
+	p := DefaultProfile()
+	p.Name = "write-intensive"
+	p.GetRatio = 0.50
+	return p
+}
+
+// WithPercentLarge returns a copy of p with pL replaced.
+func (p Profile) WithPercentLarge(pl float64) Profile {
+	p.PercentLarge = pl
+	p.Name = fmt.Sprintf("%s/pL=%g", p.Name, pl)
+	return p
+}
+
+// WithMaxLargeSize returns a copy of p with sL replaced.
+func (p Profile) WithMaxLargeSize(sl int) Profile {
+	p.MaxLargeSize = sl
+	p.Name = fmt.Sprintf("%s/sL=%d", p.Name, sl)
+	return p
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (p Profile) Validate() error {
+	switch {
+	case p.NumKeys < 1:
+		return fmt.Errorf("workload: NumKeys = %d, need >= 1", p.NumKeys)
+	case p.NumLargeKeys < 0 || p.NumLargeKeys >= p.NumKeys:
+		return fmt.Errorf("workload: NumLargeKeys = %d, need in [0, NumKeys)", p.NumLargeKeys)
+	case p.PercentLarge < 0 || p.PercentLarge > 100:
+		return fmt.Errorf("workload: PercentLarge = %g, need in [0, 100]", p.PercentLarge)
+	case p.PercentLarge > 0 && p.NumLargeKeys == 0:
+		return fmt.Errorf("workload: PercentLarge = %g but no large keys", p.PercentLarge)
+	case p.MaxLargeSize < LargeMinSize:
+		return fmt.Errorf("workload: MaxLargeSize = %d, need >= %d", p.MaxLargeSize, LargeMinSize)
+	case p.GetRatio < 0 || p.GetRatio > 1:
+		return fmt.Errorf("workload: GetRatio = %g, need in [0, 1]", p.GetRatio)
+	case p.ZipfTheta <= 0:
+		return fmt.Errorf("workload: ZipfTheta = %g, need > 0", p.ZipfTheta)
+	case p.TinyKeyFrac < 0 || p.TinyKeyFrac > 1:
+		return fmt.Errorf("workload: TinyKeyFrac = %g, need in [0, 1]", p.TinyKeyFrac)
+	}
+	return nil
+}
+
+// Table1Profiles returns the seven (pL, sL) combinations of Table 1,
+// in the paper's row order.
+func Table1Profiles() []Profile {
+	base := DefaultProfile()
+	mk := func(pl float64, sl int) Profile {
+		p := base
+		p.PercentLarge = pl
+		p.MaxLargeSize = sl
+		p.Name = fmt.Sprintf("pL=%g%%/sL=%dKB", pl, sl/1000)
+		return p
+	}
+	return []Profile{
+		mk(0.125, 250*1000),
+		mk(0.125, 500*1000),
+		mk(0.125, 1000*1000),
+		mk(0.0625, 500*1000),
+		mk(0.25, 500*1000),
+		mk(0.5, 500*1000),
+		mk(0.75, 500*1000),
+	}
+}

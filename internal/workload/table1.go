@@ -1,0 +1,62 @@
+package workload
+
+import "fmt"
+
+// Table1Row is one row of the paper's Table 1: an item-size variability
+// profile and the resulting share of bytes moved on behalf of large
+// requests.
+type Table1Row struct {
+	PercentLarge     float64 // pL, percent of requests
+	MaxLargeSizeKB   int     // sL, in KB
+	AnalyticPctBytes float64 // closed-form % of data from large requests
+	MeasuredPctBytes float64 // % measured over a sampled request stream
+	PaperPctBytes    float64 // the value the paper reports
+}
+
+// paperTable1 holds the paper's reported "% data for large reqs" in the
+// same order as Table1Profiles.
+var paperTable1 = []float64{25, 40, 60, 25, 60, 75, 80}
+
+// Table1 regenerates Table 1: for each profile it computes the large-
+// request byte share both analytically (from the catalogue's class
+// averages) and empirically (by drawing samples requests). samples <= 0
+// selects a default of 2 million draws.
+func Table1(samples int) []Table1Row {
+	if samples <= 0 {
+		samples = 2_000_000
+	}
+	profiles := Table1Profiles()
+	rows := make([]Table1Row, len(profiles))
+	for i, p := range profiles {
+		cat := NewCatalog(p)
+		_, analytic := cat.MeanRequestBytes(p.PercentLarge)
+
+		gen := NewGenerator(cat, p.Seed+int64(i)+100)
+		var total, large int64
+		for n := 0; n < samples; n++ {
+			r := gen.Next()
+			total += int64(r.Size)
+			if r.Class == ClassLarge {
+				large += int64(r.Size)
+			}
+		}
+		var measured float64
+		if total > 0 {
+			measured = 100 * float64(large) / float64(total)
+		}
+		rows[i] = Table1Row{
+			PercentLarge:     p.PercentLarge,
+			MaxLargeSizeKB:   p.MaxLargeSize / 1000,
+			AnalyticPctBytes: analytic,
+			MeasuredPctBytes: measured,
+			PaperPctBytes:    paperTable1[i],
+		}
+	}
+	return rows
+}
+
+// String formats the row like the paper's table.
+func (r Table1Row) String() string {
+	return fmt.Sprintf("pL=%-7g sL=%4d KB  %%data(analytic)=%5.1f  %%data(measured)=%5.1f  paper=%3.0f",
+		r.PercentLarge, r.MaxLargeSizeKB, r.AnalyticPctBytes, r.MeasuredPctBytes, r.PaperPctBytes)
+}

@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testProfile() Profile {
+	p := DefaultProfile()
+	p.NumKeys = 100_000
+	p.NumLargeKeys = 63 // same ratio as 10K/16M
+	return p
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := testProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"zero keys", func(p *Profile) { p.NumKeys = 0 }},
+		{"too many large", func(p *Profile) { p.NumLargeKeys = p.NumKeys }},
+		{"negative pL", func(p *Profile) { p.PercentLarge = -1 }},
+		{"pL over 100", func(p *Profile) { p.PercentLarge = 101 }},
+		{"pL without large keys", func(p *Profile) { p.NumLargeKeys = 0 }},
+		{"sL below large min", func(p *Profile) { p.MaxLargeSize = 1000 }},
+		{"bad get ratio", func(p *Profile) { p.GetRatio = 1.5 }},
+		{"bad theta", func(p *Profile) { p.ZipfTheta = 0 }},
+		{"bad tiny frac", func(p *Profile) { p.TinyKeyFrac = 2 }},
+	}
+	for _, c := range cases {
+		p := testProfile()
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid profile", c.name)
+		}
+	}
+}
+
+func TestCatalogClassBoundaries(t *testing.T) {
+	cat := NewCatalog(testProfile())
+	nTiny, nSmall, nLarge := 0, 0, 0
+	for k := uint64(0); k < uint64(cat.NumKeys()); k++ {
+		s := cat.Size(k)
+		switch cat.ClassOf(k) {
+		case ClassTiny:
+			nTiny++
+			if s < TinyMinSize || s > TinyMaxSize {
+				t.Fatalf("tiny key %d has size %d", k, s)
+			}
+		case ClassSmall:
+			nSmall++
+			if s < SmallMinSize || s > SmallMaxSize {
+				t.Fatalf("small key %d has size %d", k, s)
+			}
+		case ClassLarge:
+			nLarge++
+			if s < LargeMinSize || s > cat.Profile().MaxLargeSize {
+				t.Fatalf("large key %d has size %d", k, s)
+			}
+			if !cat.IsLargeKey(k) {
+				t.Fatalf("large key %d not reported by IsLargeKey", k)
+			}
+		}
+	}
+	if nLarge != cat.NumLargeKeys() {
+		t.Fatalf("large count = %d, want %d", nLarge, cat.NumLargeKeys())
+	}
+	// ~40% of regular keys are tiny.
+	frac := float64(nTiny) / float64(nTiny+nSmall)
+	if math.Abs(frac-0.4) > 0.02 {
+		t.Fatalf("tiny fraction = %.3f, want ~0.40", frac)
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a := NewCatalog(testProfile())
+	b := NewCatalog(testProfile())
+	for k := uint64(0); k < uint64(a.NumKeys()); k += 997 {
+		if a.Size(k) != b.Size(k) {
+			t.Fatalf("catalogues diverge at key %d: %d vs %d", k, a.Size(k), b.Size(k))
+		}
+	}
+	if a.Size(uint64(a.NumKeys())) != 0 {
+		t.Fatal("out-of-range key should have size 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With theta = 0.99 over 100k ranks, the most popular rank receives
+	// vastly more probability mass than a uniform draw would give it.
+	z := NewZipf(100_000, 0.99)
+	rng := rand.New(rand.NewSource(7))
+	counts := make(map[int]int)
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		r := z.Next(rng)
+		if r < 0 || r >= z.N() {
+			t.Fatalf("rank %d out of range", r)
+		}
+		if r < 10 {
+			counts[r]++
+		}
+	}
+	p0 := float64(counts[0]) / draws
+	if p0 < 0.05 {
+		t.Fatalf("rank-0 probability = %.4f, expected heavy skew (> 0.05)", p0)
+	}
+	// Monotone non-increasing popularity over the first few ranks
+	// (allowing sampling noise of a factor ~1.3).
+	for r := 1; r < 5; r++ {
+		if float64(counts[r]) > 1.3*float64(counts[r-1])+10 {
+			t.Fatalf("rank %d count %d exceeds rank %d count %d", r, counts[r], r-1, counts[r-1])
+		}
+	}
+}
+
+func TestZipfThetaNearOne(t *testing.T) {
+	// theta exactly 1 must not blow up (it is nudged internally).
+	z := NewZipf(1000, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if r := z.Next(rng); r < 0 || r >= 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestZipfSingleElement(t *testing.T) {
+	z := NewZipf(1, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if r := z.Next(rng); r != 0 {
+			t.Fatalf("n=1 zipf returned %d", r)
+		}
+	}
+}
+
+// Property: zipf ranks are always in range for arbitrary n, theta.
+func TestZipfRangeProperty(t *testing.T) {
+	f := func(nRaw uint16, thetaRaw uint8, seed int64) bool {
+		n := int(nRaw)%5000 + 1
+		theta := 0.1 + float64(thetaRaw)/128 // 0.1 .. ~2.1
+		z := NewZipf(n, theta)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			r := z.Next(rng)
+			if r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	cat := NewCatalog(testProfile())
+	gen := NewGenerator(cat, 42)
+	const draws = 400_000
+	var gets, larges int
+	for i := 0; i < draws; i++ {
+		r := gen.Next()
+		if r.Op == OpGet {
+			gets++
+		}
+		if r.Class == ClassLarge {
+			larges++
+		}
+		if int32(cat.Size(r.Key)) != r.Size {
+			t.Fatalf("request size %d disagrees with catalogue %d", r.Size, cat.Size(r.Key))
+		}
+	}
+	getFrac := float64(gets) / draws
+	if math.Abs(getFrac-0.95) > 0.01 {
+		t.Fatalf("GET fraction = %.3f, want ~0.95", getFrac)
+	}
+	largePct := 100 * float64(larges) / draws
+	if math.Abs(largePct-0.125) > 0.04 {
+		t.Fatalf("large request pct = %.4f, want ~0.125", largePct)
+	}
+}
+
+func TestGeneratorDynamicPercentLarge(t *testing.T) {
+	cat := NewCatalog(testProfile())
+	gen := NewGenerator(cat, 42)
+	gen.SetPercentLarge(50)
+	if got := gen.PercentLarge(); got != 50 {
+		t.Fatalf("PercentLarge = %v, want 50", got)
+	}
+	var larges int
+	const draws = 20_000
+	for i := 0; i < draws; i++ {
+		if gen.Next().Class == ClassLarge {
+			larges++
+		}
+	}
+	frac := float64(larges) / draws
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("large fraction after SetPercentLarge(50) = %.3f", frac)
+	}
+}
+
+func TestGeneratorZeroLargeKeys(t *testing.T) {
+	p := testProfile()
+	p.NumLargeKeys = 0
+	p.PercentLarge = 0
+	cat := NewCatalog(p)
+	gen := NewGenerator(cat, 1)
+	for i := 0; i < 1000; i++ {
+		if gen.Next().Class == ClassLarge {
+			t.Fatal("generator produced a large request with no large keys")
+		}
+	}
+}
+
+func TestArrivalsPoisson(t *testing.T) {
+	const rate = 1e6 // 1 Mops
+	a := NewArrivals(rate, 3)
+	var prev int64
+	const n = 100_000
+	var last int64
+	for i := 0; i < n; i++ {
+		ts := a.Next()
+		if ts <= prev {
+			t.Fatalf("arrival times not strictly increasing: %d after %d", ts, prev)
+		}
+		prev = ts
+		last = ts
+	}
+	// Mean inter-arrival must be ~1/rate: total time ~ n/rate seconds.
+	gotRate := float64(n) / (float64(last) / 1e9)
+	if math.Abs(gotRate-rate)/rate > 0.02 {
+		t.Fatalf("achieved rate %.0f, want ~%.0f", gotRate, rate)
+	}
+}
+
+func TestArrivalsZeroRate(t *testing.T) {
+	a := NewArrivals(0, 1)
+	t1 := a.Next()
+	t2 := a.Next()
+	if t2 <= t1 {
+		t.Fatal("zero-rate arrivals must still advance")
+	}
+	if g := a.ExpGap(); g != time.Hour {
+		t.Fatalf("zero-rate gap = %v, want 1h", g)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	s := Schedule(Figure10Phases(20 * time.Second))
+	if got := s.TotalDuration(); got != 140*time.Second {
+		t.Fatalf("TotalDuration = %v, want 140s", got)
+	}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 0.125},
+		{19 * time.Second, 0.125},
+		{20 * time.Second, 0.25},
+		{65 * time.Second, 0.75},
+		{139 * time.Second, 0.125},
+		{1000 * time.Second, 0.125}, // past the end: last phase persists
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := Schedule(nil).At(0); got != 0 {
+		t.Errorf("empty schedule At = %v, want 0", got)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 sampling is slow in -short mode")
+	}
+	rows := Table1(300_000)
+	if len(rows) != 7 {
+		t.Fatalf("Table1 returned %d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		// The paper rounds to the nearest 5%; accept ±6 percentage points
+		// between our analytic value and the paper's rounded one.
+		if math.Abs(r.AnalyticPctBytes-r.PaperPctBytes) > 6 {
+			t.Errorf("row %+v: analytic %% bytes %.1f too far from paper %.0f",
+				r, r.AnalyticPctBytes, r.PaperPctBytes)
+		}
+		// Measured and analytic must agree with each other.
+		if math.Abs(r.AnalyticPctBytes-r.MeasuredPctBytes) > 5 {
+			t.Errorf("row %+v: measured %.1f disagrees with analytic %.1f",
+				r, r.MeasuredPctBytes, r.AnalyticPctBytes)
+		}
+	}
+}
+
+func TestMeanRequestBytes(t *testing.T) {
+	cat := NewCatalog(testProfile())
+	mean, share := cat.MeanRequestBytes(0.125)
+	if mean <= 0 || share <= 0 || share >= 100 {
+		t.Fatalf("MeanRequestBytes = %v, %v", mean, share)
+	}
+	// Larger pL must increase both the mean and the large share.
+	mean2, share2 := cat.MeanRequestBytes(0.75)
+	if mean2 <= mean || share2 <= share {
+		t.Fatalf("byte share not monotone in pL: (%v,%v) -> (%v,%v)", mean, share, mean2, share2)
+	}
+	// pL = 0: no large bytes.
+	_, share0 := cat.MeanRequestBytes(0)
+	if share0 != 0 {
+		t.Fatalf("share at pL=0 is %v, want 0", share0)
+	}
+}
+
+func TestScrambleStable(t *testing.T) {
+	for rank := uint64(0); rank < 100; rank++ {
+		a := scramble(rank, 1000)
+		b := scramble(rank, 1000)
+		if a != b {
+			t.Fatalf("scramble not deterministic at rank %d", rank)
+		}
+		if a >= 1000 {
+			t.Fatalf("scramble out of range: %d", a)
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	cat := NewCatalog(testProfile())
+	gen := NewGenerator(cat, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Next()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(1_000_000, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next(rng)
+	}
+}

@@ -1,0 +1,96 @@
+// Package workload generates the request streams of the paper's evaluation
+// (§5.3): a trimodal item-size distribution modelled on Facebook's ETC pool
+// (tiny 1–13 B, small 14–1400 B, large 1500 B–sL), zipfian key popularity
+// with YCSB's default skew (theta = 0.99) over the tiny+small keys, uniform
+// popularity over the few large keys, configurable GET:PUT ratios, Poisson
+// (open-loop) arrivals, and time-varying phases for the dynamic-workload
+// experiment (Figure 10). It also computes the size-variability profiles of
+// Table 1.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^theta. Unlike math/rand.Zipf it supports theta < 1, which is
+// required for YCSB's default skew of 0.99 used throughout the paper.
+//
+// The implementation follows Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD '94), the same algorithm YCSB
+// uses. Construction is O(n) (computing the generalized harmonic number);
+// each draw is O(1).
+type Zipf struct {
+	n          int
+	theta      float64
+	alpha      float64
+	zetan      float64
+	eta        float64
+	zeta2theta float64
+}
+
+// NewZipf returns a Zipf over [0, n) with exponent theta in (0, 1) ∪ (1, ∞).
+// theta values extremely close to 1 are nudged away to keep the closed-form
+// constants finite. n must be >= 1.
+func NewZipf(n int, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if theta <= 0 {
+		theta = 1e-9
+	}
+	if math.Abs(theta-1) < 1e-9 {
+		theta = 1 - 1e-9
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2theta = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int { return z.n }
+
+// Next draws a rank in [0, n) using rng. Rank 0 is the most popular.
+func (z *Zipf) Next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// scramble maps a rank to a pseudo-random but fixed position in [0, n),
+// so that popular ranks are spread across the key space instead of being
+// clustered at low key IDs (the YCSB "scrambled zipfian" idea). It uses the
+// SplitMix64 finalizer, an excellent 64-bit mixer.
+func scramble(rank uint64, n uint64) uint64 {
+	x := rank + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return x % n
+}

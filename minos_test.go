@@ -1,0 +1,107 @@
+package minos_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	minos "github.com/minoskv/minos"
+	"github.com/minoskv/minos/internal/sim"
+)
+
+// TestPublicAPIRoundTrip exercises the embedded-server path a downstream
+// user would copy from the README: fabric, server, client, put/get, plan.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	const cores = 2
+	fabric := minos.NewFabric(cores)
+	srv, err := minos.NewServer(minos.ServerConfig{
+		Design: minos.DesignMinos,
+		Cores:  cores,
+		Epoch:  50 * time.Millisecond,
+	}, fabric.Server())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	c := minos.NewClient(fabric.NewClient(), cores, 1)
+	c.Timeout = 5 * time.Second
+	if err := c.Put([]byte("greeting"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err := c.Get([]byte("greeting"))
+	if err != nil || !ok || string(val) != "hello" {
+		t.Fatalf("get = %q ok=%v err=%v", val, ok, err)
+	}
+	big := bytes.Repeat([]byte("z"), 64_000)
+	if err := c.Put([]byte("big-item"), big); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err = c.Get([]byte("big-item"))
+	if err != nil || !ok || !bytes.Equal(val, big) {
+		t.Fatalf("large get: len=%d ok=%v err=%v", len(val), ok, err)
+	}
+	if plan := srv.Plan(); plan.Cores != cores {
+		t.Fatalf("plan cores = %d", plan.Cores)
+	}
+}
+
+// TestPublicAPIPreloadAndLoad exercises the catalogue/preload/open-loop
+// path of the facade.
+func TestPublicAPIPreloadAndLoad(t *testing.T) {
+	const cores = 2
+	fabric := minos.NewFabric(cores)
+	srv, err := minos.NewServer(minos.ServerConfig{Design: minos.DesignMinos, Cores: cores}, fabric.Server())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	prof := minos.DefaultProfile()
+	prof.NumKeys = 1_000
+	prof.NumLargeKeys = 2
+	prof.MaxLargeSize = 10_000
+	cat := minos.NewCatalog(prof)
+	if n := minos.Preload(srv, cat); n != 1_000 {
+		t.Fatalf("preloaded %d", n)
+	}
+	res := minos.RunOpenLoop(fabric.NewClient(), cores, minos.NewGenerator(cat, 3), minos.LoadConfig{
+		Rate:     1_000,
+		Duration: 200 * time.Millisecond,
+		Seed:     4,
+	})
+	if res.Sent == 0 || res.Lat.Count() == 0 {
+		t.Fatalf("open loop produced nothing: %+v", res)
+	}
+}
+
+// TestPublicAPISimulate exercises the deterministic-evaluation facade.
+func TestPublicAPISimulate(t *testing.T) {
+	res, err := minos.Simulate(minos.SimConfig{
+		Design:   minos.SimMinos,
+		Rate:     1e6,
+		Duration: 80 * sim.Millisecond,
+		Warmup:   20 * sim.Millisecond,
+		Epoch:    20 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput < 0.9e6 || res.Lat.P99 <= 0 {
+		t.Fatalf("simulate: thr=%.0f p99=%d", res.Throughput, res.Lat.P99)
+	}
+	// The experiment aliases are wired.
+	r, err := minos.Figure1(minos.ExperimentOptions{Scale: minos.ScaleQuick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab := r.Table(); len(tab.Rows) == 0 {
+		t.Fatal("figure 1 table empty")
+	}
+	// The cost-function exports are callable.
+	if minos.CostPackets(500_000) <= minos.CostPackets(100) {
+		t.Fatal("packet cost not monotone")
+	}
+}
