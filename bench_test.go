@@ -12,7 +12,9 @@ package minos_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
+	"time"
 
 	minos "github.com/minoskv/minos"
 	"github.com/minoskv/minos/internal/harness"
@@ -229,6 +231,107 @@ func BenchmarkFigure10_DynamicWorkload(b *testing.B) {
 			wsWorst = max(wsWorst, r.HKHWS[j].P99)
 		}
 		b.ReportMetric(float64(wsWorst)/float64(minosWorst), "worst-window-win-x")
+	}
+}
+
+// --- Live-path benches (the real concurrent server over the fabric) ---
+
+// liveSetup starts a Minos server on an in-process fabric preloaded with a
+// small-item catalogue, returning a teardown func. rtt, when nonzero, is
+// the fabric's emulated network round trip.
+func liveSetup(b *testing.B, cores int, rtt time.Duration) (*minos.Fabric, *minos.Server, *minos.Catalog, func()) {
+	b.Helper()
+	prof := minos.DefaultProfile()
+	prof.NumKeys = 10_000
+	prof.NumLargeKeys = 4
+	prof.MaxLargeSize = 10_000
+	cat := minos.NewCatalog(prof)
+	fabric := minos.NewFabric(cores)
+	fabric.SetRTT(rtt)
+	srv, err := minos.NewServer(minos.ServerConfig{Design: minos.DesignMinos, Cores: cores}, fabric.Server())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	minos.Preload(srv, cat)
+	return fabric, srv, cat, func() { srv.Stop() }
+}
+
+// liveRTT is the emulated network round trip for the live client benches,
+// in the range of the paper's 40 GbE testbed. A closed-loop client pays it
+// once per request; the pipelined engine keeps the link busy across it.
+const liveRTT = 20 * time.Microsecond
+
+// BenchmarkLiveSyncVsPipelined measures the same GET stream issued
+// synchronously (one outstanding request, the seed client's only mode) and
+// through the pipelined engine, and reports the throughput ratio — the
+// load-scaling headroom the open-loop client unlocks.
+func BenchmarkLiveSyncVsPipelined(b *testing.B) {
+	const cores = 2
+	const ops = 2000
+	fabric, _, cat, stop := liveSetup(b, cores, liveRTT)
+	defer stop()
+
+	rng := rand.New(rand.NewSource(42))
+	keys := make([][]byte, ops)
+	for i := range keys {
+		keys[i] = minos.KeyForID(uint64(rng.Intn(cat.NumRegularKeys())))
+	}
+
+	syncClient := minos.NewClient(fabric.NewClient(), cores, 1)
+	defer syncClient.Close()
+	pipe := minos.NewPipeline(fabric.NewClient(), cores, minos.PipelineConfig{Window: 64, Seed: 2})
+	defer pipe.Close()
+	calls := make([]*minos.Call, ops)
+
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for _, k := range keys {
+			if _, ok, err := syncClient.Get(k); !ok || err != nil {
+				b.Fatalf("sync get: ok=%v err=%v", ok, err)
+			}
+		}
+		syncOps := float64(ops) / time.Since(start).Seconds()
+
+		start = time.Now()
+		for j, k := range keys {
+			calls[j] = pipe.GetAsync(k)
+		}
+		for j, c := range calls {
+			if _, ok, err := c.Value(); !ok || err != nil {
+				b.Fatalf("pipelined get %d: ok=%v err=%v", j, ok, err)
+			}
+		}
+		pipeOps := float64(ops) / time.Since(start).Seconds()
+
+		b.ReportMetric(syncOps/1e3, "sync-kops")
+		b.ReportMetric(pipeOps/1e3, "pipelined-kops")
+		b.ReportMetric(pipeOps/syncOps, "pipeline-speedup-x")
+	}
+}
+
+// BenchmarkLiveOpenLoopTail runs the open-loop generator at a fixed
+// offered load against the live server and reports the p50/p99/p99.9
+// end-to-end latencies — the tail measurement the paper's evaluation is
+// built on, free of coordinated omission because latencies are measured
+// from scheduled arrival times.
+func BenchmarkLiveOpenLoopTail(b *testing.B) {
+	const cores = 2
+	const rate = 50_000 // offered load (req/s), comfortably below fabric peak
+	fabric, _, cat, stop := liveSetup(b, cores, liveRTT)
+	defer stop()
+
+	for i := 0; i < b.N; i++ {
+		res := minos.RunOpenLoop(fabric.NewClient(), cores, minos.NewGenerator(cat, int64(i+3)), minos.LoadConfig{
+			Rate:     rate,
+			Duration: 500 * time.Millisecond,
+			Seed:     int64(i + 4),
+		})
+		p50, p99, p999 := res.Percentiles()
+		b.ReportMetric(float64(p50)/1e3, "p50-us")
+		b.ReportMetric(float64(p99)/1e3, "p99-us")
+		b.ReportMetric(float64(p999)/1e3, "p99.9-us")
+		b.ReportMetric(res.Loss()*100, "loss-pct")
 	}
 }
 

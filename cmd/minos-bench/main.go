@@ -8,9 +8,13 @@
 //	minos-bench -all                   # everything, in paper order
 //	minos-bench -fig 6 -scale quick    # sparse grids, seconds per figure
 //	minos-bench -all -csv out/         # also write one CSV per experiment
+//	minos-bench -live -rate 200000     # live server: pipelined vs sync
+//	                                   # client, then open-loop p50/p99/p99.9
 //
 // The default scale is "full" (the EXPERIMENTS.md scale, minutes per
-// figure); "quick" matches the bench_test.go benchmarks.
+// figure); "quick" matches the bench_test.go benchmarks. The -live mode
+// runs the real concurrent server over the in-process fabric instead of
+// the simulator; -rate, -dur, -cores, -window and -rtt tune it.
 package main
 
 import (
@@ -58,7 +62,27 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write one CSV per experiment (optional)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	live := flag.Bool("live", false, "run the live server instead of the simulator")
+	rate := flag.Float64("rate", 200_000, "live: offered open-loop load (req/s)")
+	dur := flag.Duration("dur", 2*time.Second, "live: open-loop measurement duration")
+	cores := flag.Int("cores", 2, "live: server cores (fabric RX queues)")
+	window := flag.Int("window", 64, "live: pipeline in-flight window per queue")
+	rtt := flag.Duration("rtt", 20*time.Microsecond, "live: emulated network round trip")
 	flag.Parse()
+
+	if *live {
+		if err := runLive(liveConfig{
+			cores:  *cores,
+			window: *window,
+			rate:   *rate,
+			dur:    *dur,
+			rtt:    *rtt,
+			seed:   *seed,
+		}); err != nil {
+			fatalf("live: %v", err)
+		}
+		return
+	}
 
 	opts := harness.Options{Seed: *seed}
 	switch *scale {

@@ -66,15 +66,17 @@ func main() {
 		Mean() float64
 		P50() int64
 		P99() int64
+		Quantile(float64) int64
 		Max() int64
 	}) {
 		if h.Count() == 0 {
 			fmt.Printf("%-12s (no samples)\n", name)
 			return
 		}
-		fmt.Printf("%-12s n=%-8d mean=%8.1fus p50=%8.1fus p99=%8.1fus max=%8.1fus\n",
+		fmt.Printf("%-12s n=%-8d mean=%8.1fus p50=%8.1fus p99=%8.1fus p99.9=%8.1fus max=%8.1fus\n",
 			name, h.Count(), h.Mean()/1000,
-			float64(h.P50())/1000, float64(h.P99())/1000, float64(h.Max())/1000)
+			float64(h.P50())/1000, float64(h.P99())/1000,
+			float64(h.Quantile(0.999))/1000, float64(h.Max())/1000)
 	}
 	pr("all", res.Lat)
 	pr("tiny+small", res.SmallLat)

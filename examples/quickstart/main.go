@@ -32,6 +32,7 @@ func main() {
 	// A client: GETs go to random queues, PUTs by keyhash (§3 of the
 	// paper); the client needs no knowledge of which cores are small.
 	c := minos.NewClient(fabric.NewClient(), cores, 42)
+	defer c.Close()
 
 	// Store a small item and a large one (large items fragment across
 	// UDP-style frames transparently).

@@ -1,0 +1,3 @@
+module github.com/minoskv/minos
+
+go 1.24

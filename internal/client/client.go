@@ -1,7 +1,10 @@
-// Package client implements the paper's client side (§5.4): synchronous
-// GET/PUT helpers for applications, and an open-loop load generator that
-// timestamps every request, lets the server echo the timestamp in the
-// reply, and records end-to-end latency histograms per size class.
+// Package client implements the paper's client side (§5.4): a pipelined,
+// open-loop request engine (Pipeline) with asynchronous GetAsync /
+// PutAsync / MultiGet calls, blocking Get/Put wrappers (Client), and an
+// open-loop load generator that timestamps every request at its scheduled
+// arrival, lets the server echo the timestamp in the reply, and records
+// end-to-end latency histograms per size class — so tails are measured
+// without coordinated omission.
 //
 // Requests carry a client-chosen RX queue: random for GETs, keyhash for
 // PUTs (§3). Replies larger than one frame are reassembled here, the
@@ -9,27 +12,24 @@
 package client
 
 import (
-	"fmt"
-	"math/rand"
 	"time"
 
-	"github.com/minoskv/minos/internal/kv"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/wire"
 )
 
-// Client is one client thread. It is not safe for concurrent use; run one
-// per goroutine, as the paper pins one client thread per core.
+// Client is the blocking key-value API: each Get/Put is a thin wrapper
+// that submits one request on an underlying Pipeline and waits for its
+// reply. Unlike the pipeline's async calls it keeps at most one request
+// outstanding per calling goroutine, but the shared receiver makes Client
+// safe for concurrent use — run one per goroutine or share one, either
+// works.
 type Client struct {
-	tr     nic.ClientTransport
-	queues int
-	rng    *rand.Rand
-	reqID  uint64
-	reasm  *wire.Reassembler
-	buf    []byte
+	p *Pipeline
 
-	// Timeout bounds synchronous calls; the evaluation's open loop
-	// does not retransmit (§5.4), so a timeout surfaces as an error.
+	// Timeout bounds each blocking call, read at call time; the
+	// evaluation's open loop does not retransmit (§5.4), so a timeout
+	// surfaces as an error.
 	Timeout time.Duration
 }
 
@@ -37,103 +37,30 @@ type Client struct {
 // of RX queues.
 func New(tr nic.ClientTransport, queues int, seed int64) *Client {
 	return &Client{
-		tr:      tr,
-		queues:  queues,
-		rng:     rand.New(rand.NewSource(seed)),
-		reasm:   wire.NewReassembler(0),
-		buf:     make([]byte, wire.MTU),
+		p:       NewPipeline(tr, queues, PipelineConfig{Seed: seed}),
 		Timeout: time.Second,
 	}
 }
 
+// Pipeline exposes the underlying engine for async use.
+func (c *Client) Pipeline() *Pipeline { return c.p }
+
 // steer picks the RX queue: random for GETs, keyhash for PUTs (§3).
 func (c *Client) steer(op wire.Op, key []byte) uint16 {
-	if op == wire.OpGetRequest {
-		return uint16(c.rng.Intn(c.queues))
-	}
-	return uint16(kv.Hash(key) % uint64(c.queues))
-}
-
-// send transmits one request and returns its id.
-func (c *Client) send(op wire.Op, key, value []byte) (uint64, error) {
-	c.reqID++
-	msg := wire.Message{
-		Op:        op,
-		RxQueue:   c.steer(op, key),
-		ReqID:     c.reqID,
-		Timestamp: time.Now().UnixNano(),
-		Key:       key,
-		Value:     value,
-	}
-	for _, frame := range msg.Frames() {
-		if err := c.tr.Send(int(msg.RxQueue), frame); err != nil {
-			return 0, err
-		}
-	}
-	return c.reqID, nil
-}
-
-// recvOne waits for the next complete reply, whatever its id.
-func (c *Client) recvOne(deadline time.Time) (*wire.Message, error) {
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return nil, fmt.Errorf("client: timeout waiting for reply")
-		}
-		n, ok := c.tr.Recv(c.buf, remain)
-		if !ok {
-			return nil, fmt.Errorf("client: timeout waiting for reply")
-		}
-		msg, err := c.reasm.Add(0, c.buf[:n])
-		if err != nil {
-			continue // malformed frame: drop, keep waiting
-		}
-		if msg != nil {
-			return msg, nil
-		}
-	}
+	return c.p.steer(op, key)
 }
 
 // Get fetches the value for key. A missing key returns ok=false.
 func (c *Client) Get(key []byte) (value []byte, ok bool, err error) {
-	id, err := c.send(wire.OpGetRequest, key, nil)
-	if err != nil {
-		return nil, false, err
-	}
-	deadline := time.Now().Add(c.Timeout)
-	for {
-		msg, err := c.recvOne(deadline)
-		if err != nil {
-			return nil, false, err
-		}
-		if msg.ReqID != id {
-			continue // stale reply from an earlier timed-out call
-		}
-		if msg.Status == wire.StatusNotFound {
-			return nil, false, nil
-		}
-		return msg.Value, true, nil
-	}
+	return c.p.submit(wire.OpGetRequest, key, nil, c.Timeout).Value()
 }
 
 // Put stores value under key.
 func (c *Client) Put(key, value []byte) error {
-	id, err := c.send(wire.OpPutRequest, key, value)
-	if err != nil {
-		return err
-	}
-	deadline := time.Now().Add(c.Timeout)
-	for {
-		msg, err := c.recvOne(deadline)
-		if err != nil {
-			return err
-		}
-		if msg.ReqID != id {
-			continue
-		}
-		if msg.Status != wire.StatusOK {
-			return fmt.Errorf("client: put failed with status %d", msg.Status)
-		}
-		return nil
-	}
+	_, _, err := c.p.submit(wire.OpPutRequest, key, value, c.Timeout).Value()
+	return err
 }
+
+// Close stops the client's receiver goroutine and fails outstanding
+// calls. The transport stays open; the caller owns it.
+func (c *Client) Close() error { return c.p.Close() }

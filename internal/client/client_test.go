@@ -1,6 +1,7 @@
 package client
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -54,10 +55,15 @@ func TestGetTimesOut(t *testing.T) {
 // fakeReplyless swallows sends and never replies.
 type fakeReplyless struct{}
 
-func (f *fakeReplyless) Send(int, []byte) error { return nil }
+func (f *fakeReplyless) Send(int, []byte) error        { return nil }
+func (f *fakeReplyless) SendBatch(int, [][]byte) error { return nil }
 func (f *fakeReplyless) Recv([]byte, time.Duration) (int, bool) {
 	time.Sleep(time.Millisecond)
 	return 0, false
+}
+func (f *fakeReplyless) RecvBatch(_ [][]byte, timeout time.Duration) int {
+	time.Sleep(timeout)
+	return 0
 }
 func (f *fakeReplyless) Endpoint() nic.Endpoint { return nic.Endpoint{} }
 func (f *fakeReplyless) Close() error           { return nil }
@@ -71,8 +77,8 @@ func TestStaleRepliesAreSkipped(t *testing.T) {
 	// sends request id 1; the stale reply claims id 99.
 	stale := &wire.Message{Op: wire.OpGetReply, ReqID: 99, Value: []byte("old")}
 	real := &wire.Message{Op: wire.OpGetReply, ReqID: 1, Value: []byte("new")}
-	ft.replies = append(ft.replies, stale.Frames()...)
-	ft.replies = append(ft.replies, real.Frames()...)
+	ft.push(stale.Frames()...)
+	ft.push(real.Frames()...)
 
 	val, ok, err := c.Get([]byte("any-key1"))
 	if err != nil || !ok {
@@ -83,19 +89,46 @@ func TestStaleRepliesAreSkipped(t *testing.T) {
 	}
 }
 
-// fakeScripted replays queued reply frames.
+// fakeScripted replays queued reply frames. The reply list is guarded by
+// a mutex because the pipeline's receiver goroutine drains it while the
+// test goroutine may still be scripting.
 type fakeScripted struct {
+	mu      sync.Mutex
 	replies [][]byte
 }
 
-func (f *fakeScripted) Send(int, []byte) error { return nil }
-func (f *fakeScripted) Recv(buf []byte, _ time.Duration) (int, bool) {
+func (f *fakeScripted) push(frames ...[]byte) {
+	f.mu.Lock()
+	f.replies = append(f.replies, frames...)
+	f.mu.Unlock()
+}
+
+func (f *fakeScripted) Send(int, []byte) error        { return nil }
+func (f *fakeScripted) SendBatch(int, [][]byte) error { return nil }
+func (f *fakeScripted) Recv(buf []byte, timeout time.Duration) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if len(f.replies) == 0 {
 		return 0, false
 	}
 	r := f.replies[0]
 	f.replies = f.replies[1:]
 	return copy(buf, r), true
+}
+func (f *fakeScripted) RecvBatch(out [][]byte, timeout time.Duration) int {
+	got := 0
+	for got < len(out) {
+		n, ok := f.Recv(out[got][:cap(out[got])], 0)
+		if !ok {
+			break
+		}
+		out[got] = out[got][:n]
+		got++
+	}
+	if got == 0 {
+		time.Sleep(timeout)
+	}
+	return got
 }
 func (f *fakeScripted) Endpoint() nic.Endpoint { return nic.Endpoint{} }
 func (f *fakeScripted) Close() error           { return nil }
@@ -105,8 +138,8 @@ func TestMalformedReplyIgnored(t *testing.T) {
 	c := New(ft, 4, 1)
 	c.Timeout = time.Second
 	good := &wire.Message{Op: wire.OpPutReply, ReqID: 1, Status: wire.StatusOK}
-	ft.replies = append(ft.replies, []byte{0xde, 0xad}) // garbage first
-	ft.replies = append(ft.replies, good.Frames()...)
+	ft.push([]byte{0xde, 0xad}) // garbage first
+	ft.push(good.Frames()...)
 	if err := c.Put([]byte("some-key"), []byte("v")); err != nil {
 		t.Fatalf("put should survive malformed reply: %v", err)
 	}

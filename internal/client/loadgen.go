@@ -21,6 +21,11 @@ type LoadConfig struct {
 	Duration time.Duration
 	// Seed drives arrivals and request sampling.
 	Seed int64
+	// Batch bounds how many frames accumulate per RX queue before a
+	// flush (default 32, the server-side drain batch B). Batching
+	// amortizes per-send transport overhead; the schedule, not the
+	// batch, decides when requests are due.
+	Batch int
 }
 
 // LoadResult accumulates one generator's measurements.
@@ -28,17 +33,26 @@ type LoadResult struct {
 	Sent     uint64
 	Received uint64
 	// Lat is the end-to-end latency histogram (ns), computed from the
-	// send timestamp echoed in every reply (§5.4). SmallLat and
-	// LargeLat split it by item size class.
+	// scheduled-arrival timestamp echoed in every reply (§5.4). Because
+	// the timestamp is the request's intended send time — not the
+	// moment the syscall happened — client-side backlog counts toward
+	// latency and the measurement is free of coordinated omission.
+	// SmallLat and LargeLat split it by item size class.
 	Lat, SmallLat, LargeLat *stats.Histogram
 }
 
 // Loss returns the fraction of requests that never got a reply.
 func (r *LoadResult) Loss() float64 {
-	if r.Sent == 0 {
+	if r.Sent == 0 || r.Received >= r.Sent {
 		return 0
 	}
 	return float64(r.Sent-r.Received) / float64(r.Sent)
+}
+
+// Percentiles returns the p50/p99/p99.9 end-to-end latencies in
+// nanoseconds — the tail statistics an open-loop run exists to measure.
+func (r *LoadResult) Percentiles() (p50, p99, p999 int64) {
+	return r.Lat.Quantile(0.50), r.Lat.Quantile(0.99), r.Lat.Quantile(0.999)
 }
 
 // classBits encodes the request's size class into the low bits of the
@@ -62,18 +76,24 @@ func RunOpenLoop(tr nic.ClientTransport, queues int, gen *workload.Generator, cf
 		SmallLat: stats.NewLatencyHistogram(),
 		LargeLat: stats.NewLatencyHistogram(),
 	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
 	arr := workload.NewArrivals(cfg.Rate, cfg.Seed)
 	done := make(chan struct{})
 
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { // receiver
+	go func() { // receiver: batched drain, latency from echoed timestamps
 		defer wg.Done()
 		reasm := wire.NewReassembler(0)
-		buf := make([]byte, wire.MTU)
+		bufs := make([][]byte, cfg.Batch)
+		for i := range bufs {
+			bufs[i] = make([]byte, wire.MTU)
+		}
 		for {
-			n, ok := tr.Recv(buf, 5*time.Millisecond)
-			if !ok {
+			n := tr.RecvBatch(bufs, 5*time.Millisecond)
+			if n == 0 {
 				select {
 				case <-done:
 					return
@@ -81,17 +101,20 @@ func RunOpenLoop(tr nic.ClientTransport, queues int, gen *workload.Generator, cf
 					continue
 				}
 			}
-			msg, err := reasm.Add(0, buf[:n])
-			if err != nil || msg == nil {
-				continue
-			}
-			lat := time.Now().UnixNano() - msg.Timestamp
-			res.Received++
-			res.Lat.Record(lat)
-			if decodeClass(msg.ReqID) == workload.ClassLarge {
-				res.LargeLat.Record(lat)
-			} else {
-				res.SmallLat.Record(lat)
+			now := time.Now().UnixNano()
+			for i := 0; i < n; i++ {
+				msg, err := reasm.Add(0, bufs[i])
+				if err != nil || msg == nil {
+					continue
+				}
+				lat := now - msg.Timestamp
+				res.Received++
+				res.Lat.Record(lat)
+				if decodeClass(msg.ReqID) == workload.ClassLarge {
+					res.LargeLat.Record(lat)
+				} else {
+					res.SmallLat.Record(lat)
+				}
 			}
 		}
 	}()
@@ -110,6 +133,31 @@ func RunOpenLoop(tr nic.ClientTransport, queues int, gen *workload.Generator, cf
 	start := time.Now()
 	var seq uint64
 	steer := rand.New(rand.NewSource(cfg.Seed + 7))
+
+	// Frames accumulate per RX queue and flush when a queue's batch
+	// fills or the sender is about to sleep, so a backlog burst costs
+	// one transport call per queue instead of one per frame.
+	batches := make([][][]byte, queues)
+	batched := make([]uint64, queues) // messages (not frames) per batch
+	flush := func(q int) {
+		if len(batches[q]) == 0 {
+			return
+		}
+		// Count the whole batch as sent even when SendBatch errors: on
+		// UDP the error can land mid-batch after earlier messages
+		// already reached the wire, and undercounting Sent would let
+		// Received overtake it.
+		_ = tr.SendBatch(q, batches[q])
+		res.Sent += batched[q]
+		batches[q] = batches[q][:0]
+		batched[q] = 0
+	}
+	flushAll := func() {
+		for q := range batches {
+			flush(q)
+		}
+	}
+
 	// Open loop on an absolute schedule: oversleeping (coarse timer
 	// granularity, scheduler preemption) is repaid by sending the backlog
 	// immediately, so the achieved rate tracks the target.
@@ -121,14 +169,18 @@ func RunOpenLoop(tr nic.ClientTransport, queues int, gen *workload.Generator, cf
 		}
 		next = next.Add(arr.ExpGap())
 		if wait := next.Sub(now); wait > 0 {
+			flushAll()
 			time.Sleep(wait)
 		}
 		r := gen.Next()
 		keyBuf = kv.AppendKeyForID(keyBuf[:0], r.Key)
 		seq++
 		msg := wire.Message{
-			ReqID:     encodeReqID(seq, r.Class),
-			Timestamp: time.Now().UnixNano(),
+			ReqID: encodeReqID(seq, r.Class),
+			// The scheduled arrival, not time.Now(): if the sender
+			// falls behind, the queueing delay is charged to the
+			// request (no coordinated omission).
+			Timestamp: next.UnixNano(),
 			Key:       keyBuf,
 		}
 		if r.Op == workload.OpGet {
@@ -139,17 +191,14 @@ func RunOpenLoop(tr nic.ClientTransport, queues int, gen *workload.Generator, cf
 			msg.RxQueue = uint16(kv.Hash(keyBuf) % uint64(queues))
 			msg.Value = filler[:r.Size]
 		}
-		sendErr := false
-		for _, frame := range msg.Frames() {
-			if err := tr.Send(int(msg.RxQueue), frame); err != nil {
-				sendErr = true
-				break
-			}
-		}
-		if !sendErr {
-			res.Sent++
+		q := int(msg.RxQueue)
+		batches[q] = msg.AppendFrames(batches[q])
+		batched[q]++
+		if len(batches[q]) >= cfg.Batch {
+			flush(q)
 		}
 	}
+	flushAll()
 
 	// Grace period for in-flight replies, then stop the receiver.
 	time.Sleep(50 * time.Millisecond)

@@ -1,0 +1,477 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/wire"
+)
+
+// Pipeline is an open-loop request engine: many requests in flight at
+// once, completions matched to callers by request id regardless of arrival
+// order. It is the client-side analogue of the server's run-to-completion
+// cores — one receiver goroutine drains the transport in batches while any
+// number of caller goroutines submit.
+//
+// The in-flight window is per RX queue, mirroring a NIC's per-queue
+// descriptor ring: a submitter whose target queue has Window requests
+// outstanding blocks until one completes, so a slow queue throttles only
+// the traffic steered at it. Requests carry a per-request deadline; an
+// expired request is retransmitted up to Retries times and then failed
+// with ErrTimeout, with both outcomes counted in Stats.
+type Pipeline struct {
+	tr      nic.ClientTransport
+	queues  int
+	window  int
+	timeout time.Duration
+	retries int
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	pending map[uint64]*pendingCall
+
+	nextID atomic.Uint64
+	tokens []chan struct{}
+
+	sent      atomic.Uint64
+	completed atomic.Uint64
+	timedOut  atomic.Uint64
+	retried   atomic.Uint64
+	stale     atomic.Uint64
+	badFrames atomic.Uint64
+
+	start sync.Once
+	stop  chan struct{}
+	wake  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// PipelineConfig parameterizes a Pipeline. Zero fields take defaults.
+type PipelineConfig struct {
+	// Window is the maximum number of in-flight requests per RX queue
+	// (default DefaultWindow).
+	Window int
+	// Timeout is the per-request deadline (default one second).
+	Timeout time.Duration
+	// Retries is how many times an expired request is retransmitted
+	// before failing. The default 0 matches the paper's evaluation,
+	// which reports loss rather than retransmitting (§5.4).
+	Retries int
+	// Seed drives GET queue steering.
+	Seed int64
+}
+
+// DefaultWindow is the per-queue in-flight window when the config leaves
+// it zero: deep enough to cover fabric round-trips, small enough that a
+// stalled server bounds client memory.
+const DefaultWindow = 32
+
+// ErrTimeout is the terminal error of a request whose deadline (and
+// retransmits, if configured) expired.
+var ErrTimeout = errors.New("client: request timed out")
+
+// receiver tuning: how long one RecvBatch waits when the mailbox is
+// empty, how many frames it drains per call, and how often the pending
+// map is scanned for expired deadlines.
+const (
+	recvPoll      = time.Millisecond
+	recvBatch     = 64
+	expireScan    = time.Millisecond
+	minReassemble = 64
+)
+
+// NewPipeline returns a pipeline over tr talking to a server with the
+// given number of RX queues. The receiver goroutine starts lazily on the
+// first submitted request; Close stops it and fails outstanding calls.
+func NewPipeline(tr nic.ClientTransport, queues int, cfg PipelineConfig) *Pipeline {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Second
+	}
+	if queues < 1 {
+		queues = 1
+	}
+	p := &Pipeline{
+		tr:      tr,
+		queues:  queues,
+		window:  cfg.Window,
+		timeout: cfg.Timeout,
+		retries: cfg.Retries,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		pending: make(map[uint64]*pendingCall),
+		tokens:  make([]chan struct{}, queues),
+		stop:    make(chan struct{}),
+		wake:    make(chan struct{}, 1),
+	}
+	for i := range p.tokens {
+		p.tokens[i] = make(chan struct{}, cfg.Window)
+	}
+	return p
+}
+
+// Window returns the per-queue in-flight window.
+func (p *Pipeline) Window() int { return p.window }
+
+// Call is one asynchronous request. Wait for Done (or call Value/Err,
+// which block) before reading results.
+type Call struct {
+	// ID is the wire request id, unique per pipeline.
+	ID uint64
+
+	done  chan struct{}
+	value []byte
+	found bool
+	err   error
+}
+
+// Done is closed when the call completes, fails, or times out.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Value blocks until the call completes and returns its result: the value
+// and whether the key existed for GETs, (nil, true) for acknowledged PUTs.
+func (c *Call) Value() (value []byte, ok bool, err error) {
+	<-c.done
+	return c.value, c.found, c.err
+}
+
+// Err blocks until the call completes and returns its terminal error.
+func (c *Call) Err() error {
+	<-c.done
+	return c.err
+}
+
+func (c *Call) finish(value []byte, found bool, err error) {
+	c.value, c.found, c.err = value, found, err
+	close(c.done)
+}
+
+// pendingCall is the receiver-side state of an in-flight request.
+type pendingCall struct {
+	call     *Call
+	op       wire.Op
+	queue    int
+	deadline time.Time
+	attempts int
+	frames   [][]byte // retained for retransmission; nil when Retries == 0
+}
+
+// PipelineStats is a snapshot of pipeline counters.
+type PipelineStats struct {
+	Sent      uint64 // requests submitted to the transport
+	Completed uint64 // requests that got a matching reply
+	TimedOut  uint64 // requests that exhausted deadline and retries
+	Retried   uint64 // retransmissions performed
+	Stale     uint64 // reply frames for no pending request (late or duplicate)
+	BadFrames uint64 // undecodable reply frames
+	InFlight  int    // currently pending requests
+}
+
+// Stats snapshots the counters.
+func (p *Pipeline) Stats() PipelineStats {
+	p.mu.Lock()
+	inflight := len(p.pending)
+	p.mu.Unlock()
+	return PipelineStats{
+		Sent:      p.sent.Load(),
+		Completed: p.completed.Load(),
+		TimedOut:  p.timedOut.Load(),
+		Retried:   p.retried.Load(),
+		Stale:     p.stale.Load(),
+		BadFrames: p.badFrames.Load(),
+		InFlight:  inflight,
+	}
+}
+
+// steer picks the RX queue: random for GETs, keyhash for PUTs (§3).
+func (p *Pipeline) steer(op wire.Op, key []byte) uint16 {
+	if op == wire.OpGetRequest {
+		p.mu.Lock()
+		q := p.rng.Intn(p.queues)
+		p.mu.Unlock()
+		return uint16(q)
+	}
+	return uint16(kv.Hash(key) % uint64(p.queues))
+}
+
+// GetAsync submits a GET and returns immediately (unless the target
+// queue's window is full, in which case it blocks for a slot). key may be
+// reused once GetAsync returns.
+func (p *Pipeline) GetAsync(key []byte) *Call {
+	return p.submit(wire.OpGetRequest, key, nil, p.timeout)
+}
+
+// PutAsync submits a PUT. key and value may be reused once it returns.
+func (p *Pipeline) PutAsync(key, value []byte) *Call {
+	return p.submit(wire.OpPutRequest, key, value, p.timeout)
+}
+
+// Get is the blocking wrapper: one GET, wait for its reply.
+func (p *Pipeline) Get(key []byte) (value []byte, ok bool, err error) {
+	return p.GetAsync(key).Value()
+}
+
+// Put is the blocking wrapper: one PUT, wait for its acknowledgment.
+func (p *Pipeline) Put(key, value []byte) error {
+	_, _, err := p.PutAsync(key, value).Value()
+	return err
+}
+
+// MultiGet pipelines one GET per key and waits for all of them — the
+// fan-out pattern of §1, where application response time is the slowest of
+// K parallel GETs. values[i] and oks[i] mirror Get's results for keys[i];
+// err is the first per-request failure, if any (remaining results are
+// still filled in).
+func (p *Pipeline) MultiGet(keys [][]byte) (values [][]byte, oks []bool, err error) {
+	calls := make([]*Call, len(keys))
+	for i, k := range keys {
+		calls[i] = p.GetAsync(k)
+	}
+	values = make([][]byte, len(keys))
+	oks = make([]bool, len(keys))
+	for i, c := range calls {
+		v, ok, cerr := c.Value()
+		values[i], oks[i] = v, ok
+		if err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	return values, oks, err
+}
+
+// submit encodes and transmits one request with the given deadline.
+func (p *Pipeline) submit(op wire.Op, key, value []byte, timeout time.Duration) *Call {
+	p.start.Do(func() {
+		p.wg.Add(1)
+		go p.receiverLoop()
+	})
+	call := &Call{done: make(chan struct{})}
+	if timeout <= 0 {
+		timeout = p.timeout
+	}
+	q := int(p.steer(op, key))
+	// Acquire a window slot on the target queue; released on completion
+	// or terminal timeout.
+	select {
+	case p.tokens[q] <- struct{}{}:
+	case <-p.stop:
+		call.finish(nil, false, nic.ErrClosed)
+		return call
+	}
+	call.ID = p.nextID.Add(1)
+	msg := wire.Message{
+		Op:        op,
+		RxQueue:   uint16(q),
+		ReqID:     call.ID,
+		Timestamp: time.Now().UnixNano(),
+		Key:       key,
+		Value:     value,
+	}
+	frames := msg.Frames()
+	pc := &pendingCall{
+		call:     call,
+		op:       op,
+		queue:    q,
+		deadline: time.Now().Add(timeout),
+	}
+	if p.retries > 0 {
+		pc.frames = frames
+	}
+	p.mu.Lock()
+	p.pending[call.ID] = pc
+	p.mu.Unlock()
+	// Rouse the receiver if it parked on an empty pipeline; the buffered
+	// channel makes the signal stick even if it is mid-check.
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	if err := p.tr.SendBatch(q, frames); err != nil {
+		p.abandon(call, q, err)
+		return call
+	}
+	// If the pipeline stopped between the window acquire and the insert,
+	// the receiver may already have drained the pending map; reclaim the
+	// entry here so the call cannot hang. Removal is guarded by mu, so
+	// exactly one of failAll and abandon finishes the call.
+	select {
+	case <-p.stop:
+		p.abandon(call, q, nic.ErrClosed)
+	default:
+	}
+	p.sent.Add(1)
+	return call
+}
+
+// abandon removes call from the pending map if it is still there and, if
+// so, releases its window slot and fails it with err.
+func (p *Pipeline) abandon(call *Call, q int, err error) {
+	p.mu.Lock()
+	_, still := p.pending[call.ID]
+	if still {
+		delete(p.pending, call.ID)
+	}
+	p.mu.Unlock()
+	if still {
+		<-p.tokens[q]
+		call.finish(nil, false, err)
+	}
+}
+
+// receiverLoop drains reply frames, matches them to pending calls by
+// request id, reassembles fragmented replies, and expires deadlines. It is
+// the only goroutine that completes calls, so completion and expiry never
+// race with each other.
+func (p *Pipeline) receiverLoop() {
+	defer p.wg.Done()
+	bufs := make([][]byte, recvBatch)
+	for i := range bufs {
+		bufs[i] = make([]byte, wire.MTU)
+	}
+	// One reassembler keyed by request id via the single source 0; sized
+	// to the whole window so fragmented replies are never evicted while
+	// their request is still pending.
+	maxPending := p.window * p.queues
+	if maxPending < minReassemble {
+		maxPending = minReassemble
+	}
+	reasm := wire.NewReassembler(maxPending)
+	nextExpire := time.Now().Add(expireScan)
+	for {
+		select {
+		case <-p.stop:
+			p.failAll(nic.ErrClosed)
+			return
+		default:
+		}
+		// With nothing in flight there is nothing to receive or expire:
+		// park until a submit signals instead of polling the transport.
+		// Stale frames for long-gone requests wait in the transport
+		// until the next activity, where they are drained and counted.
+		p.mu.Lock()
+		idle := len(p.pending) == 0
+		p.mu.Unlock()
+		if idle {
+			select {
+			case <-p.wake:
+			case <-p.stop:
+				p.failAll(nic.ErrClosed)
+				return
+			}
+		}
+		n := p.tr.RecvBatch(bufs, recvPoll)
+		for i := 0; i < n; i++ {
+			frame := bufs[i]
+			id, ok := wire.PeekReqID(frame)
+			if !ok {
+				p.badFrames.Add(1)
+				continue
+			}
+			p.mu.Lock()
+			pc := p.pending[id]
+			p.mu.Unlock()
+			if pc == nil {
+				p.stale.Add(1) // reply for a timed-out or duplicate request
+				continue
+			}
+			msg, err := reasm.Add(0, frame)
+			if err != nil {
+				p.badFrames.Add(1)
+				continue
+			}
+			if msg == nil {
+				continue // fragment of a still-incomplete reply
+			}
+			p.complete(pc, msg)
+		}
+		if now := time.Now(); now.After(nextExpire) {
+			p.expire(now)
+			nextExpire = now.Add(expireScan)
+		}
+	}
+}
+
+// complete finishes a call from its reply message. Removal from the
+// pending map decides ownership: a concurrent shutdown path (abandon,
+// failAll) that already removed the entry also already finished the call.
+func (p *Pipeline) complete(pc *pendingCall, msg *wire.Message) {
+	p.mu.Lock()
+	_, still := p.pending[msg.ReqID]
+	if still {
+		delete(p.pending, msg.ReqID)
+	}
+	p.mu.Unlock()
+	if !still {
+		p.stale.Add(1)
+		return
+	}
+	<-p.tokens[pc.queue]
+	p.completed.Add(1)
+	switch {
+	case msg.Status == wire.StatusNotFound:
+		pc.call.finish(nil, false, nil)
+	case msg.Status != wire.StatusOK:
+		pc.call.finish(nil, false, fmt.Errorf("client: %v failed with status %d", pc.op, msg.Status))
+	case pc.op == wire.OpGetRequest:
+		pc.call.finish(msg.Value, true, nil)
+	default:
+		pc.call.finish(nil, true, nil)
+	}
+}
+
+// expire retransmits or fails every pending call past its deadline.
+func (p *Pipeline) expire(now time.Time) {
+	var resend, dead []*pendingCall
+	p.mu.Lock()
+	for id, pc := range p.pending {
+		if now.Before(pc.deadline) {
+			continue
+		}
+		if pc.attempts < p.retries {
+			pc.attempts++
+			pc.deadline = now.Add(p.timeout)
+			resend = append(resend, pc)
+		} else {
+			delete(p.pending, id)
+			dead = append(dead, pc)
+		}
+	}
+	p.mu.Unlock()
+	for _, pc := range resend {
+		p.retried.Add(1)
+		_ = p.tr.SendBatch(pc.queue, pc.frames)
+	}
+	for _, pc := range dead {
+		<-p.tokens[pc.queue]
+		p.timedOut.Add(1)
+		pc.call.finish(nil, false, ErrTimeout)
+	}
+}
+
+// failAll terminates every pending call with err (pipeline shutdown).
+func (p *Pipeline) failAll(err error) {
+	p.mu.Lock()
+	pending := p.pending
+	p.pending = make(map[uint64]*pendingCall)
+	p.mu.Unlock()
+	for _, pc := range pending {
+		<-p.tokens[pc.queue]
+		pc.call.finish(nil, false, err)
+	}
+}
+
+// Close stops the receiver and fails outstanding calls with ErrClosed.
+// The transport is not closed; the caller owns it.
+func (p *Pipeline) Close() error {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,326 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/wire"
+)
+
+// fakePipe is a controllable transport: it counts transmissions per
+// request id and delivers whatever replies the test pushes, so tests can
+// reorder, withhold, or delay completions deterministically.
+type fakePipe struct {
+	mu      sync.Mutex
+	sends   map[uint64]int               // SendBatch calls per request id
+	onSend  func(id uint64, nthSend int) // called outside mu per request send
+	replies chan []byte
+}
+
+func newFakePipe() *fakePipe {
+	return &fakePipe{sends: make(map[uint64]int), replies: make(chan []byte, 256)}
+}
+
+func (f *fakePipe) Send(q int, data []byte) error { return f.SendBatch(q, [][]byte{data}) }
+
+func (f *fakePipe) SendBatch(q int, frames [][]byte) error {
+	type sent struct {
+		id  uint64
+		nth int
+	}
+	var events []sent
+	f.mu.Lock()
+	for _, fr := range frames {
+		if id, ok := wire.PeekReqID(fr); ok && wirePrimaryFragment(fr) {
+			f.sends[id]++
+			events = append(events, sent{id, f.sends[id]})
+		}
+	}
+	f.mu.Unlock()
+	if f.onSend != nil {
+		for _, e := range events {
+			f.onSend(e.id, e.nth)
+		}
+	}
+	return nil
+}
+
+// wirePrimaryFragment reports whether fr is a message's first fragment, so
+// multi-frame requests count once per transmission.
+func wirePrimaryFragment(fr []byte) bool {
+	h, _, err := wire.DecodeHeader(fr)
+	return err == nil && h.FragOff == 0
+}
+
+func (f *fakePipe) sendsFor(id uint64) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sends[id]
+}
+
+// pushReply delivers a GET reply for id carrying value.
+func (f *fakePipe) pushReply(id uint64, value []byte) {
+	msg := &wire.Message{Op: wire.OpGetReply, Status: wire.StatusOK, ReqID: id, Value: value}
+	for _, fr := range msg.Frames() {
+		f.replies <- fr
+	}
+}
+
+func (f *fakePipe) Recv(buf []byte, timeout time.Duration) (int, bool) {
+	out := [][]byte{buf}
+	if n := f.RecvBatch(out, timeout); n == 1 {
+		return len(out[0]), true
+	}
+	return 0, false
+}
+
+func (f *fakePipe) RecvBatch(out [][]byte, timeout time.Duration) int {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	got := 0
+	for got < len(out) {
+		if got == 0 {
+			select {
+			case fr := <-f.replies:
+				out[0] = out[0][:copy(out[0][:cap(out[0])], fr)]
+				got = 1
+			case <-timer.C:
+				return 0
+			}
+			continue
+		}
+		select {
+		case fr := <-f.replies:
+			out[got] = out[got][:copy(out[got][:cap(out[got])], fr)]
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+func (f *fakePipe) Endpoint() nic.Endpoint { return nic.Endpoint{} }
+func (f *fakePipe) Close() error           { return nil }
+
+func TestPipelineOutOfOrderCompletion(t *testing.T) {
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 8, Timeout: 2 * time.Second})
+	defer p.Close()
+
+	calls := make([]*Call, 4)
+	for i := range calls {
+		calls[i] = p.GetAsync([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	// Replies arrive in reverse submission order; ids are 1..4.
+	for id := uint64(4); id >= 1; id-- {
+		ft.pushReply(id, []byte(fmt.Sprintf("value-%d", id)))
+	}
+	for i, c := range calls {
+		v, ok, err := c.Value()
+		if err != nil || !ok {
+			t.Fatalf("call %d: ok=%v err=%v", i, ok, err)
+		}
+		if want := fmt.Sprintf("value-%d", c.ID); string(v) != want {
+			t.Fatalf("call %d (id %d): got %q, want %q", i, c.ID, v, want)
+		}
+	}
+	if st := p.Stats(); st.Completed != 4 || st.InFlight != 0 {
+		t.Fatalf("stats after out-of-order run: %+v", st)
+	}
+}
+
+func TestPipelineWindowSaturation(t *testing.T) {
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 2, Timeout: 5 * time.Second})
+	defer p.Close()
+
+	c1 := p.GetAsync([]byte("k1"))
+	_ = p.GetAsync([]byte("k2"))
+
+	// The third submit must block until a window slot frees.
+	third := make(chan *Call, 1)
+	go func() { third <- p.GetAsync([]byte("k3")) }()
+	select {
+	case <-third:
+		t.Fatal("third request submitted past a full window")
+	case <-time.After(50 * time.Millisecond):
+	}
+	ft.pushReply(c1.ID, []byte("v1"))
+	if _, ok, err := c1.Value(); !ok || err != nil {
+		t.Fatalf("first call: ok=%v err=%v", ok, err)
+	}
+	select {
+	case c3 := <-third:
+		ft.pushReply(c3.ID, []byte("v3"))
+		if _, ok, err := c3.Value(); !ok || err != nil {
+			t.Fatalf("third call: ok=%v err=%v", ok, err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("third submit still blocked after a slot freed")
+	}
+}
+
+func TestPipelinePerRequestTimeout(t *testing.T) {
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 4, Timeout: 20 * time.Millisecond})
+	defer p.Close()
+
+	c := p.GetAsync([]byte("never-answered"))
+	if err := c.Err(); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	st := p.Stats()
+	if st.TimedOut != 1 || st.InFlight != 0 {
+		t.Fatalf("stats after timeout: %+v", st)
+	}
+	// A reply landing after the deadline is counted stale, not delivered.
+	ft.pushReply(c.ID, []byte("too-late"))
+	deadline := time.Now().Add(time.Second)
+	for p.Stats().Stale == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late reply never counted stale")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPipelineRetryThenComplete(t *testing.T) {
+	ft := newFakePipe()
+	// Reply only to the second transmission of each request.
+	ft.onSend = func(id uint64, nth int) {
+		if nth == 2 {
+			ft.pushReply(id, []byte("eventually"))
+		}
+	}
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 4, Timeout: 15 * time.Millisecond, Retries: 3})
+	defer p.Close()
+
+	c := p.GetAsync([]byte("flaky"))
+	v, ok, err := c.Value()
+	if err != nil || !ok || string(v) != "eventually" {
+		t.Fatalf("retried call: %q ok=%v err=%v", v, ok, err)
+	}
+	if got := ft.sendsFor(c.ID); got != 2 {
+		t.Fatalf("request transmitted %d times, want 2", got)
+	}
+	if st := p.Stats(); st.Retried != 1 || st.TimedOut != 0 {
+		t.Fatalf("stats after retry: %+v", st)
+	}
+}
+
+func TestPipelineRetriesExhausted(t *testing.T) {
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 4, Timeout: 10 * time.Millisecond, Retries: 2})
+	defer p.Close()
+
+	c := p.GetAsync([]byte("black-hole"))
+	if err := c.Err(); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := ft.sendsFor(c.ID); got != 3 { // original + 2 retries
+		t.Fatalf("request transmitted %d times, want 3", got)
+	}
+	if st := p.Stats(); st.Retried != 2 || st.TimedOut != 1 {
+		t.Fatalf("stats after exhausted retries: %+v", st)
+	}
+}
+
+// TestPipelineConcurrentCallers hammers one shared pipeline from many
+// goroutines against a loopback echo; run with -race.
+func TestPipelineConcurrentCallers(t *testing.T) {
+	ft := newFakePipe()
+	// Echo server: complete every request on first transmission with a
+	// value derived from its id.
+	ft.onSend = func(id uint64, nth int) {
+		ft.pushReply(id, []byte(fmt.Sprintf("v%d", id)))
+	}
+	p := NewPipeline(ft, 4, PipelineConfig{Window: 8, Timeout: 5 * time.Second})
+	defer p.Close()
+
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c := p.GetAsync([]byte(fmt.Sprintf("g%d-i%d", g, i)))
+				v, ok, err := c.Value()
+				if err != nil || !ok {
+					errs <- fmt.Errorf("g%d i%d: ok=%v err=%v", g, i, ok, err)
+					return
+				}
+				if want := fmt.Sprintf("v%d", c.ID); string(v) != want {
+					errs <- fmt.Errorf("g%d i%d: got %q want %q", g, i, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	st := p.Stats()
+	if st.Completed != goroutines*perG || st.InFlight != 0 {
+		t.Fatalf("stats after concurrent run: %+v", st)
+	}
+}
+
+func TestPipelineCloseFailsOutstanding(t *testing.T) {
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 4, Timeout: time.Minute})
+	c := p.GetAsync([]byte("stranded"))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); err != nic.ErrClosed {
+		t.Fatalf("err after close = %v, want ErrClosed", err)
+	}
+	// Submitting after close fails fast instead of hanging.
+	if err := p.GetAsync([]byte("post-close")).Err(); err != nic.ErrClosed {
+		t.Fatalf("post-close submit err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipelineMultiGetFragmentedReplies(t *testing.T) {
+	ft := newFakePipe()
+	big := make([]byte, 3*wire.MaxFragPayload+17) // four fragments
+	for i := range big {
+		big[i] = byte(i)
+	}
+	ft.onSend = func(id uint64, nth int) {
+		if id%2 == 0 {
+			ft.pushReply(id, big)
+		} else {
+			ft.pushReply(id, []byte("small"))
+		}
+	}
+	p := NewPipeline(ft, 2, PipelineConfig{Window: 4, Timeout: 5 * time.Second})
+	defer p.Close()
+
+	keys := make([][]byte, 6)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%d", i))
+	}
+	values, oks, err := p.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !oks[i] {
+			t.Fatalf("key %d missing", i)
+		}
+		if len(values[i]) != len(big) && string(values[i]) != "small" {
+			t.Fatalf("key %d: unexpected value length %d", i, len(values[i]))
+		}
+	}
+}

@@ -33,6 +33,9 @@ func TestFigure1ShapeSpansDecades(t *testing.T) {
 }
 
 func TestFigure2HOLInflation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulator sweep; run without -short")
+	}
 	r, err := Figure2(opts())
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +83,9 @@ func TestTable1MatchesPaperShares(t *testing.T) {
 }
 
 func TestFigure3MinosWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulator sweep; run without -short")
+	}
 	r, err := Figure3(opts())
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +117,9 @@ func TestFigure3MinosWins(t *testing.T) {
 }
 
 func TestFigure4BoundedPenalty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulator sweep; run without -short")
+	}
 	r, err := Figure4(opts())
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +138,9 @@ func TestFigure4BoundedPenalty(t *testing.T) {
 }
 
 func TestFigure6SpeedupsExceedOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulator sweep; run without -short")
+	}
 	r, err := Figure6(opts())
 	if err != nil {
 		t.Fatal(err)
@@ -158,6 +170,9 @@ func TestFigure6SpeedupsExceedOne(t *testing.T) {
 }
 
 func TestFigure8BottleneckShifts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulator sweep; run without -short")
+	}
 	r, err := Figure8(opts())
 	if err != nil {
 		t.Fatal(err)
@@ -202,6 +217,9 @@ func TestFigure9PacketBalance(t *testing.T) {
 }
 
 func TestFigure10AdaptsAndWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulator sweep; run without -short")
+	}
 	r, err := Figure10(opts())
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ type Fabric struct {
 	mailbox []*ring.MPMC[Frame]
 	drops   atomic.Uint64
 	closed  atomic.Bool
+	rttNs   atomic.Int64
 
 	mu      sync.Mutex
 	clients int
@@ -42,6 +43,17 @@ func NewFabric(queues int) *Fabric {
 
 // Drops returns frames lost to ring overflow.
 func (f *Fabric) Drops() uint64 { return f.drops.Load() }
+
+// SetRTT emulates a network round trip: reply frames become visible to
+// the client rtt after the server transmits them, modeling the NIC and
+// propagation latency of the real link the fabric stands in for (the
+// paper's testbed round trips are tens of microseconds; the fabric's
+// native delivery is nanoseconds). The request path stays immediate so
+// server-side queueing dynamics are unchanged; the whole round trip is
+// charged on the reply. Zero, the default, disables the emulation.
+// Closed-loop clients are bound by this RTT while the pipelined engine
+// hides it — the motivating gap for the open-loop client.
+func (f *Fabric) SetRTT(rtt time.Duration) { f.rttNs.Store(int64(rtt)) }
 
 // Server returns the fabric's server-side transport.
 func (f *Fabric) Server() ServerTransport { return (*fabricServer)(f) }
@@ -68,21 +80,52 @@ func (s *fabricServer) Recv(q int, out []Frame) int {
 	return s.rx[q].DequeueBatch(out)
 }
 
+// replyDue stamps the emulated delivery time for a reply sent now.
+func (s *fabricServer) replyDue() int64 {
+	if rtt := s.rttNs.Load(); rtt > 0 {
+		return time.Now().UnixNano() + rtt
+	}
+	return 0
+}
+
 func (s *fabricServer) Send(_ int, dst Endpoint, data []byte) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	s.mu.Lock()
-	var mb *ring.MPMC[Frame]
-	if int(dst.ID) < len(s.mailbox) {
-		mb = s.mailbox[dst.ID]
-	}
-	s.mu.Unlock()
+	mb := s.mailboxFor(dst)
 	if mb == nil {
 		return nil // unknown client: silently dropped, like the network
 	}
-	if !mb.Enqueue(Frame{Data: data}) {
+	if !mb.Enqueue(Frame{Data: data, due: s.replyDue()}) {
 		s.drops.Add(1)
+	}
+	return nil
+}
+
+// SendBatch delivers all frames with a single mailbox lookup, the fabric
+// analogue of posting one TX descriptor chain.
+func (s *fabricServer) SendBatch(_ int, dst Endpoint, frames [][]byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	mb := s.mailboxFor(dst)
+	if mb == nil {
+		return nil
+	}
+	due := s.replyDue()
+	for _, data := range frames {
+		if !mb.Enqueue(Frame{Data: data, due: due}) {
+			s.drops.Add(1)
+		}
+	}
+	return nil
+}
+
+func (s *fabricServer) mailboxFor(dst Endpoint) *ring.MPMC[Frame] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(dst.ID) < len(s.mailbox) {
+		return s.mailbox[dst.ID]
 	}
 	return nil
 }
@@ -96,6 +139,21 @@ type fabricClient struct {
 	f  *Fabric
 	id uint64
 	mb *ring.MPMC[Frame]
+
+	// stash holds a dequeued frame whose emulated delivery time has not
+	// arrived yet. Receiving is single-consumer (one receiver goroutine
+	// per client transport), so no lock guards it.
+	stash    Frame
+	hasStash bool
+}
+
+// take returns the next mailbox frame, honoring a stashed one first.
+func (c *fabricClient) take() (Frame, bool) {
+	if c.hasStash {
+		c.hasStash = false
+		return c.stash, true
+	}
+	return c.mb.Dequeue()
 }
 
 func (c *fabricClient) Endpoint() Endpoint { return Endpoint{ID: c.id} }
@@ -113,10 +171,44 @@ func (c *fabricClient) Send(q int, data []byte) error {
 	return nil
 }
 
+// SendBatch enqueues every frame onto the RX ring in order. Misdirected
+// batches vanish whole, like the network.
+func (c *fabricClient) SendBatch(q int, frames [][]byte) error {
+	if c.f.closed.Load() {
+		return ErrClosed
+	}
+	if q < 0 || q >= len(c.f.rx) {
+		return nil
+	}
+	src := Endpoint{ID: c.id}
+	rx := c.f.rx[q]
+	for _, data := range frames {
+		if !rx.Enqueue(Frame{Src: src, Data: data}) {
+			c.f.drops.Add(1)
+		}
+	}
+	return nil
+}
+
 func (c *fabricClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
 	deadline := time.Now().Add(timeout)
 	for spins := 0; ; spins++ {
-		if frame, ok := c.mb.Dequeue(); ok {
+		if frame, ok := c.take(); ok {
+			if frame.due > 0 && time.Now().UnixNano() < frame.due {
+				if time.Unix(0, frame.due).After(deadline) {
+					// Not deliverable before the caller's
+					// deadline: keep it for the next call.
+					c.stash, c.hasStash = frame, true
+					return 0, false
+				}
+				// Poll until the emulated delivery instant, as a
+				// DPDK-style client polls its RX ring; sleeping
+				// would charge timer granularity (hundreds of
+				// microseconds) instead of the configured RTT.
+				for time.Now().UnixNano() < frame.due {
+					runtime.Gosched()
+				}
+			}
 			n := copy(buf, frame.Data)
 			return n, true
 		}
@@ -129,6 +221,36 @@ func (c *fabricClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
 			time.Sleep(10 * time.Microsecond)
 		}
 	}
+}
+
+// RecvBatch blocks (briefly) for the first frame like Recv, then drains the
+// mailbox without blocking, so a burst of replies costs one wait. Frames
+// whose emulated delivery time has not arrived stay pending.
+func (c *fabricClient) RecvBatch(out [][]byte, timeout time.Duration) int {
+	if len(out) == 0 {
+		return 0
+	}
+	n, ok := c.Recv(out[0][:cap(out[0])], timeout)
+	if !ok {
+		return 0
+	}
+	out[0] = out[0][:n]
+	got := 1
+	now := time.Now().UnixNano()
+	for got < len(out) {
+		frame, ok := c.take()
+		if !ok {
+			break
+		}
+		if frame.due > now {
+			c.stash, c.hasStash = frame, true
+			break
+		}
+		m := copy(out[got][:cap(out[got])], frame.Data)
+		out[got] = out[got][:m]
+		got++
+	}
+	return got
 }
 
 func (c *fabricClient) Close() error { return nil }

@@ -34,6 +34,10 @@ type Endpoint struct {
 type Frame struct {
 	Src  Endpoint
 	Data []byte
+
+	// due is the emulated delivery time (UnixNano) on fabrics with a
+	// configured RTT; zero means deliver immediately.
+	due int64
 }
 
 // ServerTransport is the server side of the multi-queue network: Recv
@@ -47,6 +51,11 @@ type ServerTransport interface {
 	Recv(q int, out []Frame) int
 	// Send transmits one frame to dst from queue q's TX side.
 	Send(q int, dst Endpoint, data []byte) error
+	// SendBatch transmits frames to dst from queue q's TX side in one
+	// call, preserving order. It amortizes per-send overhead (channel
+	// and lock operations on the fabric, address setup on UDP) when a
+	// reply spans several fragments.
+	SendBatch(q int, dst Endpoint, frames [][]byte) error
 	// Close releases transport resources; subsequent calls error.
 	Close() error
 }
@@ -55,9 +64,19 @@ type ServerTransport interface {
 type ClientTransport interface {
 	// Send transmits one frame to server RX queue q.
 	Send(q int, data []byte) error
+	// SendBatch transmits frames to server RX queue q in one call,
+	// preserving order and amortizing per-send overhead. Frames for
+	// different queues need separate calls, as on hardware TX queues.
+	SendBatch(q int, frames [][]byte) error
 	// Recv waits up to timeout for one reply frame into buf, returning
 	// the frame length and whether one arrived.
 	Recv(buf []byte, timeout time.Duration) (int, bool)
+	// RecvBatch waits up to timeout for at least one reply frame, then
+	// drains whatever else is immediately available. Each out[i] must
+	// have capacity for a full MTU frame; received frames are re-sliced
+	// in place to their lengths. Returns the number of frames received
+	// (a prefix of out).
+	RecvBatch(out [][]byte, timeout time.Duration) int
 	// Endpoint returns this client's reply address.
 	Endpoint() Endpoint
 	Close() error

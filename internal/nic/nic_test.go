@@ -38,6 +38,69 @@ func TestFabricRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFabricBatchRoundTrip(t *testing.T) {
+	f := NewFabric(2)
+	srv := f.Server()
+	cli := f.NewClient()
+
+	if err := cli.SendBatch(1, [][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Frame, 8)
+	if n := srv.Recv(1, out); n != 3 {
+		t.Fatalf("server recv = %d frames, want 3", n)
+	}
+	// Batch replies arrive in order through the batched receive path.
+	if err := srv.SendBatch(1, out[0].Src, [][]byte{[]byte("x"), []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]byte, 4)
+	for i := range bufs {
+		bufs[i] = make([]byte, 16)
+	}
+	if n := cli.RecvBatch(bufs, time.Second); n != 2 {
+		t.Fatalf("client RecvBatch = %d, want 2", n)
+	}
+	if string(bufs[0]) != "x" || string(bufs[1]) != "y" {
+		t.Fatalf("batch replies out of order: %q %q", bufs[0], bufs[1])
+	}
+}
+
+func TestFabricRTTDelaysReplies(t *testing.T) {
+	const rtt = 2 * time.Millisecond
+	f := NewFabric(1)
+	f.SetRTT(rtt)
+	srv := f.Server()
+	cli := f.NewClient()
+
+	// The request path stays immediate.
+	if err := cli.Send(0, []byte("req")); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Frame, 1)
+	if n := srv.Recv(0, out); n != 1 {
+		t.Fatal("request delayed; only replies should carry the RTT")
+	}
+
+	start := time.Now()
+	if err := srv.Send(0, out[0].Src, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	// A receive whose deadline lands before delivery must come up empty
+	// without losing the frame.
+	buf := make([]byte, 16)
+	if _, ok := cli.Recv(buf, 50*time.Microsecond); ok {
+		t.Fatal("reply visible before the emulated RTT elapsed")
+	}
+	n, ok := cli.Recv(buf, time.Second)
+	if !ok || string(buf[:n]) != "reply" {
+		t.Fatalf("reply lost after early-deadline receive: %q ok=%v", buf[:n], ok)
+	}
+	if elapsed := time.Since(start); elapsed < rtt {
+		t.Fatalf("reply delivered after %v, want >= %v", elapsed, rtt)
+	}
+}
+
 func TestFabricMisdirectedAndUnknown(t *testing.T) {
 	f := NewFabric(2)
 	cli := f.NewClient()

@@ -88,6 +88,23 @@ func (s *UDPServer) Send(q int, dst Endpoint, data []byte) error {
 	return err
 }
 
+// SendBatch transmits frames to dst from queue q's socket with one address
+// resolution for the whole batch. (A sendmmsg fast path would slot in here;
+// the standard library exposes only per-datagram writes.)
+func (s *UDPServer) SendBatch(q int, dst Endpoint, frames [][]byte) error {
+	addr, ok := dst.Addr.(*net.UDPAddr)
+	if !ok {
+		return fmt.Errorf("nic: endpoint %d has no UDP address", dst.ID)
+	}
+	conn := s.conns[q]
+	for _, data := range frames {
+		if _, err := conn.WriteToUDP(data, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close closes every socket.
 func (s *UDPServer) Close() error {
 	var first error
@@ -129,6 +146,18 @@ func (c *UDPClient) Send(q int, data []byte) error {
 	return err
 }
 
+// SendBatch transmits frames to server queue q, building the destination
+// address once for the whole batch.
+func (c *UDPClient) SendBatch(q int, frames [][]byte) error {
+	addr := &net.UDPAddr{IP: c.host, Port: c.basePort + q}
+	for _, data := range frames {
+		if _, err := c.conn.WriteToUDP(data, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Recv waits up to timeout for one reply datagram.
 func (c *UDPClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
 	_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
@@ -137,6 +166,28 @@ func (c *UDPClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
 		return 0, false
 	}
 	return n, true
+}
+
+// RecvBatch waits up to timeout for the first datagram, then drains
+// immediately available ones. The follow-up reads use a nanosecond
+// deadline, so a burst of replies costs one long wait and one deadline
+// update instead of a SetReadDeadline syscall pair per datagram.
+func (c *UDPClient) RecvBatch(out [][]byte, timeout time.Duration) int {
+	got := 0
+	for got < len(out) {
+		wait := timeout
+		if got > 0 {
+			wait = time.Nanosecond
+		}
+		_ = c.conn.SetReadDeadline(time.Now().Add(wait))
+		n, _, err := c.conn.ReadFromUDP(out[got][:cap(out[got])])
+		if err != nil {
+			break
+		}
+		out[got] = out[got][:n]
+		got++
+	}
+	return got
 }
 
 // Close closes the socket.

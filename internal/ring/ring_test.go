@@ -67,9 +67,21 @@ func TestSPSCBatch(t *testing.T) {
 	}
 }
 
+// soak scales a concurrency-soak iteration count down under -short: the
+// busy-wait producer/consumer pairs take minutes on a single-CPU runner
+// at full size, and the interleavings they explore are already well
+// covered at the reduced count.
+func soak(t *testing.T, full int) int {
+	t.Helper()
+	if testing.Short() {
+		return full / 20
+	}
+	return full
+}
+
 func TestSPSCConcurrentNoLossNoDup(t *testing.T) {
 	r := NewSPSC[int](64)
-	const total = 200_000
+	total := soak(t, 200_000)
 	seen := make([]bool, total)
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -154,7 +166,7 @@ func TestMPMCConcurrentProducersSingleConsumer(t *testing.T) {
 	// large core consumes. Verify no loss, no duplication.
 	q := NewMPMC[int](128)
 	const producers = 4
-	const perProducer = 50_000
+	perProducer := soak(t, 50_000)
 	var wg sync.WaitGroup
 	wg.Add(producers)
 	for p := 0; p < producers; p++ {
@@ -205,7 +217,7 @@ func TestMPMCConcurrentProducersSingleConsumer(t *testing.T) {
 
 func TestMPMCConcurrentConsumers(t *testing.T) {
 	q := NewMPMC[int](64)
-	const total = 100_000
+	total := soak(t, 100_000)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {

@@ -310,10 +310,13 @@ func (s *Server) replyMiss(c *coreState, src nic.Endpoint, msg *wire.Message) {
 }
 
 func (s *Server) transmit(c *coreState, dst nic.Endpoint, reply *wire.Message) {
-	for _, frame := range reply.Frames() {
-		c.pkts.Add(1)
-		if err := s.tr.Send(c.id, dst, frame); err != nil {
-			return
-		}
+	frames := reply.Frames()
+	c.pkts.Add(uint64(len(frames)))
+	if len(frames) == 1 {
+		_ = s.tr.Send(c.id, dst, frames[0])
+		return
 	}
+	// Multi-fragment replies go out as one batch, amortizing per-send
+	// transport overhead across the fragments of a large value.
+	_ = s.tr.SendBatch(c.id, dst, frames)
 }

@@ -45,6 +45,7 @@ func TestGetPutAllDesigns(t *testing.T) {
 				queues = 1
 			}
 			c := client.New(fabric.NewClient(), queues, 1)
+			t.Cleanup(func() { c.Close() })
 
 			key := []byte("hello-01")
 			if err := c.Put(key, []byte("world")); err != nil {
@@ -81,6 +82,7 @@ func TestLargeValueRoundTrip(t *testing.T) {
 		t.Run(design.String(), func(t *testing.T) {
 			_, fabric := startServer(t, design)
 			c := client.New(fabric.NewClient(), testCores, 2)
+			t.Cleanup(func() { c.Close() })
 			c.Timeout = 5 * time.Second
 
 			for _, size := range []int{wire.MaxFragPayload - 8, wire.MaxFragPayload, 10_000, 120_000} {
@@ -106,6 +108,7 @@ func TestLargeValueRoundTrip(t *testing.T) {
 func TestControllerAdaptsLive(t *testing.T) {
 	srv, fabric := startServer(t, server.Minos)
 	c := client.New(fabric.NewClient(), testCores, 3)
+	t.Cleanup(func() { c.Close() })
 	c.Timeout = 5 * time.Second
 
 	// 1% of writes are 50 KB: below the 99th size percentile, so the
@@ -144,6 +147,7 @@ func TestMalformedFramesAreCounted(t *testing.T) {
 		if srv.Stats().BadFrames >= 1 {
 			// The server must still serve after garbage.
 			c := client.New(fabric.NewClient(), testCores, 4)
+			t.Cleanup(func() { c.Close() })
 			if err := c.Put([]byte("after-bad"), []byte("ok")); err != nil {
 				t.Fatalf("server wedged after malformed frame: %v", err)
 			}
@@ -169,6 +173,7 @@ func TestPreloadAndStats(t *testing.T) {
 
 	// Every catalogued key must be readable with its catalogued size.
 	c := client.New(fabric.NewClient(), testCores, 5)
+	t.Cleanup(func() { c.Close() })
 	c.Timeout = 5 * time.Second
 	for _, id := range []uint64{0, 1, 99, 1999} {
 		val, ok, err := c.Get(kv.KeyForID(id))
@@ -240,6 +245,7 @@ func TestUDPEndToEnd(t *testing.T) {
 	}
 	defer ct.Close()
 	c := client.New(ct, testCores, 11)
+	t.Cleanup(func() { c.Close() })
 	c.Timeout = 5 * time.Second
 
 	if err := c.Put([]byte("udp-key1"), []byte("via-udp")); err != nil {

@@ -36,6 +36,7 @@ type pendingMessage struct {
 	body     []byte // key||value, filled in fragment order
 	received int    // payload bytes received so far
 	started  uint64 // arrival sequence number, for eviction
+	seen     []bool // per fragment slot: dedup for retransmitted frames
 }
 
 // DefaultMaxPending bounds the number of partially reassembled messages.
@@ -78,6 +79,11 @@ func (r *Reassembler) Add(source uint64, frame []byte) (*Message, error) {
 		return messageFrom(h, append([]byte(nil), payload...)), nil
 	}
 
+	// Fragments are cut at MaxFragPayload boundaries (AppendFrames);
+	// enforcing that here lets duplicate detection index by slot.
+	if int(h.FragOff)%MaxFragPayload != 0 {
+		return nil, ErrBadOffset
+	}
 	key := reassemblyKey{source: source, reqID: h.ReqID}
 	p := r.pending[key]
 	if p == nil {
@@ -89,9 +95,21 @@ func (r *Reassembler) Add(source uint64, frame []byte) (*Message, error) {
 			header:  h,
 			body:    make([]byte, h.TotalSize),
 			started: r.seq,
+			seen:    make([]bool, FragmentsFor(int(h.TotalSize))),
 		}
 		r.pending[key] = p
 	}
+	slot := int(h.FragOff) / MaxFragPayload
+	if slot >= len(p.seen) {
+		return nil, ErrOverlap
+	}
+	if p.seen[slot] {
+		// A retransmitted duplicate (the client resends whole messages
+		// on timeout). Counting it again would let a message "complete"
+		// with a hole where a still-missing fragment belongs.
+		return nil, nil
+	}
+	p.seen[slot] = true
 	copy(p.body[h.FragOff:], payload)
 	p.received += int(h.FragLen)
 	if p.received < int(h.TotalSize) {

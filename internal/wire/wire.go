@@ -149,6 +149,7 @@ var (
 	ErrBadLength  = errors.New("wire: fragment length disagrees with frame")
 	ErrBadOp      = errors.New("wire: invalid op")
 	ErrOverlap    = errors.New("wire: fragment beyond message bounds")
+	ErrBadOffset  = errors.New("wire: fragment offset not on a fragment boundary")
 )
 
 // EncodeHeader writes h into dst, which must be at least HeaderSize long.
@@ -200,6 +201,20 @@ func DecodeHeader(frame []byte) (Header, []byte, error) {
 		return Header{}, nil, ErrBadLength
 	}
 	return h, payload[:h.FragLen], nil
+}
+
+// PeekReqID extracts the request id from a frame without decoding the
+// full header, validating only magic and version. Pipelined receivers use
+// it to match an arriving fragment to a pending request (and drop frames
+// for requests that already timed out) before paying for reassembly.
+func PeekReqID(frame []byte) (uint64, bool) {
+	if len(frame) < HeaderSize {
+		return 0, false
+	}
+	if binary.BigEndian.Uint16(frame[0:2]) != headerMagic || frame[2] != headerVersion {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(frame[8:16]), true
 }
 
 // Message is one application-level request or reply, independent of how

@@ -63,6 +63,35 @@ func TestDecodeHeaderErrors(t *testing.T) {
 	}
 }
 
+func TestPeekReqID(t *testing.T) {
+	msg := &Message{Op: OpGetReply, ReqID: 0xFEEDFACE12345678, Value: bytes.Repeat([]byte("v"), 3*MaxFragPayload)}
+	frames := msg.Frames()
+	if len(frames) < 2 {
+		t.Fatalf("want a fragmented message, got %d frame(s)", len(frames))
+	}
+	// Every fragment of a message peeks to the same id.
+	for i, fr := range frames {
+		id, ok := PeekReqID(fr)
+		if !ok || id != msg.ReqID {
+			t.Fatalf("fragment %d: PeekReqID = %#x,%v", i, id, ok)
+		}
+	}
+	// Garbage, truncation, and wrong magic/version are rejected.
+	if _, ok := PeekReqID([]byte{0xde, 0xad}); ok {
+		t.Fatal("PeekReqID accepted a truncated frame")
+	}
+	bad := append([]byte(nil), frames[0]...)
+	bad[0] = 0xFF
+	if _, ok := PeekReqID(bad); ok {
+		t.Fatal("PeekReqID accepted a bad magic")
+	}
+	bad = append([]byte(nil), frames[0]...)
+	bad[2] = 99
+	if _, ok := PeekReqID(bad); ok {
+		t.Fatal("PeekReqID accepted a bad version")
+	}
+}
+
 func TestFragmentsFor(t *testing.T) {
 	tests := []struct {
 		n    int
@@ -265,6 +294,42 @@ func TestReassemblerRejectsBadFragments(t *testing.T) {
 	EncodeHeader(frame, &h)
 	if _, err := r.Add(1, frame); err == nil {
 		t.Fatal("expected error for key longer than message")
+	}
+}
+
+func TestReassemblerDuplicateFragments(t *testing.T) {
+	// A retransmitted message re-delivers fragments the reassembler has
+	// already counted. Duplicates must not complete a message that is
+	// still missing a fragment (the hole would read as zeros).
+	val := bytes.Repeat([]byte{'x'}, 3*MaxFragPayload)
+	msg := &Message{Op: OpPutRequest, ReqID: 9, Key: []byte("k"), Value: val}
+	frames := msg.Frames()
+	if len(frames) != 4 {
+		t.Fatalf("frames = %d, want 4", len(frames))
+	}
+	r := NewReassembler(0)
+	for _, fr := range [][]byte{frames[0], frames[1], frames[0], frames[1], frames[3]} {
+		got, err := r.Add(1, fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nil {
+			t.Fatal("message completed with fragment 2 still missing")
+		}
+	}
+	got, err := r.Add(1, frames[2])
+	if err != nil || got == nil {
+		t.Fatalf("final fragment did not complete: %v", err)
+	}
+	if !bytes.Equal(got.Value, val) || !bytes.Equal(got.Key, []byte("k")) {
+		t.Fatal("reassembled body corrupt after duplicate fragments")
+	}
+	// Misaligned fragment offsets are rejected outright.
+	h := Header{Op: OpPutRequest, TotalSize: uint32(2 * MaxFragPayload), FragOff: 7, FragLen: 16}
+	frame := make([]byte, HeaderSize+16)
+	EncodeHeader(frame, &h)
+	if _, err := r.Add(1, frame); err != ErrBadOffset {
+		t.Fatalf("misaligned fragment: err = %v, want ErrBadOffset", err)
 	}
 }
 

@@ -97,13 +97,35 @@ func NewServer(cfg ServerConfig, tr ServerTransport) (*Server, error) {
 	return server.New(cfg, tr)
 }
 
-// Client is a synchronous key-value client (one per goroutine).
+// Client is the blocking key-value client: Get/Put wrappers over a
+// pipelined engine, safe for concurrent use.
 type Client = client.Client
 
 // NewClient returns a client over tr that spreads requests across the
 // server's queues: GETs to a random queue, PUTs by keyhash (§3).
 func NewClient(tr ClientTransport, queues int, seed int64) *Client {
 	return client.New(tr, queues, seed)
+}
+
+// Pipeline is the open-loop request engine: a configurable in-flight
+// window per RX queue, out-of-order completion matched by request id,
+// per-request deadlines with timeout/retry accounting, and asynchronous
+// GetAsync/PutAsync/MultiGet calls.
+type Pipeline = client.Pipeline
+
+// PipelineConfig tunes a Pipeline's window, deadline, and retransmits.
+type PipelineConfig = client.PipelineConfig
+
+// PipelineStats snapshots a pipeline's counters.
+type PipelineStats = client.PipelineStats
+
+// Call is one asynchronous request in flight on a Pipeline.
+type Call = client.Call
+
+// NewPipeline returns a pipelined client engine over tr talking to a
+// server with the given number of RX queues.
+func NewPipeline(tr ClientTransport, queues int, cfg PipelineConfig) *Pipeline {
+	return client.NewPipeline(tr, queues, cfg)
 }
 
 // LoadConfig and LoadResult parameterize and report an open-loop load

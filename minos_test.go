@@ -26,6 +26,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	defer srv.Stop()
 
 	c := minos.NewClient(fabric.NewClient(), cores, 1)
+	defer c.Close()
 	c.Timeout = 5 * time.Second
 	if err := c.Put([]byte("greeting"), []byte("hello")); err != nil {
 		t.Fatal(err)
