@@ -1,0 +1,126 @@
+package minos_test
+
+// The golden public-API surface test: TestPublicAPISurface renders every
+// exported declaration of package minos (via go/doc) into a stable text
+// form and diffs it against api/v1.txt. A PR that changes the v1 contract
+// fails this test until the author regenerates the golden file with
+//
+//	go test -run TestPublicAPISurface -update-api
+//
+// and reviews the diff — so the API cannot drift silently.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite api/v1.txt from the current public surface")
+
+const goldenPath = "api/v1.txt"
+
+// renderAPISurface produces the canonical text rendering of the package's
+// exported surface: every exported const, var, func and type (with its
+// methods), alphabetized by go/doc, printed without bodies or comments.
+func renderAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	astPkg, ok := pkgs["minos"]
+	if !ok {
+		t.Fatalf("package minos not found in %v", pkgs)
+	}
+	p := doc.New(astPkg, "github.com/minoskv/minos", 0)
+
+	var b bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	printDecl := func(d ast.Decl) {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fd.Body = nil // signatures only
+		}
+		if err := cfg.Fprint(&b, fset, d); err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString("\n")
+	}
+	printValues := func(vals []*doc.Value) {
+		for _, v := range vals {
+			printDecl(v.Decl)
+		}
+	}
+	printFuncs := func(fns []*doc.Func) {
+		for _, f := range fns {
+			printDecl(f.Decl)
+		}
+	}
+
+	fmt.Fprintf(&b, "package %s // import %q\n\n", p.Name, p.ImportPath)
+	printValues(p.Consts)
+	printValues(p.Vars)
+	printFuncs(p.Funcs)
+	for _, typ := range p.Types {
+		printDecl(typ.Decl)
+		printValues(typ.Consts)
+		printValues(typ.Vars)
+		printFuncs(typ.Funcs)
+		printFuncs(typ.Methods)
+	}
+	return b.String()
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	got := renderAPISurface(t)
+	if *updateAPI {
+		if err := os.MkdirAll("api", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update-api): %v", goldenPath, err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Line-level diff for a readable failure.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	var diff []string
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			diff = append(diff, fmt.Sprintf("line %d:\n  golden:  %s\n  current: %s", i+1, w, g))
+			if len(diff) >= 20 {
+				diff = append(diff, "... (truncated)")
+				break
+			}
+		}
+	}
+	t.Fatalf("public API surface drifted from %s.\n"+
+		"If the change is intentional, regenerate with: go test -run TestPublicAPISurface -update-api\n%s",
+		goldenPath, strings.Join(diff, "\n"))
+}

@@ -1,0 +1,284 @@
+package minos_test
+
+// Contract tests for API v1: the context semantics, the error taxonomy,
+// and the Delete operation end-to-end on both transports and all four
+// designs. CI runs these under -race.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	minos "github.com/minoskv/minos"
+)
+
+// startFabricServer boots a design over an in-process fabric and returns
+// a connected client.
+func startFabricServer(t *testing.T, design minos.Design, cores int) (*minos.Server, *minos.Fabric, *minos.Client) {
+	t.Helper()
+	fabric := minos.NewFabric(cores)
+	srv, err := minos.NewServer(fabric.Server(),
+		minos.WithDesign(design), minos.WithCores(cores), minos.WithEpoch(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	queues := cores
+	if design == minos.DesignSHO {
+		queues = 1 // SHO clients target the handoff cores' queues (§5.2)
+	}
+	c, err := minos.NewClient(fabric.NewClient(),
+		minos.WithQueues(queues), minos.WithSeed(1), minos.WithDeadline(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, fabric, c
+}
+
+// deleteRoundTrip is the end-to-end Delete contract: put, get, delete,
+// then both a GET and a second DELETE must report ErrNotFound.
+func deleteRoundTrip(t *testing.T, ctx context.Context, c *minos.Client, key []byte) {
+	t.Helper()
+	if err := c.Put(ctx, key, []byte("to-be-deleted")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if _, err := c.Get(ctx, key); err != nil {
+		t.Fatalf("get before delete: %v", err)
+	}
+	if err := c.Delete(ctx, key); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Get(ctx, key); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("get after delete = %v, want ErrNotFound", err)
+	}
+	if err := c.Delete(ctx, key); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeleteEndToEndFabricAllDesigns(t *testing.T) {
+	ctx := context.Background()
+	for _, design := range []minos.Design{
+		minos.DesignMinos, minos.DesignHKH, minos.DesignSHO, minos.DesignHKHWS,
+	} {
+		t.Run(design.String(), func(t *testing.T) {
+			_, _, c := startFabricServer(t, design, 4)
+			deleteRoundTrip(t, ctx, c, []byte("fabric-k"))
+		})
+	}
+}
+
+func TestDeleteEndToEndUDPAllDesigns(t *testing.T) {
+	ctx := context.Background()
+	const cores = 2
+	basePort := 39300
+	for i, design := range []minos.Design{
+		minos.DesignMinos, minos.DesignHKH, minos.DesignSHO, minos.DesignHKHWS,
+	} {
+		t.Run(design.String(), func(t *testing.T) {
+			port := basePort + i*cores
+			tr, err := minos.NewUDPServer("127.0.0.1", port, cores)
+			if err != nil {
+				t.Skipf("cannot bind UDP: %v", err)
+			}
+			srv, err := minos.NewServer(tr,
+				minos.WithDesign(design), minos.WithCores(cores))
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv.Start()
+			t.Cleanup(func() { srv.Stop(); tr.Close() })
+
+			ct, err := minos.NewUDPClient("127.0.0.1", port)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { ct.Close() })
+			queues := cores
+			if design == minos.DesignSHO {
+				queues = 1
+			}
+			c, err := minos.NewClient(ct,
+				minos.WithQueues(queues), minos.WithSeed(2), minos.WithDeadline(5*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			deleteRoundTrip(t, ctx, c, []byte("udp-k"))
+		})
+	}
+}
+
+// deadClient returns a client over a fabric with no server running, so
+// requests are sent and never answered — in flight forever, up to the
+// configured deadline.
+func deadClient(t *testing.T, deadline time.Duration) *minos.Client {
+	t.Helper()
+	fabric := minos.NewFabric(1)
+	c, err := minos.NewClient(fabric.NewClient(),
+		minos.WithQueues(1), minos.WithWindow(1), minos.WithDeadline(deadline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestContextCancelledBeforeSend(t *testing.T) {
+	c := deadClient(t, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := c.Get(ctx, []byte("k"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled-before-send took %v", elapsed)
+	}
+	st := c.Stats()
+	if st.Sent != 0 || st.InFlight != 0 || st.Canceled != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestContextCancelledInFlight(t *testing.T) {
+	c := deadClient(t, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var gotErr error
+	go func() {
+		defer wg.Done()
+		_, gotErr = c.Get(ctx, []byte("k"))
+	}()
+	// Wait until the request is in flight, then cancel.
+	deadline := time.Now().Add(time.Second)
+	for c.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	cancel()
+	wg.Wait()
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", gotErr)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("in-flight cancel took %v to return", elapsed)
+	}
+	// The acceptance contract: no leaked in-flight slot.
+	st := c.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("leaked in-flight slot: %+v", st)
+	}
+	if st.Canceled != 1 {
+		t.Fatalf("cancel not counted: %+v", st)
+	}
+}
+
+func TestContextDeadlineBeatsClientDeadline(t *testing.T) {
+	c := deadClient(t, time.Minute) // client deadline far in the future
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Get(ctx, []byte("k"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("leaked slot after ctx deadline: %+v", st)
+	}
+}
+
+func TestClientDeadlineBeatsContextDeadline(t *testing.T) {
+	c := deadClient(t, 30*time.Millisecond) // client deadline first
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, err := c.Get(ctx, []byte("k"))
+	if !errors.Is(err, minos.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	st := c.Stats()
+	if st.TimedOut != 1 || st.InFlight != 0 {
+		t.Fatalf("stats after client-deadline win: %+v", st)
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := startFabricServer(t, minos.DesignMinos, 2)
+
+	// A GET miss is ErrNotFound, never a stringly error.
+	if _, err := c.Get(ctx, []byte("never-stored")); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("miss = %v, want ErrNotFound", err)
+	}
+	// Oversized values and keys are rejected client-side.
+	huge := make([]byte, minos.MaxValueSize+1)
+	if err := c.Put(ctx, []byte("k"), huge); !errors.Is(err, minos.ErrValueTooLarge) {
+		t.Fatalf("oversize put = %v, want ErrValueTooLarge", err)
+	}
+	longKey := make([]byte, minos.MaxKeySize+1)
+	if err := c.Put(ctx, longKey, []byte("v")); !errors.Is(err, minos.ErrKeyTooLarge) {
+		t.Fatalf("oversize key put = %v, want ErrKeyTooLarge", err)
+	}
+	if _, err := c.Get(ctx, longKey); !errors.Is(err, minos.ErrKeyTooLarge) {
+		t.Fatalf("oversize key get = %v, want ErrKeyTooLarge", err)
+	}
+	// A closed client fails with ErrClosed.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, []byte("k")); !errors.Is(err, minos.ErrClosed) {
+		t.Fatalf("post-close get = %v, want ErrClosed", err)
+	}
+}
+
+// TestMultiGetMissesDoNotFail checks MultiGet's miss semantics: missing
+// keys leave nil entries without failing the batch.
+func TestMultiGetMissesDoNotFail(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := startFabricServer(t, minos.DesignMinos, 2)
+	if err := c.Put(ctx, []byte("present"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	values, err := c.MultiGet(ctx, [][]byte{[]byte("present"), []byte("absent")})
+	if err != nil {
+		t.Fatalf("multiget: %v", err)
+	}
+	if string(values[0]) != "v" || values[1] != nil {
+		t.Fatalf("values = %q, %q", values[0], values[1])
+	}
+}
+
+// TestOnPlanObservesEpochs drives traffic and checks the OnPlan hook sees
+// published plans with the converted owned type.
+func TestOnPlanObservesEpochs(t *testing.T) {
+	ctx := context.Background()
+	srv, _, c := startFabricServer(t, minos.DesignMinos, 2)
+	plans := make(chan minos.Plan, 64)
+	srv.OnPlan(func(p minos.Plan) {
+		select {
+		case plans <- p:
+		default:
+		}
+	})
+	for i := 0; i < 100; i++ {
+		if err := c.Put(ctx, minos.KeyForID(uint64(i)), []byte("vv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case p := <-plans:
+		if p.Cores != 2 {
+			t.Fatalf("hook plan cores = %d", p.Cores)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnPlan hook never fired")
+	}
+}

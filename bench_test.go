@@ -11,12 +11,14 @@ package minos_test
 // same harnesses at Full scale (the EXPERIMENTS.md numbers).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
 	minos "github.com/minoskv/minos"
+	"github.com/minoskv/minos/experiment"
 	"github.com/minoskv/minos/internal/harness"
 	"github.com/minoskv/minos/internal/queueing"
 	"github.com/minoskv/minos/internal/sim"
@@ -248,12 +250,12 @@ func liveSetup(b *testing.B, cores int, rtt time.Duration) (*minos.Fabric, *mino
 	cat := minos.NewCatalog(prof)
 	fabric := minos.NewFabric(cores)
 	fabric.SetRTT(rtt)
-	srv, err := minos.NewServer(minos.ServerConfig{Design: minos.DesignMinos, Cores: cores}, fabric.Server())
+	srv, err := minos.NewServer(fabric.Server(), minos.WithDesign(minos.DesignMinos), minos.WithCores(cores))
 	if err != nil {
 		b.Fatal(err)
 	}
 	srv.Start()
-	minos.Preload(srv, cat)
+	srv.Preload(cat)
 	return fabric, srv, cat, func() { srv.Stop() }
 }
 
@@ -278,17 +280,25 @@ func BenchmarkLiveSyncVsPipelined(b *testing.B) {
 		keys[i] = minos.KeyForID(uint64(rng.Intn(cat.NumRegularKeys())))
 	}
 
-	syncClient := minos.NewClient(fabric.NewClient(), cores, 1)
+	ctx := context.Background()
+	syncClient, err := minos.NewClient(fabric.NewClient(), minos.WithQueues(cores), minos.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer syncClient.Close()
-	pipe := minos.NewPipeline(fabric.NewClient(), cores, minos.PipelineConfig{Window: 64, Seed: 2})
+	pipe, err := minos.NewClient(fabric.NewClient(),
+		minos.WithQueues(cores), minos.WithWindow(64), minos.WithSeed(2))
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer pipe.Close()
 	calls := make([]*minos.Call, ops)
 
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
 		for _, k := range keys {
-			if _, ok, err := syncClient.Get(k); !ok || err != nil {
-				b.Fatalf("sync get: ok=%v err=%v", ok, err)
+			if _, err := syncClient.Get(ctx, k); err != nil {
+				b.Fatalf("sync get: %v", err)
 			}
 		}
 		syncOps := float64(ops) / time.Since(start).Seconds()
@@ -298,8 +308,8 @@ func BenchmarkLiveSyncVsPipelined(b *testing.B) {
 			calls[j] = pipe.GetAsync(k)
 		}
 		for j, c := range calls {
-			if _, ok, err := c.Value(); !ok || err != nil {
-				b.Fatalf("pipelined get %d: ok=%v err=%v", j, ok, err)
+			if _, err := c.Wait(ctx); err != nil {
+				b.Fatalf("pipelined get %d: %v", j, err)
 			}
 		}
 		pipeOps := float64(ops) / time.Since(start).Seconds()
@@ -322,7 +332,7 @@ func BenchmarkLiveOpenLoopTail(b *testing.B) {
 	defer stop()
 
 	for i := 0; i < b.N; i++ {
-		res := minos.RunOpenLoop(fabric.NewClient(), cores, minos.NewGenerator(cat, int64(i+3)), minos.LoadConfig{
+		res := minos.RunOpenLoop(context.Background(), fabric.NewClient(), cores, minos.NewGenerator(cat, int64(i+3)), minos.LoadConfig{
 			Rate:     rate,
 			Duration: 500 * time.Millisecond,
 			Seed:     int64(i + 4),
@@ -339,10 +349,10 @@ func BenchmarkLiveOpenLoopTail(b *testing.B) {
 
 // ablationPoint runs Minos at a fixed default-workload load with a config
 // mutation and returns the overall p99 in microseconds.
-func ablationPoint(b *testing.B, mutate func(*minos.SimConfig)) (p99us, largeP99us float64) {
+func ablationPoint(b *testing.B, mutate func(*experiment.Config)) (p99us, largeP99us float64) {
 	b.Helper()
-	cfg := minos.SimConfig{
-		Design:   minos.SimMinos,
+	cfg := experiment.Config{
+		Design:   experiment.Minos,
 		Rate:     4e6,
 		Duration: 150 * sim.Millisecond,
 		Warmup:   30 * sim.Millisecond,
@@ -351,7 +361,7 @@ func ablationPoint(b *testing.B, mutate func(*minos.SimConfig)) (p99us, largeP99
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	res, err := minos.Simulate(cfg)
+	res, err := experiment.Simulate(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -364,7 +374,7 @@ func ablationPoint(b *testing.B, mutate func(*minos.SimConfig)) (p99us, largeP99
 func BenchmarkAblationNoBatchedDrain(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		base, _ := ablationPoint(b, nil)
-		ablated, _ := ablationPoint(b, func(c *minos.SimConfig) { c.NoBatchedDrain = true })
+		ablated, _ := ablationPoint(b, func(c *experiment.Config) { c.NoBatchedDrain = true })
 		b.ReportMetric(ablated/base, "p99-inflation-x")
 	}
 }
@@ -378,8 +388,8 @@ func BenchmarkAblationNoBatchedDrain(b *testing.B) {
 func BenchmarkAblationSingleLargeQueue(b *testing.B) {
 	prof := workload.DefaultProfile().WithPercentLarge(0.75)
 	for i := 0; i < b.N; i++ {
-		_, base := ablationPoint(b, func(c *minos.SimConfig) { c.Profile = prof; c.Rate = 1.5e6 })
-		_, ablated := ablationPoint(b, func(c *minos.SimConfig) {
+		_, base := ablationPoint(b, func(c *experiment.Config) { c.Profile = prof; c.Rate = 1.5e6 })
+		_, ablated := ablationPoint(b, func(c *experiment.Config) {
 			c.Profile = prof
 			c.Rate = 1.5e6
 			c.SingleLargeQueue = true
@@ -397,8 +407,8 @@ func BenchmarkAblationSingleLargeQueue(b *testing.B) {
 func BenchmarkAblationStaticThreshold(b *testing.B) {
 	phases := workload.Figure10Phases(300_000_000) // 300 ms phases
 	run := func(static int64) int64 {
-		res, err := minos.Simulate(minos.SimConfig{
-			Design:          minos.SimMinos,
+		res, err := experiment.Simulate(experiment.Config{
+			Design:          experiment.Minos,
 			Rate:            1.9e6,
 			Phases:          phases,
 			Duration:        sim.Time(workload.Schedule(phases).TotalDuration()),
@@ -431,8 +441,8 @@ func BenchmarkAblationAlpha(b *testing.B) {
 	for _, alpha := range []float64{0.1, 0.5, 0.9, 1.0} {
 		b.Run(fmt.Sprintf("alpha=%g", alpha), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := minos.Simulate(minos.SimConfig{
-					Design:    minos.SimMinos,
+				res, err := experiment.Simulate(experiment.Config{
+					Design:    experiment.Minos,
 					Rate:      1.9e6,
 					Phases:    phases,
 					Duration:  sim.Time(workload.Schedule(phases).TotalDuration()),
@@ -462,8 +472,8 @@ func BenchmarkAblationAlpha(b *testing.B) {
 // p99 cost at 4 Mops.
 func BenchmarkExtensionLargeCoreStealing(b *testing.B) {
 	run := func(steal bool) (small, large float64) {
-		res, err := minos.Simulate(minos.SimConfig{
-			Design:            minos.SimMinos,
+		res, err := experiment.Simulate(experiment.Config{
+			Design:            experiment.Minos,
 			Rate:              4e6,
 			Duration:          150 * sim.Millisecond,
 			Warmup:            30 * sim.Millisecond,
@@ -488,8 +498,8 @@ func BenchmarkExtensionLargeCoreStealing(b *testing.B) {
 // requests recovers the throughput the per-request profiling costs.
 func BenchmarkExtensionProfileSampling(b *testing.B) {
 	run := func(sampling float64) float64 {
-		res, err := minos.Simulate(minos.SimConfig{
-			Design:          minos.SimMinos,
+		res, err := experiment.Simulate(experiment.Config{
+			Design:          experiment.Minos,
 			Profile:         workload.WriteIntensiveProfile(),
 			Rate:            6.75e6,
 			Duration:        150 * sim.Millisecond,
@@ -517,18 +527,18 @@ func BenchmarkAblationCostFunction(b *testing.B) {
 	prof := workload.DefaultProfile().WithPercentLarge(0.75)
 	costs := []struct {
 		name string
-		fn   minos.CostFunc
+		fn   experiment.CostFunc
 	}{
-		{"packets", minos.CostPackets},
-		{"bytes", minos.CostBytes},
-		{"base+bytes", minos.CostBasePlusBytes},
-		{"constant", minos.CostConstant},
+		{"packets", experiment.CostPackets},
+		{"bytes", experiment.CostBytes},
+		{"base+bytes", experiment.CostBasePlusBytes},
+		{"constant", experiment.CostConstant},
 	}
 	for _, cost := range costs {
 		b.Run(cost.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := minos.Simulate(minos.SimConfig{
-					Design:   minos.SimMinos,
+				res, err := experiment.Simulate(experiment.Config{
+					Design:   experiment.Minos,
 					Profile:  prof,
 					Rate:     1.5e6,
 					Duration: 150 * sim.Millisecond,

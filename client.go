@@ -1,0 +1,184 @@
+package minos
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/wire"
+)
+
+// MaxValueSize bounds a single item's value (16 MiB). Put rejects larger
+// values with ErrValueTooLarge before transmitting.
+const MaxValueSize = wire.MaxValueSize
+
+// MaxKeySize bounds a key (the wire format's 64 KiB key-length field).
+// Operations on longer keys fail with ErrKeyTooLarge before
+// transmitting.
+const MaxKeySize = wire.MaxKeySize
+
+// ClientOption configures NewClient. The zero configuration talks to a
+// single-queue server with a 32-request window and a one-second
+// per-request deadline.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	queues int
+	cfg    client.PipelineConfig
+}
+
+// WithQueues tells the client how many RX queues the server has, so it
+// can spread requests: GETs to a random queue, writes by keyhash (§3).
+// Use the server transport's queue count (default 1, which serializes
+// everything onto queue 0).
+func WithQueues(n int) ClientOption {
+	return func(c *clientConfig) { c.queues = n }
+}
+
+// WithWindow sets the maximum number of in-flight requests per RX queue
+// (default 32). A submitter whose target queue is at the window blocks
+// until a slot frees, so a slow queue throttles only the traffic steered
+// at it.
+func WithWindow(n int) ClientOption {
+	return func(c *clientConfig) { c.cfg.Window = n }
+}
+
+// WithDeadline sets the per-request deadline (default one second). A
+// context with an earlier deadline wins; see the errors.Is taxonomy.
+func WithDeadline(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.cfg.Timeout = d }
+}
+
+// WithRetries sets how many times an expired request is retransmitted
+// before failing with ErrTimeout. The default 0 matches the paper's
+// evaluation, which reports loss rather than retransmitting (§5.4).
+func WithRetries(n int) ClientOption {
+	return func(c *clientConfig) { c.cfg.Retries = n }
+}
+
+// WithSeed seeds GET queue steering (deterministic tests).
+func WithSeed(seed int64) ClientOption {
+	return func(c *clientConfig) { c.cfg.Seed = seed }
+}
+
+// Client is the key-value client: a pipelined request engine with a
+// bounded in-flight window per RX queue, out-of-order completion matched
+// by request id, and per-request deadlines. The blocking operations all
+// take a context; the async variants return Calls. Safe for concurrent
+// use by any number of goroutines.
+type Client struct {
+	p *client.Pipeline
+}
+
+// NewClient returns a client over tr. Close stops its receiver goroutine
+// and fails outstanding calls; the transport stays open (the caller owns
+// it).
+func NewClient(tr ClientTransport, opts ...ClientOption) (*Client, error) {
+	if tr.tr == nil {
+		return nil, errors.New("minos: NewClient needs a transport (Fabric.NewClient or NewUDPClient)")
+	}
+	c := clientConfig{queues: 1}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.queues < 1 {
+		return nil, errors.New("minos: WithQueues needs at least one queue")
+	}
+	return &Client{p: client.NewPipeline(tr.tr, c.queues, c.cfg)}, nil
+}
+
+// Get fetches the value for key. A missing key returns ErrNotFound. The
+// context cancels or bounds the wait: its error is returned and the
+// in-flight slot is reclaimed immediately.
+func (c *Client) Get(ctx context.Context, key []byte) ([]byte, error) {
+	return c.p.Get(ctx, key)
+}
+
+// Put stores value under key. Values over MaxValueSize fail with
+// ErrValueTooLarge.
+func (c *Client) Put(ctx context.Context, key, value []byte) error {
+	return c.p.Put(ctx, key, value)
+}
+
+// Delete removes key. Deleting an absent key returns ErrNotFound.
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	return c.p.Delete(ctx, key)
+}
+
+// MultiGet pipelines one GET per key and waits for all of them — the
+// fan-out pattern of §1, where application response time is the slowest
+// of K parallel GETs. values[i] carries the value for keys[i]; a missing
+// key leaves values[i] nil without failing the batch. err is the first
+// failure other than a miss, if any (remaining results are still filled
+// in).
+func (c *Client) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte, err error) {
+	return c.p.MultiGet(ctx, keys)
+}
+
+// GetAsync submits a GET and returns immediately (unless the target
+// queue's window is full, in which case it blocks for a slot). key may
+// be reused once GetAsync returns.
+func (c *Client) GetAsync(key []byte) *Call {
+	return &Call{c: c.p.GetAsync(key)}
+}
+
+// PutAsync submits a PUT. key and value may be reused once it returns.
+func (c *Client) PutAsync(key, value []byte) *Call {
+	return &Call{c: c.p.PutAsync(key, value)}
+}
+
+// DeleteAsync submits a DELETE. key may be reused once it returns.
+func (c *Client) DeleteAsync(key []byte) *Call {
+	return &Call{c: c.p.DeleteAsync(key)}
+}
+
+// Window returns the per-queue in-flight window.
+func (c *Client) Window() int { return c.p.Window() }
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	st := c.p.Stats()
+	return ClientStats{
+		Sent:      st.Sent,
+		Completed: st.Completed,
+		TimedOut:  st.TimedOut,
+		Retried:   st.Retried,
+		Canceled:  st.Canceled,
+		Stale:     st.Stale,
+		BadFrames: st.BadFrames,
+		InFlight:  st.InFlight,
+	}
+}
+
+// Close stops the client's receiver goroutine and fails outstanding
+// calls with ErrClosed. The transport stays open; the caller owns it.
+func (c *Client) Close() error { return c.p.Close() }
+
+// ClientStats is a snapshot of client counters.
+type ClientStats struct {
+	Sent      uint64 // requests submitted to the transport
+	Completed uint64 // requests that got a matching reply
+	TimedOut  uint64 // requests that exhausted deadline and retries
+	Retried   uint64 // retransmissions performed
+	Canceled  uint64 // requests abandoned by context cancellation
+	Stale     uint64 // reply frames for no pending request (late or duplicate)
+	BadFrames uint64 // undecodable reply frames
+	InFlight  int    // currently pending requests
+}
+
+// Call is one asynchronous request in flight. Wait for Done (or call
+// Wait, which blocks) before reading results.
+type Call struct {
+	c *client.Call
+}
+
+// Done is closed when the call completes, fails, or times out.
+func (c *Call) Done() <-chan struct{} { return c.c.Done() }
+
+// Wait blocks until the call completes or ctx is done, and returns the
+// result: the value for GETs (a missing key is ErrNotFound), nil for
+// acknowledged writes. A context that fires first abandons the request —
+// the in-flight window slot is released immediately — and returns the
+// context's error.
+func (c *Call) Wait(ctx context.Context) ([]byte, error) { return c.c.Wait(ctx) }

@@ -7,6 +7,7 @@ package main
 // from scheduled-arrival timestamps, free of coordinated omission.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -26,6 +27,7 @@ type liveConfig struct {
 }
 
 func runLive(cfg liveConfig) error {
+	ctx := context.Background()
 	prof := minos.DefaultProfile()
 	prof.NumKeys = 10_000
 	prof.NumLargeKeys = 8
@@ -34,18 +36,21 @@ func runLive(cfg liveConfig) error {
 
 	fabric := minos.NewFabric(cfg.cores)
 	fabric.SetRTT(cfg.rtt)
-	srv, err := minos.NewServer(minos.ServerConfig{Design: minos.DesignMinos, Cores: cfg.cores}, fabric.Server())
+	srv, err := minos.NewServer(fabric.Server(),
+		minos.WithDesign(minos.DesignMinos), minos.WithCores(cfg.cores))
 	if err != nil {
 		return err
 	}
 	srv.Start()
 	defer srv.Stop()
-	minos.Preload(srv, cat)
+	srv.Preload(cat)
 
 	fmt.Printf("live Minos server: %d cores, emulated RTT %v, %d keys\n\n",
 		cfg.cores, cfg.rtt, cat.NumKeys())
 
-	// Part 1: closed-loop vs pipelined GET throughput.
+	// Part 1: closed-loop vs pipelined GET throughput. Both run on the
+	// same engine; the closed loop waits for each reply before sending
+	// the next, the pipelined run keeps a window in flight.
 	const compareOps = 5000
 	rng := rand.New(rand.NewSource(cfg.seed))
 	keys := make([][]byte, compareOps)
@@ -53,18 +58,25 @@ func runLive(cfg liveConfig) error {
 		keys[i] = minos.KeyForID(uint64(rng.Intn(cat.NumRegularKeys())))
 	}
 
-	syncClient := minos.NewClient(fabric.NewClient(), cfg.cores, cfg.seed+1)
+	syncClient, err := minos.NewClient(fabric.NewClient(),
+		minos.WithQueues(cfg.cores), minos.WithSeed(cfg.seed+1))
+	if err != nil {
+		return err
+	}
 	defer syncClient.Close()
 	start := time.Now()
 	for _, k := range keys {
-		if _, ok, err := syncClient.Get(k); err != nil || !ok {
-			return fmt.Errorf("sync get: ok=%v err=%v", ok, err)
+		if _, err := syncClient.Get(ctx, k); err != nil {
+			return fmt.Errorf("sync get: %v", err)
 		}
 	}
 	syncOps := float64(compareOps) / time.Since(start).Seconds()
 
-	pipe := minos.NewPipeline(fabric.NewClient(), cfg.cores,
-		minos.PipelineConfig{Window: cfg.window, Seed: cfg.seed + 2})
+	pipe, err := minos.NewClient(fabric.NewClient(),
+		minos.WithQueues(cfg.cores), minos.WithWindow(cfg.window), minos.WithSeed(cfg.seed+2))
+	if err != nil {
+		return err
+	}
 	defer pipe.Close()
 	calls := make([]*minos.Call, compareOps)
 	start = time.Now()
@@ -72,8 +84,8 @@ func runLive(cfg liveConfig) error {
 		calls[i] = pipe.GetAsync(k)
 	}
 	for i, c := range calls {
-		if _, ok, err := c.Value(); err != nil || !ok {
-			return fmt.Errorf("pipelined get %d: ok=%v err=%v", i, ok, err)
+		if _, err := c.Wait(ctx); err != nil {
+			return fmt.Errorf("pipelined get %d: %v", i, err)
 		}
 	}
 	pipeOps := float64(compareOps) / time.Since(start).Seconds()
@@ -84,7 +96,7 @@ func runLive(cfg liveConfig) error {
 
 	// Part 2: open-loop tail latency at the offered load.
 	fmt.Printf("open loop at %.0f req/s for %v...\n", cfg.rate, cfg.dur)
-	res := minos.RunOpenLoop(fabric.NewClient(), cfg.cores, minos.NewGenerator(cat, cfg.seed+3), minos.LoadConfig{
+	res := minos.RunOpenLoop(ctx, fabric.NewClient(), cfg.cores, minos.NewGenerator(cat, cfg.seed+3), minos.LoadConfig{
 		Rate:     cfg.rate,
 		Duration: cfg.dur,
 		Seed:     cfg.seed + 4,
@@ -106,8 +118,8 @@ func runLive(cfg liveConfig) error {
 			float64(res.LargeLat.Quantile(0.99))/1e3,
 			float64(res.LargeLat.Quantile(0.999))/1e3)
 	}
-	if st := srv.Stats(); st.SwDrops > 0 || st.BadFrames > 0 {
-		fmt.Fprintf(os.Stderr, "server drops: swq=%d badframes=%d\n", st.SwDrops, st.BadFrames)
+	if snap := srv.Snapshot(); snap.SwDrops > 0 || snap.BadFrames > 0 {
+		fmt.Fprintf(os.Stderr, "server drops: swq=%d badframes=%d\n", snap.SwDrops, snap.BadFrames)
 	}
 	return nil
 }

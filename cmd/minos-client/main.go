@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -54,21 +55,14 @@ func main() {
 	gen := minos.NewGenerator(minos.NewCatalog(prof), *seed)
 	fmt.Printf("open loop: %.0f req/s for %v against %s:%d (pL=%g%%, %d keys)\n",
 		*rate, *dur, *host, *port, *pL, *keys)
-	res := minos.RunOpenLoop(tr, *queues, gen, minos.LoadConfig{
+	res := minos.RunOpenLoop(context.Background(), tr, *queues, gen, minos.LoadConfig{
 		Rate:     *rate,
 		Duration: *dur,
 		Seed:     *seed,
 	})
 
 	fmt.Printf("sent=%d received=%d loss=%.3f%%\n", res.Sent, res.Received, res.Loss()*100)
-	pr := func(name string, h interface {
-		Count() uint64
-		Mean() float64
-		P50() int64
-		P99() int64
-		Quantile(float64) int64
-		Max() int64
-	}) {
+	pr := func(name string, h minos.LatencyHistogram) {
 		if h.Count() == 0 {
 			fmt.Printf("%-12s (no samples)\n", name)
 			return

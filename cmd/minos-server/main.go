@@ -53,11 +53,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "minos-server: %v\n", err)
 		os.Exit(1)
 	}
-	srv, err := minos.NewServer(minos.ServerConfig{
-		Design: d,
-		Cores:  *cores,
-		Epoch:  *epoch,
-	}, tr)
+	srv, err := minos.NewServer(tr,
+		minos.WithDesign(d),
+		minos.WithCores(*cores),
+		minos.WithEpoch(*epoch),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "minos-server: %v\n", err)
 		os.Exit(1)
@@ -68,7 +68,7 @@ func main() {
 		prof.NumKeys = *keys
 		prof.NumLargeKeys = *largeKeys
 		prof.MaxLargeSize = *maxLarge
-		n := minos.Preload(srv, minos.NewCatalog(prof))
+		n := srv.Preload(minos.NewCatalog(prof))
 		fmt.Printf("preloaded %d items (%d large, sL=%d)\n", n, *largeKeys, *maxLarge)
 	}
 
@@ -88,11 +88,10 @@ func main() {
 			fmt.Println("\nshutting down")
 			return
 		case <-ticker.C:
-			st := srv.Stats()
-			plan := st.Plan
-			fmt.Printf("ops=%d (+%d) drops=%d bad=%d  %v\n",
-				st.Ops, st.Ops-lastOps, st.SwDrops, st.BadFrames, plan.String())
-			lastOps = st.Ops
+			snap := srv.Snapshot()
+			fmt.Printf("ops=%d (+%d) items=%d drops=%d bad=%d  %v\n",
+				snap.Ops, snap.Ops-lastOps, snap.Items, snap.SwDrops, snap.BadFrames, snap.Plan)
+			lastOps = snap.Ops
 		}
 	}
 }

@@ -1,0 +1,44 @@
+package minos
+
+import "github.com/minoskv/minos/internal/apierr"
+
+// The error taxonomy of API v1. Every failure an operation can return
+// wraps (or is) one of these sentinels, so callers branch with errors.Is
+// instead of string matching, and the pre-v1 three-valued
+// (value, found, err) returns collapse to (value, err):
+//
+//	val, err := c.Get(ctx, key)
+//	switch {
+//	case errors.Is(err, minos.ErrNotFound): // miss
+//	case errors.Is(err, minos.ErrTimeout):  // deadline + retries expired
+//	case err != nil:                        // cancelled ctx, closed client, ...
+//	}
+//
+// Context failures are not translated: a cancelled context surfaces
+// context.Canceled, an expired one context.DeadlineExceeded. ErrTimeout
+// is reserved for the client's own per-request deadline.
+var (
+	// ErrNotFound reports that the key does not exist: a GET miss, or a
+	// DELETE of an absent key.
+	ErrNotFound = apierr.ErrNotFound
+
+	// ErrTimeout reports that a request's per-request deadline (and
+	// configured retransmits) expired without a reply.
+	ErrTimeout = apierr.ErrTimeout
+
+	// ErrClosed reports an operation on a closed client or transport.
+	ErrClosed = apierr.ErrClosed
+
+	// ErrValueTooLarge reports a value exceeding MaxValueSize; the
+	// client rejects it before transmitting.
+	ErrValueTooLarge = apierr.ErrValueTooLarge
+
+	// ErrKeyTooLarge reports a key exceeding MaxKeySize (the wire
+	// format's 64 KiB key-length field); the client rejects it before
+	// transmitting.
+	ErrKeyTooLarge = apierr.ErrKeyTooLarge
+
+	// ErrServer reports a server-side failure carried in a reply's
+	// status code (for example an unsupported operation).
+	ErrServer = apierr.ErrServer
+)

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	minos "github.com/minoskv/minos"
+	"github.com/minoskv/minos/experiment"
 )
 
 func main() {
@@ -19,17 +19,17 @@ func main() {
 	writeHeavy := flag.Bool("writes", false, "use the 50:50 GET:PUT workload")
 	flag.Parse()
 
-	prof := minos.DefaultProfile()
+	prof := experiment.DefaultProfile()
 	if *writeHeavy {
-		prof = minos.WriteIntensiveProfile()
+		prof = experiment.WriteIntensiveProfile()
 	}
 	fmt.Printf("workload %q at %.1f Mops (pL=%g%%, sL=%dKB, %d%% GETs)\n\n",
 		prof.Name, *rate/1e6, prof.PercentLarge, prof.MaxLargeSize/1000, int(prof.GetRatio*100))
 	fmt.Printf("%-8s %10s %10s %10s %12s %8s %8s\n",
 		"design", "thr(Mops)", "p50(us)", "p99(us)", "large99(us)", "tx-util", "loss(%)")
 
-	for _, d := range []minos.SimDesign{minos.SimMinos, minos.SimHKHWS, minos.SimHKH, minos.SimSHO} {
-		res, err := minos.Simulate(minos.SimConfig{
+	for _, d := range []experiment.Design{experiment.Minos, experiment.HKHWS, experiment.HKH, experiment.SHO} {
+		res, err := experiment.Simulate(experiment.Config{
 			Design:  d,
 			Profile: prof,
 			Rate:    *rate,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,13 +16,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const cores = 6
 	fabric := minos.NewFabric(cores)
-	srv, err := minos.NewServer(minos.ServerConfig{
-		Design: minos.DesignMinos,
-		Cores:  cores,
-		Epoch:  200 * time.Millisecond,
-	}, fabric.Server())
+	srv, err := minos.NewServer(fabric.Server(),
+		minos.WithDesign(minos.DesignMinos),
+		minos.WithCores(cores),
+		minos.WithEpoch(200*time.Millisecond),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func main() {
 	prof.NumLargeKeys = 16
 	prof.MaxLargeSize = 250_000
 	cat := minos.NewCatalog(prof)
-	fmt.Printf("preloaded %d items\n", minos.Preload(srv, cat))
+	fmt.Printf("preloaded %d items\n", srv.Preload(cat))
 
 	gen := minos.NewGenerator(cat, 7)
 
@@ -46,7 +48,7 @@ func main() {
 	fmt.Printf("\n%8s %8s %12s %14s %10s\n", "phase", "pL(%)", "threshold", "small/large", "ops")
 	for _, pl := range phases {
 		gen.SetPercentLarge(pl)
-		res := minos.RunOpenLoop(fabric.NewClient(), cores, gen, minos.LoadConfig{
+		res := minos.RunOpenLoop(ctx, fabric.NewClient(), cores, gen, minos.LoadConfig{
 			Rate:     4_000,
 			Duration: time.Second,
 			Seed:     int64(pl*1000) + 1,

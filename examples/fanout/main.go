@@ -14,15 +14,15 @@
 // microseconds, at zero cost when the size modes are well separated.
 //
 // The second half runs the pattern for real: a live server on the
-// in-process fabric and the pipelined client's MultiGet issuing the K
-// GETs of one page load concurrently, measuring the slowest-of-K
-// distribution directly instead of deriving it from per-request
-// quantiles.
+// in-process fabric and the client's MultiGet issuing the K GETs of one
+// page load concurrently, measuring the slowest-of-K distribution
+// directly instead of deriving it from per-request quantiles.
 //
 //	go run ./examples/fanout
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	minos "github.com/minoskv/minos"
+	"github.com/minoskv/minos/experiment"
 )
 
 func main() {
@@ -37,20 +38,20 @@ func main() {
 
 	type variant struct {
 		name     string
-		design   minos.SimDesign
+		design   experiment.Design
 		quantile float64
 	}
 	variants := []variant{
-		{"Minos (q=0.99, paper)", minos.SimMinos, 0},
-		{"Minos (q=0.998, fan-out tuned)", minos.SimMinos, 0.998},
-		{"HKH", minos.SimHKH, 0},
+		{"Minos (q=0.99, paper)", experiment.Minos, 0},
+		{"Minos (q=0.998, fan-out tuned)", experiment.Minos, 0.998},
+		{"HKH", experiment.HKH, 0},
 	}
 
 	fmt.Println("fan-out over small items, default workload at 3 Mops")
 	fmt.Printf("%-32s | %9s %10s | %s\n", "server", "p99(us)", "p99.9(us)", "p99 of slowest-of-10 GETs")
 
 	for _, v := range variants {
-		res, err := minos.Simulate(minos.SimConfig{
+		res, err := experiment.Simulate(experiment.Config{
 			Design:   v.design,
 			Rate:     rate,
 			Quantile: v.quantile,
@@ -77,6 +78,7 @@ func main() {
 // each "page load" is one MultiGet over K keys on the pipelined client,
 // and its latency is the slowest of the K replies.
 func liveFanout() {
+	ctx := context.Background()
 	const (
 		cores   = 2
 		fanout  = 10
@@ -91,16 +93,20 @@ func liveFanout() {
 
 	fabric := minos.NewFabric(cores)
 	fabric.SetRTT(20 * time.Microsecond) // the testbed-scale network RTT
-	srv, err := minos.NewServer(minos.ServerConfig{Design: minos.DesignMinos, Cores: cores}, fabric.Server())
+	srv, err := minos.NewServer(fabric.Server(), minos.WithDesign(minos.DesignMinos), minos.WithCores(cores))
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv.Start()
 	defer srv.Stop()
-	minos.Preload(srv, cat)
+	srv.Preload(cat)
 
-	pipe := minos.NewPipeline(fabric.NewClient(), cores, minos.PipelineConfig{Window: 64, Seed: 7})
-	defer pipe.Close()
+	c, err := minos.NewClient(fabric.NewClient(),
+		minos.WithQueues(cores), minos.WithWindow(64), minos.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
 
 	rng := rand.New(rand.NewSource(11))
 	keys := make([][]byte, fanout)
@@ -110,7 +116,7 @@ func liveFanout() {
 			keys[i] = minos.KeyForID(uint64(rng.Intn(cat.NumRegularKeys())))
 		}
 		start := time.Now()
-		if _, _, err := pipe.MultiGet(keys); err != nil {
+		if _, err := c.MultiGet(ctx, keys); err != nil {
 			log.Fatal(err)
 		}
 		lats = append(lats, time.Since(start))

@@ -1,11 +1,14 @@
-// Quickstart: embed a Minos server in-process, store and fetch a few
-// items, and watch the size-aware sharding plan.
+// Quickstart: embed a Minos server in-process, store, fetch and delete a
+// few items, and watch the size-aware sharding plan adapt through the
+// OnPlan hook.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -14,68 +17,88 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// An in-process fabric with one RX queue per server core.
 	const cores = 4
 	fabric := minos.NewFabric(cores)
 
-	srv, err := minos.NewServer(minos.ServerConfig{
-		Design: minos.DesignMinos,
-		Cores:  cores,
-		Epoch:  100 * time.Millisecond, // re-plan fast for the demo
-	}, fabric.Server())
+	srv, err := minos.NewServer(fabric.Server(),
+		minos.WithDesign(minos.DesignMinos),
+		minos.WithCores(cores),
+		minos.WithEpoch(100*time.Millisecond), // re-plan fast for the demo
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Watch the epoch controller adapt while the demo runs.
+	srv.OnPlan(func(p minos.Plan) {
+		fmt.Printf("  [epoch %d] threshold=%dB small/large=%d/%d\n",
+			p.Epoch, p.Threshold, p.NumSmall, p.NumLarge)
+	})
 	srv.Start()
 	defer srv.Stop()
 
-	// A client: GETs go to random queues, PUTs by keyhash (§3 of the
+	// A client: GETs go to random queues, writes by keyhash (§3 of the
 	// paper); the client needs no knowledge of which cores are small.
-	c := minos.NewClient(fabric.NewClient(), cores, 42)
+	c, err := minos.NewClient(fabric.NewClient(), minos.WithQueues(cores), minos.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer c.Close()
 
 	// Store a small item and a large one (large items fragment across
 	// UDP-style frames transparently).
-	if err := c.Put([]byte("user:1234"), []byte(`{"name":"ada"}`)); err != nil {
+	if err := c.Put(ctx, []byte("user:1234"), []byte(`{"name":"ada"}`)); err != nil {
 		log.Fatal(err)
 	}
 	blob := bytes.Repeat([]byte("x"), 200_000)
-	if err := c.Put([]byte("blob:0001"), blob); err != nil {
+	if err := c.Put(ctx, []byte("blob:0001"), blob); err != nil {
 		log.Fatal(err)
 	}
 
-	val, ok, err := c.Get([]byte("user:1234"))
-	if err != nil || !ok {
-		log.Fatalf("get small: ok=%v err=%v", ok, err)
+	val, err := c.Get(ctx, []byte("user:1234"))
+	if err != nil {
+		log.Fatalf("get small: %v", err)
 	}
 	fmt.Printf("small item : %s\n", val)
 
-	val, ok, err = c.Get([]byte("blob:0001"))
-	if err != nil || !ok {
-		log.Fatalf("get large: ok=%v err=%v", ok, err)
+	val, err = c.Get(ctx, []byte("blob:0001"))
+	if err != nil {
+		log.Fatalf("get large: %v", err)
 	}
 	fmt.Printf("large item : %d bytes round-tripped intact=%v\n", len(val), bytes.Equal(val, blob))
 
-	if _, ok, _ := c.Get([]byte("missing")); !ok {
-		fmt.Println("missing key: correctly reported absent")
+	// Misses and deletes are part of the error taxonomy: errors.Is
+	// against the package sentinels, no three-valued returns.
+	if _, err := c.Get(ctx, []byte("missing")); errors.Is(err, minos.ErrNotFound) {
+		fmt.Println("missing key: correctly reported ErrNotFound")
+	}
+	if err := c.Delete(ctx, []byte("user:1234")); err != nil {
+		log.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Get(ctx, []byte("user:1234")); errors.Is(err, minos.ErrNotFound) {
+		fmt.Println("deleted key: gone end-to-end")
 	}
 
-	// Drive a little traffic so the controller sees a size mix, then
-	// show its plan: the threshold separates the 200 KB blob from the
-	// small items, and large requests route to the large core.
+	// Drive a little traffic so the controller sees a size mix; the
+	// OnPlan hook above prints each published plan.
 	for i := 0; i < 500; i++ {
 		key := fmt.Sprintf("k:%06d", i)
-		_ = c.Put([]byte(key), []byte("small-value"))
+		_ = c.Put(ctx, []byte(key), []byte("small-value"))
 		if i%250 == 0 {
-			_ = c.Put([]byte(fmt.Sprintf("big:%04d", i)), blob)
+			_ = c.Put(ctx, []byte(fmt.Sprintf("big:%04d", i)), blob)
 		}
 	}
 	time.Sleep(250 * time.Millisecond) // let an epoch elapse
-	plan := srv.Plan()
-	fmt.Printf("plan       : %v\n", plan.String())
+
+	// Snapshot unifies counters, store size and the current plan.
+	snap := srv.Snapshot()
+	fmt.Printf("snapshot   : ops=%d items=%d bytes=%d\n", snap.Ops, snap.Items, snap.ValueBytes)
+	fmt.Printf("plan       : %v\n", snap.Plan)
 	// The threshold is the 99th percentile of requested sizes (§3): with
 	// this demo's traffic, the 11-byte values are small and the 200 KB
 	// blobs are large.
 	fmt.Printf("classify   : 11B small=%v, 200KB small=%v\n",
-		plan.IsSmall(11), plan.IsSmall(200_000))
+		snap.Plan.IsSmall(11), snap.Plan.IsSmall(200_000))
 }

@@ -1,0 +1,103 @@
+// Package experiment is the reproduction harness of the Minos artifact:
+// the deterministic discrete-event twin of the live server (Simulate) and
+// the Figure/Table functions that regenerate the paper's evaluation with
+// reproducible microsecond tails (see EXPERIMENTS.md for measured-vs-paper
+// tables and run instructions).
+//
+// Unlike the root minos package — whose API v1 is owned, versioned, and
+// pinned by a golden surface test — this package deliberately tracks the
+// internal simulator and harness types. It is a research surface: expect
+// it to move with the internals, and do not build long-lived systems
+// against it.
+package experiment
+
+import (
+	"github.com/minoskv/minos/internal/core"
+	"github.com/minoskv/minos/internal/harness"
+	"github.com/minoskv/minos/internal/simsys"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// Design selects the simulated architecture. The simulator and live
+// server share semantics but keep separate enumerations; see DESIGN.md.
+type Design = simsys.Design
+
+// The four simulated designs.
+const (
+	Minos Design = simsys.Minos
+	HKH   Design = simsys.HKH
+	SHO   Design = simsys.SHO
+	HKHWS Design = simsys.HKHWS
+)
+
+// Profile describes a simulated workload (§5.3). It is the internal
+// workload profile; the live-server analogue is minos.Profile, which has
+// the same fields.
+type Profile = workload.Profile
+
+// DefaultProfile returns the paper's default workload: skewed (zipf
+// 0.99), 95:5 GET:PUT, 0.125% large requests up to 500 KB.
+func DefaultProfile() Profile { return workload.DefaultProfile() }
+
+// WriteIntensiveProfile returns the 50:50 GET:PUT variant (§6.2).
+func WriteIntensiveProfile() Profile { return workload.WriteIntensiveProfile() }
+
+// PaperScaleProfile returns the default workload at the paper's full 16M
+// key dataset scale.
+func PaperScaleProfile() Profile { return workload.PaperScaleProfile() }
+
+// Config parameterizes one simulated run.
+type Config = simsys.Config
+
+// Result is a simulated run's measurements: throughput, latency
+// summaries overall and per size class, NIC utilization, per-core load,
+// and controller traces.
+type Result = simsys.Result
+
+// Simulate executes one deterministic full-system simulation.
+func Simulate(cfg Config) (Result, error) { return simsys.Run(cfg) }
+
+// CostFunc assigns a processing cost to a request by item size; the
+// controller allocates small cores proportionally to the small share of
+// total cost (§3).
+type CostFunc = core.CostFunc
+
+// The cost functions §3 names. CostPackets (network frames handled) is
+// the paper's default; CostConstant is size-blind and exists for the
+// ablation benchmarks.
+var (
+	CostPackets       CostFunc = core.PacketCost
+	CostBytes         CostFunc = core.ByteCost
+	CostBasePlusBytes CostFunc = core.BasePlusByteCost
+	CostConstant      CostFunc = core.ConstantCost
+)
+
+// Options configures the figure/table harness runs.
+type Options = harness.Options
+
+// Experiment scales.
+const (
+	// ScaleQuick keeps each figure to seconds (benchmarks, CI).
+	ScaleQuick = harness.Quick
+	// ScaleFull is the EXPERIMENTS.md scale (minutes per figure).
+	ScaleFull = harness.Full
+)
+
+// Table is a printable/CSV-exportable experiment rendering.
+type Table = harness.Table
+
+// Experiment regenerators, one per table/figure of the paper. Each
+// returns a typed result; call its Table method for printing or export.
+var (
+	Figure1  = harness.Figure1
+	Figure2  = harness.Figure2
+	Table1   = harness.Table1
+	Figure3  = harness.Figure3
+	Figure4  = harness.Figure4
+	Figure5  = harness.Figure5
+	Figure6  = harness.Figure6
+	Figure7  = harness.Figure7
+	Figure8  = harness.Figure8
+	Figure9  = harness.Figure9
+	Figure10 = harness.Figure10
+)

@@ -1,0 +1,46 @@
+// Package apierr defines the error taxonomy of the public minos API.
+//
+// The sentinels live in an internal package so that every layer — the
+// pipelined client, the transports, the server — can fail with the same
+// identities the root package re-exports, without importing the root
+// package (which would be an import cycle). The root package assigns
+// these exact values to minos.ErrNotFound and friends, so errors.Is
+// works across the API boundary no matter which layer produced the
+// error.
+//
+// Wire status codes map onto the taxonomy as follows:
+//
+//	wire.StatusNotFound → ErrNotFound
+//	wire.StatusError    → ErrServer
+//	wire.StatusTooLarge → ErrValueTooLarge
+//
+// ErrTimeout and ErrClosed originate client-side: a request whose
+// deadline (and retransmits) expired, and an operation on a closed
+// client or transport respectively.
+package apierr
+
+import "errors"
+
+var (
+	// ErrNotFound reports that the key does not exist in the store.
+	ErrNotFound = errors.New("minos: key not found")
+
+	// ErrTimeout reports that a request's deadline (and configured
+	// retransmits) expired without a reply.
+	ErrTimeout = errors.New("minos: request timed out")
+
+	// ErrClosed reports an operation on a closed client or transport.
+	ErrClosed = errors.New("minos: closed")
+
+	// ErrValueTooLarge reports a value exceeding the maximum item size
+	// the wire format and store accept.
+	ErrValueTooLarge = errors.New("minos: value too large")
+
+	// ErrKeyTooLarge reports a key exceeding the wire format's 64 KiB
+	// key-length field.
+	ErrKeyTooLarge = errors.New("minos: key too large")
+
+	// ErrServer reports a server-side failure carried in a reply's
+	// status code.
+	ErrServer = errors.New("minos: server error")
+)

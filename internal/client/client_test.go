@@ -1,10 +1,13 @@
 package client
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/minoskv/minos/internal/apierr"
 	"github.com/minoskv/minos/internal/kv"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/wire"
@@ -23,21 +26,23 @@ func TestReqIDClassRoundTrip(t *testing.T) {
 }
 
 func TestSteering(t *testing.T) {
-	c := New(nil, 8, 1)
-	// PUTs steer deterministically by keyhash.
+	p := NewPipeline(nil, 8, PipelineConfig{Seed: 1})
+	// Writes steer deterministically by keyhash.
 	key := []byte("steady-k")
-	q1 := c.steer(wire.OpPutRequest, key)
-	q2 := c.steer(wire.OpPutRequest, key)
-	if q1 != q2 {
-		t.Fatalf("PUT steering not deterministic: %d vs %d", q1, q2)
-	}
-	if want := uint16(kv.Hash(key) % 8); q1 != want {
-		t.Fatalf("PUT steered to %d, want keyhash queue %d", q1, want)
+	for _, op := range []wire.Op{wire.OpPutRequest, wire.OpDeleteRequest} {
+		q1 := p.steer(op, key)
+		q2 := p.steer(op, key)
+		if q1 != q2 {
+			t.Fatalf("%v steering not deterministic: %d vs %d", op, q1, q2)
+		}
+		if want := uint16(kv.Hash(key) % 8); q1 != want {
+			t.Fatalf("%v steered to %d, want keyhash queue %d", op, q1, want)
+		}
 	}
 	// GETs spread across all queues.
 	seen := make(map[uint16]bool)
 	for i := 0; i < 256; i++ {
-		seen[c.steer(wire.OpGetRequest, key)] = true
+		seen[p.steer(wire.OpGetRequest, key)] = true
 	}
 	if len(seen) != 8 {
 		t.Fatalf("GET steering covered %d of 8 queues", len(seen))
@@ -45,10 +50,10 @@ func TestSteering(t *testing.T) {
 }
 
 func TestGetTimesOut(t *testing.T) {
-	c := New(&fakeReplyless{}, 4, 1)
-	c.Timeout = 20 * time.Millisecond
-	if _, _, err := c.Get([]byte("key")); err == nil {
-		t.Fatal("expected timeout error")
+	p := NewPipeline(&fakeReplyless{}, 4, PipelineConfig{Timeout: 20 * time.Millisecond})
+	defer p.Close()
+	if _, err := p.Get(context.Background(), []byte("key")); !errors.Is(err, apierr.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 }
 
@@ -70,19 +75,19 @@ func (f *fakeReplyless) Close() error           { return nil }
 
 func TestStaleRepliesAreSkipped(t *testing.T) {
 	ft := &fakeScripted{}
-	c := New(ft, 4, 1)
-	c.Timeout = time.Second
+	p := NewPipeline(ft, 4, PipelineConfig{Timeout: time.Second, Seed: 1})
+	defer p.Close()
 
-	// Script: a stale reply (wrong id), then the real one. The client
+	// Script: a stale reply (wrong id), then the real one. The pipeline
 	// sends request id 1; the stale reply claims id 99.
 	stale := &wire.Message{Op: wire.OpGetReply, ReqID: 99, Value: []byte("old")}
 	real := &wire.Message{Op: wire.OpGetReply, ReqID: 1, Value: []byte("new")}
 	ft.push(stale.Frames()...)
 	ft.push(real.Frames()...)
 
-	val, ok, err := c.Get([]byte("any-key1"))
-	if err != nil || !ok {
-		t.Fatalf("get: ok=%v err=%v", ok, err)
+	val, err := p.Get(context.Background(), []byte("any-key1"))
+	if err != nil {
+		t.Fatalf("get: %v", err)
 	}
 	if string(val) != "new" {
 		t.Fatalf("got stale reply %q", val)
@@ -135,12 +140,37 @@ func (f *fakeScripted) Close() error           { return nil }
 
 func TestMalformedReplyIgnored(t *testing.T) {
 	ft := &fakeScripted{}
-	c := New(ft, 4, 1)
-	c.Timeout = time.Second
+	p := NewPipeline(ft, 4, PipelineConfig{Timeout: time.Second, Seed: 1})
+	defer p.Close()
 	good := &wire.Message{Op: wire.OpPutReply, ReqID: 1, Status: wire.StatusOK}
 	ft.push([]byte{0xde, 0xad}) // garbage first
 	ft.push(good.Frames()...)
-	if err := c.Put([]byte("some-key"), []byte("v")); err != nil {
+	if err := p.Put(context.Background(), []byte("some-key"), []byte("v")); err != nil {
 		t.Fatalf("put should survive malformed reply: %v", err)
+	}
+}
+
+func TestStatusMapping(t *testing.T) {
+	cases := []struct {
+		name   string
+		op     wire.Op
+		status uint8
+		want   error
+	}{
+		{"get miss", wire.OpGetRequest, wire.StatusNotFound, apierr.ErrNotFound},
+		{"delete miss", wire.OpDeleteRequest, wire.StatusNotFound, apierr.ErrNotFound},
+		{"too large", wire.OpPutRequest, wire.StatusTooLarge, apierr.ErrValueTooLarge},
+		{"server error", wire.OpGetRequest, wire.StatusError, apierr.ErrServer},
+		{"unknown status", wire.OpGetRequest, 250, apierr.ErrServer},
+	}
+	for _, tc := range cases {
+		_, err := resultFor(tc.op, &wire.Message{Status: tc.status})
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: resultFor = %v, want errors.Is %v", tc.name, err, tc.want)
+		}
+	}
+	v, err := resultFor(wire.OpGetRequest, &wire.Message{Status: wire.StatusOK, Value: []byte("x")})
+	if err != nil || string(v) != "x" {
+		t.Errorf("ok get: %q %v", v, err)
 	}
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -69,8 +70,9 @@ func decodeClass(reqID uint64) workload.Class {
 // RunOpenLoop drives an open-loop request stream from a workload
 // generator: exponentially distributed gaps at the target rate, one
 // receiver goroutine computing latencies from echoed timestamps. It
-// returns when the duration elapses and in-flight replies drain.
-func RunOpenLoop(tr nic.ClientTransport, queues int, gen *workload.Generator, cfg LoadConfig) *LoadResult {
+// returns when the duration elapses (or ctx is cancelled, whichever
+// comes first) and in-flight replies drain.
+func RunOpenLoop(ctx context.Context, tr nic.ClientTransport, queues int, gen *workload.Generator, cfg LoadConfig) *LoadResult {
 	res := &LoadResult{
 		Lat:      stats.NewLatencyHistogram(),
 		SmallLat: stats.NewLatencyHistogram(),
@@ -164,7 +166,7 @@ func RunOpenLoop(tr nic.ClientTransport, queues int, gen *workload.Generator, cf
 	next := start
 	for {
 		now := time.Now()
-		if now.Sub(start) >= cfg.Duration {
+		if now.Sub(start) >= cfg.Duration || ctx.Err() != nil {
 			break
 		}
 		next = next.Add(arr.ExpGap())

@@ -1,6 +1,24 @@
+// Package client implements the paper's client side (§5.4): a pipelined,
+// open-loop request engine (Pipeline) with context-aware blocking
+// Get/Put/Delete/MultiGet, asynchronous GetAsync/PutAsync/DeleteAsync
+// calls, and an open-loop load generator that timestamps every request at
+// its scheduled arrival, lets the server echo the timestamp in the reply,
+// and records end-to-end latency histograms per size class — so tails are
+// measured without coordinated omission.
+//
+// Requests carry a client-chosen RX queue: random for GETs, keyhash for
+// writes (§3). Replies larger than one frame are reassembled here, the
+// client half of the UDP-level fragmentation of §4.1.
+//
+// Errors follow the taxonomy of internal/apierr: a missing key is
+// apierr.ErrNotFound, an expired deadline apierr.ErrTimeout, a closed
+// pipeline apierr.ErrClosed, and a cancelled context surfaces the
+// context's own error — all stable under errors.Is through the public
+// facade.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -8,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/minoskv/minos/internal/apierr"
 	"github.com/minoskv/minos/internal/kv"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/wire"
@@ -25,6 +44,13 @@ import (
 // the traffic steered at it. Requests carry a per-request deadline; an
 // expired request is retransmitted up to Retries times and then failed
 // with ErrTimeout, with both outcomes counted in Stats.
+//
+// Every blocking operation takes a context. A context that expires before
+// the per-request deadline abandons the request: the pending entry is
+// removed, the window slot is released immediately (no leaked in-flight
+// slot), and the caller gets the context's error. Whichever of the
+// context deadline and the pipeline deadline fires first decides the
+// error.
 type Pipeline struct {
 	tr      nic.ClientTransport
 	queues  int
@@ -43,6 +69,7 @@ type Pipeline struct {
 	completed atomic.Uint64
 	timedOut  atomic.Uint64
 	retried   atomic.Uint64
+	canceled  atomic.Uint64
 	stale     atomic.Uint64
 	badFrames atomic.Uint64
 
@@ -74,12 +101,13 @@ type PipelineConfig struct {
 const DefaultWindow = 32
 
 // ErrTimeout is the terminal error of a request whose deadline (and
-// retransmits, if configured) expired.
-var ErrTimeout = errors.New("client: request timed out")
+// retransmits, if configured) expired. It is the apierr taxonomy sentinel
+// the public facade re-exports.
+var ErrTimeout = apierr.ErrTimeout
 
 // receiver tuning: how long one RecvBatch waits when the mailbox is
 // empty, how many frames it drains per call, and how often the pending
-// map is scanned for expired deadlines.
+// map is scanned for expired deadlines and cancelled contexts.
 const (
 	recvPoll      = time.Millisecond
 	recvBatch     = 64
@@ -121,15 +149,19 @@ func NewPipeline(tr nic.ClientTransport, queues int, cfg PipelineConfig) *Pipeli
 // Window returns the per-queue in-flight window.
 func (p *Pipeline) Window() int { return p.window }
 
-// Call is one asynchronous request. Wait for Done (or call Value/Err,
+// Queues returns the number of server RX queues requests spread over.
+func (p *Pipeline) Queues() int { return p.queues }
+
+// Call is one asynchronous request. Wait for Done (or call Wait/Value/Err,
 // which block) before reading results.
 type Call struct {
 	// ID is the wire request id, unique per pipeline.
 	ID uint64
 
+	p     *Pipeline
+	queue int
 	done  chan struct{}
 	value []byte
-	found bool
 	err   error
 }
 
@@ -137,10 +169,11 @@ type Call struct {
 func (c *Call) Done() <-chan struct{} { return c.done }
 
 // Value blocks until the call completes and returns its result: the value
-// and whether the key existed for GETs, (nil, true) for acknowledged PUTs.
-func (c *Call) Value() (value []byte, ok bool, err error) {
+// for GETs (a missing key is apierr.ErrNotFound), nil for acknowledged
+// writes.
+func (c *Call) Value() (value []byte, err error) {
 	<-c.done
-	return c.value, c.found, c.err
+	return c.value, c.err
 }
 
 // Err blocks until the call completes and returns its terminal error.
@@ -149,8 +182,24 @@ func (c *Call) Err() error {
 	return c.err
 }
 
-func (c *Call) finish(value []byte, found bool, err error) {
-	c.value, c.found, c.err = value, found, err
+// Wait blocks until the call completes or ctx is done. A context that
+// fires first abandons the request — the in-flight window slot is
+// released immediately — and returns the context's error.
+func (c *Call) Wait(ctx context.Context) (value []byte, err error) {
+	if ctx.Done() == nil {
+		return c.Value()
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		c.p.abandon(c, ctx.Err())
+		<-c.done // abandon or a racing completion finished the call
+	}
+	return c.value, c.err
+}
+
+func (c *Call) finish(value []byte, err error) {
+	c.value, c.err = value, err
 	close(c.done)
 }
 
@@ -158,6 +207,7 @@ func (c *Call) finish(value []byte, found bool, err error) {
 type pendingCall struct {
 	call     *Call
 	op       wire.Op
+	ctx      context.Context
 	queue    int
 	deadline time.Time
 	attempts int
@@ -170,6 +220,7 @@ type PipelineStats struct {
 	Completed uint64 // requests that got a matching reply
 	TimedOut  uint64 // requests that exhausted deadline and retries
 	Retried   uint64 // retransmissions performed
+	Canceled  uint64 // requests abandoned by context cancellation
 	Stale     uint64 // reply frames for no pending request (late or duplicate)
 	BadFrames uint64 // undecodable reply frames
 	InFlight  int    // currently pending requests
@@ -185,15 +236,16 @@ func (p *Pipeline) Stats() PipelineStats {
 		Completed: p.completed.Load(),
 		TimedOut:  p.timedOut.Load(),
 		Retried:   p.retried.Load(),
+		Canceled:  p.canceled.Load(),
 		Stale:     p.stale.Load(),
 		BadFrames: p.badFrames.Load(),
 		InFlight:  inflight,
 	}
 }
 
-// steer picks the RX queue: random for GETs, keyhash for PUTs (§3).
+// steer picks the RX queue: random for GETs, keyhash for writes (§3).
 func (p *Pipeline) steer(op wire.Op, key []byte) uint16 {
-	if op == wire.OpGetRequest {
+	if !op.IsWrite() {
 		p.mu.Lock()
 		q := p.rng.Intn(p.queues)
 		p.mu.Unlock()
@@ -206,64 +258,97 @@ func (p *Pipeline) steer(op wire.Op, key []byte) uint16 {
 // queue's window is full, in which case it blocks for a slot). key may be
 // reused once GetAsync returns.
 func (p *Pipeline) GetAsync(key []byte) *Call {
-	return p.submit(wire.OpGetRequest, key, nil, p.timeout)
+	return p.submit(context.Background(), wire.OpGetRequest, key, nil, p.timeout)
 }
 
 // PutAsync submits a PUT. key and value may be reused once it returns.
 func (p *Pipeline) PutAsync(key, value []byte) *Call {
-	return p.submit(wire.OpPutRequest, key, value, p.timeout)
+	return p.submit(context.Background(), wire.OpPutRequest, key, value, p.timeout)
 }
 
-// Get is the blocking wrapper: one GET, wait for its reply.
-func (p *Pipeline) Get(key []byte) (value []byte, ok bool, err error) {
-	return p.GetAsync(key).Value()
+// DeleteAsync submits a DELETE. key may be reused once it returns.
+func (p *Pipeline) DeleteAsync(key []byte) *Call {
+	return p.submit(context.Background(), wire.OpDeleteRequest, key, nil, p.timeout)
+}
+
+// Get is the blocking wrapper: one GET, wait for its reply. A missing key
+// returns apierr.ErrNotFound.
+func (p *Pipeline) Get(ctx context.Context, key []byte) (value []byte, err error) {
+	return p.submit(ctx, wire.OpGetRequest, key, nil, p.timeout).Wait(ctx)
 }
 
 // Put is the blocking wrapper: one PUT, wait for its acknowledgment.
-func (p *Pipeline) Put(key, value []byte) error {
-	_, _, err := p.PutAsync(key, value).Value()
+func (p *Pipeline) Put(ctx context.Context, key, value []byte) error {
+	_, err := p.submit(ctx, wire.OpPutRequest, key, value, p.timeout).Wait(ctx)
+	return err
+}
+
+// Delete removes key, waiting for the acknowledgment. Deleting a key that
+// does not exist returns apierr.ErrNotFound.
+func (p *Pipeline) Delete(ctx context.Context, key []byte) error {
+	_, err := p.submit(ctx, wire.OpDeleteRequest, key, nil, p.timeout).Wait(ctx)
 	return err
 }
 
 // MultiGet pipelines one GET per key and waits for all of them — the
 // fan-out pattern of §1, where application response time is the slowest of
-// K parallel GETs. values[i] and oks[i] mirror Get's results for keys[i];
-// err is the first per-request failure, if any (remaining results are
-// still filled in).
-func (p *Pipeline) MultiGet(keys [][]byte) (values [][]byte, oks []bool, err error) {
+// K parallel GETs. values[i] carries the value for keys[i]; a missing key
+// leaves values[i] nil without failing the batch. err is the first
+// failure other than a miss, if any (remaining results are still filled
+// in).
+func (p *Pipeline) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte, err error) {
 	calls := make([]*Call, len(keys))
 	for i, k := range keys {
-		calls[i] = p.GetAsync(k)
+		calls[i] = p.submit(ctx, wire.OpGetRequest, k, nil, p.timeout)
 	}
 	values = make([][]byte, len(keys))
-	oks = make([]bool, len(keys))
 	for i, c := range calls {
-		v, ok, cerr := c.Value()
-		values[i], oks[i] = v, ok
-		if err == nil && cerr != nil {
+		v, cerr := c.Wait(ctx)
+		values[i] = v
+		if cerr != nil && err == nil && !errors.Is(cerr, apierr.ErrNotFound) {
 			err = cerr
 		}
 	}
-	return values, oks, err
+	return values, err
 }
 
 // submit encodes and transmits one request with the given deadline.
-func (p *Pipeline) submit(op wire.Op, key, value []byte, timeout time.Duration) *Call {
+func (p *Pipeline) submit(ctx context.Context, op wire.Op, key, value []byte, timeout time.Duration) *Call {
 	p.start.Do(func() {
 		p.wg.Add(1)
 		go p.receiverLoop()
 	})
-	call := &Call{done: make(chan struct{})}
+	call := &Call{p: p, done: make(chan struct{})}
+	// Cancelled before send: fail without transmitting or consuming a
+	// window slot.
+	if err := ctx.Err(); err != nil {
+		p.canceled.Add(1)
+		call.finish(nil, err)
+		return call
+	}
+	if len(key) > wire.MaxKeySize {
+		call.finish(nil, fmt.Errorf("client: %d byte key: %w", len(key), apierr.ErrKeyTooLarge))
+		return call
+	}
+	if len(value) > wire.MaxValueSize {
+		call.finish(nil, fmt.Errorf("client: %d byte value: %w", len(value), apierr.ErrValueTooLarge))
+		return call
+	}
 	if timeout <= 0 {
 		timeout = p.timeout
 	}
 	q := int(p.steer(op, key))
-	// Acquire a window slot on the target queue; released on completion
-	// or terminal timeout.
+	call.queue = q
+	// Acquire a window slot on the target queue; released on completion,
+	// terminal timeout, or abandonment.
 	select {
 	case p.tokens[q] <- struct{}{}:
+	case <-ctx.Done():
+		p.canceled.Add(1)
+		call.finish(nil, ctx.Err())
+		return call
 	case <-p.stop:
-		call.finish(nil, false, nic.ErrClosed)
+		call.finish(nil, apierr.ErrClosed)
 		return call
 	}
 	call.ID = p.nextID.Add(1)
@@ -282,6 +367,9 @@ func (p *Pipeline) submit(op wire.Op, key, value []byte, timeout time.Duration) 
 		queue:    q,
 		deadline: time.Now().Add(timeout),
 	}
+	if ctx.Done() != nil {
+		pc.ctx = ctx
+	}
 	if p.retries > 0 {
 		pc.frames = frames
 	}
@@ -295,16 +383,16 @@ func (p *Pipeline) submit(op wire.Op, key, value []byte, timeout time.Duration) 
 	default:
 	}
 	if err := p.tr.SendBatch(q, frames); err != nil {
-		p.abandon(call, q, err)
+		p.abandon(call, err)
 		return call
 	}
 	// If the pipeline stopped between the window acquire and the insert,
 	// the receiver may already have drained the pending map; reclaim the
 	// entry here so the call cannot hang. Removal is guarded by mu, so
-	// exactly one of failAll and abandon finishes the call.
+	// exactly one of failAll, abandon and complete finishes the call.
 	select {
 	case <-p.stop:
-		p.abandon(call, q, nic.ErrClosed)
+		p.abandon(call, apierr.ErrClosed)
 	default:
 	}
 	p.sent.Add(1)
@@ -312,8 +400,10 @@ func (p *Pipeline) submit(op wire.Op, key, value []byte, timeout time.Duration) 
 }
 
 // abandon removes call from the pending map if it is still there and, if
-// so, releases its window slot and fails it with err.
-func (p *Pipeline) abandon(call *Call, q int, err error) {
+// so, releases its window slot and fails it with err. Losing the race to
+// a completion or shutdown is fine: whoever removed the entry finished
+// the call.
+func (p *Pipeline) abandon(call *Call, err error) {
 	p.mu.Lock()
 	_, still := p.pending[call.ID]
 	if still {
@@ -321,15 +411,18 @@ func (p *Pipeline) abandon(call *Call, q int, err error) {
 	}
 	p.mu.Unlock()
 	if still {
-		<-p.tokens[q]
-		call.finish(nil, false, err)
+		<-p.tokens[call.queue]
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			p.canceled.Add(1)
+		}
+		call.finish(nil, err)
 	}
 }
 
 // receiverLoop drains reply frames, matches them to pending calls by
 // request id, reassembles fragmented replies, and expires deadlines. It is
-// the only goroutine that completes calls, so completion and expiry never
-// race with each other.
+// the only goroutine that completes calls from replies, so completion and
+// expiry never race with each other.
 func (p *Pipeline) receiverLoop() {
 	defer p.wg.Done()
 	bufs := make([][]byte, recvBatch)
@@ -348,7 +441,7 @@ func (p *Pipeline) receiverLoop() {
 	for {
 		select {
 		case <-p.stop:
-			p.failAll(nic.ErrClosed)
+			p.failAll(apierr.ErrClosed)
 			return
 		default:
 		}
@@ -363,7 +456,7 @@ func (p *Pipeline) receiverLoop() {
 			select {
 			case <-p.wake:
 			case <-p.stop:
-				p.failAll(nic.ErrClosed)
+				p.failAll(apierr.ErrClosed)
 				return
 			}
 		}
@@ -415,23 +508,48 @@ func (p *Pipeline) complete(pc *pendingCall, msg *wire.Message) {
 	}
 	<-p.tokens[pc.queue]
 	p.completed.Add(1)
-	switch {
-	case msg.Status == wire.StatusNotFound:
-		pc.call.finish(nil, false, nil)
-	case msg.Status != wire.StatusOK:
-		pc.call.finish(nil, false, fmt.Errorf("client: %v failed with status %d", pc.op, msg.Status))
-	case pc.op == wire.OpGetRequest:
-		pc.call.finish(msg.Value, true, nil)
+	pc.call.finish(resultFor(pc.op, msg))
+}
+
+// resultFor maps a reply's status to the error taxonomy: StatusNotFound
+// becomes ErrNotFound, StatusTooLarge becomes ErrValueTooLarge, and any
+// other non-OK status wraps ErrServer with the op and code preserved in
+// the message.
+func resultFor(op wire.Op, msg *wire.Message) (value []byte, err error) {
+	switch msg.Status {
+	case wire.StatusOK:
+		if op == wire.OpGetRequest {
+			return msg.Value, nil
+		}
+		return nil, nil
+	case wire.StatusNotFound:
+		return nil, apierr.ErrNotFound
+	case wire.StatusTooLarge:
+		return nil, apierr.ErrValueTooLarge
 	default:
-		pc.call.finish(nil, true, nil)
+		return nil, fmt.Errorf("client: %v failed with status %d: %w", op, msg.Status, apierr.ErrServer)
 	}
 }
 
-// expire retransmits or fails every pending call past its deadline.
+// expire retransmits or fails every pending call past its deadline, and
+// abandons calls whose context was cancelled — so cancellation releases
+// the window slot promptly even when nobody is blocked in Wait.
 func (p *Pipeline) expire(now time.Time) {
-	var resend, dead []*pendingCall
+	type deadCall struct {
+		pc  *pendingCall
+		err error
+	}
+	var resend []*pendingCall
+	var dead []deadCall
 	p.mu.Lock()
 	for id, pc := range p.pending {
+		if pc.ctx != nil {
+			if err := pc.ctx.Err(); err != nil {
+				delete(p.pending, id)
+				dead = append(dead, deadCall{pc, err})
+				continue
+			}
+		}
 		if now.Before(pc.deadline) {
 			continue
 		}
@@ -441,7 +559,7 @@ func (p *Pipeline) expire(now time.Time) {
 			resend = append(resend, pc)
 		} else {
 			delete(p.pending, id)
-			dead = append(dead, pc)
+			dead = append(dead, deadCall{pc, ErrTimeout})
 		}
 	}
 	p.mu.Unlock()
@@ -449,10 +567,14 @@ func (p *Pipeline) expire(now time.Time) {
 		p.retried.Add(1)
 		_ = p.tr.SendBatch(pc.queue, pc.frames)
 	}
-	for _, pc := range dead {
-		<-p.tokens[pc.queue]
-		p.timedOut.Add(1)
-		pc.call.finish(nil, false, ErrTimeout)
+	for _, d := range dead {
+		<-p.tokens[d.pc.queue]
+		if d.err == ErrTimeout {
+			p.timedOut.Add(1)
+		} else {
+			p.canceled.Add(1)
+		}
+		d.pc.call.finish(nil, d.err)
 	}
 }
 
@@ -464,7 +586,7 @@ func (p *Pipeline) failAll(err error) {
 	p.mu.Unlock()
 	for _, pc := range pending {
 		<-p.tokens[pc.queue]
-		pc.call.finish(nil, false, err)
+		pc.call.finish(nil, err)
 	}
 }
 

@@ -1,11 +1,14 @@
 package client
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/minoskv/minos/internal/apierr"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/wire"
 )
@@ -120,9 +123,9 @@ func TestPipelineOutOfOrderCompletion(t *testing.T) {
 		ft.pushReply(id, []byte(fmt.Sprintf("value-%d", id)))
 	}
 	for i, c := range calls {
-		v, ok, err := c.Value()
-		if err != nil || !ok {
-			t.Fatalf("call %d: ok=%v err=%v", i, ok, err)
+		v, err := c.Value()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
 		}
 		if want := fmt.Sprintf("value-%d", c.ID); string(v) != want {
 			t.Fatalf("call %d (id %d): got %q, want %q", i, c.ID, v, want)
@@ -150,14 +153,14 @@ func TestPipelineWindowSaturation(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 	}
 	ft.pushReply(c1.ID, []byte("v1"))
-	if _, ok, err := c1.Value(); !ok || err != nil {
-		t.Fatalf("first call: ok=%v err=%v", ok, err)
+	if _, err := c1.Value(); err != nil {
+		t.Fatalf("first call: %v", err)
 	}
 	select {
 	case c3 := <-third:
 		ft.pushReply(c3.ID, []byte("v3"))
-		if _, ok, err := c3.Value(); !ok || err != nil {
-			t.Fatalf("third call: ok=%v err=%v", ok, err)
+		if _, err := c3.Value(); err != nil {
+			t.Fatalf("third call: %v", err)
 		}
 	case <-time.After(time.Second):
 		t.Fatal("third submit still blocked after a slot freed")
@@ -170,7 +173,7 @@ func TestPipelinePerRequestTimeout(t *testing.T) {
 	defer p.Close()
 
 	c := p.GetAsync([]byte("never-answered"))
-	if err := c.Err(); err != ErrTimeout {
+	if err := c.Err(); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	st := p.Stats()
@@ -200,9 +203,9 @@ func TestPipelineRetryThenComplete(t *testing.T) {
 	defer p.Close()
 
 	c := p.GetAsync([]byte("flaky"))
-	v, ok, err := c.Value()
-	if err != nil || !ok || string(v) != "eventually" {
-		t.Fatalf("retried call: %q ok=%v err=%v", v, ok, err)
+	v, err := c.Value()
+	if err != nil || string(v) != "eventually" {
+		t.Fatalf("retried call: %q err=%v", v, err)
 	}
 	if got := ft.sendsFor(c.ID); got != 2 {
 		t.Fatalf("request transmitted %d times, want 2", got)
@@ -218,7 +221,7 @@ func TestPipelineRetriesExhausted(t *testing.T) {
 	defer p.Close()
 
 	c := p.GetAsync([]byte("black-hole"))
-	if err := c.Err(); err != ErrTimeout {
+	if err := c.Err(); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	if got := ft.sendsFor(c.ID); got != 3 { // original + 2 retries
@@ -251,9 +254,9 @@ func TestPipelineConcurrentCallers(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				c := p.GetAsync([]byte(fmt.Sprintf("g%d-i%d", g, i)))
-				v, ok, err := c.Value()
-				if err != nil || !ok {
-					errs <- fmt.Errorf("g%d i%d: ok=%v err=%v", g, i, ok, err)
+				v, err := c.Value()
+				if err != nil {
+					errs <- fmt.Errorf("g%d i%d: %v", g, i, err)
 					return
 				}
 				if want := fmt.Sprintf("v%d", c.ID); string(v) != want {
@@ -282,11 +285,11 @@ func TestPipelineCloseFailsOutstanding(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Err(); err != nic.ErrClosed {
+	if err := c.Err(); !errors.Is(err, apierr.ErrClosed) {
 		t.Fatalf("err after close = %v, want ErrClosed", err)
 	}
 	// Submitting after close fails fast instead of hanging.
-	if err := p.GetAsync([]byte("post-close")).Err(); err != nic.ErrClosed {
+	if err := p.GetAsync([]byte("post-close")).Err(); !errors.Is(err, apierr.ErrClosed) {
 		t.Fatalf("post-close submit err = %v, want ErrClosed", err)
 	}
 }
@@ -311,16 +314,140 @@ func TestPipelineMultiGetFragmentedReplies(t *testing.T) {
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("key-%d", i))
 	}
-	values, oks, err := p.MultiGet(keys)
+	values, err := p.MultiGet(context.Background(), keys)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range keys {
-		if !oks[i] {
+		if values[i] == nil {
 			t.Fatalf("key %d missing", i)
 		}
 		if len(values[i]) != len(big) && string(values[i]) != "small" {
 			t.Fatalf("key %d: unexpected value length %d", i, len(values[i]))
 		}
+	}
+}
+
+func TestPipelineCancelBeforeSend(t *testing.T) {
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 4, Timeout: time.Minute})
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Get(ctx, []byte("unsent")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := p.Stats()
+	if st.Sent != 0 || st.InFlight != 0 || st.Canceled != 1 {
+		t.Fatalf("cancelled-before-send stats: %+v", st)
+	}
+	if ft.sendsFor(1) != 0 {
+		t.Fatal("cancelled request reached the transport")
+	}
+}
+
+func TestPipelineCancelInFlightReleasesSlot(t *testing.T) {
+	ft := newFakePipe() // never replies unless pushed
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 1, Timeout: time.Minute})
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Get(ctx, []byte("in-flight"))
+		done <- err
+	}()
+	// Wait until the request is actually pending, then cancel mid-flight.
+	deadline := time.Now().Add(time.Second)
+	for p.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled Get did not return promptly")
+	}
+	st := p.Stats()
+	if st.InFlight != 0 || st.Canceled != 1 {
+		t.Fatalf("cancelled-in-flight stats: %+v", st)
+	}
+	// The window slot was released: a fresh request fits immediately
+	// even at Window=1.
+	c := p.GetAsync([]byte("next"))
+	ft.pushReply(c.ID, []byte("v"))
+	if _, err := c.Value(); err != nil {
+		t.Fatalf("request after cancel: %v", err)
+	}
+}
+
+// TestPipelineCancelAsyncViaExpireScan covers the path where nobody is
+// blocked in Wait: the receiver's expiry scan notices the dead context
+// and abandons the slot.
+func TestPipelineCancelAsyncViaExpireScan(t *testing.T) {
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 1, Timeout: time.Minute})
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := p.submit(ctx, wire.OpGetRequest, []byte("async"), nil, 0)
+	cancel()
+	select {
+	case <-c.Done():
+		if err := c.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("expire scan never abandoned the cancelled call")
+	}
+	if st := p.Stats(); st.InFlight != 0 || st.Canceled != 1 {
+		t.Fatalf("stats after async cancel: %+v", st)
+	}
+}
+
+func TestPipelineCtxDeadlineVsPipelineDeadline(t *testing.T) {
+	// Context deadline earlier than the pipeline deadline: the context
+	// wins and the error is context.DeadlineExceeded.
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 4, Timeout: time.Minute})
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Get(ctx, []byte("ctx-first")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ctx-first err = %v, want DeadlineExceeded", err)
+	}
+
+	// Pipeline deadline earlier than the context deadline: the request
+	// times out with ErrTimeout while the context is still live.
+	p2 := NewPipeline(newFakePipe(), 1, PipelineConfig{Window: 4, Timeout: 20 * time.Millisecond})
+	defer p2.Close()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if _, err := p2.Get(ctx2, []byte("pipe-first")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("pipeline-first err = %v, want ErrTimeout", err)
+	}
+	if st := p2.Stats(); st.TimedOut != 1 || st.InFlight != 0 {
+		t.Fatalf("stats after pipeline-deadline race: %+v", st)
+	}
+}
+
+func TestPipelineValueTooLarge(t *testing.T) {
+	ft := newFakePipe()
+	p := NewPipeline(ft, 1, PipelineConfig{Window: 1, Timeout: time.Minute})
+	defer p.Close()
+	huge := make([]byte, wire.MaxValueSize+1)
+	err := p.Put(context.Background(), []byte("k"), huge)
+	if !errors.Is(err, apierr.ErrValueTooLarge) {
+		t.Fatalf("err = %v, want ErrValueTooLarge", err)
+	}
+	if st := p.Stats(); st.Sent != 0 || st.InFlight != 0 {
+		t.Fatalf("oversized put consumed pipeline state: %+v", st)
 	}
 }

@@ -20,6 +20,8 @@ package nic
 import (
 	"fmt"
 	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
 )
 
 // Endpoint identifies a client for replies. ID is stable and unique per
@@ -82,8 +84,10 @@ type ClientTransport interface {
 	Close() error
 }
 
-// ErrClosed is returned by operations on a closed transport.
-var ErrClosed = fmt.Errorf("nic: transport closed")
+// ErrClosed is returned by operations on a closed transport. It wraps the
+// taxonomy sentinel apierr.ErrClosed, so errors.Is(err, minos.ErrClosed)
+// holds whether the client engine or the transport underneath it closed.
+var ErrClosed = fmt.Errorf("nic: transport closed: %w", apierr.ErrClosed)
 
 // RSSQueue maps a flow to an RX queue the way receive-side scaling does:
 // a deterministic hash of the 5-tuple reduced modulo the queue count. The

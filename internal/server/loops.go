@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"runtime"
 	"time"
 
@@ -135,6 +136,14 @@ func (s *Server) drainSHO(c *coreState, frames []nic.Frame) int {
 			msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
 			if err != nil {
 				s.badFrame.Add(1)
+				// The reassembler refused to allocate for an oversized
+				// header; answer the first fragment so the client fails
+				// fast (other designs do this in processFrame).
+				if errors.Is(err, wire.ErrOversize) {
+					if h, _, derr := wire.DecodeHeader(fr.Data); derr == nil && h.FragOff == 0 {
+						s.replyTooLarge(c, fr.Src, &h)
+					}
+				}
 				continue
 			}
 			if msg == nil {
@@ -174,6 +183,9 @@ func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
 	h, _, err := wire.DecodeHeader(fr.Data)
 	if err != nil {
 		s.badFrame.Add(1)
+		return
+	}
+	if s.rejectOversize(c, fr.Src, &h) {
 		return
 	}
 	if s.cfg.Design != Minos {
@@ -223,6 +235,29 @@ func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
 			return
 		}
 		s.routeLarge(plan, valSize, work{src: fr.Src, frag: fr.Data})
+	case wire.OpDeleteRequest:
+		// Deletes carry a key and no value: a small request by
+		// construction, served in place on the draining core. They are
+		// profiled like every other request (§3 counts all requests);
+		// size 0 charges the one packet a delete actually handles. The
+		// rare multi-fragment delete (oversized foreign key) routes to
+		// a large core for the same single-reassembler guarantee as
+		// fragmented PUTs.
+		if h.FragOff == 0 {
+			s.recordSize(c, 0)
+		}
+		if wire.FragmentsFor(int(h.TotalSize)) > 1 {
+			s.routeLarge(plan, 0, work{src: fr.Src, frag: fr.Data})
+			return
+		}
+		msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+		if err != nil {
+			s.badFrame.Add(1)
+			return
+		}
+		if msg != nil {
+			s.serve(c, fr.Src, msg)
+		}
 	case wire.OpGetRequest:
 		msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
 		if err != nil {
@@ -248,6 +283,42 @@ func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
 	default:
 		s.badFrame.Add(1)
 	}
+}
+
+// rejectOversize answers frames whose header demands more memory than
+// MaxValueSize allows. The check runs before any reassembly state is
+// allocated — a single forged frame must never reserve gigabytes — and
+// the first fragment gets a StatusTooLarge reply so well-behaved foreign
+// clients fail fast instead of timing out.
+func (s *Server) rejectOversize(c *coreState, src nic.Endpoint, h *wire.Header) bool {
+	if int64(h.TotalSize) <= int64(wire.MaxValueSize)+int64(h.KeyLen) {
+		return false
+	}
+	s.badFrame.Add(1)
+	if h.FragOff == 0 {
+		s.replyTooLarge(c, src, h)
+	}
+	return true
+}
+
+// replyTooLarge sends the op-matched StatusTooLarge reply for h.
+func (s *Server) replyTooLarge(c *coreState, src nic.Endpoint, h *wire.Header) {
+	op := wire.OpErrorReply
+	switch h.Op {
+	case wire.OpPutRequest:
+		op = wire.OpPutReply
+	case wire.OpDeleteRequest:
+		op = wire.OpDeleteReply
+	case wire.OpGetRequest:
+		op = wire.OpGetReply
+	}
+	s.transmit(c, src, &wire.Message{
+		Op:        op,
+		Status:    wire.StatusTooLarge,
+		RxQueue:   h.RxQueue,
+		ReqID:     h.ReqID,
+		Timestamp: h.Timestamp,
+	})
 }
 
 // routeLarge pushes work onto the owning large core's ring.
@@ -285,9 +356,25 @@ func (s *Server) serve(c *coreState, src nic.Endpoint, msg *wire.Message) {
 		reply.Status = wire.StatusOK
 		reply.Value = item.Value
 	case wire.OpPutRequest:
-		s.store.Put(msg.Key, msg.Value)
 		reply.Op = wire.OpPutReply
-		reply.Status = wire.StatusOK
+		if len(msg.Value) > wire.MaxValueSize {
+			// Our own clients reject oversized values before sending;
+			// this answers foreign clients without touching the store.
+			reply.Status = wire.StatusTooLarge
+		} else {
+			s.store.Put(msg.Key, msg.Value)
+			reply.Status = wire.StatusOK
+		}
+	case wire.OpDeleteRequest:
+		// Deletes are writes under the same CREW protocol as PUTs: the
+		// store takes the primary bucket's epoch spinlock, so any core
+		// may serve them regardless of which core masters the key.
+		reply.Op = wire.OpDeleteReply
+		if s.store.Delete(msg.Key) {
+			reply.Status = wire.StatusOK
+		} else {
+			reply.Status = wire.StatusNotFound
+		}
 	default:
 		reply.Op = wire.OpErrorReply
 		reply.Status = wire.StatusError

@@ -2,10 +2,15 @@ package server_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/minoskv/minos/internal/apierr"
 	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/core"
 	"github.com/minoskv/minos/internal/kv"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/server"
@@ -34,7 +39,17 @@ func startServer(t *testing.T, design server.Design) (*server.Server, *nic.Fabri
 	return srv, fabric
 }
 
-func TestGetPutAllDesigns(t *testing.T) {
+// newPipe returns a blocking client engine for tests, with a generous
+// deadline so loaded CI machines do not flake.
+func newPipe(t *testing.T, tr nic.ClientTransport, queues int, seed int64) *client.Pipeline {
+	t.Helper()
+	p := client.NewPipeline(tr, queues, client.PipelineConfig{Seed: seed, Timeout: 5 * time.Second})
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestGetPutDeleteAllDesigns(t *testing.T) {
+	ctx := context.Background()
 	for _, design := range []server.Design{server.Minos, server.HKH, server.SHO, server.HKHWS} {
 		t.Run(design.String(), func(t *testing.T) {
 			_, fabric := startServer(t, design)
@@ -44,31 +59,40 @@ func TestGetPutAllDesigns(t *testing.T) {
 			if design == server.SHO {
 				queues = 1
 			}
-			c := client.New(fabric.NewClient(), queues, 1)
-			t.Cleanup(func() { c.Close() })
+			p := newPipe(t, fabric.NewClient(), queues, 1)
 
 			key := []byte("hello-01")
-			if err := c.Put(key, []byte("world")); err != nil {
+			if err := p.Put(ctx, key, []byte("world")); err != nil {
 				t.Fatalf("put: %v", err)
 			}
-			val, ok, err := c.Get(key)
-			if err != nil || !ok {
-				t.Fatalf("get: ok=%v err=%v", ok, err)
+			val, err := p.Get(ctx, key)
+			if err != nil {
+				t.Fatalf("get: %v", err)
 			}
 			if string(val) != "world" {
 				t.Fatalf("value = %q", val)
 			}
 			// Overwrite.
-			if err := c.Put(key, []byte("world2")); err != nil {
+			if err := p.Put(ctx, key, []byte("world2")); err != nil {
 				t.Fatal(err)
 			}
-			val, ok, _ = c.Get(key)
-			if !ok || string(val) != "world2" {
-				t.Fatalf("after overwrite: %q ok=%v", val, ok)
+			val, err = p.Get(ctx, key)
+			if err != nil || string(val) != "world2" {
+				t.Fatalf("after overwrite: %q err=%v", val, err)
 			}
 			// Miss.
-			if _, ok, err := c.Get([]byte("missing!")); err != nil || ok {
-				t.Fatalf("miss: ok=%v err=%v", ok, err)
+			if _, err := p.Get(ctx, []byte("missing!")); !errors.Is(err, apierr.ErrNotFound) {
+				t.Fatalf("miss: err=%v, want ErrNotFound", err)
+			}
+			// Delete round-trip: removed, then a miss, then delete-miss.
+			if err := p.Delete(ctx, key); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			if _, err := p.Get(ctx, key); !errors.Is(err, apierr.ErrNotFound) {
+				t.Fatalf("get after delete: err=%v, want ErrNotFound", err)
+			}
+			if err := p.Delete(ctx, key); !errors.Is(err, apierr.ErrNotFound) {
+				t.Fatalf("double delete: err=%v, want ErrNotFound", err)
 			}
 		})
 	}
@@ -78,25 +102,31 @@ func TestGetPutAllDesigns(t *testing.T) {
 // through the full stack: multi-frame PUT in, multi-frame GET reply out,
 // for the two designs with the most different large-request paths.
 func TestLargeValueRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	for _, design := range []server.Design{server.Minos, server.HKH} {
 		t.Run(design.String(), func(t *testing.T) {
 			_, fabric := startServer(t, design)
-			c := client.New(fabric.NewClient(), testCores, 2)
-			t.Cleanup(func() { c.Close() })
-			c.Timeout = 5 * time.Second
+			p := newPipe(t, fabric.NewClient(), testCores, 2)
 
 			for _, size := range []int{wire.MaxFragPayload - 8, wire.MaxFragPayload, 10_000, 120_000} {
 				value := bytes.Repeat([]byte{byte('A' + size%26)}, size)
 				key := kv.KeyForID(uint64(size))
-				if err := c.Put(key, value); err != nil {
+				if err := p.Put(ctx, key, value); err != nil {
 					t.Fatalf("put %dB: %v", size, err)
 				}
-				got, ok, err := c.Get(key)
-				if err != nil || !ok {
-					t.Fatalf("get %dB: ok=%v err=%v", size, ok, err)
+				got, err := p.Get(ctx, key)
+				if err != nil {
+					t.Fatalf("get %dB: %v", size, err)
 				}
 				if !bytes.Equal(got, value) {
 					t.Fatalf("%dB value corrupted (len %d)", size, len(got))
+				}
+				// Large items delete like small ones.
+				if err := p.Delete(ctx, key); err != nil {
+					t.Fatalf("delete %dB: %v", size, err)
+				}
+				if _, err := p.Get(ctx, key); !errors.Is(err, apierr.ErrNotFound) {
+					t.Fatalf("get after delete %dB: %v", size, err)
 				}
 			}
 		})
@@ -104,12 +134,14 @@ func TestLargeValueRoundTrip(t *testing.T) {
 }
 
 // TestControllerAdaptsLive drives a large-heavy stream and checks the
-// epoch controller republishes a plan with a sensible threshold.
+// epoch controller republishes a plan with a sensible threshold, and that
+// the OnPlan hook observes the same plans.
 func TestControllerAdaptsLive(t *testing.T) {
+	ctx := context.Background()
 	srv, fabric := startServer(t, server.Minos)
-	c := client.New(fabric.NewClient(), testCores, 3)
-	t.Cleanup(func() { c.Close() })
-	c.Timeout = 5 * time.Second
+	var hookEpochs atomic.Int64
+	srv.OnPlan(func(core.Plan) { hookEpochs.Add(1) })
+	p := newPipe(t, fabric.NewClient(), testCores, 3)
 
 	// 1% of writes are 50 KB: below the 99th size percentile, so the
 	// threshold must settle at the small mode, classifying the 50 KB
@@ -121,23 +153,27 @@ func TestControllerAdaptsLive(t *testing.T) {
 		if i%100 == 0 {
 			v = big
 		}
-		if err := c.Put(key, v); err != nil {
+		if err := p.Put(ctx, key, v); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		p := srv.Plan()
-		if p.Epoch > 0 && p.Threshold >= 11 && p.Threshold < 50_000 {
+		pl := srv.Plan()
+		if pl.Epoch > 0 && pl.Threshold >= 11 && pl.Threshold < 50_000 {
+			if hookEpochs.Load() == 0 {
+				t.Fatal("OnPlan hook never observed a published plan")
+			}
 			return // threshold separates the 2% of 50 KB writes
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	p := srv.Plan()
-	t.Fatalf("controller never adapted: %v", p.String())
+	pl := srv.Plan()
+	t.Fatalf("controller never adapted: %v", pl.String())
 }
 
 func TestMalformedFramesAreCounted(t *testing.T) {
+	ctx := context.Background()
 	srv, fabric := startServer(t, server.Minos)
 	ct := fabric.NewClient()
 	_ = ct.Send(0, []byte{0xFF, 0xFF, 0x00}) // garbage
@@ -146,9 +182,8 @@ func TestMalformedFramesAreCounted(t *testing.T) {
 	for time.Now().Before(deadline) {
 		if srv.Stats().BadFrames >= 1 {
 			// The server must still serve after garbage.
-			c := client.New(fabric.NewClient(), testCores, 4)
-			t.Cleanup(func() { c.Close() })
-			if err := c.Put([]byte("after-bad"), []byte("ok")); err != nil {
+			p := newPipe(t, fabric.NewClient(), testCores, 4)
+			if err := p.Put(ctx, []byte("after-bad"), []byte("ok")); err != nil {
 				t.Fatalf("server wedged after malformed frame: %v", err)
 			}
 			return
@@ -158,7 +193,51 @@ func TestMalformedFramesAreCounted(t *testing.T) {
 	t.Fatal("malformed frames never counted")
 }
 
+// TestOversizeHeaderRejectedWithReply forges a PUT frame claiming a
+// near-4GiB TotalSize and checks the server answers StatusTooLarge
+// without reassembling (the remote memory-exhaustion guard).
+func TestOversizeHeaderRejectedWithReply(t *testing.T) {
+	srv, fabric := startServer(t, server.Minos)
+	ct := fabric.NewClient()
+
+	payload := make([]byte, wire.MaxFragPayload)
+	h := wire.Header{
+		Op:        wire.OpPutRequest,
+		ReqID:     99,
+		TotalSize: 0xF0000000,
+		KeyLen:    8,
+		FragOff:   0,
+		FragLen:   uint16(len(payload)),
+	}
+	frame := make([]byte, wire.HeaderSize+len(payload))
+	wire.EncodeHeader(frame, &h)
+	if err := ct.Send(0, frame); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, wire.MTU)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n, ok := ct.Recv(buf, 50*time.Millisecond); ok {
+			rh, _, err := wire.DecodeHeader(buf[:n])
+			if err != nil {
+				t.Fatalf("undecodable reply: %v", err)
+			}
+			if rh.ReqID != 99 || rh.Status != wire.StatusTooLarge || rh.Op != wire.OpPutReply {
+				t.Fatalf("reply = op %v status %d reqid %d, want PUT-REPLY/StatusTooLarge/99",
+					rh.Op, rh.Status, rh.ReqID)
+			}
+			if srv.Stats().BadFrames == 0 {
+				t.Fatal("oversize frame not counted")
+			}
+			return
+		}
+	}
+	t.Fatal("no StatusTooLarge reply for oversize header")
+}
+
 func TestPreloadAndStats(t *testing.T) {
+	ctx := context.Background()
 	srv, fabric := startServer(t, server.Minos)
 	prof := workload.Profile{
 		Name: "tiny-test", PercentLarge: 1, MaxLargeSize: 20_000,
@@ -172,13 +251,11 @@ func TestPreloadAndStats(t *testing.T) {
 	}
 
 	// Every catalogued key must be readable with its catalogued size.
-	c := client.New(fabric.NewClient(), testCores, 5)
-	t.Cleanup(func() { c.Close() })
-	c.Timeout = 5 * time.Second
+	p := newPipe(t, fabric.NewClient(), testCores, 5)
 	for _, id := range []uint64{0, 1, 99, 1999} {
-		val, ok, err := c.Get(kv.KeyForID(id))
-		if err != nil || !ok {
-			t.Fatalf("key %d: ok=%v err=%v", id, ok, err)
+		val, err := p.Get(ctx, kv.KeyForID(id))
+		if err != nil {
+			t.Fatalf("key %d: %v", id, err)
 		}
 		if len(val) != cat.Size(id) {
 			t.Fatalf("key %d: size %d, want %d", id, len(val), cat.Size(id))
@@ -203,7 +280,7 @@ func TestOpenLoopLoad(t *testing.T) {
 	server.Preload(srv.Store(), cat)
 
 	gen := workload.NewGenerator(cat, 7)
-	res := client.RunOpenLoop(fabric.NewClient(), testCores, gen, client.LoadConfig{
+	res := client.RunOpenLoop(context.Background(), fabric.NewClient(), testCores, gen, client.LoadConfig{
 		Rate:     3_000,
 		Duration: 400 * time.Millisecond,
 		Seed:     9,
@@ -222,8 +299,10 @@ func TestOpenLoopLoad(t *testing.T) {
 	}
 }
 
-// TestUDPEndToEnd exercises the UDP transport through the full stack.
+// TestUDPEndToEnd exercises the UDP transport through the full stack,
+// including the Delete path.
 func TestUDPEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	tr, err := nic.NewUDPServer("127.0.0.1", 39200, testCores)
 	if err != nil {
 		t.Skipf("cannot bind UDP: %v", err)
@@ -244,24 +323,29 @@ func TestUDPEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ct.Close()
-	c := client.New(ct, testCores, 11)
-	t.Cleanup(func() { c.Close() })
-	c.Timeout = 5 * time.Second
+	p := newPipe(t, ct, testCores, 11)
 
-	if err := c.Put([]byte("udp-key1"), []byte("via-udp")); err != nil {
+	if err := p.Put(ctx, []byte("udp-key1"), []byte("via-udp")); err != nil {
 		t.Fatalf("put over UDP: %v", err)
 	}
-	val, ok, err := c.Get([]byte("udp-key1"))
-	if err != nil || !ok || string(val) != "via-udp" {
-		t.Fatalf("get over UDP: %q ok=%v err=%v", val, ok, err)
+	val, err := p.Get(ctx, []byte("udp-key1"))
+	if err != nil || string(val) != "via-udp" {
+		t.Fatalf("get over UDP: %q err=%v", val, err)
 	}
 	// A multi-frame value over loopback UDP.
 	big := bytes.Repeat([]byte("U"), 40_000)
-	if err := c.Put([]byte("udp-key2"), big); err != nil {
+	if err := p.Put(ctx, []byte("udp-key2"), big); err != nil {
 		t.Fatalf("large put over UDP: %v", err)
 	}
-	val, ok, err = c.Get([]byte("udp-key2"))
-	if err != nil || !ok || !bytes.Equal(val, big) {
-		t.Fatalf("large get over UDP: len=%d ok=%v err=%v", len(val), ok, err)
+	val, err = p.Get(ctx, []byte("udp-key2"))
+	if err != nil || !bytes.Equal(val, big) {
+		t.Fatalf("large get over UDP: len=%d err=%v", len(val), err)
+	}
+	// Delete over UDP.
+	if err := p.Delete(ctx, []byte("udp-key1")); err != nil {
+		t.Fatalf("delete over UDP: %v", err)
+	}
+	if _, err := p.Get(ctx, []byte("udp-key1")); !errors.Is(err, apierr.ErrNotFound) {
+		t.Fatalf("get after delete over UDP: %v, want ErrNotFound", err)
 	}
 }

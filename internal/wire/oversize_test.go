@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestReassemblerRejectsOversizeHeader is the remote-allocation guard: a
+// single frame whose header claims a near-4GiB TotalSize must be refused
+// before the reassembler reserves any memory for it.
+func TestReassemblerRejectsOversizeHeader(t *testing.T) {
+	h := Header{
+		Op:        OpPutRequest,
+		ReqID:     7,
+		TotalSize: 0xF0000000, // ~3.75 GiB claimed
+		KeyLen:    8,
+		FragOff:   0,
+		FragLen:   MaxFragPayload,
+	}
+	frame := make([]byte, HeaderSize+MaxFragPayload)
+	EncodeHeader(frame, &h)
+
+	r := NewReassembler(0)
+	msg, err := r.Add(1, frame)
+	if !errors.Is(err, ErrOversize) {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+	if msg != nil {
+		t.Fatal("oversize frame produced a message")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("oversize frame left %d pending reassemblies", r.Pending())
+	}
+	// The boundary itself is legal: TotalSize == MaxValueSize + KeyLen.
+	h.TotalSize = MaxValueSize + 8
+	EncodeHeader(frame, &h)
+	if _, err := r.Add(1, frame); err != nil {
+		t.Fatalf("boundary-size frame rejected: %v", err)
+	}
+}

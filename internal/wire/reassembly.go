@@ -69,6 +69,12 @@ func (r *Reassembler) Add(source uint64, frame []byte) (*Message, error) {
 	if int(h.KeyLen) > int(h.TotalSize) {
 		return nil, fmt.Errorf("%w: key %d > total %d", ErrBadLength, h.KeyLen, h.TotalSize)
 	}
+	// Cap the allocation a single header can demand BEFORE make(). Without
+	// this, one 1472-byte frame claiming TotalSize near 4 GiB would have
+	// the reassembler allocate it all — a remote memory-exhaustion vector.
+	if int64(h.TotalSize) > int64(MaxValueSize)+int64(h.KeyLen) {
+		return nil, fmt.Errorf("%w: total %d", ErrOversize, h.TotalSize)
+	}
 	if int64(h.FragOff)+int64(h.FragLen) > int64(h.TotalSize) {
 		return nil, ErrOverlap
 	}

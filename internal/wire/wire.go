@@ -70,8 +70,11 @@ const (
 // Op identifies the message type.
 type Op uint8
 
-// Message types. Creates and deletes are special versions of PUT (§3) and
-// share OpPutRequest.
+// Message types. The paper treats creates and deletes as special versions
+// of PUT (§3); on the wire a delete gets its own op so the server can
+// distinguish "store empty value" from "remove key" — a delete request
+// carries a key and no value, and is answered by a DeleteReply whose
+// status reports whether the key existed.
 const (
 	OpInvalid Op = iota
 	OpGetRequest
@@ -79,6 +82,8 @@ const (
 	OpPutRequest
 	OpPutReply
 	OpErrorReply
+	OpDeleteRequest
+	OpDeleteReply
 )
 
 // String returns the op name.
@@ -94,17 +99,40 @@ func (o Op) String() string {
 		return "PUT-REPLY"
 	case OpErrorReply:
 		return "ERR-REPLY"
+	case OpDeleteRequest:
+		return "DELETE"
+	case OpDeleteReply:
+		return "DELETE-REPLY"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
 }
+
+// IsWrite reports whether the op mutates the store; clients steer writes
+// by keyhash so the same key's writes land on the same RX queue (§3).
+func (o Op) IsWrite() bool { return o == OpPutRequest || o == OpDeleteRequest }
 
 // Status codes carried in replies.
 const (
 	StatusOK       uint8 = 0
 	StatusNotFound uint8 = 1
 	StatusError    uint8 = 2
+	StatusTooLarge uint8 = 3
 )
+
+// MaxValueSize bounds a single item's value. It matches the controller's
+// default histogram ceiling (16 MiB): values past it cannot be profiled,
+// and on the wire TotalSize must also stay far from its uint32 limit.
+// Clients reject larger values before transmitting (ErrValueTooLarge);
+// servers answer an oversized foreign PUT's first fragment with
+// StatusTooLarge and never allocate for it (the reassembler rejects the
+// header with ErrOversize before reserving memory).
+const MaxValueSize = 16 << 20
+
+// MaxKeySize bounds a key: KeyLen travels in a uint16, so anything longer
+// would silently wrap on the wire. Clients reject longer keys before
+// transmitting (ErrKeyTooLarge).
+const MaxKeySize = 1<<16 - 1
 
 // Header is the fixed per-fragment message header.
 //
@@ -150,6 +178,7 @@ var (
 	ErrBadOp      = errors.New("wire: invalid op")
 	ErrOverlap    = errors.New("wire: fragment beyond message bounds")
 	ErrBadOffset  = errors.New("wire: fragment offset not on a fragment boundary")
+	ErrOversize   = errors.New("wire: message exceeds maximum item size")
 )
 
 // EncodeHeader writes h into dst, which must be at least HeaderSize long.
@@ -193,7 +222,7 @@ func DecodeHeader(frame []byte) (Header, []byte, error) {
 		KeyLen:    binary.BigEndian.Uint16(frame[32:34]),
 		FragLen:   binary.BigEndian.Uint16(frame[34:36]),
 	}
-	if h.Op == OpInvalid || h.Op > OpErrorReply {
+	if h.Op == OpInvalid || h.Op > OpDeleteReply {
 		return Header{}, nil, ErrBadOp
 	}
 	payload := frame[HeaderSize:]
@@ -330,6 +359,8 @@ func CostPackets(op Op, keyLen, valSize int) int {
 		return FragmentsFor(valSize) // reply carries value only
 	case OpPutRequest, OpPutReply:
 		return FragmentsFor(keyLen + valSize) // request carries key+value
+	case OpDeleteRequest, OpDeleteReply:
+		return 1 // key-only request, header-only reply
 	default:
 		return 1
 	}
@@ -343,6 +374,8 @@ func CostBytes(op Op, keyLen, valSize int) int {
 		return valSize
 	case OpPutRequest, OpPutReply:
 		return keyLen + valSize
+	case OpDeleteRequest, OpDeleteReply:
+		return keyLen
 	default:
 		return 0
 	}

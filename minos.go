@@ -1,4 +1,4 @@
-// Package minos is the public facade of the Minos reproduction: an
+// Package minos is the public API of the Minos reproduction: an
 // in-memory key-value store with size-aware sharding, after "Size-aware
 // Sharding For Improving Tail Latencies in In-memory Key-value Stores"
 // (Didona & Zwaenepoel, NSDI 2019).
@@ -9,170 +9,92 @@
 // and the core allocation adapt to the workload each epoch (§3 of the
 // paper).
 //
-// The package exposes three layers:
+// # API v1
 //
-//   - The live server and client (NewServer, NewClient, NewFabric,
-//     NewUDPServer/NewUDPClient): a working concurrent implementation you
-//     can embed in tests and applications or run over UDP.
-//   - Workload modelling (DefaultProfile and friends, NewCatalog,
-//     NewGenerator): the paper's trimodal-size, zipf-popularity request
-//     streams.
-//   - Deterministic evaluation (Simulate, and the Figure/Table functions
-//     in experiment.go): the discrete-event twin that regenerates every
-//     figure of the paper with reproducible microsecond tails.
+// This package owns every type it exposes — nothing here aliases an
+// internal package, so internal refactors cannot break embedders. The
+// surface is pinned by the golden file api/v1.txt (see
+// TestPublicAPISurface).
 //
-// See README.md for a tour and DESIGN.md for how the pieces map to the
-// paper.
+//   - Servers: NewServer(transport, options...) builds a live multi-core
+//     server; Start/Stop run it; Snapshot and OnPlan observe it.
+//   - Clients: NewClient(transport, options...) returns a pipelined
+//     client whose blocking operations — Get, Put, Delete, MultiGet —
+//     all take a context.Context for cancellation and deadlines, and
+//     whose async variants return Calls.
+//   - Errors: a typed taxonomy (ErrNotFound, ErrTimeout, ErrClosed,
+//     ErrValueTooLarge, ErrServer) that works with errors.Is no matter
+//     which layer produced the failure.
+//   - Transports: NewFabric for in-process embedding (tests,
+//     applications), NewUDPServer/NewUDPClient for the paper's
+//     one-socket-per-RX-queue UDP deployment.
+//   - Workloads: DefaultProfile and friends, NewCatalog, NewGenerator,
+//     and RunOpenLoop reproduce the paper's trimodal-size,
+//     zipf-popularity request streams with coordinated-omission-free
+//     latency measurement.
+//
+// The deterministic discrete-event twin that regenerates the paper's
+// figures lives in the experiment subpackage
+// (github.com/minoskv/minos/experiment); unlike this package it tracks
+// the internals and makes no stability promise.
+//
+// See README.md for a tour, MIGRATION.md for the pre-v1 mapping, and
+// DESIGN.md for how the pieces map to the paper.
 package minos
 
 import (
-	"github.com/minoskv/minos/internal/client"
-	"github.com/minoskv/minos/internal/core"
-	"github.com/minoskv/minos/internal/kv"
-	"github.com/minoskv/minos/internal/nic"
+	"fmt"
+
 	"github.com/minoskv/minos/internal/server"
-	"github.com/minoskv/minos/internal/workload"
 )
 
 // Design selects the server architecture (§5.2 of the paper).
-type Design = server.Design
+type Design int
 
 // The four designs of the paper's comparison. DesignMinos is the paper's
 // contribution; the others are the size-unaware baselines.
 const (
-	DesignMinos Design = server.Minos
-	DesignHKH   Design = server.HKH
-	DesignSHO   Design = server.SHO
-	DesignHKHWS Design = server.HKHWS
+	// DesignMinos is size-aware sharding: small cores drain RX queues
+	// and hand large requests to large cores, with the split adapting
+	// every epoch.
+	DesignMinos Design = iota
+	// DesignHKH hashes keys to cores with no size awareness.
+	DesignHKH
+	// DesignSHO dedicates handoff cores that dispatch complete requests
+	// to workers.
+	DesignSHO
+	// DesignHKHWS is HKH with ZygOS-style work stealing.
+	DesignHKHWS
 )
 
-// ServerConfig configures a live server; the zero value runs Minos with
-// the paper's defaults.
-type ServerConfig = server.Config
-
-// Server is a live multi-core key-value server.
-type Server = server.Server
-
-// ServerStats is a snapshot of server counters.
-type ServerStats = server.Stats
-
-// Plan is the size-aware sharding controller's per-epoch decision: the
-// small/large threshold, the core split, and the per-large-core size
-// ranges.
-type Plan = core.Plan
-
-// StoreConfig sizes the MICA-style hash table.
-type StoreConfig = kv.Config
-
-// ServerTransport and ClientTransport are the multi-queue network
-// contract; NewFabric provides an in-process implementation,
-// NewUDPServer/NewUDPClient a real one.
-type (
-	ServerTransport = nic.ServerTransport
-	ClientTransport = nic.ClientTransport
-)
-
-// Fabric is the in-process multi-queue network for tests and embedded use.
-type Fabric = nic.Fabric
-
-// NewFabric returns an in-process network with one RX queue per server
-// core.
-func NewFabric(queues int) *Fabric { return nic.NewFabric(queues) }
-
-// NewUDPServer binds one UDP socket per RX queue on consecutive ports
-// starting at basePort; the destination port selects the queue, the
-// mechanism the paper uses via RSS (§5.1).
-func NewUDPServer(host string, basePort, queues int) (*nic.UDPServer, error) {
-	return nic.NewUDPServer(host, basePort, queues)
+// String returns the paper's abbreviation.
+func (d Design) String() string {
+	switch d {
+	case DesignMinos:
+		return "Minos"
+	case DesignHKH:
+		return "HKH"
+	case DesignSHO:
+		return "SHO"
+	case DesignHKHWS:
+		return "HKH+WS"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
 }
 
-// NewUDPClient dials a UDP server at host:basePort.
-func NewUDPClient(host string, basePort int) (*nic.UDPClient, error) {
-	return nic.NewUDPClient(host, basePort)
+// toInternal maps the public enum onto the internal server's enumeration.
+func (d Design) toInternal() (server.Design, error) {
+	switch d {
+	case DesignMinos:
+		return server.Minos, nil
+	case DesignHKH:
+		return server.HKH, nil
+	case DesignSHO:
+		return server.SHO, nil
+	case DesignHKHWS:
+		return server.HKHWS, nil
+	default:
+		return 0, fmt.Errorf("minos: unknown design %d", int(d))
+	}
 }
-
-// NewServer builds a live server over a transport. Call Start to launch
-// its core and controller goroutines, Stop to terminate them.
-func NewServer(cfg ServerConfig, tr ServerTransport) (*Server, error) {
-	return server.New(cfg, tr)
-}
-
-// Client is the blocking key-value client: Get/Put wrappers over a
-// pipelined engine, safe for concurrent use.
-type Client = client.Client
-
-// NewClient returns a client over tr that spreads requests across the
-// server's queues: GETs to a random queue, PUTs by keyhash (§3).
-func NewClient(tr ClientTransport, queues int, seed int64) *Client {
-	return client.New(tr, queues, seed)
-}
-
-// Pipeline is the open-loop request engine: a configurable in-flight
-// window per RX queue, out-of-order completion matched by request id,
-// per-request deadlines with timeout/retry accounting, and asynchronous
-// GetAsync/PutAsync/MultiGet calls.
-type Pipeline = client.Pipeline
-
-// PipelineConfig tunes a Pipeline's window, deadline, and retransmits.
-type PipelineConfig = client.PipelineConfig
-
-// PipelineStats snapshots a pipeline's counters.
-type PipelineStats = client.PipelineStats
-
-// Call is one asynchronous request in flight on a Pipeline.
-type Call = client.Call
-
-// NewPipeline returns a pipelined client engine over tr talking to a
-// server with the given number of RX queues.
-func NewPipeline(tr ClientTransport, queues int, cfg PipelineConfig) *Pipeline {
-	return client.NewPipeline(tr, queues, cfg)
-}
-
-// LoadConfig and LoadResult parameterize and report an open-loop load
-// generation run (§5.4).
-type (
-	LoadConfig = client.LoadConfig
-	LoadResult = client.LoadResult
-)
-
-// RunOpenLoop drives an open-loop workload at a target rate and records
-// end-to-end latency histograms from the timestamps echoed in replies.
-func RunOpenLoop(tr ClientTransport, queues int, gen *Generator, cfg LoadConfig) *LoadResult {
-	return client.RunOpenLoop(tr, queues, gen, cfg)
-}
-
-// Preload populates a server's store with every key of a catalogue, so
-// generated requests always hit (§5.3).
-func Preload(s *Server, cat *Catalog) int { return server.Preload(s.Store(), cat) }
-
-// Workload modelling (§5.3).
-type (
-	// Profile describes a workload: size mix, skew, GET:PUT ratio.
-	Profile = workload.Profile
-	// Catalog fixes each key's size and class for a profile.
-	Catalog = workload.Catalog
-	// Generator draws requests from a catalogue.
-	Generator = workload.Generator
-	// Request is one generated operation.
-	Request = workload.Request
-)
-
-// DefaultProfile returns the paper's default workload: skewed (zipf 0.99),
-// 95:5 GET:PUT, 0.125% large requests up to 500 KB.
-func DefaultProfile() Profile { return workload.DefaultProfile() }
-
-// WriteIntensiveProfile returns the 50:50 GET:PUT variant (§6.2).
-func WriteIntensiveProfile() Profile { return workload.WriteIntensiveProfile() }
-
-// PaperScaleProfile returns the default workload at the paper's full 16M
-// key dataset scale.
-func PaperScaleProfile() Profile { return workload.PaperScaleProfile() }
-
-// NewCatalog materializes a profile's key catalogue.
-func NewCatalog(p Profile) *Catalog { return workload.NewCatalog(p) }
-
-// NewGenerator returns a request stream over a catalogue.
-func NewGenerator(cat *Catalog, seed int64) *Generator { return workload.NewGenerator(cat, seed) }
-
-// KeyForID returns the fixed 8-byte key encoding for a catalogue key id.
-func KeyForID(id uint64) []byte { return kv.KeyForID(id) }

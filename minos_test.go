@@ -2,49 +2,67 @@ package minos_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"time"
 
 	minos "github.com/minoskv/minos"
+	"github.com/minoskv/minos/experiment"
 	"github.com/minoskv/minos/internal/sim"
 )
 
 // TestPublicAPIRoundTrip exercises the embedded-server path a downstream
-// user would copy from the README: fabric, server, client, put/get, plan.
+// user would copy from the README: fabric, server, client, put/get/delete,
+// plan.
 func TestPublicAPIRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	const cores = 2
 	fabric := minos.NewFabric(cores)
-	srv, err := minos.NewServer(minos.ServerConfig{
-		Design: minos.DesignMinos,
-		Cores:  cores,
-		Epoch:  50 * time.Millisecond,
-	}, fabric.Server())
+	srv, err := minos.NewServer(fabric.Server(),
+		minos.WithDesign(minos.DesignMinos),
+		minos.WithCores(cores),
+		minos.WithEpoch(50*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv.Start()
 	defer srv.Stop()
 
-	c := minos.NewClient(fabric.NewClient(), cores, 1)
-	defer c.Close()
-	c.Timeout = 5 * time.Second
-	if err := c.Put([]byte("greeting"), []byte("hello")); err != nil {
+	c, err := minos.NewClient(fabric.NewClient(),
+		minos.WithQueues(cores), minos.WithSeed(1), minos.WithDeadline(5*time.Second))
+	if err != nil {
 		t.Fatal(err)
 	}
-	val, ok, err := c.Get([]byte("greeting"))
-	if err != nil || !ok || string(val) != "hello" {
-		t.Fatalf("get = %q ok=%v err=%v", val, ok, err)
+	defer c.Close()
+	if err := c.Put(ctx, []byte("greeting"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	val, err := c.Get(ctx, []byte("greeting"))
+	if err != nil || string(val) != "hello" {
+		t.Fatalf("get = %q err=%v", val, err)
 	}
 	big := bytes.Repeat([]byte("z"), 64_000)
-	if err := c.Put([]byte("big-item"), big); err != nil {
+	if err := c.Put(ctx, []byte("big-item"), big); err != nil {
 		t.Fatal(err)
 	}
-	val, ok, err = c.Get([]byte("big-item"))
-	if err != nil || !ok || !bytes.Equal(val, big) {
-		t.Fatalf("large get: len=%d ok=%v err=%v", len(val), ok, err)
+	val, err = c.Get(ctx, []byte("big-item"))
+	if err != nil || !bytes.Equal(val, big) {
+		t.Fatalf("large get: len=%d err=%v", len(val), err)
+	}
+	if err := c.Delete(ctx, []byte("big-item")); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Get(ctx, []byte("big-item")); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("get after delete: %v, want ErrNotFound", err)
 	}
 	if plan := srv.Plan(); plan.Cores != cores {
 		t.Fatalf("plan cores = %d", plan.Cores)
+	}
+	snap := srv.Snapshot()
+	if snap.Ops == 0 || snap.Items != 1 {
+		t.Fatalf("snapshot: ops=%d items=%d", snap.Ops, snap.Items)
 	}
 }
 
@@ -53,7 +71,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 func TestPublicAPIPreloadAndLoad(t *testing.T) {
 	const cores = 2
 	fabric := minos.NewFabric(cores)
-	srv, err := minos.NewServer(minos.ServerConfig{Design: minos.DesignMinos, Cores: cores}, fabric.Server())
+	srv, err := minos.NewServer(fabric.Server(), minos.WithCores(cores))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,23 +83,24 @@ func TestPublicAPIPreloadAndLoad(t *testing.T) {
 	prof.NumLargeKeys = 2
 	prof.MaxLargeSize = 10_000
 	cat := minos.NewCatalog(prof)
-	if n := minos.Preload(srv, cat); n != 1_000 {
+	if n := srv.Preload(cat); n != 1_000 {
 		t.Fatalf("preloaded %d", n)
 	}
-	res := minos.RunOpenLoop(fabric.NewClient(), cores, minos.NewGenerator(cat, 3), minos.LoadConfig{
-		Rate:     1_000,
-		Duration: 200 * time.Millisecond,
-		Seed:     4,
-	})
+	res := minos.RunOpenLoop(context.Background(), fabric.NewClient(), cores,
+		minos.NewGenerator(cat, 3), minos.LoadConfig{
+			Rate:     1_000,
+			Duration: 200 * time.Millisecond,
+			Seed:     4,
+		})
 	if res.Sent == 0 || res.Lat.Count() == 0 {
 		t.Fatalf("open loop produced nothing: %+v", res)
 	}
 }
 
-// TestPublicAPISimulate exercises the deterministic-evaluation facade.
-func TestPublicAPISimulate(t *testing.T) {
-	res, err := minos.Simulate(minos.SimConfig{
-		Design:   minos.SimMinos,
+// TestExperimentFacade exercises the deterministic-evaluation subpackage.
+func TestExperimentFacade(t *testing.T) {
+	res, err := experiment.Simulate(experiment.Config{
+		Design:   experiment.Minos,
 		Rate:     1e6,
 		Duration: 80 * sim.Millisecond,
 		Warmup:   20 * sim.Millisecond,
@@ -94,15 +113,18 @@ func TestPublicAPISimulate(t *testing.T) {
 		t.Fatalf("simulate: thr=%.0f p99=%d", res.Throughput, res.Lat.P99)
 	}
 	// The experiment aliases are wired.
-	r, err := minos.Figure1(minos.ExperimentOptions{Scale: minos.ScaleQuick})
+	r, err := experiment.Figure1(experiment.Options{Scale: experiment.ScaleQuick})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tab := r.Table(); len(tab.Rows) == 0 {
 		t.Fatal("figure 1 table empty")
 	}
-	// The cost-function exports are callable.
-	if minos.CostPackets(500_000) <= minos.CostPackets(100) {
+	// The cost-function exports are callable, in both packages.
+	if experiment.CostPackets(500_000) <= experiment.CostPackets(100) {
 		t.Fatal("packet cost not monotone")
+	}
+	if minos.CostPackets(500_000) <= minos.CostPackets(100) {
+		t.Fatal("live packet cost not monotone")
 	}
 }

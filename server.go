@@ -1,0 +1,298 @@
+package minos
+
+import (
+	"errors"
+	"time"
+
+	"github.com/minoskv/minos/internal/core"
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/server"
+)
+
+// CostFunc assigns a processing cost to a request for an item of the
+// given value size; the epoch controller allocates small cores
+// proportionally to the small share of total cost (§3).
+type CostFunc func(size int64) int64
+
+// The cost functions §3 names. CostPackets (network frames handled) is
+// the paper's default; CostConstant is size-blind and exists for the
+// ablation benchmarks.
+var (
+	CostPackets       CostFunc = core.PacketCost
+	CostBytes         CostFunc = core.ByteCost
+	CostBasePlusBytes CostFunc = core.BasePlusByteCost
+	CostConstant      CostFunc = core.ConstantCost
+)
+
+// SizeRange is a contiguous range of item sizes [Lo, Hi], inclusive.
+type SizeRange struct {
+	Lo, Hi int64
+}
+
+// Contains reports whether size falls in the range.
+func (r SizeRange) Contains(size int64) bool { return size >= r.Lo && size <= r.Hi }
+
+// Plan is the size-aware sharding controller's per-epoch decision: the
+// small/large threshold, the core split, and the per-large-core size
+// ranges (§3).
+type Plan struct {
+	// Epoch counts published plans, starting at 0 for the initial plan.
+	Epoch int
+
+	// Cores is the total core count n.
+	Cores int
+
+	// Threshold is the small/large cutoff: requests for items of size
+	// <= Threshold are small.
+	Threshold int64
+
+	// NumSmall and NumLarge partition the cores; NumSmall + NumLarge ==
+	// Cores unless Standby is set, in which case NumSmall == Cores and
+	// NumLarge == 0.
+	NumSmall, NumLarge int
+
+	// Standby reports that all cores are small and the last core is the
+	// designated standby large core, so large requests are never
+	// dropped.
+	Standby bool
+
+	// Ranges assigns contiguous size ranges to large cores: Ranges[i]
+	// belongs to the i-th large core. They cover (Threshold, MaxInt64]
+	// without gaps or overlap, ordered by size.
+	Ranges []SizeRange
+
+	// SmallCostShare is the fraction of total request cost incurred by
+	// small requests in the epoch that produced this plan.
+	SmallCostShare float64
+}
+
+// IsSmall reports whether a request for an item of the given size is
+// served by small cores.
+func (p Plan) IsSmall(size int64) bool { return size <= p.Threshold }
+
+// String summarizes the plan.
+func (p Plan) String() string {
+	cp := planToCore(p)
+	return cp.String()
+}
+
+// planFromCore converts the controller's plan into the owned public type.
+func planFromCore(cp core.Plan) Plan {
+	p := Plan{
+		Epoch:          cp.Epoch,
+		Cores:          cp.Cores,
+		Threshold:      cp.Threshold,
+		NumSmall:       cp.NumSmall,
+		NumLarge:       cp.NumLarge,
+		Standby:        cp.Standby,
+		SmallCostShare: cp.SmallCostShare,
+	}
+	if len(cp.Ranges) > 0 {
+		p.Ranges = make([]SizeRange, len(cp.Ranges))
+		for i, r := range cp.Ranges {
+			p.Ranges[i] = SizeRange{Lo: r.Lo, Hi: r.Hi}
+		}
+	}
+	return p
+}
+
+func planToCore(p Plan) core.Plan {
+	cp := core.Plan{
+		Epoch:          p.Epoch,
+		Cores:          p.Cores,
+		Threshold:      p.Threshold,
+		NumSmall:       p.NumSmall,
+		NumLarge:       p.NumLarge,
+		Standby:        p.Standby,
+		SmallCostShare: p.SmallCostShare,
+	}
+	if len(p.Ranges) > 0 {
+		cp.Ranges = make([]core.SizeRange, len(p.Ranges))
+		for i, r := range p.Ranges {
+			cp.Ranges[i] = core.SizeRange{Lo: r.Lo, Hi: r.Hi}
+		}
+	}
+	return cp
+}
+
+// ServerOption configures NewServer. The zero configuration (no options)
+// runs the Minos design with the paper's defaults.
+type ServerOption func(*serverConfig)
+
+// serverConfig collects option state before conversion to the internal
+// server configuration.
+type serverConfig struct {
+	cfg server.Config
+	err error
+}
+
+// WithDesign selects the server architecture (default DesignMinos).
+func WithDesign(d Design) ServerOption {
+	return func(c *serverConfig) {
+		id, err := d.toInternal()
+		if err != nil && c.err == nil {
+			c.err = err
+		}
+		c.cfg.Design = id
+	}
+}
+
+// WithCores sets the number of server cores — polling goroutines, one RX
+// queue each (default: GOMAXPROCS capped at 8, the paper's core count).
+func WithCores(n int) ServerOption {
+	return func(c *serverConfig) { c.cfg.Cores = n }
+}
+
+// WithBatch sets the RX drain batch size B (paper: 32).
+func WithBatch(n int) ServerOption {
+	return func(c *serverConfig) { c.cfg.Batch = n }
+}
+
+// WithEpoch sets the controller period (paper: 1 s).
+func WithEpoch(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.cfg.Epoch = d }
+}
+
+// WithHandoffCores sets SHO's dispatcher count (default 1).
+func WithHandoffCores(n int) ServerOption {
+	return func(c *serverConfig) { c.cfg.HandoffCores = n }
+}
+
+// WithQuantile sets the request-size quantile that becomes the
+// small/large threshold (paper: 0.99).
+func WithQuantile(q float64) ServerOption {
+	return func(c *serverConfig) { c.cfg.Quantile = q }
+}
+
+// WithAlpha sets the EMA discount factor for histogram smoothing
+// (paper: 0.9).
+func WithAlpha(a float64) ServerOption {
+	return func(c *serverConfig) { c.cfg.Alpha = a }
+}
+
+// WithCost sets the request cost function (default CostPackets).
+func WithCost(fn CostFunc) ServerOption {
+	return func(c *serverConfig) { c.cfg.Cost = core.CostFunc(fn) }
+}
+
+// WithStaticThreshold pins the small/large threshold permanently — the
+// paper's off-line variant for workloads with known traces (§6.2). Core
+// allocation still adapts each epoch.
+func WithStaticThreshold(threshold int64) ServerOption {
+	return func(c *serverConfig) { c.cfg.StaticThreshold = threshold }
+}
+
+// WithStoreCapacity sizes the MICA-style hash table: partitions and
+// primary buckets per partition, both powers of two (defaults 16 and
+// 4096; each bucket holds 7 items before chaining).
+func WithStoreCapacity(partitions, bucketsPerPartition int) ServerOption {
+	return func(c *serverConfig) {
+		c.cfg.Store = kv.Config{
+			NumPartitions:       partitions,
+			BucketsPerPartition: bucketsPerPartition,
+		}
+	}
+}
+
+// Server is a live multi-core key-value server running one of the four
+// designs over a transport.
+type Server struct {
+	s *server.Server
+}
+
+// NewServer builds a live server over tr. Call Start to launch its core
+// and controller goroutines, Stop to terminate them.
+func NewServer(tr ServerTransport, opts ...ServerOption) (*Server, error) {
+	if tr.tr == nil {
+		return nil, errors.New("minos: NewServer needs a transport (Fabric.Server or NewUDPServer)")
+	}
+	var c serverConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	s, err := server.New(c.cfg, tr.tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{s: s}, nil
+}
+
+// Start launches the core and controller goroutines.
+func (s *Server) Start() { s.s.Start() }
+
+// Stop terminates all goroutines and waits for them.
+func (s *Server) Stop() { s.s.Stop() }
+
+// Plan returns the controller's current plan.
+func (s *Server) Plan() Plan { return planFromCore(s.s.Plan()) }
+
+// OnPlan registers fn to be called each time the epoch controller
+// publishes a new plan (once per epoch on the Minos design; never on the
+// size-unaware baselines), so embedders can watch the controller adapt.
+// fn runs on the control goroutine: it must be fast and must not call
+// back into the server. Passing nil removes the hook.
+func (s *Server) OnPlan(fn func(Plan)) {
+	if fn == nil {
+		s.s.OnPlan(nil)
+		return
+	}
+	s.s.OnPlan(func(cp core.Plan) { fn(planFromCore(cp)) })
+}
+
+// CoreSnapshot is one core's accounting.
+type CoreSnapshot struct {
+	// Ops is the number of requests this core served.
+	Ops uint64
+	// Packets is the number of frames this core handled.
+	Packets uint64
+}
+
+// Snapshot is a unified, point-in-time view of a running server: request
+// counters per core, drop/error counters, the live store size, and the
+// controller's current plan.
+type Snapshot struct {
+	// Ops is the total number of requests served.
+	Ops uint64
+	// PerCore breaks Ops and packet counts down by core.
+	PerCore []CoreSnapshot
+	// SwDrops counts requests dropped on overflowing software queues.
+	SwDrops uint64
+	// BadFrames counts undecodable frames.
+	BadFrames uint64
+	// Items is the number of live keys in the store.
+	Items int
+	// ValueBytes is the total size of live values.
+	ValueBytes int64
+	// Plan is the controller's current plan.
+	Plan Plan
+}
+
+// Snapshot captures the server's counters, store size, and current plan.
+func (s *Server) Snapshot() Snapshot {
+	st := s.s.Stats()
+	snap := Snapshot{
+		Ops:        st.Ops,
+		SwDrops:    st.SwDrops,
+		BadFrames:  st.BadFrames,
+		Items:      s.s.Store().Len(),
+		ValueBytes: s.s.Store().ValueBytes(),
+		Plan:       planFromCore(st.Plan),
+	}
+	if len(st.PerCore) > 0 {
+		snap.PerCore = make([]CoreSnapshot, len(st.PerCore))
+		for i, cs := range st.PerCore {
+			snap.PerCore[i] = CoreSnapshot{Ops: cs.Ops, Packets: cs.Packets}
+		}
+	}
+	return snap
+}
+
+// Preload populates the server's store with every key of a catalogue, so
+// generated requests always hit (§5.3). It returns the number of items
+// stored.
+func (s *Server) Preload(cat *Catalog) int {
+	return server.Preload(s.s.Store(), cat.c)
+}

@@ -1,0 +1,30 @@
+package minos_test
+
+// TestGofmt is the formatting gate CI relies on: it fails if any .go file
+// in the repository is not gofmt-clean, listing the offenders.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGofmt(t *testing.T) {
+	gofmt, err := exec.LookPath("gofmt")
+	if err != nil {
+		gofmt = filepath.Join(runtime.GOROOT(), "bin", "gofmt")
+		if _, statErr := os.Stat(gofmt); statErr != nil {
+			t.Skipf("gofmt not found: %v / %v", err, statErr)
+		}
+	}
+	out, err := exec.Command(gofmt, "-l", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gofmt -l: %v\n%s", err, out)
+	}
+	if files := strings.TrimSpace(string(out)); files != "" {
+		t.Fatalf("gofmt needed on:\n%s", files)
+	}
+}

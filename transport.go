@@ -1,0 +1,99 @@
+package minos
+
+import (
+	"time"
+
+	"github.com/minoskv/minos/internal/nic"
+)
+
+// ServerTransport is the server side of a multi-queue network: one RX
+// queue per server core, with the client choosing the queue per request
+// (the paper steers via RSS, §5.1). Obtain one from Fabric.Server or
+// NewUDPServer. The zero value is not usable.
+type ServerTransport struct {
+	tr nic.ServerTransport
+}
+
+// Queues returns the number of RX queues (one per server core).
+func (t ServerTransport) Queues() int {
+	if t.tr == nil {
+		return 0
+	}
+	return t.tr.Queues()
+}
+
+// Close releases the transport's resources. The in-process fabric has
+// none; UDP transports close their sockets.
+func (t ServerTransport) Close() error {
+	if t.tr == nil {
+		return nil
+	}
+	return t.tr.Close()
+}
+
+// ClientTransport is one client's connection to a server. Obtain one from
+// Fabric.NewClient or NewUDPClient. The zero value is not usable.
+type ClientTransport struct {
+	tr nic.ClientTransport
+}
+
+// Close releases the transport's resources.
+func (t ClientTransport) Close() error {
+	if t.tr == nil {
+		return nil
+	}
+	return t.tr.Close()
+}
+
+// Fabric is the in-process multi-queue network for tests and embedded
+// use: nanosecond-scale delivery with the properties the design depends
+// on (per-queue FIFO order, client-selected RX queue, bounded queues that
+// drop on overflow).
+type Fabric struct {
+	f *nic.Fabric
+}
+
+// NewFabric returns an in-process network with one RX queue per server
+// core.
+func NewFabric(queues int) *Fabric {
+	return &Fabric{f: nic.NewFabric(queues)}
+}
+
+// Server returns the server side of the fabric.
+func (f *Fabric) Server() ServerTransport {
+	return ServerTransport{tr: f.f.Server()}
+}
+
+// NewClient returns a fresh client connection to the fabric. Each client
+// (or pipeline) needs its own.
+func (f *Fabric) NewClient() ClientTransport {
+	return ClientTransport{tr: f.f.NewClient()}
+}
+
+// SetRTT makes the fabric emulate a network round trip: replies become
+// visible to the client rtt after the request was sent, so closed-loop
+// clients pay testbed-scale physics instead of in-process nanoseconds.
+func (f *Fabric) SetRTT(rtt time.Duration) { f.f.SetRTT(rtt) }
+
+// Drops returns the number of frames dropped on overflowing queues.
+func (f *Fabric) Drops() uint64 { return f.f.Drops() }
+
+// NewUDPServer binds one UDP socket per RX queue on consecutive ports
+// starting at basePort; the destination port selects the queue, the
+// mechanism the paper uses via RSS (§5.1).
+func NewUDPServer(host string, basePort, queues int) (ServerTransport, error) {
+	tr, err := nic.NewUDPServer(host, basePort, queues)
+	if err != nil {
+		return ServerTransport{}, err
+	}
+	return ServerTransport{tr: tr}, nil
+}
+
+// NewUDPClient dials a UDP server at host:basePort.
+func NewUDPClient(host string, basePort int) (ClientTransport, error) {
+	tr, err := nic.NewUDPClient(host, basePort)
+	if err != nil {
+		return ClientTransport{}, err
+	}
+	return ClientTransport{tr: tr}, nil
+}

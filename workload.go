@@ -1,0 +1,252 @@
+package minos
+
+import (
+	"context"
+	"time"
+
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// Profile describes a workload (§5.3): the trimodal size mix, the zipf
+// popularity skew, and the GET:PUT ratio. The zero value is not useful;
+// start from DefaultProfile (or a sibling) and adjust fields.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+
+	// PercentLarge is pL: the percentage of requests that target large
+	// items, in percent (the paper's default is 0.125, i.e. 0.125%).
+	PercentLarge float64
+
+	// MaxLargeSize is sL: the maximum size of a large item in bytes
+	// (default 500 KB; the paper sweeps 250 KB–1 MB).
+	MaxLargeSize int
+
+	// GetRatio is the fraction of GET requests (default 0.95; the
+	// write-intensive workload uses 0.50).
+	GetRatio float64
+
+	// ZipfTheta is the zipfian skew over tiny+small keys (default 0.99).
+	ZipfTheta float64
+
+	// NumKeys is the total number of key-value pairs in the dataset.
+	// The paper uses 16M; the default here is scaled to 1M with the
+	// same large-key ratio (see DESIGN.md substitutions).
+	NumKeys int
+
+	// NumLargeKeys is the number of large items (paper: 10K of 16M).
+	NumLargeKeys int
+
+	// TinyKeyFrac is the fraction of non-large keys that are tiny
+	// (paper: 40% tiny, 60% small).
+	TinyKeyFrac float64
+
+	// Seed makes catalogue construction and request generation
+	// deterministic.
+	Seed int64
+}
+
+// Validate reports nonsensical profiles.
+func (p Profile) Validate() error { return p.toInternal().Validate() }
+
+func (p Profile) toInternal() workload.Profile {
+	return workload.Profile{
+		Name:         p.Name,
+		PercentLarge: p.PercentLarge,
+		MaxLargeSize: p.MaxLargeSize,
+		GetRatio:     p.GetRatio,
+		ZipfTheta:    p.ZipfTheta,
+		NumKeys:      p.NumKeys,
+		NumLargeKeys: p.NumLargeKeys,
+		TinyKeyFrac:  p.TinyKeyFrac,
+		Seed:         p.Seed,
+	}
+}
+
+func profileFromInternal(p workload.Profile) Profile {
+	return Profile{
+		Name:         p.Name,
+		PercentLarge: p.PercentLarge,
+		MaxLargeSize: p.MaxLargeSize,
+		GetRatio:     p.GetRatio,
+		ZipfTheta:    p.ZipfTheta,
+		NumKeys:      p.NumKeys,
+		NumLargeKeys: p.NumLargeKeys,
+		TinyKeyFrac:  p.TinyKeyFrac,
+		Seed:         p.Seed,
+	}
+}
+
+// DefaultProfile returns the paper's default workload: skewed (zipf
+// 0.99), 95:5 GET:PUT, 0.125% large requests up to 500 KB.
+func DefaultProfile() Profile { return profileFromInternal(workload.DefaultProfile()) }
+
+// WriteIntensiveProfile returns the 50:50 GET:PUT variant (§6.2).
+func WriteIntensiveProfile() Profile { return profileFromInternal(workload.WriteIntensiveProfile()) }
+
+// PaperScaleProfile returns the default workload at the paper's full 16M
+// key dataset scale.
+func PaperScaleProfile() Profile { return profileFromInternal(workload.PaperScaleProfile()) }
+
+// Catalog fixes each key's size and class for a profile: key ids are
+// dense in [0, NumKeys), with the large keys at the top of the range.
+type Catalog struct {
+	c *workload.Catalog
+}
+
+// NewCatalog materializes a profile's key catalogue.
+func NewCatalog(p Profile) *Catalog {
+	return &Catalog{c: workload.NewCatalog(p.toInternal())}
+}
+
+// Profile returns the profile the catalogue was built from.
+func (c *Catalog) Profile() Profile { return profileFromInternal(c.c.Profile()) }
+
+// NumKeys returns the total number of keys.
+func (c *Catalog) NumKeys() int { return c.c.NumKeys() }
+
+// NumRegularKeys returns the number of tiny+small keys; ids below it are
+// regular, ids at or above it are large.
+func (c *Catalog) NumRegularKeys() int { return c.c.NumRegularKeys() }
+
+// NumLargeKeys returns the number of large keys.
+func (c *Catalog) NumLargeKeys() int { return c.c.NumLargeKeys() }
+
+// Size returns the value size of a key id.
+func (c *Catalog) Size(id uint64) int { return c.c.Size(id) }
+
+// KeyForID returns the fixed 8-byte key encoding for a catalogue key id —
+// the byte key to pass to Client operations.
+func KeyForID(id uint64) []byte { return kv.KeyForID(id) }
+
+// Generator draws requests from a catalogue: zipf-popular keys, the
+// profile's GET:PUT mix, and the configured large-request percentage.
+type Generator struct {
+	g *workload.Generator
+}
+
+// NewGenerator returns a request stream over a catalogue.
+func NewGenerator(cat *Catalog, seed int64) *Generator {
+	return &Generator{g: workload.NewGenerator(cat.c, seed)}
+}
+
+// SetPercentLarge changes the large-request percentage mid-stream (the
+// dynamic workload of Figure 10).
+func (g *Generator) SetPercentLarge(pl float64) { g.g.SetPercentLarge(pl) }
+
+// PercentLarge returns the current large-request percentage.
+func (g *Generator) PercentLarge() float64 { return g.g.PercentLarge() }
+
+// SetGetRatio changes the GET fraction mid-stream.
+func (g *Generator) SetGetRatio(r float64) { g.g.SetGetRatio(r) }
+
+// LoadConfig parameterizes an open-loop load generation run (§5.4).
+type LoadConfig struct {
+	// Rate is the target request rate in requests per second.
+	Rate float64
+	// Duration bounds the sending phase; the receiver drains for a
+	// short grace period afterwards.
+	Duration time.Duration
+	// Seed drives arrivals and request sampling.
+	Seed int64
+	// Batch bounds how many frames accumulate per RX queue before a
+	// flush (default 32, the server-side drain batch B).
+	Batch int
+}
+
+// LoadResult reports an open-loop run: counts and end-to-end latency
+// histograms, overall and split by size class.
+type LoadResult struct {
+	// Sent and Received count requests and replies.
+	Sent, Received uint64
+	// Lat is the end-to-end latency histogram (ns), measured from each
+	// request's scheduled arrival so client-side backlog counts toward
+	// latency (no coordinated omission). SmallLat and LargeLat split it
+	// by item size class.
+	Lat, SmallLat, LargeLat LatencyHistogram
+}
+
+// Loss returns the fraction of requests that never got a reply.
+func (r *LoadResult) Loss() float64 {
+	if r.Sent == 0 || r.Received >= r.Sent {
+		return 0
+	}
+	return float64(r.Sent-r.Received) / float64(r.Sent)
+}
+
+// Percentiles returns the p50/p99/p99.9 end-to-end latencies in
+// nanoseconds — the tail statistics an open-loop run exists to measure.
+func (r *LoadResult) Percentiles() (p50, p99, p999 int64) {
+	return r.Lat.Quantile(0.50), r.Lat.Quantile(0.99), r.Lat.Quantile(0.999)
+}
+
+// LatencyHistogram is a read-only view of a recorded latency
+// distribution, in nanoseconds.
+type LatencyHistogram struct {
+	h *stats.Histogram
+}
+
+// Count returns the number of recorded samples.
+func (h LatencyHistogram) Count() uint64 {
+	if h.h == nil {
+		return 0
+	}
+	return h.h.Count()
+}
+
+// Mean returns the mean sample.
+func (h LatencyHistogram) Mean() float64 {
+	if h.h == nil {
+		return 0
+	}
+	return h.h.Mean()
+}
+
+// Quantile returns the q-quantile sample, q in [0, 1].
+func (h LatencyHistogram) Quantile(q float64) int64 {
+	if h.h == nil {
+		return 0
+	}
+	return h.h.Quantile(q)
+}
+
+// P50 returns the median.
+func (h LatencyHistogram) P50() int64 { return h.Quantile(0.50) }
+
+// P99 returns the 99th percentile — the paper's headline statistic.
+func (h LatencyHistogram) P99() int64 { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th percentile.
+func (h LatencyHistogram) P999() int64 { return h.Quantile(0.999) }
+
+// Max returns the largest recorded sample.
+func (h LatencyHistogram) Max() int64 {
+	if h.h == nil {
+		return 0
+	}
+	return h.h.Max()
+}
+
+// RunOpenLoop drives an open-loop workload at a target rate over tr
+// against a server with the given number of RX queues, and records
+// end-to-end latency histograms from the timestamps echoed in replies.
+// It returns when the duration elapses or ctx is cancelled, whichever
+// comes first.
+func RunOpenLoop(ctx context.Context, tr ClientTransport, queues int, gen *Generator, cfg LoadConfig) *LoadResult {
+	res := client.RunOpenLoop(ctx, tr.tr, queues, gen.g, client.LoadConfig{
+		Rate:     cfg.Rate,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+		Batch:    cfg.Batch,
+	})
+	return &LoadResult{
+		Sent:     res.Sent,
+		Received: res.Received,
+		Lat:      LatencyHistogram{h: res.Lat},
+		SmallLat: LatencyHistogram{h: res.SmallLat},
+		LargeLat: LatencyHistogram{h: res.LargeLat},
+	}
+}
