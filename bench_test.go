@@ -236,6 +236,34 @@ func BenchmarkFigure10_DynamicWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheTail regenerates the cache experiment (beyond the paper)
+// and reports Minos' p99 win over HKH at the tightest memory limit —
+// whether the size-aware tail win survives eviction pressure.
+func BenchmarkCacheTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.CacheTail(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var minosP99, hkhP99 int64
+		var hit float64
+		for _, row := range r.Rows {
+			if row.MemFrac != r.Rows[0].MemFrac {
+				continue // tightest limit only
+			}
+			switch row.Design {
+			case simsys.Minos:
+				minosP99 = row.Point.P99
+				hit = row.Cache.HitRatio()
+			case simsys.HKH:
+				hkhP99 = row.Point.P99
+			}
+		}
+		b.ReportMetric(float64(hkhP99)/float64(minosP99), "p99-win-x")
+		b.ReportMetric(hit*100, "hit-%")
+	}
+}
+
 // --- Live-path benches (the real concurrent server over the fabric) ---
 
 // liveSetup starts a Minos server on an in-process fabric preloaded with a

@@ -101,6 +101,19 @@ func (c *Client) Put(ctx context.Context, key, value []byte) error {
 	return c.p.Put(ctx, key, value)
 }
 
+// PutTTL stores value under key with a time-to-live: once ttl elapses,
+// reads miss and the server reclaims the item's memory on its next epoch
+// sweep. A read that itself observes the expired item (lazy expiration)
+// misses with ErrEvicted; once a sweep has already reclaimed it, later
+// reads are indistinguishable from a never-stored key and return plain
+// ErrNotFound — so treat ErrEvicted as best-effort detail and ErrNotFound
+// (which it matches under errors.Is) as the contract. ttl <= 0 is
+// identical to Put — the item never expires. The wire carries whole
+// milliseconds; sub-millisecond TTLs round up.
+func (c *Client) PutTTL(ctx context.Context, key, value []byte, ttl time.Duration) error {
+	return c.p.PutTTL(ctx, key, value, ttl)
+}
+
 // Delete removes key. Deleting an absent key returns ErrNotFound.
 func (c *Client) Delete(ctx context.Context, key []byte) error {
 	return c.p.Delete(ctx, key)
@@ -126,6 +139,11 @@ func (c *Client) GetAsync(key []byte) *Call {
 // PutAsync submits a PUT. key and value may be reused once it returns.
 func (c *Client) PutAsync(key, value []byte) *Call {
 	return &Call{c: c.p.PutAsync(key, value)}
+}
+
+// PutTTLAsync submits a PUT whose item expires after ttl.
+func (c *Client) PutTTLAsync(key, value []byte, ttl time.Duration) *Call {
+	return &Call{c: c.p.PutTTLAsync(key, value, ttl)}
 }
 
 // DeleteAsync submits a DELETE. key may be reused once it returns.

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	minos-bench -fig 3                 # one figure (1-10)
+//	minos-bench -fig cache             # the cache experiment (p99 vs memory limit)
 //	minos-bench -tab 1                 # Table 1
 //	minos-bench -all                   # everything, in paper order
 //	minos-bench -fig 6 -scale quick    # sparse grids, seconds per figure
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +49,7 @@ var experiments = []struct {
 	{"fig8", wrap(harness.Figure8)},
 	{"fig9", wrap(harness.Figure9)},
 	{"fig10", wrap(harness.Figure10)},
+	{"cache", wrap(harness.CacheTail)},
 }
 
 // wrap adapts each typed harness function to the common signature.
@@ -55,7 +58,7 @@ func wrap[T tabler](fn func(harness.Options) (T, error)) func(harness.Options) (
 }
 
 func main() {
-	fig := flag.Int("fig", 0, "figure number to regenerate (1-10)")
+	fig := flag.String("fig", "", "figure to regenerate: 1-10, or \"cache\"")
 	tab := flag.Int("tab", 0, "table number to regenerate (1)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
@@ -105,8 +108,15 @@ func main() {
 		for _, e := range experiments {
 			want = append(want, e.id)
 		}
-	case *fig >= 1 && *fig <= 10:
-		want = []string{fmt.Sprintf("fig%d", *fig)}
+	case *fig != "":
+		if n, err := strconv.Atoi(*fig); err == nil {
+			if n < 1 || n > 10 {
+				fatalf("-fig %d out of range (1-10)", n)
+			}
+			want = []string{fmt.Sprintf("fig%d", n)}
+		} else {
+			want = []string{*fig} // named experiment, e.g. "cache"
+		}
 	case *tab == 1:
 		want = []string{"tab1"}
 	default:

@@ -1,0 +1,50 @@
+// Package minos is the public API of the Minos reproduction: an
+// in-memory key-value store with size-aware sharding, after "Size-aware
+// Sharding For Improving Tail Latencies in In-memory Key-value Stores"
+// (Didona & Zwaenepoel, NSDI 2019).
+//
+// Size-aware sharding sends requests for small and large items to disjoint
+// sets of cores, eliminating the head-of-line blocking that inflates tail
+// latencies when item sizes span orders of magnitude. The split threshold
+// and the core allocation adapt to the workload each epoch (§3 of the
+// paper).
+//
+// # API v1
+//
+// This package owns every type it exposes — nothing here aliases an
+// internal package, so internal refactors cannot break embedders. The
+// surface is pinned by the golden file api/v1.txt (see
+// TestPublicAPISurface).
+//
+//   - Servers: NewServer(transport, options...) builds a live multi-core
+//     server; Start/Stop run it; Snapshot and OnPlan observe it.
+//   - Clients: NewClient(transport, options...) returns a pipelined
+//     client whose blocking operations — Get, Put, Delete, MultiGet —
+//     all take a context.Context for cancellation and deadlines, and
+//     whose async variants return Calls.
+//   - Errors: a typed taxonomy (ErrNotFound, ErrTimeout, ErrClosed,
+//     ErrValueTooLarge, ErrServer) that works with errors.Is no matter
+//     which layer produced the failure.
+//   - Transports: NewFabric for in-process embedding (tests,
+//     applications), NewUDPServer/NewUDPClient for the paper's
+//     one-socket-per-RX-queue UDP deployment.
+//   - Workloads: DefaultProfile and friends, NewCatalog, NewGenerator,
+//     and RunOpenLoop reproduce the paper's trimodal-size,
+//     zipf-popularity request streams with coordinated-omission-free
+//     latency measurement.
+//   - Cache semantics: PutTTL gives items a time-to-live,
+//     WithMemoryLimit caps the store's bytes with CLOCK second-chance
+//     eviction, ErrEvicted distinguishes an aged-out key from one never
+//     stored (while still matching ErrNotFound), Snapshot carries
+//     hit/miss/expiry/eviction counters, and CacheProfile generates the
+//     matching workload. The zero configuration keeps the paper's
+//     unbounded store with immortal items.
+//
+// The deterministic discrete-event twin that regenerates the paper's
+// figures lives in the experiment subpackage
+// (github.com/minoskv/minos/experiment); unlike this package it tracks
+// the internals and makes no stability promise.
+//
+// See README.md for a tour, MIGRATION.md for the pre-v1 mapping, and
+// DESIGN.md for how the pieces map to the paper.
+package minos

@@ -1,0 +1,190 @@
+package minos_test
+
+// Documentation gates, run by the CI docs job:
+//
+//   - TestDocsSnippetsCompile extracts every fenced ```go block from the
+//     user-facing markdown files and builds them, so documented snippets
+//     cannot rot as the API moves.
+//   - TestDocsRelativeLinks checks that every relative markdown link
+//     points at a file that exists.
+//   - TestDocsPackageDocCoverage fails if any non-main package lacks a
+//     package comment, keeping `go doc` useful everywhere.
+//
+// Snippets are compiled as function bodies with a small prologue of
+// pre-declared free identifiers (srv, c, fabric, ctx, key, keys, err) so
+// a block can continue from context an earlier block established, the
+// way prose examples read. Everything a block declares itself must be
+// used — that is the rot the gate exists to catch.
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// snippetDocs are the markdown files whose ```go blocks must compile.
+var snippetDocs = []string{"README.md", "MIGRATION.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+var goFence = regexp.MustCompile("(?ms)^```go\n(.*?)^```")
+
+func TestDocsSnippetsCompile(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not found: %v", err)
+	}
+	var b strings.Builder
+	b.WriteString("// Code generated from markdown by TestDocsSnippetsCompile; do not edit.\n")
+	b.WriteString("package docsnippets\n\nimport (\n")
+	var blocks []string
+	var names []string
+	for _, doc := range snippetDocs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		for i, m := range goFence.FindAllStringSubmatch(string(data), -1) {
+			blocks = append(blocks, m[1])
+			names = append(names, fmt.Sprintf("%s block %d", doc, i+1))
+		}
+	}
+	if len(blocks) == 0 {
+		t.Fatal("no ```go blocks found; the docs lost their examples")
+	}
+	all := strings.Join(blocks, "\n")
+	// Imports the prologue always needs, then the ones any block uses.
+	b.WriteString("\tminos \"github.com/minoskv/minos\"\n")
+	b.WriteString("\t\"context\"\n")
+	for imp, marker := range map[string]string{
+		"\t\"errors\"\n": "errors.",
+		"\t\"fmt\"\n":    "fmt.",
+		"\t\"log\"\n":    "log.",
+		"\t\"time\"\n":   "time.",
+		"\t\"github.com/minoskv/minos/experiment\"\n": "experiment.",
+	} {
+		if strings.Contains(all, marker) {
+			b.WriteString(imp)
+		}
+	}
+	b.WriteString(")\n\n")
+	for i, block := range blocks {
+		fmt.Fprintf(&b, "// %s\nfunc snippet%d() {\n", names[i], i)
+		b.WriteString("\tvar (\n\t\tfabric *minos.Fabric\n\t\tsrv *minos.Server\n\t\tc *minos.Client\n\t\tctx context.Context\n\t\tkey []byte\n\t\tkeys [][]byte\n\t\terr error\n\t)\n")
+		b.WriteString("\t_, _, _, _, _, _, _ = fabric, srv, c, ctx, key, keys, err\n\t{\n")
+		for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
+			b.WriteString("\t\t" + line + "\n")
+		}
+		b.WriteString("\t}\n}\n\n")
+	}
+	b.WriteString("var _ = []func(){")
+	for i := range blocks {
+		fmt.Fprintf(&b, "snippet%d, ", i)
+	}
+	b.WriteString("}\n")
+
+	dir, err := os.MkdirTemp(".", ".docsnippets-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "snippets.go"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(goBin, "build", "./"+dir+"/").CombinedOutput()
+	if err != nil {
+		t.Fatalf("documentation snippets do not compile:\n%s\n\ngenerated source:\n%s", out, numbered(b.String()))
+	}
+}
+
+// numbered prefixes each line with its number, for readable failures.
+func numbered(src string) string {
+	lines := strings.Split(src, "\n")
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%4d  %s", i+1, lines[i])
+	}
+	return strings.Join(lines, "\n")
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocsRelativeLinks(t *testing.T) {
+	docs, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range docs {
+		if doc == "SNIPPETS.md" {
+			// Quoted exemplar code from other repositories; its links
+			// point into those repos, not this one.
+			continue
+		}
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop the anchor
+			if _, err := os.Stat(filepath.Join(filepath.Dir(doc), target)); err != nil {
+				t.Errorf("%s links to %q, which does not exist", doc, m[1])
+			}
+		}
+	}
+}
+
+func TestDocsPackageDocCoverage(t *testing.T) {
+	var undocumented []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return err
+		}
+		for pkgName, pkg := range pkgs {
+			if pkgName == "main" {
+				// Commands document themselves via their own comment;
+				// the gate is about library go doc output.
+				continue
+			}
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && len(f.Doc.List) > 0 {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				undocumented = append(undocumented, path+" (package "+pkgName+")")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undocumented) > 0 {
+		t.Fatalf("packages without package documentation (add a doc.go):\n  %s",
+			strings.Join(undocumented, "\n  "))
+	}
+}

@@ -41,4 +41,20 @@ var (
 	// ErrServer reports a server-side failure carried in a reply's
 	// status code (for example an unsupported operation).
 	ErrServer = apierr.ErrServer
+
+	// ErrEvicted reports that the key was present but the store aged it
+	// out under its cache policy (its TTL passed). It matches
+	// ErrNotFound under errors.Is — every evicted miss is still a miss —
+	// so callers opt in to the distinction:
+	//
+	//	if errors.Is(err, minos.ErrEvicted) { // was cached, aged out
+	//	} else if errors.Is(err, minos.ErrNotFound) { // never stored
+	//	}
+	//
+	// The distinction is best-effort: it fires when the read itself
+	// observes the expired item (lazy expiration). An item already
+	// reclaimed — by the epoch-aligned sweep or by the memory-pressure
+	// eviction clock — is indistinguishable from an absent key after
+	// the fact (as in memcached) and reports plain ErrNotFound.
+	ErrEvicted = apierr.ErrEvicted
 )

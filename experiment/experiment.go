@@ -46,6 +46,13 @@ func WriteIntensiveProfile() Profile { return workload.WriteIntensiveProfile() }
 // key dataset scale.
 func PaperScaleProfile() Profile { return workload.PaperScaleProfile() }
 
+// CacheProfile returns the cache workload this reproduction adds beyond
+// the paper: trimodal sizes and zipf skew as in the default workload,
+// but items carry TTLs and the working set is meant to exceed the
+// store's memory limit (Config.MemoryLimit), so hit ratio, expiration
+// churn and eviction pressure become measurable.
+func CacheProfile() Profile { return workload.CacheProfile() }
+
 // Config parameterizes one simulated run.
 type Config = simsys.Config
 
@@ -101,3 +108,9 @@ var (
 	Figure9  = harness.Figure9
 	Figure10 = harness.Figure10
 )
+
+// CacheTail is the cache experiment beyond the paper's evaluation: p99
+// and hit ratio as the store's memory limit sweeps below the working
+// set, for all four designs — whether the size-aware tail win survives
+// eviction pressure. Run it via minos-bench -fig cache.
+var CacheTail = harness.CacheTail

@@ -1,22 +1,3 @@
-// Package apierr defines the error taxonomy of the public minos API.
-//
-// The sentinels live in an internal package so that every layer — the
-// pipelined client, the transports, the server — can fail with the same
-// identities the root package re-exports, without importing the root
-// package (which would be an import cycle). The root package assigns
-// these exact values to minos.ErrNotFound and friends, so errors.Is
-// works across the API boundary no matter which layer produced the
-// error.
-//
-// Wire status codes map onto the taxonomy as follows:
-//
-//	wire.StatusNotFound → ErrNotFound
-//	wire.StatusError    → ErrServer
-//	wire.StatusTooLarge → ErrValueTooLarge
-//
-// ErrTimeout and ErrClosed originate client-side: a request whose
-// deadline (and retransmits) expired, and an operation on a closed
-// client or transport respectively.
 package apierr
 
 import "errors"
@@ -43,4 +24,20 @@ var (
 	// ErrServer reports a server-side failure carried in a reply's
 	// status code.
 	ErrServer = errors.New("minos: server error")
+
+	// ErrEvicted reports that the key was present but the store removed
+	// it under its cache policy (TTL expiry observed on read). It
+	// matches ErrNotFound under errors.Is, so code that only cares about
+	// hit-or-miss keeps working; code that distinguishes "aged out" from
+	// "never stored" checks ErrEvicted first.
+	ErrEvicted error = evictedError{}
 )
+
+// evictedError is its own type so errors.Is(ErrEvicted, ErrNotFound)
+// holds without ErrEvicted wrapping ErrNotFound's message.
+type evictedError struct{}
+
+func (evictedError) Error() string { return "minos: key expired or evicted" }
+
+// Is makes ErrEvicted a subtype of ErrNotFound for errors.Is.
+func (evictedError) Is(target error) bool { return target == ErrNotFound }

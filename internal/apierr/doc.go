@@ -1,0 +1,21 @@
+// Package apierr defines the error taxonomy of the public minos API.
+//
+// The sentinels live in an internal package so that every layer — the
+// pipelined client, the transports, the server — can fail with the same
+// identities the root package re-exports, without importing the root
+// package (which would be an import cycle). The root package assigns
+// these exact values to minos.ErrNotFound and friends, so errors.Is
+// works across the API boundary no matter which layer produced the
+// error.
+//
+// Wire status codes map onto the taxonomy as follows:
+//
+//	wire.StatusNotFound → ErrNotFound
+//	wire.StatusError    → ErrServer
+//	wire.StatusTooLarge → ErrValueTooLarge
+//	wire.StatusEvicted  → ErrEvicted (matches ErrNotFound under errors.Is)
+//
+// ErrTimeout and ErrClosed originate client-side: a request whose
+// deadline (and retransmits) expired, and an operation on a closed
+// client or transport respectively.
+package apierr

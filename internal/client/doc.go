@@ -1,0 +1,24 @@
+// Package client implements the paper's client side (§5.4): a pipelined,
+// open-loop request engine (Pipeline) with context-aware blocking
+// Get/Put/Delete/MultiGet, asynchronous GetAsync/PutAsync/DeleteAsync
+// calls, and an open-loop load generator that timestamps every request at
+// its scheduled arrival, lets the server echo the timestamp in the reply,
+// and records end-to-end latency histograms per size class — so tails are
+// measured without coordinated omission.
+//
+// Requests carry a client-chosen RX queue: random for GETs, keyhash for
+// writes (§3). Replies larger than one frame are reassembled here, the
+// client half of the UDP-level fragmentation of §4.1.
+//
+// Errors follow the taxonomy of internal/apierr: a missing key is
+// apierr.ErrNotFound, an expired deadline apierr.ErrTimeout, a closed
+// pipeline apierr.ErrClosed, a key the store aged out apierr.ErrEvicted
+// (still a miss under errors.Is), and a cancelled context surfaces the
+// context's own error — all stable under errors.Is through the public
+// facade.
+//
+// Cache semantics: PutTTL/PutTTLAsync give items a time-to-live, carried
+// in the wire header's millisecond TTL field; the load generator stamps
+// generated PUTs with the profile's TTLs and counts GET misses, so live
+// cache experiments measure hit ratios the same way the simulator does.
+package client

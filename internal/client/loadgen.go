@@ -33,6 +33,13 @@ type LoadConfig struct {
 type LoadResult struct {
 	Sent     uint64
 	Received uint64
+	// Gets counts GET replies received; Misses counts the subset that
+	// carried no value (absent, expired or evicted keys — nonzero only
+	// against memory-capped or TTL'd servers). (Gets-Misses)/Gets is
+	// the client-observed GET hit ratio; Received also includes PUT and
+	// DELETE acknowledgments, so it is the wrong denominator.
+	Gets   uint64
+	Misses uint64
 	// Lat is the end-to-end latency histogram (ns), computed from the
 	// scheduled-arrival timestamp echoed in every reply (§5.4). Because
 	// the timestamp is the request's intended send time — not the
@@ -111,6 +118,12 @@ func RunOpenLoop(ctx context.Context, tr nic.ClientTransport, queues int, gen *w
 				}
 				lat := now - msg.Timestamp
 				res.Received++
+				if msg.Op == wire.OpGetReply {
+					res.Gets++
+					if msg.Status != wire.StatusOK {
+						res.Misses++
+					}
+				}
 				res.Lat.Record(lat)
 				if decodeClass(msg.ReqID) == workload.ClassLarge {
 					res.LargeLat.Record(lat)
@@ -192,6 +205,7 @@ func RunOpenLoop(ctx context.Context, tr nic.ClientTransport, queues int, gen *w
 			msg.Op = wire.OpPutRequest
 			msg.RxQueue = uint16(kv.Hash(keyBuf) % uint64(queues))
 			msg.Value = filler[:r.Size]
+			msg.TTL = ttlMillis(r.TTL) // 0 unless the profile enables TTLs
 		}
 		q := int(msg.RxQueue)
 		batches[q] = msg.AppendFrames(batches[q])

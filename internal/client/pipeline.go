@@ -1,20 +1,3 @@
-// Package client implements the paper's client side (§5.4): a pipelined,
-// open-loop request engine (Pipeline) with context-aware blocking
-// Get/Put/Delete/MultiGet, asynchronous GetAsync/PutAsync/DeleteAsync
-// calls, and an open-loop load generator that timestamps every request at
-// its scheduled arrival, lets the server echo the timestamp in the reply,
-// and records end-to-end latency histograms per size class — so tails are
-// measured without coordinated omission.
-//
-// Requests carry a client-chosen RX queue: random for GETs, keyhash for
-// writes (§3). Replies larger than one frame are reassembled here, the
-// client half of the UDP-level fragmentation of §4.1.
-//
-// Errors follow the taxonomy of internal/apierr: a missing key is
-// apierr.ErrNotFound, an expired deadline apierr.ErrTimeout, a closed
-// pipeline apierr.ErrClosed, and a cancelled context surfaces the
-// context's own error — all stable under errors.Is through the public
-// facade.
 package client
 
 import (
@@ -258,36 +241,68 @@ func (p *Pipeline) steer(op wire.Op, key []byte) uint16 {
 // queue's window is full, in which case it blocks for a slot). key may be
 // reused once GetAsync returns.
 func (p *Pipeline) GetAsync(key []byte) *Call {
-	return p.submit(context.Background(), wire.OpGetRequest, key, nil, p.timeout)
+	return p.submit(context.Background(), wire.OpGetRequest, key, nil, 0, p.timeout)
 }
 
 // PutAsync submits a PUT. key and value may be reused once it returns.
 func (p *Pipeline) PutAsync(key, value []byte) *Call {
-	return p.submit(context.Background(), wire.OpPutRequest, key, value, p.timeout)
+	return p.submit(context.Background(), wire.OpPutRequest, key, value, 0, p.timeout)
+}
+
+// PutTTLAsync submits a PUT whose item expires after ttl.
+func (p *Pipeline) PutTTLAsync(key, value []byte, ttl time.Duration) *Call {
+	return p.submit(context.Background(), wire.OpPutRequest, key, value, ttlMillis(ttl), p.timeout)
 }
 
 // DeleteAsync submits a DELETE. key may be reused once it returns.
 func (p *Pipeline) DeleteAsync(key []byte) *Call {
-	return p.submit(context.Background(), wire.OpDeleteRequest, key, nil, p.timeout)
+	return p.submit(context.Background(), wire.OpDeleteRequest, key, nil, 0, p.timeout)
 }
 
 // Get is the blocking wrapper: one GET, wait for its reply. A missing key
-// returns apierr.ErrNotFound.
+// returns apierr.ErrNotFound; a key whose expired item the read itself
+// observed returns apierr.ErrEvicted (which also matches ErrNotFound).
+// The distinction is best-effort: once a sweep or the eviction clock has
+// reclaimed the item, the miss is plain ErrNotFound.
 func (p *Pipeline) Get(ctx context.Context, key []byte) (value []byte, err error) {
-	return p.submit(ctx, wire.OpGetRequest, key, nil, p.timeout).Wait(ctx)
+	return p.submit(ctx, wire.OpGetRequest, key, nil, 0, p.timeout).Wait(ctx)
 }
 
 // Put is the blocking wrapper: one PUT, wait for its acknowledgment.
 func (p *Pipeline) Put(ctx context.Context, key, value []byte) error {
-	_, err := p.submit(ctx, wire.OpPutRequest, key, value, p.timeout).Wait(ctx)
+	_, err := p.submit(ctx, wire.OpPutRequest, key, value, 0, p.timeout).Wait(ctx)
+	return err
+}
+
+// PutTTL stores value under key with a time-to-live: reads after ttl
+// elapses miss — with apierr.ErrEvicted when the read observes the
+// expired item, plain apierr.ErrNotFound once a sweep already reclaimed
+// it. ttl <= 0 stores an immortal item (identical to Put). The wire
+// carries whole milliseconds; sub-millisecond TTLs round up.
+func (p *Pipeline) PutTTL(ctx context.Context, key, value []byte, ttl time.Duration) error {
+	_, err := p.submit(ctx, wire.OpPutRequest, key, value, ttlMillis(ttl), p.timeout).Wait(ctx)
 	return err
 }
 
 // Delete removes key, waiting for the acknowledgment. Deleting a key that
 // does not exist returns apierr.ErrNotFound.
 func (p *Pipeline) Delete(ctx context.Context, key []byte) error {
-	_, err := p.submit(ctx, wire.OpDeleteRequest, key, nil, p.timeout).Wait(ctx)
+	_, err := p.submit(ctx, wire.OpDeleteRequest, key, nil, 0, p.timeout).Wait(ctx)
 	return err
+}
+
+// ttlMillis converts a TTL to the wire's millisecond field, rounding up
+// so a positive TTL never becomes "immortal", and saturating at the
+// field's ~49-day maximum.
+func ttlMillis(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	ms := (int64(ttl) + int64(time.Millisecond) - 1) / int64(time.Millisecond)
+	if ms > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(ms)
 }
 
 // MultiGet pipelines one GET per key and waits for all of them — the
@@ -299,7 +314,7 @@ func (p *Pipeline) Delete(ctx context.Context, key []byte) error {
 func (p *Pipeline) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte, err error) {
 	calls := make([]*Call, len(keys))
 	for i, k := range keys {
-		calls[i] = p.submit(ctx, wire.OpGetRequest, k, nil, p.timeout)
+		calls[i] = p.submit(ctx, wire.OpGetRequest, k, nil, 0, p.timeout)
 	}
 	values = make([][]byte, len(keys))
 	for i, c := range calls {
@@ -313,7 +328,8 @@ func (p *Pipeline) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte
 }
 
 // submit encodes and transmits one request with the given deadline.
-func (p *Pipeline) submit(ctx context.Context, op wire.Op, key, value []byte, timeout time.Duration) *Call {
+// ttlMs rides in the header on PUTs (0 = no expiry).
+func (p *Pipeline) submit(ctx context.Context, op wire.Op, key, value []byte, ttlMs uint32, timeout time.Duration) *Call {
 	p.start.Do(func() {
 		p.wg.Add(1)
 		go p.receiverLoop()
@@ -357,6 +373,7 @@ func (p *Pipeline) submit(ctx context.Context, op wire.Op, key, value []byte, ti
 		RxQueue:   uint16(q),
 		ReqID:     call.ID,
 		Timestamp: time.Now().UnixNano(),
+		TTL:       ttlMs,
 		Key:       key,
 		Value:     value,
 	}
@@ -512,9 +529,10 @@ func (p *Pipeline) complete(pc *pendingCall, msg *wire.Message) {
 }
 
 // resultFor maps a reply's status to the error taxonomy: StatusNotFound
-// becomes ErrNotFound, StatusTooLarge becomes ErrValueTooLarge, and any
-// other non-OK status wraps ErrServer with the op and code preserved in
-// the message.
+// becomes ErrNotFound, StatusEvicted becomes ErrEvicted (a subtype of
+// ErrNotFound under errors.Is), StatusTooLarge becomes ErrValueTooLarge,
+// and any other non-OK status wraps ErrServer with the op and code
+// preserved in the message.
 func resultFor(op wire.Op, msg *wire.Message) (value []byte, err error) {
 	switch msg.Status {
 	case wire.StatusOK:
@@ -524,6 +542,8 @@ func resultFor(op wire.Op, msg *wire.Message) (value []byte, err error) {
 		return nil, nil
 	case wire.StatusNotFound:
 		return nil, apierr.ErrNotFound
+	case wire.StatusEvicted:
+		return nil, apierr.ErrEvicted
 	case wire.StatusTooLarge:
 		return nil, apierr.ErrValueTooLarge
 	default:

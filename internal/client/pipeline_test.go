@@ -397,7 +397,7 @@ func TestPipelineCancelAsyncViaExpireScan(t *testing.T) {
 	defer p.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
-	c := p.submit(ctx, wire.OpGetRequest, []byte("async"), nil, 0)
+	c := p.submit(ctx, wire.OpGetRequest, []byte("async"), nil, 0, 0)
 	cancel()
 	select {
 	case <-c.Done():

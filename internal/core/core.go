@@ -1,24 +1,3 @@
-// Package core implements the paper's primary contribution (§3): the
-// control logic of size-aware sharding. It is deliberately independent of
-// any execution substrate — the discrete-event simulator (internal/simsys)
-// and the live concurrent server (internal/server) both drive the same
-// controller, so every figure exercises exactly the logic a downstream
-// user would adopt.
-//
-// Per epoch (1 s in the paper), the controller:
-//
-//  1. aggregates the per-core histograms of requested item sizes,
-//  2. smooths them into a moving average with discount factor alpha = 0.9,
-//  3. declares the 99th percentile of the smoothed histogram to be the
-//     small/large threshold for the next epoch,
-//  4. allocates ceil(n × smallCostShare) cores to small requests, where
-//     cost is the number of network packets a request handles (§3, "How to
-//     choose the number of small cores"),
-//  5. splits the large-size spectrum into contiguous, non-overlapping
-//     ranges of equal cost, one per large core — load balancing large
-//     cores while keeping requests for the same item on the same core,
-//  6. designates a standby large core when every core is deemed small, so
-//     large requests are never dropped.
 package core
 
 import (

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/simsys"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// This file is the cache-semantics experiment this reproduction adds
+// beyond the paper: does size-aware sharding's tail win survive eviction
+// pressure? The paper holds memory fixed and items immortal; memcached-
+// style deployments do not. CacheTail sweeps the store's memory limit
+// across fractions of the working set for each design and reports the
+// p99 next to the hit ratio — the hit-ratio vs tail-latency tradeoff
+// surface.
+
+// CacheTailRow is one (design, memory limit) cell of the cache figure.
+type CacheTailRow struct {
+	Design simsys.Design
+	// MemFrac is the memory limit as a fraction of the working set;
+	// MemLimit is the absolute byte cap handed to the store model.
+	MemFrac  float64
+	MemLimit int64
+	Point    Point
+	Cache    simsys.CacheStat
+}
+
+// CacheTailResult holds the cache experiment: for each design, p99 and
+// hit ratio as the memory limit shrinks below the working set.
+type CacheTailResult struct {
+	// WorkingSet is the dataset's accounted footprint (values plus keys
+	// and per-item overhead) that MemFrac is relative to.
+	WorkingSet int64
+	Rows       []CacheTailRow
+}
+
+// cacheWorkingSet returns the accounted footprint of a catalogue: what
+// the store would charge against its memory limit with every item
+// resident.
+func cacheWorkingSet(cat *workload.Catalog) int64 {
+	return cat.TotalValueBytes() + int64(cat.NumKeys())*(workload.KeySize+kv.ItemOverhead)
+}
+
+// cacheMemFracs returns the memory-limit grid, as fractions of the
+// working set. 1.0 anchors the comparison: everything fits, so misses
+// come only from TTL expiry.
+func (o Options) cacheMemFracs() []float64 {
+	if o.Scale == Full {
+		return []float64{0.125, 0.25, 0.5, 1.0}
+	}
+	return []float64{0.25, 1.0}
+}
+
+// cacheRate returns the fixed offered load of the cache sweep — mid-load
+// for the four-design comparison, where Figure 3 shows the designs well
+// separated but none saturated.
+func (o Options) cacheRate() float64 {
+	return 3e6
+}
+
+// cacheRows runs the memory-limit sweep for one design.
+func cacheRows(design simsys.Design, prof workload.Profile, ws int64, fracs []float64, o Options) ([]CacheTailRow, error) {
+	dur, warm := o.duration()
+	rows := make([]CacheTailRow, 0, len(fracs))
+	for i, frac := range fracs {
+		limit := int64(float64(ws) * frac)
+		cfg := simsys.Config{
+			Design:      design,
+			Profile:     prof,
+			Rate:        o.cacheRate(),
+			Duration:    dur,
+			Warmup:      warm,
+			Epoch:       o.epoch(),
+			MemoryLimit: limit,
+			Seed:        o.seed() + int64(i)*131,
+		}
+		res, err := simsys.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p := Point{
+			Offered:    res.Offered,
+			Throughput: res.Throughput,
+			P50:        res.Lat.P50,
+			P99:        res.Lat.P99,
+			LargeP99:   res.LargeLat.P99,
+			TXUtil:     res.TXUtil,
+			RXUtil:     res.RXUtil,
+			Loss:       res.LossRate(),
+		}
+		o.progress("%-7s mem=%4.1f%%WS hit=%5.1f%% p99=%sus evict=%d",
+			design, frac*100, res.Cache.HitRatio()*100, us(p.P99), res.Cache.Evictions)
+		rows = append(rows, CacheTailRow{
+			Design:   design,
+			MemFrac:  frac,
+			MemLimit: limit,
+			Point:    p,
+			Cache:    res.Cache,
+		})
+	}
+	return rows, nil
+}
+
+// CacheTail runs the cache workload (TTL'd items, working set larger
+// than memory at the smaller fractions) across all four designs and a
+// grid of memory limits. Same seed, same table: the sweep runs entirely
+// on the deterministic twin.
+func CacheTail(o Options) (*CacheTailResult, error) {
+	prof := workload.CacheProfile()
+	cat := workload.NewCatalog(prof)
+	r := &CacheTailResult{WorkingSet: cacheWorkingSet(cat)}
+	for _, d := range simsys.AllDesigns() {
+		rows, err := cacheRows(d, prof, r.WorkingSet, o.cacheMemFracs(), o)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, rows...)
+	}
+	return r, nil
+}
+
+// Table renders the cache experiment.
+func (r *CacheTailResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("Cache: p99 vs memory limit under TTL+eviction churn (working set %d MB)",
+			r.WorkingSet>>20),
+		Headers: []string{"design", "mem(%WS)", "mem(MB)", "hit(%)", "thr(Mops)",
+			"p99(us)", "large-p99(us)", "evicted", "expired", "loss"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Design.String(),
+			fmt.Sprintf("%.1f", row.MemFrac*100),
+			fmt.Sprintf("%d", row.MemLimit>>20),
+			fmt.Sprintf("%.1f", row.Cache.HitRatio()*100),
+			mops(row.Point.Throughput),
+			us(row.Point.P99),
+			us(row.Point.LargeP99),
+			fmt.Sprintf("%d", row.Cache.Evictions),
+			fmt.Sprintf("%d", row.Cache.Expired),
+			fmt.Sprintf("%.4f", row.Point.Loss),
+		})
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/minoskv/minos/internal/simsys"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// TestCacheRowsDeterministic backs the cache experiment's contract:
+// same seed, same table. One design and one memory fraction keep the
+// check cheap enough for the short suite.
+func TestCacheRowsDeterministic(t *testing.T) {
+	prof := workload.CacheProfile()
+	ws := cacheWorkingSet(workload.NewCatalog(prof))
+	o := Options{Scale: Quick, Seed: 11}
+	run := func() []CacheTailRow {
+		rows, err := cacheRows(simsys.Minos, prof, ws, []float64{0.25}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different rows:\n%+v\n%+v", a, b)
+	}
+	row := a[0]
+	if row.Cache.Hits == 0 || row.Cache.Misses == 0 {
+		t.Fatalf("cache model saw no traffic: %+v", row.Cache)
+	}
+	if row.Cache.Evictions == 0 {
+		t.Fatalf("no evictions at 25%% of the working set: %+v", row.Cache)
+	}
+	if hr := row.Cache.HitRatio(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit ratio %v outside (0, 1)", hr)
+	}
+}
+
+// TestCacheModelRespectsLimit pins the sim twin's byte accounting: the
+// cache never ends a run over its configured limit.
+func TestCacheModelRespectsLimit(t *testing.T) {
+	prof := workload.CacheProfile()
+	ws := cacheWorkingSet(workload.NewCatalog(prof))
+	limit := ws / 4
+	res, err := simsys.Run(simsys.Config{
+		Design:      simsys.Minos,
+		Profile:     prof,
+		Rate:        2e6,
+		Duration:    50e6, // 50 ms virtual
+		Warmup:      10e6,
+		MemoryLimit: limit,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.BytesUsed > limit {
+		t.Fatalf("cache ended at %d bytes, limit %d", res.Cache.BytesUsed, limit)
+	}
+	if res.Cache.BytesUsed == 0 {
+		t.Fatal("cache model never filled")
+	}
+}

@@ -1,0 +1,11 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§2.2 Figure 2, §5.3 Table 1, §6 Figures 3-10). Each
+// FigureN/TableN function runs the corresponding experiment on the
+// simulation substrate and returns typed rows plus a uniform Table for
+// printing or CSV export; EXPERIMENTS.md records the measured outputs next
+// to the paper's.
+//
+// Two scales are provided: Quick (seconds per figure, used by the
+// bench_test.go benchmarks and CI) and Full (the cmd/minos-bench defaults,
+// minutes per figure, denser grids and longer virtual runs).
+package harness

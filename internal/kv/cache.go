@@ -1,0 +1,154 @@
+package kv
+
+// This file is the cache side of the store: the CLOCK eviction hand that
+// keeps each partition under its byte budget, the epoch-aligned sweep
+// that reclaims expired items, and the counters both publish.
+//
+// Locking protocol: the hand and the sweep take one bucket spinlock at a
+// time and never hold a bucket lock while waiting for anything else, so
+// they cannot deadlock against writers (which also take one bucket lock
+// at a time). evictMu serializes hands within a partition; it is never
+// acquired while a bucket lock is held. Removal is identity-checked —
+// a slot is cleared only if it still holds the exact item pointer that
+// was chosen for removal — so a racing PUT that replaced the item wins
+// and the newer item survives.
+
+// CacheStats is a snapshot of the store's cache-semantics counters. All
+// counters are cumulative and monotone.
+type CacheStats struct {
+	// Evicted counts items removed by the CLOCK hand under memory
+	// pressure.
+	Evicted uint64
+	// Expired counts items removed because their TTL passed, whether
+	// observed lazily on a read or reclaimed by a sweep.
+	Expired uint64
+	// MemBytes is the current byte footprint (keys + values + per-item
+	// overhead); MemoryLimit is the configured cap (0 = unbounded).
+	MemBytes    int64
+	MemoryLimit int64
+}
+
+// CacheStats snapshots the eviction and expiry counters.
+func (s *Store) CacheStats() CacheStats {
+	return CacheStats{
+		Evicted:     s.evicted.Load(),
+		Expired:     s.expired.Load(),
+		MemBytes:    s.MemBytes(),
+		MemoryLimit: s.cfg.MemoryLimit,
+	}
+}
+
+// removeItem unlinks exactly it from its slot, if the slot still holds
+// it. It returns false when a concurrent PUT already replaced the item or
+// a concurrent remove already cleared it — in which case the caller must
+// not count the removal.
+func (s *Store) removeItem(it *Item) bool {
+	p, b := s.bucketFor(it.Hash)
+	tag := tagOf(it.Hash)
+	locked := lockBucket(b)
+	defer func() { unlockBucket(b, locked) }()
+	for cur := b; cur != nil; cur = cur.next.Load() {
+		for i := 0; i < slotsPerBucket; i++ {
+			if cur.tags[i].Load() != tag || cur.items[i].Load() != it {
+				continue
+			}
+			cur.items[i].Store(nil)
+			cur.tags[i].Store(0)
+			p.count.Add(-1)
+			p.bytes.Add(-int64(len(it.Value)))
+			p.mem.Add(-it.mem())
+			return true
+		}
+	}
+	return false
+}
+
+// enforce runs the CLOCK hand over partition p until it is back under its
+// byte budget. Each visited item gets the second-chance treatment:
+// expired items are reclaimed immediately, referenced items have their
+// bit cleared and survive the rotation, unreferenced items are evicted.
+// The hand persists across calls, so pressure spreads over the whole
+// partition instead of hammering the first buckets.
+func (s *Store) enforce(p *partition) {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	now := s.now()
+	// Two full rotations suffice: the first clears every reference bit
+	// it does not evict, so the second can evict anything. The third
+	// rotation is slack for items re-referenced mid-sweep; if the
+	// partition is still over budget after that, every survivor is being
+	// re-referenced faster than the hand moves, and backing off is
+	// better than spinning.
+	for rotation := 0; rotation < 3 && p.mem.Load() > s.limitPerPart; rotation++ {
+		for visited := 0; visited < len(p.buckets) && p.mem.Load() > s.limitPerPart; visited++ {
+			s.sweepBucket(p, &p.buckets[p.hand], now, true)
+			p.hand = (p.hand + 1) & int(p.mask)
+		}
+	}
+}
+
+// sweepBucket applies the CLOCK policy to one primary bucket and its
+// overflow chain under the bucket lock. When evict is false only expired
+// items are removed (the epoch sweep); reference bits are left alone.
+func (s *Store) sweepBucket(p *partition, b *bucket, now int64, evict bool) {
+	locked := lockBucket(b)
+	defer func() { unlockBucket(b, locked) }()
+	for cur := b; cur != nil; cur = cur.next.Load() {
+		for i := 0; i < slotsPerBucket; i++ {
+			it := cur.items[i].Load()
+			if it == nil {
+				continue
+			}
+			switch {
+			case it.expired(now):
+				s.expired.Add(1)
+			case !evict:
+				continue
+			case p.mem.Load() <= s.limitPerPart:
+				return
+			case it.ref.Swap(0) != 0:
+				continue // second chance: survives this rotation
+			default:
+				s.evicted.Add(1)
+			}
+			cur.items[i].Store(nil)
+			cur.tags[i].Store(0)
+			p.count.Add(-1)
+			p.bytes.Add(-int64(len(it.Value)))
+			p.mem.Add(-it.mem())
+		}
+	}
+}
+
+// SweepExpired reclaims every item whose TTL has passed at instant now,
+// returning the number of items removed. The live server calls it once
+// per epoch (the epoch-aligned sweep complementing lazy expiration on
+// read); it is a no-op until the first expiring item is stored.
+func (s *Store) SweepExpired(now int64) int {
+	if !s.ttlSeen.Load() {
+		return 0
+	}
+	before := s.expired.Load()
+	for pi := range s.parts {
+		p := &s.parts[pi]
+		for bi := range p.buckets {
+			b := &p.buckets[bi]
+			// Optimistic pre-scan without the lock: most buckets hold
+			// nothing expired, and a sweep must not stall readers by
+			// locking every bucket in the store.
+			dead := false
+			for cur := b; cur != nil && !dead; cur = cur.next.Load() {
+				for i := 0; i < slotsPerBucket; i++ {
+					if it := cur.items[i].Load(); it != nil && it.expired(now) {
+						dead = true
+						break
+					}
+				}
+			}
+			if dead {
+				s.sweepBucket(p, b, now, false)
+			}
+		}
+	}
+	return int(s.expired.Load() - before)
+}

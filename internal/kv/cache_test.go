@@ -1,0 +1,215 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// virtualClock is an injectable expiry clock for deterministic TTL tests.
+type virtualClock struct{ t atomic.Int64 }
+
+func (c *virtualClock) now() int64       { return c.t.Load() }
+func (c *virtualClock) advance(ns int64) { c.t.Add(ns) }
+
+func newCacheStore(t testing.TB, limit int64, clk *virtualClock) *Store {
+	t.Helper()
+	cfg := Config{NumPartitions: 4, BucketsPerPartition: 64, MemoryLimit: limit}
+	if clk != nil {
+		cfg.Now = clk.now
+	}
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExpiryLazyOnRead(t *testing.T) {
+	clk := &virtualClock{}
+	s := newCacheStore(t, 0, clk)
+	s.PutExpire([]byte("mortal"), []byte("v"), 100)
+	s.Put([]byte("immortal"), []byte("v"))
+
+	if it, _ := s.Find([]byte("mortal")); it == nil {
+		t.Fatal("item missing before expiry")
+	}
+	clk.advance(100) // expiry instant is inclusive: Expire <= now
+	it, expiredMiss := s.Find([]byte("mortal"))
+	if it != nil || !expiredMiss {
+		t.Fatalf("Find after expiry = (%v, %v), want (nil, true)", it, expiredMiss)
+	}
+	// The lazy read removed the item: a second read is a plain miss.
+	if _, expiredMiss = s.Find([]byte("mortal")); expiredMiss {
+		t.Fatal("second read still reports an expired miss")
+	}
+	if st := s.CacheStats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", st.Expired)
+	}
+	if it, _ := s.Find([]byte("immortal")); it == nil {
+		t.Fatal("immortal item expired")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSweepExpired(t *testing.T) {
+	clk := &virtualClock{}
+	s := newCacheStore(t, 0, clk)
+	const n = 500
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		if i%2 == 0 {
+			s.PutExpire(key, []byte("v"), int64(10+i))
+		} else {
+			s.Put(key, []byte("v"))
+		}
+	}
+	if removed := s.SweepExpired(clk.now()); removed != 0 {
+		t.Fatalf("sweep before expiry removed %d", removed)
+	}
+	clk.advance(10 + n)
+	if removed := s.SweepExpired(clk.now()); removed != n/2 {
+		t.Fatalf("sweep removed %d, want %d", removed, n/2)
+	}
+	if s.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", s.Len(), n/2)
+	}
+	if mem := s.MemBytes(); mem <= 0 {
+		t.Fatalf("MemBytes = %d after sweep", mem)
+	}
+}
+
+func TestSweepIsNoOpWithoutTTLs(t *testing.T) {
+	s := newCacheStore(t, 0, nil)
+	s.Put([]byte("k"), []byte("v"))
+	if removed := s.SweepExpired(1 << 62); removed != 0 {
+		t.Fatalf("sweep removed %d immortal items", removed)
+	}
+}
+
+func TestMemoryLimitRespected(t *testing.T) {
+	const limit = 256 << 10
+	s := newCacheStore(t, limit, nil)
+	val := make([]byte, 1024)
+	// Write 4x the memory limit; the store must stay within the cap
+	// (checked after every put: the transient overshoot is at most the
+	// item being inserted).
+	maxItem := int64(len(val)) + 16 + ItemOverhead
+	for i := 0; int64(i)*maxItem < 4*limit; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+		if mem := s.MemBytes(); mem > limit+maxItem {
+			t.Fatalf("MemBytes = %d after put %d, limit %d", mem, i, limit)
+		}
+	}
+	st := s.CacheStats()
+	if st.Evicted == 0 {
+		t.Fatal("no evictions under 4x memory pressure")
+	}
+	if s.Len() == 0 {
+		t.Fatal("eviction emptied the store")
+	}
+}
+
+func TestClockKeepsReferencedItems(t *testing.T) {
+	// One partition so the budget math is exact.
+	s, err := NewStore(Config{NumPartitions: 1, BucketsPerPartition: 64, MemoryLimit: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []byte("hot-key")
+	s.Put(hot, make([]byte, 512))
+	cold := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		key := []byte(fmt.Sprintf("cold-%04d", i))
+		cold = append(cold, key)
+		s.Put(key, make([]byte, 512))
+		// Keep the hot key's reference bit set through every rotation.
+		if it, _ := s.Find(hot); it == nil {
+			t.Fatalf("hot key evicted after %d cold puts", i+1)
+		}
+	}
+	evictedCold := 0
+	for _, key := range cold {
+		if it, _ := s.Find(key); it == nil {
+			evictedCold++
+		}
+	}
+	if evictedCold == 0 {
+		t.Fatal("no cold keys evicted despite 8x pressure")
+	}
+}
+
+func TestEvictionNeverCorruptsInFlightValues(t *testing.T) {
+	// Readers hold *Item pointers while heavy writes force continuous
+	// eviction; the immutable-item contract means every held value must
+	// stay intact (and -race must stay quiet).
+	s := newCacheStore(t, 128<<10, nil)
+	const writers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := make([]byte, 2048)
+			for i := range val {
+				val[i] = byte(w)
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Put([]byte(fmt.Sprintf("w%d-%06d", w, i)), val)
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 20000; i++ {
+				it, _ := s.Find([]byte(fmt.Sprintf("w%d-%06d", i%writers, i%1000)))
+				if it == nil {
+					continue
+				}
+				want := it.Value[0]
+				for _, b := range it.Value {
+					if b != want {
+						t.Error("in-flight value corrupted by eviction")
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+func TestCacheCountersMonotone(t *testing.T) {
+	clk := &virtualClock{}
+	s := newCacheStore(t, 64<<10, clk)
+	var last CacheStats
+	for i := 0; i < 2000; i++ {
+		s.PutExpire([]byte(fmt.Sprintf("k%05d", i)), make([]byte, 256), clk.now()+50)
+		clk.advance(1)
+		if i%100 == 0 {
+			s.SweepExpired(clk.now())
+		}
+		st := s.CacheStats()
+		if st.Evicted < last.Evicted || st.Expired < last.Expired {
+			t.Fatalf("counters went backwards: %+v -> %+v", last, st)
+		}
+		last = st
+	}
+	if last.Evicted == 0 && last.Expired == 0 {
+		t.Fatal("expected eviction or expiry activity")
+	}
+}

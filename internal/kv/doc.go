@@ -1,0 +1,40 @@
+// Package kv implements the MICA-style key-value data structures Minos
+// builds on (§4.2): keys are split into partitions; each partition is a
+// hash table whose entries are cache-line-sized buckets of tagged slots
+// pointing to key-value items; overflow buckets are chained dynamically;
+// reads are optimistic under a per-bucket 64-bit epoch (seqlock) and writes
+// are serialized per bucket, realizing the paper's CREW scheme (writes to a
+// key go through its partition's master core; writes to keys mastered by
+// large cores additionally contend on the bucket spinlock, which doubles as
+// the seqlock epoch).
+//
+// Items are immutable after publication and replaced wholesale on PUT, the
+// Go-idiomatic analogue of RCU: readers that lose a seqlock race retry, but
+// never observe torn values and never race on bytes, so the package is
+// clean under the race detector. Retired items are reclaimed by the garbage
+// collector rather than recycled in place; see DESIGN.md for why this
+// substitution preserves the paper's behaviour.
+//
+// # Cache semantics
+//
+// Beyond the paper's unbounded store of immortal items, the store can run
+// as a cache (DESIGN.md §6):
+//
+//   - TTLs. An Item carries an absolute expiry instant (PutTTL/PutExpire,
+//     0 = immortal). Expiration is lazy on read — Find reports a dead
+//     item as a distinguishable miss and unlinks it — plus an
+//     epoch-aligned SweepExpired that reclaims dead items nobody reads.
+//   - Memory cap. Config.MemoryLimit bounds the accounted bytes (keys +
+//     values + per-item overhead), enforced per partition — the byte
+//     analogue of CREW core mastering — by a CLOCK second-chance hand:
+//     reads set a reference bit, the hand clears it, unreferenced items
+//     are evicted until the partition is back under budget before the
+//     PUT that overflowed it returns.
+//
+// Invariants: eviction and expiry never free an in-flight value (readers
+// hold *Item; the GC collects it after the last reference drops); removal
+// is identity-checked so a racing PUT's replacement survives; the
+// Evicted/Expired counters are cumulative and monotone; a store without
+// MemoryLimit and TTLs behaves exactly as the paper's (no reference-bit
+// writes, no sweeps).
+package kv

@@ -1,19 +1,3 @@
-// Package kv implements the MICA-style key-value data structures Minos
-// builds on (§4.2): keys are split into partitions; each partition is a
-// hash table whose entries are cache-line-sized buckets of tagged slots
-// pointing to key-value items; overflow buckets are chained dynamically;
-// reads are optimistic under a per-bucket 64-bit epoch (seqlock) and writes
-// are serialized per bucket, realizing the paper's CREW scheme (writes to a
-// key go through its partition's master core; writes to keys mastered by
-// large cores additionally contend on the bucket spinlock, which doubles as
-// the seqlock epoch).
-//
-// Items are immutable after publication and replaced wholesale on PUT, the
-// Go-idiomatic analogue of RCU: readers that lose a seqlock race retry, but
-// never observe torn values and never race on bytes, so the package is
-// clean under the race detector. Retired items are reclaimed by the garbage
-// collector rather than recycled in place; see DESIGN.md for why this
-// substitution preserves the paper's behaviour.
 package kv
 
 import "encoding/binary"

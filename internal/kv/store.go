@@ -4,20 +4,54 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // slotsPerBucket mirrors MICA's cache-line bucket layout: a handful of
 // tagged slots per bucket with dynamic overflow chaining.
 const slotsPerBucket = 7
 
-// Item is one immutable key-value pair. Once published to a slot, an Item
-// and its Key/Value bytes are never modified; a PUT replaces the whole
-// Item. Readers may therefore copy Value without holding any lock.
+// Item is one immutable key-value pair. Once published to a slot, an
+// Item's Hash/Key/Value/Expire are never modified; a PUT replaces the
+// whole Item. Readers may therefore copy Value without holding any lock,
+// and an evicted item's bytes stay valid for any reader still holding the
+// pointer (the garbage collector frees it only when the last reference
+// drops — eviction never frees an in-flight value).
+//
+// The ref bit is the one mutable field: it is the CLOCK reference bit,
+// set on read and cleared by the eviction hand, and is accessed only
+// atomically.
 type Item struct {
 	Hash  uint64
 	Key   []byte
 	Value []byte
+
+	// Expire is the absolute expiry instant in nanoseconds on the
+	// store's clock (Config.Now); 0 means the item never expires.
+	Expire int64
+
+	ref atomic.Uint32 // CLOCK reference bit (cache mode only)
+}
+
+// mem returns the bytes the item charges against the memory limit: key
+// and value payload plus a fixed per-item overhead approximating the Item
+// struct, slot and tag — so the cap tracks real footprint, not just
+// payload.
+func (it *Item) mem() int64 {
+	return int64(len(it.Key)) + int64(len(it.Value)) + ItemOverhead
+}
+
+// ItemOverhead approximates the per-item bookkeeping bytes (Item struct,
+// two slice headers, slot pointer and tag). Exported so the sim twin and
+// the harness charge the same accounted footprint per item as the live
+// store — a memory limit must mean the same bytes on both substrates.
+const ItemOverhead = 96
+
+// expired reports whether the item is past its expiry at instant now.
+func (it *Item) expired(now int64) bool {
+	return it.Expire != 0 && it.Expire <= now
 }
 
 // bucket is one hash-table bucket. The primary bucket's epoch guards its
@@ -41,6 +75,20 @@ type Config struct {
 	// (power of two, default 4096). With 7 slots per bucket the default
 	// comfortably holds ~100k items per partition before chaining.
 	BucketsPerPartition int
+	// MemoryLimit caps the store's live bytes (keys + values + per-item
+	// overhead); 0 means unbounded. The cap is enforced per partition at
+	// MemoryLimit / NumPartitions — the byte-budget analogue of CREW
+	// core mastering — by a CLOCK second-chance sweep that evicts
+	// unreferenced items until the partition is back under budget before
+	// the overflowing PUT is acknowledged. Transient overshoot is
+	// therefore bounded by one in-flight item per concurrently written
+	// partition (one item total under a single writer); a partition
+	// whose every survivor is re-referenced faster than the hand rotates
+	// may briefly stay over budget rather than spin.
+	MemoryLimit int64
+	// Now supplies the expiry clock in nanoseconds (tests inject a
+	// virtual clock); nil means time.Now().UnixNano.
+	Now func() int64
 }
 
 func (c *Config) setDefaults() {
@@ -59,6 +107,9 @@ func (c Config) validate() error {
 	if c.BucketsPerPartition <= 0 || c.BucketsPerPartition&(c.BucketsPerPartition-1) != 0 {
 		return fmt.Errorf("kv: BucketsPerPartition %d must be a positive power of two", c.BucketsPerPartition)
 	}
+	if c.MemoryLimit < 0 {
+		return fmt.Errorf("kv: MemoryLimit %d must be >= 0", c.MemoryLimit)
+	}
 	return nil
 }
 
@@ -68,6 +119,13 @@ type partition struct {
 	mask    uint64
 	count   atomic.Int64 // live items
 	bytes   atomic.Int64 // live value bytes
+	mem     atomic.Int64 // live key+value+overhead bytes (cache accounting)
+
+	// evictMu serializes the CLOCK hand; it is taken only when the
+	// partition is over budget or swept, never nested inside a bucket
+	// lock.
+	evictMu sync.Mutex
+	hand    int // next primary bucket the CLOCK hand visits
 }
 
 // Store is the MICA-style partitioned hash table. All methods are safe for
@@ -76,6 +134,19 @@ type Store struct {
 	cfg      Config
 	parts    []partition
 	partMask uint64
+
+	// limitPerPart is the per-partition byte budget (0 = unbounded).
+	limitPerPart int64
+	now          func() int64
+
+	// ttlSeen flips once the first expiring item is stored, so stores
+	// that never use TTLs skip the epoch sweep entirely. Reads guard on
+	// the item's own Expire field instead, so immortal items never pay a
+	// clock read even after a TTL'd item appears.
+	ttlSeen atomic.Bool
+
+	evicted atomic.Uint64 // items removed by the CLOCK hand under memory pressure
+	expired atomic.Uint64 // items removed because their TTL passed (lazy or swept)
 }
 
 // NewStore returns an empty store. Invalid configs return an error.
@@ -88,6 +159,16 @@ func NewStore(cfg Config) (*Store, error) {
 	for i := range s.parts {
 		s.parts[i].buckets = make([]bucket, cfg.BucketsPerPartition)
 		s.parts[i].mask = uint64(cfg.BucketsPerPartition - 1)
+	}
+	if cfg.MemoryLimit > 0 {
+		s.limitPerPart = cfg.MemoryLimit / int64(cfg.NumPartitions)
+		if s.limitPerPart < 1 {
+			s.limitPerPart = 1
+		}
+	}
+	s.now = cfg.Now
+	if s.now == nil {
+		s.now = func() int64 { return time.Now().UnixNano() }
 	}
 	return s, nil
 }
@@ -137,8 +218,7 @@ func unlockBucket(b *bucket, locked uint64) {
 // it snapshots the bucket epoch, scans, and retries if a concurrent write
 // moved the epoch (§4.2).
 func (s *Store) Get(key []byte, dst []byte) (val []byte, ok bool) {
-	h := Hash(key)
-	item := s.lookup(h, key)
+	item, _ := s.Find(key)
 	if item == nil {
 		return dst, false
 	}
@@ -149,18 +229,40 @@ func (s *Store) Get(key []byte, dst []byte) (val []byte, ok bool) {
 // modify the returned item. This is the zero-copy path the server uses to
 // build replies directly from item memory.
 func (s *Store) GetItem(key []byte) *Item {
-	return s.lookup(Hash(key), key)
+	item, _ := s.Find(key)
+	return item
 }
 
-// GetSize returns the value size for key without copying the value. Small
-// cores use it to decide whether a GET is small (serve) or large (hand
-// off) — the size lookup the paper describes in §3.
-func (s *Store) GetSize(key []byte) (size int, ok bool) {
-	item := s.lookup(Hash(key), key)
-	if item == nil {
-		return 0, false
+// Find is the expiry-aware read: it returns the live item for key, or
+// (nil, true) when the key was present but its TTL has passed — the
+// distinguishable miss the wire protocol reports as StatusEvicted. A
+// lazily observed expired item is removed on the spot (the read side of
+// the paper-era immortal store stays untouched: items without TTLs never
+// take this path). Reads also set the CLOCK reference bit when the store
+// runs with a memory limit, which is what makes the eviction hand favour
+// cold items.
+func (s *Store) Find(key []byte) (item *Item, expiredMiss bool) {
+	h := Hash(key)
+	it := s.lookup(h, key)
+	if it == nil {
+		return nil, false
 	}
-	return len(item.Value), true
+	if it.Expire != 0 && it.expired(s.now()) {
+		// Lazy expiration: unlink the dead item so its memory is
+		// reclaimed before the next sweep. removeItem is identity-
+		// checked, so racing readers/writers stay correct.
+		if s.removeItem(it) {
+			s.expired.Add(1)
+		}
+		return nil, true
+	}
+	if s.limitPerPart > 0 && it.ref.Load() == 0 {
+		// Test-before-set keeps the item's cache line shared when hot
+		// keys are read from many cores; an unconditional store would
+		// ping-pong the line on every GET.
+		it.ref.Store(1)
+	}
+	return it, false
 }
 
 // lookup finds the item for (hash, key) under the seqlock protocol.
@@ -203,11 +305,32 @@ func (s *Store) lookup(h uint64, key []byte) *Item {
 // Put inserts or replaces the value for key. The value bytes are copied
 // into a fresh immutable item, so the caller keeps ownership of value.
 func (s *Store) Put(key, value []byte) {
+	s.PutExpire(key, value, 0)
+}
+
+// Clock returns the store's current expiry-clock reading in nanoseconds.
+func (s *Store) Clock() int64 { return s.now() }
+
+// PutTTL is Put with a relative time-to-live in nanoseconds on the
+// store's clock; ttl <= 0 stores an immortal item.
+func (s *Store) PutTTL(key, value []byte, ttl int64) {
+	var expire int64
+	if ttl > 0 {
+		expire = s.now() + ttl
+	}
+	s.PutExpire(key, value, expire)
+}
+
+// PutExpire is Put with an absolute expiry instant on the store's clock
+// (nanoseconds; 0 = never expires). Reads past the instant miss, the next
+// epoch sweep reclaims the memory.
+func (s *Store) PutExpire(key, value []byte, expire int64) {
 	h := Hash(key)
 	item := &Item{
-		Hash:  h,
-		Key:   append(make([]byte, 0, len(key)), key...),
-		Value: append(make([]byte, 0, len(value)), value...),
+		Hash:   h,
+		Key:    append(make([]byte, 0, len(key)), key...),
+		Value:  append(make([]byte, 0, len(value)), value...),
+		Expire: expire,
 	}
 	s.PutItem(item)
 }
@@ -215,13 +338,29 @@ func (s *Store) Put(key, value []byte) {
 // PutItem publishes a pre-built item. The item and its slices must not be
 // modified after the call. This is the zero-extra-copy path for servers
 // that already assembled the value from the network.
+//
+// When the store runs with a memory limit and the insert pushes its
+// partition over budget, PutItem runs the CLOCK hand before returning, so
+// the store is back under the cap by the time the caller acknowledges the
+// write (transient overshoot is bounded by this one item).
 func (s *Store) PutItem(item *Item) {
+	if item.Expire != 0 {
+		s.ttlSeen.Store(true)
+	}
+	if s.limitPerPart > 0 {
+		// Items arrive referenced (standard CLOCK): the hand must pass
+		// them once before they become victims, so the overflowing PUT
+		// cannot evict its own just-inserted item while colder items
+		// survive.
+		item.ref.Store(1)
+	}
 	p, b := s.bucketFor(item.Hash)
 	tag := tagOf(item.Hash)
 	locked := lockBucket(b)
 
 	// Pass 1: replace an existing slot for this key.
-	for cur := b; cur != nil; cur = cur.next.Load() {
+	replaced := false
+	for cur := b; cur != nil && !replaced; cur = cur.next.Load() {
 		for i := 0; i < slotsPerBucket; i++ {
 			if cur.tags[i].Load() != tag {
 				continue
@@ -230,35 +369,45 @@ func (s *Store) PutItem(item *Item) {
 			if old != nil && old.Hash == item.Hash && bytes.Equal(old.Key, item.Key) {
 				cur.items[i].Store(item)
 				p.bytes.Add(int64(len(item.Value)) - int64(len(old.Value)))
-				unlockBucket(b, locked)
-				return
+				p.mem.Add(item.mem() - old.mem())
+				replaced = true
+				break
 			}
 		}
 	}
-	// Pass 2: claim the first empty slot, chaining an overflow bucket if
-	// the chain is full ("overflow buckets are dynamically assigned",
-	// §4.2).
-	for cur := b; ; {
-		for i := 0; i < slotsPerBucket; i++ {
-			if cur.items[i].Load() == nil {
-				cur.items[i].Store(item)
-				cur.tags[i].Store(tag)
-				p.count.Add(1)
-				p.bytes.Add(int64(len(item.Value)))
-				unlockBucket(b, locked)
-				return
+	if !replaced {
+		// Pass 2: claim the first empty slot, chaining an overflow bucket
+		// if the chain is full ("overflow buckets are dynamically
+		// assigned", §4.2).
+	claim:
+		for cur := b; ; {
+			for i := 0; i < slotsPerBucket; i++ {
+				if cur.items[i].Load() == nil {
+					cur.items[i].Store(item)
+					cur.tags[i].Store(tag)
+					p.count.Add(1)
+					p.bytes.Add(int64(len(item.Value)))
+					p.mem.Add(item.mem())
+					break claim
+				}
 			}
+			next := cur.next.Load()
+			if next == nil {
+				next = new(bucket)
+				cur.next.Store(next)
+			}
+			cur = next
 		}
-		next := cur.next.Load()
-		if next == nil {
-			next = new(bucket)
-			cur.next.Store(next)
-		}
-		cur = next
+	}
+	unlockBucket(b, locked)
+	if s.limitPerPart > 0 && p.mem.Load() > s.limitPerPart {
+		s.enforce(p)
 	}
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was present. A key whose TTL
+// already passed is reclaimed but reported absent, matching what a read
+// would have said.
 func (s *Store) Delete(key []byte) bool {
 	h := Hash(key)
 	p, b := s.bucketFor(h)
@@ -276,6 +425,11 @@ func (s *Store) Delete(key []byte) bool {
 				cur.tags[i].Store(0)
 				p.count.Add(-1)
 				p.bytes.Add(-int64(len(it.Value)))
+				p.mem.Add(-it.mem())
+				if it.Expire != 0 && it.expired(s.now()) {
+					s.expired.Add(1)
+					return false
+				}
 				return true
 			}
 		}
@@ -300,3 +454,16 @@ func (s *Store) ValueBytes() int64 {
 	}
 	return n
 }
+
+// MemBytes returns the bytes charged against the memory limit: keys,
+// values and per-item overhead of every live item.
+func (s *Store) MemBytes() int64 {
+	var n int64
+	for i := range s.parts {
+		n += s.parts[i].mem.Load()
+	}
+	return n
+}
+
+// MemoryLimit returns the configured cap (0 = unbounded).
+func (s *Store) MemoryLimit() int64 { return s.cfg.MemoryLimit }

@@ -43,9 +43,6 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if !ok || !bytes.Equal(got, val) {
 		t.Fatalf("Get = %q,%v, want %q", got, ok, val)
 	}
-	if size, ok := s.GetSize(key); !ok || size != len(val) {
-		t.Fatalf("GetSize = %d,%v", size, ok)
-	}
 	if s.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", s.Len())
 	}
@@ -58,9 +55,6 @@ func TestGetMissing(t *testing.T) {
 	s := newTestStore(t)
 	if _, ok := s.Get([]byte("nope"), nil); ok {
 		t.Fatal("Get on empty store returned ok")
-	}
-	if _, ok := s.GetSize([]byte("nope")); ok {
-		t.Fatal("GetSize on empty store returned ok")
 	}
 	if s.GetItem([]byte("nope")) != nil {
 		t.Fatal("GetItem on empty store returned an item")
@@ -365,19 +359,6 @@ func BenchmarkGetHit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf, _ = s.Get(KeyForID(uint64(i%n)), buf[:0])
-	}
-}
-
-func BenchmarkGetSize(b *testing.B) {
-	s, _ := NewStore(Config{})
-	const n = 100_000
-	for i := 0; i < n; i++ {
-		s.Put(KeyForID(uint64(i)), make([]byte, 100))
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, _ = s.GetSize(KeyForID(uint64(i % n)))
 	}
 }
 

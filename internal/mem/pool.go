@@ -1,12 +1,3 @@
-// Package mem implements a segregated-fit slab allocator for key-value
-// item buffers, substituting for the DPDK memory manager the Minos
-// prototype uses (§4.2: "Minos can be extended to integrate more efficient
-// memory allocators, such as the one based on segregated fits of MICA").
-//
-// Buffers are recycled through per-class free lists carved out of large
-// pre-allocated arenas, so the steady-state data path performs no Go heap
-// allocation and puts no pressure on the garbage collector — the property
-// that matters for microsecond tails.
 package mem
 
 import (

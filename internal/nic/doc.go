@@ -1,0 +1,18 @@
+// Package nic provides the multi-queue network substrate the live server
+// and clients run on, substituting for the paper's DPDK + 40 GbE NIC
+// (§4.1, §5.1). Two transports implement the same contract:
+//
+//   - Fabric: an in-process network built on the lock-free rings of
+//     internal/ring. It preserves the properties the design depends on —
+//     per-queue FIFO order, client-selected RX queue, bounded queues that
+//     drop on overflow — with nanosecond-scale delivery, so the examples
+//     and integration tests exercise the real concurrent server without a
+//     network stack.
+//   - UDP: one socket per RX queue on consecutive ports. The client picks
+//     the server queue by destination port, exactly the mechanism the
+//     paper uses to steer packets via RSS on its testbed (§5.1): the
+//     kernel demultiplexes by port as the NIC would by RSS hash.
+//
+// Frames are the wire.Message fragments of internal/wire; neither
+// transport parses them beyond delivery.
+package nic

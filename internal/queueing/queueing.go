@@ -1,19 +1,3 @@
-// Package queueing implements the abstract queueing simulations of §2.2
-// (Figure 2): three size-unaware request-dispatch disciplines on an n-core
-// server under a bimodal service-time distribution, showing how a tiny
-// fraction of large requests inflates the 99th-percentile response time.
-//
-//   - NxMG1: requests are bound to a uniformly random core on arrival
-//     (early binding; the keyhash dispatch of MICA's EREW mode).
-//   - MGn: one shared queue, requests bound to a core when it becomes idle
-//     (late binding; RAMCloud-style).
-//   - NxMG1Steal: NxMG1 plus work stealing — an idle core takes the
-//     head-of-queue request from another core (ZygOS-style).
-//
-// Per the paper, the simulation is idealized: dispatch, synchronization and
-// stealing are free, and there are no locality effects. Its purpose is to
-// isolate head-of-line blocking, not to predict absolute performance of
-// real systems (that is what internal/simsys does).
 package queueing
 
 import (

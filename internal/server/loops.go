@@ -267,19 +267,22 @@ func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
 		if msg == nil {
 			return
 		}
-		// The small core looks the item up to learn its size (§3);
-		// the actual serve reuses the lookup's target.
-		size, ok := s.store.GetSize(msg.Key)
-		if !ok {
-			s.replyMiss(c, fr.Src, msg)
+		// The small core looks the item up to learn its size (§3); the
+		// actual serve reuses the lookup's target. The lookup is
+		// expiry-aware: a dead item is a miss here, reported with the
+		// cache-distinguishable status.
+		item, expiredMiss := s.store.Find(msg.Key)
+		if item == nil {
+			s.replyMiss(c, fr.Src, msg, missStatus(expiredMiss))
 			return
 		}
-		s.recordSize(c, int64(size))
-		if plan.IsSmall(int64(size)) {
+		size := int64(len(item.Value))
+		s.recordSize(c, size)
+		if plan.IsSmall(size) {
 			s.serve(c, fr.Src, msg)
 			return
 		}
-		s.routeLarge(plan, int64(size), work{src: fr.Src, msg: msg})
+		s.routeLarge(plan, size, work{src: fr.Src, msg: msg})
 	default:
 		s.badFrame.Add(1)
 	}
@@ -347,11 +350,12 @@ func (s *Server) serve(c *coreState, src nic.Endpoint, msg *wire.Message) {
 	}
 	switch msg.Op {
 	case wire.OpGetRequest:
-		item := s.store.GetItem(msg.Key)
+		item, expiredMiss := s.store.Find(msg.Key)
 		if item == nil {
-			s.replyMiss(c, src, msg)
+			s.replyMiss(c, src, msg, missStatus(expiredMiss))
 			return
 		}
+		c.hits.Add(1)
 		reply.Op = wire.OpGetReply
 		reply.Status = wire.StatusOK
 		reply.Value = item.Value
@@ -362,7 +366,9 @@ func (s *Server) serve(c *coreState, src nic.Endpoint, msg *wire.Message) {
 			// this answers foreign clients without touching the store.
 			reply.Status = wire.StatusTooLarge
 		} else {
-			s.store.Put(msg.Key, msg.Value)
+			// The TTL travels in every fragment header (milliseconds);
+			// 0 keeps the paper's immortal-item semantics.
+			s.store.PutTTL(msg.Key, msg.Value, int64(msg.TTL)*int64(time.Millisecond))
 			reply.Status = wire.StatusOK
 		}
 	case wire.OpDeleteRequest:
@@ -382,14 +388,25 @@ func (s *Server) serve(c *coreState, src nic.Endpoint, msg *wire.Message) {
 	s.transmit(c, src, &reply)
 }
 
-func (s *Server) replyMiss(c *coreState, src nic.Endpoint, msg *wire.Message) {
+// missStatus picks the reply status for a GET miss: StatusEvicted when
+// the store could still observe that the key died under cache policy
+// (its TTL passed), StatusNotFound for a key that was never there.
+func missStatus(expiredMiss bool) uint8 {
+	if expiredMiss {
+		return wire.StatusEvicted
+	}
+	return wire.StatusNotFound
+}
+
+func (s *Server) replyMiss(c *coreState, src nic.Endpoint, msg *wire.Message, status uint8) {
+	c.misses.Add(1)
 	op := wire.OpGetReply
 	if msg.Op == wire.OpPutRequest {
 		op = wire.OpPutReply
 	}
 	s.transmit(c, src, &wire.Message{
 		Op:        op,
-		Status:    wire.StatusNotFound,
+		Status:    status,
 		RxQueue:   msg.RxQueue,
 		ReqID:     msg.ReqID,
 		Timestamp: msg.Timestamp,

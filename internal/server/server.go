@@ -1,28 +1,3 @@
-// Package server is the live, concurrent implementation of the four
-// key-value server designs the paper compares (§3-§5.2): goroutine-per-core
-// polling loops over a multi-queue transport (internal/nic), the MICA-style
-// store of internal/kv, lock-free software queues (internal/ring), and the
-// size-aware sharding controller of internal/core.
-//
-// This is the adoptable artifact: a working Minos you can embed or run
-// over UDP. Its microsecond tail behaviour on shared hardware is blurred
-// by the Go runtime (the repro band DESIGN.md discusses); the figures are
-// regenerated by the deterministic twin in internal/simsys, which shares
-// the controller logic with this package.
-//
-// Design notes mirroring the paper:
-//
-//   - Only small cores read RX queues; each drains batch B from its own
-//     queue and B/ns from each large core's queue (§3).
-//   - Large requests reach large cores through lock-free rings. For
-//     multi-fragment PUTs the individual fragments are routed by the size
-//     carried in every fragment header, so exactly one large core
-//     reassembles each message (§4.1).
-//   - The controller aggregates per-core size histograms each epoch and
-//     republishes the plan; cores pick it up via an atomic pointer, the
-//     lock-free analogue of the paper's core-0 aggregation (§3).
-//   - PUTs go through the kv store's per-bucket epoch/spinlock (CREW with
-//     writer locks, §4.2); GETs use the optimistic seqlock read path.
 package server
 
 import (
@@ -142,8 +117,10 @@ type coreState struct {
 	histMu   sync.Mutex
 	sizeHist *stats.Histogram
 
-	ops  atomic.Uint64
-	pkts atomic.Uint64
+	ops    atomic.Uint64
+	pkts   atomic.Uint64
+	hits   atomic.Uint64 // GETs answered with a value
+	misses atomic.Uint64 // GETs answered with a miss (absent, expired or evicted)
 }
 
 // Server runs one of the four designs over a transport.
@@ -273,6 +250,19 @@ type Stats struct {
 	SwDrops   uint64
 	BadFrames uint64
 	Plan      core.Plan
+
+	// Cache-semantics counters: GET hits and misses across all cores,
+	// plus the store's expiry/eviction totals and byte footprint. All
+	// cumulative and monotone.
+	Hits    uint64
+	Misses  uint64
+	Expired uint64
+	Evicted uint64
+	// MemBytes is the store's current accounted footprint (keys, values,
+	// per-item overhead); MemoryLimit echoes the configured cap (0 =
+	// unbounded).
+	MemBytes    int64
+	MemoryLimit int64
 }
 
 // Stats snapshots the counters.
@@ -283,19 +273,26 @@ func (s *Server) Stats() Stats {
 		cs := CoreStat{Ops: c.ops.Load(), Packets: c.pkts.Load()}
 		st.PerCore = append(st.PerCore, cs)
 		st.Ops += cs.Ops
+		st.Hits += c.hits.Load()
+		st.Misses += c.misses.Load()
 	}
 	st.SwDrops = s.swDrops.Load()
 	st.BadFrames = s.badFrame.Load()
+	cs := s.store.CacheStats()
+	st.Expired = cs.Expired
+	st.Evicted = cs.Evicted
+	st.MemBytes = cs.MemBytes
+	st.MemoryLimit = cs.MemoryLimit
 	return st
 }
 
 // controlLoop is the paper's core-0 epoch work, confined to its own
-// goroutine: aggregate per-core histograms, fold, re-plan (§3).
+// goroutine. Every design runs the epoch ticker for the cache sweep
+// (expired items are reclaimed in epoch-aligned batches, complementing
+// lazy expiration on read); only Minos additionally aggregates per-core
+// histograms, folds, and re-plans (§3).
 func (s *Server) controlLoop() {
 	defer s.wg.Done()
-	if s.cfg.Design != Minos {
-		return
-	}
 	ticker := time.NewTicker(s.cfg.Epoch)
 	defer ticker.Stop()
 	for {
@@ -303,6 +300,12 @@ func (s *Server) controlLoop() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
+			// SweepExpired is a no-op until the first TTL'd item lands,
+			// so immortal-item workloads pay nothing here.
+			s.store.SweepExpired(s.store.Clock())
+			if s.cfg.Design != Minos {
+				continue
+			}
 			agg := s.ctrl.NewSizeHistogram()
 			for i := range s.cores {
 				c := &s.cores[i]

@@ -1,0 +1,15 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that the queueing models of §2.2 and the full-system simulations of §6
+// run on. Virtual time is int64 nanoseconds; events fire in (time,
+// insertion-order) order, so simulations are exactly reproducible — the
+// property that lets this reproduction report microsecond-scale tail
+// latencies unperturbed by Go's garbage collector and goroutine scheduler
+// (see DESIGN.md, substitutions).
+//
+// The engine is deliberately allocation-free on the event path: events are
+// stored by value in a binary-heap slice and dispatch through a small
+// Handler interface implemented by long-lived simulation entities (cores,
+// links, arrival sources). At the event rates the evaluation needs (tens of
+// millions of events per run) this keeps the engine itself at a few tens of
+// nanoseconds per event.
+package sim

@@ -1,0 +1,142 @@
+package simsys
+
+import (
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/sim"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// simCache is the deterministic twin of the live store's cache semantics
+// (internal/kv): a byte-accounted, memory-capped item cache with per-item
+// TTLs. Where the live store runs a per-partition CLOCK hand — an
+// approximation of LRU whose victim choice depends on hash layout — the
+// twin keeps an exact LRU list, which is the policy CLOCK approximates
+// and is exactly reproducible under virtual time. Expiry is lazy (an
+// expired entry found on access is a miss) exactly as on the live read
+// path; the live server's epoch sweep only accelerates memory reclaim,
+// which the twin models by freeing the bytes at eviction/touch time.
+//
+// The model is key-accurate: it tracks the same catalogue keys the
+// generator draws, so hit ratios under zipf skew and working sets larger
+// than memory come out of the actual reference stream, not a formula.
+type simCache struct {
+	limit int64
+	used  int64
+
+	entries map[uint64]*centry
+	// LRU list: mru is the most recently touched entry, lru the
+	// eviction candidate. Deterministic by construction — no map
+	// iteration ever decides a victim.
+	mru, lru *centry
+
+	evictions uint64
+	expired   uint64
+}
+
+// centry is one cached item: its byte footprint and absolute expiry.
+type centry struct {
+	key        uint64
+	bytes      int64
+	expire     sim.Time // 0 = immortal
+	prev, next *centry  // prev is more recent, next is less recent
+}
+
+// cacheBytesFor returns the accounted footprint of an item with the
+// given value size: kv.ItemOverhead keeps the twin's accounting
+// byte-identical to the live store's, so a memory limit means the same
+// thing on both substrates.
+func cacheBytesFor(size int32) int64 {
+	return int64(workload.KeySize) + int64(size) + kv.ItemOverhead
+}
+
+func newSimCache(limit int64) *simCache {
+	return &simCache{limit: limit, entries: make(map[uint64]*centry)}
+}
+
+// get reports whether key is live in the cache at instant now, touching
+// it on a hit. An expired entry is removed and reported as a miss (the
+// lazy-expiry read path).
+func (c *simCache) get(key uint64, now sim.Time) bool {
+	e := c.entries[key]
+	if e == nil {
+		return false
+	}
+	if e.expire != 0 && e.expire <= now {
+		c.remove(e)
+		c.expired++
+		return false
+	}
+	c.touch(e)
+	return true
+}
+
+// put inserts or refreshes key with the given footprint and expiry, then
+// evicts from the LRU tail until the cache is back under its limit — the
+// same back-under-budget-before-the-ack contract the live store keeps.
+// now classifies each victim: past its TTL counts as expired, otherwise
+// as a memory-pressure eviction.
+func (c *simCache) put(key uint64, bytes int64, expire, now sim.Time) {
+	if e := c.entries[key]; e != nil {
+		c.used += bytes - e.bytes
+		e.bytes = bytes
+		e.expire = expire
+		c.touch(e)
+	} else {
+		e = &centry{key: key, bytes: bytes, expire: expire}
+		c.entries[key] = e
+		c.used += bytes
+		c.pushFront(e)
+	}
+	if c.limit <= 0 {
+		return
+	}
+	for c.used > c.limit && c.lru != nil {
+		victim := c.lru
+		c.remove(victim)
+		if victim.expire != 0 && victim.expire <= now {
+			c.expired++
+		} else {
+			c.evictions++
+		}
+	}
+}
+
+func (c *simCache) pushFront(e *centry) {
+	e.prev = nil
+	e.next = c.mru
+	if c.mru != nil {
+		c.mru.prev = e
+	}
+	c.mru = e
+	if c.lru == nil {
+		c.lru = e
+	}
+}
+
+func (c *simCache) touch(e *centry) {
+	if c.mru == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *simCache) unlink(e *centry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.mru = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.lru = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *simCache) remove(e *centry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.used -= e.bytes
+}

@@ -1,18 +1,3 @@
-// Package simsys is the full-system discrete-event simulation of the four
-// key-value store designs the paper evaluates (§5.2, §6): Minos
-// (size-aware sharding), HKH (hardware keyhash sharding, MICA-style nxM/G/1),
-// SHO (software handoff, RAMCloud-style M/G/n) and HKH+WS (hardware sharding
-// plus work stealing, ZygOS-style).
-//
-// Unlike the idealized queueing models of internal/queueing, this simulation
-// models the parts of the platform the paper's results depend on: a
-// multi-queue 40 Gb/s NIC with per-queue round-robin transmit arbitration
-// and client-selected receive steering, packetization at the Ethernet MTU,
-// bounded RX rings, batched polling, software dispatch rings, the epoch
-// controller of internal/core, and per-design software overheads (handoff,
-// stealing, spinlocks, workload profiling). Virtual time makes microsecond
-// tails exactly reproducible — the substitution DESIGN.md documents for the
-// paper's bare-metal DPDK testbed.
 package simsys
 
 import (
@@ -113,6 +98,14 @@ type Config struct {
 	// queues; overflow counts as a drop, as on the real NIC.
 	RxQueueCap, SwQueueCap int
 
+	// MemoryLimit > 0 enables the cache model (this reproduction's
+	// extension beyond the paper): the store holds at most this many
+	// bytes of items (keys + values + per-item overhead), GETs can miss
+	// once items expire or are evicted under pressure, and a GET miss
+	// demand-fills the item back with a TTL from the workload profile.
+	// 0 keeps the paper's unbounded, always-hit store.
+	MemoryLimit int64
+
 	// Controller tuning (Minos only). Zero values take the paper's
 	// defaults (quantile 0.99, alpha 0.9, packet cost).
 	Quantile        float64
@@ -208,6 +201,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("simsys: ReplySampling = %g, need in (0, 1]", c.ReplySampling)
 	case c.ProfileSampling < 0 || c.ProfileSampling > 1:
 		return fmt.Errorf("simsys: ProfileSampling = %g, need in (0, 1]", c.ProfileSampling)
+	case c.MemoryLimit < 0:
+		return fmt.Errorf("simsys: MemoryLimit = %d, need >= 0", c.MemoryLimit)
 	}
 	return c.Profile.Validate()
 }
@@ -250,6 +245,27 @@ type WindowSample struct {
 	NumLarge   int
 }
 
+// CacheStat summarizes the cache model of a run with MemoryLimit > 0.
+// Hits and Misses are counted inside the measurement window; Evictions
+// and Expired are whole-run totals (warmup fills the cache).
+type CacheStat struct {
+	Hits, Misses       uint64
+	Evictions, Expired uint64
+	// BytesUsed is the cache's accounted footprint at the end of the
+	// run; the configured limit is in Config.MemoryLimit.
+	BytesUsed int64
+}
+
+// HitRatio returns the measured-window fraction of GETs served from
+// cache, in [0, 1] (0 when no GETs were measured).
+func (c CacheStat) HitRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	Config    Config
@@ -275,6 +291,9 @@ type Result struct {
 
 	PlanTrace []PlanSample
 	Windows   []WindowSample
+
+	// Cache is the cache-model summary (zero when MemoryLimit == 0).
+	Cache CacheStat
 
 	// Events is the number of simulator events fired (performance
 	// observability).

@@ -292,18 +292,26 @@ func (s *system) servesSharedQueue(id int) bool {
 func (s *system) startItem(c *coreUnit, r *request) {
 	switch s.cfg.Design {
 	case Minos:
+		// The size lookup doubles as the cache probe (the live server's
+		// expiry-aware Find): a missed GET has no value to return, so it
+		// is small by construction and served in place, exactly like the
+		// live replyMiss path — and, like it, is not profiled.
+		s.probe(r)
+		size := int64(s.effSize(r))
 		// Profiling: record the item size in the reading core's
 		// histogram (§3). PUT sizes come from the request; GET sizes
 		// from the lookup, whose cost is part of baseCost. Under the
 		// §6.2 sampling extension only every k-th request pays.
-		if s.profEvery <= 1 {
-			c.sizeHist.Record(int64(r.size))
+		if r.miss {
+			// misses skip the histogram
+		} else if s.profEvery <= 1 {
+			c.sizeHist.Record(size)
 			c.pendingExtra += profilingCost
 		} else if c.profCnt++; c.profCnt%uint64(s.profEvery) == 0 {
-			c.sizeHist.Record(int64(r.size))
+			c.sizeHist.Record(size)
 			c.pendingExtra += profilingCost
 		}
-		if !s.plan.IsSmall(int64(r.size)) {
+		if !s.plan.IsSmall(size) {
 			s.startBusy(c, r, kindDispatch, dispatchCost)
 			return
 		}
@@ -324,7 +332,10 @@ func (s *system) startItem(c *coreUnit, r *request) {
 
 // startServe begins full service of r on c.
 func (s *system) startServe(c *coreUnit, r *request) {
-	s.startBusy(c, r, kindServe, serviceCPU(r.op, r.size, r.sampled))
+	// Size-unaware designs meet the store here: probe once (no-op when
+	// already probed on a Minos small core, or without a cache model).
+	s.probe(r)
+	s.startBusy(c, r, kindServe, serviceCPU(r.op, s.effSize(r), r.sampled))
 }
 
 // startBusy schedules the completion event for a busy period, folding in
@@ -353,10 +364,12 @@ func (c *coreUnit) Handle(e *sim.Engine, arg int64, _ any) {
 	switch workKind(arg) {
 	case kindServe:
 		c.ops++
-		frames := outFrames(r.op, r.size)
+		s.cacheFill(r)
+		size := s.effSize(r)
+		frames := outFrames(r.op, size)
 		if r.sampled {
 			c.pkts += uint64(frames)
-			s.txLink.send(c.id, r, frames, outWireBytes(r.op, r.size))
+			s.txLink.send(c.id, r, frames, outWireBytes(r.op, size))
 		} else {
 			s.completeUnsampled(r)
 		}

@@ -1,0 +1,23 @@
+// Package simsys is the full-system discrete-event simulation of the four
+// key-value store designs the paper evaluates (§5.2, §6): Minos
+// (size-aware sharding), HKH (hardware keyhash sharding, MICA-style nxM/G/1),
+// SHO (software handoff, RAMCloud-style M/G/n) and HKH+WS (hardware sharding
+// plus work stealing, ZygOS-style).
+//
+// Unlike the idealized queueing models of internal/queueing, this simulation
+// models the parts of the platform the paper's results depend on: a
+// multi-queue 40 Gb/s NIC with per-queue round-robin transmit arbitration
+// and client-selected receive steering, packetization at the Ethernet MTU,
+// bounded RX rings, batched polling, software dispatch rings, the epoch
+// controller of internal/core, and per-design software overheads (handoff,
+// stealing, spinlocks, workload profiling). Virtual time makes microsecond
+// tails exactly reproducible — the substitution DESIGN.md documents for the
+// paper's bare-metal DPDK testbed.
+//
+// With Config.MemoryLimit set, the simulation also runs the cache model
+// (simCache): an exact-LRU, byte-accounted, TTL-aware twin of the live
+// store's CLOCK cache, probed where a server core first looks a key up.
+// A missed GET serves a header-only reply and demand-fills the item, so
+// hit ratios under zipf skew and eviction pressure emerge from the
+// actual reference stream; Result.Cache summarizes them.
+package simsys

@@ -12,12 +12,15 @@ type request struct {
 	sendT   sim.Time // client send timestamp
 	key     uint64
 	size    int32
+	ttl     sim.Time // item time-to-live (cache workloads; 0 = immortal)
 	op      workload.Op
 	class   workload.Class
 	rxq     int32 // client-chosen RX queue
 	client  int32 // originating client thread (inbound link source)
 	reader  int32 // core that drained it from the RX queue
 	sampled bool  // reply actually transmitted (Figure 8 sampling)
+	probed  bool  // cache already consulted for this request
+	miss    bool  // GET found nothing live in the cache (serve header-only)
 }
 
 // reqPool is a trivial freelist; the simulation is single-threaded so no

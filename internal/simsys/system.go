@@ -28,6 +28,12 @@ type system struct {
 	ctrl *core.Controller
 	plan core.Plan
 
+	// cache is the memory-capped item cache model (nil when
+	// cfg.MemoryLimit == 0, the paper's unbounded store). cacheHits and
+	// cacheMisses count GET probes inside the measurement window.
+	cache                  *simCache
+	cacheHits, cacheMisses uint64
+
 	// profEvery implements the §6.2 profiling-sampling extension: only
 	// every profEvery-th request updates the size histograms (1 = all).
 	profEvery int
@@ -83,6 +89,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	s.rxLink = newLink(s.eng, cfg.LinkRateGbps, cfg.Clients, s.deliver)
 	s.txLink = newLink(s.eng, cfg.LinkRateGbps, cfg.Cores, s.replyDelivered)
+	if cfg.MemoryLimit > 0 {
+		s.cache = newSimCache(cfg.MemoryLimit)
+	}
 	s.profEvery = 1
 	if cfg.ProfileSampling < 1 {
 		s.profEvery = int(1 / cfg.ProfileSampling)
@@ -169,6 +178,7 @@ func (s *system) arrive(e *sim.Engine) {
 	r.sendT = now
 	r.key = wr.Key
 	r.size = wr.Size
+	r.ttl = sim.Time(wr.TTL)
 	r.op = wr.Op
 	r.class = wr.Class
 	r.client = int32(s.steerRNG.Intn(s.cfg.Clients))
@@ -278,7 +288,7 @@ func (s *system) standbyEngaged() bool {
 	if c.swq.len() > 0 {
 		return true
 	}
-	return c.busy && c.curKind == kindServe && c.cur != nil && !s.plan.IsSmall(int64(c.cur.size))
+	return c.busy && c.curKind == kindServe && c.cur != nil && !s.plan.IsSmall(int64(s.effSize(c.cur)))
 }
 
 // largeCoreIDs invokes fn for each core id currently serving large
@@ -369,6 +379,55 @@ func (s *system) phase(e *sim.Engine) {
 	e.After(sim.Time(p.Duration), s, evPhase, nil)
 }
 
+// probe consults the cache model for a GET exactly once per request —
+// at the point a server core first looks the key up, mirroring the live
+// server's size lookup. A miss makes the GET a header-only reply (served
+// small); probe is a no-op when the cache model is disabled.
+func (s *system) probe(r *request) {
+	if s.cache == nil || r.probed || r.op != workload.OpGet {
+		return
+	}
+	r.probed = true
+	now := s.eng.Now()
+	r.miss = !s.cache.get(r.key, now)
+	if now >= s.cfg.Warmup && now < s.cfg.Duration {
+		if r.miss {
+			s.cacheMisses++
+		} else {
+			s.cacheHits++
+		}
+	}
+}
+
+// effSize returns the item size a request effectively serves: a GET that
+// missed carries no value back.
+func (s *system) effSize(r *request) int32 {
+	if r.miss {
+		return 0
+	}
+	return r.size
+}
+
+// cacheFill records the request's store effect at serve completion: a
+// PUT inserts/refreshes the item, a missed GET demand-fills it (the
+// read-through pattern — the client refetches from the backing store and
+// re-caches, modelled here without the second round trip). Both use the
+// TTL the generator drew for the item.
+func (s *system) cacheFill(r *request) {
+	if s.cache == nil {
+		return
+	}
+	if r.op != workload.OpPut && !(r.op == workload.OpGet && r.miss) {
+		return
+	}
+	now := s.eng.Now()
+	var expire sim.Time
+	if r.ttl > 0 {
+		expire = now + r.ttl
+	}
+	s.cache.put(r.key, cacheBytesFor(r.size), expire, now)
+}
+
 // replyDelivered fires when the last frame of a reply leaves the TX wire:
 // the client-observed completion (§5.4), modulo constant propagation.
 func (s *system) replyDelivered(r *request) {
@@ -440,6 +499,15 @@ func (s *system) buildResult() Result {
 		SwDrops:    s.swDrops,
 		PlanTrace:  s.planTrace,
 		Events:     s.eng.Fired(),
+	}
+	if s.cache != nil {
+		res.Cache = CacheStat{
+			Hits:      s.cacheHits,
+			Misses:    s.cacheMisses,
+			Evictions: s.cache.evictions,
+			Expired:   s.cache.expired,
+			BytesUsed: s.cache.used,
+		}
 	}
 	res.PerCore = make([]CoreStat, len(s.cores))
 	for i := range s.cores {

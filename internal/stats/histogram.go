@@ -1,14 +1,3 @@
-// Package stats provides the measurement primitives used throughout the
-// Minos reproduction: log-bucketed histograms for latencies and item sizes,
-// percentile extraction, exponential moving averages for the threshold
-// controller, and small summary helpers.
-//
-// The histograms follow the HDR-histogram idea — fixed sub-bucket precision
-// within power-of-two ranges — so that recording is O(1), memory is bounded
-// and percentiles are accurate to a configurable relative error at any
-// magnitude. This matters because the paper's measurements span almost four
-// orders of magnitude (sub-microsecond to millisecond latencies, byte to
-// megabyte item sizes).
 package stats
 
 import (

@@ -1,0 +1,26 @@
+// Package wire defines the UDP-level message format of the Minos
+// reproduction: a fixed binary header carried in every Ethernet frame,
+// fragmentation of requests and replies that exceed the MTU, and the
+// byte/packet accounting the rest of the system builds on.
+//
+// The format follows §4.1 of the paper: communication is UDP over IP over
+// Ethernet; the client chooses the server RX queue for each request and
+// encodes it in the request (on the paper's testbed this is done by picking
+// the UDP destination port that RSS maps to the desired queue); large PUT
+// requests and large GET replies span multiple frames and are fragmented
+// and reassembled at the UDP level; the client's send timestamp is carried
+// in the request and echoed in the reply so the client can compute
+// end-to-end latency without synchronized clocks (§5.4).
+//
+// Packet counting matters beyond message framing: the number of frames an
+// operation touches is Minos' default request cost function (§3, "Minos ...
+// currently uses the number of network packets handled to serve the request
+// as cost"), so CostPackets lives here and is shared by the controller, the
+// simulator and the live server.
+//
+// Cache semantics ride in two places the paper left unused: the header's
+// final word carries the item TTL in milliseconds on PUT requests (0 = no
+// expiry), and StatusEvicted distinguishes a miss on a key the store aged
+// out from a key that was never stored. Both are zero on the paper's
+// workloads, so the format stays byte-compatible with version 1 frames.
+package wire

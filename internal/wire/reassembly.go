@@ -133,6 +133,7 @@ func messageFrom(h Header, body []byte) *Message {
 		RxQueue:   h.RxQueue,
 		ReqID:     h.ReqID,
 		Timestamp: h.Timestamp,
+		TTL:       h.TTL,
 		Key:       body[:h.KeyLen:h.KeyLen],
 		Value:     body[h.KeyLen:],
 	}

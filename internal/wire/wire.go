@@ -1,22 +1,3 @@
-// Package wire defines the UDP-level message format of the Minos
-// reproduction: a fixed binary header carried in every Ethernet frame,
-// fragmentation of requests and replies that exceed the MTU, and the
-// byte/packet accounting the rest of the system builds on.
-//
-// The format follows §4.1 of the paper: communication is UDP over IP over
-// Ethernet; the client chooses the server RX queue for each request and
-// encodes it in the request (on the paper's testbed this is done by picking
-// the UDP destination port that RSS maps to the desired queue); large PUT
-// requests and large GET replies span multiple frames and are fragmented
-// and reassembled at the UDP level; the client's send timestamp is carried
-// in the request and echoed in the reply so the client can compute
-// end-to-end latency without synchronized clocks (§5.4).
-//
-// Packet counting matters beyond message framing: the number of frames an
-// operation touches is Minos' default request cost function (§3, "Minos ...
-// currently uses the number of network packets handled to serve the request
-// as cost"), so CostPackets lives here and is shared by the controller, the
-// simulator and the live server.
 package wire
 
 import (
@@ -118,6 +99,15 @@ const (
 	StatusNotFound uint8 = 1
 	StatusError    uint8 = 2
 	StatusTooLarge uint8 = 3
+
+	// StatusEvicted is the cache-semantics miss: the key was present but
+	// the store removed it under its cache policy — its TTL passed, or
+	// memory pressure evicted it — distinguishable from StatusNotFound
+	// (never stored, or deleted by a client). Servers report it when they
+	// can still observe the cause, i.e. for lazily expired items found
+	// dead on read; an item already reclaimed by the eviction clock is
+	// indistinguishable from an absent key, exactly as in memcached.
+	StatusEvicted uint8 = 4
 )
 
 // MaxValueSize bounds a single item's value. It matches the controller's
@@ -151,7 +141,7 @@ const MaxKeySize = 1<<16 - 1
 //	 28   4 fragment byte offset into key||value
 //	 32   2 key length (bytes; 0 in GET replies)
 //	 34   2 fragment payload length
-//	 36   4 reserved (0)
+//	 36   4 TTL in milliseconds (0 = no expiry; meaningful on PUT requests)
 type Header struct {
 	Op        Op
 	Status    uint8
@@ -162,6 +152,7 @@ type Header struct {
 	FragOff   uint32
 	KeyLen    uint16
 	FragLen   uint16
+	TTL       uint32
 }
 
 const (
@@ -196,7 +187,7 @@ func EncodeHeader(dst []byte, h *Header) {
 	binary.BigEndian.PutUint32(dst[28:32], h.FragOff)
 	binary.BigEndian.PutUint16(dst[32:34], h.KeyLen)
 	binary.BigEndian.PutUint16(dst[34:36], h.FragLen)
-	binary.BigEndian.PutUint32(dst[36:40], 0)
+	binary.BigEndian.PutUint32(dst[36:40], h.TTL)
 }
 
 // DecodeHeader parses the header at the start of frame and returns the
@@ -221,6 +212,7 @@ func DecodeHeader(frame []byte) (Header, []byte, error) {
 		FragOff:   binary.BigEndian.Uint32(frame[28:32]),
 		KeyLen:    binary.BigEndian.Uint16(frame[32:34]),
 		FragLen:   binary.BigEndian.Uint16(frame[34:36]),
+		TTL:       binary.BigEndian.Uint32(frame[36:40]),
 	}
 	if h.Op == OpInvalid || h.Op > OpDeleteReply {
 		return Header{}, nil, ErrBadOp
@@ -254,8 +246,11 @@ type Message struct {
 	RxQueue   uint16
 	ReqID     uint64
 	Timestamp int64
-	Key       []byte
-	Value     []byte
+	// TTL is the item's time-to-live in milliseconds, carried on PUT
+	// requests (0 = the item never expires). Replies echo 0.
+	TTL   uint32
+	Key   []byte
+	Value []byte
 }
 
 // body returns the fragmented byte stream of m: key followed by value.
@@ -295,6 +290,7 @@ func (m *Message) AppendFrames(frames [][]byte) [][]byte {
 		Timestamp: m.Timestamp,
 		TotalSize: uint32(total),
 		KeyLen:    uint16(keyLen),
+		TTL:       m.TTL,
 	}
 	n := FragmentsFor(total)
 	for i := 0; i < n; i++ {

@@ -18,6 +18,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 		FragOff:   1432,
 		KeyLen:    8,
 		FragLen:   1432,
+		TTL:       30_000, // 30 s, in the header's millisecond field
 	}
 	frame := make([]byte, HeaderSize+int(in.FragLen))
 	EncodeHeader(frame, &in)
@@ -400,5 +401,34 @@ func TestMessageFramePayloadSizes(t *testing.T) {
 	last := frames[len(frames)-1]
 	if len(last) != HeaderSize+10 {
 		t.Fatalf("last frame size = %d, want %d", len(last), HeaderSize+10)
+	}
+}
+
+func TestMessageTTLSurvivesFragmentation(t *testing.T) {
+	// The TTL must ride in every fragment so the reassembled message
+	// carries it regardless of which fragment completed it.
+	in := &Message{
+		Op:    OpPutRequest,
+		ReqID: 42,
+		TTL:   1500,
+		Key:   []byte("ttl-key"),
+		Value: bytes.Repeat([]byte("v"), 3*MaxFragPayload),
+	}
+	r := NewReassembler(0)
+	var out *Message
+	for _, frame := range in.Frames() {
+		msg, err := r.Add(1, frame)
+		if err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		if msg != nil {
+			out = msg
+		}
+	}
+	if out == nil {
+		t.Fatal("message never completed")
+	}
+	if out.TTL != in.TTL {
+		t.Fatalf("TTL = %d after reassembly, want %d", out.TTL, in.TTL)
 	}
 }

@@ -103,6 +103,13 @@ func (c *Catalog) ClassOf(key uint64) Class {
 // IsLargeKey reports whether the key is one of the large items.
 func (c *Catalog) IsLargeKey(key uint64) bool { return key >= uint64(c.numRegular) }
 
+// TotalValueBytes returns the summed value sizes of every key — the
+// dataset's working set, which cache experiments compare memory limits
+// against.
+func (c *Catalog) TotalValueBytes() int64 {
+	return c.totalTinyB + c.totalSmallB + c.totalLargeB
+}
+
 // AvgSize returns the average item size of a class, in bytes.
 func (c *Catalog) AvgSize(class Class) float64 {
 	switch class {

@@ -1,0 +1,20 @@
+// Package workload generates the request streams of the paper's evaluation
+// (§5.3): a trimodal item-size distribution modelled on Facebook's ETC pool
+// (tiny 1–13 B, small 14–1400 B, large 1500 B–sL), zipfian key popularity
+// with YCSB's default skew (theta = 0.99) over the tiny+small keys, uniform
+// popularity over the few large keys, configurable GET:PUT ratios, Poisson
+// (open-loop) arrivals, and time-varying phases for the dynamic-workload
+// experiment (Figure 10). It also computes the size-variability profiles of
+// Table 1.
+//
+// Key types: Profile parameterizes a workload and validates it; Catalog
+// fixes each key's size and class so every component — simulator, live
+// server, clients — agrees on item sizes without communication; Generator
+// draws the request stream; Arrivals produces the Poisson schedule.
+//
+// Beyond the paper, CacheProfile adds the cache workload: requests carry
+// per-item TTLs drawn from [Profile.TTLMin, Profile.TTLMax], and the
+// dataset is sized so the working set exceeds realistic memory caps —
+// feeding the TTL/eviction semantics of internal/kv and the cache model
+// of internal/simsys.
+package workload

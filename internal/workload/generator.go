@@ -3,6 +3,7 @@ package workload
 import (
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Request is one client operation. Size is the value length in bytes: for
@@ -15,6 +16,12 @@ type Request struct {
 	Op    Op
 	Size  int32
 	Class Class
+
+	// TTL is the item's time-to-live, drawn from the profile's
+	// [TTLMin, TTLMax] range (0 when the profile disables TTLs). Writes
+	// carry it to the store; on GETs it is the TTL a demand fill after a
+	// miss would use.
+	TTL time.Duration
 }
 
 // Generator produces a request stream for one catalogue. It is not safe
@@ -30,6 +37,12 @@ type Generator struct {
 	zipf *Zipf
 	rng  *rand.Rand
 
+	// ttlMin/ttlSpan are hoisted from the catalogue's profile so Next
+	// never copies the Profile struct on the hot path; ttlSpan == 0
+	// means the profile has no TTLs.
+	ttlMin  time.Duration
+	ttlSpan int64
+
 	mu       sync.Mutex
 	pLarge   float64 // fraction, not percent
 	getRatio float64
@@ -39,25 +52,39 @@ type Generator struct {
 // with distinct seeds produce independent streams over the same catalogue.
 func NewGenerator(cat *Catalog, seed int64) *Generator {
 	p := cat.Profile()
-	return &Generator{
+	g := &Generator{
 		cat:      cat,
 		zipf:     NewZipf(cat.NumRegularKeys(), p.ZipfTheta),
 		rng:      rand.New(rand.NewSource(seed)),
 		pLarge:   p.PercentLarge / 100,
 		getRatio: p.GetRatio,
 	}
+	g.initTTL(p)
+	return g
 }
 
 // SharedZipf returns a generator that reuses a pre-built Zipf table, so
 // many client threads avoid recomputing the O(NumKeys) harmonic sum.
 func NewGeneratorWithZipf(cat *Catalog, z *Zipf, seed int64) *Generator {
 	p := cat.Profile()
-	return &Generator{
+	g := &Generator{
 		cat:      cat,
 		zipf:     z,
 		rng:      rand.New(rand.NewSource(seed)),
 		pLarge:   p.PercentLarge / 100,
 		getRatio: p.GetRatio,
+	}
+	g.initTTL(p)
+	return g
+}
+
+// initTTL caches the profile's TTL distribution parameters. The +1 keeps
+// the Int63n draw in Next identical to sampling over [TTLMin, TTLMax]
+// inclusive.
+func (g *Generator) initTTL(p Profile) {
+	if p.TTLMax > 0 {
+		g.ttlMin = p.TTLMin
+		g.ttlSpan = int64(p.TTLMax-p.TTLMin) + 1
 	}
 }
 
@@ -106,10 +133,15 @@ func (g *Generator) Next() Request {
 	if g.rng.Float64() >= getRatio {
 		op = OpPut
 	}
+	var ttl time.Duration
+	if g.ttlSpan > 0 {
+		ttl = g.ttlMin + time.Duration(g.rng.Int63n(g.ttlSpan))
+	}
 	return Request{
 		Key:   key,
 		Op:    op,
 		Size:  int32(g.cat.Size(key)),
 		Class: g.cat.ClassOf(key),
+		TTL:   ttl,
 	}
 }

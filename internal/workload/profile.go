@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Size-class boundaries of the paper's trimodal item-size distribution
 // (§5.3), modelled on Facebook's ETC pool.
@@ -88,6 +91,13 @@ type Profile struct {
 	// (paper: 40% tiny, 60% small).
 	TinyKeyFrac float64
 
+	// TTLMin and TTLMax bound the per-item time-to-live: when TTLMax >
+	// 0, every request draws a TTL uniformly from [TTLMin, TTLMax]
+	// (writes carry it to the store; the simulator's demand-fill uses
+	// it when refilling after a GET miss). TTLMax == 0 disables TTLs —
+	// the paper's immortal items.
+	TTLMin, TTLMax time.Duration
+
 	// Seed makes catalogue construction and request generation
 	// deterministic.
 	Seed int64
@@ -129,6 +139,24 @@ func WriteIntensiveProfile() Profile {
 	return p
 }
 
+// CacheProfile returns the memcached-style cache workload this
+// reproduction adds beyond the paper: the same trimodal sizes and zipf
+// skew, but items carry TTLs and the working set is meant to exceed the
+// store's memory limit, so hit ratio, expiration churn and eviction
+// pressure become first-class (see DESIGN.md §6). The 90:10 GET:PUT mix
+// approximates a read-through cache whose writes are miss fills plus
+// updates.
+func CacheProfile() Profile {
+	p := DefaultProfile()
+	p.Name = "cache"
+	p.GetRatio = 0.90
+	p.NumKeys = 400_000
+	p.NumLargeKeys = 250 // preserves the 10K/16M large-key ratio
+	p.TTLMin = 50 * time.Millisecond
+	p.TTLMax = 500 * time.Millisecond
+	return p
+}
+
 // WithPercentLarge returns a copy of p with pL replaced.
 func (p Profile) WithPercentLarge(pl float64) Profile {
 	p.PercentLarge = pl
@@ -162,6 +190,8 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload: ZipfTheta = %g, need > 0", p.ZipfTheta)
 	case p.TinyKeyFrac < 0 || p.TinyKeyFrac > 1:
 		return fmt.Errorf("workload: TinyKeyFrac = %g, need in [0, 1]", p.TinyKeyFrac)
+	case p.TTLMin < 0 || p.TTLMax < 0 || p.TTLMin > p.TTLMax:
+		return fmt.Errorf("workload: TTL range [%v, %v] invalid", p.TTLMin, p.TTLMax)
 	}
 	return nil
 }

@@ -1,11 +1,3 @@
-// Package workload generates the request streams of the paper's evaluation
-// (§5.3): a trimodal item-size distribution modelled on Facebook's ETC pool
-// (tiny 1–13 B, small 14–1400 B, large 1500 B–sL), zipfian key popularity
-// with YCSB's default skew (theta = 0.99) over the tiny+small keys, uniform
-// popularity over the few large keys, configurable GET:PUT ratios, Poisson
-// (open-loop) arrivals, and time-varying phases for the dynamic-workload
-// experiment (Figure 10). It also computes the size-variability profiles of
-// Table 1.
 package workload
 
 import (

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"github.com/minoskv/minos/internal/core"
-	"github.com/minoskv/minos/internal/kv"
 	"github.com/minoskv/minos/internal/server"
 )
 
@@ -187,10 +186,25 @@ func WithStaticThreshold(threshold int64) ServerOption {
 // 4096; each bucket holds 7 items before chaining).
 func WithStoreCapacity(partitions, bucketsPerPartition int) ServerOption {
 	return func(c *serverConfig) {
-		c.cfg.Store = kv.Config{
-			NumPartitions:       partitions,
-			BucketsPerPartition: bucketsPerPartition,
+		c.cfg.Store.NumPartitions = partitions
+		c.cfg.Store.BucketsPerPartition = bucketsPerPartition
+	}
+}
+
+// WithMemoryLimit caps the store's live bytes (keys + values + per-item
+// overhead) and turns the server into a bounded cache: when a write
+// pushes a partition over its share of the budget, a CLOCK second-chance
+// sweep evicts cold items until that partition is back under budget
+// before the write is acknowledged, so the limit is respected to within
+// one in-flight item per concurrently written partition. 0 (the
+// default) keeps the paper's unbounded store. Eviction and expiry
+// activity is visible in Snapshot.
+func WithMemoryLimit(bytes int64) ServerOption {
+	return func(c *serverConfig) {
+		if bytes < 0 && c.err == nil {
+			c.err = errors.New("minos: WithMemoryLimit needs a non-negative byte count")
 		}
+		c.cfg.Store.MemoryLimit = bytes
 	}
 }
 
@@ -268,18 +282,50 @@ type Snapshot struct {
 	ValueBytes int64
 	// Plan is the controller's current plan.
 	Plan Plan
+
+	// Cache-semantics counters, all cumulative and monotone. Hits and
+	// Misses count GETs answered with a value and with a miss; Expired
+	// counts items reclaimed because their TTL passed (lazily on read or
+	// by the epoch sweep); Evicted counts items removed by the CLOCK
+	// hand under memory pressure (WithMemoryLimit).
+	Hits    uint64
+	Misses  uint64
+	Expired uint64
+	Evicted uint64
+	// MemBytes is the store's accounted footprint (keys, values and
+	// per-item overhead — what WithMemoryLimit caps); MemoryLimit echoes
+	// the configured cap, 0 when unbounded.
+	MemBytes    int64
+	MemoryLimit int64
 }
 
-// Snapshot captures the server's counters, store size, and current plan.
+// HitRatio returns the fraction of GETs answered with a value, in
+// [0, 1]; 0 when no GETs were served yet.
+func (s Snapshot) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Snapshot captures the server's counters, store size, cache activity,
+// and current plan.
 func (s *Server) Snapshot() Snapshot {
 	st := s.s.Stats()
 	snap := Snapshot{
-		Ops:        st.Ops,
-		SwDrops:    st.SwDrops,
-		BadFrames:  st.BadFrames,
-		Items:      s.s.Store().Len(),
-		ValueBytes: s.s.Store().ValueBytes(),
-		Plan:       planFromCore(st.Plan),
+		Ops:         st.Ops,
+		SwDrops:     st.SwDrops,
+		BadFrames:   st.BadFrames,
+		Items:       s.s.Store().Len(),
+		ValueBytes:  s.s.Store().ValueBytes(),
+		Plan:        planFromCore(st.Plan),
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Expired:     st.Expired,
+		Evicted:     st.Evicted,
+		MemBytes:    st.MemBytes,
+		MemoryLimit: st.MemoryLimit,
 	}
 	if len(st.PerCore) > 0 {
 		snap.PerCore = make([]CoreSnapshot, len(st.PerCore))

@@ -44,6 +44,12 @@ type Profile struct {
 	// (paper: 40% tiny, 60% small).
 	TinyKeyFrac float64
 
+	// TTLMin and TTLMax bound the per-item time-to-live: when TTLMax >
+	// 0, every write draws a TTL uniformly from [TTLMin, TTLMax] and
+	// carries it to the server (PutTTL semantics). TTLMax == 0 keeps
+	// the paper's immortal items. See CacheProfile.
+	TTLMin, TTLMax time.Duration
+
 	// Seed makes catalogue construction and request generation
 	// deterministic.
 	Seed int64
@@ -62,6 +68,8 @@ func (p Profile) toInternal() workload.Profile {
 		NumKeys:      p.NumKeys,
 		NumLargeKeys: p.NumLargeKeys,
 		TinyKeyFrac:  p.TinyKeyFrac,
+		TTLMin:       p.TTLMin,
+		TTLMax:       p.TTLMax,
 		Seed:         p.Seed,
 	}
 }
@@ -76,6 +84,8 @@ func profileFromInternal(p workload.Profile) Profile {
 		NumKeys:      p.NumKeys,
 		NumLargeKeys: p.NumLargeKeys,
 		TinyKeyFrac:  p.TinyKeyFrac,
+		TTLMin:       p.TTLMin,
+		TTLMax:       p.TTLMax,
 		Seed:         p.Seed,
 	}
 }
@@ -90,6 +100,13 @@ func WriteIntensiveProfile() Profile { return profileFromInternal(workload.Write
 // PaperScaleProfile returns the default workload at the paper's full 16M
 // key dataset scale.
 func PaperScaleProfile() Profile { return profileFromInternal(workload.PaperScaleProfile()) }
+
+// CacheProfile returns the cache workload: the default trimodal sizes
+// and zipf skew, but writes carry TTLs drawn from [TTLMin, TTLMax] and
+// the dataset is sized so the working set exceeds a WithMemoryLimit cap
+// you would realistically give the server — making hit ratio, expiry
+// churn and eviction pressure measurable on the live path.
+func CacheProfile() Profile { return profileFromInternal(workload.CacheProfile()) }
 
 // Catalog fixes each key's size and class for a profile: key ids are
 // dense in [0, NumKeys), with the large keys at the top of the range.
@@ -162,6 +179,14 @@ type LoadConfig struct {
 type LoadResult struct {
 	// Sent and Received count requests and replies.
 	Sent, Received uint64
+	// Gets counts GET replies received; Misses counts the subset that
+	// carried no value (absent, expired or evicted keys) — nonzero only
+	// against memory-capped or TTL'd servers. (Gets-Misses)/Gets is the
+	// client-observed GET hit ratio (Received also counts PUT and
+	// DELETE acknowledgments, so it is not a hit-ratio denominator);
+	// Server.Snapshot reports the server-side equivalent.
+	Gets   uint64
+	Misses uint64
 	// Lat is the end-to-end latency histogram (ns), measured from each
 	// request's scheduled arrival so client-side backlog counts toward
 	// latency (no coordinated omission). SmallLat and LargeLat split it
@@ -245,6 +270,8 @@ func RunOpenLoop(ctx context.Context, tr ClientTransport, queues int, gen *Gener
 	return &LoadResult{
 		Sent:     res.Sent,
 		Received: res.Received,
+		Gets:     res.Gets,
+		Misses:   res.Misses,
 		Lat:      LatencyHistogram{h: res.Lat},
 		SmallLat: LatencyHistogram{h: res.SmallLat},
 		LargeLat: LatencyHistogram{h: res.LargeLat},
