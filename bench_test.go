@@ -583,3 +583,60 @@ func BenchmarkAblationCostFunction(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkClusterMultiGet measures a fan-out read across a live 2-node
+// fabric cluster — per-node sub-batches pipelined concurrently, the call
+// as slow as the slowest node — and reports the worst per-node p99 next
+// to the fan-out latency.
+func BenchmarkClusterMultiGet(b *testing.B) {
+	const (
+		nodes  = 2
+		cores  = 1
+		keys   = 2_000
+		fanout = 8
+	)
+	ctx := context.Background()
+	fc := minos.NewFabricCluster(nodes, cores)
+	fc.SetRTT(liveRTT)
+	members := make([]minos.ClusterNode, nodes)
+	for i := 0; i < nodes; i++ {
+		srv, err := minos.NewServer(fc.Node(i).Server(), minos.WithCores(cores))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Start()
+		defer srv.Stop()
+		members[i] = minos.ClusterNode{
+			Name:      fmt.Sprintf("n%d", i),
+			Transport: fc.Node(i).NewClient(),
+			Server:    srv,
+		}
+	}
+	cl, err := minos.NewCluster(members,
+		minos.WithNodeOptions(minos.WithQueues(cores), minos.WithWindow(64)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	val := make([]byte, 100)
+	for i := 0; i < keys; i++ {
+		if err := cl.Put(ctx, minos.KeyForID(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	batch := make([][]byte, fanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = minos.KeyForID(uint64(rng.Intn(keys)))
+		}
+		if _, err := cl.MultiGet(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := cl.Stats()
+	b.ReportMetric(float64(st.MaxNodeP99)/1000, "node-p99-us")
+}

@@ -156,7 +156,12 @@ func (c *Client) Window() int { return c.p.Window() }
 
 // Stats snapshots the client's counters.
 func (c *Client) Stats() ClientStats {
-	st := c.p.Stats()
+	return clientStatsFrom(c.p.Stats())
+}
+
+// clientStatsFrom converts the engine's counters into the owned public
+// type (shared by Client.Stats and Cluster.Stats).
+func clientStatsFrom(st client.PipelineStats) ClientStats {
 	return ClientStats{
 		Sent:      st.Sent,
 		Completed: st.Completed,

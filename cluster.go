@@ -1,0 +1,303 @@
+package minos
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/cluster"
+	"github.com/minoskv/minos/internal/kv"
+)
+
+// Cluster-layer errors (see DESIGN.md §7).
+var (
+	// ErrNoNodes reports an operation on a cluster whose last node was
+	// removed.
+	ErrNoNodes = cluster.ErrNoNodes
+
+	// ErrNodeExists rejects AddNode with a name already in the ring.
+	ErrNodeExists = cluster.ErrNodeExists
+
+	// ErrUnknownNode rejects RemoveNode of a name not in the ring.
+	ErrUnknownNode = cluster.ErrUnknownNode
+
+	// ErrNoScan reports a topology change that would need to enumerate
+	// the keys of a node attached without a Server handle: such a node
+	// can receive migrated keys but cannot donate them.
+	ErrNoScan = cluster.ErrNoScan
+)
+
+// ClusterNode attaches one Minos server to a Cluster: a stable routing
+// name (its identity on the consistent-hash ring), the client transport
+// that reaches it, and — optionally — the in-process Server handle.
+// The handle is what lets topology changes drain keys off the node
+// (AddNode/RemoveNode scan the donor's store directly and stream the
+// keys over the wire); a node attached without one, e.g. a genuinely
+// remote server, can join and receive keys but cannot be a migration
+// donor (ErrNoScan).
+type ClusterNode struct {
+	Name      string
+	Transport ClientTransport
+	Server    *Server
+}
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	cfg      cluster.Config
+	nodeOpts []ClientOption
+}
+
+// WithVNodes sets the virtual-node count each node contributes to the
+// ring (default 256). More vnodes tighten the key-distribution skew
+// across nodes at the cost of ring size; the default keeps an 8-node
+// ring's arc imbalance within a few percent.
+func WithVNodes(n int) ClusterOption {
+	return func(c *clusterConfig) { c.cfg.VNodes = n }
+}
+
+// WithClusterSeed fixes the ring's vnode placement. Cluster clients that
+// must agree on key ownership — including the same cluster reconstructed
+// after a restart — use the same seed, node names and vnode count.
+func WithClusterSeed(seed uint64) ClusterOption {
+	return func(c *clusterConfig) { c.cfg.Seed = seed }
+}
+
+// WithNodeOptions applies client options (WithQueues, WithWindow,
+// WithDeadline, ...) to every node's internal client engine, including
+// nodes attached later with AddNode. Clusters are assumed homogeneous:
+// give WithQueues the per-node server core count.
+func WithNodeOptions(opts ...ClientOption) ClusterOption {
+	return func(c *clusterConfig) { c.nodeOpts = append(c.nodeOpts, opts...) }
+}
+
+// Cluster is the key-value client for a fleet of independent Minos
+// servers: a consistent-hash ring (seeded virtual nodes) routes every
+// key to exactly one node, each node is reached through its own
+// pipelined engine, and MultiGet fans per-node sub-batches out
+// concurrently — so the fan-out latency is the slowest node's, the
+// cluster-level tail ClusterStats makes visible per node.
+//
+// Topology changes at runtime: AddNode and RemoveNode recompute the ring
+// and stream the affected keys between nodes over the ordinary wire
+// protocol, with reads served throughout. Safe for concurrent use by any
+// number of goroutines.
+type Cluster struct {
+	c       *cluster.Cluster
+	nodeCfg clientConfig
+}
+
+// NewCluster builds a cluster client over the given nodes. Each node
+// needs its own transport (as each Client does); the caller keeps
+// ownership of the transports, while the cluster owns the client engines
+// it builds on top of them. Node names must be unique and non-empty.
+func NewCluster(nodes []ClusterNode, opts ...ClusterOption) (*Cluster, error) {
+	var cc clusterConfig
+	for _, opt := range opts {
+		opt(&cc)
+	}
+	nodeCfg := clientConfig{queues: 1}
+	for _, opt := range cc.nodeOpts {
+		opt(&nodeCfg)
+	}
+	if nodeCfg.queues < 1 {
+		return nil, errors.New("minos: WithNodeOptions(WithQueues) needs at least one queue")
+	}
+	configs := make([]cluster.NodeConfig, 0, len(nodes))
+	closeBuilt := func() {
+		for _, nc := range configs {
+			_ = nc.Pipe.Close()
+		}
+	}
+	for _, n := range nodes {
+		nc, err := nodeConfigFor(n, nodeCfg)
+		if err != nil {
+			closeBuilt()
+			return nil, err
+		}
+		configs = append(configs, nc)
+	}
+	c, err := cluster.New(cc.cfg, configs)
+	if err != nil {
+		closeBuilt()
+		return nil, err
+	}
+	return &Cluster{c: c, nodeCfg: nodeCfg}, nil
+}
+
+// nodeConfigFor builds the internal node attachment: the pipelined
+// engine over the node's transport and, when a Server handle is present,
+// the store scan hook migration needs.
+func nodeConfigFor(n ClusterNode, cfg clientConfig) (cluster.NodeConfig, error) {
+	if n.Transport.tr == nil {
+		return cluster.NodeConfig{}, errors.New("minos: ClusterNode needs a transport (Fabric.NewClient or NewUDPClient)")
+	}
+	return cluster.NodeConfig{
+		Name: n.Name,
+		Pipe: client.NewPipeline(n.Transport.tr, cfg.queues, cfg.cfg),
+		Scan: scanFor(n.Server),
+	}, nil
+}
+
+// scanFor adapts a Server's store into the migration scan: live items
+// with their remaining TTL, expired items skipped.
+func scanFor(s *Server) cluster.ScanFunc {
+	if s == nil {
+		return nil
+	}
+	store := s.s.Store()
+	return func(fn func(key, value []byte, ttl time.Duration) bool) {
+		store.Range(func(it *kv.Item) bool {
+			var ttl time.Duration
+			if it.Expire != 0 {
+				rem := it.Expire - store.Clock()
+				if rem <= 0 {
+					return true // expired: not worth moving
+				}
+				ttl = time.Duration(rem)
+			}
+			return fn(it.Key, it.Value, ttl)
+		})
+	}
+}
+
+// Get fetches the value for key from the node owning it. A missing key
+// returns ErrNotFound.
+func (c *Cluster) Get(ctx context.Context, key []byte) ([]byte, error) {
+	return c.c.Get(ctx, key)
+}
+
+// Put stores value under key on the node owning it.
+func (c *Cluster) Put(ctx context.Context, key, value []byte) error {
+	return c.c.Put(ctx, key, value)
+}
+
+// PutTTL stores value under key with a time-to-live on the node owning
+// it; ttl <= 0 never expires (see Client.PutTTL for the expiry
+// contract).
+func (c *Cluster) PutTTL(ctx context.Context, key, value []byte, ttl time.Duration) error {
+	return c.c.PutTTL(ctx, key, value, ttl)
+}
+
+// Delete removes key from the node owning it. Deleting an absent key
+// returns ErrNotFound.
+func (c *Cluster) Delete(ctx context.Context, key []byte) error {
+	return c.c.Delete(ctx, key)
+}
+
+// MultiGet pipelines one GET per key, fanned out as concurrent per-node
+// sub-batches and merged so values[i] belongs to keys[i]. A missing key
+// leaves values[i] nil without failing the batch; err is the first
+// failure other than a miss. The call completes when the slowest node
+// does — the fan-out regime where the cluster tail is the worst node's
+// tail.
+func (c *Cluster) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte, err error) {
+	return c.c.MultiGet(ctx, keys)
+}
+
+// AddNode attaches a new node and rebalances: every key the grown ring
+// assigns to the new node is streamed off its current owner (pipelined
+// PUTs, remaining TTLs preserved), the ring swaps, and the stale donor
+// copies are deleted. Reads are served throughout — by the old owners
+// during the copy, by the new node (which already holds the keys) after
+// the swap. Returns the number of keys moved.
+//
+// Existing nodes must all carry Server handles (ErrNoScan otherwise).
+// On failure the ring is unchanged and partial copies are best-effort
+// removed. Writes racing a topology change on a moving key can be lost;
+// see DESIGN.md §7 for the exact consistency contract.
+func (c *Cluster) AddNode(ctx context.Context, n ClusterNode) (moved int, err error) {
+	nc, err := nodeConfigFor(n, c.nodeCfg)
+	if err != nil {
+		return 0, err
+	}
+	moved, err = c.c.AddNode(ctx, nc)
+	if err != nil {
+		_ = nc.Pipe.Close()
+	}
+	return moved, err
+}
+
+// RemoveNode detaches a node after streaming every live key it holds to
+// the key's owner under the shrunk ring. Reads are served throughout;
+// once the ring has swapped, the node's in-flight requests drain
+// (bounded wait) and its engine closes — its transport stays open, the
+// caller owns it. Returns the number of keys moved. The retiring node
+// must carry a Server handle (ErrNoScan otherwise); removing the last
+// node discards its keys and leaves a cluster that fails with
+// ErrNoNodes.
+func (c *Cluster) RemoveNode(ctx context.Context, name string) (moved int, err error) {
+	return c.c.RemoveNode(ctx, name)
+}
+
+// Nodes returns the current node names, sorted.
+func (c *Cluster) Nodes() []string {
+	return append([]string(nil), c.c.Ring().Nodes()...)
+}
+
+// NodeFor returns the name of the node owning key under the current
+// ring ("" on an empty cluster).
+func (c *Cluster) NodeFor(key []byte) string { return c.c.Owner(key) }
+
+// ClusterNodeStats is one node's view of the cluster traffic.
+type ClusterNodeStats struct {
+	// Name is the node's ring identity.
+	Name string
+	// Ops counts operations routed through the node (a MultiGet
+	// sub-batch counts once).
+	Ops uint64
+	// P50/P99/P999 are the node-local operation latencies in
+	// nanoseconds as observed by this cluster client.
+	P50, P99, P999 int64
+	// Client exposes the node's pipelined engine counters.
+	Client ClientStats
+}
+
+// ClusterStats is a point-in-time view of the cluster: aggregate latency
+// percentiles over every routed operation plus the per-node breakdown —
+// the spread (and MaxNodeP99 in particular) is what shows the fan-out
+// tail tracking the slowest node.
+type ClusterStats struct {
+	// Nodes lists the live nodes, sorted by name; a removed node's
+	// per-node row retires with it.
+	Nodes []ClusterNodeStats
+	// Ops is the total operations routed over the cluster's lifetime,
+	// including through since-removed nodes — it never runs backwards
+	// across a topology change.
+	Ops uint64
+	// P50/P99/P999 merge every observation ever routed (nanoseconds),
+	// removed nodes included.
+	P50, P99, P999 int64
+	// MaxNodeP99 is the worst live per-node p99 in nanoseconds: with
+	// fan-out requests the cluster tail tracks this, not the mean.
+	MaxNodeP99 int64
+}
+
+// Stats snapshots the cluster's counters.
+func (c *Cluster) Stats() ClusterStats {
+	st := c.c.Stats()
+	out := ClusterStats{
+		Ops:        st.Ops,
+		P50:        st.P50,
+		P99:        st.P99,
+		P999:       st.P999,
+		MaxNodeP99: st.MaxNodeP99,
+	}
+	for _, n := range st.Nodes {
+		out.Nodes = append(out.Nodes, ClusterNodeStats{
+			Name:   n.Name,
+			Ops:    n.Ops,
+			P50:    n.P50,
+			P99:    n.P99,
+			P999:   n.P999,
+			Client: clientStatsFrom(n.Pipeline),
+		})
+	}
+	return out
+}
+
+// Close shuts down every node's client engine. Transports are not
+// closed; the caller owns them.
+func (c *Cluster) Close() error { return c.c.Close() }

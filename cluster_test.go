@@ -1,0 +1,442 @@
+package minos_test
+
+// The cluster contract suite: an 8-node fabric cluster behind the public
+// API. Routing (every op lands on the ring owner), fan-out MultiGet,
+// topology changes that lose no non-expired keys, TTL preservation
+// across migration, and RemoveNode under concurrent traffic. CI runs
+// this under -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	minos "github.com/minoskv/minos"
+)
+
+// testCluster boots an n-node fabric fleet and returns the cluster
+// client plus the per-node servers, indexed by node name.
+func testCluster(t *testing.T, n, cores int, opts ...minos.ClusterOption) (*minos.Cluster, *minos.FabricCluster, map[string]*minos.Server) {
+	t.Helper()
+	fc := minos.NewFabricCluster(n, cores)
+	servers := make(map[string]*minos.Server, n)
+	nodes := make([]minos.ClusterNode, 0, n)
+	for i := 0; i < n; i++ {
+		srv, err := minos.NewServer(fc.Node(i).Server(),
+			minos.WithDesign(minos.DesignMinos), minos.WithCores(cores))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		t.Cleanup(srv.Stop)
+		name := fmt.Sprintf("n%d", i)
+		servers[name] = srv
+		nodes = append(nodes, minos.ClusterNode{
+			Name:      name,
+			Transport: fc.Node(i).NewClient(),
+			Server:    srv,
+		})
+	}
+	opts = append([]minos.ClusterOption{
+		minos.WithClusterSeed(7),
+		minos.WithNodeOptions(minos.WithQueues(cores), minos.WithSeed(11)),
+	}, opts...)
+	cl, err := minos.NewCluster(nodes, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, fc, servers
+}
+
+// clusterItems sums live items across the fleet.
+func clusterItems(servers map[string]*minos.Server) int {
+	total := 0
+	for _, s := range servers {
+		total += s.Snapshot().Items
+	}
+	return total
+}
+
+func TestClusterContract8Nodes(t *testing.T) {
+	ctx := context.Background()
+	cl, _, servers := testCluster(t, 8, 1)
+
+	if got := len(cl.Nodes()); got != 8 {
+		t.Fatalf("Nodes() = %d, want 8", got)
+	}
+
+	// Put: every key must land on exactly its ring owner.
+	const numKeys = 800
+	key := func(i int) []byte { return []byte(fmt.Sprintf("contract:%05d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("value-%05d", i)) }
+	for i := 0; i < numKeys; i++ {
+		if err := cl.Put(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if got := clusterItems(servers); got != numKeys {
+		t.Fatalf("fleet holds %d items after %d puts: keys duplicated or lost", got, numKeys)
+	}
+	// Per-node counts must match the ring's assignment exactly.
+	want := map[string]int{}
+	for i := 0; i < numKeys; i++ {
+		want[cl.NodeFor(key(i))]++
+	}
+	for name, srv := range servers {
+		if got := srv.Snapshot().Items; got != want[name] {
+			t.Errorf("node %s holds %d items, ring assigns %d", name, got, want[name])
+		}
+	}
+
+	// Get: every key readable, correct value.
+	for i := 0; i < numKeys; i++ {
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("Get %d = %q, %v", i, v, err)
+		}
+	}
+
+	// MultiGet: cross-node fan-out with a hole in the middle.
+	keys := [][]byte{key(1), []byte("contract:absent"), key(numKeys - 1), key(numKeys / 2)}
+	vals, err := cl.MultiGet(ctx, keys)
+	if err != nil {
+		t.Fatalf("MultiGet: %v", err)
+	}
+	if string(vals[0]) != string(val(1)) || vals[1] != nil ||
+		string(vals[2]) != string(val(numKeys-1)) || string(vals[3]) != string(val(numKeys/2)) {
+		t.Fatalf("MultiGet merged wrong: %q", vals)
+	}
+
+	// Delete routes too; a second delete is a miss.
+	if err := cl.Delete(ctx, key(0)); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := cl.Delete(ctx, key(0)); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("second Delete = %v, want ErrNotFound", err)
+	}
+	if _, err := cl.Get(ctx, key(0)); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+
+	// PutTTL: expires cluster-wide (ErrEvicted ⊂ ErrNotFound). The TTL
+	// is generous so the fresh read cannot race expiry on a loaded host.
+	if err := cl.PutTTL(ctx, []byte("contract:ttl"), []byte("x"), 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := cl.Get(ctx, []byte("contract:ttl")); err != nil || string(v) != "x" {
+		t.Fatalf("fresh TTL key: %q, %v", v, err)
+	}
+	time.Sleep(700 * time.Millisecond)
+	if _, err := cl.Get(ctx, []byte("contract:ttl")); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("expired TTL key = %v, want ErrNotFound", err)
+	}
+
+	live := numKeys - 1 // key(0) deleted, ttl key expired
+
+	// AddNode: a 9th node joins; keys stream to it, none are lost.
+	fc2 := minos.NewFabric(1)
+	srv9, err := minos.NewServer(fc2.Server(), minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv9.Start()
+	t.Cleanup(srv9.Stop)
+	moved, err := cl.AddNode(ctx, minos.ClusterNode{Name: "n8", Transport: fc2.NewClient(), Server: srv9})
+	if err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if moved == 0 {
+		t.Fatal("AddNode moved no keys; a ninth node should own ~1/9 of the space")
+	}
+	if got := srv9.Snapshot().Items; got < moved {
+		t.Fatalf("new node holds %d items, %d were moved to it", got, moved)
+	}
+	servers["n8"] = srv9
+	if got := len(cl.Nodes()); got != 9 {
+		t.Fatalf("Nodes() = %d after AddNode", got)
+	}
+	for i := 1; i < numKeys; i++ {
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("Get %d after AddNode = %q, %v", i, v, err)
+		}
+	}
+	// Donor copies were retired: the fleet holds each key exactly once.
+	if got := clusterItems(servers); got != live {
+		t.Fatalf("fleet holds %d items after AddNode, want %d (stale donor copies?)", got, live)
+	}
+
+	// RemoveNode: n8 retires again; its keys stream back, none lost.
+	opsBefore := cl.Stats().Ops
+	movedBack, err := cl.RemoveNode(ctx, "n8")
+	if err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if movedBack == 0 {
+		t.Fatal("RemoveNode moved no keys")
+	}
+	delete(servers, "n8")
+	for i := 1; i < numKeys; i++ {
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("Get %d after RemoveNode = %q, %v", i, v, err)
+		}
+	}
+	if got := clusterItems(servers); got != live {
+		t.Fatalf("fleet holds %d items after RemoveNode, want %d", got, live)
+	}
+
+	// Stats saw traffic on every node, and the lifetime aggregate kept
+	// the retired node's history (Ops never runs backwards).
+	st := cl.Stats()
+	if st.Ops == 0 || len(st.Nodes) != 8 {
+		t.Fatalf("Stats: ops=%d nodes=%d", st.Ops, len(st.Nodes))
+	}
+	if st.MaxNodeP99 == 0 || st.P99 == 0 {
+		t.Fatalf("Stats percentiles empty: %+v", st)
+	}
+	if st.Ops < opsBefore {
+		t.Fatalf("Stats.Ops ran backwards across RemoveNode: %d -> %d", opsBefore, st.Ops)
+	}
+}
+
+// TestClusterTTLSurvivesMigration checks that migration carries the
+// *remaining* TTL: a short-lived key moved to a new node must still
+// expire (if migration dropped the TTL it would come back immortal).
+func TestClusterTTLSurvivesMigration(t *testing.T) {
+	ctx := context.Background()
+	cl, _, _ := testCluster(t, 2, 1)
+
+	// The TTL must outlive puts + AddNode + the survival reads even on
+	// a heavily loaded host; elapsed time is checked before asserting
+	// survival so contention cannot turn legitimate expiry into a
+	// false "lost in migration".
+	const n = 64
+	const ttl = 3 * time.Second
+	putStart := time.Now()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("ttl:%03d", i))
+		if err := cl.PutTTL(ctx, k, []byte("v"), ttl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fab := minos.NewFabric(1)
+	srv, err := minos.NewServer(fab.Server(), minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	moved, err := cl.AddNode(ctx, minos.ClusterNode{Name: "new", Transport: fab.NewClient(), Server: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Skip("ring moved no ttl keys to the new node (unlucky layout)")
+	}
+	// Not expired yet: every key must have survived the move.
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("ttl:%03d", i))
+		if _, err := cl.Get(ctx, k); err != nil {
+			if time.Since(putStart) > ttl-200*time.Millisecond {
+				t.Skipf("host too slow: %v elapsed against a %v TTL", time.Since(putStart), ttl)
+			}
+			t.Fatalf("key %03d lost in migration: %v", i, err)
+		}
+	}
+	// Past the TTL every key must be gone — if migration had dropped
+	// the TTL, the moved copies would come back immortal.
+	if wait := ttl + 300*time.Millisecond - time.Since(putStart); wait > 0 {
+		time.Sleep(wait)
+	}
+	expired := 0
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("ttl:%03d", i))
+		if _, err := cl.Get(ctx, k); errors.Is(err, minos.ErrNotFound) {
+			expired++
+		}
+	}
+	if expired != n {
+		t.Fatalf("%d/%d keys expired; migration resurrected TTL'd items as immortal", expired, n)
+	}
+}
+
+// TestClusterRemoveNodeInFlight retires a node while readers hammer the
+// cluster. Reads are served throughout: every Get must return the value
+// or — never — an error. Run under -race, this also shakes the
+// ring-swap/drain concurrency.
+func TestClusterRemoveNodeInFlight(t *testing.T) {
+	ctx := context.Background()
+	cl, _, _ := testCluster(t, 4, 1)
+
+	const numKeys = 400
+	key := func(i int) []byte { return []byte(fmt.Sprintf("inflight:%04d", i)) }
+	for i := 0; i < numKeys; i++ {
+		if err := cl.Put(ctx, key(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Even readers use single Gets, odd readers fan MultiGets
+			// out — both paths must re-route around the retiring node.
+			for i := g; ; i = (i + 7) % numKeys {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if g%2 == 0 {
+					_, err = cl.Get(ctx, key(i))
+				} else {
+					batch := [][]byte{key(i), key((i + 13) % numKeys), key((i + 29) % numKeys)}
+					_, err = cl.MultiGet(ctx, batch)
+				}
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("read %d during RemoveNode: %w", i, err):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let the readers get going
+	moved, err := cl.RemoveNode(ctx, "n2")
+	if err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if moved == 0 {
+		t.Fatal("RemoveNode moved no keys")
+	}
+	time.Sleep(20 * time.Millisecond) // keep reading against the shrunk ring
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	for i := 0; i < numKeys; i++ {
+		if _, err := cl.Get(ctx, key(i)); err != nil {
+			t.Fatalf("key %d lost: %v", i, err)
+		}
+	}
+}
+
+func TestClusterTopologyErrors(t *testing.T) {
+	ctx := context.Background()
+
+	fc := minos.NewFabricCluster(2, 1)
+	newNode := func(i int, name string, withServer bool) minos.ClusterNode {
+		srv, err := minos.NewServer(fc.Node(i).Server(), minos.WithCores(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		t.Cleanup(srv.Stop)
+		n := minos.ClusterNode{Name: name, Transport: fc.Node(i).NewClient()}
+		if withServer {
+			n.Server = srv
+		}
+		return n
+	}
+
+	// A node attached without a Server handle cannot donate keys.
+	a, b := newNode(0, "a", true), newNode(1, "b", false)
+	cl, err := minos.NewCluster([]minos.ClusterNode{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.RemoveNode(ctx, "b"); !errors.Is(err, minos.ErrNoScan) {
+		t.Fatalf("RemoveNode of scanless node = %v, want ErrNoScan", err)
+	}
+	if _, err := cl.RemoveNode(ctx, "zzz"); !errors.Is(err, minos.ErrUnknownNode) {
+		t.Fatalf("RemoveNode unknown = %v, want ErrUnknownNode", err)
+	}
+	if _, err := cl.AddNode(ctx, minos.ClusterNode{Name: "a", Transport: fc.Node(0).NewClient()}); !errors.Is(err, minos.ErrNodeExists) {
+		t.Fatalf("AddNode duplicate = %v, want ErrNodeExists", err)
+	}
+	// AddNode needs every donor scannable; "b" is not.
+	if _, err := cl.AddNode(ctx, minos.ClusterNode{Name: "c", Transport: fc.Node(0).NewClient()}); !errors.Is(err, minos.ErrNoScan) {
+		t.Fatalf("AddNode with scanless donor = %v, want ErrNoScan", err)
+	}
+
+	// Constructor validation.
+	if _, err := minos.NewCluster(nil); !errors.Is(err, minos.ErrNoNodes) {
+		t.Fatalf("NewCluster(nil) = %v, want ErrNoNodes", err)
+	}
+	if _, err := minos.NewCluster([]minos.ClusterNode{a, a}); !errors.Is(err, minos.ErrNodeExists) {
+		t.Fatalf("NewCluster duplicate names = %v, want ErrNodeExists", err)
+	}
+	if _, err := minos.NewCluster([]minos.ClusterNode{{Name: "x"}}); err == nil {
+		t.Fatal("NewCluster without transport succeeded")
+	}
+}
+
+// TestClusterDrainToEmpty removes every node: the last removal discards
+// its keys (documented), and subsequent operations fail with ErrNoNodes.
+func TestClusterDrainToEmpty(t *testing.T) {
+	ctx := context.Background()
+	cl, _, _ := testCluster(t, 2, 1)
+	if err := cl.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RemoveNode(ctx, "n0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(ctx, []byte("k")); err != nil {
+		t.Fatalf("key lost with one node still present: %v", err)
+	}
+	if _, err := cl.RemoveNode(ctx, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(ctx, []byte("k")); !errors.Is(err, minos.ErrNoNodes) {
+		t.Fatalf("Get on empty cluster = %v, want ErrNoNodes", err)
+	}
+	if err := cl.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, minos.ErrNoNodes) {
+		t.Fatalf("Put on empty cluster = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestParseDesign(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    minos.Design
+		wantErr bool
+	}{
+		{"minos", minos.DesignMinos, false},
+		{"Minos", minos.DesignMinos, false},
+		{"HKH", minos.DesignHKH, false},
+		{" sho ", minos.DesignSHO, false},
+		{"hkhws", minos.DesignHKHWS, false},
+		{"HKH+WS", minos.DesignHKHWS, false},
+		{"", 0, true},
+		{"mino", 0, true},
+		{"zippy", 0, true},
+	}
+	for _, c := range cases {
+		got, err := minos.ParseDesign(c.in)
+		if c.wantErr != (err != nil) {
+			t.Errorf("ParseDesign(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseDesign(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

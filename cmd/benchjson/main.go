@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a single JSON document for CI artifacts: the parsed
+// benchmark results plus the raw benchfmt text, so downstream tooling
+// can either consume the JSON directly or feed the embedded benchfmt
+// block straight to benchstat.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchtime=1x ./... | benchjson -sha $GITHUB_SHA > BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name including any -cpu suffix
+	// (e.g. "BenchmarkPut-8").
+	Name string `json:"name"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op" and any
+	// b.ReportMetric custom units (e.g. "p99-us").
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	// SHA labels the commit the run measured (from -sha).
+	SHA string `json:"sha,omitempty"`
+	// Goos/Goarch/CPU/Pkg are parsed from the benchfmt preamble lines
+	// (last value wins when several packages ran).
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Results are the parsed benchmark lines in input order.
+	Results []Result `json:"results"`
+	// Benchfmt is the raw benchmark-relevant input text, preserved
+	// verbatim: feed it to `benchstat old.txt new.txt` style tooling.
+	Benchfmt string `json:"benchfmt"`
+}
+
+// parseLine parses one "BenchmarkName  N  v unit  v unit..." line;
+// ok is false for non-benchmark lines.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// parse consumes benchfmt text and builds the report.
+func parse(lines []string, sha string) Report {
+	rep := Report{SHA: sha}
+	var keep []string
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(trimmed, "goos:"))
+			keep = append(keep, line)
+		case strings.HasPrefix(trimmed, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(trimmed, "goarch:"))
+			keep = append(keep, line)
+		case strings.HasPrefix(trimmed, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(trimmed, "cpu:"))
+			keep = append(keep, line)
+		case strings.HasPrefix(trimmed, "pkg:"):
+			keep = append(keep, line)
+		default:
+			if r, ok := parseLine(trimmed); ok {
+				rep.Results = append(rep.Results, r)
+				keep = append(keep, line)
+			}
+		}
+	}
+	rep.Benchfmt = strings.Join(keep, "\n") + "\n"
+	return rep
+}
+
+func main() {
+	sha := flag.String("sha", "", "commit sha to stamp into the report")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	rep := parse(lines, *sha)
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		in    string
+		ok    bool
+		name  string
+		iters int64
+		unit  string
+		value float64
+	}{
+		{"BenchmarkPut-8   \t 1000000 \t 1234 ns/op", true, "BenchmarkPut-8", 1000000, "ns/op", 1234},
+		{"BenchmarkClusterMultiGet 100 45298 ns/op 1171 node-p99-us 7680 B/op 118 allocs/op",
+			true, "BenchmarkClusterMultiGet", 100, "node-p99-us", 1171},
+		{"BenchmarkX 5 0.5 p99-us", true, "BenchmarkX", 5, "p99-us", 0.5},
+		{"ok  \tgithub.com/minoskv/minos\t0.5s", false, "", 0, "", 0},
+		{"PASS", false, "", 0, "", 0},
+		{"goos: linux", false, "", 0, "", 0},
+		{"BenchmarkBroken notanumber ns/op", false, "", 0, "", 0},
+		{"--- BENCH: BenchmarkFoo", false, "", 0, "", 0},
+		{"", false, "", 0, "", 0},
+	}
+	for _, c := range cases {
+		r, ok := parseLine(c.in)
+		if ok != c.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if r.Name != c.name || r.Iterations != c.iters {
+			t.Errorf("parseLine(%q) = %+v", c.in, r)
+		}
+		if got := r.Metrics[c.unit]; got != c.value {
+			t.Errorf("parseLine(%q) metric %s = %v, want %v", c.in, c.unit, got, c.value)
+		}
+	}
+}
+
+func TestParseReport(t *testing.T) {
+	input := strings.Split(strings.TrimSpace(`
+goos: linux
+goarch: amd64
+pkg: github.com/minoskv/minos
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure3_DefaultWorkload   1   123456789 ns/op   11.5 minos-p99-us
+BenchmarkPut-4   2000000   812 ns/op   112 B/op   1 allocs/op
+PASS
+ok   github.com/minoskv/minos   12.3s
+`), "\n")
+	rep := parse(input, "abc123")
+	if rep.SHA != "abc123" || rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("preamble: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rep.Results))
+	}
+	if rep.Results[1].Metrics["B/op"] != 112 {
+		t.Errorf("B/op = %v", rep.Results[1].Metrics["B/op"])
+	}
+	// The embedded benchfmt block keeps preamble + bench lines (for
+	// benchstat) and drops the PASS/ok noise.
+	if strings.Contains(rep.Benchfmt, "PASS") || strings.Contains(rep.Benchfmt, "ok ") {
+		t.Errorf("benchfmt kept non-bench lines:\n%s", rep.Benchfmt)
+	}
+	for _, want := range []string{"goos: linux", "BenchmarkPut-4", "pkg: github.com/minoskv/minos"} {
+		if !strings.Contains(rep.Benchfmt, want) {
+			t.Errorf("benchfmt lost %q:\n%s", want, rep.Benchfmt)
+		}
+	}
+}

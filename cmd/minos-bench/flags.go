@@ -1,0 +1,65 @@
+package main
+
+// Experiment selection is parsed by a pure function so the CLI's
+// contract — exit non-zero with a usage message on an unknown -fig/-tab
+// instead of silently running something else — is table-testable.
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// experimentIDs resolves the -fig/-tab/-all flag combination to the list
+// of experiment ids to run, in paper order. It returns an error for
+// unknown or out-of-range selections and (nil, nil) when nothing was
+// selected (the caller prints usage).
+func experimentIDs(fig string, tab int, all bool) ([]string, error) {
+	switch {
+	case all:
+		ids := make([]string, 0, len(experiments))
+		for _, e := range experiments {
+			ids = append(ids, e.id)
+		}
+		return ids, nil
+	case fig != "":
+		if n, err := strconv.Atoi(fig); err == nil {
+			if n < 1 || n > 10 {
+				return nil, fmt.Errorf("-fig %d out of range (1-10)", n)
+			}
+			return []string{fmt.Sprintf("fig%d", n)}, nil
+		}
+		// Named experiment, e.g. "cache" or "clustertail".
+		id := fig
+		if _, ok := find(id); !ok {
+			return nil, fmt.Errorf("unknown -fig %q (want 1-10, %q or %q)", fig, "cache", "clustertail")
+		}
+		return []string{id}, nil
+	case tab != 0:
+		if tab != 1 {
+			return nil, fmt.Errorf("-tab %d out of range (the paper has one table)", tab)
+		}
+		return []string{"tab1"}, nil
+	}
+	return nil, nil
+}
+
+// parseScale resolves -scale, rejecting unknown values.
+func parseScale(s string) (scale, error) {
+	switch s {
+	case "quick":
+		return scaleQuick, nil
+	case "full":
+		return scaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown -scale %q (want quick or full)", s)
+	}
+}
+
+// scale mirrors harness.Scale without importing it here, keeping the
+// flag layer dependency-free for tests.
+type scale int
+
+const (
+	scaleQuick scale = iota
+	scaleFull
+)

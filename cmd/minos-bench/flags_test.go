@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentIDs(t *testing.T) {
+	cases := []struct {
+		name    string
+		fig     string
+		tab     int
+		all     bool
+		want    []string
+		wantErr string
+	}{
+		{name: "figure number", fig: "3", want: []string{"fig3"}},
+		{name: "figure low edge", fig: "1", want: []string{"fig1"}},
+		{name: "figure high edge", fig: "10", want: []string{"fig10"}},
+		{name: "named cache", fig: "cache", want: []string{"cache"}},
+		{name: "named clustertail", fig: "clustertail", want: []string{"clustertail"}},
+		{name: "table 1", tab: 1, want: []string{"tab1"}},
+		{name: "nothing selected", want: nil},
+		{name: "figure zero", fig: "0", wantErr: "out of range"},
+		{name: "figure eleven", fig: "11", wantErr: "out of range"},
+		{name: "figure negative", fig: "-2", wantErr: "out of range"},
+		{name: "unknown name", fig: "clustre", wantErr: "unknown -fig"},
+		{name: "table out of range", tab: 2, wantErr: "out of range"},
+		{name: "table negative", tab: -1, wantErr: "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := experimentIDs(c.fig, c.tab, c.all)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("experimentIDs(%q,%d,%v) err = %v, want containing %q",
+						c.fig, c.tab, c.all, err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("got %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+
+	// -all must cover every registered experiment, in order.
+	all, err := experimentIDs("", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(experiments) {
+		t.Fatalf("-all resolves %d experiments, registry has %d", len(all), len(experiments))
+	}
+	for i, e := range experiments {
+		if all[i] != e.id {
+			t.Fatalf("-all[%d] = %q, want %q", i, all[i], e.id)
+		}
+	}
+	// Every id -all yields must resolve, so fatalf("unknown experiment")
+	// is unreachable from -all.
+	for _, id := range all {
+		if _, ok := find(id); !ok {
+			t.Fatalf("registered id %q does not resolve", id)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    scale
+		wantErr bool
+	}{
+		{"quick", scaleQuick, false},
+		{"full", scaleFull, false},
+		{"", 0, true},
+		{"Quick", 0, true},
+		{"fast", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseScale(c.in)
+		if c.wantErr != (err != nil) {
+			t.Errorf("parseScale(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("parseScale(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

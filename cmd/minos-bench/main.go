@@ -5,6 +5,7 @@
 //
 //	minos-bench -fig 3                 # one figure (1-10)
 //	minos-bench -fig cache             # the cache experiment (p99 vs memory limit)
+//	minos-bench -fig clustertail       # live cluster: fan-out p99 vs node count
 //	minos-bench -tab 1                 # Table 1
 //	minos-bench -all                   # everything, in paper order
 //	minos-bench -fig 6 -scale quick    # sparse grids, seconds per figure
@@ -23,7 +24,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
@@ -50,6 +50,7 @@ var experiments = []struct {
 	{"fig9", wrap(harness.Figure9)},
 	{"fig10", wrap(harness.Figure10)},
 	{"cache", wrap(harness.CacheTail)},
+	{"clustertail", wrap(harness.ClusterTail)},
 }
 
 // wrap adapts each typed harness function to the common signature.
@@ -58,7 +59,7 @@ func wrap[T tabler](fn func(harness.Options) (T, error)) func(harness.Options) (
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 1-10, or \"cache\"")
+	fig := flag.String("fig", "", "figure to regenerate: 1-10, \"cache\" or \"clustertail\"")
 	tab := flag.Int("tab", 0, "table number to regenerate (1)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
@@ -88,13 +89,14 @@ func main() {
 	}
 
 	opts := harness.Options{Seed: *seed}
-	switch *scale {
-	case "quick":
-		opts.Scale = harness.Quick
-	case "full":
+	sc, err := parseScale(*scale)
+	if err != nil {
+		usagef("%v", err)
+	}
+	if sc == scaleFull {
 		opts.Scale = harness.Full
-	default:
-		fatalf("unknown -scale %q (want quick or full)", *scale)
+	} else {
+		opts.Scale = harness.Quick
 	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
@@ -102,24 +104,11 @@ func main() {
 		}
 	}
 
-	var want []string
-	switch {
-	case *all:
-		for _, e := range experiments {
-			want = append(want, e.id)
-		}
-	case *fig != "":
-		if n, err := strconv.Atoi(*fig); err == nil {
-			if n < 1 || n > 10 {
-				fatalf("-fig %d out of range (1-10)", n)
-			}
-			want = []string{fmt.Sprintf("fig%d", n)}
-		} else {
-			want = []string{*fig} // named experiment, e.g. "cache"
-		}
-	case *tab == 1:
-		want = []string{"tab1"}
-	default:
+	want, err := experimentIDs(*fig, *tab, *all)
+	if err != nil {
+		usagef("%v", err)
+	}
+	if len(want) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -178,4 +167,12 @@ func writeCSV(dir, id string, t harness.Table) error {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "minos-bench: "+strings.TrimSuffix(format, "\n")+"\n", args...)
 	os.Exit(1)
+}
+
+// usagef reports a bad flag value: the message, then usage, then the
+// conventional exit code 2 — never a silent fallback to a default.
+func usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "minos-bench: "+strings.TrimSuffix(format, "\n")+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

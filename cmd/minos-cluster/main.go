@@ -1,0 +1,200 @@
+// Command minos-cluster runs an M-node fabric cluster — M independent
+// live Minos (or baseline) servers behind the consistent-hash cluster
+// client — under an open-loop fan-out load, and reports the cluster-
+// level tail next to every node's own tail, the slowest-node-dominates
+// effect the cluster layer exists to measure.
+//
+// Usage:
+//
+//	minos-cluster -nodes 4                          # 4-node Minos cluster
+//	minos-cluster -nodes 8 -design hkh -rate 20000  # the baseline fleet
+//	minos-cluster -nodes 3 -grow                    # add a 4th node mid-run
+//
+// With -grow, a fresh node joins the ring at half time while the load
+// keeps running: the command reports how many keys streamed to it and
+// the post-join distribution.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	minos "github.com/minoskv/minos"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 3, "cluster nodes (fabric servers)")
+	cores := flag.Int("cores", 2, "server cores (RX queues) per node")
+	design := flag.String("design", "minos", "per-node design: minos, hkh, sho or hkhws")
+	rate := flag.Float64("rate", 10_000, "offered fan-out requests per second")
+	dur := flag.Duration("dur", 2*time.Second, "measurement duration")
+	fanout := flag.Int("fanout", 8, "GETs per fan-out request")
+	window := flag.Int("window", 256, "client in-flight window per queue")
+	rtt := flag.Duration("rtt", 20*time.Microsecond, "emulated network round trip")
+	keys := flag.Int("keys", 10_000, "preloaded keys")
+	grow := flag.Bool("grow", false, "add one node mid-run (live AddNode)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	d, err := minos.ParseDesign(*design)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minos-cluster: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *nodes < 1 {
+		fmt.Fprintf(os.Stderr, "minos-cluster: -nodes %d: need at least one node\n", *nodes)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *rate <= 0 {
+		fmt.Fprintf(os.Stderr, "minos-cluster: -rate %g: need a positive request rate\n", *rate)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fanout < 1 {
+		fmt.Fprintf(os.Stderr, "minos-cluster: -fanout %d: need at least one GET per request\n", *fanout)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *dur <= 0 {
+		fmt.Fprintf(os.Stderr, "minos-cluster: -dur %v: need a positive duration\n", *dur)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "minos-cluster: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// startNode boots one live server on the fabric node and returns its
+// cluster attachment.
+func startNode(fc *minos.FabricCluster, i int, d minos.Design, cores int) (minos.ClusterNode, *minos.Server, error) {
+	fab := fc.Node(i)
+	srv, err := minos.NewServer(fab.Server(),
+		minos.WithDesign(d), minos.WithCores(cores),
+		minos.WithEpoch(100*time.Millisecond))
+	if err != nil {
+		return minos.ClusterNode{}, nil, err
+	}
+	srv.Start()
+	return minos.ClusterNode{
+		Name:      fmt.Sprintf("node-%d", i),
+		Transport: fab.NewClient(),
+		Server:    srv,
+	}, srv, nil
+}
+
+func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, seed int64) error {
+	ctx := context.Background()
+	fc := minos.NewFabricCluster(nodes, cores)
+	fc.SetRTT(rtt)
+
+	var members []minos.ClusterNode
+	var servers []*minos.Server
+	for i := 0; i < nodes; i++ {
+		n, srv, err := startNode(fc, i, d, cores)
+		if err != nil {
+			return err
+		}
+		members = append(members, n)
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Stop()
+		}
+	}()
+
+	cl, err := minos.NewCluster(members,
+		minos.WithClusterSeed(uint64(seed)),
+		minos.WithNodeOptions(minos.WithQueues(cores), minos.WithWindow(window)))
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	// Preload through the cluster, so every key lands on its ring owner.
+	prof := minos.DefaultProfile()
+	prof.NumKeys = numKeys
+	prof.NumLargeKeys = 8
+	prof.MaxLargeSize = 100_000
+	cat := minos.NewCatalog(prof)
+	filler := make([]byte, prof.MaxLargeSize)
+	for id := 0; id < cat.NumKeys(); id++ {
+		if err := cl.Put(ctx, minos.KeyForID(uint64(id)), filler[:cat.Size(uint64(id))]); err != nil {
+			return fmt.Errorf("preload key %d: %w", id, err)
+		}
+	}
+	fmt.Printf("%v cluster: %d nodes x %d cores, %d keys, RTT %v\n",
+		d, nodes, cores, cat.NumKeys(), rtt)
+
+	// Open-loop fan-out load: scheduled arrivals, latency from the
+	// scheduled instant (no coordinated omission).
+	gen := minos.NewGenerator(cat, seed+17)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 1024)
+	gap := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	next := start
+	var sent uint64
+
+	growAt := start.Add(dur / 2)
+	grown := false
+	for time.Since(start) < dur {
+		if grow && !grown && time.Now().After(growAt) {
+			grown = true
+			fab, i := fc.Grow()
+			fab.SetRTT(rtt)
+			n, srv, err := startNode(fc, i, d, cores)
+			if err != nil {
+				return err
+			}
+			servers = append(servers, srv)
+			joined := time.Now()
+			moved, err := cl.AddNode(ctx, n)
+			if err != nil {
+				return fmt.Errorf("AddNode: %w", err)
+			}
+			fmt.Printf("  [%.2fs] %s joined: %d keys streamed in %v\n",
+				time.Since(start).Seconds(), n.Name, moved, time.Since(joined).Round(time.Millisecond))
+		}
+		next = next.Add(gap)
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		keys := make([][]byte, fanout)
+		for i := range keys {
+			keys[i] = minos.KeyForID(gen.NextKeyID())
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		sent++
+		go func() {
+			defer wg.Done()
+			_, _ = cl.MultiGet(ctx, keys)
+			<-sem
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := cl.Stats()
+	fmt.Printf("\n%d fan-out requests in %v (%.0f/s), fan-out K=%d\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds(), fanout)
+	fmt.Printf("cluster    : p50=%7.1fus p99=%7.1fus p99.9=%7.1fus  (worst node p99 %7.1fus)\n",
+		float64(st.P50)/1e3, float64(st.P99)/1e3, float64(st.P999)/1e3, float64(st.MaxNodeP99)/1e3)
+	for _, n := range st.Nodes {
+		fmt.Printf("%-11s: p50=%7.1fus p99=%7.1fus p99.9=%7.1fus  ops=%d\n",
+			n.Name, float64(n.P50)/1e3, float64(n.P99)/1e3, float64(n.P999)/1e3, n.Ops)
+	}
+	if drops := fc.Drops(); drops > 0 {
+		fmt.Fprintf(os.Stderr, "fabric drops: %d\n", drops)
+	}
+	return nil
+}

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -36,15 +35,10 @@ func main() {
 	maxLarge := flag.Int("slarge", 500_000, "maximum large item size (bytes)")
 	flag.Parse()
 
-	designs := map[string]minos.Design{
-		"minos": minos.DesignMinos,
-		"hkh":   minos.DesignHKH,
-		"sho":   minos.DesignSHO,
-		"hkhws": minos.DesignHKHWS,
-	}
-	d, ok := designs[strings.ToLower(*design)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "minos-server: unknown design %q\n", *design)
+	d, err := minos.ParseDesign(*design)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minos-server: %v\n", err)
+		flag.Usage()
 		os.Exit(2)
 	}
 

@@ -32,6 +32,14 @@
 //     and RunOpenLoop reproduce the paper's trimodal-size,
 //     zipf-popularity request streams with coordinated-omission-free
 //     latency measurement.
+//   - Clusters: NewCluster(nodes, options...) routes keys across many
+//     independent servers via a consistent-hash ring (seeded virtual
+//     nodes, stable across restarts), with the same ctx-first
+//     operations, concurrent per-node MultiGet fan-out, per-node tail
+//     statistics (ClusterStats), and live topology change:
+//     AddNode/RemoveNode stream the affected keys between nodes while
+//     reads keep being served. NewFabricCluster is the in-process
+//     multi-node transport.
 //   - Cache semantics: PutTTL gives items a time-to-live,
 //     WithMemoryLimit caps the store's bytes with CLOCK second-chance
 //     eviction, ErrEvicted distinguishes an aged-out key from one never

@@ -11,10 +11,10 @@ package minos_test
 //     package comment, keeping `go doc` useful everywhere.
 //
 // Snippets are compiled as function bodies with a small prologue of
-// pre-declared free identifiers (srv, c, fabric, ctx, key, keys, err) so
-// a block can continue from context an earlier block established, the
-// way prose examples read. Everything a block declares itself must be
-// used — that is the rot the gate exists to catch.
+// pre-declared free identifiers (srv, c, cl, fabric, ctx, key, keys,
+// err) so a block can continue from context an earlier block
+// established, the way prose examples read. Everything a block declares
+// itself must be used — that is the rot the gate exists to catch.
 
 import (
 	"fmt"
@@ -74,8 +74,8 @@ func TestDocsSnippetsCompile(t *testing.T) {
 	b.WriteString(")\n\n")
 	for i, block := range blocks {
 		fmt.Fprintf(&b, "// %s\nfunc snippet%d() {\n", names[i], i)
-		b.WriteString("\tvar (\n\t\tfabric *minos.Fabric\n\t\tsrv *minos.Server\n\t\tc *minos.Client\n\t\tctx context.Context\n\t\tkey []byte\n\t\tkeys [][]byte\n\t\terr error\n\t)\n")
-		b.WriteString("\t_, _, _, _, _, _, _ = fabric, srv, c, ctx, key, keys, err\n\t{\n")
+		b.WriteString("\tvar (\n\t\tfabric *minos.Fabric\n\t\tsrv *minos.Server\n\t\tc *minos.Client\n\t\tcl *minos.Cluster\n\t\tctx context.Context\n\t\tkey []byte\n\t\tkeys [][]byte\n\t\terr error\n\t)\n")
+		b.WriteString("\t_, _, _, _, _, _, _, _ = fabric, srv, c, cl, ctx, key, keys, err\n\t{\n")
 		for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
 			b.WriteString("\t\t" + line + "\n")
 		}

@@ -114,3 +114,12 @@ var (
 // set, for all four designs — whether the size-aware tail win survives
 // eviction pressure. Run it via minos-bench -fig cache.
 var CacheTail = harness.CacheTail
+
+// ClusterTail is the cluster experiment beyond the paper's evaluation:
+// live M-node fabric clusters (M ∈ {1, 2, 4, 8}) of Minos vs HKH
+// servers under an open-loop fan-out load, reporting the cluster-level
+// p99 next to the worst per-node p99 — the tail-at-scale regime where
+// the slowest node dominates and the per-node tail win compounds.
+// Unlike the simulated figures this runs real concurrency; absolute
+// values vary with the host. Run it via minos-bench -fig clustertail.
+var ClusterTail = harness.ClusterTail

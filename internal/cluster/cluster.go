@@ -1,0 +1,424 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/stats"
+)
+
+// Topology and routing errors.
+var (
+	// ErrNoNodes is returned by operations on a cluster whose last node
+	// was removed.
+	ErrNoNodes = errors.New("cluster: no nodes")
+	// ErrNodeExists rejects AddNode with a name already in the ring.
+	ErrNodeExists = errors.New("cluster: node already exists")
+	// ErrUnknownNode rejects RemoveNode of a name not in the ring.
+	ErrUnknownNode = errors.New("cluster: unknown node")
+	// ErrNoScan reports a topology change that needs to enumerate a
+	// node's keys when that node was attached without a scan function
+	// (e.g. a purely remote node): the donor cannot be drained.
+	ErrNoScan = errors.New("cluster: node cannot be scanned for migration")
+)
+
+// ScanFunc enumerates a node's live items for migration: fn is called
+// once per item with the key, value and remaining time-to-live (0 = the
+// item never expires); already-expired items are skipped by the
+// implementation. Iteration stops early when fn returns false. The
+// yielded slices are the store's immutable item memory: they stay valid
+// after the call but must not be modified.
+type ScanFunc func(fn func(key, value []byte, ttl time.Duration) bool)
+
+// NodeConfig attaches one node to a cluster: a routing name (its ring
+// identity), the pipelined client engine that reaches it, and an
+// optional scan hook that lets topology changes drain keys off it.
+type NodeConfig struct {
+	Name string
+	Pipe *client.Pipeline
+	// Scan enumerates the node's live items; nil means the node can
+	// receive migrated keys but never donate them (AddNode/RemoveNode
+	// involving it as a donor fail with ErrNoScan).
+	Scan ScanFunc
+}
+
+// Config parameterizes a Cluster. Zero fields take defaults.
+type Config struct {
+	// VNodes is the virtual-node count per physical node (default
+	// DefaultVNodes). More vnodes tighten the key-distribution skew at
+	// the cost of ring size.
+	VNodes int
+	// Seed fixes vnode placement; clients that must agree on ownership
+	// use the same seed.
+	Seed uint64
+	// MigrateWindow bounds the in-flight pipelined PUTs/DELETEs of a key
+	// migration (default 256).
+	MigrateWindow int
+}
+
+// node is the runtime state of one attached node.
+type node struct {
+	name string
+	pipe *client.Pipeline
+	scan ScanFunc
+
+	// lat records per-operation latencies observed through this node
+	// (one observation per Get/Put/Delete, one per MultiGet sub-batch),
+	// the per-node tail that makes slowest-node dominance visible.
+	latMu sync.Mutex
+	lat   *stats.Histogram
+}
+
+func (n *node) observe(d time.Duration) {
+	n.latMu.Lock()
+	n.lat.Record(int64(d))
+	n.latMu.Unlock()
+}
+
+// Cluster routes keys across independent Minos nodes via a consistent-
+// hash ring. All request methods are safe for concurrent use, including
+// concurrently with AddNode/RemoveNode: reads and writes keep being
+// served throughout a topology change (routed by the pre-change ring
+// until the moved keys are in place on their new owner).
+type Cluster struct {
+	cfg Config
+
+	// topo serializes topology changes (AddNode/RemoveNode/Close); mu
+	// guards the ring pointer and node map for the request paths.
+	topo sync.Mutex
+
+	mu     sync.RWMutex
+	ring   *Ring
+	nodes  map[string]*node
+	closed bool
+
+	// retired accumulates the latency history of removed nodes, so the
+	// aggregate counters never run backwards across a topology change.
+	retiredMu sync.Mutex
+	retired   *stats.Histogram
+}
+
+// New builds a cluster over the given nodes. Names must be unique and
+// non-empty; at least one node is required at construction (the cluster
+// can later be drained to zero nodes with RemoveNode, after which
+// operations fail with ErrNoNodes).
+func New(cfg Config, nodes []NodeConfig) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	if cfg.MigrateWindow <= 0 {
+		cfg.MigrateWindow = 256
+	}
+	names := make([]string, 0, len(nodes))
+	m := make(map[string]*node, len(nodes))
+	for _, nc := range nodes {
+		if nc.Name == "" {
+			return nil, errors.New("cluster: node name must be non-empty")
+		}
+		if nc.Pipe == nil {
+			return nil, fmt.Errorf("cluster: node %q has no client pipeline", nc.Name)
+		}
+		if _, dup := m[nc.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrNodeExists, nc.Name)
+		}
+		names = append(names, nc.Name)
+		m[nc.Name] = newNode(nc)
+	}
+	ring, err := NewRing(names, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, ring: ring, nodes: m}, nil
+}
+
+func newNode(nc NodeConfig) *node {
+	return &node{name: nc.Name, pipe: nc.Pipe, scan: nc.Scan, lat: stats.NewLatencyHistogram()}
+}
+
+// Ring returns the current ring (immutable; safe to use without locks).
+func (c *Cluster) Ring() *Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring
+}
+
+// Owner returns the node name owning key under the current ring, or ""
+// on an empty ring.
+func (c *Cluster) Owner(key []byte) string { return c.Ring().Owner(key) }
+
+// nodeFor resolves key to its owner's runtime state under the current
+// ring.
+func (c *Cluster) nodeFor(key []byte) (*node, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, apierr.ErrClosed
+	}
+	name := c.ring.Owner(key)
+	if name == "" {
+		return nil, ErrNoNodes
+	}
+	return c.nodes[name], nil
+}
+
+// retryable reports an error that warrants one re-route: the node's
+// engine shut down under the request, which happens exactly when a
+// concurrent RemoveNode retired the node this request had already been
+// steered at. The ring has changed, so the retry goes elsewhere.
+func (c *Cluster) retryable(n *node, err error) bool {
+	if !errors.Is(err, apierr.ErrClosed) {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return !c.closed && c.nodes[n.name] != n
+}
+
+// Get fetches the value for key from its owner node. A missing key
+// returns apierr.ErrNotFound.
+func (c *Cluster) Get(ctx context.Context, key []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		n, err := c.nodeFor(key)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		v, err := n.pipe.Get(ctx, key)
+		n.observe(time.Since(start))
+		if err != nil && attempt == 0 && c.retryable(n, err) {
+			continue
+		}
+		return v, err
+	}
+}
+
+// Put stores value under key on its owner node.
+func (c *Cluster) Put(ctx context.Context, key, value []byte) error {
+	return c.PutTTL(ctx, key, value, 0)
+}
+
+// PutTTL stores value under key with a time-to-live; ttl <= 0 never
+// expires.
+func (c *Cluster) PutTTL(ctx context.Context, key, value []byte, ttl time.Duration) error {
+	for attempt := 0; ; attempt++ {
+		n, err := c.nodeFor(key)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		err = n.pipe.PutTTL(ctx, key, value, ttl)
+		n.observe(time.Since(start))
+		if err != nil && attempt == 0 && c.retryable(n, err) {
+			continue
+		}
+		return err
+	}
+}
+
+// Delete removes key from its owner node. Deleting an absent key returns
+// apierr.ErrNotFound.
+func (c *Cluster) Delete(ctx context.Context, key []byte) error {
+	for attempt := 0; ; attempt++ {
+		n, err := c.nodeFor(key)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		err = n.pipe.Delete(ctx, key)
+		n.observe(time.Since(start))
+		if err != nil && attempt == 0 && c.retryable(n, err) {
+			continue
+		}
+		return err
+	}
+}
+
+// MultiGet fans one GET per key out to the owner nodes — per-node
+// sub-batches pipelined concurrently — and merges the results so that
+// values[i] belongs to keys[i]. A missing key leaves values[i] nil
+// without failing the batch; err is the first failure other than a miss.
+// The call returns when the slowest sub-batch does: the fan-out latency
+// is the max over nodes, the cluster-level tail the experiment suite
+// measures. Like the single-key operations, a sub-batch that lands on a
+// node a concurrent RemoveNode just retired is re-routed once through
+// the new ring, so reads keep being served through topology changes.
+func (c *Cluster) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte, err error) {
+	values = make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return values, nil
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	return values, c.fanout(ctx, keys, values, idx, true)
+}
+
+// fanout routes keys[i] for i in idx, filling values in place. One ring
+// snapshot groups the indices so a batch is routed by one consistent
+// topology; sub-batches run concurrently. allowRetry permits a single
+// re-route of sub-batches whose node was concurrently removed.
+func (c *Cluster) fanout(ctx context.Context, keys, values [][]byte, idx []int, allowRetry bool) (err error) {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return apierr.ErrClosed
+	}
+	groups := make(map[*node][]int)
+	for _, i := range idx {
+		name := c.ring.Owner(keys[i])
+		if name == "" {
+			c.mu.RUnlock()
+			return ErrNoNodes
+		}
+		groups[c.nodes[name]] = append(groups[c.nodes[name]], i)
+	}
+	c.mu.RUnlock()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		retryIdx []int
+	)
+	setErr := func(e error) {
+		mu.Lock()
+		if err == nil {
+			err = e
+		}
+		mu.Unlock()
+	}
+	for n, sub := range groups {
+		wg.Add(1)
+		go func(n *node, sub []int) {
+			defer wg.Done()
+			subKeys := make([][]byte, len(sub))
+			for j, i := range sub {
+				subKeys[j] = keys[i]
+			}
+			start := time.Now()
+			vals, subErr := n.pipe.MultiGet(ctx, subKeys)
+			n.observe(time.Since(start))
+			for j, i := range sub {
+				values[i] = vals[j]
+			}
+			if subErr == nil {
+				return
+			}
+			if allowRetry && c.retryable(n, subErr) {
+				mu.Lock()
+				retryIdx = append(retryIdx, sub...)
+				mu.Unlock()
+				return
+			}
+			setErr(subErr)
+		}(n, sub)
+	}
+	wg.Wait()
+	if len(retryIdx) > 0 {
+		if retryErr := c.fanout(ctx, keys, values, retryIdx, false); retryErr != nil && err == nil {
+			err = retryErr
+		}
+	}
+	return err
+}
+
+// NodeStats is one node's view of the cluster's traffic.
+type NodeStats struct {
+	Name string
+	// Ops counts operations routed through the node (MultiGet sub-
+	// batches count once).
+	Ops uint64
+	// P50/P99/P999 are the node-local operation latencies in
+	// nanoseconds, as observed by this cluster client.
+	P50, P99, P999 int64
+	// Pipeline exposes the node's client engine counters.
+	Pipeline client.PipelineStats
+}
+
+// Stats is a point-in-time view of the cluster: aggregate latency
+// percentiles over every routed operation, and the per-node breakdown
+// whose spread shows the slowest-node-dominates effect.
+type Stats struct {
+	// Nodes lists the *live* nodes, sorted by name; a removed node's
+	// per-node row disappears with it.
+	Nodes []NodeStats
+	// Ops is the total operations routed over the cluster's lifetime,
+	// including through since-removed nodes — it never runs backwards
+	// across a topology change.
+	Ops uint64
+	// P50/P99/P999 merge every observation ever routed (ns), removed
+	// nodes included.
+	P50, P99, P999 int64
+	// MaxNodeP99 is the worst *live* per-node p99 (ns) — with fan-out
+	// requests, the cluster tail tracks this, not the mean.
+	MaxNodeP99 int64
+}
+
+// Stats snapshots the cluster counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.RLock()
+	nodes := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.RUnlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+
+	var st Stats
+	merged := stats.NewLatencyHistogram()
+	c.retiredMu.Lock()
+	if c.retired != nil {
+		st.Ops += c.retired.Count()
+		merged.Merge(c.retired)
+	}
+	c.retiredMu.Unlock()
+	for _, n := range nodes {
+		n.latMu.Lock()
+		h := n.lat.Clone()
+		n.latMu.Unlock()
+		ns := NodeStats{
+			Name:     n.name,
+			Ops:      h.Count(),
+			P50:      h.Quantile(0.50),
+			P99:      h.Quantile(0.99),
+			P999:     h.Quantile(0.999),
+			Pipeline: n.pipe.Stats(),
+		}
+		st.Nodes = append(st.Nodes, ns)
+		st.Ops += ns.Ops
+		if ns.P99 > st.MaxNodeP99 {
+			st.MaxNodeP99 = ns.P99
+		}
+		merged.Merge(h)
+	}
+	st.P50 = merged.Quantile(0.50)
+	st.P99 = merged.Quantile(0.99)
+	st.P999 = merged.Quantile(0.999)
+	return st
+}
+
+// Close shuts down every node's client engine. Transports are not
+// closed; the caller owns them.
+func (c *Cluster) Close() error {
+	c.topo.Lock()
+	defer c.topo.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	nodes := c.nodes
+	c.nodes = map[string]*node{}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		_ = n.pipe.Close()
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package cluster is the partitioning layer that spreads keys across
+// multiple independent Minos servers: a consistent-hash ring with seeded
+// virtual nodes routes every key to exactly one node, each node is
+// reached through its own pipelined client engine, and topology changes
+// (AddNode/RemoveNode) stream the affected keys between nodes over the
+// ordinary wire protocol while reads keep being served.
+//
+// The paper's size-aware sharding fixes the tail *within* one machine;
+// this package is the layer above it, where the cluster-level tail of a
+// fan-out request is dominated by the slowest node — exactly the regime
+// in which the per-node tail win compounds (see DESIGN.md §7).
+package cluster

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
+	"github.com/minoskv/minos/internal/client"
+)
+
+// Topology changes stream keys between nodes over the ordinary wire
+// protocol: the donor is enumerated with its ScanFunc, live items are
+// copied to their new owner with pipelined PUTs (remaining TTL
+// preserved), and only then does the ring swap — so reads are served by
+// the old owner for the whole copy phase and by the new owner, which
+// already holds the keys, immediately after. See DESIGN.md §7 for the
+// protocol and the consistency it does and does not promise (writes
+// racing a topology change on a moving key can be lost; reads never
+// observe a moved key as absent).
+
+// drainPoll/drainMax bound the post-swap wait for a retiring node's
+// in-flight requests before its engine is closed.
+const (
+	drainPoll = time.Millisecond
+	drainMax  = 250 * time.Millisecond
+)
+
+// migrator pipelines copy traffic at a bounded in-flight window.
+type migrator struct {
+	ctx     context.Context
+	window  int
+	pending []*client.Call
+	err     error
+}
+
+func (m *migrator) push(call *client.Call) {
+	m.pending = append(m.pending, call)
+	if len(m.pending) >= m.window {
+		m.flush()
+	}
+}
+
+// flush waits for every outstanding call, keeping the first failure.
+// Misses on DELETEs are not failures: the recipient of a delete may have
+// expired the item on its own.
+func (m *migrator) flush() {
+	for _, call := range m.pending {
+		if _, err := call.Wait(m.ctx); err != nil && !errors.Is(err, apierr.ErrNotFound) && m.err == nil {
+			m.err = err
+		}
+	}
+	m.pending = m.pending[:0]
+}
+
+// movedKey is one copied item, remembered so the donor copy can be
+// deleted after the ring swap (AddNode) or so a failed migration can be
+// rolled back off the recipient.
+type movedKey struct{ key []byte }
+
+// AddNode attaches a new node and rebalances: every key the grown ring
+// assigns to the new node is copied off its current owner (remaining TTL
+// preserved), the ring swaps, and the stale donor copies are deleted.
+// Reads are served throughout. It returns the number of keys moved.
+//
+// Every existing node must have been attached with a ScanFunc; otherwise
+// AddNode fails with ErrNoScan before any state changes. If the copy
+// phase fails (context cancelled, node down), the ring is left unchanged
+// and the partial copies are best-effort deleted from the new node.
+func (c *Cluster) AddNode(ctx context.Context, nc NodeConfig) (moved int, err error) {
+	if nc.Name == "" {
+		return 0, errors.New("cluster: node name must be non-empty")
+	}
+	if nc.Pipe == nil {
+		return 0, fmt.Errorf("cluster: node %q has no client pipeline", nc.Name)
+	}
+	c.topo.Lock()
+	defer c.topo.Unlock()
+
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return 0, apierr.ErrClosed
+	}
+	oldRing := c.ring
+	donors := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		donors = append(donors, n)
+	}
+	c.mu.RUnlock()
+
+	if _, exists := c.currentNode(nc.Name); exists {
+		return 0, fmt.Errorf("%w: %q", ErrNodeExists, nc.Name)
+	}
+	newRing, err := oldRing.With(nc.Name)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range donors {
+		if d.scan == nil {
+			return 0, fmt.Errorf("%w: %q", ErrNoScan, d.name)
+		}
+	}
+	newNode := newNode(nc)
+
+	// Copy phase: scan each donor, stream the keys the new ring hands to
+	// the new node. The old ring stays live, so reads keep hitting the
+	// donors, which still hold everything.
+	m := &migrator{ctx: ctx, window: c.cfg.MigrateWindow}
+	perDonor := make(map[*node][]movedKey)
+	for _, d := range donors {
+		d.scan(func(key, value []byte, ttl time.Duration) bool {
+			if ctx.Err() != nil || m.err != nil {
+				return false
+			}
+			if newRing.Owner(key) != nc.Name {
+				return true
+			}
+			m.push(newNode.pipe.PutTTLAsync(key, value, ttl))
+			perDonor[d] = append(perDonor[d], movedKey{key: key})
+			moved++
+			return true
+		})
+	}
+	m.flush()
+	if m.err == nil && ctx.Err() != nil {
+		m.err = ctx.Err()
+	}
+	if m.err != nil {
+		// Roll back: the ring never changed, so routing is intact;
+		// best-effort remove the partial copies from the recipient.
+		rb := &migrator{ctx: context.Background(), window: c.cfg.MigrateWindow}
+		for _, keys := range perDonor {
+			for _, mk := range keys {
+				rb.push(newNode.pipe.DeleteAsync(mk.key))
+			}
+		}
+		rb.flush()
+		return 0, m.err
+	}
+
+	// Swap: from here on the new node owns its arcs and already holds
+	// their keys.
+	c.mu.Lock()
+	c.ring = newRing
+	c.nodes[nc.Name] = newNode
+	c.mu.Unlock()
+
+	// Retire the donor copies. Without this a later topology change
+	// would re-scan the donor and resurrect stale values.
+	del := &migrator{ctx: ctx, window: c.cfg.MigrateWindow}
+	for d, keys := range perDonor {
+		for _, mk := range keys {
+			del.push(d.pipe.DeleteAsync(mk.key))
+		}
+	}
+	del.flush()
+	return moved, del.err
+}
+
+// RemoveNode detaches a node after streaming every live key it holds to
+// that key's owner under the shrunk ring (remaining TTL preserved).
+// Reads are served throughout: by the retiring node until the swap, by
+// the recipients — which already hold the keys — after it. Once the ring
+// has swapped, the retiring node's in-flight requests are drained
+// (bounded wait) and its client engine is closed. It returns the number
+// of keys moved.
+//
+// The retiring node must have been attached with a ScanFunc. Removing
+// the last node leaves an empty cluster whose operations fail with
+// ErrNoNodes.
+func (c *Cluster) RemoveNode(ctx context.Context, name string) (moved int, err error) {
+	c.topo.Lock()
+	defer c.topo.Unlock()
+
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return 0, apierr.ErrClosed
+	}
+	oldRing := c.ring
+	donor := c.nodes[name]
+	c.mu.RUnlock()
+
+	if donor == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	if donor.scan == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoScan, name)
+	}
+	newRing, err := oldRing.Without(name)
+	if err != nil {
+		return 0, err
+	}
+
+	// Copy phase: the retiring node keeps serving reads while its keys
+	// stream to their new owners.
+	m := &migrator{ctx: ctx, window: c.cfg.MigrateWindow}
+	var copied []movedKey
+	donor.scan(func(key, value []byte, ttl time.Duration) bool {
+		if ctx.Err() != nil || m.err != nil {
+			return false
+		}
+		dest := newRing.Owner(key)
+		if dest == "" {
+			// Last node: nowhere to move keys; they are discarded with
+			// the node. Draining to zero nodes is explicit data loss.
+			return true
+		}
+		target, ok := c.currentNode(dest)
+		if !ok {
+			m.err = fmt.Errorf("%w: %q", ErrUnknownNode, dest)
+			return false
+		}
+		m.push(target.pipe.PutTTLAsync(key, value, ttl))
+		copied = append(copied, movedKey{key: key})
+		moved++
+		return true
+	})
+	m.flush()
+	if m.err == nil && ctx.Err() != nil {
+		m.err = ctx.Err()
+	}
+	if m.err != nil {
+		// Roll back: ring unchanged, donor still owns its arcs. The
+		// copies already landed on other nodes are stale-but-unrouted
+		// duplicates; best-effort delete them.
+		rb := &migrator{ctx: context.Background(), window: c.cfg.MigrateWindow}
+		for _, mk := range copied {
+			if dest := newRing.Owner(mk.key); dest != "" {
+				if target, ok := c.currentNode(dest); ok {
+					rb.push(target.pipe.DeleteAsync(mk.key))
+				}
+			}
+		}
+		rb.flush()
+		return 0, m.err
+	}
+
+	// Swap, then retire the node: drain its in-flight requests before
+	// closing so a request routed at it just before the swap completes
+	// normally instead of failing with ErrClosed.
+	c.mu.Lock()
+	c.ring = newRing
+	delete(c.nodes, name)
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(drainMax)
+	for donor.pipe.Stats().InFlight > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
+		time.Sleep(drainPoll)
+	}
+	_ = donor.pipe.Close()
+
+	// Fold the retired node's latency history into the cluster-lifetime
+	// aggregate, so Stats.Ops and the merged percentiles never run
+	// backwards across a topology change.
+	donor.latMu.Lock()
+	history := donor.lat.Clone()
+	donor.latMu.Unlock()
+	c.retiredMu.Lock()
+	if c.retired == nil {
+		c.retired = history
+	} else {
+		c.retired.Merge(history)
+	}
+	c.retiredMu.Unlock()
+	return moved, nil
+}
+
+// currentNode returns the live runtime state for name.
+func (c *Cluster) currentNode(name string) (*node, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.nodes[name]
+	return n, ok
+}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/cluster"
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/server"
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// This file is the cluster experiment beyond the paper: once requests
+// fan out across nodes, the cluster-level tail is dominated by the
+// slowest node (tail-at-scale), so a per-node p99 win should *compound*
+// with node count. ClusterTail runs a live M-node fabric cluster — real
+// servers, real cluster client, open-loop fan-out MultiGets — for Minos
+// and HKH at M ∈ {1, 2, 4, 8} and reports the fan-out tail next to the
+// worst per-node tail. Unlike the simulated figures this one runs real
+// concurrency, so absolute values vary with the host; the Minos-vs-HKH
+// gap and its growth with M are the reproducible signal.
+
+// ClusterTailRow is one (design, node count) cell.
+type ClusterTailRow struct {
+	Design server.Design
+	Nodes  int
+	// Offered and Achieved are fan-out requests (not keys) per second.
+	Offered, Achieved float64
+	// Fan-out request latency in nanoseconds, measured from each
+	// request's scheduled arrival (no coordinated omission).
+	P50, P99, P999 int64
+	// MaxNodeP99 is the worst per-node sub-batch p99 (ns) — the
+	// slowest-node floor under the cluster tail.
+	MaxNodeP99 int64
+	// Loss is the fraction of fan-out *requests* that observed at least
+	// one failed GET (timeouts under overload) — request granularity,
+	// matching the request-level latency columns, not the per-GET loss
+	// the single-node loadgen reports.
+	Loss float64
+}
+
+// ClusterTailResult holds the cluster fan-out experiment.
+type ClusterTailResult struct {
+	Fanout int
+	Rows   []ClusterTailRow
+}
+
+// clusterDesigns are the two ends the comparison needs: the paper's
+// contribution and the hash-keys baseline.
+var clusterDesigns = []server.Design{server.Minos, server.HKH}
+
+// clusterNodeCounts is the M grid of the tail-at-scale sweep.
+var clusterNodeCounts = []int{1, 2, 4, 8}
+
+// clusterFanout is K: each request is K parallel GETs whose slowest
+// reply defines the request latency (§1's fan-out pattern, applied
+// across nodes).
+const clusterFanout = 8
+
+// clusterCoresPerNode keeps per-node sharding meaningful (Minos needs at
+// least one small and one large core) while an 8-node fleet still fits a
+// CI host.
+const clusterCoresPerNode = 2
+
+// clusterParams returns the per-run offered fan-out rate and duration.
+func (o Options) clusterParams() (rate float64, dur time.Duration) {
+	if o.Scale == Full {
+		return 10_000, 2 * time.Second
+	}
+	return 4_000, 300 * time.Millisecond
+}
+
+// clusterProfile is the workload: the paper's trimodal mix scaled down
+// so preload stays fast and an 8-node run fits in memory.
+func clusterProfile(seed int64) workload.Profile {
+	prof := workload.DefaultProfile()
+	prof.NumKeys = 10_000
+	prof.NumLargeKeys = 8
+	prof.MaxLargeSize = 100_000
+	prof.Seed = seed
+	return prof
+}
+
+// clusterNodeName names fabric node i on the ring.
+func clusterNodeName(i int) string { return fmt.Sprintf("n%d", i) }
+
+// runClusterTail measures one (design, M) cell on a live fabric fleet.
+func runClusterTail(design server.Design, nodes int, o Options) (ClusterTailRow, error) {
+	rate, dur := o.clusterParams()
+	row := ClusterTailRow{Design: design, Nodes: nodes, Offered: rate}
+
+	fc := nic.NewFabricCluster(nodes, clusterCoresPerNode)
+	servers := make([]*server.Server, nodes)
+	stores := make(map[string]*kv.Store, nodes)
+	configs := make([]cluster.NodeConfig, nodes)
+	for i := 0; i < nodes; i++ {
+		srv, err := server.New(server.Config{
+			Design: design,
+			Cores:  clusterCoresPerNode,
+			Epoch:  100 * time.Millisecond,
+		}, fc.Node(i).Server())
+		if err != nil {
+			return row, err
+		}
+		servers[i] = srv
+		name := clusterNodeName(i)
+		stores[name] = srv.Store()
+		// No Scan hook: the sweep never changes topology, and a correct
+		// TTL-preserving scan lives in the public layer (minos.scanFor).
+		configs[i] = cluster.NodeConfig{
+			Name: name,
+			Pipe: client.NewPipeline(fc.Node(i).NewClient(), clusterCoresPerNode, client.PipelineConfig{
+				Window: 256,
+				Seed:   o.seed() + int64(i),
+			}),
+		}
+		srv.Start()
+		defer srv.Stop()
+	}
+	cl, err := cluster.New(cluster.Config{Seed: uint64(o.seed())}, configs)
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+
+	// Preload by ownership, directly into each node's store — the warm
+	// dataset of §5.3, split the way the ring splits it.
+	prof := clusterProfile(o.seed())
+	cat := workload.NewCatalog(prof)
+	ring := cl.Ring()
+	filler := make([]byte, prof.MaxLargeSize)
+	var keyBuf []byte
+	for id := 0; id < cat.NumKeys(); id++ {
+		keyBuf = kv.AppendKeyForID(keyBuf[:0], uint64(id))
+		stores[ring.Owner(keyBuf)].Put(keyBuf, filler[:cat.Size(uint64(id))])
+	}
+
+	// Open-loop fan-out load: scheduled arrivals, K zipf-popular keys
+	// per request, latency charged from the scheduled instant so client
+	// backlog counts (no coordinated omission).
+	gen := workload.NewGenerator(cat, o.seed()+17)
+	arr := workload.NewArrivals(rate, o.seed()+29)
+	lat := stats.NewLatencyHistogram()
+	var latMu sync.Mutex
+	var wg sync.WaitGroup
+	var sent, failed int64
+	sem := make(chan struct{}, 1024)
+	ctx := context.Background()
+
+	start := time.Now()
+	next := start
+	for time.Since(start) < dur {
+		next = next.Add(arr.ExpGap())
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		keys := make([][]byte, clusterFanout)
+		for i := range keys {
+			keys[i] = kv.KeyForID(gen.Next().Key)
+		}
+		scheduled := next
+		sem <- struct{}{}
+		wg.Add(1)
+		sent++
+		go func() {
+			defer wg.Done()
+			_, err := cl.MultiGet(ctx, keys)
+			l := time.Since(scheduled)
+			latMu.Lock()
+			lat.Record(int64(l))
+			if err != nil {
+				failed++
+			}
+			latMu.Unlock()
+			<-sem
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := cl.Stats()
+	row.Achieved = float64(sent) / elapsed.Seconds()
+	row.P50 = lat.Quantile(0.50)
+	row.P99 = lat.Quantile(0.99)
+	row.P999 = lat.Quantile(0.999)
+	row.MaxNodeP99 = st.MaxNodeP99
+	if sent > 0 {
+		row.Loss = float64(failed) / float64(sent)
+	}
+	return row, nil
+}
+
+// ClusterTail runs the live cluster fan-out sweep: for Minos and HKH,
+// M-node fabric clusters at M ∈ {1, 2, 4, 8} under an open-loop fan-out
+// load, reporting cluster p99 vs node count. Run it via minos-bench
+// -fig clustertail.
+func ClusterTail(o Options) (*ClusterTailResult, error) {
+	r := &ClusterTailResult{Fanout: clusterFanout}
+	for _, design := range clusterDesigns {
+		for _, m := range clusterNodeCounts {
+			row, err := runClusterTail(design, m, o)
+			if err != nil {
+				return nil, err
+			}
+			o.progress("%-7s M=%d p99=%sus node-p99max=%sus achieved=%.0f/s",
+				design, m, us(row.P99), us(row.MaxNodeP99), row.Achieved)
+			r.Rows = append(r.Rows, row)
+		}
+	}
+	return r, nil
+}
+
+// Table renders the cluster experiment.
+func (r *ClusterTailResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("ClusterTail: fan-out (K=%d) p99 vs node count, live fabric cluster", r.Fanout),
+		Headers: []string{"design", "nodes", "offered(/s)", "achieved(/s)",
+			"p50(us)", "p99(us)", "p99.9(us)", "node-p99-max(us)", "req-loss"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Design.String(),
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%.0f", row.Offered),
+			fmt.Sprintf("%.0f", row.Achieved),
+			us(row.P50),
+			us(row.P99),
+			us(row.P999),
+			us(row.MaxNodeP99),
+			fmt.Sprintf("%.4f", row.Loss),
+		})
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestClusterTailQuick runs the live cluster sweep at a reduced grid —
+// one run per design at M=2 — and checks the result's shape; the full
+// M ∈ {1,2,4,8} sweep is minos-bench -fig clustertail territory.
+func TestClusterTailQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live multi-node cluster runs; run without -short")
+	}
+	o := Options{Scale: Quick, Seed: 1}
+	for _, design := range clusterDesigns {
+		row, err := runClusterTail(design, 2, o)
+		if err != nil {
+			t.Fatalf("%v: %v", design, err)
+		}
+		if row.P99 <= 0 || row.P50 <= 0 || row.P99 < row.P50 {
+			t.Errorf("%v: degenerate latencies p50=%d p99=%d", design, row.P50, row.P99)
+		}
+		if row.Achieved <= 0 {
+			t.Errorf("%v: no achieved throughput", design)
+		}
+		if row.MaxNodeP99 <= 0 {
+			t.Errorf("%v: per-node p99 not recorded", design)
+		}
+	}
+}
+
+// TestClusterTailTable checks the rendering contract the CSV export and
+// minos-bench rely on.
+func TestClusterTailTable(t *testing.T) {
+	r := &ClusterTailResult{
+		Fanout: 8,
+		Rows: []ClusterTailRow{{
+			Design: 0, Nodes: 2, Offered: 1000, Achieved: 990,
+			P50: 10_000, P99: 50_000, P999: 90_000, MaxNodeP99: 45_000,
+		}},
+	}
+	tab := r.Table()
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != len(tab.Headers) {
+		t.Fatalf("table shape: %d rows, %d cells vs %d headers",
+			len(tab.Rows), len(tab.Rows[0]), len(tab.Headers))
+	}
+}

@@ -437,6 +437,32 @@ func (s *Store) Delete(key []byte) bool {
 	return false
 }
 
+// Range calls fn for every item in the store until fn returns false. It
+// is safe to run concurrently with reads and writes: iteration takes no
+// locks (slots are atomic pointers to immutable items), so it observes a
+// weakly consistent view — an item replaced mid-scan may be seen in
+// either version, an item inserted mid-scan may be missed. Expired items
+// are yielded as stored; callers that care (e.g. the cluster migration
+// scan) filter on Expire themselves.
+func (s *Store) Range(fn func(it *Item) bool) {
+	for pi := range s.parts {
+		p := &s.parts[pi]
+		for bi := range p.buckets {
+			for cur := &p.buckets[bi]; cur != nil; cur = cur.next.Load() {
+				for i := 0; i < slotsPerBucket; i++ {
+					it := cur.items[i].Load()
+					if it == nil {
+						continue
+					}
+					if !fn(it) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
 // Len returns the number of live items.
 func (s *Store) Len() int {
 	var n int64

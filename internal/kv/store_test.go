@@ -348,6 +348,71 @@ func TestConcurrentDistinctWriters(t *testing.T) {
 	}
 }
 
+func TestRange(t *testing.T) {
+	s, _ := NewStore(Config{})
+	const n = 5_000
+	for i := 0; i < n; i++ {
+		s.Put(KeyForID(uint64(i)), []byte{byte(i)})
+	}
+	seen := make(map[uint64]bool, n)
+	s.Range(func(it *Item) bool {
+		id, ok := IDForKey(it.Key)
+		if !ok {
+			t.Fatalf("Range yielded foreign key %q", it.Key)
+		}
+		if seen[id] {
+			t.Fatalf("Range yielded key %d twice", id)
+		}
+		seen[id] = true
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("Range saw %d/%d items", len(seen), n)
+	}
+	// Early stop.
+	count := 0
+	s.Range(func(*Item) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("Range ignored early stop: %d", count)
+	}
+}
+
+// TestRangeConcurrent races Range against writers; the scan is weakly
+// consistent but must never yield a torn or deleted-then-freed item
+// (items are immutable, so under -race this is the whole check).
+func TestRangeConcurrent(t *testing.T) {
+	s, _ := NewStore(Config{})
+	const n = 2_000
+	for i := 0; i < n; i++ {
+		s.Put(KeyForID(uint64(i)), []byte("v0"))
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Put(KeyForID(uint64(i%n)), []byte("v1"))
+			s.Delete(KeyForID(uint64((i + n/2) % n)))
+		}
+	}()
+	for pass := 0; pass < 20; pass++ {
+		s.Range(func(it *Item) bool {
+			if len(it.Key) != 8 || len(it.Value) < 2 {
+				t.Errorf("torn item: key %q value %q", it.Key, it.Value)
+				return false
+			}
+			return true
+		})
+	}
+	close(stop)
+	<-done
+}
+
 func BenchmarkGetHit(b *testing.B) {
 	s, _ := NewStore(Config{})
 	const n = 100_000

@@ -1,0 +1,75 @@
+package nic
+
+import (
+	"sync"
+	"time"
+)
+
+// FabricCluster is the multi-endpoint in-process network: one
+// independent Fabric per cluster node, so an M-node cluster client holds
+// M client transports the way it would hold M sockets to M machines.
+// Nothing is shared between the per-node fabrics — a slow or saturated
+// node backs up only its own rings, which is the isolation property the
+// cluster-tail experiments depend on.
+type FabricCluster struct {
+	mu      sync.Mutex
+	fabrics []*Fabric
+	queues  int
+}
+
+// NewFabricCluster returns nodes independent fabrics, each with
+// queuesPerNode RX queues.
+func NewFabricCluster(nodes, queuesPerNode int) *FabricCluster {
+	fc := &FabricCluster{queues: queuesPerNode}
+	for i := 0; i < nodes; i++ {
+		fc.fabrics = append(fc.fabrics, NewFabric(queuesPerNode))
+	}
+	return fc
+}
+
+// Nodes returns the current node count.
+func (fc *FabricCluster) Nodes() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return len(fc.fabrics)
+}
+
+// Queues returns the RX queues per node.
+func (fc *FabricCluster) Queues() int { return fc.queues }
+
+// Node returns node i's fabric.
+func (fc *FabricCluster) Node(i int) *Fabric {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.fabrics[i]
+}
+
+// Grow appends one more node's fabric (live topology growth) and returns
+// it along with its index.
+func (fc *FabricCluster) Grow() (*Fabric, int) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	f := NewFabric(fc.queues)
+	fc.fabrics = append(fc.fabrics, f)
+	return f, len(fc.fabrics) - 1
+}
+
+// SetRTT applies an emulated round trip to every node's fabric.
+func (fc *FabricCluster) SetRTT(rtt time.Duration) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	for _, f := range fc.fabrics {
+		f.SetRTT(rtt)
+	}
+}
+
+// Drops sums dropped frames across every node.
+func (fc *FabricCluster) Drops() uint64 {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	var n uint64
+	for _, f := range fc.fabrics {
+		n += f.Drops()
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+package nic
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFabricClusterIsolation(t *testing.T) {
+	fc := NewFabricCluster(3, 2)
+	if fc.Nodes() != 3 || fc.Queues() != 2 {
+		t.Fatalf("cluster shape: %d nodes, %d queues", fc.Nodes(), fc.Queues())
+	}
+	// A frame sent into node 0 must be visible only to node 0's server.
+	c0 := fc.Node(0).NewClient()
+	if err := c0.Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Frame, 4)
+	deadline := time.Now().Add(time.Second)
+	for fc.Node(0).Server().Recv(1, out) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("frame never arrived on node 0")
+		}
+	}
+	for i := 1; i < 3; i++ {
+		for q := 0; q < 2; q++ {
+			if n := fc.Node(i).Server().Recv(q, out); n != 0 {
+				t.Fatalf("node %d queue %d leaked %d frames from node 0", i, q, n)
+			}
+		}
+	}
+
+	// Grow appends an independent node.
+	f, idx := fc.Grow()
+	if idx != 3 || fc.Nodes() != 4 {
+		t.Fatalf("Grow: idx=%d nodes=%d", idx, fc.Nodes())
+	}
+	if f != fc.Node(3) {
+		t.Fatal("Grow returned a different fabric than Node(3)")
+	}
+	if fc.Drops() != 0 {
+		t.Fatalf("unexpected drops: %d", fc.Drops())
+	}
+}

@@ -2,6 +2,7 @@ package minos
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/minoskv/minos/internal/server"
 )
@@ -38,6 +39,26 @@ func (d Design) String() string {
 		return "HKH+WS"
 	default:
 		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// ParseDesign parses a design name as the CLIs spell them —
+// case-insensitive "minos", "hkh", "sho", "hkhws" (also accepted:
+// "hkh+ws", the paper's rendering). Unknown names return an error
+// listing the valid spellings, so commands can reject a typo with a
+// usage message instead of silently defaulting.
+func ParseDesign(s string) (Design, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "minos":
+		return DesignMinos, nil
+	case "hkh":
+		return DesignHKH, nil
+	case "sho":
+		return DesignSHO, nil
+	case "hkhws", "hkh+ws":
+		return DesignHKHWS, nil
+	default:
+		return 0, fmt.Errorf("minos: unknown design %q (want minos, hkh, sho or hkhws)", s)
 	}
 }
 

@@ -78,6 +78,41 @@ func (f *Fabric) SetRTT(rtt time.Duration) { f.f.SetRTT(rtt) }
 // Drops returns the number of frames dropped on overflowing queues.
 func (f *Fabric) Drops() uint64 { return f.f.Drops() }
 
+// FabricCluster is the multi-endpoint in-process network for cluster
+// tests and embedded fleets: one independent Fabric per node, nothing
+// shared between them, so a saturated node backs up only its own queues
+// — the per-machine isolation a real fleet has.
+type FabricCluster struct {
+	fc *nic.FabricCluster
+}
+
+// NewFabricCluster returns nodes independent fabrics with queuesPerNode
+// RX queues each.
+func NewFabricCluster(nodes, queuesPerNode int) *FabricCluster {
+	return &FabricCluster{fc: nic.NewFabricCluster(nodes, queuesPerNode)}
+}
+
+// Nodes returns the current node count.
+func (fc *FabricCluster) Nodes() int { return fc.fc.Nodes() }
+
+// Node returns node i's fabric.
+func (fc *FabricCluster) Node(i int) *Fabric {
+	return &Fabric{f: fc.fc.Node(i)}
+}
+
+// Grow appends one more node's fabric — the transport side of a live
+// AddNode — returning it and its index.
+func (fc *FabricCluster) Grow() (*Fabric, int) {
+	f, i := fc.fc.Grow()
+	return &Fabric{f: f}, i
+}
+
+// SetRTT applies an emulated round trip to every node's fabric.
+func (fc *FabricCluster) SetRTT(rtt time.Duration) { fc.fc.SetRTT(rtt) }
+
+// Drops sums frames dropped on overflowing queues across every node.
+func (fc *FabricCluster) Drops() uint64 { return fc.fc.Drops() }
+
 // NewUDPServer binds one UDP socket per RX queue on consecutive ports
 // starting at basePort; the destination port selects the queue, the
 // mechanism the paper uses via RSS (§5.1).

@@ -160,6 +160,12 @@ func (g *Generator) PercentLarge() float64 { return g.g.PercentLarge() }
 // SetGetRatio changes the GET fraction mid-stream.
 func (g *Generator) SetGetRatio(r float64) { g.g.SetGetRatio(r) }
 
+// NextKeyID draws the next request's key id — zipf-popular over the
+// catalogue, with the profile's large-request percentage — for callers
+// driving their own load loop (e.g. cluster fan-out reads) instead of
+// RunOpenLoop. Render it with KeyForID.
+func (g *Generator) NextKeyID() uint64 { return g.g.Next().Key }
+
 // LoadConfig parameterizes an open-loop load generation run (§5.4).
 type LoadConfig struct {
 	// Rate is the target request rate in requests per second.
