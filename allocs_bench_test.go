@@ -1,0 +1,163 @@
+package minos_test
+
+import (
+	"context"
+	"testing"
+
+	minos "github.com/minoskv/minos"
+)
+
+// Round-trip allocation benchmarks: one blocking request at a time through
+// the full stack (client pipeline → wire → transport → server cores → KV
+// store and back). ReportAllocs makes the zero-allocation datapath claim an
+// asserted number; the CI perf ratchet (cmd/benchgate) fails any commit
+// that regresses allocs/op on these.
+
+// benchLive starts a 2-core Minos server on an in-process fabric (no
+// emulated RTT — these benches measure path cost, not network latency) and
+// returns a connected client.
+func benchLive(b *testing.B) (*minos.Client, func()) {
+	b.Helper()
+	const cores = 2
+	fabric := minos.NewFabric(cores)
+	srv, err := minos.NewServer(fabric.Server(), minos.WithDesign(minos.DesignMinos), minos.WithCores(cores))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	cli, err := minos.NewClient(fabric.NewClient(), minos.WithQueues(cores), minos.WithSeed(1))
+	if err != nil {
+		srv.Stop()
+		b.Fatal(err)
+	}
+	return cli, func() {
+		cli.Close()
+		srv.Stop()
+	}
+}
+
+func BenchmarkLiveGetRoundTrip(b *testing.B) {
+	cli, stop := benchLive(b)
+	defer stop()
+	ctx := context.Background()
+	key := []byte("bench-get-key")
+	val := make([]byte, 128)
+	if err := cli.Put(ctx, key, val); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cli.Get(ctx, key)
+		if err != nil || len(got) != len(val) {
+			b.Fatal(len(got), err)
+		}
+	}
+}
+
+// BenchmarkLiveGetIntoRoundTrip is the zero-allocation GET: the value is
+// appended into a buffer the caller reuses, so the documented one-alloc
+// copy-out of plain Get disappears too.
+func BenchmarkLiveGetIntoRoundTrip(b *testing.B) {
+	cli, stop := benchLive(b)
+	defer stop()
+	ctx := context.Background()
+	key := []byte("bench-get-key")
+	val := make([]byte, 128)
+	if err := cli.Put(ctx, key, val); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cli.GetInto(ctx, key, dst[:0])
+		if err != nil || len(got) != len(val) {
+			b.Fatal(len(got), err)
+		}
+	}
+}
+
+func BenchmarkLivePutRoundTrip(b *testing.B) {
+	cli, stop := benchLive(b)
+	defer stop()
+	ctx := context.Background()
+	key := []byte("bench-put-key")
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Put(ctx, key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLiveUDP is the loopback-UDP variant: the kernel network stack
+// replaces the fabric rings, so the numbers include real socket syscalls.
+func benchLiveUDP(b *testing.B) (*minos.Client, func()) {
+	b.Helper()
+	const basePort = 47311
+	srvTr, err := minos.NewUDPServer("127.0.0.1", basePort, 1)
+	if err != nil {
+		b.Skipf("udp bind: %v", err)
+	}
+	srv, err := minos.NewServer(srvTr, minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+	if err != nil {
+		srvTr.Close()
+		b.Fatal(err)
+	}
+	srv.Start()
+	cliTr, err := minos.NewUDPClient("127.0.0.1", basePort)
+	if err != nil {
+		srv.Stop()
+		srvTr.Close()
+		b.Fatal(err)
+	}
+	cli, err := minos.NewClient(cliTr, minos.WithQueues(1), minos.WithSeed(1))
+	if err != nil {
+		srv.Stop()
+		srvTr.Close()
+		b.Fatal(err)
+	}
+	return cli, func() {
+		cli.Close()
+		cliTr.Close()
+		srv.Stop()
+		srvTr.Close()
+	}
+}
+
+func BenchmarkLiveGetRoundTripUDP(b *testing.B) {
+	cli, stop := benchLiveUDP(b)
+	defer stop()
+	ctx := context.Background()
+	key := []byte("bench-get-key")
+	val := make([]byte, 128)
+	if err := cli.Put(ctx, key, val); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cli.Get(ctx, key)
+		if err != nil || len(got) != len(val) {
+			b.Fatal(len(got), err)
+		}
+	}
+}
+
+func BenchmarkLivePutRoundTripUDP(b *testing.B) {
+	cli, stop := benchLiveUDP(b)
+	defer stop()
+	ctx := context.Background()
+	key := []byte("bench-put-key")
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Put(ctx, key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

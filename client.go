@@ -95,6 +95,15 @@ func (c *Client) Get(ctx context.Context, key []byte) ([]byte, error) {
 	return c.p.Get(ctx, key)
 }
 
+// GetInto fetches the value for key, appending it to dst and returning the
+// extended slice — the allocation-free variant of Get for callers that
+// reuse a buffer across requests (`buf, err = c.GetInto(ctx, key, buf[:0])`).
+// When dst has enough capacity the round trip performs no heap allocation.
+// On a miss or error dst is returned unchanged alongside the error.
+func (c *Client) GetInto(ctx context.Context, key, dst []byte) ([]byte, error) {
+	return c.p.GetInto(ctx, key, dst)
+}
+
 // Put stores value under key. Values over MaxValueSize fail with
 // ErrValueTooLarge.
 func (c *Client) Put(ctx context.Context, key, value []byte) error {

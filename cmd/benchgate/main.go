@@ -1,0 +1,183 @@
+// Command benchgate is the perf ratchet: it compares a benchjson report
+// for the current commit against the blessed baseline committed under
+// bench/ and exits nonzero on a regression. Two rules, in the spirit of
+// "performance only ratchets forward":
+//
+//   - allocs/op may NEVER regress on a gated benchmark, on any machine —
+//     allocation counts are deterministic, so even +1 is a real change
+//     somebody must explain by re-blessing the baseline.
+//   - ns/op may not regress by more than -threshold percent (default 15),
+//     but only when both reports ran on the same CPU model; wall-clock
+//     comparisons across heterogeneous CI machines are noise, not signal.
+//
+// A gated benchmark that disappears from the current report also fails:
+// deleting a benchmark must be a deliberate act (re-bless the baseline),
+// not a silent hole in the gate.
+//
+// Usage:
+//
+//	benchgate -baseline bench/ -current BENCH_current.json [-match 'LiveGet|LivePut|Wire'] [-threshold 15]
+//
+// -baseline may name a report file or a directory holding exactly one
+// BENCH_*.json (the repo convention: the blessed baseline is the only
+// file there, named after the commit that produced it).
+//
+// Blessing a new baseline after an intentional change:
+//
+//	go test -run=NONE -bench 'BenchmarkLive(Get|Put)|BenchmarkWire' -benchmem -benchtime 2000x . ./internal/wire/ \
+//	  | go run ./cmd/benchjson -sha $(git rev-parse HEAD) > bench/BENCH_$(git rev-parse HEAD).json
+//	git rm bench/BENCH_<old-sha>.json && git add bench/BENCH_$(git rev-parse HEAD).json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// Result and Report mirror cmd/benchjson's JSON document (the two
+// commands stay decoupled; the JSON is the contract).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type Report struct {
+	SHA     string   `json:"sha,omitempty"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// gate compares current against baseline and returns one human-readable
+// line per violation (empty means the gate is green). match selects which
+// benchmarks are gated; threshold is the allowed ns/op regression in
+// percent, enforced only when the CPU models match.
+func gate(baseline, current Report, match *regexp.Regexp, threshold float64) []string {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	sameCPU := baseline.CPU != "" && baseline.CPU == current.CPU
+	var violations []string
+	for _, base := range baseline.Results {
+		if !match.MatchString(base.Name) {
+			continue
+		}
+		now, ok := cur[base.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from current run (delete requires re-blessing the baseline)", base.Name))
+			continue
+		}
+		if ba, bok := base.Metrics["allocs/op"]; bok {
+			if na, nok := now.Metrics["allocs/op"]; nok && na > ba {
+				violations = append(violations,
+					fmt.Sprintf("%s: allocs/op regressed %.0f -> %.0f (any increase fails)", base.Name, ba, na))
+			}
+		}
+		if !sameCPU {
+			continue // ns/op across different CPU models is not comparable
+		}
+		if bt, bok := base.Metrics["ns/op"]; bok && bt > 0 {
+			if nt, nok := now.Metrics["ns/op"]; nok && nt > bt*(1+threshold/100) {
+				violations = append(violations,
+					fmt.Sprintf("%s: ns/op regressed %.1f -> %.1f (+%.1f%%, limit %.0f%%)",
+						base.Name, bt, nt, (nt/bt-1)*100, threshold))
+			}
+		}
+	}
+	return violations
+}
+
+// findBaseline resolves path to a report file: either the file itself or
+// the single BENCH_*.json inside the directory.
+func findBaseline(path string) (string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if !info.IsDir() {
+		return path, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) != 1 {
+		return "", fmt.Errorf("%s: want exactly one BENCH_*.json baseline, found %d", path, len(matches))
+	}
+	return matches[0], nil
+}
+
+func load(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return rep, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench", "blessed baseline report (file, or directory with one BENCH_*.json)")
+	currentPath := flag.String("current", "", "benchjson report for the current commit")
+	matchExpr := flag.String("match", "LiveGet|LivePut|Wire", "regexp selecting gated (datapath) benchmarks")
+	threshold := flag.Float64("threshold", 15, "allowed ns/op regression in percent (same-CPU runs only)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if *currentPath == "" {
+		fail(fmt.Errorf("-current is required"))
+	}
+	match, err := regexp.Compile(*matchExpr)
+	if err != nil {
+		fail(err)
+	}
+	basePath, err := findBaseline(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	baseline, err := load(basePath)
+	if err != nil {
+		fail(err)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fail(err)
+	}
+	if baseline.CPU != current.CPU {
+		fmt.Printf("benchgate: CPU differs (baseline %q, current %q): gating allocs/op only\n",
+			baseline.CPU, current.CPU)
+	}
+	violations := gate(baseline, current, match, *threshold)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL against baseline %s (%s):\n", baseline.SHA, basePath)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		fmt.Fprintln(os.Stderr, "If the regression is intentional, re-bless the baseline (see command doc).")
+		os.Exit(1)
+	}
+	gated := 0
+	for _, r := range baseline.Results {
+		if match.MatchString(r.Name) {
+			gated++
+		}
+	}
+	fmt.Printf("benchgate: OK — %d gated benchmarks within budget of baseline %s\n", gated, baseline.SHA)
+}

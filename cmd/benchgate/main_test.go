@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var gateAll = regexp.MustCompile("LiveGet|LivePut|Wire")
+
+func report(cpu string, results ...Result) Report {
+	return Report{SHA: "test", CPU: cpu, Results: results}
+}
+
+func res(name string, nsOp, allocsOp float64) Result {
+	return Result{
+		Name:       name,
+		Iterations: 1000,
+		Metrics:    map[string]float64{"ns/op": nsOp, "allocs/op": allocsOp, "B/op": 0},
+	}
+}
+
+// TestGateRedLinesSyntheticAllocRegression is the acceptance check for
+// the ratchet: a single extra alloc/op on a gated benchmark must fail,
+// on any CPU.
+func TestGateRedLinesSyntheticAllocRegression(t *testing.T) {
+	base := report("cpuA", res("BenchmarkLiveGetRoundTrip", 3000, 0))
+	bad := report("cpuB", res("BenchmarkLiveGetRoundTrip", 3000, 1))
+	violations := gate(base, bad, gateAll, 15)
+	if len(violations) != 1 || !strings.Contains(violations[0], "allocs/op regressed 0 -> 1") {
+		t.Fatalf("alloc regression not red-lined: %v", violations)
+	}
+}
+
+func TestGateRedLinesSyntheticTimeRegression(t *testing.T) {
+	base := report("cpuA", res("BenchmarkWireEncodeLeasedSmall", 100, 0))
+	bad := report("cpuA", res("BenchmarkWireEncodeLeasedSmall", 130, 0))
+	violations := gate(base, bad, gateAll, 15)
+	if len(violations) != 1 || !strings.Contains(violations[0], "ns/op regressed") {
+		t.Fatalf("+30%% ns/op not red-lined: %v", violations)
+	}
+}
+
+func TestGateIgnoresTimeAcrossDifferentCPUs(t *testing.T) {
+	base := report("cpuA", res("BenchmarkWireEncodeLeasedSmall", 100, 0))
+	slowerMachine := report("cpuB", res("BenchmarkWireEncodeLeasedSmall", 500, 0))
+	if v := gate(base, slowerMachine, gateAll, 15); len(v) != 0 {
+		t.Fatalf("cross-CPU ns/op gated: %v", v)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := report("cpuA", res("BenchmarkLivePutRoundTrip", 3000, 0))
+	ok := report("cpuA", res("BenchmarkLivePutRoundTrip", 3300, 0)) // +10%
+	if v := gate(base, ok, gateAll, 15); len(v) != 0 {
+		t.Fatalf("within-threshold run failed: %v", v)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := report("cpuA", res("BenchmarkLiveGetRoundTrip", 3000, 0))
+	empty := report("cpuA", res("BenchmarkUnrelated", 1, 0))
+	v := gate(base, empty, gateAll, 15)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("deleted gated benchmark not flagged: %v", v)
+	}
+}
+
+func TestGateSkipsUnmatchedBenchmarks(t *testing.T) {
+	base := report("cpuA", res("BenchmarkSimulatorEpoch", 100, 5))
+	bad := report("cpuA", res("BenchmarkSimulatorEpoch", 900, 50))
+	if v := gate(base, bad, gateAll, 15); len(v) != 0 {
+		t.Fatalf("non-datapath benchmark gated: %v", v)
+	}
+}
+
+func TestFindBaselineInDirectory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_abc123.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := findBaseline(dir)
+	if err != nil || got != path {
+		t.Fatalf("findBaseline = %q, %v", got, err)
+	}
+	// Two baselines is ambiguous and must error.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_def456.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := findBaseline(dir); err == nil {
+		t.Fatal("two baselines accepted")
+	}
+}

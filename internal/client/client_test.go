@@ -9,6 +9,7 @@ import (
 
 	"github.com/minoskv/minos/internal/apierr"
 	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/mem"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/wire"
 	"github.com/minoskv/minos/internal/workload"
@@ -60,8 +61,16 @@ func TestGetTimesOut(t *testing.T) {
 // fakeReplyless swallows sends and never replies.
 type fakeReplyless struct{}
 
-func (f *fakeReplyless) Send(int, []byte) error        { return nil }
-func (f *fakeReplyless) SendBatch(int, [][]byte) error { return nil }
+func (f *fakeReplyless) Send(_ int, frame *mem.Buf) error {
+	frame.Release()
+	return nil
+}
+func (f *fakeReplyless) SendBatch(_ int, frames []*mem.Buf) error {
+	for _, fr := range frames {
+		fr.Release()
+	}
+	return nil
+}
 func (f *fakeReplyless) Recv([]byte, time.Duration) (int, bool) {
 	time.Sleep(time.Millisecond)
 	return 0, false
@@ -108,8 +117,16 @@ func (f *fakeScripted) push(frames ...[]byte) {
 	f.mu.Unlock()
 }
 
-func (f *fakeScripted) Send(int, []byte) error        { return nil }
-func (f *fakeScripted) SendBatch(int, [][]byte) error { return nil }
+func (f *fakeScripted) Send(_ int, frame *mem.Buf) error {
+	frame.Release()
+	return nil
+}
+func (f *fakeScripted) SendBatch(_ int, frames []*mem.Buf) error {
+	for _, fr := range frames {
+		fr.Release()
+	}
+	return nil
+}
 func (f *fakeScripted) Recv(buf []byte, timeout time.Duration) (int, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/mem"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/stats"
 	"github.com/minoskv/minos/internal/wire"
@@ -152,7 +153,7 @@ func RunOpenLoop(ctx context.Context, tr nic.ClientTransport, queues int, gen *w
 	// Frames accumulate per RX queue and flush when a queue's batch
 	// fills or the sender is about to sleep, so a backlog burst costs
 	// one transport call per queue instead of one per frame.
-	batches := make([][][]byte, queues)
+	batches := make([][]*mem.Buf, queues)
 	batched := make([]uint64, queues) // messages (not frames) per batch
 	flush := func(q int) {
 		if len(batches[q]) == 0 {
@@ -208,7 +209,7 @@ func RunOpenLoop(ctx context.Context, tr nic.ClientTransport, queues int, gen *w
 			msg.TTL = ttlMillis(r.TTL) // 0 unless the profile enables TTLs
 		}
 		q := int(msg.RxQueue)
-		batches[q] = msg.AppendFrames(batches[q])
+		batches[q] = msg.LeaseFrames(batches[q])
 		batched[q]++
 		if len(batches[q]) >= cfg.Batch {
 			flush(q)

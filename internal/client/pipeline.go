@@ -11,6 +11,7 @@ import (
 
 	"github.com/minoskv/minos/internal/apierr"
 	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/mem"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/wire"
 )
@@ -146,6 +147,47 @@ type Call struct {
 	done  chan struct{}
 	value []byte
 	err   error
+
+	// pooled marks recycled calls backing the blocking wrappers: done is
+	// a reusable capacity-1 channel signalled by a token send instead of
+	// a close, and the struct goes back to callPool once the waiter has
+	// read the results. Calls returned by the *Async methods are never
+	// pooled — their Done contract requires a genuinely closed channel.
+	pooled bool
+	// dst, when set, receives the GET value by append (GetInto); nil
+	// means the completion copies the value to fresh heap memory, the
+	// public Get contract.
+	dst []byte
+	// tx is the reusable TX staging slice for leased request frames.
+	tx []*mem.Buf
+	// pc is the receiver-side state, embedded so a request costs no
+	// separate pendingCall allocation.
+	pc pendingCall
+}
+
+// callPool recycles blocking-wrapper calls; see Call.pooled.
+var callPool sync.Pool
+
+func (p *Pipeline) newPooledCall() *Call {
+	c, _ := callPool.Get().(*Call)
+	if c == nil {
+		c = &Call{done: make(chan struct{}, 1), pooled: true}
+	}
+	c.p = p
+	return c
+}
+
+// recycleCall scrubs and pools a completed blocking call. The caller must
+// have consumed the done token and copied value/err out first.
+func recycleCall(c *Call) {
+	c.ID = 0
+	c.p = nil
+	c.queue = 0
+	c.value = nil
+	c.err = nil
+	c.dst = nil
+	c.pc = pendingCall{}
+	callPool.Put(c)
 }
 
 // Done is closed when the call completes, fails, or times out.
@@ -183,6 +225,10 @@ func (c *Call) Wait(ctx context.Context) (value []byte, err error) {
 
 func (c *Call) finish(value []byte, err error) {
 	c.value, c.err = value, err
+	if c.pooled {
+		c.done <- struct{}{}
+		return
+	}
 	close(c.done)
 }
 
@@ -263,14 +309,24 @@ func (p *Pipeline) DeleteAsync(key []byte) *Call {
 // returns apierr.ErrNotFound; a key whose expired item the read itself
 // observed returns apierr.ErrEvicted (which also matches ErrNotFound).
 // The distinction is best-effort: once a sweep or the eviction clock has
-// reclaimed the item, the miss is plain ErrNotFound.
+// reclaimed the item, the miss is plain ErrNotFound. The returned value is
+// freshly allocated and owned by the caller; GetInto is the
+// zero-allocation variant.
 func (p *Pipeline) Get(ctx context.Context, key []byte) (value []byte, err error) {
-	return p.submit(ctx, wire.OpGetRequest, key, nil, 0, p.timeout).Wait(ctx)
+	return p.doSync(ctx, wire.OpGetRequest, key, nil, 0, nil, false)
+}
+
+// GetInto is Get appending the value into dst (which may be nil), the way
+// kv.Store.Get does: it returns the extended slice on a hit and dst
+// unchanged on a miss or error. When cap(dst) covers the value, the whole
+// round trip allocates nothing.
+func (p *Pipeline) GetInto(ctx context.Context, key, dst []byte) (value []byte, err error) {
+	return p.doSync(ctx, wire.OpGetRequest, key, nil, 0, dst, true)
 }
 
 // Put is the blocking wrapper: one PUT, wait for its acknowledgment.
 func (p *Pipeline) Put(ctx context.Context, key, value []byte) error {
-	_, err := p.submit(ctx, wire.OpPutRequest, key, value, 0, p.timeout).Wait(ctx)
+	_, err := p.doSync(ctx, wire.OpPutRequest, key, value, 0, nil, false)
 	return err
 }
 
@@ -280,15 +336,40 @@ func (p *Pipeline) Put(ctx context.Context, key, value []byte) error {
 // it. ttl <= 0 stores an immortal item (identical to Put). The wire
 // carries whole milliseconds; sub-millisecond TTLs round up.
 func (p *Pipeline) PutTTL(ctx context.Context, key, value []byte, ttl time.Duration) error {
-	_, err := p.submit(ctx, wire.OpPutRequest, key, value, ttlMillis(ttl), p.timeout).Wait(ctx)
+	_, err := p.doSync(ctx, wire.OpPutRequest, key, value, ttlMillis(ttl), nil, false)
 	return err
 }
 
 // Delete removes key, waiting for the acknowledgment. Deleting a key that
 // does not exist returns apierr.ErrNotFound.
 func (p *Pipeline) Delete(ctx context.Context, key []byte) error {
-	_, err := p.submit(ctx, wire.OpDeleteRequest, key, nil, 0, p.timeout).Wait(ctx)
+	_, err := p.doSync(ctx, wire.OpDeleteRequest, key, nil, 0, nil, false)
 	return err
+}
+
+// doSync runs one blocking request on a recycled call, so the steady-state
+// synchronous path allocates neither a Call, a done channel, a
+// pendingCall, nor (via the leased encode path) any frame.
+func (p *Pipeline) doSync(ctx context.Context, op wire.Op, key, value []byte, ttlMs uint32, dst []byte, intoDst bool) ([]byte, error) {
+	call := p.newPooledCall()
+	call.dst = dst
+	p.submitCall(ctx, call, op, key, value, ttlMs, p.timeout)
+	if ctx.Done() == nil {
+		<-call.done
+	} else {
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			p.abandon(call, ctx.Err())
+			<-call.done // abandon or a racing completion finished the call
+		}
+	}
+	v, err := call.value, call.err
+	recycleCall(call)
+	if intoDst && v == nil {
+		v = dst // miss or failure: GetInto leaves dst as it was
+	}
+	return v, err
 }
 
 // ttlMillis converts a TTL to the wire's millisecond field, rounding up
@@ -327,14 +408,28 @@ func (p *Pipeline) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte
 	return values, err
 }
 
-// submit encodes and transmits one request with the given deadline.
-// ttlMs rides in the header on PUTs (0 = no expiry).
+// submit allocates a fresh asynchronous call and transmits it; the *Async
+// methods use it so their Done channel really closes.
 func (p *Pipeline) submit(ctx context.Context, op wire.Op, key, value []byte, ttlMs uint32, timeout time.Duration) *Call {
+	call := &Call{p: p, done: make(chan struct{})}
+	return p.submitCall(ctx, call, op, key, value, ttlMs, timeout)
+}
+
+// submitCall encodes and transmits one request with the given deadline on
+// the provided (fresh or recycled) call. ttlMs rides in the header on PUTs
+// (0 = no expiry).
+//
+// Request frames are leased and handed to the transport, which recycles
+// them once transmitted (or forwards them through the in-process fabric to
+// the server, which recycles them after serving). With Retries > 0 the
+// frames are instead plain heap memory retained on the pendingCall: a
+// retransmission may race with the first copy still sitting in a transport
+// ring, so the bytes must stay immutable until the call completes.
+func (p *Pipeline) submitCall(ctx context.Context, call *Call, op wire.Op, key, value []byte, ttlMs uint32, timeout time.Duration) *Call {
 	p.start.Do(func() {
 		p.wg.Add(1)
 		go p.receiverLoop()
 	})
-	call := &Call{p: p, done: make(chan struct{})}
 	// Cancelled before send: fail without transmitting or consuming a
 	// window slot.
 	if err := ctx.Err(); err != nil {
@@ -377,18 +472,19 @@ func (p *Pipeline) submit(ctx context.Context, op wire.Op, key, value []byte, tt
 		Key:       key,
 		Value:     value,
 	}
-	frames := msg.Frames()
-	pc := &pendingCall{
-		call:     call,
-		op:       op,
-		queue:    q,
-		deadline: time.Now().Add(timeout),
-	}
+	pc := &call.pc
+	pc.call = call
+	pc.op = op
+	pc.queue = q
+	pc.deadline = time.Now().Add(timeout)
 	if ctx.Done() != nil {
 		pc.ctx = ctx
 	}
 	if p.retries > 0 {
-		pc.frames = frames
+		pc.frames = msg.Frames()
+		call.tx = appendStatic(call.tx[:0], pc.frames)
+	} else {
+		call.tx = msg.LeaseFrames(call.tx[:0])
 	}
 	p.mu.Lock()
 	p.pending[call.ID] = pc
@@ -399,7 +495,7 @@ func (p *Pipeline) submit(ctx context.Context, op wire.Op, key, value []byte, tt
 	case p.wake <- struct{}{}:
 	default:
 	}
-	if err := p.tr.SendBatch(q, frames); err != nil {
+	if err := p.tr.SendBatch(q, call.tx); err != nil {
 		p.abandon(call, err)
 		return call
 	}
@@ -414,6 +510,16 @@ func (p *Pipeline) submit(ctx context.Context, op wire.Op, key, value []byte, tt
 	}
 	p.sent.Add(1)
 	return call
+}
+
+// appendStatic wraps heap frames for a transport that now takes owned
+// buffers; Static buffers survive the transport's Release, which is what
+// the retransmission path needs.
+func appendStatic(dst []*mem.Buf, frames [][]byte) []*mem.Buf {
+	for _, f := range frames {
+		dst = append(dst, mem.Static(f))
+	}
+	return dst
 }
 
 // abandon removes call from the pending map if it is still there and, if
@@ -454,6 +560,11 @@ func (p *Pipeline) receiverLoop() {
 		maxPending = minReassemble
 	}
 	reasm := wire.NewReassembler(maxPending)
+	// scratch is the reusable decode target: single-fragment replies alias
+	// the recv buffer (valid until the next RecvBatch reuses it, which is
+	// after complete copies the value out), and reassembled replies move
+	// their leased body into it, recycled by the Reset below.
+	var scratch wire.Message
 	nextExpire := time.Now().Add(expireScan)
 	for {
 		select {
@@ -492,15 +603,16 @@ func (p *Pipeline) receiverLoop() {
 				p.stale.Add(1) // reply for a timed-out or duplicate request
 				continue
 			}
-			msg, err := reasm.Add(0, frame)
+			done, err := reasm.AddInto(0, frame, &scratch)
 			if err != nil {
 				p.badFrames.Add(1)
 				continue
 			}
-			if msg == nil {
+			if !done {
 				continue // fragment of a still-incomplete reply
 			}
-			p.complete(pc, msg)
+			p.complete(pc, &scratch)
+			scratch.Reset()
 		}
 		if now := time.Now(); now.After(nextExpire) {
 			p.expire(now)
@@ -525,7 +637,17 @@ func (p *Pipeline) complete(pc *pendingCall, msg *wire.Message) {
 	}
 	<-p.tokens[pc.queue]
 	p.completed.Add(1)
-	pc.call.finish(resultFor(pc.op, msg))
+	value, err := resultFor(pc.op, msg)
+	if value != nil {
+		// msg aliases the receive buffer (or a leased reassembly body)
+		// that is recycled right after this call, so the value must be
+		// copied out before the call is finished. The copy lands in the
+		// caller-provided GetInto destination when there is one; plain Get
+		// leaves dst nil and pays exactly this one heap allocation — the
+		// documented copy-out contract.
+		value = append(pc.call.dst, value...)
+	}
+	pc.call.finish(value, err)
 }
 
 // resultFor maps a reply's status to the error taxonomy: StatusNotFound
@@ -584,8 +706,12 @@ func (p *Pipeline) expire(now time.Time) {
 	}
 	p.mu.Unlock()
 	for _, pc := range resend {
+		// Retransmission is a rare loss-recovery path: wrapping the
+		// retained heap frames in Static buffers (one small allocation
+		// each) keeps them immutable across however many copies are in
+		// flight, while satisfying the transport's owned-buffer contract.
 		p.retried.Add(1)
-		_ = p.tr.SendBatch(pc.queue, pc.frames)
+		_ = p.tr.SendBatch(pc.queue, appendStatic(nil, pc.frames))
 	}
 	for _, d := range dead {
 		<-p.tokens[d.pc.queue]

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/minoskv/minos/internal/apierr"
+	"github.com/minoskv/minos/internal/mem"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/wire"
 )
@@ -27,9 +28,9 @@ func newFakePipe() *fakePipe {
 	return &fakePipe{sends: make(map[uint64]int), replies: make(chan []byte, 256)}
 }
 
-func (f *fakePipe) Send(q int, data []byte) error { return f.SendBatch(q, [][]byte{data}) }
+func (f *fakePipe) Send(q int, frame *mem.Buf) error { return f.SendBatch(q, []*mem.Buf{frame}) }
 
-func (f *fakePipe) SendBatch(q int, frames [][]byte) error {
+func (f *fakePipe) SendBatch(q int, frames []*mem.Buf) error {
 	type sent struct {
 		id  uint64
 		nth int
@@ -37,10 +38,11 @@ func (f *fakePipe) SendBatch(q int, frames [][]byte) error {
 	var events []sent
 	f.mu.Lock()
 	for _, fr := range frames {
-		if id, ok := wire.PeekReqID(fr); ok && wirePrimaryFragment(fr) {
+		if id, ok := wire.PeekReqID(fr.Data); ok && wirePrimaryFragment(fr.Data) {
 			f.sends[id]++
 			events = append(events, sent{id, f.sends[id]})
 		}
+		fr.Release()
 	}
 	f.mu.Unlock()
 	if f.onSend != nil {

@@ -57,6 +57,7 @@ func (s *Store) removeItem(it *Item) bool {
 			p.count.Add(-1)
 			p.bytes.Add(-int64(len(it.Value)))
 			p.mem.Add(-it.mem())
+			s.retire(p, it)
 			return true
 		}
 	}
@@ -116,6 +117,7 @@ func (s *Store) sweepBucket(p *partition, b *bucket, now int64, evict bool) {
 			p.count.Add(-1)
 			p.bytes.Add(-int64(len(it.Value)))
 			p.mem.Add(-it.mem())
+			s.retire(p, it)
 		}
 	}
 }
@@ -127,6 +129,12 @@ func (s *Store) sweepBucket(p *partition, b *bucket, now int64, evict bool) {
 func (s *Store) SweepExpired(now int64) int {
 	if !s.ttlSeen.Load() {
 		return 0
+	}
+	// The pre-scan below dereferences items without the bucket lock; on a
+	// Recycle store that read is only safe under a pin.
+	if s.cfg.Recycle {
+		r := s.guestPin()
+		defer s.guestUnpin(r)
 	}
 	before := s.expired.Load()
 	for pi := range s.parts {

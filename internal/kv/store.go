@@ -33,6 +33,12 @@ type Item struct {
 	Expire int64
 
 	ref atomic.Uint32 // CLOCK reference bit (cache mode only)
+
+	// Recycling bookkeeping (Config.Recycle); both are written only after
+	// the item is unlinked, under the retired-list mutex discipline in
+	// reclaim.go.
+	retireEpoch uint64
+	nextFree    *Item
 }
 
 // mem returns the bytes the item charges against the memory limit: key
@@ -89,6 +95,17 @@ type Config struct {
 	// Now supplies the expiry clock in nanoseconds (tests inject a
 	// virtual clock); nil means time.Now().UnixNano.
 	Now func() int64
+
+	// Recycle turns on item recycling: replaced, deleted, expired and
+	// evicted items are retired and their storage reused by later PUTs
+	// once no reader can still observe them (see reclaim.go), so a
+	// steady-state PUT allocates nothing. It changes the read contract:
+	// callers of Find / GetItem must hold a pinned Reader for as long as
+	// they dereference the returned item, and items handed to PutItem
+	// transfer ownership of their slices to the store. The copying
+	// accessors (Get, Range, SweepExpired) pin internally. Off by
+	// default, preserving the forever-valid immutable-item semantics.
+	Recycle bool
 }
 
 func (c *Config) setDefaults() {
@@ -126,6 +143,12 @@ type partition struct {
 	// lock.
 	evictMu sync.Mutex
 	hand    int // next primary bucket the CLOCK hand visits
+
+	// Retired-but-not-yet-reclaimable items (Config.Recycle). retMu is a
+	// leaf mutex: push/pop only, safe to take under a bucket spinlock.
+	retMu    sync.Mutex
+	retired  *Item
+	retiredN atomic.Int32
 }
 
 // Store is the MICA-style partitioned hash table. All methods are safe for
@@ -147,6 +170,15 @@ type Store struct {
 
 	evicted atomic.Uint64 // items removed by the CLOCK hand under memory pressure
 	expired atomic.Uint64 // items removed because their TTL passed (lazy or swept)
+
+	// Reclamation state (reclaim.go): the retire stamp counter, the
+	// registered reader slots, and the guest-reader pool used by the
+	// copying accessors.
+	retires     atomic.Uint64
+	readersMu   sync.Mutex
+	readerSlots []*readerSlot
+	freeSlots   map[*readerSlot]bool
+	guestPool   sync.Pool
 }
 
 // NewStore returns an empty store. Invalid configs return an error.
@@ -155,7 +187,12 @@ func NewStore(cfg Config) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &Store{cfg: cfg, parts: make([]partition, cfg.NumPartitions), partMask: uint64(cfg.NumPartitions - 1)}
+	s := &Store{
+		cfg:       cfg,
+		parts:     make([]partition, cfg.NumPartitions),
+		partMask:  uint64(cfg.NumPartitions - 1),
+		freeSlots: make(map[*readerSlot]bool),
+	}
 	for i := range s.parts {
 		s.parts[i].buckets = make([]bucket, cfg.BucketsPerPartition)
 		s.parts[i].mask = uint64(cfg.BucketsPerPartition - 1)
@@ -218,6 +255,11 @@ func unlockBucket(b *bucket, locked uint64) {
 // it snapshots the bucket epoch, scans, and retries if a concurrent write
 // moved the epoch (§4.2).
 func (s *Store) Get(key []byte, dst []byte) (val []byte, ok bool) {
+	var r *Reader
+	if s.cfg.Recycle {
+		r = s.guestPin()
+		defer s.guestUnpin(r)
+	}
 	item, _ := s.Find(key)
 	if item == nil {
 		return dst, false
@@ -326,18 +368,15 @@ func (s *Store) PutTTL(key, value []byte, ttl int64) {
 // epoch sweep reclaims the memory.
 func (s *Store) PutExpire(key, value []byte, expire int64) {
 	h := Hash(key)
-	item := &Item{
-		Hash:   h,
-		Key:    append(make([]byte, 0, len(key)), key...),
-		Value:  append(make([]byte, 0, len(value)), value...),
-		Expire: expire,
-	}
-	s.PutItem(item)
+	s.PutItem(s.newItem(h, key, value, expire))
 }
 
 // PutItem publishes a pre-built item. The item and its slices must not be
-// modified after the call. This is the zero-extra-copy path for servers
-// that already assembled the value from the network.
+// modified after the call — on a Recycle store their ownership transfers
+// outright: once the item is later replaced or deleted and no reader can
+// observe it, its storage is reused for other keys. This is the
+// zero-extra-copy path for servers that already assembled the value from
+// the network.
 //
 // When the store runs with a memory limit and the insert pushes its
 // partition over budget, PutItem runs the CLOCK hand before returning, so
@@ -370,6 +409,7 @@ func (s *Store) PutItem(item *Item) {
 				cur.items[i].Store(item)
 				p.bytes.Add(int64(len(item.Value)) - int64(len(old.Value)))
 				p.mem.Add(item.mem() - old.mem())
+				s.retire(p, old)
 				replaced = true
 				break
 			}
@@ -403,6 +443,7 @@ func (s *Store) PutItem(item *Item) {
 	if s.limitPerPart > 0 && p.mem.Load() > s.limitPerPart {
 		s.enforce(p)
 	}
+	s.maybeReclaim(p)
 }
 
 // Delete removes key, reporting whether it was present. A key whose TTL
@@ -413,7 +454,6 @@ func (s *Store) Delete(key []byte) bool {
 	p, b := s.bucketFor(h)
 	tag := tagOf(h)
 	locked := lockBucket(b)
-	defer func() { unlockBucket(b, locked) }()
 	for cur := b; cur != nil; cur = cur.next.Load() {
 		for i := 0; i < slotsPerBucket; i++ {
 			if cur.tags[i].Load() != tag {
@@ -426,14 +466,21 @@ func (s *Store) Delete(key []byte) bool {
 				p.count.Add(-1)
 				p.bytes.Add(-int64(len(it.Value)))
 				p.mem.Add(-it.mem())
-				if it.Expire != 0 && it.expired(s.now()) {
+				// Read the expiry verdict before retiring: once on the
+				// retired list the item may be recycled by a concurrent
+				// reclaim pass at any moment.
+				present := !(it.Expire != 0 && it.expired(s.now()))
+				if !present {
 					s.expired.Add(1)
-					return false
 				}
-				return true
+				s.retire(p, it)
+				unlockBucket(b, locked)
+				s.maybeReclaim(p)
+				return present
 			}
 		}
 	}
+	unlockBucket(b, locked)
 	return false
 }
 
@@ -445,6 +492,12 @@ func (s *Store) Delete(key []byte) bool {
 // are yielded as stored; callers that care (e.g. the cluster migration
 // scan) filter on Expire themselves.
 func (s *Store) Range(fn func(it *Item) bool) {
+	// On a Recycle store the guest pin keeps every yielded item valid for
+	// the duration of the call; fn must not retain items afterwards.
+	if s.cfg.Recycle {
+		r := s.guestPin()
+		defer s.guestUnpin(r)
+	}
 	for pi := range s.parts {
 		p := &s.parts[pi]
 		for bi := range p.buckets {

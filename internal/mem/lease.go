@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the lease side of the package: a global, lock-free,
+// size-classed recycler for short-lived datapath buffers (wire frames,
+// reassembly bodies, transport receive slots). Where Pool is an arena
+// allocator with single-owner free semantics, Lease hands out buffers
+// whose ownership travels with the buffer: whoever holds a *Buf releases
+// it exactly once, and a lease that is never released is merely garbage
+// for the GC — sync.Pool backing means a lost lease can never corrupt the
+// recycler or leak memory permanently.
+//
+// Ownership convention (see DESIGN.md "Buffer ownership & memory
+// discipline"): passing a *Buf to a transport Send transfers ownership;
+// RX frames are owned by the receiving loop until it releases or
+// explicitly takes them; anything that outlives the current call must be
+// copied into memory the holder owns.
+
+// leaseState tracks double-release: a leased buffer is live until
+// Release, and releasing twice panics instead of silently corrupting the
+// free list.
+const (
+	leaseLive     = 1
+	leaseReleased = 0
+)
+
+// leasePools holds one sync.Pool per size class. Entries are *Buf with
+// Data capacity equal to the class slot size.
+var leasePools = func() []*sync.Pool {
+	ps := make([]*sync.Pool, numClasses)
+	for i := range ps {
+		ps[i] = &sync.Pool{}
+	}
+	return ps
+}()
+
+// LeaseStatsCounters are cumulative, process-wide lease counters.
+type LeaseStatsCounters struct {
+	Leases   int64 // Lease calls served (including oversize)
+	Releases int64 // Release calls that returned a buffer to a pool
+	Misses   int64 // Lease calls that had to allocate a fresh slot
+	Oversize int64 // Lease calls above MaxClassSize (heap-backed, GC-owned)
+}
+
+var leaseStats struct {
+	leases   atomic.Int64
+	releases atomic.Int64
+	misses   atomic.Int64
+	oversize atomic.Int64
+}
+
+// LeaseStats snapshots the process-wide lease counters.
+func LeaseStats() LeaseStatsCounters {
+	return LeaseStatsCounters{
+		Leases:   leaseStats.leases.Load(),
+		Releases: leaseStats.releases.Load(),
+		Misses:   leaseStats.misses.Load(),
+		Oversize: leaseStats.oversize.Load(),
+	}
+}
+
+// Lease returns a buffer of exactly n bytes from the global size-classed
+// recycler. The contents are NOT zeroed — every steady-state user
+// overwrites the buffer before reading it, and clearing 2 KiB per frame
+// would dominate small-request cost. Release it exactly once when done;
+// sizes above MaxClassSize fall back to a plain heap allocation whose
+// Release is a no-op (the GC owns it).
+func Lease(n int) *Buf {
+	leaseStats.leases.Add(1)
+	c := classForSize(n)
+	if c < 0 {
+		leaseStats.oversize.Add(1)
+		return &Buf{Data: make([]byte, n), class: -1}
+	}
+	if v := leasePools[c].Get(); v != nil {
+		b := v.(*Buf)
+		b.Data = b.Data[:n]
+		b.state.Store(leaseLive)
+		return b
+	}
+	leaseStats.misses.Add(1)
+	b := &Buf{Data: make([]byte, classSize(c))[:n], class: int8(c), leased: true}
+	b.state.Store(leaseLive)
+	return b
+}
+
+// Release returns a leased buffer to the recycler. Releasing nil, a
+// Static wrapper, or an oversize (heap-backed) lease is a no-op; releasing
+// the same lease twice panics — the caller has a double-free bug that
+// would otherwise surface as silent data corruption when the buffer is
+// handed out twice.
+func (b *Buf) Release() {
+	if b == nil || !b.leased {
+		return
+	}
+	if !b.state.CompareAndSwap(leaseLive, leaseReleased) {
+		panic("mem: double release of leased buffer")
+	}
+	leaseStats.releases.Add(1)
+	b.Data = b.Data[:0]
+	leasePools[b.class].Put(b)
+}
+
+// Static wraps a caller-owned slice in a *Buf whose Release is a no-op,
+// so heap-allocated or constant data can flow through APIs that take
+// leased frames (tests, one-shot tools). The wrapper itself is a fresh
+// allocation; hot paths should use Lease.
+func Static(data []byte) *Buf {
+	return &Buf{Data: data, class: -1}
+}

@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLeaseRoundTrip(t *testing.T) {
+	b := Lease(100)
+	if len(b.Data) != 100 {
+		t.Fatalf("len = %d, want 100", len(b.Data))
+	}
+	if cap(b.Data) != 128 {
+		t.Fatalf("cap = %d, want the 128 size class", cap(b.Data))
+	}
+	for i := range b.Data {
+		b.Data[i] = byte(i)
+	}
+	b.Release()
+
+	// The recycler hands the same slot back (single goroutine, no GC in
+	// between is not guaranteed by sync.Pool, so only check shape).
+	b2 := Lease(77)
+	if len(b2.Data) != 77 || cap(b2.Data) < 77 {
+		t.Fatalf("release shape: len %d cap %d", len(b2.Data), cap(b2.Data))
+	}
+	b2.Release()
+}
+
+func TestLeaseZeroAndExactClassSizes(t *testing.T) {
+	for _, n := range []int{0, 1, MinClassSize, MinClassSize + 1, 2048, MaxClassSize} {
+		b := Lease(n)
+		if len(b.Data) != n {
+			t.Fatalf("Lease(%d): len %d", n, len(b.Data))
+		}
+		b.Release()
+	}
+}
+
+func TestLeaseOversizeFallsBackToHeap(t *testing.T) {
+	before := LeaseStats().Oversize
+	b := Lease(MaxClassSize + 1)
+	if len(b.Data) != MaxClassSize+1 {
+		t.Fatalf("oversize len = %d", len(b.Data))
+	}
+	if LeaseStats().Oversize != before+1 {
+		t.Fatal("oversize lease not counted")
+	}
+	b.Release() // no-op, must not panic
+	b.Release() // double release of heap buf: still a no-op
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	b := Lease(64)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestStaticReleaseIsNoop(t *testing.T) {
+	data := []byte("hello")
+	b := Static(data)
+	b.Release()
+	b.Release()
+	if string(b.Data) != "hello" {
+		t.Fatalf("static data clobbered: %q", b.Data)
+	}
+}
+
+// TestLeaseConcurrent hammers the recycler from many goroutines; run under
+// -race this is the lease API's data-race contract test.
+func TestLeaseConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sizes := []int{1, 64, 100, 1500, 4096, 70000}
+			for i := 0; i < 2000; i++ {
+				n := sizes[(i+seed)%len(sizes)]
+				b := Lease(n)
+				if len(b.Data) != n {
+					panic("bad lease length")
+				}
+				b.Data[0] = byte(i)
+				b.Data[n-1] = byte(seed)
+				b.Release()
+			}
+		}(g + 1)
+	}
+	wg.Wait()
+}
+
+func TestLeaseStatsProgress(t *testing.T) {
+	before := LeaseStats()
+	b := Lease(64)
+	b.Release()
+	after := LeaseStats()
+	if after.Leases <= before.Leases {
+		t.Fatal("Leases did not advance")
+	}
+	if after.Releases <= before.Releases {
+		t.Fatal("Releases did not advance")
+	}
+}

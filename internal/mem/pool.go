@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Size classes double from MinClassSize up to MaxClassSize, covering the
@@ -41,11 +42,19 @@ func classForSize(size int) int {
 func classSize(c int) int { return MinClassSize << c }
 
 // Buf is an allocated buffer. Data has the exact requested length; its
-// capacity is the size-class slot. Return it with Pool.Free; using Data
-// after Free is a use-after-free bug just as it would be in C.
+// capacity is the size-class slot. A Buf comes from one of two owners —
+// an arena Pool (return it with Pool.Free) or the global lease recycler
+// (return it with Release) — and using Data after giving it back is a
+// use-after-free bug just as it would be in C.
 type Buf struct {
 	Data  []byte
 	class int8
+
+	// leased marks buffers owned by the global lease recycler (lease.go);
+	// state guards against double Release. Arena-pool and Static buffers
+	// leave both zero, which makes Release a no-op on them.
+	leased bool
+	state  atomic.Uint32
 }
 
 // Cap returns the underlying slot capacity.

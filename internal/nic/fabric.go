@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/minoskv/minos/internal/mem"
 	"github.com/minoskv/minos/internal/ring"
 )
 
@@ -88,37 +89,52 @@ func (s *fabricServer) replyDue() int64 {
 	return 0
 }
 
-func (s *fabricServer) Send(_ int, dst Endpoint, data []byte) error {
+// Send forwards the lease through the mailbox ring: the buffer written by
+// the server core is the one the client copies out of, with no
+// intermediate copy. Every path that fails to deliver releases the lease.
+func (s *fabricServer) Send(_ int, dst Endpoint, frame *mem.Buf) error {
 	if s.closed.Load() {
+		frame.Release()
 		return ErrClosed
 	}
 	mb := s.mailboxFor(dst)
 	if mb == nil {
-		return nil // unknown client: silently dropped, like the network
+		frame.Release() // unknown client: silently dropped, like the network
+		return nil
 	}
-	if !mb.Enqueue(Frame{Data: data, due: s.replyDue()}) {
+	if !mb.Enqueue(Frame{Data: frame.Data, buf: frame, due: s.replyDue()}) {
 		s.drops.Add(1)
+		frame.Release()
 	}
 	return nil
 }
 
 // SendBatch delivers all frames with a single mailbox lookup, the fabric
 // analogue of posting one TX descriptor chain.
-func (s *fabricServer) SendBatch(_ int, dst Endpoint, frames [][]byte) error {
+func (s *fabricServer) SendBatch(_ int, dst Endpoint, frames []*mem.Buf) error {
 	if s.closed.Load() {
+		releaseAll(frames)
 		return ErrClosed
 	}
 	mb := s.mailboxFor(dst)
 	if mb == nil {
+		releaseAll(frames)
 		return nil
 	}
 	due := s.replyDue()
-	for _, data := range frames {
-		if !mb.Enqueue(Frame{Data: data, due: due}) {
+	for _, frame := range frames {
+		if !mb.Enqueue(Frame{Data: frame.Data, buf: frame, due: due}) {
 			s.drops.Add(1)
+			frame.Release()
 		}
 	}
 	return nil
+}
+
+func releaseAll(frames []*mem.Buf) {
+	for _, frame := range frames {
+		frame.Release()
+	}
 }
 
 func (s *fabricServer) mailboxFor(dst Endpoint) *ring.MPMC[Frame] {
@@ -158,33 +174,39 @@ func (c *fabricClient) take() (Frame, bool) {
 
 func (c *fabricClient) Endpoint() Endpoint { return Endpoint{ID: c.id} }
 
-func (c *fabricClient) Send(q int, data []byte) error {
+func (c *fabricClient) Send(q int, frame *mem.Buf) error {
 	if c.f.closed.Load() {
+		frame.Release()
 		return ErrClosed
 	}
 	if q < 0 || q >= len(c.f.rx) {
-		return nil // misdirected frame vanishes, like the network
+		frame.Release() // misdirected frame vanishes, like the network
+		return nil
 	}
-	if !c.f.rx[q].Enqueue(Frame{Src: Endpoint{ID: c.id}, Data: data}) {
+	if !c.f.rx[q].Enqueue(Frame{Src: Endpoint{ID: c.id}, Data: frame.Data, buf: frame}) {
 		c.f.drops.Add(1)
+		frame.Release()
 	}
 	return nil
 }
 
 // SendBatch enqueues every frame onto the RX ring in order. Misdirected
 // batches vanish whole, like the network.
-func (c *fabricClient) SendBatch(q int, frames [][]byte) error {
+func (c *fabricClient) SendBatch(q int, frames []*mem.Buf) error {
 	if c.f.closed.Load() {
+		releaseAll(frames)
 		return ErrClosed
 	}
 	if q < 0 || q >= len(c.f.rx) {
+		releaseAll(frames)
 		return nil
 	}
 	src := Endpoint{ID: c.id}
 	rx := c.f.rx[q]
-	for _, data := range frames {
-		if !rx.Enqueue(Frame{Src: src, Data: data}) {
+	for _, frame := range frames {
+		if !rx.Enqueue(Frame{Src: src, Data: frame.Data, buf: frame}) {
 			c.f.drops.Add(1)
+			frame.Release()
 		}
 	}
 	return nil
@@ -210,6 +232,7 @@ func (c *fabricClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
 				}
 			}
 			n := copy(buf, frame.Data)
+			frame.Release()
 			return n, true
 		}
 		if c.f.closed.Load() || time.Now().After(deadline) {
@@ -247,6 +270,7 @@ func (c *fabricClient) RecvBatch(out [][]byte, timeout time.Duration) int {
 			break
 		}
 		m := copy(out[got][:cap(out[got])], frame.Data)
+		frame.Release()
 		out[got] = out[got][:m]
 		got++
 	}

@@ -1,6 +1,8 @@
 package nic
 
 import (
+	"github.com/minoskv/minos/internal/mem"
+
 	"testing"
 	"time"
 )
@@ -12,7 +14,7 @@ func TestFabricClusterIsolation(t *testing.T) {
 	}
 	// A frame sent into node 0 must be visible only to node 0's server.
 	c0 := fc.Node(0).NewClient()
-	if err := c0.Send(1, []byte("hello")); err != nil {
+	if err := c0.Send(1, mem.Static([]byte("hello"))); err != nil {
 		t.Fatal(err)
 	}
 	out := make([]Frame, 4)

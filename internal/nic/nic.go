@@ -5,54 +5,94 @@ import (
 	"time"
 
 	"github.com/minoskv/minos/internal/apierr"
+	"github.com/minoskv/minos/internal/mem"
 )
 
 // Endpoint identifies a client for replies. ID is stable and unique per
 // client; Addr carries transport-specific addressing (nil for the
-// in-process fabric).
+// in-process fabric, an interned netip.AddrPort for UDP).
 type Endpoint struct {
 	ID   uint64
 	Addr any
 }
 
-// Frame is one received packet.
+// Frame is one received packet. Data is valid until the receiver calls
+// Release (or TakeBuf) — the transport leases receive buffers instead of
+// allocating per packet, and the draining core returns each one when the
+// frame has been served, copied, or dropped.
 type Frame struct {
 	Src  Endpoint
 	Data []byte
+
+	// buf is the leased buffer backing Data; nil for frames whose Data
+	// is caller-owned heap memory (tests, Static sends on the fabric).
+	buf *mem.Buf
 
 	// due is the emulated delivery time (UnixNano) on fabrics with a
 	// configured RTT; zero means deliver immediately.
 	due int64
 }
 
+// Release returns the frame's leased buffer (if any) to the recycler and
+// invalidates Data. Receivers call it once per drained frame.
+func (f *Frame) Release() {
+	if f.buf != nil {
+		f.buf.Release()
+		f.buf = nil
+	}
+	f.Data = nil
+}
+
+// TakeBuf transfers ownership of the frame's leased buffer to the caller,
+// which must Release it; Data stays valid until then. It returns nil when
+// the frame's Data is plain heap memory (which never expires), and the
+// caller may keep Data either way — this is how a draining core retains a
+// fragment it routes to another core without copying it.
+func (f *Frame) TakeBuf() *mem.Buf {
+	b := f.buf
+	f.buf = nil
+	return b
+}
+
 // ServerTransport is the server side of the multi-queue network: Recv
 // drains an RX queue without blocking; Send transmits a reply frame from
 // the given queue's TX path.
+//
+// Buffer ownership: Send and SendBatch take ownership of every *mem.Buf
+// passed in — the transport forwards the lease (fabric) or writes and
+// releases it (UDP), and the caller must not touch the buffer afterwards,
+// whether or not an error is returned. Frames returned by Recv carry
+// leased buffers the caller must Release (or TakeBuf) exactly once each.
 type ServerTransport interface {
 	// Queues returns the number of RX queues (one per core).
 	Queues() int
 	// Recv fills out with up to len(out) frames from queue q and
-	// returns the count. It never blocks.
+	// returns the count. It never blocks. The caller owns each returned
+	// frame's buffer and must Release it.
 	Recv(q int, out []Frame) int
-	// Send transmits one frame to dst from queue q's TX side.
-	Send(q int, dst Endpoint, data []byte) error
+	// Send transmits one frame to dst from queue q's TX side, taking
+	// ownership of the buffer.
+	Send(q int, dst Endpoint, frame *mem.Buf) error
 	// SendBatch transmits frames to dst from queue q's TX side in one
-	// call, preserving order. It amortizes per-send overhead (channel
-	// and lock operations on the fabric, address setup on UDP) when a
-	// reply spans several fragments.
-	SendBatch(q int, dst Endpoint, frames [][]byte) error
+	// call, preserving order and taking ownership of every buffer. It
+	// amortizes per-send overhead (channel and lock operations on the
+	// fabric, address setup on UDP) when a reply spans several
+	// fragments.
+	SendBatch(q int, dst Endpoint, frames []*mem.Buf) error
 	// Close releases transport resources; subsequent calls error.
 	Close() error
 }
 
-// ClientTransport is one client thread's connection.
+// ClientTransport is one client thread's connection. Send and SendBatch
+// take ownership of the passed buffers exactly as on ServerTransport.
 type ClientTransport interface {
-	// Send transmits one frame to server RX queue q.
-	Send(q int, data []byte) error
+	// Send transmits one frame to server RX queue q, taking ownership
+	// of the buffer.
+	Send(q int, frame *mem.Buf) error
 	// SendBatch transmits frames to server RX queue q in one call,
-	// preserving order and amortizing per-send overhead. Frames for
+	// preserving order and taking ownership of every buffer. Frames for
 	// different queues need separate calls, as on hardware TX queues.
-	SendBatch(q int, frames [][]byte) error
+	SendBatch(q int, frames []*mem.Buf) error
 	// Recv waits up to timeout for one reply frame into buf, returning
 	// the frame length and whether one arrived.
 	Recv(buf []byte, timeout time.Duration) (int, bool)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"github.com/minoskv/minos/internal/mem"
 )
 
 func TestFabricRoundTrip(t *testing.T) {
@@ -11,7 +13,7 @@ func TestFabricRoundTrip(t *testing.T) {
 	srv := f.Server()
 	cli := f.NewClient()
 
-	if err := cli.Send(2, []byte("ping")); err != nil {
+	if err := cli.Send(2, mem.Static([]byte("ping"))); err != nil {
 		t.Fatal(err)
 	}
 	out := make([]Frame, 8)
@@ -28,7 +30,7 @@ func TestFabricRoundTrip(t *testing.T) {
 		}
 	}
 
-	if err := srv.Send(2, out[0].Src, []byte("pong")); err != nil {
+	if err := srv.Send(2, out[0].Src, mem.Static([]byte("pong"))); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 64)
@@ -43,7 +45,7 @@ func TestFabricBatchRoundTrip(t *testing.T) {
 	srv := f.Server()
 	cli := f.NewClient()
 
-	if err := cli.SendBatch(1, [][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+	if err := cli.SendBatch(1, []*mem.Buf{mem.Static([]byte("a")), mem.Static([]byte("b")), mem.Static([]byte("c"))}); err != nil {
 		t.Fatal(err)
 	}
 	out := make([]Frame, 8)
@@ -51,7 +53,7 @@ func TestFabricBatchRoundTrip(t *testing.T) {
 		t.Fatalf("server recv = %d frames, want 3", n)
 	}
 	// Batch replies arrive in order through the batched receive path.
-	if err := srv.SendBatch(1, out[0].Src, [][]byte{[]byte("x"), []byte("y")}); err != nil {
+	if err := srv.SendBatch(1, out[0].Src, []*mem.Buf{mem.Static([]byte("x")), mem.Static([]byte("y"))}); err != nil {
 		t.Fatal(err)
 	}
 	bufs := make([][]byte, 4)
@@ -74,7 +76,7 @@ func TestFabricRTTDelaysReplies(t *testing.T) {
 	cli := f.NewClient()
 
 	// The request path stays immediate.
-	if err := cli.Send(0, []byte("req")); err != nil {
+	if err := cli.Send(0, mem.Static([]byte("req"))); err != nil {
 		t.Fatal(err)
 	}
 	out := make([]Frame, 1)
@@ -83,7 +85,7 @@ func TestFabricRTTDelaysReplies(t *testing.T) {
 	}
 
 	start := time.Now()
-	if err := srv.Send(0, out[0].Src, []byte("reply")); err != nil {
+	if err := srv.Send(0, out[0].Src, mem.Static([]byte("reply"))); err != nil {
 		t.Fatal(err)
 	}
 	// A receive whose deadline lands before delivery must come up empty
@@ -104,10 +106,10 @@ func TestFabricRTTDelaysReplies(t *testing.T) {
 func TestFabricMisdirectedAndUnknown(t *testing.T) {
 	f := NewFabric(2)
 	cli := f.NewClient()
-	if err := cli.Send(99, []byte("lost")); err != nil {
+	if err := cli.Send(99, mem.Static([]byte("lost"))); err != nil {
 		t.Fatalf("misdirected send should vanish, got %v", err)
 	}
-	if err := f.Server().Send(0, Endpoint{ID: 12345}, []byte("lost")); err != nil {
+	if err := f.Server().Send(0, Endpoint{ID: 12345}, mem.Static([]byte("lost"))); err != nil {
 		t.Fatalf("send to unknown endpoint should vanish, got %v", err)
 	}
 }
@@ -116,7 +118,7 @@ func TestFabricDropsOnOverflow(t *testing.T) {
 	f := NewFabric(1)
 	cli := f.NewClient()
 	for i := 0; i < fabricRxCap+100; i++ {
-		_ = cli.Send(0, []byte("x"))
+		_ = cli.Send(0, mem.Static([]byte("x")))
 	}
 	if f.Drops() == 0 {
 		t.Fatal("expected drops after overfilling the RX ring")
@@ -128,7 +130,7 @@ func TestFabricClosed(t *testing.T) {
 	cli := f.NewClient()
 	srv := f.Server()
 	_ = srv.Close()
-	if err := cli.Send(0, []byte("x")); err != ErrClosed {
+	if err := cli.Send(0, mem.Static([]byte("x"))); err != ErrClosed {
 		t.Fatalf("send on closed fabric = %v, want ErrClosed", err)
 	}
 	buf := make([]byte, 8)
@@ -182,7 +184,7 @@ func TestUDPRoundTrip(t *testing.T) {
 	defer c.Close()
 
 	payload := bytes.Repeat([]byte("u"), 900)
-	if err := c.Send(1, payload); err != nil {
+	if err := c.Send(1, mem.Static(payload)); err != nil {
 		t.Fatal(err)
 	}
 	out := make([]Frame, 4)
@@ -198,7 +200,7 @@ func TestUDPRoundTrip(t *testing.T) {
 	if s.Recv(0, out) != 0 {
 		t.Fatal("frame leaked to the wrong queue")
 	}
-	if err := s.Send(1, out[0].Src, []byte("reply")); err != nil {
+	if err := s.Send(1, out[0].Src, mem.Static([]byte("reply"))); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 64)
@@ -207,7 +209,7 @@ func TestUDPRoundTrip(t *testing.T) {
 		t.Fatalf("client recv %q ok=%v", buf[:rn], ok)
 	}
 	// Same source must intern to the same endpoint id.
-	if err := c.Send(1, []byte("again")); err != nil {
+	if err := c.Send(1, mem.Static([]byte("again"))); err != nil {
 		t.Fatal(err)
 	}
 	out2 := make([]Frame, 4)

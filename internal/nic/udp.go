@@ -3,9 +3,11 @@ package nic
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
+	"github.com/minoskv/minos/internal/mem"
 	"github.com/minoskv/minos/internal/wire"
 )
 
@@ -16,16 +18,21 @@ import (
 // path, preserving per-core TX ordering.
 type UDPServer struct {
 	conns []*net.UDPConn
-	// ids interns client addresses to stable endpoint IDs so the
-	// server's reassemblers and accounting can key on uint64; guarded
-	// by mu because every core's RX path interns addresses.
+	// raws are the per-queue non-blocking drain readers (nil off Linux);
+	// see rawUDP for why deadline probes are not enough.
+	raws []*rawUDP
+	// ids interns client addresses to stable Endpoints so the server's
+	// reassemblers and accounting can key on uint64 and so the boxed
+	// Addr (an interface holding netip.AddrPort) is allocated once per
+	// client instead of once per packet; guarded by mu because every
+	// core's RX path interns addresses.
 	mu  sync.Mutex
-	ids map[string]uint64
+	ids map[netip.AddrPort]Endpoint
 }
 
 // NewUDPServer binds queues sockets on host starting at basePort.
 func NewUDPServer(host string, basePort, queues int) (*UDPServer, error) {
-	s := &UDPServer{ids: make(map[string]uint64)}
+	s := &UDPServer{ids: make(map[netip.AddrPort]Endpoint)}
 	for q := 0; q < queues; q++ {
 		addr := &net.UDPAddr{IP: net.ParseIP(host), Port: basePort + q}
 		conn, err := net.ListenUDP("udp", addr)
@@ -34,6 +41,7 @@ func NewUDPServer(host string, basePort, queues int) (*UDPServer, error) {
 			return nil, fmt.Errorf("nic: binding queue %d on %v: %w", q, addr, err)
 		}
 		s.conns = append(s.conns, conn)
+		s.raws = append(s.raws, newRawUDP(conn))
 	}
 	return s, nil
 }
@@ -42,65 +50,86 @@ func NewUDPServer(host string, basePort, queues int) (*UDPServer, error) {
 func (s *UDPServer) Queues() int { return len(s.conns) }
 
 // Recv drains up to len(out) datagrams from queue q without blocking
-// beyond a very short poll deadline.
+// beyond a very short poll deadline. Each datagram is read directly into a
+// leased buffer whose ownership passes to the caller with the frame; a
+// poll miss hands the unused lease straight back.
 func (s *UDPServer) Recv(q int, out []Frame) int {
-	conn := s.conns[q]
+	conn, raw := s.conns[q], s.raws[q]
 	got := 0
-	buf := make([]byte, wire.MTU)
 	for got < len(out) {
-		// A short deadline turns the blocking socket into a poll; the
-		// first read waits briefly (so an idle server does not spin a
-		// CPU), subsequent reads in the batch must be immediate.
-		wait := 50 * time.Microsecond
-		if got > 0 {
-			wait = time.Nanosecond
+		buf := mem.Lease(wire.MTU)
+		// Non-blocking raw read first: follow-up reads in a batch and
+		// the common already-ready case consume datagrams without ever
+		// arming a deadline (a deadline miss allocates a *net.OpError).
+		if n, addr, ok := raw.tryRecv(buf.Data); ok {
+			out[got] = Frame{Src: s.endpointFor(addr), Data: buf.Data[:n], buf: buf}
+			got++
+			continue
 		}
-		_ = conn.SetReadDeadline(time.Now().Add(wait))
-		n, addr, err := conn.ReadFromUDP(buf)
+		if got > 0 || raw == nil {
+			// Batch drained — or no raw path, where a nanosecond
+			// deadline is the portable probe.
+			if raw != nil {
+				buf.Release()
+				break
+			}
+			_ = conn.SetReadDeadline(time.Now().Add(time.Nanosecond))
+		} else {
+			// Nothing ready: wait briefly on the poller so an idle
+			// server does not spin a CPU.
+			_ = conn.SetReadDeadline(time.Now().Add(50 * time.Microsecond))
+		}
+		n, addr, err := conn.ReadFromUDPAddrPort(buf.Data)
 		if err != nil {
+			buf.Release()
 			break
 		}
-		out[got] = Frame{Src: s.endpointFor(addr), Data: append([]byte(nil), buf[:n]...)}
+		out[got] = Frame{Src: s.endpointFor(addr), Data: buf.Data[:n], buf: buf}
 		got++
 	}
 	return got
 }
 
-func (s *UDPServer) endpointFor(addr *net.UDPAddr) Endpoint {
-	key := addr.String()
+func (s *UDPServer) endpointFor(addr netip.AddrPort) Endpoint {
 	s.mu.Lock()
-	id, ok := s.ids[key]
+	ep, ok := s.ids[addr]
 	if !ok {
-		id = uint64(len(s.ids) + 1)
-		s.ids[key] = id
+		ep = Endpoint{ID: uint64(len(s.ids) + 1), Addr: addr}
+		s.ids[addr] = ep
 	}
 	s.mu.Unlock()
-	return Endpoint{ID: id, Addr: addr}
+	return ep
 }
 
-// Send transmits one reply frame from queue q's socket.
-func (s *UDPServer) Send(q int, dst Endpoint, data []byte) error {
-	addr, ok := dst.Addr.(*net.UDPAddr)
+// Send transmits one reply frame from queue q's socket, releasing the
+// buffer once the datagram is handed to the kernel.
+func (s *UDPServer) Send(q int, dst Endpoint, frame *mem.Buf) error {
+	addr, ok := dst.Addr.(netip.AddrPort)
 	if !ok {
+		frame.Release()
 		return fmt.Errorf("nic: endpoint %d has no UDP address", dst.ID)
 	}
-	_, err := s.conns[q].WriteToUDP(data, addr)
+	_, err := s.conns[q].WriteToUDPAddrPort(frame.Data, addr)
+	frame.Release()
 	return err
 }
 
 // SendBatch transmits frames to dst from queue q's socket with one address
 // resolution for the whole batch. (A sendmmsg fast path would slot in here;
 // the standard library exposes only per-datagram writes.)
-func (s *UDPServer) SendBatch(q int, dst Endpoint, frames [][]byte) error {
-	addr, ok := dst.Addr.(*net.UDPAddr)
+func (s *UDPServer) SendBatch(q int, dst Endpoint, frames []*mem.Buf) error {
+	addr, ok := dst.Addr.(netip.AddrPort)
 	if !ok {
+		releaseAll(frames)
 		return fmt.Errorf("nic: endpoint %d has no UDP address", dst.ID)
 	}
 	conn := s.conns[q]
-	for _, data := range frames {
-		if _, err := conn.WriteToUDP(data, addr); err != nil {
+	for i, frame := range frames {
+		if _, err := conn.WriteToUDPAddrPort(frame.Data, addr); err != nil {
+			releaseAll(frames[i:])
 			return err
 		}
+		frame.Release()
 	}
 	return nil
 }
@@ -121,39 +150,54 @@ func (s *UDPServer) Close() error {
 // UDPClient is one client thread's socket.
 type UDPClient struct {
 	conn     *net.UDPConn
-	host     net.IP
+	raw      *rawUDP // non-blocking drain reader (nil off Linux)
+	host     netip.Addr
 	basePort int
 }
 
 // NewUDPClient dials toward a UDPServer at host:basePort.
 func NewUDPClient(host string, basePort int) (*UDPClient, error) {
+	hostAddr, err := netip.ParseAddr(host)
+	if err != nil {
+		return nil, fmt.Errorf("nic: client host %q: %w", host, err)
+	}
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4zero, Port: 0})
 	if err != nil {
 		return nil, fmt.Errorf("nic: client socket: %w", err)
 	}
-	return &UDPClient{conn: conn, host: net.ParseIP(host), basePort: basePort}, nil
+	return &UDPClient{conn: conn, raw: newRawUDP(conn), host: hostAddr, basePort: basePort}, nil
 }
 
 // Endpoint returns the client's local address identity.
 func (c *UDPClient) Endpoint() Endpoint {
 	addr := c.conn.LocalAddr().(*net.UDPAddr)
-	return Endpoint{ID: uint64(addr.Port), Addr: addr}
+	return Endpoint{ID: uint64(addr.Port), Addr: addr.AddrPort()}
 }
 
-// Send transmits one frame to server queue q (port basePort+q).
-func (c *UDPClient) Send(q int, data []byte) error {
-	_, err := c.conn.WriteToUDP(data, &net.UDPAddr{IP: c.host, Port: c.basePort + q})
+// queueAddr builds the destination for server queue q. netip.AddrPort is a
+// value type, so this allocates nothing.
+func (c *UDPClient) queueAddr(q int) netip.AddrPort {
+	return netip.AddrPortFrom(c.host, uint16(c.basePort+q))
+}
+
+// Send transmits one frame to server queue q (port basePort+q), releasing
+// the buffer once the datagram is handed to the kernel.
+func (c *UDPClient) Send(q int, frame *mem.Buf) error {
+	_, err := c.conn.WriteToUDPAddrPort(frame.Data, c.queueAddr(q))
+	frame.Release()
 	return err
 }
 
 // SendBatch transmits frames to server queue q, building the destination
 // address once for the whole batch.
-func (c *UDPClient) SendBatch(q int, frames [][]byte) error {
-	addr := &net.UDPAddr{IP: c.host, Port: c.basePort + q}
-	for _, data := range frames {
-		if _, err := c.conn.WriteToUDP(data, addr); err != nil {
+func (c *UDPClient) SendBatch(q int, frames []*mem.Buf) error {
+	addr := c.queueAddr(q)
+	for i, frame := range frames {
+		if _, err := c.conn.WriteToUDPAddrPort(frame.Data, addr); err != nil {
+			releaseAll(frames[i:])
 			return err
 		}
+		frame.Release()
 	}
 	return nil
 }
@@ -161,7 +205,7 @@ func (c *UDPClient) SendBatch(q int, frames [][]byte) error {
 // Recv waits up to timeout for one reply datagram.
 func (c *UDPClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
 	_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
-	n, _, err := c.conn.ReadFromUDP(buf)
+	n, _, err := c.conn.ReadFromUDPAddrPort(buf)
 	if err != nil {
 		return 0, false
 	}
@@ -175,12 +219,23 @@ func (c *UDPClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
 func (c *UDPClient) RecvBatch(out [][]byte, timeout time.Duration) int {
 	got := 0
 	for got < len(out) {
-		wait := timeout
-		if got > 0 {
-			wait = time.Nanosecond
+		// Raw non-blocking read first: already-ready replies and the
+		// batch-draining probe stay off the deadline path, whose expiry
+		// allocates a *net.OpError per miss.
+		if n, _, ok := c.raw.tryRecv(out[got][:cap(out[got])]); ok {
+			out[got] = out[got][:n]
+			got++
+			continue
 		}
-		_ = c.conn.SetReadDeadline(time.Now().Add(wait))
-		n, _, err := c.conn.ReadFromUDP(out[got][:cap(out[got])])
+		if got > 0 {
+			if c.raw != nil {
+				break // batch drained without arming a deadline
+			}
+			_ = c.conn.SetReadDeadline(time.Now().Add(time.Nanosecond))
+		} else {
+			_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
+		}
+		n, _, err := c.conn.ReadFromUDPAddrPort(out[got][:cap(out[got])])
 		if err != nil {
 			break
 		}

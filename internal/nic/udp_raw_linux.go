@@ -1,0 +1,101 @@
+//go:build linux
+
+package nic
+
+import (
+	"encoding/binary"
+	"net"
+	"net/netip"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// rawUDP is the allocation-free drain path for a UDP socket. The net
+// package's deadline reads wrap every expiry in a fresh *net.OpError, so a
+// batch loop that probes "is another datagram ready?" with a nanosecond
+// deadline pays one heap allocation per batch. This helper instead issues a
+// non-blocking recvfrom through the connection's RawConn: EAGAIN comes back
+// as a bare errno, the source address lands in a preallocated
+// RawSockaddrAny, and the rc.Read closure is built once per socket — so a
+// ready-or-not probe touches the heap not at all.
+//
+// tryRecv is safe for concurrent use: the Minos design has small cores
+// drain large cores' NIC queues alongside the owner, so one queue's reader
+// state can be hit from several cores. The mutex guards the per-call
+// exchange area; it is uncontended in the common own-queue case.
+type rawUDP struct {
+	mu   sync.Mutex
+	rc   syscall.RawConn
+	read func(fd uintptr) bool // cached closure handed to rc.Read
+
+	// Per-call exchange area for the closure: buf in; n, errno, rsa out.
+	buf    []byte
+	n      int
+	errno  syscall.Errno
+	rsa    syscall.RawSockaddrAny
+	rsaLen uint32
+}
+
+// newRawUDP wraps conn's raw descriptor. Returns nil (disabling the raw
+// fast path) if the RawConn is unavailable.
+func newRawUDP(conn *net.UDPConn) *rawUDP {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	r := &rawUDP{rc: rc}
+	r.read = func(fd uintptr) bool {
+		r.recvfrom(fd)
+		// Always report ready: EAGAIN is a result here, not a reason to
+		// park in the poller — the caller decides how to wait.
+		return true
+	}
+	return r
+}
+
+func (r *rawUDP) recvfrom(fd uintptr) {
+	var p unsafe.Pointer
+	if len(r.buf) > 0 {
+		p = unsafe.Pointer(&r.buf[0])
+	}
+	r.rsaLen = syscall.SizeofSockaddrAny
+	n, _, e := syscall.Syscall6(syscall.SYS_RECVFROM, fd,
+		uintptr(p), uintptr(len(r.buf)), uintptr(syscall.MSG_DONTWAIT),
+		uintptr(unsafe.Pointer(&r.rsa)), uintptr(unsafe.Pointer(&r.rsaLen)))
+	r.n, r.errno = int(n), e
+}
+
+// tryRecv attempts one non-blocking datagram read into buf. ok reports
+// whether a datagram was consumed; on false the socket had nothing ready
+// (or failed — the caller's blocking path will surface the real error).
+func (r *rawUDP) tryRecv(buf []byte) (n int, addr netip.AddrPort, ok bool) {
+	if r == nil {
+		return 0, netip.AddrPort{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = buf
+	err := r.rc.Read(r.read)
+	r.buf = nil
+	if err != nil || r.errno != 0 || r.n < 0 {
+		return 0, netip.AddrPort{}, false
+	}
+	return r.n, r.addrPort(), true
+}
+
+// addrPort decodes the raw source address. Port bytes arrive in network
+// order regardless of host endianness.
+func (r *rawUDP) addrPort() netip.AddrPort {
+	switch r.rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&r.rsa))
+		port := binary.BigEndian.Uint16((*[2]byte)(unsafe.Pointer(&sa.Port))[:])
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), port)
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&r.rsa))
+		port := binary.BigEndian.Uint16((*[2]byte)(unsafe.Pointer(&sa.Port))[:])
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr), port)
+	}
+	return netip.AddrPort{}
+}

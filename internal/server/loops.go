@@ -16,11 +16,18 @@ import (
 // was found (the paper's cores spin; on shared hardware we must yield).
 func (s *Server) coreLoop(c *coreState) {
 	defer s.wg.Done()
+	defer c.reader.Close()
 	frames := make([]nic.Frame, s.cfg.Batch)
 	idleSpins := 0
 	for !s.stopped() {
+		// The pin covers the whole iteration: every item this core finds
+		// (including the reply encode that aliases item values) happens
+		// between Pin and Unpin, so the store's recycler leaves those
+		// items alone. One atomic store each way.
+		c.reader.Pin()
 		did := s.drainSwq(c)
 		did += s.drainRx(c, frames)
+		c.reader.Unpin()
 		if did == 0 {
 			idleSpins++
 			if idleSpins < 32 {
@@ -51,15 +58,20 @@ func (s *Server) drainSwq(c *coreState) int {
 		switch {
 		case w.msg != nil:
 			s.serve(c, w.src, w.msg)
+			w.msg.Release()
 		case w.frag != nil:
-			msg, err := c.reasm.Add(w.src.ID, w.frag)
+			complete, err := c.reasm.AddInto(w.src.ID, w.frag, &c.scratch)
 			if err != nil {
 				s.badFrame.Add(1)
-				continue
+			} else {
+				c.pkts.Add(1)
+				if complete {
+					s.serve(c, w.src, &c.scratch)
+				}
 			}
-			c.pkts.Add(1)
-			if msg != nil {
-				s.serve(c, w.src, msg)
+			c.scratch.Reset()
+			if w.fragBuf != nil {
+				w.fragBuf.Release()
 			}
 		}
 	}
@@ -116,6 +128,7 @@ func (s *Server) drainWS(c *coreState, frames []nic.Frame) int {
 		victim := &s.cores[(c.id+i)%n]
 		if w, ok := victim.swq.Dequeue(); ok && w.msg != nil {
 			s.serve(c, w.src, w.msg)
+			w.msg.Release()
 			return 1
 		}
 	}
@@ -131,10 +144,13 @@ func (s *Server) drainSHO(c *coreState, frames []nic.Frame) int {
 	if c.id < h {
 		n := s.tr.Recv(c.id, frames)
 		did := 0
-		for _, fr := range frames[:n] {
+		for i := range frames[:n] {
+			fr := &frames[i]
 			c.pkts.Add(1)
-			msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+			msg := wire.NewMessage()
+			complete, err := c.reasm.AddInto(fr.Src.ID, fr.Data, msg)
 			if err != nil {
+				msg.Release()
 				s.badFrame.Add(1)
 				// The reassembler refused to allocate for an oversized
 				// header; answer the first fragment so the client fails
@@ -144,13 +160,21 @@ func (s *Server) drainSHO(c *coreState, frames []nic.Frame) int {
 						s.replyTooLarge(c, fr.Src, &h)
 					}
 				}
+				fr.Release()
 				continue
 			}
-			if msg == nil {
+			if !complete {
+				msg.Release()
+				fr.Release()
 				continue
 			}
+			// The message crosses to a worker core; it must own its body
+			// before this RX frame goes back to the recycler.
+			msg.Own()
+			fr.Release()
 			if !c.swq.Enqueue(work{src: fr.Src, msg: msg}) {
 				s.swDrops.Add(1)
+				msg.Release()
 			}
 			did++
 		}
@@ -160,16 +184,20 @@ func (s *Server) drainSHO(c *coreState, frames []nic.Frame) int {
 	for i := 0; i < h; i++ {
 		if w, ok := s.cores[(c.id+i)%h].swq.Dequeue(); ok && w.msg != nil {
 			s.serve(c, w.src, w.msg)
+			w.msg.Release()
 			return 1
 		}
 	}
 	return 0
 }
 
-// processBatch handles freshly drained frames on a (small) core.
+// processBatch handles freshly drained frames on a (small) core, returning
+// each frame's leased buffer to the recycler afterwards (paths that retain
+// the payload — fragment routing — take the lease out of the frame first).
 func (s *Server) processBatch(c *coreState, frames []nic.Frame) int {
 	for i := range frames {
 		s.processFrame(c, &frames[i])
+		frames[i].Release()
 	}
 	return len(frames)
 }
@@ -191,22 +219,29 @@ func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
 	if s.cfg.Design != Minos {
 		// Size-unaware designs reassemble at the draining core. HKH
 		// serves run-to-completion; HKH+WS queues the request on its
-		// stealable software ring first.
-		msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+		// stealable software ring first (owning the body, because the RX
+		// frame is recycled when this batch ends).
+		msg := wire.NewMessage()
+		complete, err := c.reasm.AddInto(fr.Src.ID, fr.Data, msg)
 		if err != nil {
+			msg.Release()
 			s.badFrame.Add(1)
 			return
 		}
-		if msg == nil {
+		if !complete {
+			msg.Release()
 			return
 		}
 		if s.cfg.Design == HKHWS {
+			msg.Own()
 			if !c.swq.Enqueue(work{src: fr.Src, msg: msg}) {
 				s.swDrops.Add(1)
+				msg.Release()
 			}
 			return
 		}
 		s.serve(c, fr.Src, msg)
+		msg.Release()
 		return
 	}
 
@@ -224,17 +259,18 @@ func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
 		// the only place guaranteed to see every fragment, because
 		// several small cores may drain the same RX queue (§4.1).
 		if plan.IsSmall(valSize) && wire.FragmentsFor(int(h.TotalSize)) == 1 {
-			msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+			complete, err := c.reasm.AddInto(fr.Src.ID, fr.Data, &c.scratch)
 			if err != nil {
 				s.badFrame.Add(1)
 				return
 			}
-			if msg != nil {
-				s.serve(c, fr.Src, msg)
+			if complete {
+				s.serve(c, fr.Src, &c.scratch)
 			}
+			c.scratch.Reset()
 			return
 		}
-		s.routeLarge(plan, valSize, work{src: fr.Src, frag: fr.Data})
+		s.routeLarge(plan, valSize, work{src: fr.Src, frag: fr.Data, fragBuf: fr.TakeBuf()})
 	case wire.OpDeleteRequest:
 		// Deletes carry a key and no value: a small request by
 		// construction, served in place on the draining core. They are
@@ -247,24 +283,28 @@ func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
 			s.recordSize(c, 0)
 		}
 		if wire.FragmentsFor(int(h.TotalSize)) > 1 {
-			s.routeLarge(plan, 0, work{src: fr.Src, frag: fr.Data})
+			s.routeLarge(plan, 0, work{src: fr.Src, frag: fr.Data, fragBuf: fr.TakeBuf()})
 			return
 		}
-		msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+		complete, err := c.reasm.AddInto(fr.Src.ID, fr.Data, &c.scratch)
 		if err != nil {
 			s.badFrame.Add(1)
 			return
 		}
-		if msg != nil {
-			s.serve(c, fr.Src, msg)
+		if complete {
+			s.serve(c, fr.Src, &c.scratch)
 		}
+		c.scratch.Reset()
 	case wire.OpGetRequest:
-		msg, err := c.reasm.Add(fr.Src.ID, fr.Data)
+		msg := wire.NewMessage()
+		complete, err := c.reasm.AddInto(fr.Src.ID, fr.Data, msg)
 		if err != nil {
+			msg.Release()
 			s.badFrame.Add(1)
 			return
 		}
-		if msg == nil {
+		if !complete {
+			msg.Release()
 			return
 		}
 		// The small core looks the item up to learn its size (§3); the
@@ -274,14 +314,19 @@ func (s *Server) processFrame(c *coreState, fr *nic.Frame) {
 		item, expiredMiss := s.store.Find(msg.Key)
 		if item == nil {
 			s.replyMiss(c, fr.Src, msg, missStatus(expiredMiss))
+			msg.Release()
 			return
 		}
 		size := int64(len(item.Value))
 		s.recordSize(c, size)
 		if plan.IsSmall(size) {
 			s.serve(c, fr.Src, msg)
+			msg.Release()
 			return
 		}
+		// Crossing to the owning large core: the message must outlive
+		// this RX frame.
+		msg.Own()
 		s.routeLarge(plan, size, work{src: fr.Src, msg: msg})
 	default:
 		s.badFrame.Add(1)
@@ -324,11 +369,19 @@ func (s *Server) replyTooLarge(c *coreState, src nic.Endpoint, h *wire.Header) {
 	})
 }
 
-// routeLarge pushes work onto the owning large core's ring.
+// routeLarge pushes work onto the owning large core's ring, releasing the
+// work's owned resources when the ring is full (the request is dropped, so
+// nobody else will).
 func (s *Server) routeLarge(plan *core.Plan, size int64, w work) {
 	target := plan.LargeCoreID(plan.LargeIndexFor(size))
 	if !s.cores[target].swq.Enqueue(w) {
 		s.swDrops.Add(1)
+		if w.msg != nil {
+			w.msg.Release()
+		}
+		if w.fragBuf != nil {
+			w.fragBuf.Release()
+		}
 	}
 }
 
@@ -414,13 +467,16 @@ func (s *Server) replyMiss(c *coreState, src nic.Endpoint, msg *wire.Message, st
 }
 
 func (s *Server) transmit(c *coreState, dst nic.Endpoint, reply *wire.Message) {
-	frames := reply.Frames()
-	c.pkts.Add(uint64(len(frames)))
-	if len(frames) == 1 {
-		_ = s.tr.Send(c.id, dst, frames[0])
+	// Encode into leased frames whose ownership passes to the transport;
+	// the core's txFrames slice only carries the pointers across this call
+	// and is reused for the next reply.
+	c.txFrames = reply.LeaseFrames(c.txFrames[:0])
+	c.pkts.Add(uint64(len(c.txFrames)))
+	if len(c.txFrames) == 1 {
+		_ = s.tr.Send(c.id, dst, c.txFrames[0])
 		return
 	}
 	// Multi-fragment replies go out as one batch, amortizing per-send
 	// transport overhead across the fragments of a large value.
-	_ = s.tr.SendBatch(c.id, dst, frames)
+	_ = s.tr.SendBatch(c.id, dst, c.txFrames)
 }

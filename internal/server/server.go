@@ -9,6 +9,7 @@ import (
 
 	"github.com/minoskv/minos/internal/core"
 	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/mem"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/ring"
 	"github.com/minoskv/minos/internal/stats"
@@ -98,11 +99,15 @@ func (c Config) Validate() error {
 }
 
 // work is one unit queued on a software ring: either a complete message or
-// a raw fragment to be reassembled by the receiving (large) core.
+// a raw fragment to be reassembled by the receiving (large) core. A queued
+// message is always owned (wire.Message.Own) and released by the consumer;
+// fragBuf carries the RX frame's lease when frag still aliases it, released
+// by the consumer after reassembly ingests the payload.
 type work struct {
-	src  nic.Endpoint
-	msg  *wire.Message
-	frag []byte
+	src     nic.Endpoint
+	msg     *wire.Message
+	frag    []byte
+	fragBuf *mem.Buf
 }
 
 // coreState is the per-core slice of the server.
@@ -110,6 +115,17 @@ type coreState struct {
 	id    int
 	swq   *ring.MPMC[work]
 	reasm *wire.Reassembler
+
+	// reader is this core's reclamation guard: pinned for the span of
+	// each polling-loop iteration, so items the core found via Find stay
+	// valid through reply encoding (kv recycling, see kv/reclaim.go).
+	reader *kv.Reader
+
+	// scratch is the core's reusable decode target for requests served
+	// run-to-completion; txFrames is the reusable reply-frame slice. Both
+	// exist so the steady-state request path allocates nothing.
+	scratch  wire.Message
+	txFrames []*mem.Buf
 
 	// sizeHist is the per-core request-size histogram the controller
 	// aggregates (§3); guarded by histMu because the control goroutine
@@ -159,6 +175,10 @@ func New(cfg Config, tr nic.ServerTransport) (*Server, error) {
 	if tr.Queues() < cfg.Cores {
 		return nil, fmt.Errorf("server: transport has %d queues, need %d", tr.Queues(), cfg.Cores)
 	}
+	// The server always runs the store with item recycling: its cores pin
+	// a reader per polling iteration, which is exactly the discipline
+	// Recycle requires, and steady-state PUTs then allocate nothing.
+	cfg.Store.Recycle = true
 	store, err := kv.NewStore(cfg.Store)
 	if err != nil {
 		return nil, err
@@ -189,6 +209,7 @@ func New(cfg Config, tr nic.ServerTransport) (*Server, error) {
 		c.swq = ring.NewMPMC[work](swqCap)
 		c.reasm = wire.NewReassembler(0)
 		c.sizeHist = ctrl.NewSizeHistogram()
+		c.reader = store.AcquireReader()
 	}
 	return s, nil
 }
@@ -301,8 +322,11 @@ func (s *Server) controlLoop() {
 			return
 		case <-ticker.C:
 			// SweepExpired is a no-op until the first TTL'd item lands,
-			// so immortal-item workloads pay nothing here.
+			// so immortal-item workloads pay nothing here. The reclaim
+			// pass recycles items retired since the last epoch even on
+			// partitions too cold to trip the opportunistic threshold.
 			s.store.SweepExpired(s.store.Clock())
+			s.store.ReclaimRetired()
 			if s.cfg.Design != Minos {
 				continue
 			}

@@ -12,6 +12,7 @@ import (
 	"github.com/minoskv/minos/internal/client"
 	"github.com/minoskv/minos/internal/core"
 	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/mem"
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/server"
 	"github.com/minoskv/minos/internal/wire"
@@ -176,8 +177,8 @@ func TestMalformedFramesAreCounted(t *testing.T) {
 	ctx := context.Background()
 	srv, fabric := startServer(t, server.Minos)
 	ct := fabric.NewClient()
-	_ = ct.Send(0, []byte{0xFF, 0xFF, 0x00}) // garbage
-	_ = ct.Send(1, nil)
+	_ = ct.Send(0, mem.Static([]byte{0xFF, 0xFF, 0x00})) // garbage
+	_ = ct.Send(1, mem.Static(nil))
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
 		if srv.Stats().BadFrames >= 1 {
@@ -211,7 +212,7 @@ func TestOversizeHeaderRejectedWithReply(t *testing.T) {
 	}
 	frame := make([]byte, wire.HeaderSize+len(payload))
 	wire.EncodeHeader(frame, &h)
-	if err := ct.Send(0, frame); err != nil {
+	if err := ct.Send(0, mem.Static(frame)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/minoskv/minos/internal/mem"
+)
+
+// Datapath micro-benchmarks: encode, decode and reassembly are on the
+// per-request path of every transport, so their allocs/op are part of the
+// zero-allocation budget the perf ratchet enforces.
+
+func benchMessage(valLen int) *Message {
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte('a' + i%26)
+	}
+	val := make([]byte, valLen)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	return &Message{
+		Op:        OpPutRequest,
+		ReqID:     7,
+		Timestamp: 1234567,
+		Key:       key,
+		Value:     val,
+	}
+}
+
+func BenchmarkWireEncodeSmall(b *testing.B) {
+	m := benchMessage(100)
+	var frames [][]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames = m.AppendFrames(frames[:0])
+	}
+	_ = frames
+}
+
+func BenchmarkWireEncodeLarge(b *testing.B) {
+	m := benchMessage(10_000)
+	var frames [][]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames = m.AppendFrames(frames[:0])
+	}
+	_ = frames
+}
+
+// The leased encode path: frames come from the buffer recycler and go
+// straight back, so steady state is allocation-free for any message size.
+func BenchmarkWireEncodeLeasedSmall(b *testing.B) {
+	benchEncodeLeased(b, 100)
+}
+
+func BenchmarkWireEncodeLeasedLarge(b *testing.B) {
+	benchEncodeLeased(b, 10_000)
+}
+
+func benchEncodeLeased(b *testing.B, valLen int) {
+	b.Helper()
+	m := benchMessage(valLen)
+	var frames []*mem.Buf
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames = m.LeaseFrames(frames[:0])
+		for _, f := range frames {
+			f.Release()
+		}
+	}
+}
+
+func BenchmarkWireDecodeHeader(b *testing.B) {
+	frame := benchMessage(100).Frames()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeHeader(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireReassembleSmall(b *testing.B) {
+	frame := benchMessage(100).Frames()[0]
+	r := NewReassembler(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, err := r.Add(1, frame)
+		if err != nil || msg == nil {
+			b.Fatal(msg, err)
+		}
+	}
+}
+
+func BenchmarkWireReassembleLarge(b *testing.B) {
+	frames := benchMessage(10_000).Frames()
+	r := NewReassembler(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var done *Message
+		for _, f := range frames {
+			msg, err := r.Add(1, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if msg != nil {
+				done = msg
+			}
+		}
+		if done == nil {
+			b.Fatal("message did not complete")
+		}
+	}
+}
+
+// The scratch-message reassembly path the live RX loops run: single
+// fragments alias the frame, multi-fragment bodies cycle through the
+// recycler, and the pending bookkeeping is pooled — zero allocations
+// steady state.
+func BenchmarkWireReassembleIntoSmall(b *testing.B) {
+	frame := benchMessage(100).Frames()[0]
+	r := NewReassembler(0)
+	var scratch Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := r.AddInto(1, frame, &scratch)
+		if err != nil || !done {
+			b.Fatal(done, err)
+		}
+		scratch.Reset()
+	}
+}
+
+func BenchmarkWireReassembleIntoLarge(b *testing.B) {
+	frames := benchMessage(10_000).Frames()
+	r := NewReassembler(0)
+	var scratch Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		completed := false
+		for _, f := range frames {
+			done, err := r.AddInto(1, f, &scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done {
+				completed = true
+				scratch.Reset()
+			}
+		}
+		if !completed {
+			b.Fatal("message did not complete")
+		}
+	}
+}

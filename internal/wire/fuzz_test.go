@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz seeds: the adversarial shapes the unit tests already check
+// (oversize headers, forged offsets, truncation, bad magic) plus valid
+// single- and multi-fragment frames, so the fuzzer starts from the
+// decoder's real input space.
+func fuzzSeeds() [][]byte {
+	m := &Message{Op: OpPutRequest, ReqID: 9, Timestamp: 42, Key: []byte("fuzz-key"), Value: bytes.Repeat([]byte{0xAB}, 3000)}
+	seeds := m.Frames() // two fragments
+	small := &Message{Op: OpGetRequest, ReqID: 3, Key: []byte("k")}
+	seeds = append(seeds, small.Frames()...)
+
+	// Oversize header: claims ~3.75 GiB.
+	h := Header{Op: OpPutRequest, ReqID: 7, TotalSize: 0xF0000000, KeyLen: 8, FragOff: 0, FragLen: MaxFragPayload}
+	over := make([]byte, HeaderSize+MaxFragPayload)
+	EncodeHeader(over, &h)
+	seeds = append(seeds, over)
+
+	// Forged offset: not on a fragment boundary.
+	h = Header{Op: OpPutRequest, ReqID: 8, TotalSize: 4000, KeyLen: 4, FragOff: 13, FragLen: 100}
+	forged := make([]byte, HeaderSize+100)
+	EncodeHeader(forged, &h)
+	seeds = append(seeds, forged)
+
+	// KeyLen beyond TotalSize.
+	h = Header{Op: OpPutRequest, ReqID: 5, TotalSize: 4, KeyLen: 9, FragOff: 0, FragLen: 4}
+	badKey := make([]byte, HeaderSize+4)
+	EncodeHeader(badKey, &h)
+	seeds = append(seeds, badKey)
+
+	// Truncated, corrupted magic, garbage.
+	seeds = append(seeds,
+		seeds[0][:HeaderSize-1],
+		append([]byte{0xFF, 0xFF}, seeds[0][2:]...),
+		[]byte{0xde, 0xad, 0xbe, 0xef},
+		nil,
+	)
+	return seeds
+}
+
+// FuzzDecode asserts DecodeHeader and PeekReqID never panic and agree on
+// what they accept.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		h, payload, err := DecodeHeader(frame)
+		if err != nil {
+			return
+		}
+		if int(h.FragLen) != len(payload) {
+			t.Fatalf("payload %d bytes, header FragLen %d", len(payload), h.FragLen)
+		}
+		id, ok := PeekReqID(frame)
+		if !ok {
+			t.Fatal("PeekReqID rejected a frame DecodeHeader accepted")
+		}
+		if id != h.ReqID {
+			t.Fatalf("PeekReqID %d, DecodeHeader %d", id, h.ReqID)
+		}
+	})
+}
+
+// FuzzReassemble asserts the reassembler never panics, never leaks pending
+// state on rejected frames, and that the aliasing AddInto path and the
+// copying Add path agree. Frames claiming > 1 MiB totals are decoded but
+// not reassembled, to keep the fuzzer from spending its budget in
+// memset — the oversize rejection boundary has its own unit test and
+// seed.
+func FuzzReassemble(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		if h, _, err := DecodeHeader(frame); err == nil && h.TotalSize > 1<<20 {
+			// Still require the real guard to hold for absurd claims.
+			if int64(h.TotalSize) > int64(MaxValueSize)+int64(h.KeyLen) {
+				r := NewReassembler(0)
+				if _, err := r.Add(1, frame); err == nil {
+					t.Fatal("oversize header accepted")
+				}
+				if r.Pending() != 0 {
+					t.Fatal("oversize header reserved pending state")
+				}
+			}
+			return
+		}
+
+		r := NewReassembler(4)
+		var m Message
+		// Feed the frame twice: the duplicate must be absorbed by slot
+		// dedup (multi-fragment) or simply complete again (single).
+		for i := 0; i < 2; i++ {
+			complete, err := r.AddInto(1, frame, &m)
+			if err != nil {
+				break
+			}
+			if complete {
+				if len(m.Key) > int(MaxKeySize) {
+					t.Fatalf("completed key %d bytes", len(m.Key))
+				}
+				m.Reset()
+			}
+		}
+		r.Reset()
+		if r.Pending() != 0 {
+			t.Fatalf("Reset left %d pending", r.Pending())
+		}
+
+		// The legacy copying path must agree with AddInto on acceptance.
+		r2 := NewReassembler(4)
+		msg, err := r2.Add(1, frame)
+		var m2 Message
+		complete2, err2 := NewReassembler(4).AddInto(1, frame, &m2)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("Add err=%v, AddInto err=%v", err, err2)
+		}
+		if err == nil && (msg != nil) != complete2 {
+			t.Fatalf("Add complete=%v, AddInto complete=%v", msg != nil, complete2)
+		}
+		if msg != nil && complete2 {
+			if !bytes.Equal(msg.Key, m2.Key) || !bytes.Equal(msg.Value, m2.Value) {
+				t.Fatal("Add and AddInto disagree on body")
+			}
+		}
+		m2.Reset()
+	})
+}

@@ -2,6 +2,9 @@ package wire
 
 import (
 	"fmt"
+	"sync"
+
+	"github.com/minoskv/minos/internal/mem"
 )
 
 // Reassembler collects fragments until a message is complete, the receive
@@ -33,10 +36,50 @@ type reassemblyKey struct {
 
 type pendingMessage struct {
 	header   Header
-	body     []byte // key||value, filled in fragment order
-	received int    // payload bytes received so far
-	started  uint64 // arrival sequence number, for eviction
-	seen     []bool // per fragment slot: dedup for retransmitted frames
+	bodyBuf  *mem.Buf // leased backing store for body
+	body     []byte   // key||value, filled in fragment order
+	received int      // payload bytes received so far
+	started  uint64   // arrival sequence number, for eviction
+	seen     []bool   // per fragment slot: dedup for retransmitted frames
+}
+
+// pendingPool recycles pendingMessage structs (and their seen slices) so
+// steady-state multi-fragment traffic allocates no reassembly bookkeeping.
+var pendingPool sync.Pool
+
+// getPending returns a pendingMessage with a leased body of bodyLen bytes
+// and a seen slice of slots entries.
+func getPending(h Header, started uint64, slots int) *pendingMessage {
+	var p *pendingMessage
+	if v := pendingPool.Get(); v != nil {
+		p = v.(*pendingMessage)
+	} else {
+		p = &pendingMessage{}
+	}
+	p.header = h
+	p.bodyBuf = mem.Lease(int(h.TotalSize))
+	p.body = p.bodyBuf.Data
+	p.received = 0
+	p.started = started
+	if cap(p.seen) >= slots {
+		p.seen = p.seen[:slots]
+		clear(p.seen)
+	} else {
+		p.seen = make([]bool, slots)
+	}
+	return p
+}
+
+// putPending recycles p. When releaseBody is true the leased body goes
+// back to the recycler (dropped message); when false the body's ownership
+// moved into a completed Message.
+func putPending(p *pendingMessage, releaseBody bool) {
+	if releaseBody && p.bodyBuf != nil {
+		p.bodyBuf.Release()
+	}
+	p.bodyBuf = nil
+	p.body = nil
+	pendingPool.Put(p)
 }
 
 // DefaultMaxPending bounds the number of partially reassembled messages.
@@ -57,38 +100,79 @@ func NewReassembler(maxPending int) *Reassembler {
 }
 
 // Add ingests one frame from source. If the frame completes a message, the
-// message is returned. A single-fragment message completes immediately and
-// allocates no reassembly state. Decoding errors are returned to the
-// caller, which should count and drop the frame (a malformed packet must
-// never take the server down).
+// message is returned; it owns heap memory, so the caller may retain it
+// indefinitely. Decoding errors are returned to the caller, which should
+// count and drop the frame (a malformed packet must never take the server
+// down). Zero-allocation receive loops use AddInto instead.
 func (r *Reassembler) Add(source uint64, frame []byte) (*Message, error) {
-	h, payload, err := DecodeHeader(frame)
-	if err != nil {
+	var m Message
+	complete, err := r.AddInto(source, frame, &m)
+	if err != nil || !complete {
 		return nil, err
 	}
-	if int(h.KeyLen) > int(h.TotalSize) {
-		return nil, fmt.Errorf("%w: key %d > total %d", ErrBadLength, h.KeyLen, h.TotalSize)
+	// Legacy ownership contract: the returned message owns plain heap
+	// memory with no release obligation. Copy out of the frame alias or
+	// leased body and release the lease.
+	out := &Message{
+		Op:        m.Op,
+		Status:    m.Status,
+		RxQueue:   m.RxQueue,
+		ReqID:     m.ReqID,
+		Timestamp: m.Timestamp,
+		TTL:       m.TTL,
 	}
-	// Cap the allocation a single header can demand BEFORE make(). Without
-	// this, one 1472-byte frame claiming TotalSize near 4 GiB would have
-	// the reassembler allocate it all — a remote memory-exhaustion vector.
+	body := make([]byte, len(m.Key)+len(m.Value))
+	n := copy(body, m.Key)
+	copy(body[n:], m.Value)
+	out.Key = body[:n:n]
+	out.Value = body[n:]
+	m.Reset()
+	return out, nil
+}
+
+// AddInto is the zero-allocation variant of Add: it decodes the frame and,
+// when it completes a message, fills m and returns true. m is Reset first,
+// so a scratch message can be passed every call.
+//
+// Ownership: a single-fragment message leaves m aliasing the frame's
+// payload — m is valid only while the frame's buffer is. A reassembled
+// multi-fragment message moves its leased body into m, which then owns it
+// until m.Reset or m.Release. Callers that queue m beyond the frame's
+// lifetime must call m.Own first.
+func (r *Reassembler) AddInto(source uint64, frame []byte, m *Message) (complete bool, err error) {
+	m.Reset()
+	h, payload, err := DecodeHeader(frame)
+	if err != nil {
+		return false, err
+	}
+	if int(h.KeyLen) > int(h.TotalSize) {
+		return false, fmt.Errorf("%w: key %d > total %d", ErrBadLength, h.KeyLen, h.TotalSize)
+	}
+	// Cap the allocation a single header can demand BEFORE the body is
+	// leased. Without this, one 1472-byte frame claiming TotalSize near
+	// 4 GiB would have the reassembler allocate it all — a remote
+	// memory-exhaustion vector.
 	if int64(h.TotalSize) > int64(MaxValueSize)+int64(h.KeyLen) {
-		return nil, fmt.Errorf("%w: total %d", ErrOversize, h.TotalSize)
+		return false, fmt.Errorf("%w: total %d", ErrOversize, h.TotalSize)
 	}
 	if int64(h.FragOff)+int64(h.FragLen) > int64(h.TotalSize) {
-		return nil, ErrOverlap
+		return false, ErrOverlap
 	}
 
-	// Fast path: the whole message fits in this frame.
+	// Fast path: the whole message fits in this frame. m aliases the
+	// frame payload; no copy, no allocation.
 	if int(h.TotalSize) == int(h.FragLen) && h.FragOff == 0 {
 		r.completed++
-		return messageFrom(h, append([]byte(nil), payload...)), nil
+		m.setFromHeader(h)
+		m.Key = payload[:h.KeyLen:h.KeyLen]
+		m.Value = payload[h.KeyLen:]
+		return true, nil
 	}
 
-	// Fragments are cut at MaxFragPayload boundaries (AppendFrames);
+	// Fragments are cut at MaxFragPayload boundaries (the encoders);
 	// enforcing that here lets duplicate detection index by slot.
 	if int(h.FragOff)%MaxFragPayload != 0 {
-		return nil, ErrBadOffset
+		return false, ErrBadOffset
 	}
 	key := reassemblyKey{source: source, reqID: h.ReqID}
 	p := r.pending[key]
@@ -97,46 +181,45 @@ func (r *Reassembler) Add(source uint64, frame []byte) (*Message, error) {
 			r.evictOldest()
 		}
 		r.seq++
-		p = &pendingMessage{
-			header:  h,
-			body:    make([]byte, h.TotalSize),
-			started: r.seq,
-			seen:    make([]bool, FragmentsFor(int(h.TotalSize))),
-		}
+		p = getPending(h, r.seq, FragmentsFor(int(h.TotalSize)))
 		r.pending[key] = p
 	}
 	slot := int(h.FragOff) / MaxFragPayload
 	if slot >= len(p.seen) {
-		return nil, ErrOverlap
+		return false, ErrOverlap
 	}
 	if p.seen[slot] {
 		// A retransmitted duplicate (the client resends whole messages
 		// on timeout). Counting it again would let a message "complete"
 		// with a hole where a still-missing fragment belongs.
-		return nil, nil
+		return false, nil
 	}
 	p.seen[slot] = true
 	copy(p.body[h.FragOff:], payload)
 	p.received += int(h.FragLen)
-	if p.received < int(h.TotalSize) {
-		return nil, nil
+	if p.received < int(p.header.TotalSize) {
+		return false, nil
 	}
 	delete(r.pending, key)
 	r.completed++
-	return messageFrom(p.header, p.body), nil
+	h = p.header
+	m.setFromHeader(h)
+	m.bodyBuf = p.bodyBuf
+	m.Key = p.body[:h.KeyLen:h.KeyLen]
+	m.Value = p.body[h.KeyLen:h.TotalSize]
+	putPending(p, false)
+	return true, nil
 }
 
-func messageFrom(h Header, body []byte) *Message {
-	return &Message{
-		Op:        h.Op,
-		Status:    h.Status,
-		RxQueue:   h.RxQueue,
-		ReqID:     h.ReqID,
-		Timestamp: h.Timestamp,
-		TTL:       h.TTL,
-		Key:       body[:h.KeyLen:h.KeyLen],
-		Value:     body[h.KeyLen:],
-	}
+// setFromHeader copies the header identity into m (body slices are set by
+// the caller).
+func (m *Message) setFromHeader(h Header) {
+	m.Op = h.Op
+	m.Status = h.Status
+	m.RxQueue = h.RxQueue
+	m.ReqID = h.ReqID
+	m.Timestamp = h.Timestamp
+	m.TTL = h.TTL
 }
 
 func (r *Reassembler) evictOldest() {
@@ -149,6 +232,7 @@ func (r *Reassembler) evictOldest() {
 	}
 	if oldest != nil {
 		delete(r.pending, oldestKey)
+		putPending(oldest, true)
 		r.dropped++
 	}
 }
@@ -162,7 +246,10 @@ func (r *Reassembler) Dropped() uint64 { return r.dropped }
 // Completed returns how many messages finished reassembly.
 func (r *Reassembler) Completed() uint64 { return r.completed }
 
-// Reset discards all partial state.
+// Reset discards all partial state, recycling the leased bodies.
 func (r *Reassembler) Reset() {
-	clear(r.pending)
+	for k, p := range r.pending {
+		delete(r.pending, k)
+		putPending(p, true)
+	}
 }

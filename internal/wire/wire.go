@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+
+	"github.com/minoskv/minos/internal/mem"
 )
 
 // Network framing constants. Sizes are bytes.
@@ -251,6 +254,74 @@ type Message struct {
 	TTL   uint32
 	Key   []byte
 	Value []byte
+
+	// bodyBuf, when non-nil, is the leased buffer Key and Value slice
+	// into: the message owns its body and Reset/Release recycles it.
+	// When nil, Key and Value alias caller-owned memory (a transport
+	// frame, a store item) and are only valid while that memory is.
+	bodyBuf *mem.Buf
+	// pooled marks messages from NewMessage; Release returns them.
+	pooled bool
+}
+
+// messagePool recycles Message structs for the zero-allocation receive
+// paths (server work queues, client completion).
+var messagePool sync.Pool
+
+// NewMessage returns an empty pooled message. Release it when done; the
+// zero-allocation receive paths cycle messages through this pool instead
+// of allocating one per request.
+func NewMessage() *Message {
+	if v := messagePool.Get(); v != nil {
+		m := v.(*Message)
+		m.pooled = true
+		return m
+	}
+	return &Message{pooled: true}
+}
+
+// Reset releases m's leased body (if any) and zeroes every field, keeping
+// the struct itself reusable. Scratch messages on receive loops Reset
+// between requests.
+func (m *Message) Reset() {
+	if m.bodyBuf != nil {
+		m.bodyBuf.Release()
+	}
+	*m = Message{pooled: m.pooled}
+}
+
+// Release resets m and, when it came from NewMessage, returns it to the
+// message pool. Releasing twice is a no-op for the pool (the second call
+// sees an unpooled struct), so ownership bugs fail soft.
+func (m *Message) Release() {
+	pooled := m.pooled
+	m.pooled = false
+	m.Reset()
+	if pooled {
+		messagePool.Put(m)
+	}
+}
+
+// Own ensures m's Key and Value live in memory the message owns, copying
+// them into a leased body when they still alias a transport frame. A
+// message must be Owned before it outlives the frame it was decoded from
+// (e.g. before being queued to another core); an already-owning message is
+// untouched.
+func (m *Message) Own() {
+	if m.bodyBuf != nil {
+		return
+	}
+	total := len(m.Key) + len(m.Value)
+	if total == 0 {
+		m.Key, m.Value = nil, nil
+		return
+	}
+	buf := mem.Lease(total)
+	n := copy(buf.Data, m.Key)
+	copy(buf.Data[n:], m.Value)
+	m.bodyBuf = buf
+	m.Key = buf.Data[:n:n]
+	m.Value = buf.Data[n:]
 }
 
 // body returns the fragmented byte stream of m: key followed by value.
@@ -275,14 +346,10 @@ func FragmentsFor(n int) int {
 	return (n + MaxFragPayload - 1) / MaxFragPayload
 }
 
-// AppendFrames encodes m into one or more frames, appending each frame to
-// frames and returning the extended slice. Each frame is a freshly
-// allocated []byte ready to be handed to a transport. The fragments carry
-// contiguous slices of key||value, all with the same header identity.
-func (m *Message) AppendFrames(frames [][]byte) [][]byte {
-	keyLen, valLen := m.bodyLens()
-	total := keyLen + valLen
-	h := Header{
+// header builds the per-fragment header identity for m (FragOff/FragLen
+// are stamped per frame by the encoders).
+func (m *Message) header(keyLen, total int) Header {
+	return Header{
 		Op:        m.Op,
 		Status:    m.Status,
 		RxQueue:   m.RxQueue,
@@ -292,35 +359,79 @@ func (m *Message) AppendFrames(frames [][]byte) [][]byte {
 		KeyLen:    uint16(keyLen),
 		TTL:       m.TTL,
 	}
+}
+
+// fragWindow returns fragment i's byte window into key||value.
+func fragWindow(i, total int) (off, fragLen int) {
+	off = i * MaxFragPayload
+	fragLen = total - off
+	if fragLen > MaxFragPayload {
+		fragLen = MaxFragPayload
+	}
+	if fragLen < 0 {
+		fragLen = 0
+	}
+	return off, fragLen
+}
+
+// fillFrame encodes fragment (off, fragLen) of m into frame, which must be
+// HeaderSize+fragLen long.
+func (m *Message) fillFrame(frame []byte, h *Header, off, fragLen int) {
+	h.FragOff = uint32(off)
+	h.FragLen = uint16(fragLen)
+	EncodeHeader(frame, h)
+	keyLen := len(m.Key)
+	// Copy the [off, off+fragLen) window of key||value.
+	dst := frame[HeaderSize : HeaderSize+fragLen]
+	for len(dst) > 0 {
+		switch {
+		case off < keyLen:
+			c := copy(dst, m.Key[off:])
+			dst = dst[c:]
+			off += c
+		default:
+			c := copy(dst, m.Value[off-keyLen:])
+			dst = dst[c:]
+			off += c
+		}
+	}
+}
+
+// AppendFrames encodes m into one or more frames, appending each frame to
+// frames and returning the extended slice. Each frame is a freshly
+// allocated []byte ready to be handed to a transport. The fragments carry
+// contiguous slices of key||value, all with the same header identity.
+// Zero-allocation paths use LeaseFrames instead.
+func (m *Message) AppendFrames(frames [][]byte) [][]byte {
+	keyLen, valLen := m.bodyLens()
+	total := keyLen + valLen
+	h := m.header(keyLen, total)
 	n := FragmentsFor(total)
 	for i := 0; i < n; i++ {
-		off := i * MaxFragPayload
-		fragLen := total - off
-		if fragLen > MaxFragPayload {
-			fragLen = MaxFragPayload
-		}
-		if fragLen < 0 {
-			fragLen = 0
-		}
+		off, fragLen := fragWindow(i, total)
 		frame := make([]byte, HeaderSize+fragLen)
-		h.FragOff = uint32(off)
-		h.FragLen = uint16(fragLen)
-		EncodeHeader(frame, &h)
-		// Copy the [off, off+fragLen) window of key||value.
-		dst := frame[HeaderSize:]
-		for len(dst) > 0 {
-			switch {
-			case off < keyLen:
-				c := copy(dst, m.Key[off:])
-				dst = dst[c:]
-				off += c
-			default:
-				c := copy(dst, m.Value[off-keyLen:])
-				dst = dst[c:]
-				off += c
-			}
-		}
+		m.fillFrame(frame, &h, off, fragLen)
 		frames = append(frames, frame)
+	}
+	return frames
+}
+
+// LeaseFrames encodes m into one or more leased frames, appending each to
+// frames and returning the extended slice. Ownership of every appended
+// *mem.Buf passes to the caller, who hands them to a transport (which
+// releases or forwards them) or releases them on error. This is the
+// zero-allocation encode path: steady state, every frame comes from the
+// lease recycler.
+func (m *Message) LeaseFrames(frames []*mem.Buf) []*mem.Buf {
+	keyLen, valLen := m.bodyLens()
+	total := keyLen + valLen
+	h := m.header(keyLen, total)
+	n := FragmentsFor(total)
+	for i := 0; i < n; i++ {
+		off, fragLen := fragWindow(i, total)
+		buf := mem.Lease(HeaderSize + fragLen)
+		m.fillFrame(buf.Data, &h, off, fragLen)
+		frames = append(frames, buf)
 	}
 	return frames
 }
