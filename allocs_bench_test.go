@@ -93,6 +93,78 @@ func BenchmarkLivePutRoundTrip(b *testing.B) {
 	}
 }
 
+// benchLiveClusterHedged starts a 2-node fabric cluster with R=2
+// replication and hedged reads on, warmed so the adaptive hedge delay
+// comes from real latency history.
+func benchLiveClusterHedged(b *testing.B) (*minos.Cluster, func()) {
+	b.Helper()
+	const nodes, cores = 2, 2
+	fc := minos.NewFabricCluster(nodes, cores)
+	names := []string{"n0", "n1"}
+	var servers []*minos.Server
+	var members []minos.ClusterNode
+	for i := 0; i < nodes; i++ {
+		srv, err := minos.NewServer(fc.Node(i).Server(), minos.WithDesign(minos.DesignMinos), minos.WithCores(cores))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Start()
+		servers = append(servers, srv)
+		members = append(members, minos.ClusterNode{
+			Name:      names[i],
+			Transport: fc.Node(i).NewClient(),
+			Server:    srv,
+		})
+	}
+	cl, err := minos.NewCluster(members,
+		minos.WithClusterSeed(7),
+		minos.WithReplication(2),
+		minos.WithNodeOptions(minos.WithQueues(cores), minos.WithSeed(1)))
+	if err != nil {
+		for _, s := range servers {
+			s.Stop()
+		}
+		b.Fatal(err)
+	}
+	return cl, func() {
+		cl.Close()
+		for _, s := range servers {
+			s.Stop()
+		}
+	}
+}
+
+// BenchmarkLiveGetClusterHedged is the replicated GET with hedging armed:
+// in the healthy steady state the hedge timer fires approximately never,
+// so the replicated read path must stay at plain Get's one-alloc copy-out
+// (pooled call, pooled timer, pooled scratch). The ratchet holds the
+// hedging machinery to that number.
+func BenchmarkLiveGetClusterHedged(b *testing.B) {
+	cl, stop := benchLiveClusterHedged(b)
+	defer stop()
+	ctx := context.Background()
+	key := []byte("bench-hedge-key")
+	val := make([]byte, 128)
+	if err := cl.Put(ctx, key, val); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the per-node latency histograms so the hedge delay reflects
+	// measured round trips rather than the cold-start maximum.
+	for i := 0; i < 512; i++ {
+		if _, err := cl.Get(ctx, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cl.Get(ctx, key)
+		if err != nil || len(got) != len(val) {
+			b.Fatal(len(got), err)
+		}
+	}
+}
+
 // benchLiveUDP is the loopback-UDP variant: the kernel network stack
 // replaces the fabric rings, so the numbers include real socket syscalls.
 func benchLiveUDP(b *testing.B) (*minos.Client, func()) {

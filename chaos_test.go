@@ -1,0 +1,389 @@
+package minos_test
+
+// Fault-injection suite for the replication subsystem: a node is killed
+// mid-load (its serving loops stop; in-flight and future requests to it
+// time out, exactly what a kill -9 looks like from the wire) and the
+// cluster must keep its promises — no acknowledged write lost, reads
+// served throughout, the dead node routed around with no topology
+// change, hints replayed when a node returns. CI runs this file under
+// -race in a dedicated `-run Chaos` step.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	minos "github.com/minoskv/minos"
+)
+
+// chaosDetection is the failure-detector tuning the chaos tests run
+// with: fast enough that a kill is noticed in tens of milliseconds, slow
+// enough that a loaded -race host does not false-positive a healthy
+// node.
+func chaosDetection() []minos.ClusterOption {
+	return []minos.ClusterOption{
+		minos.WithReplication(2),
+		minos.WithFailureDetection(5*time.Millisecond, 40*time.Millisecond),
+		minos.WithHedging(200*time.Microsecond, 5*time.Millisecond),
+		minos.WithNodeOptions(minos.WithDeadline(60 * time.Millisecond)),
+	}
+}
+
+// waitStats polls the cluster's stats until cond passes or the deadline
+// lapses, returning the last snapshot either way.
+func waitStats(cl *minos.Cluster, d time.Duration, cond func(minos.ClusterStats) bool) (minos.ClusterStats, bool) {
+	deadline := time.Now().Add(d)
+	for {
+		st := cl.Stats()
+		if cond(st) {
+			return st, true
+		}
+		if time.Now().After(deadline) {
+			return st, false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestChaosKillNodeNoLostWrites is the acceptance scenario: an 8-node
+// R=2 fabric cluster under write load loses one node with no topology
+// change. Every write the cluster acknowledged before, during and after
+// the kill must stay readable, reads must keep succeeding throughout,
+// and the failure detector must mark exactly the killed node dead.
+func TestChaosKillNodeNoLostWrites(t *testing.T) {
+	ctx := context.Background()
+	cl, _, servers := testCluster(t, 8, 1, chaosDetection()...)
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("chaos:%06d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("v-%06d", i)) }
+
+	// Baseline: a few hundred writes with the whole fleet healthy. All
+	// must ack (R=2 quorum: both replicas).
+	const baseline = 200
+	for i := 0; i < baseline; i++ {
+		if err := cl.Put(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("baseline Put %d: %v", i, err)
+		}
+	}
+
+	// Open-loop writers and readers ride through the kill. Writers
+	// record every acknowledged key; writes that fail are allowed (a
+	// write racing the undetected kill cannot reach its quorum and must
+	// NOT ack — that is the contract under test). Readers must never
+	// fail: they only read acknowledged keys.
+	var (
+		acked   sync.Map // int -> true, keys the cluster acknowledged
+		nextKey atomic.Int64
+		readErr atomic.Value
+		stop    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	nextKey.Store(baseline)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := int(nextKey.Add(1))
+				if err := cl.Put(ctx, key(i), val(i)); err == nil {
+					acked.Store(i, true)
+				}
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ; i = (i + 3) % baseline {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := cl.Get(ctx, key(i))
+				if err != nil || string(v) != string(val(i)) {
+					readErr.CompareAndSwap(nil, fmt.Errorf("read %d during chaos = %q, %v", i, v, err))
+					return
+				}
+			}
+		}(r)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	servers["n3"].Stop() // kill: serving loops gone, requests time out
+
+	// The detector must notice without any RemoveNode call.
+	st, ok := waitStats(cl, 2*time.Second, func(st minos.ClusterStats) bool { return st.NodesDead == 1 })
+	if !ok {
+		t.Fatalf("killed node never marked dead: %+v", st)
+	}
+
+	// Keep load running well past detection so post-kill writes ack
+	// against the degraded quorum and hints accumulate for n3.
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := readErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	st = cl.Stats()
+	if st.NodesDead != 1 || st.NodesSuspect != 0 {
+		t.Fatalf("detector counts = %d dead / %d suspect, want 1 / 0", st.NodesDead, st.NodesSuspect)
+	}
+	for _, n := range st.Nodes {
+		want := "alive"
+		if n.Name == "n3" {
+			want = "dead"
+		}
+		if n.State != want {
+			t.Fatalf("node %s state = %q, want %q", n.Name, n.State, want)
+		}
+	}
+	if st.HintsQueued == 0 {
+		t.Error("no hints queued for the dead node despite write load")
+	}
+
+	// The core promise: every acknowledged write is still readable, and
+	// no read needs the dead node removed first.
+	checked := 0
+	acked.Range(func(k, _ any) bool {
+		i := k.(int)
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("acked write %d lost after kill: %q, %v", i, v, err)
+		}
+		checked++
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no writes were acknowledged during the chaos window")
+	}
+	for i := 0; i < baseline; i++ {
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("baseline write %d lost after kill: %q, %v", i, v, err)
+		}
+	}
+	// Fan-out reads route around the dead node too.
+	batch := [][]byte{key(0), key(1), key(baseline / 2), key(baseline - 1)}
+	vals, err := cl.MultiGet(ctx, batch)
+	if err != nil {
+		t.Fatalf("MultiGet after kill: %v", err)
+	}
+	for j, v := range vals {
+		if v == nil {
+			t.Fatalf("MultiGet after kill lost key %q", batch[j])
+		}
+	}
+	t.Logf("chaos: %d acked writes during kill window, stats %+v", checked, st)
+}
+
+// TestChaosRejoinHandoff kills a node, accumulates hinted writes for it,
+// then boots a fresh (empty) server on the same fabric endpoint — the
+// crash-and-restart shape. The detector must flip it back to alive and
+// the hint queue must replay onto it before it takes reads.
+func TestChaosRejoinHandoff(t *testing.T) {
+	ctx := context.Background()
+	cl, fc, servers := testCluster(t, 4, 1, chaosDetection()...)
+
+	servers["n1"].Stop()
+	if _, ok := waitStats(cl, 2*time.Second, func(st minos.ClusterStats) bool { return st.NodesDead == 1 }); !ok {
+		t.Fatal("killed node never marked dead")
+	}
+
+	// Writes while n1 is down: the ones whose replica set includes n1
+	// ack on the surviving replica and queue a hint.
+	key := func(i int) []byte { return []byte(fmt.Sprintf("rejoin:%04d", i)) }
+	for i := 0; i < 200; i++ {
+		if err := cl.Put(ctx, key(i), []byte("v")); err != nil {
+			t.Fatalf("Put %d with node down: %v", i, err)
+		}
+	}
+	st := cl.Stats()
+	if st.HintsQueued == 0 {
+		t.Fatalf("no hints queued while a replica was down: %+v", st)
+	}
+
+	// Restart: a fresh server (empty store — the crash lost its memory)
+	// on the same endpoint.
+	srv, err := minos.NewServer(fc.Node(1).Server(),
+		minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+
+	st, ok := waitStats(cl, 3*time.Second, func(st minos.ClusterStats) bool {
+		return st.NodesDead == 0 && st.Handoffs > 0
+	})
+	if !ok {
+		t.Fatalf("rejoined node not repopulated: %+v", st)
+	}
+	if got := srv.Snapshot().Items; got == 0 {
+		t.Fatal("hint replay reported done but the rejoined store is empty")
+	}
+	// Everything written during the outage is still served.
+	for i := 0; i < 200; i++ {
+		if _, err := cl.Get(ctx, key(i)); err != nil {
+			t.Fatalf("key %d unreadable after rejoin: %v", i, err)
+		}
+	}
+}
+
+// TestChaosHedgedReadsDegradedReplica degrades (not kills) one node with
+// an emulated 2ms RTT — too healthy for the failure detector, slow
+// enough to wreck the read tail — and checks the hedging machinery
+// actually fires and wins against it.
+func TestChaosHedgedReadsDegradedReplica(t *testing.T) {
+	ctx := context.Background()
+	cl, fc, _ := testCluster(t, 4, 1,
+		minos.WithReplication(2),
+		minos.WithHedging(100*time.Microsecond, 2*time.Millisecond),
+	)
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("hedge:%04d", i)) }
+	for i := 0; i < 400; i++ {
+		if err := cl.Put(ctx, key(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the latency histograms so the adaptive delay reflects a
+	// healthy fleet before the degradation hits.
+	for i := 0; i < 400; i++ {
+		if _, err := cl.Get(ctx, key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fc.Node(2).SetRTT(2 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for i := 0; i < 400; i++ {
+			v, err := cl.Get(ctx, key(i))
+			if err != nil || string(v) != "v" {
+				t.Fatalf("Get %d with degraded replica = %q, %v", i, v, err)
+			}
+		}
+		st := cl.Stats()
+		if st.Hedged > 0 && st.HedgeWins > 0 {
+			t.Logf("hedging: %d launched, %d won", st.Hedged, st.HedgeWins)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hedges never fired/won against a 2ms-degraded replica: %+v", st)
+		}
+	}
+}
+
+// TestChaosStatsMonotone hammers a replicated cluster with concurrent
+// readers, writers and stat snapshotters (run under -race in CI): the
+// lifetime counters must never run backwards between consecutive
+// snapshots, and snapshotting must be safe against the datapath.
+func TestChaosStatsMonotone(t *testing.T) {
+	ctx := context.Background()
+	cl, _, servers := testCluster(t, 4, 1, chaosDetection()...)
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("mono:%04d", i)) }
+	for i := 0; i < 100; i++ {
+		if err := cl.Put(ctx, key(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i = (i + 1) % 100 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w == 0 {
+					_ = cl.Put(ctx, key(i), []byte("v2"))
+				} else {
+					_, _ = cl.Get(ctx, key(i))
+				}
+			}
+		}(w)
+	}
+	// A mid-run kill makes the failure counters move too.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		servers["n2"].Stop()
+	}()
+
+	type counters struct {
+		ops, hedged, wins, fails, handoffs, queued, dropped uint64
+	}
+	snap := func(st minos.ClusterStats) counters {
+		return counters{st.Ops, st.Hedged, st.HedgeWins, st.Failovers, st.Handoffs, st.HintsQueued, st.HintsDropped}
+	}
+	prev := snap(cl.Stats())
+	for i := 0; i < 200; i++ {
+		cur := snap(cl.Stats())
+		if cur.ops < prev.ops || cur.hedged < prev.hedged || cur.wins < prev.wins ||
+			cur.fails < prev.fails || cur.handoffs < prev.handoffs ||
+			cur.queued < prev.queued || cur.dropped < prev.dropped {
+			t.Fatalf("counters ran backwards: %+v -> %+v", prev, cur)
+		}
+		prev = cur
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if prev.ops == 0 {
+		t.Fatal("no operations recorded under load")
+	}
+}
+
+// TestChaosWriteQuorumDegrades pins the quorum-or-owner ack rule at the
+// API boundary: with both replicas of a key healthy a write needs both
+// acks; with one dead it must still ack on the survivor (availability),
+// and with every node dead it must fail rather than pretend.
+func TestChaosWriteQuorumDegrades(t *testing.T) {
+	ctx := context.Background()
+	cl, _, servers := testCluster(t, 2, 1, chaosDetection()...)
+
+	if err := cl.Put(ctx, []byte("q"), []byte("v1")); err != nil {
+		t.Fatalf("healthy 2-replica Put: %v", err)
+	}
+	servers["n0"].Stop()
+	if _, ok := waitStats(cl, 2*time.Second, func(st minos.ClusterStats) bool { return st.NodesDead == 1 }); !ok {
+		t.Fatal("killed node never marked dead")
+	}
+	if err := cl.Put(ctx, []byte("q"), []byte("v2")); err != nil {
+		t.Fatalf("degraded Put on surviving replica: %v", err)
+	}
+	if v, err := cl.Get(ctx, []byte("q")); err != nil || string(v) != "v2" {
+		t.Fatalf("degraded Get = %q, %v", v, err)
+	}
+	servers["n1"].Stop()
+	if _, ok := waitStats(cl, 2*time.Second, func(st minos.ClusterStats) bool { return st.NodesDead == 2 }); !ok {
+		t.Fatal("second kill never marked dead")
+	}
+	if err := cl.Put(ctx, []byte("q"), []byte("v3")); err == nil {
+		t.Fatal("Put acked with every replica dead")
+	}
+	if _, err := cl.Get(ctx, []byte("q")); err == nil {
+		t.Fatal("Get succeeded with every replica dead")
+	}
+	if errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatal("context unexpectedly canceled")
+	}
+}

@@ -73,6 +73,54 @@ func WithNodeOptions(opts ...ClientOption) ClusterOption {
 	return func(c *clusterConfig) { c.nodeOpts = append(c.nodeOpts, opts...) }
 }
 
+// WithReplication stores every key on r nodes — the ring owner plus r-1
+// clockwise successors — and turns on the replicated datapath: writes
+// need a quorum of the live replicas to acknowledge (both, at r=2, so an
+// acknowledged write survives either node failing), a failure detector
+// probes every node and routes around the ones that stop answering
+// without any topology change, missed writes are queued as hints and
+// replayed when the node returns, and reads are hedged across replicas
+// (see WithHedging). r <= 1 keeps the unreplicated single-copy
+// behaviour. See DESIGN.md §9 for the full contract.
+func WithReplication(r int) ClusterOption {
+	return func(c *clusterConfig) { c.cfg.Replicas = r }
+}
+
+// WithHedging bounds the adaptive hedge delay of replicated reads: a GET
+// that has not answered within the delay — tracked at roughly the
+// healthy nodes' p95 latency, clamped to [min, max] — is duplicated to a
+// second replica and the first useful response wins. Hedging is on by
+// default with WithReplication(r >= 2); this option only tunes the
+// clamp. min <= 0 and max <= 0 keep their defaults (100µs and 10ms).
+func WithHedging(min, max time.Duration) ClusterOption {
+	return func(c *clusterConfig) {
+		c.cfg.Hedge.Min = min
+		c.cfg.Hedge.Max = max
+	}
+}
+
+// WithoutHedging disables hedged reads on a replicated cluster: reads
+// still fail over to another replica when the first one fails, but a
+// slow response is waited out rather than raced. The hedged-vs-not
+// comparison in EXPERIMENTS.md (`hedgetail`) is measured with exactly
+// this toggle.
+func WithoutHedging() ClusterOption {
+	return func(c *clusterConfig) { c.cfg.Hedge.Disabled = true }
+}
+
+// WithFailureDetection tunes the failure detector of a replicated
+// cluster: interval is the per-node probe period, timeout one probe's
+// deadline. Two consecutive probe failures mark a node suspect (skipped
+// by reads and by the write-ack quorum), two more mark it dead; the
+// first answered probe brings it back, after its missed writes are
+// replayed. Non-positive values keep the defaults (100ms and 250ms).
+func WithFailureDetection(interval, timeout time.Duration) ClusterOption {
+	return func(c *clusterConfig) {
+		c.cfg.Probe.Interval = interval
+		c.cfg.Probe.Timeout = timeout
+	}
+}
+
 // Cluster is the key-value client for a fleet of independent Minos
 // servers: a consistent-hash ring (seeded virtual nodes) routes every
 // key to exactly one node, each node is reached through its own
@@ -245,6 +293,9 @@ func (c *Cluster) NodeFor(key []byte) string { return c.c.Owner(key) }
 type ClusterNodeStats struct {
 	// Name is the node's ring identity.
 	Name string
+	// State is the failure detector's verdict for the node: "alive",
+	// "suspect" or "dead". Always "alive" without WithReplication.
+	State string
 	// Ops counts operations routed through the node (a MultiGet
 	// sub-batch counts once).
 	Ops uint64
@@ -273,21 +324,47 @@ type ClusterStats struct {
 	// MaxNodeP99 is the worst live per-node p99 in nanoseconds: with
 	// fan-out requests the cluster tail tracks this, not the mean.
 	MaxNodeP99 int64
+
+	// Replication counters; all zero without WithReplication.
+
+	// Hedged counts duplicate reads launched; HedgeWins how many of
+	// them beat the primary. A healthy fleet hedges a few percent of
+	// reads and wins some of them; a degraded replica drives both up.
+	Hedged, HedgeWins uint64
+	// Failovers counts reads re-driven at another replica after a
+	// transport failure.
+	Failovers uint64
+	// Handoffs counts hinted writes replayed onto nodes that returned
+	// from the dead; HintsQueued/HintsDropped are the hint log's
+	// lifetime intake and overflow.
+	Handoffs, HintsQueued, HintsDropped uint64
+	// NodesSuspect/NodesDead count nodes the failure detector currently
+	// holds in each state.
+	NodesSuspect, NodesDead int
 }
 
 // Stats snapshots the cluster's counters.
 func (c *Cluster) Stats() ClusterStats {
 	st := c.c.Stats()
 	out := ClusterStats{
-		Ops:        st.Ops,
-		P50:        st.P50,
-		P99:        st.P99,
-		P999:       st.P999,
-		MaxNodeP99: st.MaxNodeP99,
+		Ops:          st.Ops,
+		P50:          st.P50,
+		P99:          st.P99,
+		P999:         st.P999,
+		MaxNodeP99:   st.MaxNodeP99,
+		Hedged:       st.Hedged,
+		HedgeWins:    st.HedgeWins,
+		Failovers:    st.Failovers,
+		Handoffs:     st.Handoffs,
+		HintsQueued:  st.HintsQueued,
+		HintsDropped: st.HintsDropped,
+		NodesSuspect: st.NodesSuspect,
+		NodesDead:    st.NodesDead,
 	}
 	for _, n := range st.Nodes {
 		out.Nodes = append(out.Nodes, ClusterNodeStats{
 			Name:   n.Name,
+			State:  n.State,
 			Ops:    n.Ops,
 			P50:    n.P50,
 			P99:    n.P99,

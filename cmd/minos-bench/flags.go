@@ -28,10 +28,10 @@ func experimentIDs(fig string, tab int, all bool) ([]string, error) {
 			}
 			return []string{fmt.Sprintf("fig%d", n)}, nil
 		}
-		// Named experiment, e.g. "cache" or "clustertail".
+		// Named experiment, e.g. "cache", "clustertail" or "hedgetail".
 		id := fig
 		if _, ok := find(id); !ok {
-			return nil, fmt.Errorf("unknown -fig %q (want 1-10, %q or %q)", fig, "cache", "clustertail")
+			return nil, fmt.Errorf("unknown -fig %q (want 1-10, %q, %q or %q)", fig, "cache", "clustertail", "hedgetail")
 		}
 		return []string{id}, nil
 	case tab != 0:

@@ -19,6 +19,7 @@ func TestExperimentIDs(t *testing.T) {
 		{name: "figure high edge", fig: "10", want: []string{"fig10"}},
 		{name: "named cache", fig: "cache", want: []string{"cache"}},
 		{name: "named clustertail", fig: "clustertail", want: []string{"clustertail"}},
+		{name: "named hedgetail", fig: "hedgetail", want: []string{"hedgetail"}},
 		{name: "table 1", tab: 1, want: []string{"tab1"}},
 		{name: "nothing selected", want: nil},
 		{name: "figure zero", fig: "0", wantErr: "out of range"},

@@ -9,10 +9,18 @@
 //	minos-cluster -nodes 4                          # 4-node Minos cluster
 //	minos-cluster -nodes 8 -design hkh -rate 20000  # the baseline fleet
 //	minos-cluster -nodes 3 -grow                    # add a 4th node mid-run
+//	minos-cluster -nodes 4 -replicas 2 -kill        # kill a node mid-run
 //
 // With -grow, a fresh node joins the ring at half time while the load
 // keeps running: the command reports how many keys streamed to it and
 // the post-join distribution.
+//
+// With -replicas 2 the cluster writes every key to two ring-adjacent
+// nodes and hedges slow reads to the second replica (-nohedge turns
+// hedging off). With -kill — which requires -replicas >= 2 — one node's
+// server is stopped cold at half time: the failure detector marks it
+// dead, reads fail over, writes queue hints, and the final report shows
+// the replication counters alongside the latency distribution.
 package main
 
 import (
@@ -37,6 +45,9 @@ func main() {
 	rtt := flag.Duration("rtt", 20*time.Microsecond, "emulated network round trip")
 	keys := flag.Int("keys", 10_000, "preloaded keys")
 	grow := flag.Bool("grow", false, "add one node mid-run (live AddNode)")
+	replicas := flag.Int("replicas", 1, "replicas per key (R-way writes; 1 = no replication)")
+	noHedge := flag.Bool("nohedge", false, "disable hedged reads (with -replicas >= 2)")
+	kill := flag.Bool("kill", false, "kill one node mid-run (requires -replicas >= 2)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -66,7 +77,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *seed); err != nil {
+	if *replicas < 1 {
+		fmt.Fprintf(os.Stderr, "minos-cluster: -replicas %d: need at least one replica\n", *replicas)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *kill && *replicas < 2 {
+		fmt.Fprintf(os.Stderr, "minos-cluster: -kill without replication loses data; use -replicas 2 or more\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *kill && *nodes < 2 {
+		fmt.Fprintf(os.Stderr, "minos-cluster: -kill needs at least two nodes\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *replicas, *noHedge, *kill, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "minos-cluster: %v\n", err)
 		os.Exit(1)
 	}
@@ -90,7 +116,7 @@ func startNode(fc *minos.FabricCluster, i int, d minos.Design, cores int) (minos
 	}, srv, nil
 }
 
-func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, seed int64) error {
+func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, replicas int, noHedge, kill bool, seed int64) error {
 	ctx := context.Background()
 	fc := minos.NewFabricCluster(nodes, cores)
 	fc.SetRTT(rtt)
@@ -111,9 +137,22 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 		}
 	}()
 
-	cl, err := minos.NewCluster(members,
+	copts := []minos.ClusterOption{
 		minos.WithClusterSeed(uint64(seed)),
-		minos.WithNodeOptions(minos.WithQueues(cores), minos.WithWindow(window)))
+		minos.WithNodeOptions(minos.WithQueues(cores), minos.WithWindow(window)),
+	}
+	if replicas > 1 {
+		copts = append(copts, minos.WithReplication(replicas))
+		if noHedge {
+			copts = append(copts, minos.WithoutHedging())
+		}
+		if kill {
+			// Probe aggressively so a demo-length run sees the full
+			// alive -> suspect -> dead transition after the kill.
+			copts = append(copts, minos.WithFailureDetection(50*time.Millisecond, 150*time.Millisecond))
+		}
+	}
+	cl, err := minos.NewCluster(members, copts...)
 	if err != nil {
 		return err
 	}
@@ -146,7 +185,18 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 
 	growAt := start.Add(dur / 2)
 	grown := false
+	killAt := start.Add(dur / 2)
+	killed := false
 	for time.Since(start) < dur {
+		if kill && !killed && time.Now().After(killAt) {
+			killed = true
+			// Stop serving without telling anyone — requests at the victim
+			// just time out, the way a crashed process looks from the wire.
+			victim := 1
+			servers[victim].Stop()
+			fmt.Printf("  [%.2fs] node-%d killed (server stopped cold)\n",
+				time.Since(start).Seconds(), victim)
+		}
 		if grow && !grown && time.Now().After(growAt) {
 			grown = true
 			fab, i := fc.Grow()
@@ -190,8 +240,17 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 	fmt.Printf("cluster    : p50=%7.1fus p99=%7.1fus p99.9=%7.1fus  (worst node p99 %7.1fus)\n",
 		float64(st.P50)/1e3, float64(st.P99)/1e3, float64(st.P999)/1e3, float64(st.MaxNodeP99)/1e3)
 	for _, n := range st.Nodes {
-		fmt.Printf("%-11s: p50=%7.1fus p99=%7.1fus p99.9=%7.1fus  ops=%d\n",
-			n.Name, float64(n.P50)/1e3, float64(n.P99)/1e3, float64(n.P999)/1e3, n.Ops)
+		state := ""
+		if n.State != "" && n.State != "alive" {
+			state = "  [" + n.State + "]"
+		}
+		fmt.Printf("%-11s: p50=%7.1fus p99=%7.1fus p99.9=%7.1fus  ops=%d%s\n",
+			n.Name, float64(n.P50)/1e3, float64(n.P99)/1e3, float64(n.P999)/1e3, n.Ops, state)
+	}
+	if replicas > 1 {
+		fmt.Printf("replication: R=%d hedged=%d hedge-wins=%d failovers=%d handoffs=%d hints-queued=%d hints-dropped=%d suspect=%d dead=%d\n",
+			replicas, st.Hedged, st.HedgeWins, st.Failovers, st.Handoffs,
+			st.HintsQueued, st.HintsDropped, st.NodesSuspect, st.NodesDead)
 	}
 	if drops := fc.Drops(); drops > 0 {
 		fmt.Fprintf(os.Stderr, "fabric drops: %d\n", drops)

@@ -123,3 +123,12 @@ var CacheTail = harness.CacheTail
 // Unlike the simulated figures this runs real concurrency; absolute
 // values vary with the host. Run it via minos-bench -fig clustertail.
 var ClusterTail = harness.ClusterTail
+
+// HedgeTail is the replication experiment beyond the paper's evaluation:
+// a live 8-node R=2 fabric cluster with one replica degraded by an
+// emulated 2ms round trip, measured under the fan-out load with hedged
+// reads off and on. The unhedged fan-out p99 sits on the degraded
+// node's round trip; the hedged one recovers the healthy fleet's tail
+// for a small duplicate-read overhead (the Hedged/HedgeWins columns).
+// Run it via minos-bench -fig hedgetail.
+var HedgeTail = harness.HedgeTail

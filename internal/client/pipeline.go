@@ -160,6 +160,11 @@ type Call struct {
 	dst []byte
 	// tx is the reusable TX staging slice for leased request frames.
 	tx []*mem.Buf
+	// ttl is the remaining time-to-live the reply carried (whole
+	// milliseconds, 0 = immortal or not a GET hit); read via ReplyTTL.
+	ttl uint32
+	// doneAt is stamped when the call finishes; read via DoneAt.
+	doneAt time.Time
 	// pc is the receiver-side state, embedded so a request costs no
 	// separate pendingCall allocation.
 	pc pendingCall
@@ -186,6 +191,8 @@ func recycleCall(c *Call) {
 	c.value = nil
 	c.err = nil
 	c.dst = nil
+	c.ttl = 0
+	c.doneAt = time.Time{}
 	c.pc = pendingCall{}
 	callPool.Put(c)
 }
@@ -223,7 +230,63 @@ func (c *Call) Wait(ctx context.Context) (value []byte, err error) {
 	return c.value, c.err
 }
 
+// Result returns the completed call's value and error without blocking.
+// It is the accessor for pooled calls (GetCall), whose Done channel
+// delivers a single token instead of closing: the receive from Done that
+// observed completion also consumed the token, so the blocking Value/Err
+// accessors would hang. Only valid after Done has been observed.
+func (c *Call) Result() (value []byte, err error) { return c.value, c.err }
+
+// ReplyTTL returns the remaining time-to-live the reply reported for the
+// item a successful GET read: zero for immortal items, writes, and
+// misses. Only valid after Done has been observed. Replicated clusters
+// use it for read-repair — re-writing a value to a recovering replica
+// with the TTL it has left, not the TTL it started with.
+func (c *Call) ReplyTTL() time.Duration { return time.Duration(c.ttl) * time.Millisecond }
+
+// DoneAt returns the instant the call finished — reply received,
+// deadline fired, or abandoned. Only valid after Done has been observed.
+// Latency accounting must use this rather than time.Now() at the point
+// the caller notices completion: a caller collecting many calls in order
+// notices late, and charging that wait to the node would feed inflated
+// tails into the adaptive hedge delay.
+func (c *Call) DoneAt() time.Time { return c.doneAt }
+
+// GetCall submits a GET on a pooled call and returns without waiting —
+// the building block of hedged cluster reads, which race two of these
+// against each other. The contract is stricter than GetAsync in exchange
+// for the steady state allocating only the reply value copy-out:
+//
+//   - Done delivers one token rather than closing; whoever receives it
+//     must read results with Result/ReplyTTL, not Value/Err.
+//   - Every call must end with exactly one ReleaseCall, after its Done
+//     token was consumed. A lost call is first CancelCall'ed, then
+//     drained (<-Done()), then released.
+//
+// key may be reused once GetCall returns.
+func (p *Pipeline) GetCall(ctx context.Context, key []byte) *Call {
+	call := p.newPooledCall()
+	return p.submitCall(ctx, call, wire.OpGetRequest, key, nil, 0, p.timeout)
+}
+
+// CancelCall abandons an in-flight pooled call: if the request is still
+// pending its window slot is released immediately and the call finishes
+// with context.Canceled; if a completion won the race, that result
+// stands. Either way the Done token is (or will shortly be) delivered —
+// the caller still drains it before ReleaseCall.
+func (p *Pipeline) CancelCall(c *Call) { p.abandon(c, context.Canceled) }
+
+// ReleaseCall recycles a pooled call whose Done token has been consumed
+// and whose results have been copied out. Releasing a non-pooled
+// (*Async) call is a no-op.
+func (p *Pipeline) ReleaseCall(c *Call) {
+	if c.pooled {
+		recycleCall(c)
+	}
+}
+
 func (c *Call) finish(value []byte, err error) {
+	c.doneAt = time.Now()
 	c.value, c.err = value, err
 	if c.pooled {
 		c.done <- struct{}{}
@@ -637,6 +700,7 @@ func (p *Pipeline) complete(pc *pendingCall, msg *wire.Message) {
 	}
 	<-p.tokens[pc.queue]
 	p.completed.Add(1)
+	pc.call.ttl = msg.TTL
 	value, err := resultFor(pc.op, msg)
 	if value != nil {
 		// msg aliases the receive buffer (or a leased reassembly body)

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/minoskv/minos/internal/apierr"
 	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/replica"
 	"github.com/minoskv/minos/internal/stats"
 )
 
@@ -60,6 +62,20 @@ type Config struct {
 	// MigrateWindow bounds the in-flight pipelined PUTs/DELETEs of a key
 	// migration (default 256).
 	MigrateWindow int
+	// Replicas is how many nodes hold each key: the ring owner plus
+	// Replicas-1 clockwise successors. 0 or 1 means no replication —
+	// every path below behaves exactly as it did without this feature.
+	// With Replicas >= 2 the cluster runs the replicated datapath of
+	// DESIGN.md §9: quorum-or-owner writes, a failure detector that
+	// routes around dead nodes, hinted hand-off, and hedged reads.
+	Replicas int
+	// Hedge tunes hedged reads (replicated clusters only).
+	Hedge HedgeConfig
+	// Probe tunes the failure detector (replicated clusters only).
+	Probe ProbeConfig
+	// HintLimit bounds each down node's hinted hand-off queue (default
+	// replica.DefaultHintLimit).
+	HintLimit int
 }
 
 // node is the runtime state of one attached node.
@@ -67,6 +83,14 @@ type node struct {
 	name string
 	pipe *client.Pipeline
 	scan ScanFunc
+
+	// state mirrors the failure detector's verdict (a replica.State);
+	// the zero value is Alive, which is also the permanent state on
+	// unreplicated clusters (no detector ever writes it).
+	state atomic.Int32
+	// replaying guards the rejoin hint replay so overlapping alive
+	// transitions run it once.
+	replaying atomic.Bool
 
 	// lat records per-operation latencies observed through this node
 	// (one observation per Get/Put/Delete, one per MultiGet sub-batch),
@@ -97,6 +121,10 @@ type Cluster struct {
 	ring   *Ring
 	nodes  map[string]*node
 	closed bool
+
+	// rep is the replication runtime; nil when Replicas <= 1, and every
+	// request path then takes the original single-copy route.
+	rep *repState
 
 	// retired accumulates the latency history of removed nodes, so the
 	// aggregate counters never run backwards across a topology change.
@@ -134,7 +162,21 @@ func New(cfg Config, nodes []NodeConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{cfg: cfg, ring: ring, nodes: m}, nil
+	c := &Cluster{cfg: cfg, ring: ring, nodes: m}
+	if cfg.Replicas > 1 {
+		c.rep = newRepState(cfg)
+		c.rep.det = replica.NewDetector(replica.Config{
+			Interval:     cfg.Probe.Interval,
+			Timeout:      cfg.Probe.Timeout,
+			SuspectAfter: cfg.Probe.SuspectAfter,
+			DeadAfter:    cfg.Probe.DeadAfter,
+		}, c.probeNode, c.onNodeState)
+		for name := range m {
+			c.rep.det.Watch(name)
+		}
+		c.rep.det.Start()
+	}
+	return c, nil
 }
 
 func newNode(nc NodeConfig) *node {
@@ -167,10 +209,12 @@ func (c *Cluster) nodeFor(key []byte) (*node, error) {
 	return c.nodes[name], nil
 }
 
-// retryable reports an error that warrants one re-route: the node's
+// retryable reports an error that warrants a re-route: the node's
 // engine shut down under the request, which happens exactly when a
 // concurrent RemoveNode retired the node this request had already been
-// steered at. The ring has changed, so the retry goes elsewhere.
+// steered at. The ring has changed, so the retry goes elsewhere. Callers
+// bound the chase at maxReroute in case topology keeps changing under
+// the request.
 func (c *Cluster) retryable(n *node, err error) bool {
 	if !errors.Is(err, apierr.ErrClosed) {
 		return false
@@ -180,9 +224,15 @@ func (c *Cluster) retryable(n *node, err error) bool {
 	return !c.closed && c.nodes[n.name] != n
 }
 
-// Get fetches the value for key from its owner node. A missing key
-// returns apierr.ErrNotFound.
+// Get fetches the value for key. A missing key returns
+// apierr.ErrNotFound. On a replicated cluster the read is hedged across
+// the key's live replicas and fails over between them; otherwise it goes
+// to the single owner, re-routing (bounded) when a concurrent topology
+// change retires the node mid-request.
 func (c *Cluster) Get(ctx context.Context, key []byte) ([]byte, error) {
+	if c.rep != nil {
+		return c.repGet(ctx, key)
+	}
 	for attempt := 0; ; attempt++ {
 		n, err := c.nodeFor(key)
 		if err != nil {
@@ -191,7 +241,7 @@ func (c *Cluster) Get(ctx context.Context, key []byte) ([]byte, error) {
 		start := time.Now()
 		v, err := n.pipe.Get(ctx, key)
 		n.observe(time.Since(start))
-		if err != nil && attempt == 0 && c.retryable(n, err) {
+		if err != nil && attempt < maxReroute && c.retryable(n, err) {
 			continue
 		}
 		return v, err
@@ -204,8 +254,12 @@ func (c *Cluster) Put(ctx context.Context, key, value []byte) error {
 }
 
 // PutTTL stores value under key with a time-to-live; ttl <= 0 never
-// expires.
+// expires. On a replicated cluster the write goes to every live replica
+// under the quorum-or-owner ack rule of DESIGN.md §9.
 func (c *Cluster) PutTTL(ctx context.Context, key, value []byte, ttl time.Duration) error {
+	if c.rep != nil {
+		return c.repWrite(ctx, key, value, ttl, false)
+	}
 	for attempt := 0; ; attempt++ {
 		n, err := c.nodeFor(key)
 		if err != nil {
@@ -214,16 +268,19 @@ func (c *Cluster) PutTTL(ctx context.Context, key, value []byte, ttl time.Durati
 		start := time.Now()
 		err = n.pipe.PutTTL(ctx, key, value, ttl)
 		n.observe(time.Since(start))
-		if err != nil && attempt == 0 && c.retryable(n, err) {
+		if err != nil && attempt < maxReroute && c.retryable(n, err) {
 			continue
 		}
 		return err
 	}
 }
 
-// Delete removes key from its owner node. Deleting an absent key returns
-// apierr.ErrNotFound.
+// Delete removes key from its owner node (every replica, on a replicated
+// cluster). Deleting an absent key returns apierr.ErrNotFound.
 func (c *Cluster) Delete(ctx context.Context, key []byte) error {
+	if c.rep != nil {
+		return c.repWrite(ctx, key, nil, 0, true)
+	}
 	for attempt := 0; ; attempt++ {
 		n, err := c.nodeFor(key)
 		if err != nil {
@@ -232,7 +289,7 @@ func (c *Cluster) Delete(ctx context.Context, key []byte) error {
 		start := time.Now()
 		err = n.pipe.Delete(ctx, key)
 		n.observe(time.Since(start))
-		if err != nil && attempt == 0 && c.retryable(n, err) {
+		if err != nil && attempt < maxReroute && c.retryable(n, err) {
 			continue
 		}
 		return err
@@ -249,6 +306,9 @@ func (c *Cluster) Delete(ctx context.Context, key []byte) error {
 // node a concurrent RemoveNode just retired is re-routed once through
 // the new ring, so reads keep being served through topology changes.
 func (c *Cluster) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte, err error) {
+	if c.rep != nil {
+		return c.repMultiGet(ctx, keys)
+	}
 	values = make([][]byte, len(keys))
 	if len(keys) == 0 {
 		return values, nil
@@ -331,6 +391,9 @@ func (c *Cluster) fanout(ctx context.Context, keys, values [][]byte, idx []int, 
 // NodeStats is one node's view of the cluster's traffic.
 type NodeStats struct {
 	Name string
+	// State is the failure detector's verdict ("alive", "suspect",
+	// "dead"); always "alive" on unreplicated clusters.
+	State string
 	// Ops counts operations routed through the node (MultiGet sub-
 	// batches count once).
 	Ops uint64
@@ -358,6 +421,21 @@ type Stats struct {
 	// MaxNodeP99 is the worst *live* per-node p99 (ns) — with fan-out
 	// requests, the cluster tail tracks this, not the mean.
 	MaxNodeP99 int64
+
+	// Replication counters; all zero on unreplicated clusters.
+
+	// Hedged counts duplicate reads launched; HedgeWins how many of them
+	// answered before the primary.
+	Hedged, HedgeWins uint64
+	// Failovers counts reads re-driven at another replica after a
+	// transport failure.
+	Failovers uint64
+	// Handoffs counts hinted writes replayed onto rejoined nodes;
+	// HintsQueued/HintsDropped are the hint log's lifetime intake and
+	// overflow.
+	Handoffs, HintsQueued, HintsDropped uint64
+	// NodesSuspect/NodesDead are the failure detector's current counts.
+	NodesSuspect, NodesDead int
 }
 
 // Stats snapshots the cluster counters.
@@ -384,6 +462,7 @@ func (c *Cluster) Stats() Stats {
 		n.latMu.Unlock()
 		ns := NodeStats{
 			Name:     n.name,
+			State:    replica.State(n.state.Load()).String(),
 			Ops:      h.Count(),
 			P50:      h.Quantile(0.50),
 			P99:      h.Quantile(0.99),
@@ -400,6 +479,15 @@ func (c *Cluster) Stats() Stats {
 	st.P50 = merged.Quantile(0.50)
 	st.P99 = merged.Quantile(0.99)
 	st.P999 = merged.Quantile(0.999)
+	if rs := c.rep; rs != nil {
+		st.Hedged = rs.hedged.Load()
+		st.HedgeWins = rs.hedgeWins.Load()
+		st.Failovers = rs.failovers.Load()
+		st.Handoffs = rs.handoffs.Load()
+		st.HintsQueued = rs.hints.Queued()
+		st.HintsDropped = rs.hints.Dropped()
+		st.NodesSuspect, st.NodesDead = rs.det.Counts()
+	}
 	return st
 }
 
@@ -417,6 +505,12 @@ func (c *Cluster) Close() error {
 	nodes := c.nodes
 	c.nodes = map[string]*node{}
 	c.mu.Unlock()
+	// Stop probing before the pipes close: an in-flight probe riding a
+	// closing pipeline would just fail and get discarded, but there is no
+	// reason to spawn more.
+	if c.rep != nil {
+		c.rep.det.Close()
+	}
 	for _, n := range nodes {
 		_ = n.pipe.Close()
 	}

@@ -146,6 +146,9 @@ func (c *Cluster) AddNode(ctx context.Context, nc NodeConfig) (moved int, err er
 	c.ring = newRing
 	c.nodes[nc.Name] = newNode
 	c.mu.Unlock()
+	if c.rep != nil {
+		c.rep.det.Watch(nc.Name)
+	}
 
 	// Retire the donor copies. Without this a later topology change
 	// would re-scan the donor and resurrect stale values.
@@ -245,6 +248,12 @@ func (c *Cluster) RemoveNode(ctx context.Context, name string) (moved int, err e
 	c.ring = newRing
 	delete(c.nodes, name)
 	c.mu.Unlock()
+	if c.rep != nil {
+		// The node leaves the probe set and its queued hints die with it:
+		// a removed node never comes back under this identity.
+		c.rep.det.Forget(name)
+		c.rep.hints.Forget(name)
+	}
 
 	deadline := time.Now().Add(drainMax)
 	for donor.pipe.Stats().InFlight > 0 && time.Now().Before(deadline) && ctx.Err() == nil {

@@ -1,0 +1,682 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/replica"
+)
+
+// This file is the replicated datapath: R-way writes with a quorum-or-
+// owner ack rule, failure-detector-driven routing, hinted hand-off and
+// read-repair for convergence after a node returns, and hedged reads
+// that duplicate a slow GET to a second replica. DESIGN.md §9 states
+// the policy and exactly what it does and does not promise.
+
+// HedgeConfig parameterizes hedged reads on a replicated cluster. The
+// zero value means hedging on with the replica-package defaults; it only
+// applies when Config.Replicas >= 2.
+type HedgeConfig struct {
+	// Disabled turns hedged reads off (reads still fail over between
+	// replicas; they just never race two in-flight GETs).
+	Disabled bool
+	// Quantile, Min, Max, Refresh override the adaptive-delay policy
+	// (see replica.HedgePolicy); zero fields take its defaults.
+	Quantile float64
+	Min, Max time.Duration
+	Refresh  time.Duration
+}
+
+// ProbeConfig parameterizes the failure detector. Zero fields take the
+// replica-package defaults; it only applies when Config.Replicas >= 2.
+type ProbeConfig struct {
+	// Interval is the per-node probe period, Timeout one probe's
+	// deadline.
+	Interval, Timeout time.Duration
+	// SuspectAfter consecutive probe failures mark a node suspect;
+	// DeadAfter further failures mark it dead.
+	SuspectAfter, DeadAfter int
+}
+
+// probeKey is the reserved key the failure detector GETs: never written,
+// so a healthy node answers StatusNotFound — which is an answer. The
+// leading NUL keeps it out of any sane application keyspace.
+var probeKey = []byte("\x00minos/probe")
+
+// maxReroute bounds how many times a request chases the ring after
+// landing on a concurrently-retired node. Each retry re-resolves the
+// (new) ring, so one retry normally suffices; the headroom covers a
+// burst of back-to-back topology changes without risking an unbounded
+// loop.
+const maxReroute = 8
+
+// repState is the replication runtime hanging off a Cluster when
+// Config.Replicas >= 2.
+type repState struct {
+	r     int
+	det   *replica.Detector
+	hints *replica.Hints
+	hedge replica.HedgePolicy
+	// hedgeOn caches !cfg.Hedge.Disabled.
+	hedgeOn bool
+
+	// delayNs is the cached adaptive hedge delay; refreshAt is the
+	// UnixNano instant after which the next reader recomputes it. The
+	// read hot path costs two atomic loads.
+	delayNs   atomic.Int64
+	refreshAt atomic.Int64
+
+	hedged    atomic.Uint64 // duplicate reads launched
+	hedgeWins atomic.Uint64 // duplicates that answered first
+	failovers atomic.Uint64 // reads re-driven at another replica after a failure
+	handoffs  atomic.Uint64 // hinted writes replayed onto a rejoined node
+}
+
+// newRepState wires the replication runtime for cfg; the detector is
+// built (and later started) by the Cluster, which owns the probe plumbing.
+func newRepState(cfg Config) *repState {
+	rs := &repState{
+		r:       cfg.Replicas,
+		hints:   replica.NewHints(cfg.HintLimit),
+		hedgeOn: !cfg.Hedge.Disabled,
+		hedge: replica.HedgePolicy{
+			Quantile: cfg.Hedge.Quantile,
+			Min:      cfg.Hedge.Min,
+			Max:      cfg.Hedge.Max,
+			Refresh:  cfg.Hedge.Refresh,
+		}.WithDefaults(),
+	}
+	rs.delayNs.Store(int64(rs.hedge.Max))
+	return rs
+}
+
+// quorumNeed is the ack rule of DESIGN.md §9: a write succeeds once
+// majority-of-R replicas acknowledged it, degraded to however many
+// replicas are live (minimum one) when the detector has marked the rest
+// dead or suspect. With R=2 and both replicas healthy this means BOTH
+// must ack — which is what makes an acknowledged write survive either
+// single replica failing.
+func (rs *repState) quorumNeed(live int) int {
+	need := rs.r/2 + 1
+	if need > live {
+		need = live
+	}
+	if need < 1 {
+		need = 1
+	}
+	return need
+}
+
+// repScratch is the pooled per-operation working set of the replicated
+// hot path: the replica name/node slices and the hedge timer, reused so
+// a hedged GET allocates nothing beyond the reply copy-out.
+type repScratch struct {
+	names []string
+	nodes []*node
+	calls []*client.Call
+	timer *time.Timer
+}
+
+var repScratchPool = sync.Pool{New: func() any {
+	return &repScratch{
+		names: make([]string, 0, 4),
+		nodes: make([]*node, 0, 4),
+		calls: make([]*client.Call, 0, 4),
+	}
+}}
+
+func getScratch() *repScratch   { return repScratchPool.Get().(*repScratch) }
+func putScratch(sc *repScratch) { repScratchPool.Put(sc) }
+
+// armTimer reuses the scratch timer for one hedge delay. Safe under the
+// Go 1.23 timer semantics: Reset after Stop on a drained-or-not timer
+// cannot deliver a stale tick.
+func (sc *repScratch) armTimer(d time.Duration) *time.Timer {
+	if sc.timer == nil {
+		sc.timer = time.NewTimer(d)
+	} else {
+		sc.timer.Reset(d)
+	}
+	return sc.timer
+}
+
+// alive reports the detector's routing verdict for a node.
+func (n *node) alive() bool { return n.state.Load() == int32(replica.Alive) }
+
+// replicaSet resolves key's replica set under one ring snapshot into
+// sc.names/sc.nodes (owner first).
+func (c *Cluster) replicaSet(key []byte, sc *repScratch) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return apierr.ErrClosed
+	}
+	sc.names = c.ring.AppendReplicas(sc.names[:0], KeyPoint(key), c.rep.r)
+	if len(sc.names) == 0 {
+		return ErrNoNodes
+	}
+	sc.nodes = sc.nodes[:0]
+	for _, name := range sc.names {
+		sc.nodes = append(sc.nodes, c.nodes[name])
+	}
+	return nil
+}
+
+// probeNode is the detector's ProbeFunc: one GET of the reserved probe
+// key through the node's ordinary pipeline. NotFound is the healthy
+// answer; a node no longer in the topology reports healthy (the detector
+// is about to Forget it).
+func (c *Cluster) probeNode(ctx context.Context, name string) error {
+	n, ok := c.currentNode(name)
+	if !ok {
+		return nil
+	}
+	_, err := n.pipe.Get(ctx, probeKey)
+	if err == nil || errors.Is(err, apierr.ErrNotFound) {
+		return nil
+	}
+	return err
+}
+
+// onNodeState consumes detector transitions. Suspect/dead flip the
+// node's routing state immediately; alive first replays the hinted
+// writes the node missed, so a read routed at it the instant it returns
+// does not miss.
+func (c *Cluster) onNodeState(name string, s replica.State) {
+	n, ok := c.currentNode(name)
+	if !ok {
+		return
+	}
+	if s == replica.Alive {
+		go c.rejoin(n)
+		return
+	}
+	n.state.Store(int32(s))
+}
+
+// rejoin replays a recovered node's hint queue, then resumes routing to
+// it, then drains once more to catch hints logged during the replay.
+// The CAS keeps overlapping alive transitions from replaying twice.
+// Hints logged in the instant between a writer observing the node down
+// and the final drain completing wait for the next transition or
+// read-repair — the bounded-staleness window DESIGN.md §9 documents.
+func (c *Cluster) rejoin(n *node) {
+	if !n.replaying.CompareAndSwap(false, true) {
+		return
+	}
+	defer n.replaying.Store(false)
+	if !c.replayHints(n) {
+		return // died again mid-replay; stay routed-around
+	}
+	n.state.Store(int32(replica.Alive))
+	c.replayHints(n)
+}
+
+// replayHints streams node's queued hints back at it in bounded
+// pipelined batches, oldest first, skipping hints whose TTL lapsed while
+// queued. On a mid-replay failure the batch is requeued (replaying a
+// hint twice is harmless — it rewrites the same value) and false is
+// returned.
+func (c *Cluster) replayHints(n *node) bool {
+	for {
+		batch := c.rep.hints.Take(n.name, c.cfg.MigrateWindow)
+		if len(batch) == 0 {
+			return true
+		}
+		now := time.Now()
+		m := &migrator{ctx: context.Background(), window: c.cfg.MigrateWindow}
+		for _, h := range batch {
+			if h.Expired(now) {
+				continue
+			}
+			switch {
+			case h.Delete:
+				m.push(n.pipe.DeleteAsync(h.Key))
+			case h.Expire.IsZero():
+				m.push(n.pipe.PutAsync(h.Key, h.Value))
+			default:
+				m.push(n.pipe.PutTTLAsync(h.Key, h.Value, time.Until(h.Expire)))
+			}
+		}
+		m.flush()
+		if m.err != nil {
+			c.rep.hints.Requeue(n.name, batch)
+			return false
+		}
+		c.rep.handoffs.Add(uint64(len(batch)))
+	}
+}
+
+// addHint logs a missed write for a down (or just-failed) replica. Key
+// and value are copied: the caller's buffers go back to its pool.
+func (c *Cluster) addHint(name string, key, value []byte, ttl time.Duration, del bool) {
+	h := replica.Hint{Key: append([]byte(nil), key...), Delete: del}
+	if !del {
+		h.Value = append([]byte(nil), value...)
+	}
+	if ttl > 0 {
+		h.Expire = time.Now().Add(ttl)
+	}
+	c.rep.hints.Add(name, h)
+}
+
+// repWrite drives one replicated PUT or DELETE, rerouting through a
+// fresh ring snapshot when the write lands on a concurrently-retired
+// node.
+func (c *Cluster) repWrite(ctx context.Context, key, value []byte, ttl time.Duration, del bool) error {
+	sc := getScratch()
+	defer putScratch(sc)
+	var err error
+	for attempt := 0; ; attempt++ {
+		var reroute bool
+		err, reroute = c.repWriteOnce(ctx, key, value, ttl, del, sc)
+		if reroute && attempt < maxReroute {
+			continue
+		}
+		return err
+	}
+}
+
+// repWriteOnce submits the write to every live replica of key, hints the
+// down ones, and applies the quorum-or-owner ack rule. reroute reports
+// that the shortfall was a retired node (topology changed under the
+// write) and the caller should re-resolve and try again.
+func (c *Cluster) repWriteOnce(ctx context.Context, key, value []byte, ttl time.Duration, del bool, sc *repScratch) (err error, reroute bool) {
+	if err := c.replicaSet(key, sc); err != nil {
+		return err, false
+	}
+	// Split live from down: compact the live nodes to the front of the
+	// scratch slice in set order (owner first) and hint the rest. A
+	// fully-down replica set still gets a grace attempt at the owner —
+	// the detector can be wrong (startup flap), and shedding the write
+	// without trying would turn a false positive into data loss.
+	nodes := sc.nodes
+	owner := nodes[0]
+	liveNodes := nodes[:0]
+	for _, n := range nodes {
+		if n.alive() {
+			liveNodes = append(liveNodes, n)
+		} else {
+			c.addHint(n.name, key, value, ttl, del)
+		}
+	}
+	grace := false
+	if len(liveNodes) == 0 {
+		liveNodes = append(liveNodes, owner)
+		grace = true
+	}
+	need := c.rep.quorumNeed(len(liveNodes))
+	if grace {
+		need = 1
+	}
+
+	sc.calls = sc.calls[:0]
+	for _, n := range liveNodes {
+		var call *client.Call
+		switch {
+		case del:
+			call = n.pipe.DeleteAsync(key)
+		case ttl > 0:
+			call = n.pipe.PutTTLAsync(key, value, ttl)
+		default:
+			call = n.pipe.PutAsync(key, value)
+		}
+		sc.calls = append(sc.calls, call)
+	}
+	acks, found := 0, 0
+	var firstErr error
+	start := time.Now()
+	for i, call := range sc.calls {
+		n := liveNodes[i]
+		_, cerr := call.Wait(ctx)
+		n.observe(call.DoneAt().Sub(start))
+		if cerr == nil {
+			acks++
+			found++
+			continue
+		}
+		// A DELETE answered NotFound is an ack: the replica already
+		// lacks the key, which is the state the delete wants.
+		if del && errors.Is(cerr, apierr.ErrNotFound) {
+			acks++
+			continue
+		}
+		if firstErr == nil {
+			firstErr = cerr
+		}
+		if c.retryable(n, cerr) {
+			reroute = true
+		}
+		// The replica was believed live and still missed the write: hint
+		// it so hand-off replays the write if it went down, and rely on
+		// the detector to reroute future traffic.
+		if !grace {
+			c.addHint(n.name, key, value, ttl, del)
+		}
+	}
+	if acks >= need {
+		// Deleting a key no replica held keeps the single-node
+		// semantics: the caller learns the key was not there.
+		if del && found == 0 {
+			return apierr.ErrNotFound, false
+		}
+		return nil, false
+	}
+	if firstErr == nil {
+		firstErr = ErrNoNodes
+	}
+	return firstErr, reroute
+}
+
+// hedgeDelay returns the cached adaptive hedge delay, refreshing it from
+// the live nodes' latency histograms at most once per Refresh period.
+func (c *Cluster) hedgeDelay() time.Duration {
+	rs := c.rep
+	now := time.Now().UnixNano()
+	next := rs.refreshAt.Load()
+	if now >= next && rs.refreshAt.CompareAndSwap(next, now+int64(rs.hedge.Refresh)) {
+		c.refreshHedgeDelay()
+	}
+	return time.Duration(rs.delayNs.Load())
+}
+
+// refreshHedgeDelay recomputes the cached delay: the median across live
+// nodes of each node's hedge-quantile latency (see replica.HedgePolicy
+// for why the median).
+func (c *Cluster) refreshHedgeDelay() {
+	rs := c.rep
+	c.mu.RLock()
+	qs := make([]int64, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !n.alive() {
+			continue
+		}
+		n.latMu.Lock()
+		q := n.lat.Quantile(rs.hedge.Quantile)
+		n.latMu.Unlock()
+		qs = append(qs, q)
+	}
+	c.mu.RUnlock()
+	rs.delayNs.Store(int64(rs.hedge.Delay(qs)))
+}
+
+// transportFailure reports an error that says nothing about the key and
+// everything about the path: worth asking another replica. A miss
+// (NotFound/Evicted) is an answer, not a failure.
+func transportFailure(err error) bool {
+	return err != nil && !errors.Is(err, apierr.ErrNotFound)
+}
+
+// repGet serves one replicated GET: hedged read against the first two
+// live replicas, then serial failover across the rest on transport
+// failure, with read-repair hinting the value back at the replica that
+// failed to answer.
+func (c *Cluster) repGet(ctx context.Context, key []byte) ([]byte, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := c.replicaSet(key, sc); err != nil {
+		return nil, err
+	}
+	prim, sec := c.pickReadReplicas(sc.nodes)
+	v, rttl, err, winner := c.hedgedGet(ctx, key, prim, sec, sc)
+	if !transportFailure(err) {
+		return v, err
+	}
+	// Failover walk: every replica not yet asked, in set order.
+	for _, n := range sc.nodes {
+		if n == winner || !n.alive() {
+			continue
+		}
+		c.rep.failovers.Add(1)
+		fv, fttl, ferr := c.plainGet(ctx, key, n)
+		if !transportFailure(ferr) {
+			if ferr == nil {
+				// Read-repair: the failed replica may have missed this
+				// write; hand it the value with the life it has left.
+				c.addHint(winner.name, key, fv, fttl, false)
+			}
+			return fv, ferr
+		}
+		err = ferr
+	}
+	_ = rttl
+	return nil, err
+}
+
+// pickReadReplicas chooses the primary (first live replica, set order —
+// the owner whenever the owner is healthy) and the hedge secondary (next
+// live replica). A fully-down set falls back to the owner.
+func (c *Cluster) pickReadReplicas(nodes []*node) (prim, sec *node) {
+	for _, n := range nodes {
+		if !n.alive() {
+			continue
+		}
+		if prim == nil {
+			prim = n
+		} else {
+			sec = n
+			break
+		}
+	}
+	if prim == nil {
+		prim = nodes[0]
+	}
+	return prim, sec
+}
+
+// plainGet is one un-hedged pooled GET against a specific node.
+func (c *Cluster) plainGet(ctx context.Context, key []byte, n *node) ([]byte, time.Duration, error) {
+	start := time.Now()
+	call := n.pipe.GetCall(ctx, key)
+	<-call.Done()
+	n.observe(call.DoneAt().Sub(start))
+	v, err := call.Result()
+	rttl := call.ReplyTTL()
+	n.pipe.ReleaseCall(call)
+	return v, rttl, err
+}
+
+// hedgedGet races the primary against a delayed duplicate on the
+// secondary: submit to the primary, wait the adaptive delay, and if the
+// primary has not answered, duplicate the GET to the secondary and take
+// the first *useful* response — a secondary miss or error does not
+// overrule the primary (the primary is the owner; during hand-off
+// replay the secondary can be legitimately behind), it just means
+// waiting the primary out. The loser is cancelled so its window slot
+// frees immediately. winner is the node whose answer was returned.
+func (c *Cluster) hedgedGet(ctx context.Context, key []byte, prim, sec *node, sc *repScratch) (v []byte, rttl time.Duration, err error, winner *node) {
+	start := time.Now()
+	cp := prim.pipe.GetCall(ctx, key)
+	if sec == nil || !c.rep.hedgeOn {
+		<-cp.Done()
+		prim.observe(cp.DoneAt().Sub(start))
+		v, err = cp.Result()
+		rttl = cp.ReplyTTL()
+		prim.pipe.ReleaseCall(cp)
+		return v, rttl, err, prim
+	}
+	t := sc.armTimer(c.hedgeDelay())
+	select {
+	case <-cp.Done():
+		t.Stop()
+		prim.observe(cp.DoneAt().Sub(start))
+		v, err = cp.Result()
+		rttl = cp.ReplyTTL()
+		prim.pipe.ReleaseCall(cp)
+		return v, rttl, err, prim
+	case <-t.C:
+	}
+	c.rep.hedged.Add(1)
+	hst := time.Now()
+	cs := sec.pipe.GetCall(ctx, key)
+	select {
+	case <-cp.Done():
+		prim.observe(cp.DoneAt().Sub(start))
+		v, err = cp.Result()
+		rttl = cp.ReplyTTL()
+		prim.pipe.ReleaseCall(cp)
+		sec.pipe.CancelCall(cs)
+		<-cs.Done()
+		sec.pipe.ReleaseCall(cs)
+		return v, rttl, err, prim
+	case <-cs.Done():
+		sv, serr := cs.Result()
+		if serr != nil {
+			// Secondary answered first but unhelpfully: wait the primary
+			// out and return its verdict.
+			sec.pipe.ReleaseCall(cs)
+			<-cp.Done()
+			prim.observe(cp.DoneAt().Sub(start))
+			v, err = cp.Result()
+			rttl = cp.ReplyTTL()
+			prim.pipe.ReleaseCall(cp)
+			return v, rttl, err, prim
+		}
+		c.rep.hedgeWins.Add(1)
+		// The duplicate's latency runs from its own submit instant — the
+		// hedge delay it waited behind is the primary's fault, not the
+		// secondary's, and must not inflate the adaptive delay.
+		sec.observe(cs.DoneAt().Sub(hst))
+		rttl = cs.ReplyTTL()
+		sec.pipe.ReleaseCall(cs)
+		prim.pipe.CancelCall(cp)
+		<-cp.Done()
+		prim.pipe.ReleaseCall(cp)
+		return sv, rttl, nil, sec
+	}
+}
+
+// repMultiGet is the replicated fan-out: every key's GET is submitted to
+// its primary replica up front (full pipelining), then the replies are
+// hedged and collected in order — each key's hedge clock runs from its
+// own submit instant, so a key whose primary answered while earlier keys
+// were being collected pays no delay at all. Per-key failover matches
+// repGet. Misses leave values[i] nil; err is the first non-miss failure.
+func (c *Cluster) repMultiGet(ctx context.Context, keys [][]byte) (values [][]byte, err error) {
+	values = make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return values, nil
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	type pend struct {
+		call      *client.Call
+		prim, sec *node
+		submitted time.Time
+	}
+	pends := make([]pend, len(keys))
+	for i, key := range keys {
+		if rerr := c.replicaSet(key, sc); rerr != nil {
+			// Fail the remaining keys uniformly; earlier submits are
+			// still collected below.
+			for j := i; j < len(keys); j++ {
+				pends[j] = pend{}
+			}
+			if err == nil {
+				err = rerr
+			}
+			break
+		}
+		prim, sec := c.pickReadReplicas(sc.nodes)
+		pends[i] = pend{call: prim.pipe.GetCall(ctx, keys[i]), prim: prim, sec: sec, submitted: time.Now()}
+	}
+	delay := time.Duration(0)
+	if c.rep.hedgeOn {
+		delay = c.hedgeDelay()
+	}
+	for i := range pends {
+		p := &pends[i]
+		if p.call == nil {
+			continue
+		}
+		v, cerr := c.collectHedged(ctx, keys[i], p.call, p.prim, p.sec, p.submitted, delay, sc)
+		if transportFailure(cerr) {
+			c.rep.failovers.Add(1)
+			// One failover attempt per key keeps the batch's tail
+			// bounded; single-key Get walks the whole set.
+			if p.sec != nil {
+				fv, fttl, ferr := c.plainGet(ctx, keys[i], p.sec)
+				if ferr == nil {
+					c.addHint(p.prim.name, keys[i], fv, fttl, false)
+				}
+				v, cerr = fv, ferr
+			}
+		}
+		values[i] = v
+		if cerr != nil && err == nil && !errors.Is(cerr, apierr.ErrNotFound) {
+			err = cerr
+		}
+	}
+	return values, err
+}
+
+// collectHedged finishes one already-submitted primary GET with the
+// hedging rules of hedgedGet, the delay measured from the submit
+// instant.
+func (c *Cluster) collectHedged(ctx context.Context, key []byte, cp *client.Call, prim, sec *node, submitted time.Time, delay time.Duration, sc *repScratch) ([]byte, error) {
+	if sec == nil || delay <= 0 {
+		<-cp.Done()
+		prim.observe(cp.DoneAt().Sub(submitted))
+		v, err := cp.Result()
+		prim.pipe.ReleaseCall(cp)
+		return v, err
+	}
+	remaining := delay - time.Since(submitted)
+	if remaining > 0 {
+		t := sc.armTimer(remaining)
+		select {
+		case <-cp.Done():
+			t.Stop()
+			prim.observe(cp.DoneAt().Sub(submitted))
+			v, err := cp.Result()
+			prim.pipe.ReleaseCall(cp)
+			return v, err
+		case <-t.C:
+		}
+	} else {
+		select {
+		case <-cp.Done():
+			prim.observe(cp.DoneAt().Sub(submitted))
+			v, err := cp.Result()
+			prim.pipe.ReleaseCall(cp)
+			return v, err
+		default:
+		}
+	}
+	c.rep.hedged.Add(1)
+	hst := time.Now()
+	cs := sec.pipe.GetCall(ctx, key)
+	select {
+	case <-cp.Done():
+		prim.observe(cp.DoneAt().Sub(submitted))
+		v, err := cp.Result()
+		prim.pipe.ReleaseCall(cp)
+		sec.pipe.CancelCall(cs)
+		<-cs.Done()
+		sec.pipe.ReleaseCall(cs)
+		return v, err
+	case <-cs.Done():
+		sv, serr := cs.Result()
+		if serr != nil {
+			sec.pipe.ReleaseCall(cs)
+			<-cp.Done()
+			prim.observe(cp.DoneAt().Sub(submitted))
+			v, err := cp.Result()
+			prim.pipe.ReleaseCall(cp)
+			return v, err
+		}
+		c.rep.hedgeWins.Add(1)
+		// From the duplicate's own submit instant; see hedgedGet.
+		sec.observe(cs.DoneAt().Sub(hst))
+		sec.pipe.ReleaseCall(cs)
+		prim.pipe.CancelCall(cp)
+		<-cp.Done()
+		prim.pipe.ReleaseCall(cp)
+		return sv, nil
+	}
+}

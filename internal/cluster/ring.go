@@ -138,31 +138,44 @@ func (r *Ring) Lookup(h uint64) string {
 }
 
 // LookupN returns up to n distinct nodes for a circle position, walking
-// clockwise — the replica set of h. With replicas-per-key fixed at 1 the
-// cluster uses only the first entry, but the walk is the whole of what a
-// replicated ring needs, so it is implemented and tested now.
+// clockwise — the replica set of h. The first entry is the owner; the
+// rest are the successors that hold the key's replicas.
 func (r *Ring) LookupN(h uint64, n int) []string {
+	return r.AppendReplicas(nil, h, n)
+}
+
+// AppendReplicas appends the replica set of h — up to n distinct nodes,
+// owner first, walking clockwise — to dst and returns it. It is the
+// allocation-free form of LookupN for the read hot path: callers pass a
+// pooled dst with spare capacity and a small n, and the linear dedupe
+// scan (replica sets are 2–3 nodes in practice) does no map work.
+func (r *Ring) AppendReplicas(dst []string, h uint64, n int) []string {
 	if n <= 0 {
-		return nil
+		return dst
 	}
 	start, ok := r.successor(h)
 	if !ok {
-		return nil
+		return dst
 	}
 	if n > len(r.names) {
 		n = len(r.names)
 	}
-	out := make([]string, 0, n)
-	seen := make(map[int32]bool, n)
-	for i := 0; len(out) < n; i++ {
+	base := len(dst)
+	for i := 0; len(dst)-base < n; i++ {
 		p := r.points[(start+i)%len(r.points)]
-		if seen[p.node] {
-			continue
+		name := r.names[p.node]
+		dup := false
+		for _, have := range dst[base:] {
+			if have == name {
+				dup = true
+				break
+			}
 		}
-		seen[p.node] = true
-		out = append(out, r.names[p.node])
+		if !dup {
+			dst = append(dst, name)
+		}
 	}
-	return out
+	return dst
 }
 
 // successor returns the index of the first point with hash >= h, wrapping

@@ -195,3 +195,117 @@ func TestRingWithWithout(t *testing.T) {
 		t.Fatal("Without(absent) succeeded")
 	}
 }
+
+// TestRingLookupNUniqueAcrossVNodes drives the replica walk at every
+// vnode boundary of a multi-node ring: starting exactly on a point, just
+// after one, and between points, the walk must always yield distinct
+// physical nodes even though consecutive circle points frequently belong
+// to the same node (each contributes many vnodes).
+func TestRingLookupNUniqueAcrossVNodes(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	r := mustRing(t, names, 64, 42)
+	starts := make([]uint64, 0, 3*len(r.points))
+	for _, p := range r.points {
+		starts = append(starts, p.hash, p.hash+1, p.hash-1)
+	}
+	for _, h := range starts {
+		for n := 1; n <= len(names); n++ {
+			got := r.LookupN(h, n)
+			if len(got) != n {
+				t.Fatalf("LookupN(%d, %d) returned %d nodes", h, n, len(got))
+			}
+			seen := map[string]bool{}
+			for _, name := range got {
+				if seen[name] {
+					t.Fatalf("LookupN(%d, %d) = %v: duplicate %q", h, n, got, name)
+				}
+				seen[name] = true
+			}
+			if got[0] != r.Lookup(h) {
+				t.Fatalf("LookupN(%d) owner %q != Lookup %q", h, got[0], r.Lookup(h))
+			}
+		}
+	}
+}
+
+// TestRingLookupNWrapAround starts the walk past the highest point on
+// the circle, where the successor search wraps to index 0: the replica
+// set must match a walk started at the bottom of the circle.
+func TestRingLookupNWrapAround(t *testing.T) {
+	r := mustRing(t, []string{"a", "b", "c"}, 32, 9)
+	top := r.points[len(r.points)-1].hash
+	if top == ^uint64(0) {
+		t.Skip("top point at circle max; wrap start position does not exist")
+	}
+	wrapped := r.LookupN(top+1, 3)
+	fromZero := r.LookupN(0, 3)
+	if len(wrapped) != 3 || len(fromZero) != 3 {
+		t.Fatalf("walks returned %v / %v, want 3 nodes each", wrapped, fromZero)
+	}
+	for i := range wrapped {
+		if wrapped[i] != fromZero[i] {
+			t.Fatalf("wrap-around walk %v != from-zero walk %v", wrapped, fromZero)
+		}
+	}
+	// And the owner past the top is the owner of the first point.
+	if wrapped[0] != r.names[r.points[0].node] {
+		t.Fatalf("owner past top = %q, want first point's owner %q", wrapped[0], r.names[r.points[0].node])
+	}
+}
+
+// TestRingLookupNDegraded asks for more replicas than the ring has
+// nodes: the walk caps at the node count instead of spinning.
+func TestRingLookupNDegraded(t *testing.T) {
+	r := mustRing(t, []string{"x", "y"}, 16, 3)
+	for _, n := range []int{2, 3, 8, 1000} {
+		got := r.LookupN(77777, n)
+		want := 2
+		if n < want {
+			want = n
+		}
+		if len(got) != want {
+			t.Fatalf("LookupN(n=%d) on 2-node ring = %v, want %d nodes", n, got, want)
+		}
+	}
+	if got := r.LookupN(1, 0); got != nil {
+		t.Fatalf("LookupN(n=0) = %v, want nil", got)
+	}
+	if got := r.LookupN(1, -3); got != nil {
+		t.Fatalf("LookupN(n=-3) = %v, want nil", got)
+	}
+}
+
+// TestRingAppendReplicas pins the allocation-free variant to LookupN:
+// identical results, reuse of the destination's backing array, and
+// appending after existing elements without disturbing them.
+func TestRingAppendReplicas(t *testing.T) {
+	r := mustRing(t, []string{"a", "b", "c", "d", "e"}, 32, 11)
+	dst := make([]string, 0, 8)
+	for i := 0; i < 2000; i++ {
+		h := KeyPoint(kv.KeyForID(uint64(i)))
+		want := r.LookupN(h, 3)
+		dst = r.AppendReplicas(dst[:0], h, 3)
+		if len(dst) != len(want) {
+			t.Fatalf("AppendReplicas len %d != LookupN len %d", len(dst), len(want))
+		}
+		for j := range dst {
+			if dst[j] != want[j] {
+				t.Fatalf("AppendReplicas(%d) = %v, LookupN = %v", h, dst, want)
+			}
+		}
+	}
+	// Appending to a prefix keeps the prefix and dedupes only among the
+	// newly appended replicas.
+	pre := []string{"keep-me"}
+	out := r.AppendReplicas(pre, 12345, 2)
+	if out[0] != "keep-me" || len(out) != 3 {
+		t.Fatalf("AppendReplicas onto prefix = %v", out)
+	}
+	// Steady state must not allocate: the whole point of the variant.
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = r.AppendReplicas(dst[:0], 987654321, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendReplicas allocates %v per run, want 0", allocs)
+	}
+}

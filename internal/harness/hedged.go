@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/cluster"
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/server"
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// This file is the hedged-read experiment: the fan-out tail of the
+// cluster sweep, but with one replica degraded and R=2 replication in
+// place. The tail-at-scale observation says a single slow node owns the
+// fan-out p99 (every K-key batch touches it); request hedging says a
+// duplicate read to the other replica, fired once the request is slower
+// than the healthy fleet's p95, buys that tail back for a few percent of
+// duplicate traffic. HedgeTail measures exactly that claim: the same
+// degraded 8-node fleet, hedged vs unhedged, p99 side by side with how
+// many hedges fired and how many won.
+
+// HedgeTailRow is one (mode) measurement over the degraded fleet.
+type HedgeTailRow struct {
+	// Hedging reports whether hedged reads were enabled for this run.
+	Hedging bool
+	// Offered and Achieved are fan-out requests (not keys) per second.
+	Offered, Achieved float64
+	// Fan-out request latency in nanoseconds from scheduled arrival.
+	P50, P99, P999 int64
+	// MaxNodeP99 is the worst per-node p99 (ns): the degraded node's,
+	// unless hedging kept traffic off waiting for it.
+	MaxNodeP99 int64
+	// Hedged/HedgeWins count duplicate reads launched and won.
+	Hedged, HedgeWins uint64
+	// Loss is the fraction of fan-out requests with at least one failed
+	// GET.
+	Loss float64
+}
+
+// HedgeTailResult holds the hedged-read experiment.
+type HedgeTailResult struct {
+	Nodes    int
+	Fanout   int
+	Replicas int
+	// DegradedRTT is the emulated round trip injected at the slow node.
+	DegradedRTT time.Duration
+	Rows        []HedgeTailRow
+}
+
+// hedgeTail geometry: the 8-node fleet of the cluster sweep, R=2, one
+// node degraded with a 100ms emulated RTT — the magnitude of a GC pause
+// or a disk stall, three orders above the healthy fabric's sub-100µs
+// round trips, and the "limping but alive" regime failure detectors
+// cannot help with (100ms sits far under the probe timeout, so the node
+// stays Alive and keeps taking traffic).
+const (
+	hedgeNodes       = 8
+	hedgeReplicas    = 2
+	hedgeDegradedRTT = 100 * time.Millisecond
+	// hedgeMaxDelay caps the adaptive hedge delay well below the
+	// degradation being masked: the delay tracks the healthy fleet's
+	// p95, but on a contended host that estimate can wander, and a
+	// delay that drifts toward the degraded RTT hedges too late to
+	// matter. An explicit budget is what a production deployment would
+	// configure too.
+	hedgeMaxDelay = 2 * time.Millisecond
+)
+
+// hedgeParams returns the offered fan-out rate and measured duration.
+// The rate sits well below the cluster sweep's: the point is the
+// degraded replica's round trip, and an offered load near the host's
+// saturation would bury that signal under client backlog.
+func (o Options) hedgeParams() (rate float64, dur time.Duration) {
+	if o.Scale == Full {
+		return 500, 2 * time.Second
+	}
+	return 800, 300 * time.Millisecond
+}
+
+// hedgeWarmup returns the pre-degradation warm phase: long enough to
+// fill every node's latency histogram so the adaptive hedge delay
+// reflects a healthy fleet.
+func (o Options) hedgeWarmup() time.Duration {
+	if o.Scale == Full {
+		return 500 * time.Millisecond
+	}
+	return 150 * time.Millisecond
+}
+
+// runHedgeTail measures one mode (hedged or not) on a fresh fleet with
+// node 0 degraded after warm-up.
+func runHedgeTail(hedging bool, o Options) (HedgeTailRow, error) {
+	rate, dur := o.hedgeParams()
+	row := HedgeTailRow{Hedging: hedging, Offered: rate}
+
+	fc := nic.NewFabricCluster(hedgeNodes, clusterCoresPerNode)
+	stores := make(map[string]*kv.Store, hedgeNodes)
+	configs := make([]cluster.NodeConfig, hedgeNodes)
+	for i := 0; i < hedgeNodes; i++ {
+		srv, err := server.New(server.Config{
+			Design: server.Minos,
+			Cores:  clusterCoresPerNode,
+			Epoch:  100 * time.Millisecond,
+		}, fc.Node(i).Server())
+		if err != nil {
+			return row, err
+		}
+		name := clusterNodeName(i)
+		stores[name] = srv.Store()
+		configs[i] = cluster.NodeConfig{
+			Name: name,
+			Pipe: client.NewPipeline(fc.Node(i).NewClient(), clusterCoresPerNode, client.PipelineConfig{
+				Window: 256,
+				Seed:   o.seed() + int64(i),
+			}),
+		}
+		srv.Start()
+		defer srv.Stop()
+	}
+	cl, err := cluster.New(cluster.Config{
+		Seed:     uint64(o.seed()),
+		Replicas: hedgeReplicas,
+		Hedge:    cluster.HedgeConfig{Disabled: !hedging, Max: hedgeMaxDelay},
+	}, configs)
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+
+	// Preload every key into its whole replica set, directly into the
+	// stores — the steady state after R-way writes, without paying for
+	// them on the wire.
+	prof := clusterProfile(o.seed())
+	cat := workload.NewCatalog(prof)
+	ring := cl.Ring()
+	filler := make([]byte, prof.MaxLargeSize)
+	var keyBuf []byte
+	var replicas []string
+	for id := 0; id < cat.NumKeys(); id++ {
+		keyBuf = kv.AppendKeyForID(keyBuf[:0], uint64(id))
+		replicas = ring.AppendReplicas(replicas[:0], cluster.KeyPoint(keyBuf), hedgeReplicas)
+		for _, name := range replicas {
+			stores[name].Put(keyBuf, filler[:cat.Size(uint64(id))])
+		}
+	}
+
+	gen := workload.NewGenerator(cat, o.seed()+17)
+	arr := workload.NewArrivals(rate, o.seed()+29)
+	lat := stats.NewLatencyHistogram()
+	var latMu sync.Mutex
+	var wg sync.WaitGroup
+	var sent, failed int64
+	sem := make(chan struct{}, 1024)
+	ctx := context.Background()
+
+	// The load loop runs twice: a warm phase against a healthy fleet
+	// (discarded) to seed the latency histograms, then the measured
+	// phase with node 0 limping.
+	run := func(dur time.Duration, record bool) {
+		start := time.Now()
+		next := start
+		for time.Since(start) < dur {
+			next = next.Add(arr.ExpGap())
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+			}
+			keys := make([][]byte, clusterFanout)
+			for i := range keys {
+				keys[i] = kv.KeyForID(gen.Next().Key)
+			}
+			scheduled := next
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := cl.MultiGet(ctx, keys)
+				l := time.Since(scheduled)
+				if record {
+					latMu.Lock()
+					lat.Record(int64(l))
+					if err != nil {
+						failed++
+					}
+					latMu.Unlock()
+				}
+				<-sem
+			}()
+		}
+		wg.Wait()
+	}
+
+	run(o.hedgeWarmup(), false)
+	fc.Node(0).SetRTT(hedgeDegradedRTT)
+	measured := time.Now()
+	run(dur, true)
+	elapsed := time.Since(measured)
+	sent = int64(lat.Count())
+
+	st := cl.Stats()
+	row.Achieved = float64(sent) / elapsed.Seconds()
+	row.P50 = lat.Quantile(0.50)
+	row.P99 = lat.Quantile(0.99)
+	row.P999 = lat.Quantile(0.999)
+	row.MaxNodeP99 = st.MaxNodeP99
+	row.Hedged = st.Hedged
+	row.HedgeWins = st.HedgeWins
+	if sent > 0 {
+		row.Loss = float64(failed) / float64(sent)
+	}
+	return row, nil
+}
+
+// HedgeTail runs the hedged-read experiment: an 8-node R=2 fabric fleet
+// with one replica degraded by an emulated 100ms round trip, measured
+// with hedging off and on. The reproducible signal is the ratio: the
+// unhedged fan-out p99 sits on the degraded node's round trip, the
+// hedged one on the healthy fleet's, for a duplicate-read overhead the
+// Hedged column makes explicit. Run it via minos-bench -fig hedgetail.
+func HedgeTail(o Options) (*HedgeTailResult, error) {
+	r := &HedgeTailResult{
+		Nodes:       hedgeNodes,
+		Fanout:      clusterFanout,
+		Replicas:    hedgeReplicas,
+		DegradedRTT: hedgeDegradedRTT,
+	}
+	for _, hedging := range []bool{false, true} {
+		row, err := runHedgeTail(hedging, o)
+		if err != nil {
+			return nil, err
+		}
+		o.progress("hedging=%-5v p99=%sus node-p99max=%sus hedged=%d wins=%d achieved=%.0f/s",
+			hedging, us(row.P99), us(row.MaxNodeP99), row.Hedged, row.HedgeWins, row.Achieved)
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// Table renders the hedged-read experiment.
+func (r *HedgeTailResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("HedgeTail: fan-out (K=%d) p99 over %d nodes, R=%d, one replica degraded %v",
+			r.Fanout, r.Nodes, r.Replicas, r.DegradedRTT),
+		Headers: []string{"hedging", "offered(/s)", "achieved(/s)",
+			"p50(us)", "p99(us)", "p99.9(us)", "node-p99-max(us)", "hedged", "hedge-wins", "req-loss"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%v", row.Hedging),
+			fmt.Sprintf("%.0f", row.Offered),
+			fmt.Sprintf("%.0f", row.Achieved),
+			us(row.P50),
+			us(row.P99),
+			us(row.P999),
+			us(row.MaxNodeP99),
+			fmt.Sprintf("%d", row.Hedged),
+			fmt.Sprintf("%d", row.HedgeWins),
+			fmt.Sprintf("%.4f", row.Loss),
+		})
+	}
+	return t
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestHedgeTailQuick runs one hedged measurement on the degraded fleet
+// and checks its shape, including that hedges actually fired and won —
+// the unhedged row and the headline ratio are minos-bench -fig hedgetail
+// territory.
+func TestHedgeTailQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live multi-node cluster runs; run without -short")
+	}
+	o := Options{Scale: Quick, Seed: 1}
+	row, err := runHedgeTail(true, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.P99 <= 0 || row.P50 <= 0 || row.P99 < row.P50 {
+		t.Errorf("degenerate latencies p50=%d p99=%d", row.P50, row.P99)
+	}
+	if row.Achieved <= 0 {
+		t.Error("no achieved throughput")
+	}
+	if row.Hedged == 0 {
+		t.Error("no hedged reads fired against a degraded replica")
+	}
+	if row.HedgeWins == 0 {
+		t.Error("no hedged read ever won against a 2ms-degraded primary")
+	}
+}
+
+// TestHedgeTailTable checks the rendering contract the CSV export and
+// minos-bench rely on.
+func TestHedgeTailTable(t *testing.T) {
+	r := &HedgeTailResult{
+		Nodes: 8, Fanout: 8, Replicas: 2, DegradedRTT: hedgeDegradedRTT,
+		Rows: []HedgeTailRow{{
+			Hedging: true, Offered: 1000, Achieved: 990,
+			P50: 10_000, P99: 50_000, P999: 90_000, MaxNodeP99: 45_000,
+			Hedged: 12, HedgeWins: 9,
+		}},
+	}
+	tab := r.Table()
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != len(tab.Headers) {
+		t.Fatalf("table shape: %d rows, %d cells vs %d headers",
+			len(tab.Rows), len(tab.Rows[0]), len(tab.Headers))
+	}
+}

@@ -218,9 +218,16 @@ func (c *fabricClient) Recv(buf []byte, timeout time.Duration) (int, bool) {
 		if frame, ok := c.take(); ok {
 			if frame.due > 0 && time.Now().UnixNano() < frame.due {
 				if time.Unix(0, frame.due).After(deadline) {
-					// Not deliverable before the caller's
-					// deadline: keep it for the next call.
+					// Not deliverable before the caller's deadline: keep
+					// it for the next call, and sleep the deadline out.
+					// Delivery is in-order per mailbox, so no other frame
+					// can mature before this one; returning immediately
+					// instead would turn the caller's poll loop into a
+					// hot spin for the whole emulated RTT.
 					c.stash, c.hasStash = frame, true
+					if wait := time.Until(deadline); wait > 0 {
+						time.Sleep(wait)
+					}
 					return 0, false
 				}
 				// Poll until the emulated delivery instant, as a

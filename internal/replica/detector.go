@@ -1,0 +1,286 @@
+package replica
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a node's health as seen by the failure detector.
+type State int32
+
+const (
+	// Alive is the healthy default: probes answer within the timeout.
+	// It is the zero value, so an unwatched or just-added node routes
+	// normally.
+	Alive State = iota
+	// Suspect means probes have started failing but not for long enough
+	// to declare the node dead: the router stops preferring the node
+	// (reads and required write acks skip it) while the detector keeps
+	// probing at full rate.
+	Suspect
+	// Dead means probes failed past the suspicion budget: the node is
+	// routed around entirely and probed at a backed-off rate until it
+	// answers again.
+	Dead
+)
+
+// String renders the state for logs and tables.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a Detector. Zero fields take defaults.
+type Config struct {
+	// Interval is the per-node probe period while the node is alive or
+	// suspect (default 100ms).
+	Interval time.Duration
+	// Timeout bounds one probe round trip (default 250ms). A probe that
+	// has not answered by then counts as a failure.
+	Timeout time.Duration
+	// SuspectAfter is how many consecutive probe failures move an alive
+	// node to suspect (default 2).
+	SuspectAfter int
+	// DeadAfter is how many further consecutive failures move a suspect
+	// node to dead (default 2) — so a node is declared dead after
+	// SuspectAfter+DeadAfter straight failures.
+	DeadAfter int
+	// MaxBackoff caps the probe back-off for dead nodes (default
+	// 16×Interval). Dead nodes keep being probed — that is how a
+	// rejoining node is noticed — just not at full rate.
+	MaxBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 250 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 16 * c.Interval
+	}
+	return c
+}
+
+// ProbeFunc checks one node's liveness: nil means the node answered, any
+// error means it did not. The context carries the probe timeout; the
+// function must return once it fires.
+type ProbeFunc func(ctx context.Context, node string) error
+
+// member is the per-node detector state.
+type member struct {
+	state    State
+	fails    int           // consecutive probe failures
+	inFlight bool          // a probe for this node is outstanding
+	backoff  time.Duration // current dead-node probe gap
+	next     time.Time     // next probe due
+}
+
+// Detector drives the per-node heartbeat probes and the
+// alive→suspect→dead state machine. Probes run concurrently (one
+// outstanding probe per node at most), so one hung node never delays the
+// detection of another. State changes are delivered through the onChange
+// callback, in order per node.
+type Detector struct {
+	cfg      Config
+	probe    ProbeFunc
+	onChange func(node string, s State)
+
+	mu    sync.Mutex
+	nodes map[string]*member
+
+	start  sync.Once
+	stopMu sync.Once
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewDetector builds a detector over probe; onChange (optional) fires on
+// every state transition, outside the detector's lock and strictly
+// ordered per node. Call Start to begin probing.
+func NewDetector(cfg Config, probe ProbeFunc, onChange func(node string, s State)) *Detector {
+	return &Detector{
+		cfg:      cfg.withDefaults(),
+		probe:    probe,
+		onChange: onChange,
+		nodes:    make(map[string]*member),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Watch adds a node to the probe set, initially alive. Watching a node
+// twice is a no-op.
+func (d *Detector) Watch(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.nodes[node]; !ok {
+		d.nodes[node] = &member{}
+	}
+}
+
+// Forget drops a node from the probe set (topology removal). An
+// outstanding probe for it finishes and is discarded.
+func (d *Detector) Forget(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.nodes, node)
+}
+
+// State returns the node's current state; unwatched nodes report Alive.
+func (d *Detector) State(node string) State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.nodes[node]; ok {
+		return m.state
+	}
+	return Alive
+}
+
+// Counts returns how many watched nodes are suspect and dead.
+func (d *Detector) Counts() (suspect, dead int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range d.nodes {
+		switch m.state {
+		case Suspect:
+			suspect++
+		case Dead:
+			dead++
+		}
+	}
+	return suspect, dead
+}
+
+// Start launches the probe loop. Safe to call once; Close stops it.
+func (d *Detector) Start() {
+	d.start.Do(func() {
+		d.wg.Add(1)
+		go d.loop()
+	})
+}
+
+// Close stops the probe loop and waits for in-flight probes to return
+// (bounded by the probe timeout).
+func (d *Detector) Close() {
+	d.stopMu.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// tickDivisor sets the scheduling granularity relative to the probe
+// interval: ticking a few times per interval keeps due-time jitter small
+// without spinning.
+const tickDivisor = 4
+
+func (d *Detector) loop() {
+	defer d.wg.Done()
+	tick := d.cfg.Interval / tickDivisor
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case now := <-t.C:
+			d.launchDue(now)
+		}
+	}
+}
+
+// launchDue starts one probe goroutine per node whose next probe is due
+// and that has no probe outstanding.
+func (d *Detector) launchDue(now time.Time) {
+	d.mu.Lock()
+	for name, m := range d.nodes {
+		if m.inFlight || now.Before(m.next) {
+			continue
+		}
+		m.inFlight = true
+		d.wg.Add(1)
+		go d.probeOne(name)
+	}
+	d.mu.Unlock()
+}
+
+// probeOne runs a single probe round trip and applies the result to the
+// state machine. The inFlight guard is cleared only after the transition
+// callback returns, so callbacks for one node never reorder.
+func (d *Detector) probeOne(name string) {
+	defer d.wg.Done()
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.Timeout)
+	err := d.probe(ctx, name)
+	cancel()
+
+	d.mu.Lock()
+	m, ok := d.nodes[name]
+	if !ok {
+		d.mu.Unlock()
+		return // forgotten while probing
+	}
+	var changed State
+	fire := false
+	if err == nil {
+		m.fails = 0
+		m.backoff = 0
+		m.next = time.Now().Add(d.cfg.Interval)
+		if m.state != Alive {
+			m.state = Alive
+			changed, fire = Alive, true
+		}
+	} else {
+		m.fails++
+		switch {
+		case m.state == Alive && m.fails >= d.cfg.SuspectAfter:
+			m.state = Suspect
+			changed, fire = Suspect, true
+		case m.state == Suspect && m.fails >= d.cfg.SuspectAfter+d.cfg.DeadAfter:
+			m.state = Dead
+			changed, fire = Dead, true
+		}
+		gap := d.cfg.Interval
+		if m.state == Dead {
+			// Back off probes to a dead node — it is already routed
+			// around, so the only job left is noticing a rejoin.
+			if m.backoff < d.cfg.Interval {
+				m.backoff = d.cfg.Interval
+			} else if m.backoff < d.cfg.MaxBackoff {
+				m.backoff *= 2
+				if m.backoff > d.cfg.MaxBackoff {
+					m.backoff = d.cfg.MaxBackoff
+				}
+			}
+			gap = m.backoff
+		}
+		m.next = time.Now().Add(gap)
+	}
+	d.mu.Unlock()
+
+	if fire && d.onChange != nil {
+		d.onChange(name, changed)
+	}
+
+	d.mu.Lock()
+	if m, ok := d.nodes[name]; ok {
+		m.inFlight = false
+	}
+	d.mu.Unlock()
+}

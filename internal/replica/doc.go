@@ -1,0 +1,12 @@
+// Package replica holds the cluster's partial-failure machinery: a
+// probe-driven failure detector (alive → suspect → dead, with probe
+// timeouts and dead-node backoff), a bounded hinted-hand-off log that
+// remembers the writes a down replica missed, and the adaptive
+// hedge-delay policy that turns per-node latency quantiles into the
+// "duplicate the read if it is slower than p95-ish" delay of
+// tail-tolerant request hedging. The package is mechanism only — it
+// never talks to the network itself; internal/cluster supplies the
+// probe function (a cheap GET round trip) and consumes the state
+// transitions to route requests around dead nodes and to replay hints
+// when a node rejoins.
+package replica

@@ -1,0 +1,95 @@
+package replica
+
+import (
+	"sort"
+	"time"
+)
+
+// Hedge-delay defaults. The quantile is the "p95-ish" of tail-tolerant
+// request hedging: late enough that ~5% of requests duplicate, early
+// enough to rescue the tail.
+const (
+	DefaultHedgeQuantile = 0.95
+	DefaultHedgeMin      = 100 * time.Microsecond
+	DefaultHedgeMax      = 10 * time.Millisecond
+	DefaultHedgeRefresh  = 100 * time.Millisecond
+)
+
+// HedgePolicy turns per-node latency quantiles into the adaptive hedge
+// delay: the median across nodes of each node's q-quantile, clamped to
+// [Min, Max]. The median — not the merged distribution — is what makes
+// the policy robust to the exact failure it exists to mask: one degraded
+// node inflates its own p95 (and the merged p95 once its share of
+// observations passes 1−q), but it cannot move the median of eight
+// nodes, so hedges against it still fire on the healthy fleet's
+// timescale.
+type HedgePolicy struct {
+	// Quantile of each node's latency histogram that feeds the delay
+	// (default 0.95).
+	Quantile float64
+	// Min and Max clamp the delay: Min keeps hedges from firing inside
+	// normal jitter, Max keeps a cold or idle histogram from deferring
+	// them forever.
+	Min, Max time.Duration
+	// Refresh is how often the cached delay is recomputed from the
+	// histograms (default 100ms); the read hot path only loads the
+	// cached value.
+	Refresh time.Duration
+}
+
+// WithDefaults fills zero fields.
+func (p HedgePolicy) WithDefaults() HedgePolicy {
+	if p.Quantile <= 0 || p.Quantile >= 1 {
+		p.Quantile = DefaultHedgeQuantile
+	}
+	if p.Min <= 0 {
+		p.Min = DefaultHedgeMin
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultHedgeMax
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	if p.Refresh <= 0 {
+		p.Refresh = DefaultHedgeRefresh
+	}
+	return p
+}
+
+// Delay computes the hedge delay from the live nodes' latency quantiles
+// in nanoseconds. Non-positive entries (empty histograms) are ignored;
+// with no data at all the delay is Max — no observations means no basis
+// to duplicate work early.
+func (p HedgePolicy) Delay(nodeQuantiles []int64) time.Duration {
+	m := median(nodeQuantiles)
+	if m <= 0 {
+		return p.Max
+	}
+	d := time.Duration(m)
+	if d < p.Min {
+		d = p.Min
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	return d
+}
+
+// median returns the median of the positive entries of xs (reordering
+// xs in place), or 0 if none are positive.
+func median(xs []int64) int64 {
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			xs[n] = x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	xs = xs[:n]
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[n/2]
+}

@@ -1,0 +1,138 @@
+package replica
+
+import (
+	"sync"
+	"time"
+)
+
+// Hint is one write a down replica missed: enough to replay it — with
+// its remaining TTL — once the node answers probes again. Key and Value
+// must be owned by the hint (the cluster copies them out of request
+// buffers before logging).
+type Hint struct {
+	Key, Value []byte
+	// Delete marks a replayed DELETE instead of a PUT.
+	Delete bool
+	// Expire is the absolute expiry deadline; the zero time means the
+	// item never expires. A hint whose deadline passed is dropped at
+	// replay rather than resurrecting a dead item.
+	Expire time.Time
+}
+
+// Expired reports whether the hinted write's TTL has already lapsed.
+func (h Hint) Expired(now time.Time) bool {
+	return !h.Expire.IsZero() && !now.Before(h.Expire)
+}
+
+// DefaultHintLimit bounds the per-node hint queue when the config leaves
+// it zero: enough to ride out a short outage under write load without
+// letting a long-dead node pin unbounded memory.
+const DefaultHintLimit = 4096
+
+// Hints is the hinted-hand-off log: per down node, a bounded FIFO of the
+// writes it missed. When the queue overflows, the oldest hint is dropped
+// and counted — convergence then relies on read-repair and fresh write
+// traffic, which DESIGN.md §9 documents as the (weaker) backstop.
+type Hints struct {
+	mu      sync.Mutex
+	perNode map[string][]Hint
+	limit   int
+	queued  uint64
+	dropped uint64
+}
+
+// NewHints builds a hint log with the given per-node cap (<=0 takes
+// DefaultHintLimit).
+func NewHints(perNodeLimit int) *Hints {
+	if perNodeLimit <= 0 {
+		perNodeLimit = DefaultHintLimit
+	}
+	return &Hints{perNode: make(map[string][]Hint), limit: perNodeLimit}
+}
+
+// Add logs a hint for node, dropping the oldest queued hint if the node's
+// queue is full.
+func (h *Hints) Add(node string, hint Hint) {
+	h.mu.Lock()
+	q := h.perNode[node]
+	if len(q) >= h.limit {
+		copy(q, q[1:])
+		q = q[:len(q)-1]
+		h.dropped++
+	}
+	h.perNode[node] = append(q, hint)
+	h.queued++
+	h.mu.Unlock()
+}
+
+// Take removes and returns up to max queued hints for node, oldest first.
+// An empty return means the queue is drained.
+func (h *Hints) Take(node string, max int) []Hint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	q := h.perNode[node]
+	if len(q) == 0 {
+		return nil
+	}
+	n := len(q)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Hint, n)
+	copy(out, q[:n])
+	rest := q[n:]
+	if len(rest) == 0 {
+		delete(h.perNode, node)
+	} else {
+		h.perNode[node] = append(q[:0], rest...)
+	}
+	return out
+}
+
+// Requeue puts hints back at the head of node's queue (a replay batch
+// that failed because the node died again mid-replay). Hints beyond the
+// cap are dropped and counted.
+func (h *Hints) Requeue(node string, hints []Hint) {
+	if len(hints) == 0 {
+		return
+	}
+	h.mu.Lock()
+	q := h.perNode[node]
+	merged := make([]Hint, 0, len(hints)+len(q))
+	merged = append(merged, hints...)
+	merged = append(merged, q...)
+	if len(merged) > h.limit {
+		h.dropped += uint64(len(merged) - h.limit)
+		merged = merged[:h.limit]
+	}
+	h.perNode[node] = merged
+	h.mu.Unlock()
+}
+
+// Pending returns how many hints are queued for node.
+func (h *Hints) Pending(node string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.perNode[node])
+}
+
+// Forget discards node's queue (topology removal).
+func (h *Hints) Forget(node string) {
+	h.mu.Lock()
+	delete(h.perNode, node)
+	h.mu.Unlock()
+}
+
+// Queued returns the lifetime count of hints logged.
+func (h *Hints) Queued() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.queued
+}
+
+// Dropped returns the lifetime count of hints lost to the per-node cap.
+func (h *Hints) Dropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}

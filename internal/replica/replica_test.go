@@ -1,0 +1,239 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a controllable prober: per-node health toggled by tests,
+// with a call counter for backoff assertions.
+type fakeProbe struct {
+	mu    sync.Mutex
+	down  map[string]bool
+	calls map[string]int
+}
+
+func newFakeProbe() *fakeProbe {
+	return &fakeProbe{down: map[string]bool{}, calls: map[string]int{}}
+}
+
+func (f *fakeProbe) set(node string, down bool) {
+	f.mu.Lock()
+	f.down[node] = down
+	f.mu.Unlock()
+}
+
+func (f *fakeProbe) count(node string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[node]
+}
+
+func (f *fakeProbe) probe(_ context.Context, node string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[node]++
+	if f.down[node] {
+		return errors.New("down")
+	}
+	return nil
+}
+
+// waitState polls until the detector reports want for node, or fails.
+func waitState(t *testing.T, d *Detector, node string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.State(node) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("node %s stuck in %v, want %v", node, d.State(node), want)
+}
+
+func TestDetectorStateMachine(t *testing.T) {
+	fp := newFakeProbe()
+	var mu sync.Mutex
+	var transitions []string
+	d := NewDetector(Config{
+		Interval:     2 * time.Millisecond,
+		Timeout:      10 * time.Millisecond,
+		SuspectAfter: 2,
+		DeadAfter:    2,
+	}, fp.probe, func(node string, s State) {
+		mu.Lock()
+		transitions = append(transitions, fmt.Sprintf("%s:%v", node, s))
+		mu.Unlock()
+	})
+	d.Watch("a")
+	d.Watch("b")
+	d.Start()
+	defer d.Close()
+
+	if got := d.State("a"); got != Alive {
+		t.Fatalf("initial state = %v, want alive", got)
+	}
+
+	// Kill a: alive → suspect → dead, while b stays alive.
+	fp.set("a", true)
+	waitState(t, d, "a", Suspect)
+	waitState(t, d, "a", Dead)
+	if got := d.State("b"); got != Alive {
+		t.Fatalf("healthy node b went %v", got)
+	}
+	if s, dead := d.Counts(); s != 0 || dead != 1 {
+		t.Fatalf("Counts() = (%d suspect, %d dead), want (0, 1)", s, dead)
+	}
+
+	// Revive a: dead → alive on the first successful probe.
+	fp.set("a", false)
+	waitState(t, d, "a", Alive)
+
+	mu.Lock()
+	got := append([]string(nil), transitions...)
+	mu.Unlock()
+	want := []string{"a:suspect", "a:dead", "a:alive"}
+	if len(got) < len(want) {
+		t.Fatalf("transitions = %v, want at least %v", got, want)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, got[i], w, got)
+		}
+	}
+}
+
+func TestDetectorDeadBackoff(t *testing.T) {
+	fp := newFakeProbe()
+	d := NewDetector(Config{
+		Interval:     time.Millisecond,
+		Timeout:      5 * time.Millisecond,
+		SuspectAfter: 1,
+		DeadAfter:    1,
+		MaxBackoff:   50 * time.Millisecond,
+	}, fp.probe, nil)
+	d.Watch("x")
+	fp.set("x", true)
+	d.Start()
+	defer d.Close()
+
+	waitState(t, d, "x", Dead)
+	// Once dead, probes back off: the probe rate over a window must be
+	// far below the full per-interval rate.
+	base := fp.count("x")
+	time.Sleep(60 * time.Millisecond)
+	probes := fp.count("x") - base
+	if probes > 20 { // full rate would be ~60
+		t.Fatalf("dead node probed %d times in 60ms: backoff not applied", probes)
+	}
+}
+
+func TestDetectorForget(t *testing.T) {
+	fp := newFakeProbe()
+	d := NewDetector(Config{Interval: time.Millisecond, SuspectAfter: 1, DeadAfter: 1}, fp.probe, nil)
+	d.Watch("gone")
+	fp.set("gone", true)
+	d.Start()
+	defer d.Close()
+	waitState(t, d, "gone", Dead)
+	d.Forget("gone")
+	if got := d.State("gone"); got != Alive {
+		t.Fatalf("forgotten node reports %v, want alive (unwatched default)", got)
+	}
+	if s, dead := d.Counts(); s != 0 || dead != 0 {
+		t.Fatalf("Counts() after Forget = (%d, %d), want (0, 0)", s, dead)
+	}
+}
+
+func TestHintsBoundedFIFO(t *testing.T) {
+	h := NewHints(3)
+	for i := 0; i < 5; i++ {
+		h.Add("n1", Hint{Key: []byte{byte(i)}})
+	}
+	if got := h.Pending("n1"); got != 3 {
+		t.Fatalf("Pending = %d, want 3 (capped)", got)
+	}
+	if got := h.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	// Oldest dropped: the survivors are 2, 3, 4 in FIFO order.
+	out := h.Take("n1", 10)
+	if len(out) != 3 || out[0].Key[0] != 2 || out[2].Key[0] != 4 {
+		t.Fatalf("Take = %v", out)
+	}
+	if h.Pending("n1") != 0 {
+		t.Fatalf("queue not drained")
+	}
+	if got := h.Queued(); got != 5 {
+		t.Fatalf("Queued = %d, want 5", got)
+	}
+}
+
+func TestHintsTakeBatchAndRequeue(t *testing.T) {
+	h := NewHints(10)
+	for i := 0; i < 5; i++ {
+		h.Add("n", Hint{Key: []byte{byte(i)}})
+	}
+	first := h.Take("n", 2)
+	if len(first) != 2 || first[0].Key[0] != 0 || first[1].Key[0] != 1 {
+		t.Fatalf("Take(2) = %v", first)
+	}
+	h.Requeue("n", first)
+	all := h.Take("n", 0)
+	if len(all) != 5 || all[0].Key[0] != 0 || all[4].Key[0] != 4 {
+		t.Fatalf("after requeue Take = %v", all)
+	}
+}
+
+func TestHintExpired(t *testing.T) {
+	now := time.Now()
+	if (Hint{}).Expired(now) {
+		t.Fatal("immortal hint reported expired")
+	}
+	if !(Hint{Expire: now.Add(-time.Second)}).Expired(now) {
+		t.Fatal("past-deadline hint reported live")
+	}
+	if (Hint{Expire: now.Add(time.Second)}).Expired(now) {
+		t.Fatal("future-deadline hint reported expired")
+	}
+}
+
+func TestHedgePolicyDelay(t *testing.T) {
+	p := HedgePolicy{}.WithDefaults()
+	if p.Quantile != DefaultHedgeQuantile || p.Min != DefaultHedgeMin {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+
+	// Median of healthy nodes, not the outlier: seven fast nodes and one
+	// degraded node must hedge on the fast timescale.
+	qs := []int64{
+		int64(200 * time.Microsecond), int64(210 * time.Microsecond),
+		int64(190 * time.Microsecond), int64(205 * time.Microsecond),
+		int64(195 * time.Microsecond), int64(202 * time.Microsecond),
+		int64(208 * time.Microsecond), int64(5 * time.Millisecond), // degraded
+	}
+	d := p.Delay(qs)
+	if d > time.Millisecond {
+		t.Fatalf("delay %v tracks the degraded outlier, want healthy median", d)
+	}
+
+	// Clamping.
+	if got := p.Delay([]int64{1}); got != p.Min {
+		t.Fatalf("tiny quantile → %v, want Min %v", got, p.Min)
+	}
+	if got := p.Delay([]int64{int64(time.Minute)}); got != p.Max {
+		t.Fatalf("huge quantile → %v, want Max %v", got, p.Max)
+	}
+	// No data: be conservative, hedge late.
+	if got := p.Delay(nil); got != p.Max {
+		t.Fatalf("empty → %v, want Max", got)
+	}
+	if got := p.Delay([]int64{0, -5}); got != p.Max {
+		t.Fatalf("all non-positive → %v, want Max", got)
+	}
+}

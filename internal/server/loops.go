@@ -412,6 +412,7 @@ func (s *Server) serve(c *coreState, src nic.Endpoint, msg *wire.Message) {
 		reply.Op = wire.OpGetReply
 		reply.Status = wire.StatusOK
 		reply.Value = item.Value
+		reply.TTL = remainingTTL(item.Expire, s.store.Clock())
 	case wire.OpPutRequest:
 		reply.Op = wire.OpPutReply
 		if len(msg.Value) > wire.MaxValueSize {
@@ -439,6 +440,28 @@ func (s *Server) serve(c *coreState, src nic.Endpoint, msg *wire.Message) {
 		reply.Status = wire.StatusError
 	}
 	s.transmit(c, src, &reply)
+}
+
+// remainingTTL converts an item's absolute expiry to the reply header's
+// remaining-TTL field: whole milliseconds, rounded up so a live item
+// never reports 0 (which means immortal on the wire), saturating at the
+// field's maximum. Replicating clients use it to read-repair a value
+// onto a recovering replica with the life it has left.
+func remainingTTL(expire, now int64) uint32 {
+	if expire == 0 {
+		return 0
+	}
+	left := expire - now
+	if left <= 0 {
+		// The read raced the expiry sweep and won; report the smallest
+		// non-immortal TTL rather than resurrecting the item forever.
+		return 1
+	}
+	ms := (left + int64(time.Millisecond) - 1) / int64(time.Millisecond)
+	if ms > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(ms)
 }
 
 // missStatus picks the reply status for a GET miss: StatusEvicted when
