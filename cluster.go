@@ -26,6 +26,11 @@ var (
 	// the keys of a node attached without a Server handle: such a node
 	// can receive migrated keys but cannot donate them.
 	ErrNoScan = cluster.ErrNoScan
+
+	// ErrNoTTL reports a TTL query routed to a node attached without a
+	// Server handle: the wire protocol has no TTL operation, so only
+	// locally introspectable nodes can answer one.
+	ErrNoTTL = cluster.ErrNoTTL
 )
 
 // ClusterNode attaches one Minos server to a Cluster: a stable routing
@@ -135,6 +140,10 @@ func WithFailureDetection(interval, timeout time.Duration) ClusterOption {
 type Cluster struct {
 	c       *cluster.Cluster
 	nodeCfg clientConfig
+
+	// fronts aggregates the RESP front ends served with ServeRESP (see
+	// frontend.go).
+	fronts frontSet
 }
 
 // NewCluster builds a cluster client over the given nodes. Each node
@@ -183,9 +192,11 @@ func nodeConfigFor(n ClusterNode, cfg clientConfig) (cluster.NodeConfig, error) 
 		return cluster.NodeConfig{}, errors.New("minos: ClusterNode needs a transport (Fabric.NewClient or NewUDPClient)")
 	}
 	return cluster.NodeConfig{
-		Name: n.Name,
-		Pipe: client.NewPipeline(n.Transport.tr, cfg.queues, cfg.cfg),
-		Scan: scanFor(n.Server),
+		Name:  n.Name,
+		Pipe:  client.NewPipeline(n.Transport.tr, cfg.queues, cfg.cfg),
+		Scan:  scanFor(n.Server),
+		TTL:   ttlFor(n.Server),
+		Count: countFor(n.Server),
 	}, nil
 }
 
@@ -211,10 +222,40 @@ func scanFor(s *Server) cluster.ScanFunc {
 	}
 }
 
+// ttlFor adapts a Server's store into the cluster's point TTL hook.
+func ttlFor(s *Server) cluster.TTLFunc {
+	if s == nil {
+		return nil
+	}
+	store := s.s.Store()
+	return func(key []byte) (time.Duration, bool, bool) {
+		remNs, hasExpiry, ok := store.TTL(key)
+		return time.Duration(remNs), hasExpiry, ok
+	}
+}
+
+// countFor adapts a Server's store into the live item count hook
+// /topology reports.
+func countFor(s *Server) func() int {
+	if s == nil {
+		return nil
+	}
+	store := s.s.Store()
+	return func() int { return store.Len() }
+}
+
 // Get fetches the value for key from the node owning it. A missing key
 // returns ErrNotFound.
 func (c *Cluster) Get(ctx context.Context, key []byte) ([]byte, error) {
 	return c.c.Get(ctx, key)
+}
+
+// TTL reports the remaining time-to-live of key on the node owning it:
+// hasExpiry is false when the key is present but never expires. An
+// absent (or expired) key returns ErrNotFound; a key owned by a node
+// attached without a Server handle returns ErrNoTTL.
+func (c *Cluster) TTL(ctx context.Context, key []byte) (rem time.Duration, hasExpiry bool, err error) {
+	return c.c.TTL(ctx, key)
 }
 
 // Put stores value under key on the node owning it.
@@ -341,25 +382,31 @@ type ClusterStats struct {
 	// NodesSuspect/NodesDead count nodes the failure detector currently
 	// holds in each state.
 	NodesSuspect, NodesDead int
+
+	// UptimeSeconds is the time since the cluster was constructed,
+	// derived from a start stamp taken once in NewCluster (no clock
+	// reads on the data path).
+	UptimeSeconds float64
 }
 
 // Stats snapshots the cluster's counters.
 func (c *Cluster) Stats() ClusterStats {
 	st := c.c.Stats()
 	out := ClusterStats{
-		Ops:          st.Ops,
-		P50:          st.P50,
-		P99:          st.P99,
-		P999:         st.P999,
-		MaxNodeP99:   st.MaxNodeP99,
-		Hedged:       st.Hedged,
-		HedgeWins:    st.HedgeWins,
-		Failovers:    st.Failovers,
-		Handoffs:     st.Handoffs,
-		HintsQueued:  st.HintsQueued,
-		HintsDropped: st.HintsDropped,
-		NodesSuspect: st.NodesSuspect,
-		NodesDead:    st.NodesDead,
+		Ops:           st.Ops,
+		P50:           st.P50,
+		P99:           st.P99,
+		P999:          st.P999,
+		MaxNodeP99:    st.MaxNodeP99,
+		Hedged:        st.Hedged,
+		HedgeWins:     st.HedgeWins,
+		Failovers:     st.Failovers,
+		Handoffs:      st.Handoffs,
+		HintsQueued:   st.HintsQueued,
+		HintsDropped:  st.HintsDropped,
+		NodesSuspect:  st.NodesSuspect,
+		NodesDead:     st.NodesDead,
+		UptimeSeconds: st.UptimeSeconds,
 	}
 	for _, n := range st.Nodes {
 		out.Nodes = append(out.Nodes, ClusterNodeStats{

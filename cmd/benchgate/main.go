@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	benchgate -baseline bench/ -current BENCH_current.json [-match 'LiveGet|LivePut|Wire'] [-threshold 15]
+//	benchgate -baseline bench/ -current BENCH_current.json [-match 'LiveGet|LivePut|Wire|RESP'] [-threshold 15]
 //
 // -baseline may name a report file or a directory holding exactly one
 // BENCH_*.json (the repo convention: the blessed baseline is the only
@@ -24,7 +24,7 @@
 //
 // Blessing a new baseline after an intentional change:
 //
-//	go test -run=NONE -bench 'BenchmarkLive(Get|Put)|BenchmarkWire' -benchmem -benchtime 2000x . ./internal/wire/ \
+//	go test -run=NONE -bench 'BenchmarkLive(Get|Put)|BenchmarkWire|BenchmarkRESP' -benchmem -benchtime 2000x . ./internal/wire/ \
 //	  | go run ./cmd/benchjson -sha $(git rev-parse HEAD) > bench/BENCH_$(git rev-parse HEAD).json
 //	git rm bench/BENCH_<old-sha>.json && git add bench/BENCH_$(git rev-parse HEAD).json
 package main
@@ -133,7 +133,7 @@ func load(path string) (Report, error) {
 func main() {
 	baselinePath := flag.String("baseline", "bench", "blessed baseline report (file, or directory with one BENCH_*.json)")
 	currentPath := flag.String("current", "", "benchjson report for the current commit")
-	matchExpr := flag.String("match", "LiveGet|LivePut|Wire", "regexp selecting gated (datapath) benchmarks")
+	matchExpr := flag.String("match", "LiveGet|LivePut|Wire|RESP", "regexp selecting gated (datapath) benchmarks")
 	threshold := flag.Float64("threshold", 15, "allowed ns/op regression in percent (same-CPU runs only)")
 	flag.Parse()
 

@@ -21,14 +21,24 @@
 // server is stopped cold at half time: the failure detector marks it
 // dead, reads fail over, writes queue hints, and the final report shows
 // the replication counters alongside the latency distribution.
+//
+// With -resp the cluster answers a RESP2 subset on the given TCP address
+// (redis-cli against the whole fleet: commands route through the ring,
+// replication and hedging included). With -ops it serves the HTTP admin
+// plane — /metrics, /topology, /healthz, and POST /nodes, which
+// provisions a fresh fabric node and joins it live. When either flag is
+// set the command keeps serving after the load report until interrupted.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	minos "github.com/minoskv/minos"
@@ -49,6 +59,8 @@ func main() {
 	noHedge := flag.Bool("nohedge", false, "disable hedged reads (with -replicas >= 2)")
 	kill := flag.Bool("kill", false, "kill one node mid-run (requires -replicas >= 2)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	respAddr := flag.String("resp", "", "TCP address for the RESP front end (e.g. :6379; empty = off)")
+	opsAddr := flag.String("ops", "", "TCP address for the HTTP admin/metrics plane (e.g. :9100; empty = off)")
 	flag.Parse()
 
 	d, err := minos.ParseDesign(*design)
@@ -77,8 +89,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *replicas < 1 {
-		fmt.Fprintf(os.Stderr, "minos-cluster: -replicas %d: need at least one replica\n", *replicas)
+	if err := validateReplicas(*replicas, *nodes); err != nil {
+		fmt.Fprintf(os.Stderr, "minos-cluster: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -92,10 +104,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *replicas, *noHedge, *kill, *seed); err != nil {
+	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *replicas, *noHedge, *kill, *seed, *respAddr, *opsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "minos-cluster: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// validateReplicas checks the -replicas flag against the node count: a
+// replication factor below one is meaningless, and one above the node
+// count cannot place every copy on a distinct node.
+func validateReplicas(replicas, nodes int) error {
+	if replicas < 1 {
+		return fmt.Errorf("-replicas %d: need at least one replica", replicas)
+	}
+	if replicas > nodes {
+		return fmt.Errorf("-replicas %d: cannot exceed -nodes %d (each copy needs its own node)", replicas, nodes)
+	}
+	return nil
 }
 
 // startNode boots one live server on the fabric node and returns its
@@ -116,22 +141,34 @@ func startNode(fc *minos.FabricCluster, i int, d minos.Design, cores int) (minos
 	}, srv, nil
 }
 
-func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, replicas int, noHedge, kill bool, seed int64) error {
+func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, replicas int, noHedge, kill bool, seed int64, respAddr, opsAddr string) error {
 	ctx := context.Background()
 	fc := minos.NewFabricCluster(nodes, cores)
 	fc.SetRTT(rtt)
 
+	// servers is appended to by -grow on the main goroutine and by the
+	// ops plane's node provisioner on HTTP handler goroutines.
+	var (
+		srvMu   sync.Mutex
+		servers []*minos.Server
+	)
+	addServer := func(s *minos.Server) {
+		srvMu.Lock()
+		servers = append(servers, s)
+		srvMu.Unlock()
+	}
 	var members []minos.ClusterNode
-	var servers []*minos.Server
 	for i := 0; i < nodes; i++ {
 		n, srv, err := startNode(fc, i, d, cores)
 		if err != nil {
 			return err
 		}
 		members = append(members, n)
-		servers = append(servers, srv)
+		addServer(srv)
 	}
 	defer func() {
+		srvMu.Lock()
+		defer srvMu.Unlock()
 		for _, s := range servers {
 			s.Stop()
 		}
@@ -157,6 +194,52 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 		return err
 	}
 	defer cl.Close()
+
+	// Front ends: RESP commands route through the cluster; POST /nodes
+	// provisions a fresh fabric node and joins it to the live ring.
+	var fronts []net.Listener
+	if respAddr != "" {
+		ln, lerr := net.Listen("tcp", respAddr)
+		if lerr != nil {
+			return fmt.Errorf("-resp: %w", lerr)
+		}
+		fronts = append(fronts, ln)
+		go func() {
+			if serr := cl.ServeRESP(ln); serr != nil {
+				fmt.Fprintf(os.Stderr, "minos-cluster: RESP: %v\n", serr)
+			}
+		}()
+		fmt.Printf("RESP front end on %s\n", ln.Addr())
+	}
+	if opsAddr != "" {
+		ln, lerr := net.Listen("tcp", opsAddr)
+		if lerr != nil {
+			return fmt.Errorf("-ops: %w", lerr)
+		}
+		fronts = append(fronts, ln)
+		provision := func(_ context.Context, name string) (minos.ClusterNode, error) {
+			fab, i := fc.Grow()
+			fab.SetRTT(rtt)
+			n, srv, perr := startNode(fc, i, d, cores)
+			if perr != nil {
+				return minos.ClusterNode{}, perr
+			}
+			n.Name = name
+			addServer(srv)
+			return n, nil
+		}
+		go func() {
+			if serr := cl.ServeOps(ln, minos.WithNodeProvisioner(provision)); serr != nil {
+				fmt.Fprintf(os.Stderr, "minos-cluster: ops: %v\n", serr)
+			}
+		}()
+		fmt.Printf("ops plane on http://%s (/metrics, /topology, /nodes, /healthz)\n", ln.Addr())
+	}
+	defer func() {
+		for _, ln := range fronts {
+			ln.Close()
+		}
+	}()
 
 	// Preload through the cluster, so every key lands on its ring owner.
 	prof := minos.DefaultProfile()
@@ -193,7 +276,10 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 			// Stop serving without telling anyone — requests at the victim
 			// just time out, the way a crashed process looks from the wire.
 			victim := 1
-			servers[victim].Stop()
+			srvMu.Lock()
+			vs := servers[victim]
+			srvMu.Unlock()
+			vs.Stop()
 			fmt.Printf("  [%.2fs] node-%d killed (server stopped cold)\n",
 				time.Since(start).Seconds(), victim)
 		}
@@ -205,7 +291,7 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 			if err != nil {
 				return err
 			}
-			servers = append(servers, srv)
+			addServer(srv)
 			joined := time.Now()
 			moved, err := cl.AddNode(ctx, n)
 			if err != nil {
@@ -254,6 +340,13 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 	}
 	if drops := fc.Drops(); drops > 0 {
 		fmt.Fprintf(os.Stderr, "fabric drops: %d\n", drops)
+	}
+	if len(fronts) > 0 {
+		fmt.Println("front ends still serving; ^C to stop")
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		fmt.Println("\nshutting down")
 	}
 	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestValidateReplicas(t *testing.T) {
+	cases := []struct {
+		name            string
+		replicas, nodes int
+		wantErr         bool
+	}{
+		{"unreplicated", 1, 1, false},
+		{"unreplicated multi-node", 1, 4, false},
+		{"two of three", 2, 3, false},
+		{"full replication", 3, 3, false},
+		{"zero replicas", 0, 3, true},
+		{"negative replicas", -1, 3, true},
+		{"more replicas than nodes", 4, 3, true},
+		{"two replicas single node", 2, 1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateReplicas(c.replicas, c.nodes)
+			if gotErr := err != nil; gotErr != c.wantErr {
+				t.Errorf("validateReplicas(%d, %d) = %v, wantErr %v",
+					c.replicas, c.nodes, err, c.wantErr)
+			}
+		})
+	}
+}

@@ -7,6 +7,12 @@
 //	minos-server -port 7400 -cores 4                  # Minos (default)
 //	minos-server -design hkh -cores 4                 # a baseline design
 //	minos-server -preload -keys 20000 -largekeys 20   # preload a dataset
+//	minos-server -resp :6379 -ops :9100               # RESP + admin planes
+//
+// With -resp the server additionally answers a RESP2 subset on the given
+// TCP address (redis-cli compatible: GET/SET/DEL/EXISTS/TTL/PING/INFO).
+// With -ops it serves the HTTP admin plane: /metrics (Prometheus text
+// format), /healthz.
 //
 // The server prints the controller's plan and throughput once per epoch
 // until interrupted.
@@ -15,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +40,8 @@ func main() {
 	keys := flag.Int("keys", 20_000, "preloaded keys")
 	largeKeys := flag.Int("largekeys", 20, "preloaded large keys")
 	maxLarge := flag.Int("slarge", 500_000, "maximum large item size (bytes)")
+	respAddr := flag.String("resp", "", "TCP address for the RESP front end (e.g. :6379; empty = off)")
+	opsAddr := flag.String("ops", "", "TCP address for the HTTP admin/metrics plane (e.g. :9100; empty = off)")
 	flag.Parse()
 
 	d, err := minos.ParseDesign(*design)
@@ -70,6 +79,41 @@ func main() {
 	defer srv.Stop()
 	fmt.Printf("%v serving on %s ports %d-%d (%d cores); ^C to stop\n",
 		d, *host, *port, *port+*cores-1, *cores)
+
+	var fronts []net.Listener
+	if *respAddr != "" {
+		ln, err := net.Listen("tcp", *respAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minos-server: -resp: %v\n", err)
+			os.Exit(1)
+		}
+		fronts = append(fronts, ln)
+		go func() {
+			if err := srv.ServeRESP(ln); err != nil {
+				fmt.Fprintf(os.Stderr, "minos-server: RESP: %v\n", err)
+			}
+		}()
+		fmt.Printf("RESP front end on %s\n", ln.Addr())
+	}
+	if *opsAddr != "" {
+		ln, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minos-server: -ops: %v\n", err)
+			os.Exit(1)
+		}
+		fronts = append(fronts, ln)
+		go func() {
+			if err := srv.ServeOps(ln); err != nil {
+				fmt.Fprintf(os.Stderr, "minos-server: ops: %v\n", err)
+			}
+		}()
+		fmt.Printf("ops plane on http://%s (/metrics, /healthz)\n", ln.Addr())
+	}
+	defer func() {
+		for _, ln := range fronts {
+			ln.Close()
+		}
+	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,369 @@
+package minos
+
+// The protocol front end and ops plane: ServeRESP speaks a RESP2 subset
+// over TCP (GET/SET/DEL/EXISTS/TTL/PING/ECHO/INFO and friends — enough
+// for redis-cli and any Redis client library), ServeOps serves the HTTP
+// admin surface (/metrics in Prometheus text format, /topology, POST
+// and DELETE /nodes, /healthz). Both are thin adapters: the RESP
+// dispatcher and the HTTP handler live in internal/resp and
+// internal/ops; this file maps them onto the public Server and Cluster.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
+	"github.com/minoskv/minos/internal/ops"
+	"github.com/minoskv/minos/internal/resp"
+	"github.com/minoskv/minos/internal/wire"
+)
+
+// respLimits aligns the parser's bulk cap slightly above the engine's
+// value cap, so an oversize SET is an engine-level -ERR (the connection
+// stays usable) rather than a protocol violation that hangs up.
+func respLimits() resp.Limits {
+	return resp.Limits{MaxBulk: wire.MaxValueSize + 1024}
+}
+
+// ServeRESP serves the RESP front end on ln, dispatching commands
+// directly against the server's store, and blocks until the listener
+// closes (close it to stop serving; every live connection is then torn
+// down before ServeRESP returns). Multiple listeners may be served
+// concurrently. The server itself must be running (Start) for TTLs to
+// advance, but the RESP path reads and writes the store directly — it
+// does not ride the binary wire protocol.
+func (s *Server) ServeRESP(ln net.Listener) error {
+	rs := resp.NewServer(serverBackend{s}, respLimits())
+	s.fronts.add(rs)
+	return rs.Serve(ln)
+}
+
+// ServeOps serves the HTTP admin plane on ln — GET /metrics (Prometheus
+// text format), GET /healthz — and blocks until the listener closes.
+func (s *Server) ServeOps(ln net.Listener) error {
+	return serveOps(ln, serverSource{s})
+}
+
+// ServeRESP serves the RESP front end on ln, routing every command
+// through the cluster (ring routing, replication, hedged reads — the
+// same datapath Get/Put take), and blocks until the listener closes.
+func (c *Cluster) ServeRESP(ln net.Listener) error {
+	rs := resp.NewServer(clusterBackend{c}, respLimits())
+	c.fronts.add(rs)
+	return rs.Serve(ln)
+}
+
+// OpsOption configures a Cluster's ops plane.
+type OpsOption func(*opsConfig)
+
+type opsConfig struct {
+	provision func(ctx context.Context, name string) (ClusterNode, error)
+}
+
+// WithNodeProvisioner enables POST /nodes on the ops plane: fn builds
+// the transport (and usually the in-process server) for a node of the
+// requested name, and the returned node is joined to the ring with
+// AddNode — so an HTTP request grows the live cluster. Without a
+// provisioner, POST /nodes answers 501; DELETE /nodes/{name} works
+// either way.
+func WithNodeProvisioner(fn func(ctx context.Context, name string) (ClusterNode, error)) OpsOption {
+	return func(c *opsConfig) { c.provision = fn }
+}
+
+// ServeOps serves the HTTP admin plane on ln — GET /metrics, GET
+// /topology, POST /nodes and DELETE /nodes/{name}, GET /healthz — and
+// blocks until the listener closes.
+func (c *Cluster) ServeOps(ln net.Listener, opts ...OpsOption) error {
+	var cfg opsConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return serveOps(ln, &clusterOpsSource{c: c, provision: cfg.provision})
+}
+
+// serveOps runs the HTTP plane until ln closes, then closes remaining
+// connections so a returned serveOps leaves nothing behind.
+func serveOps(ln net.Listener, src ops.Source) error {
+	hs := &http.Server{Handler: ops.NewHandler(src)}
+	err := hs.Serve(ln)
+	hs.Close()
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// frontSet tracks the RESP front ends ever attached to an engine so the
+// ops plane and INFO aggregate their counters. Entries are kept after
+// their listener closes: a closed front end's counters freeze, and the
+// aggregate stays monotone.
+type frontSet struct {
+	mu      sync.Mutex
+	servers []*resp.Server
+}
+
+func (f *frontSet) add(s *resp.Server) {
+	f.mu.Lock()
+	f.servers = append(f.servers, s)
+	f.mu.Unlock()
+}
+
+func (f *frontSet) stats() resp.Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total resp.Stats
+	for _, s := range f.servers {
+		st := s.Stats()
+		total.Accepted += st.Accepted
+		total.Active += st.Active
+		total.Commands += st.Commands
+		total.Errors += st.Errors
+	}
+	return total
+}
+
+// serverBackend dispatches RESP commands straight against a Server's
+// store: no wire round-trip, no allocation on the small-item hot path
+// (Get appends into the connection's reusable scratch buffer).
+type serverBackend struct{ s *Server }
+
+func (b serverBackend) GetInto(_ context.Context, key, dst []byte) ([]byte, error) {
+	if len(key) > wire.MaxKeySize {
+		return dst, apierr.ErrKeyTooLarge
+	}
+	val, ok := b.s.s.Store().Get(key, dst)
+	if !ok {
+		return dst, apierr.ErrNotFound
+	}
+	return val, nil
+}
+
+func (b serverBackend) Set(_ context.Context, key, value []byte, ttl time.Duration) error {
+	if len(key) > wire.MaxKeySize {
+		return apierr.ErrKeyTooLarge
+	}
+	if len(value) > wire.MaxValueSize {
+		return apierr.ErrValueTooLarge
+	}
+	b.s.s.Store().PutTTL(key, value, int64(ttl))
+	return nil
+}
+
+func (b serverBackend) Delete(_ context.Context, key []byte) error {
+	if len(key) > wire.MaxKeySize {
+		return apierr.ErrKeyTooLarge
+	}
+	if !b.s.s.Store().Delete(key) {
+		return apierr.ErrNotFound
+	}
+	return nil
+}
+
+func (b serverBackend) TTL(_ context.Context, key []byte) (time.Duration, bool, error) {
+	remNs, hasExpiry, ok := b.s.s.Store().TTL(key)
+	if !ok {
+		return 0, false, apierr.ErrNotFound
+	}
+	return time.Duration(remNs), hasExpiry, nil
+}
+
+func (b serverBackend) AppendInfo(dst []byte) []byte {
+	snap := b.s.Snapshot()
+	rst := b.s.fronts.stats()
+	dst = fmt.Appendf(dst, "# Server\r\nuptime_in_seconds:%d\r\n", int64(snap.UptimeSeconds))
+	dst = fmt.Appendf(dst, "# Stats\r\ntotal_ops:%d\r\nkeyspace_hits:%d\r\nkeyspace_misses:%d\r\nexpired_keys:%d\r\nevicted_keys:%d\r\nresp_connections:%d\r\nresp_commands:%d\r\n",
+		snap.Ops, snap.Hits, snap.Misses, snap.Expired, snap.Evicted, rst.Accepted, rst.Commands)
+	dst = fmt.Appendf(dst, "# Memory\r\nitems:%d\r\nvalue_bytes:%d\r\nused_memory:%d\r\nmaxmemory:%d\r\n",
+		snap.Items, snap.ValueBytes, snap.MemBytes, snap.MemoryLimit)
+	dst = fmt.Appendf(dst, "# Plan\r\nepoch:%d\r\nthreshold:%d\r\nsmall_cores:%d\r\nlarge_cores:%d\r\n",
+		snap.Plan.Epoch, snap.Plan.Threshold, snap.Plan.NumSmall, snap.Plan.NumLarge)
+	return dst
+}
+
+// clusterBackend dispatches RESP commands through the cluster datapath.
+type clusterBackend struct{ c *Cluster }
+
+func (b clusterBackend) GetInto(ctx context.Context, key, dst []byte) ([]byte, error) {
+	if len(key) > wire.MaxKeySize {
+		return dst, apierr.ErrKeyTooLarge
+	}
+	val, err := b.c.Get(ctx, key)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, val...), nil
+}
+
+func (b clusterBackend) Set(ctx context.Context, key, value []byte, ttl time.Duration) error {
+	if len(key) > wire.MaxKeySize {
+		return apierr.ErrKeyTooLarge
+	}
+	if len(value) > wire.MaxValueSize {
+		return apierr.ErrValueTooLarge
+	}
+	return b.c.PutTTL(ctx, key, value, ttl)
+}
+
+func (b clusterBackend) Delete(ctx context.Context, key []byte) error {
+	if len(key) > wire.MaxKeySize {
+		return apierr.ErrKeyTooLarge
+	}
+	return b.c.Delete(ctx, key)
+}
+
+func (b clusterBackend) TTL(ctx context.Context, key []byte) (time.Duration, bool, error) {
+	return b.c.TTL(ctx, key)
+}
+
+func (b clusterBackend) AppendInfo(dst []byte) []byte {
+	st := b.c.Stats()
+	rst := b.c.fronts.stats()
+	dst = fmt.Appendf(dst, "# Cluster\r\nnodes:%d\r\nuptime_in_seconds:%d\r\ntotal_ops:%d\r\nresp_connections:%d\r\nresp_commands:%d\r\n",
+		len(st.Nodes), int64(st.UptimeSeconds), st.Ops, rst.Accepted, rst.Commands)
+	dst = fmt.Appendf(dst, "# Latency\r\np50_us:%d\r\np99_us:%d\r\np999_us:%d\r\nmax_node_p99_us:%d\r\n",
+		st.P50/1000, st.P99/1000, st.P999/1000, st.MaxNodeP99/1000)
+	dst = fmt.Appendf(dst, "# Replication\r\nhedged:%d\r\nhedge_wins:%d\r\nfailovers:%d\r\nhandoffs:%d\r\nhints_queued:%d\r\nhints_dropped:%d\r\nnodes_suspect:%d\r\nnodes_dead:%d\r\n",
+		st.Hedged, st.HedgeWins, st.Failovers, st.Handoffs, st.HintsQueued, st.HintsDropped, st.NodesSuspect, st.NodesDead)
+	dst = append(dst, "# Nodes\r\n"...)
+	for _, n := range st.Nodes {
+		dst = fmt.Appendf(dst, "node:%s,state=%s,ops=%d,p99_us=%d\r\n", n.Name, n.State, n.Ops, n.P99/1000)
+	}
+	return dst
+}
+
+// serverSource adapts a Server onto the ops plane: metrics and health,
+// no topology (a single node is not a fleet).
+type serverSource struct{ s *Server }
+
+func (src serverSource) WriteMetrics(m *ops.Metrics) {
+	snap := src.s.Snapshot()
+	m.Counter("minos_ops_total", "Requests served over the binary wire protocol.", float64(snap.Ops))
+	m.Counter("minos_hits_total", "GET requests answered with a value.", float64(snap.Hits))
+	m.Counter("minos_misses_total", "GET requests answered with a miss.", float64(snap.Misses))
+	m.Counter("minos_expired_total", "Items reclaimed because their TTL passed.", float64(snap.Expired))
+	m.Counter("minos_evicted_total", "Items evicted by the CLOCK hand under memory pressure.", float64(snap.Evicted))
+	m.Counter("minos_sw_drops_total", "Requests dropped on overflowing software queues.", float64(snap.SwDrops))
+	m.Counter("minos_bad_frames_total", "Undecodable frames received.", float64(snap.BadFrames))
+	m.Gauge("minos_items", "Live keys in the store.", float64(snap.Items))
+	m.Gauge("minos_value_bytes", "Total size of live values.", float64(snap.ValueBytes))
+	m.Gauge("minos_mem_bytes", "Accounted store footprint (keys, values, overhead).", float64(snap.MemBytes))
+	m.Gauge("minos_memory_limit_bytes", "Configured memory cap (0 = unbounded).", float64(snap.MemoryLimit))
+	m.Gauge("minos_uptime_seconds", "Seconds since the server was constructed.", snap.UptimeSeconds)
+	m.Gauge("minos_plan_threshold_bytes", "Controller's current small/large size threshold.", float64(snap.Plan.Threshold))
+	m.Gauge("minos_plan_small_cores", "Cores the controller assigned to small requests.", float64(snap.Plan.NumSmall))
+	m.Gauge("minos_plan_large_cores", "Cores the controller assigned to large requests.", float64(snap.Plan.NumLarge))
+	writeRESPMetrics(m, src.s.fronts.stats())
+}
+
+// writeRESPMetrics emits the RESP front-end counters, aggregated over
+// every listener ever served.
+func writeRESPMetrics(m *ops.Metrics, st resp.Stats) {
+	m.Counter("minos_resp_connections_total", "RESP connections accepted.", float64(st.Accepted))
+	m.Gauge("minos_resp_connections_active", "RESP connections currently open.", float64(st.Active))
+	m.Counter("minos_resp_commands_total", "RESP commands dispatched (pipelined commands count individually).", float64(st.Commands))
+	m.Counter("minos_resp_errors_total", "RESP error replies sent, protocol errors included.", float64(st.Errors))
+}
+
+// clusterOpsSource adapts a Cluster onto the ops plane with the full
+// capability set: metrics, topology, and — when a provisioner is
+// configured — live node addition.
+type clusterOpsSource struct {
+	c         *Cluster
+	provision func(ctx context.Context, name string) (ClusterNode, error)
+}
+
+func (src *clusterOpsSource) WriteMetrics(m *ops.Metrics) {
+	st := src.c.Stats()
+	m.Counter("minos_cluster_ops_total", "Operations routed over the cluster's lifetime, removed nodes included.", float64(st.Ops))
+	m.Gauge("minos_cluster_p50_seconds", "Aggregate p50 operation latency.", float64(st.P50)/1e9)
+	m.Gauge("minos_cluster_p99_seconds", "Aggregate p99 operation latency.", float64(st.P99)/1e9)
+	m.Gauge("minos_cluster_p999_seconds", "Aggregate p999 operation latency.", float64(st.P999)/1e9)
+	m.Gauge("minos_cluster_max_node_p99_seconds", "Worst live per-node p99 — what fan-out tails track.", float64(st.MaxNodeP99)/1e9)
+	m.Gauge("minos_cluster_uptime_seconds", "Seconds since the cluster was constructed.", st.UptimeSeconds)
+	m.Counter("minos_cluster_hedged_total", "Duplicate reads launched by the hedging policy.", float64(st.Hedged))
+	m.Counter("minos_cluster_hedge_wins_total", "Hedged reads that answered before the primary.", float64(st.HedgeWins))
+	m.Counter("minos_cluster_failovers_total", "Reads re-driven at another replica after a transport failure.", float64(st.Failovers))
+	m.Counter("minos_cluster_handoffs_total", "Hinted writes replayed onto rejoined nodes.", float64(st.Handoffs))
+	m.Counter("minos_cluster_hints_queued_total", "Writes queued as hints for down nodes.", float64(st.HintsQueued))
+	m.Counter("minos_cluster_hints_dropped_total", "Hints dropped on an overflowing hint queue.", float64(st.HintsDropped))
+	m.Gauge("minos_cluster_nodes_suspect", "Nodes the failure detector currently holds suspect.", float64(st.NodesSuspect))
+	m.Gauge("minos_cluster_nodes_dead", "Nodes the failure detector currently holds dead.", float64(st.NodesDead))
+	// Per-node families; each family's samples stay consecutive, as the
+	// exposition format requires.
+	for _, n := range st.Nodes {
+		m.Counter("minos_node_ops_total", "Operations routed through the node.", float64(n.Ops), ops.Label{Name: "node", Value: n.Name})
+	}
+	for _, n := range st.Nodes {
+		m.Gauge("minos_node_p50_seconds", "Node-local p50 operation latency.", float64(n.P50)/1e9, ops.Label{Name: "node", Value: n.Name})
+	}
+	for _, n := range st.Nodes {
+		m.Gauge("minos_node_p99_seconds", "Node-local p99 operation latency.", float64(n.P99)/1e9, ops.Label{Name: "node", Value: n.Name})
+	}
+	for _, n := range st.Nodes {
+		m.Gauge("minos_node_p999_seconds", "Node-local p999 operation latency.", float64(n.P999)/1e9, ops.Label{Name: "node", Value: n.Name})
+	}
+	for _, n := range st.Nodes {
+		for _, state := range []string{"alive", "suspect", "dead"} {
+			v := 0.0
+			if n.State == state {
+				v = 1.0
+			}
+			m.Gauge("minos_node_state", "1 on the (node, state) pair the failure detector currently reports.", v,
+				ops.Label{Name: "node", Value: n.Name}, ops.Label{Name: "state", Value: state})
+		}
+	}
+	writeRESPMetrics(m, src.c.fronts.stats())
+}
+
+func (src *clusterOpsSource) Topology() ops.Topology {
+	st := src.c.Stats()
+	counts := src.c.c.KeyCounts()
+	t := ops.Topology{VNodes: src.c.c.VNodes(), Replicas: src.c.c.Replicas()}
+	for _, n := range st.Nodes {
+		keys := -1
+		if k, ok := counts[n.Name]; ok {
+			keys = k
+		}
+		t.Nodes = append(t.Nodes, ops.TopologyNode{Name: n.Name, State: n.State, Keys: keys})
+	}
+	return t
+}
+
+func (src *clusterOpsSource) AddNode(ctx context.Context, name string) (int, error) {
+	if src.provision == nil {
+		return 0, fmt.Errorf("%w: no node provisioner configured (WithNodeProvisioner)", ops.ErrUnsupported)
+	}
+	node, err := src.provision(ctx, name)
+	if err != nil {
+		return 0, mapTopologyErr(err)
+	}
+	if node.Name == "" {
+		node.Name = name
+	}
+	moved, err := src.c.AddNode(ctx, node)
+	return moved, mapTopologyErr(err)
+}
+
+func (src *clusterOpsSource) RemoveNode(ctx context.Context, name string) (int, error) {
+	moved, err := src.c.RemoveNode(ctx, name)
+	return moved, mapTopologyErr(err)
+}
+
+// mapTopologyErr translates the cluster's sentinel errors onto the ops
+// plane's, which pick the HTTP status of a failed topology change.
+func mapTopologyErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrNodeExists):
+		return fmt.Errorf("%w: %v", ops.ErrNodeExists, err)
+	case errors.Is(err, ErrUnknownNode):
+		return fmt.Errorf("%w: %v", ops.ErrUnknownNode, err)
+	}
+	return err
+}

@@ -1,0 +1,528 @@
+package minos_test
+
+// Front-end contract suite: RESP conversations over real TCP against a
+// single node and against a replicated cluster (including a node killed
+// mid-conversation), the ops plane's /metrics, /topology and /nodes
+// routes, and the no-leak guarantees of abruptly dropped connections.
+// CI runs this under -race.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	minos "github.com/minoskv/minos"
+	"github.com/minoskv/minos/internal/mem"
+	"github.com/minoskv/minos/internal/ops"
+)
+
+// startRESPNode boots a single-node server with a RESP listener and
+// returns the server and the listener address. The listener is closed
+// (and the front end fully drained) in cleanup.
+func startRESPNode(t *testing.T, opts ...minos.ServerOption) (*minos.Server, string) {
+	t.Helper()
+	fab := minos.NewFabric(1)
+	srv, err := minos.NewServer(fab.Server(),
+		append([]minos.ServerOption{minos.WithDesign(minos.DesignMinos), minos.WithCores(1)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return srv, serveRESP(t, srv.ServeRESP)
+}
+
+// serveRESP runs serve on a fresh loopback listener and returns its
+// address; cleanup closes the listener and waits for serve to return,
+// so every connection handler is gone before the test ends.
+func serveRESP(t *testing.T, serve func(net.Listener) error) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- serve(ln) }()
+	t.Cleanup(func() {
+		ln.Close()
+		if err := <-errc; err != nil {
+			t.Errorf("serve returned %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func respDial(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc, bufio.NewReader(nc)
+}
+
+// respCmd encodes one command as a RESP multibulk array.
+func respCmd(args ...string) []byte {
+	var b []byte
+	b = append(b, '*')
+	b = strconv.AppendInt(b, int64(len(args)), 10)
+	b = append(b, '\r', '\n')
+	for _, a := range args {
+		b = append(b, '$')
+		b = strconv.AppendInt(b, int64(len(a)), 10)
+		b = append(b, '\r', '\n')
+		b = append(b, a...)
+		b = append(b, '\r', '\n')
+	}
+	return b
+}
+
+// readReply renders one RESP reply: status/error/integer lines verbatim
+// ("+OK", "-ERR ...", ":1"), bulk strings as their payload, nil bulks
+// as "(nil)", arrays bracketed.
+func readReply(t *testing.T, br *bufio.Reader) string {
+	t.Helper()
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	line = strings.TrimSuffix(line, "\r\n")
+	if line == "" {
+		t.Fatalf("empty reply line")
+	}
+	switch line[0] {
+	case '+', '-', ':':
+		return line
+	case '$':
+		n, convErr := strconv.Atoi(line[1:])
+		if convErr != nil {
+			t.Fatalf("bad bulk header %q", line)
+		}
+		if n < 0 {
+			return "(nil)"
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			t.Fatalf("read bulk body: %v", err)
+		}
+		return string(buf[:n])
+	case '*':
+		n, convErr := strconv.Atoi(line[1:])
+		if convErr != nil {
+			t.Fatalf("bad array header %q", line)
+		}
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = readReply(t, br)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	}
+	t.Fatalf("unexpected reply %q", line)
+	return ""
+}
+
+// do writes one command and reads its reply.
+func do(t *testing.T, nc net.Conn, br *bufio.Reader, args ...string) string {
+	t.Helper()
+	if _, err := nc.Write(respCmd(args...)); err != nil {
+		t.Fatalf("write %v: %v", args, err)
+	}
+	return readReply(t, br)
+}
+
+func expect(t *testing.T, got, want string, what string) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("%s = %q, want %q", what, got, want)
+	}
+}
+
+func TestRESPServerConversation(t *testing.T) {
+	_, addr := startRESPNode(t)
+	nc, br := respDial(t, addr)
+
+	expect(t, do(t, nc, br, "PING"), "+PONG", "PING")
+	expect(t, do(t, nc, br, "ECHO", "hey"), "hey", "ECHO")
+	expect(t, do(t, nc, br, "SET", "k", "v1"), "+OK", "SET")
+	expect(t, do(t, nc, br, "GET", "k"), "v1", "GET")
+	expect(t, do(t, nc, br, "SET", "k", "v2"), "+OK", "re-SET")
+	expect(t, do(t, nc, br, "GET", "k"), "v2", "GET after re-SET")
+	expect(t, do(t, nc, br, "EXISTS", "k", "missing", "k"), ":2", "EXISTS")
+	expect(t, do(t, nc, br, "DEL", "k", "missing"), ":1", "DEL")
+	expect(t, do(t, nc, br, "GET", "k"), "(nil)", "GET after DEL")
+	expect(t, do(t, nc, br, "TTL", "k"), ":-2", "TTL of missing key")
+
+	// TTL semantics: PX sets a real expiry the lazy-expiry read observes;
+	// a key without one reports -1.
+	expect(t, do(t, nc, br, "SET", "eph", "x", "PX", "60"), "+OK", "SET PX")
+	if got := do(t, nc, br, "TTL", "eph"); got != ":1" {
+		t.Fatalf("TTL eph = %q, want :1 (ceiling of 60ms)", got)
+	}
+	expect(t, do(t, nc, br, "SET", "forever", "x"), "+OK", "SET immortal")
+	expect(t, do(t, nc, br, "TTL", "forever"), ":-1", "TTL of immortal key")
+	time.Sleep(80 * time.Millisecond)
+	expect(t, do(t, nc, br, "GET", "eph"), "(nil)", "GET after PX expiry")
+	expect(t, do(t, nc, br, "TTL", "eph"), ":-2", "TTL after PX expiry")
+
+	if got := do(t, nc, br, "INFO"); !strings.Contains(got, "uptime_in_seconds:") ||
+		!strings.Contains(got, "resp_commands:") {
+		t.Fatalf("INFO = %q", got)
+	}
+	if got := do(t, nc, br, "COMMAND", "DOCS"); got != "[]" {
+		t.Fatalf("COMMAND = %q, want empty array", got)
+	}
+	if got := do(t, nc, br, "BOGUS"); !strings.HasPrefix(got, "-ERR unknown command") {
+		t.Fatalf("unknown command reply = %q", got)
+	}
+	if got := do(t, nc, br, "GET"); !strings.HasPrefix(got, "-ERR wrong number of arguments") {
+		t.Fatalf("arity error = %q", got)
+	}
+	expect(t, do(t, nc, br, "QUIT"), "+OK", "QUIT")
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection after QUIT: %v, want EOF", err)
+	}
+}
+
+func TestRESPServerPipelinedBurst(t *testing.T) {
+	_, addr := startRESPNode(t)
+	nc, br := respDial(t, addr)
+
+	// One write carrying 100 SETs and 100 GETs; replies must come back
+	// complete and in order.
+	const n = 100
+	var burst []byte
+	for i := 0; i < n; i++ {
+		burst = append(burst, respCmd("SET", fmt.Sprintf("pk%03d", i), fmt.Sprintf("pv%03d", i))...)
+	}
+	for i := 0; i < n; i++ {
+		burst = append(burst, respCmd("GET", fmt.Sprintf("pk%03d", i))...)
+	}
+	if _, err := nc.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		expect(t, readReply(t, br), "+OK", fmt.Sprintf("pipelined SET %d", i))
+	}
+	for i := 0; i < n; i++ {
+		expect(t, readReply(t, br), fmt.Sprintf("pv%03d", i), fmt.Sprintf("pipelined GET %d", i))
+	}
+}
+
+func TestRESPOversizeAndBadInputKeepConnectionUsable(t *testing.T) {
+	_, addr := startRESPNode(t)
+	nc, br := respDial(t, addr)
+
+	// A value over the engine cap (16 MiB) parses — the RESP bulk limit
+	// sits above the engine limit — but the backend refuses it, and the
+	// connection stays usable.
+	big := strings.Repeat("x", 16<<20+1)
+	if got := do(t, nc, br, "SET", "big", big); got != "-ERR value too large" {
+		t.Fatalf("oversize SET = %q", got)
+	}
+	expect(t, do(t, nc, br, "GET", "big"), "(nil)", "GET after oversize SET")
+
+	// Same for a key over the wire's 64 KiB key cap.
+	longKey := strings.Repeat("k", 1<<16)
+	if got := do(t, nc, br, "SET", longKey, "v"); got != "-ERR key too large" {
+		t.Fatalf("oversize-key SET = %q", got)
+	}
+	expect(t, do(t, nc, br, "PING"), "+PONG", "PING after backend errors")
+
+	// A protocol violation, by contrast, answers one -ERR and hangs up.
+	nc2, br2 := respDial(t, addr)
+	if _, err := nc2.Write([]byte("*not-a-number\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readReply(t, br2); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("protocol error reply = %q", got)
+	}
+	if _, err := br2.ReadByte(); err != io.EOF {
+		t.Fatalf("connection after protocol error: %v, want EOF", err)
+	}
+}
+
+func TestRESPAbruptDisconnectsLeakNothing(t *testing.T) {
+	_, addr := startRESPNode(t)
+
+	// Outstanding pool leases before the abuse; the RESP path must hand
+	// every per-connection buffer back no matter how the peer vanishes.
+	before := mem.LeaseStats()
+	outBefore := before.Leases - before.Oversize - before.Releases
+	gBefore := runtime.NumGoroutine()
+
+	for i := 0; i < 20; i++ {
+		// Truncated mid-command, then abandoned.
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc.Write([]byte("*2\r\n$3\r\nGET\r\n$5\r\nab"))
+		nc.Close()
+
+		// Half-closed after a full command: reply still arrives, then the
+		// handler winds down on EOF.
+		nc2, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc2.Write(respCmd("GET", "nothing"))
+		nc2.(*net.TCPConn).CloseWrite()
+		io.ReadAll(nc2)
+		nc2.Close()
+	}
+
+	// Handlers notice the closed peers asynchronously; poll for the
+	// goroutine count to settle back.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		after := mem.LeaseStats()
+		outAfter := after.Leases - after.Oversize - after.Releases
+		if runtime.NumGoroutine() <= gBefore+2 && outAfter == outBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak: goroutines %d -> %d, outstanding leases %d -> %d",
+				gBefore, runtime.NumGoroutine(), outBefore, outAfter)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRESPClusterSurvivesNodeKillMidConversation(t *testing.T) {
+	ctx := context.Background()
+	cl, _, servers := testCluster(t, 3, 1, chaosDetection()...)
+	addr := serveRESP(t, cl.ServeRESP)
+	nc, br := respDial(t, addr)
+
+	// Pipelined writes, then reads, through the fleet.
+	const n = 60
+	key := func(i int) string { return fmt.Sprintf("ck%03d", i) }
+	val := func(i int) string { return fmt.Sprintf("cv%03d", i) }
+	var burst []byte
+	for i := 0; i < n; i++ {
+		burst = append(burst, respCmd("SET", key(i), val(i))...)
+	}
+	if _, err := nc.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		expect(t, readReply(t, br), "+OK", fmt.Sprintf("cluster SET %d", i))
+	}
+
+	// TTL routes to the owner's local store through the cluster.
+	expect(t, do(t, nc, br, "SET", "cttl", "x", "EX", "100"), "+OK", "cluster SET EX")
+	expect(t, do(t, nc, br, "TTL", "cttl"), ":100", "cluster TTL")
+	expect(t, do(t, nc, br, "TTL", key(0)), ":-1", "cluster TTL immortal")
+	expect(t, do(t, nc, br, "TTL", "cmissing"), ":-2", "cluster TTL missing")
+	if got := do(t, nc, br, "INFO"); !strings.Contains(got, "nodes:3") {
+		t.Fatalf("cluster INFO = %q", got)
+	}
+
+	// Kill one node cold, mid-conversation. R=2 keeps every key alive on
+	// a surviving replica; hedged reads and failover answer while the
+	// failure detector catches up.
+	servers["n1"].Stop()
+	for i := 0; i < n; i++ {
+		expect(t, do(t, nc, br, "GET", key(i)), val(i), fmt.Sprintf("GET %d after kill", i))
+	}
+	if _, ok := waitStats(cl, 5*time.Second, func(st minos.ClusterStats) bool {
+		return st.NodesDead >= 1
+	}); !ok {
+		t.Fatal("failure detector never marked the killed node dead")
+	}
+	// With the detector settled, writes and reads keep flowing on the
+	// same connection.
+	for i := 0; i < n; i++ {
+		expect(t, do(t, nc, br, "SET", key(i), val(i)+"'"), "+OK", fmt.Sprintf("SET %d after detection", i))
+	}
+	for i := 0; i < n; i++ {
+		expect(t, do(t, nc, br, "GET", key(i)), val(i)+"'", fmt.Sprintf("GET %d after detection", i))
+	}
+
+	// An abruptly dropped pipelined connection must not wedge the front
+	// end: a fresh connection gets served immediately.
+	rude, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rude.Write([]byte("*2\r\n$3\r\nGET\r\n$20\r\ntrunc"))
+	rude.Close()
+	nc2, br2 := respDial(t, addr)
+	expect(t, do(t, nc2, br2, "GET", key(1)), val(1)+"'", "fresh connection after rude drop")
+
+	_ = ctx
+}
+
+func TestServeOpsSingleNode(t *testing.T) {
+	srv, _ := startRESPNode(t)
+	addr := serveRESP(t, srv.ServeOps)
+
+	body := httpGet(t, "http://"+addr+"/metrics", 200)
+	if err := ops.CheckExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{"minos_hits_total", "minos_misses_total", "minos_evicted_total",
+		"minos_mem_bytes", "minos_uptime_seconds", "minos_resp_commands_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if got := httpGet(t, "http://"+addr+"/healthz", 200); got != "ok\n" {
+		t.Fatalf("/healthz = %q", got)
+	}
+	httpGet(t, "http://"+addr+"/topology", 404)
+}
+
+func TestServeOpsClusterMetricsTopologyAndAddNode(t *testing.T) {
+	ctx := context.Background()
+	cl, fc, _ := testCluster(t, 3, 1, minos.WithReplication(2))
+
+	// Provisioner: POST /nodes grows the fabric and boots a live server.
+	provision := func(_ context.Context, name string) (minos.ClusterNode, error) {
+		fab, _ := fc.Grow()
+		srv, err := minos.NewServer(fab.Server(),
+			minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+		if err != nil {
+			return minos.ClusterNode{}, err
+		}
+		srv.Start()
+		t.Cleanup(srv.Stop)
+		return minos.ClusterNode{Name: name, Transport: fab.NewClient(), Server: srv}, nil
+	}
+	addr := serveRESP(t, func(ln net.Listener) error {
+		return cl.ServeOps(ln, minos.WithNodeProvisioner(provision))
+	})
+
+	// Route some traffic so per-node counters are non-trivial.
+	for i := 0; i < 50; i++ {
+		if err := cl.Put(ctx, []byte(fmt.Sprintf("mk%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body := httpGet(t, "http://"+addr+"/metrics", 200)
+	if err := ops.CheckExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"minos_cluster_ops_total", "minos_cluster_p99_seconds",
+		`minos_node_p99_seconds{node="n0"}`, `minos_node_state{node="n1",state="alive"} 1`,
+		"minos_cluster_hedged_total", "minos_cluster_hints_queued_total",
+		"minos_resp_connections_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	var topo ops.Topology
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+addr+"/topology", 200)), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 3 || topo.Replicas != 2 {
+		t.Fatalf("topology = %+v", topo)
+	}
+	keys := 0
+	for _, n := range topo.Nodes {
+		if n.Keys < 0 {
+			t.Errorf("node %s reports unknown key count", n.Name)
+		}
+		keys += n.Keys
+	}
+	if keys < 50 {
+		t.Errorf("topology key counts sum to %d, want >= 50", keys)
+	}
+
+	// Acceptance: POST /nodes performs a live AddNode, observable via
+	// /topology and the per-node metric families.
+	resp, err := http.Post("http://"+addr+"/nodes?name=n3", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /nodes = %d %s", resp.StatusCode, add)
+	}
+	if !strings.Contains(string(add), `"node": "n3"`) {
+		t.Fatalf("POST /nodes reply = %s", add)
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+addr+"/topology", 200)), &topo); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(topo.Nodes))
+	for _, n := range topo.Nodes {
+		names = append(names, n.Name)
+	}
+	if len(topo.Nodes) != 4 || !strings.Contains(strings.Join(names, ","), "n3") {
+		t.Fatalf("topology after AddNode = %v", names)
+	}
+	if body := httpGet(t, "http://"+addr+"/metrics", 200); !strings.Contains(body, `minos_node_ops_total{node="n3"}`) {
+		t.Errorf("metrics missing the added node's family")
+	}
+
+	// Duplicate joins conflict; removing the node drains it back out.
+	if resp, err := http.Post("http://"+addr+"/nodes?name=n3", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != 409 {
+			t.Fatalf("duplicate POST /nodes = %d, want 409", resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, "http://"+addr+"/nodes/n3", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("DELETE /nodes/n3 = %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestUptimeCounters(t *testing.T) {
+	srv, _ := startRESPNode(t)
+	cl, _, _ := testCluster(t, 2, 1)
+
+	s1 := srv.Snapshot().UptimeSeconds
+	c1 := cl.Stats().UptimeSeconds
+	if s1 < 0 || c1 < 0 {
+		t.Fatalf("negative uptime: server %v cluster %v", s1, c1)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if s2 := srv.Snapshot().UptimeSeconds; s2 <= s1 {
+		t.Errorf("server uptime not monotone: %v then %v", s1, s2)
+	}
+	if c2 := cl.Stats().UptimeSeconds; c2 <= c1 {
+		t.Errorf("cluster uptime not monotone: %v then %v", c1, c2)
+	}
+}
+
+func httpGet(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d\n%s", url, resp.StatusCode, wantStatus, body)
+	}
+	return string(body)
+}

@@ -28,6 +28,10 @@ var (
 	// node's keys when that node was attached without a scan function
 	// (e.g. a purely remote node): the donor cannot be drained.
 	ErrNoScan = errors.New("cluster: node cannot be scanned for migration")
+	// ErrNoTTL reports a TTL query routed to a node attached without a
+	// TTL hook (e.g. a purely remote node): the wire protocol has no TTL
+	// op, so only locally introspectable nodes can answer.
+	ErrNoTTL = errors.New("cluster: node cannot answer TTL queries")
 )
 
 // ScanFunc enumerates a node's live items for migration: fn is called
@@ -37,6 +41,12 @@ var (
 // yielded slices are the store's immutable item memory: they stay valid
 // after the call but must not be modified.
 type ScanFunc func(fn func(key, value []byte, ttl time.Duration) bool)
+
+// TTLFunc answers a point TTL query against a node's local store:
+// ok=false when the key is absent (or already expired), hasExpiry=false
+// when the key is present but never expires, otherwise rem is the
+// remaining time-to-live.
+type TTLFunc func(key []byte) (rem time.Duration, hasExpiry, ok bool)
 
 // NodeConfig attaches one node to a cluster: a routing name (its ring
 // identity), the pipelined client engine that reaches it, and an
@@ -48,6 +58,12 @@ type NodeConfig struct {
 	// receive migrated keys but never donate them (AddNode/RemoveNode
 	// involving it as a donor fail with ErrNoScan).
 	Scan ScanFunc
+	// TTL answers point TTL queries against the node's local store; nil
+	// means TTL queries routed to this node fail with ErrNoTTL.
+	TTL TTLFunc
+	// Count reports the node's live item count; nil means the count is
+	// unknown (KeyCounts reports -1).
+	Count func() int
 }
 
 // Config parameterizes a Cluster. Zero fields take defaults.
@@ -80,9 +96,11 @@ type Config struct {
 
 // node is the runtime state of one attached node.
 type node struct {
-	name string
-	pipe *client.Pipeline
-	scan ScanFunc
+	name  string
+	pipe  *client.Pipeline
+	scan  ScanFunc
+	ttl   TTLFunc
+	count func() int
 
 	// state mirrors the failure detector's verdict (a replica.State);
 	// the zero value is Alive, which is also the permanent state on
@@ -130,6 +148,10 @@ type Cluster struct {
 	// aggregate counters never run backwards across a topology change.
 	retiredMu sync.Mutex
 	retired   *stats.Histogram
+
+	// start is stamped once at construction; Stats derives uptime from it
+	// so no clock is read on the data path.
+	start time.Time
 }
 
 // New builds a cluster over the given nodes. Names must be unique and
@@ -162,7 +184,7 @@ func New(cfg Config, nodes []NodeConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, ring: ring, nodes: m}
+	c := &Cluster{cfg: cfg, ring: ring, nodes: m, start: time.Now()}
 	if cfg.Replicas > 1 {
 		c.rep = newRepState(cfg)
 		c.rep.det = replica.NewDetector(replica.Config{
@@ -180,7 +202,10 @@ func New(cfg Config, nodes []NodeConfig) (*Cluster, error) {
 }
 
 func newNode(nc NodeConfig) *node {
-	return &node{name: nc.Name, pipe: nc.Pipe, scan: nc.Scan, lat: stats.NewLatencyHistogram()}
+	return &node{
+		name: nc.Name, pipe: nc.Pipe, scan: nc.Scan, ttl: nc.TTL, count: nc.Count,
+		lat: stats.NewLatencyHistogram(),
+	}
 }
 
 // Ring returns the current ring (immutable; safe to use without locks).
@@ -246,6 +271,26 @@ func (c *Cluster) Get(ctx context.Context, key []byte) ([]byte, error) {
 		}
 		return v, err
 	}
+}
+
+// TTL answers a point TTL query for key against its ring owner's local
+// store (with replication the owner holds every key it owns, so a live
+// owner is authoritative). ok=false with a nil error means the key is
+// present but never expires; an absent key returns apierr.ErrNotFound;
+// a node attached without a TTL hook returns ErrNoTTL.
+func (c *Cluster) TTL(ctx context.Context, key []byte) (rem time.Duration, hasExpiry bool, err error) {
+	n, err := c.nodeFor(key)
+	if err != nil {
+		return 0, false, err
+	}
+	if n.ttl == nil {
+		return 0, false, fmt.Errorf("%w: %q", ErrNoTTL, n.name)
+	}
+	rem, hasExpiry, ok := n.ttl(key)
+	if !ok {
+		return 0, false, apierr.ErrNotFound
+	}
+	return rem, hasExpiry, nil
 }
 
 // Put stores value under key on its owner node.
@@ -436,6 +481,40 @@ type Stats struct {
 	Handoffs, HintsQueued, HintsDropped uint64
 	// NodesSuspect/NodesDead are the failure detector's current counts.
 	NodesSuspect, NodesDead int
+
+	// UptimeSeconds is the time since the cluster was constructed.
+	UptimeSeconds float64
+}
+
+// KeyCounts reports each live node's item count, -1 for nodes attached
+// without a Count hook.
+func (c *Cluster) KeyCounts() map[string]int {
+	c.mu.RLock()
+	nodes := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.RUnlock()
+	out := make(map[string]int, len(nodes))
+	for _, n := range nodes {
+		if n.count == nil {
+			out[n.name] = -1
+			continue
+		}
+		out[n.name] = n.count()
+	}
+	return out
+}
+
+// VNodes is the virtual-node count each member contributes to the ring.
+func (c *Cluster) VNodes() int { return c.Ring().vnodes }
+
+// Replicas is how many nodes hold each key (1 = unreplicated).
+func (c *Cluster) Replicas() int {
+	if c.cfg.Replicas < 1 {
+		return 1
+	}
+	return c.cfg.Replicas
 }
 
 // Stats snapshots the cluster counters.
@@ -449,6 +528,7 @@ func (c *Cluster) Stats() Stats {
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
 
 	var st Stats
+	st.UptimeSeconds = time.Since(c.start).Seconds()
 	merged := stats.NewLatencyHistogram()
 	c.retiredMu.Lock()
 	if c.retired != nil {

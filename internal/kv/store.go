@@ -267,6 +267,33 @@ func (s *Store) Get(key []byte, dst []byte) (val []byte, ok bool) {
 	return append(dst, item.Value...), true
 }
 
+// TTL reports the remaining time-to-live of key in nanoseconds: ok is
+// false when the key is absent (or already expired), hasExpiry is false
+// when the key is present but never expires. Like Get, the read pins a
+// guest reader on recycling stores so the inspected item cannot be
+// recycled mid-read.
+func (s *Store) TTL(key []byte) (remNs int64, hasExpiry, ok bool) {
+	var r *Reader
+	if s.cfg.Recycle {
+		r = s.guestPin()
+		defer s.guestUnpin(r)
+	}
+	item, _ := s.Find(key)
+	if item == nil {
+		return 0, false, false
+	}
+	if item.Expire == 0 {
+		return 0, false, true
+	}
+	rem := item.Expire - s.now()
+	if rem <= 0 {
+		// Expired between Find's check and the clock read; report the
+		// miss Find would have on the next call.
+		return 0, false, false
+	}
+	return rem, true, true
+}
+
 // GetItem returns the immutable item for key, or nil. The caller must not
 // modify the returned item. This is the zero-copy path the server uses to
 // build replies directly from item memory.

@@ -1,0 +1,15 @@
+// Package ops is the HTTP admin and metrics plane: a dependency-free
+// handler exposing GET /metrics (Prometheus text exposition format,
+// hand-rolled by the Metrics writer), GET /topology (the ring as JSON),
+// POST /nodes and DELETE /nodes/{name} (live AddNode/RemoveNode
+// migration), and GET /healthz. The handler is built over a narrow
+// Source interface the root package adapts the single-node Server and
+// the Cluster onto; topology and node control routes appear only when
+// the source implements the corresponding optional interfaces, so a
+// single node serves metrics and health without pretending to be a
+// fleet.
+//
+// CheckExposition is the line-oriented format checker the CI smoke test
+// runs over a live /metrics scrape, so the exposition format cannot
+// drift without a dependency on a real Prometheus parser.
+package ops

@@ -1,0 +1,182 @@
+package ops
+
+// The hand-rolled Prometheus side of the package: Metrics renders the
+// text exposition format (version 0.0.4) without any client library,
+// and CheckExposition validates a scrape line by line — the checker CI
+// runs against a live /metrics endpoint.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct{ Name, Value string }
+
+// Metrics accumulates an exposition-format document. Families are
+// declared implicitly: the first sample of a metric name emits its
+// # HELP and # TYPE comments, later samples of the same name (other
+// label sets) just add lines — callers emit a family's samples
+// consecutively, as the format requires.
+type Metrics struct {
+	b    []byte
+	seen map[string]bool
+}
+
+// Counter appends a counter sample (cumulative, monotone).
+func (m *Metrics) Counter(name, help string, v float64, labels ...Label) {
+	m.sample(name, help, "counter", v, labels)
+}
+
+// Gauge appends a gauge sample (point-in-time level).
+func (m *Metrics) Gauge(name, help string, v float64, labels ...Label) {
+	m.sample(name, help, "gauge", v, labels)
+}
+
+func (m *Metrics) sample(name, help, typ string, v float64, labels []Label) {
+	if m.seen == nil {
+		m.seen = make(map[string]bool)
+	}
+	if !m.seen[name] {
+		m.seen[name] = true
+		m.b = append(m.b, "# HELP "...)
+		m.b = append(m.b, name...)
+		m.b = append(m.b, ' ')
+		m.b = append(m.b, escapeHelp(help)...)
+		m.b = append(m.b, "\n# TYPE "...)
+		m.b = append(m.b, name...)
+		m.b = append(m.b, ' ')
+		m.b = append(m.b, typ...)
+		m.b = append(m.b, '\n')
+	}
+	m.b = append(m.b, name...)
+	if len(labels) > 0 {
+		m.b = append(m.b, '{')
+		for i, l := range labels {
+			if i > 0 {
+				m.b = append(m.b, ',')
+			}
+			m.b = append(m.b, l.Name...)
+			m.b = append(m.b, '=', '"')
+			m.b = append(m.b, escapeLabel(l.Value)...)
+			m.b = append(m.b, '"')
+		}
+		m.b = append(m.b, '}')
+	}
+	m.b = append(m.b, ' ')
+	m.b = strconv.AppendFloat(m.b, v, 'g', -1, 64)
+	m.b = append(m.b, '\n')
+}
+
+// WriteTo writes the accumulated document.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(m.b)
+	return int64(n), err
+}
+
+// Bytes returns the accumulated document.
+func (m *Metrics) Bytes() []byte { return m.b }
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Exposition-format grammar, line-oriented. Metric and label names per
+// the Prometheus data model; sample values are Go floats plus the
+// special forms +Inf/-Inf/NaN; an optional integer timestamp may trail.
+var (
+	metricName = `[a-zA-Z_:][a-zA-Z0-9_:]*`
+	labelRe    = `[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"`
+	sampleRe   = regexp.MustCompile(`^(` + metricName + `)(\{` + labelRe + `(?:,` + labelRe + `)*,?\})? (\S+)( -?\d+)?$`)
+	helpRe     = regexp.MustCompile(`^# HELP (` + metricName + `)( .*)?$`)
+	typeRe     = regexp.MustCompile(`^# TYPE (` + metricName + `) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// CheckExposition validates a Prometheus text-format document line by
+// line: every line must be blank, a well-formed # HELP/# TYPE comment
+// (other comments are permitted), or a sample whose value parses as a
+// float; a family that declares a TYPE must declare it before its first
+// sample, and may declare it only once. It returns the first violation,
+// nil for a valid document, and an error for an empty one (a scrape
+// that serves nothing is a broken endpoint, not a trivially valid
+// document).
+func CheckExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	typedAt := make(map[string]int)  // family -> TYPE line number
+	sampleAt := make(map[string]int) // family -> first sample line number
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				return fmt.Errorf("line %d: malformed HELP comment: %q", lineNo, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+			}
+			if _, dup := typedAt[m[1]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, m[1])
+			}
+			typedAt[m[1]] = lineNo
+		case strings.HasPrefix(line, "#"):
+			// Free-form comment.
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+			}
+			if v := m[3]; v != "+Inf" && v != "-Inf" && v != "NaN" {
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					return fmt.Errorf("line %d: bad sample value %q: %v", lineNo, v, err)
+				}
+			}
+			// Histogram/summary samples attach to their base family for
+			// the TYPE-ordering rule.
+			base := m[1]
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				base = strings.TrimSuffix(base, suf)
+			}
+			for _, fam := range []string{m[1], base} {
+				if _, seen := sampleAt[fam]; !seen {
+					sampleAt[fam] = lineNo
+				}
+			}
+			samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, tl := range typedAt {
+		if sl, ok := sampleAt[fam]; ok && sl < tl {
+			return fmt.Errorf("line %d: sample of %q precedes its TYPE (line %d)", sl, fam, tl)
+		}
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Source supplies what every ops plane serves: the metrics document.
+// Optional capabilities — a topology to report, nodes to add and remove
+// — are discovered by interface assertion (TopologySource, Controller),
+// so a single-node plane simply lacks those routes.
+type Source interface {
+	// WriteMetrics appends the instance's current metric samples.
+	WriteMetrics(m *Metrics)
+}
+
+// Topology is the JSON document GET /topology serves.
+type Topology struct {
+	// Nodes lists the ring members, sorted by name.
+	Nodes []TopologyNode `json:"nodes"`
+	// VNodes is the virtual-node count each member contributes.
+	VNodes int `json:"vnodesPerNode"`
+	// Replicas is how many nodes hold each key (1 = unreplicated).
+	Replicas int `json:"replicas"`
+}
+
+// TopologyNode is one ring member.
+type TopologyNode struct {
+	Name string `json:"name"`
+	// State is the failure detector's verdict ("alive", "suspect",
+	// "dead").
+	State string `json:"state"`
+	// Keys is the node's live item count; -1 when the node cannot be
+	// introspected (attached without a server handle).
+	Keys int `json:"keys"`
+}
+
+// TopologySource is implemented by cluster-backed sources.
+type TopologySource interface {
+	Topology() Topology
+}
+
+// Controller drives live topology changes: POST /nodes and
+// DELETE /nodes/{name}. Implemented by cluster-backed sources wired
+// with a node provisioner.
+type Controller interface {
+	// AddNode provisions a node named name, joins it to the ring and
+	// migrates its keys onto it, returning how many moved.
+	AddNode(ctx context.Context, name string) (moved int, err error)
+	// RemoveNode drains the named node and detaches it.
+	RemoveNode(ctx context.Context, name string) (moved int, err error)
+}
+
+// Well-known error strings a Controller can wrap to pick the HTTP
+// status of a failed topology change (the root package maps the
+// cluster's sentinel errors onto these).
+var (
+	// ErrUnknownNode → 404.
+	ErrUnknownNode = errors.New("ops: unknown node")
+	// ErrNodeExists → 409.
+	ErrNodeExists = errors.New("ops: node already exists")
+	// ErrUnsupported → 501 (no provisioner configured, or not a
+	// cluster).
+	ErrUnsupported = errors.New("ops: operation not supported")
+)
+
+// changeTimeout bounds a topology change driven over HTTP; a migration
+// that cannot finish in this window leaves the ring unchanged (the
+// cluster layer's rollback contract) and reports 500.
+const changeTimeout = 5 * time.Minute
+
+// NewHandler builds the admin/metrics handler over src.
+func NewHandler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var m Metrics
+		src.WriteMetrics(&m)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteTo(w)
+	})
+	mux.HandleFunc("/topology", func(w http.ResponseWriter, r *http.Request) {
+		ts, ok := src.(TopologySource)
+		if !ok {
+			http.Error(w, "not a cluster", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, ts.Topology())
+	})
+	mux.HandleFunc("/nodes", func(w http.ResponseWriter, r *http.Request) {
+		handleNodes(w, r, src, "")
+	})
+	mux.HandleFunc("/nodes/", func(w http.ResponseWriter, r *http.Request) {
+		handleNodes(w, r, src, strings.TrimPrefix(r.URL.Path, "/nodes/"))
+	})
+	return mux
+}
+
+// nodeChange is the JSON reply of a successful POST/DELETE on /nodes.
+type nodeChange struct {
+	Node  string `json:"node"`
+	Moved int    `json:"moved"` // keys migrated by the change
+}
+
+func handleNodes(w http.ResponseWriter, r *http.Request, src Source, pathName string) {
+	ctl, ok := src.(Controller)
+	if !ok {
+		http.Error(w, "not a cluster", http.StatusNotFound)
+		return
+	}
+	name := pathName
+	if name == "" {
+		name = r.URL.Query().Get("name")
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), changeTimeout)
+	defer cancel()
+	switch r.Method {
+	case http.MethodPost:
+		if name == "" {
+			http.Error(w, "missing node name (POST /nodes?name=... or /nodes/{name})", http.StatusBadRequest)
+			return
+		}
+		moved, err := ctl.AddNode(ctx, name)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nodeChange{Node: name, Moved: moved})
+	case http.MethodDelete:
+		if name == "" {
+			http.Error(w, "missing node name (DELETE /nodes/{name})", http.StatusBadRequest)
+			return
+		}
+		moved, err := ctl.RemoveNode(ctx, name)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nodeChange{Node: name, Moved: moved})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownNode):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNodeExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrUnsupported):
+		status = http.StatusNotImplemented
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,242 @@
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeSource serves a couple of metrics; with cluster=true it also
+// implements TopologySource and Controller over a mutable node list.
+type fakeSource struct {
+	cluster bool
+	nodes   []string
+	addErr  error
+}
+
+func (f *fakeSource) WriteMetrics(m *Metrics) {
+	m.Counter("fake_ops_total", "Operations served.", 42)
+	m.Gauge("fake_mem_bytes", "Live bytes.", 1<<20)
+	for i, n := range f.nodes {
+		m.Gauge("fake_node_p99_seconds", "Per-node p99.", float64(i)/1e3, Label{"node", n})
+	}
+}
+
+type clusterSource struct{ *fakeSource }
+
+func (c clusterSource) Topology() Topology {
+	t := Topology{VNodes: 256, Replicas: 2}
+	for _, n := range c.nodes {
+		t.Nodes = append(t.Nodes, TopologyNode{Name: n, State: "alive", Keys: 10})
+	}
+	return t
+}
+
+func (c clusterSource) AddNode(_ context.Context, name string) (int, error) {
+	if c.addErr != nil {
+		return 0, c.addErr
+	}
+	for _, n := range c.nodes {
+		if n == name {
+			return 0, fmt.Errorf("%w: %s", ErrNodeExists, name)
+		}
+	}
+	c.fakeSource.nodes = append(c.fakeSource.nodes, name)
+	return 7, nil
+}
+
+func (c clusterSource) RemoveNode(_ context.Context, name string) (int, error) {
+	for i, n := range c.nodes {
+		if n == name {
+			c.fakeSource.nodes = append(c.fakeSource.nodes[:i], c.fakeSource.nodes[i+1:]...)
+			return 3, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s", ErrUnknownNode, name)
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, readAll(t, resp)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSingleNodeHandler(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(&fakeSource{}))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/healthz")
+	if resp.StatusCode != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, body = get(t, srv, "/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	if err := CheckExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "fake_ops_total 42") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+
+	// No topology, no node control on a single node.
+	if resp, _ := get(t, srv, "/topology"); resp.StatusCode != 404 {
+		t.Fatalf("topology on single node = %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/nodes?name=x", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("POST /nodes on single node = %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestClusterHandlerTopologyAndNodes(t *testing.T) {
+	src := clusterSource{&fakeSource{cluster: true, nodes: []string{"n0", "n1", "n2"}}}
+	srv := httptest.NewServer(NewHandler(src))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/topology")
+	if resp.StatusCode != 200 {
+		t.Fatalf("topology = %d", resp.StatusCode)
+	}
+	var topo Topology
+	if err := json.Unmarshal([]byte(body), &topo); err != nil {
+		t.Fatalf("topology JSON: %v\n%s", err, body)
+	}
+	if len(topo.Nodes) != 3 || topo.VNodes != 256 || topo.Replicas != 2 {
+		t.Fatalf("topology = %+v", topo)
+	}
+
+	// Per-node metric lines carry node labels and pass the checker.
+	_, body = get(t, srv, "/metrics")
+	if !strings.Contains(body, `fake_node_p99_seconds{node="n1"}`) {
+		t.Fatalf("metrics missing per-node sample:\n%s", body)
+	}
+	if err := CheckExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+
+	// POST adds, duplicate conflicts, DELETE removes, unknown 404s.
+	post := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp, readAll(t, resp)
+	}
+	resp3, body := post("/nodes?name=n3")
+	if resp3.StatusCode != 200 || !strings.Contains(body, `"moved": 7`) {
+		t.Fatalf("POST /nodes = %d %q", resp3.StatusCode, body)
+	}
+	if resp3, _ = post("/nodes/n0"); resp3.StatusCode != 409 {
+		t.Fatalf("duplicate POST = %d, want 409", resp3.StatusCode)
+	}
+	del := func(path string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := del("/nodes/n3"); resp.StatusCode != 200 {
+		t.Fatalf("DELETE /nodes/n3 = %d", resp.StatusCode)
+	}
+	if resp := del("/nodes/ghost"); resp.StatusCode != 404 {
+		t.Fatalf("DELETE unknown = %d, want 404", resp.StatusCode)
+	}
+	if resp := del("/nodes/"); resp.StatusCode != 400 {
+		t.Fatalf("DELETE without name = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestControllerErrorMapping(t *testing.T) {
+	src := clusterSource{&fakeSource{cluster: true, addErr: fmt.Errorf("wrap: %w", ErrUnsupported)}}
+	srv := httptest.NewServer(NewHandler(src))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/nodes?name=x", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 501 {
+		t.Fatalf("unsupported AddNode = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestMetricsWriterEscaping(t *testing.T) {
+	var m Metrics
+	m.Gauge("esc_metric", "help with \\ backslash\nand newline", 1,
+		Label{"l", "quote\" back\\ nl\n"})
+	out := string(m.Bytes())
+	if !strings.Contains(out, `l="quote\" back\\ nl\n"`) {
+		t.Fatalf("label escaping:\n%s", out)
+	}
+	if !strings.Contains(out, `help with \\ backslash\nand newline`) {
+		t.Fatalf("help escaping:\n%s", out)
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("escaped output invalid: %v\n%s", err, out)
+	}
+}
+
+func TestCheckExposition(t *testing.T) {
+	valid := `# HELP a_total Things.
+# TYPE a_total counter
+a_total 1
+a_total{x="y"} 2.5e3
+# TYPE b gauge
+b{q="0.99"} +Inf
+
+# a free comment
+untyped_loner 7
+`
+	if err := CheckExposition(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	invalid := []string{
+		"",                             // empty scrape
+		"# TYPE a wrongtype\na 1\n",    // bad type
+		"a 1\n# TYPE a counter\na 2\n", // sample precedes TYPE
+		"# TYPE a counter\n# TYPE a counter\na 1\n", // duplicate TYPE
+		"9metric 1\n",                              // bad name
+		"# TYPE a counter\na notanum\n",            // bad value
+		"# TYPE a counter\na{bad-label=\"x\"} 1\n", // bad label name
+	}
+	for _, doc := range invalid {
+		if err := CheckExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("accepted invalid doc %q", doc)
+		}
+	}
+}

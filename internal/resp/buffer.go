@@ -1,0 +1,66 @@
+package resp
+
+import "github.com/minoskv/minos/internal/mem"
+
+// buffer is a growable byte buffer whose backing storage is leased from
+// the global size-classed recycler (internal/mem) while it fits a size
+// class, falling back to plain heap memory beyond that. Each connection
+// owns three — read, write and value scratch — reused for the
+// connection's lifetime and released when it closes, so the steady
+// state of a pipelined connection allocates nothing per command and a
+// closed connection returns its buffers to the pool other connections
+// lease from.
+type buffer struct {
+	// lease is the recycler's buffer backing data; nil when the buffer
+	// outgrew MaxClassSize (or an append migrated it) and the GC owns
+	// the storage instead.
+	lease *mem.Buf
+	data  []byte
+}
+
+func (b *buffer) init(n int) {
+	b.lease = mem.Lease(n)
+	b.data = b.lease.Data[:0]
+}
+
+// grow ensures capacity for at least n more bytes without reallocating,
+// so a subsequent append stays inside storage the buffer tracks.
+func (b *buffer) grow(n int) {
+	if cap(b.data)-len(b.data) >= n {
+		return
+	}
+	want := cap(b.data) * 2
+	if want < len(b.data)+n {
+		want = len(b.data) + n
+	}
+	nl := mem.Lease(want)
+	next := nl.Data[:len(b.data)]
+	copy(next, b.data)
+	b.release()
+	b.lease = nl
+	b.data = next
+}
+
+// adopt takes ownership of d, the result of appending to b.data by code
+// the buffer does not control (a Backend's GetInto). If the append
+// outgrew the leased storage, the runtime moved the bytes to fresh heap
+// memory; the orphaned lease is returned to the pool and the buffer
+// keeps the larger heap backing from then on.
+func (b *buffer) adopt(d []byte) {
+	migrated := b.lease != nil && cap(d) != cap(b.lease.Data)
+	b.data = d
+	if migrated {
+		b.lease.Release()
+		b.lease = nil
+	}
+}
+
+func (b *buffer) reset() { b.data = b.data[:0] }
+
+func (b *buffer) release() {
+	if b.lease != nil {
+		b.lease.Release()
+		b.lease = nil
+	}
+	b.data = nil
+}

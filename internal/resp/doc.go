@@ -1,0 +1,18 @@
+// Package resp is the RESP2-subset TCP front end: a goroutine-per-
+// connection listener that parses inline and multibulk commands
+// (GET/SET [EX|PX]/DEL/EXISTS/TTL/PING/ECHO/QUIT/INFO/COMMAND), maps
+// them 1:1 onto a Backend — the v1 engine on a single node, the cluster
+// engine on a fleet — and translates the apierr taxonomy to RESP errors
+// (nil bulk for a miss, -ERR for everything else). Connections are
+// pipelined: any number of commands may be in flight, replies come back
+// in order, batched into one write per read burst. The per-connection
+// read/write/value buffers are leased from internal/mem and reused for
+// the connection's lifetime, so a steady state of small GETs and SETs
+// allocates nothing per command (gated by BenchmarkRESPGetRoundTrip /
+// BenchmarkRESPSetRoundTrip and cmd/benchgate).
+//
+// The subset speaks enough of the wire protocol for stock redis-cli and
+// memtier-style load generators; transactions, pub/sub, SELECT and
+// RESP3 are deliberately out of scope (DESIGN.md "Front end & ops
+// plane").
+package resp

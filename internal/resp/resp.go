@@ -1,0 +1,282 @@
+package resp
+
+// The protocol layer: an incremental RESP2 command parser and the reply
+// appenders. Parsing is allocation-free — argument slices alias the
+// connection's read buffer and are only valid until the next parse —
+// and appenders write into a caller-managed buffer, so the conn loop
+// controls every byte of memory on the hot path.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Limits bounds what the parser accepts before it calls a connection
+// abusive. Zero fields take the defaults.
+type Limits struct {
+	// MaxBulk is the largest single bulk argument (command name, key or
+	// value) in bytes. Default DefaultMaxBulk. The engine's own value
+	// cap should be below this so an oversize SET gets a clean engine
+	// error (-ERR value too large) instead of a protocol error.
+	MaxBulk int
+	// MaxArgs is the largest argument count of one command (DEL and
+	// EXISTS are variadic). Default DefaultMaxArgs.
+	MaxArgs int
+	// MaxInline is the longest accepted inline command line. Default
+	// DefaultMaxInline.
+	MaxInline int
+}
+
+// Parser defaults.
+const (
+	DefaultMaxBulk   = 1 << 20
+	DefaultMaxArgs   = 1024
+	DefaultMaxInline = 1 << 16
+)
+
+func (l *Limits) setDefaults() {
+	if l.MaxBulk <= 0 {
+		l.MaxBulk = DefaultMaxBulk
+	}
+	if l.MaxArgs <= 0 {
+		l.MaxArgs = DefaultMaxArgs
+	}
+	if l.MaxInline <= 0 {
+		l.MaxInline = DefaultMaxInline
+	}
+}
+
+// errIncomplete reports that buf does not yet hold a full command; the
+// caller reads more bytes and retries.
+var errIncomplete = errors.New("resp: incomplete command")
+
+// protoError is a protocol violation: the connection gets one -ERR
+// reply with the message and is then closed, the way Redis handles
+// unparseable input.
+type protoError struct{ msg string }
+
+func (e *protoError) Error() string { return e.msg }
+
+func protoErrorf(format string, args ...any) error {
+	return &protoError{msg: fmt.Sprintf(format, args...)}
+}
+
+// parseCommand parses one command from buf into args (reusing its
+// backing array), returning the argument slices, the bytes consumed and
+// an error: errIncomplete when buf holds only a prefix of a command, a
+// *protoError on malformed input. Returned argument slices alias buf.
+//
+// Both RESP forms are accepted: a multibulk array of bulk strings
+// ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n") — what every client library and
+// redis-cli send — and the space-separated inline form ("GET k\r\n")
+// that makes `nc` and telnet usable against the server.
+func parseCommand(buf []byte, lim Limits, args [][]byte) ([][]byte, int, error) {
+	args = args[:0]
+	if len(buf) == 0 {
+		return args, 0, errIncomplete
+	}
+	if buf[0] != '*' {
+		return parseInline(buf, lim, args)
+	}
+	n, pos, err := parseIntLine(buf, 1)
+	if err != nil {
+		if err == errIncomplete && len(buf) > maxIntLine {
+			return args, 0, protoErrorf("Protocol error: too big mbulk count string")
+		}
+		return args, 0, err
+	}
+	if n < 0 || n > int64(lim.MaxArgs) {
+		return args, 0, protoErrorf("Protocol error: invalid multibulk length")
+	}
+	for i := int64(0); i < n; i++ {
+		if pos >= len(buf) {
+			return args, 0, errIncomplete
+		}
+		if buf[pos] != '$' {
+			return args, 0, protoErrorf("Protocol error: expected '$', got '%c'", buf[pos])
+		}
+		blen, next, err := parseIntLine(buf, pos+1)
+		if err != nil {
+			if err == errIncomplete && len(buf)-pos > maxIntLine {
+				return args, 0, protoErrorf("Protocol error: too big bulk count string")
+			}
+			return args, 0, err
+		}
+		if blen < 0 || blen > int64(lim.MaxBulk) {
+			return args, 0, protoErrorf("Protocol error: invalid bulk length")
+		}
+		end := next + int(blen)
+		if end+2 > len(buf) {
+			return args, 0, errIncomplete
+		}
+		if buf[end] != '\r' || buf[end+1] != '\n' {
+			return args, 0, protoErrorf("Protocol error: bulk string not CRLF-terminated")
+		}
+		args = append(args, buf[next:end])
+		pos = end + 2
+	}
+	return args, pos, nil
+}
+
+// maxIntLine bounds the digits of a length header; anything longer is a
+// protocol error rather than a reason to buffer forever.
+const maxIntLine = 32
+
+// parseIntLine reads a decimal integer starting at buf[pos], terminated
+// by CRLF, returning the value and the offset past the terminator.
+func parseIntLine(buf []byte, pos int) (int64, int, error) {
+	i := pos
+	neg := false
+	if i < len(buf) && buf[i] == '-' {
+		neg = true
+		i++
+	}
+	var v int64
+	digits := 0
+	for ; i < len(buf); i++ {
+		c := buf[i]
+		if c == '\r' {
+			if i+1 >= len(buf) {
+				return 0, 0, errIncomplete
+			}
+			if buf[i+1] != '\n' {
+				return 0, 0, protoErrorf("Protocol error: expected LF after CR")
+			}
+			if digits == 0 {
+				return 0, 0, protoErrorf("Protocol error: empty length")
+			}
+			if neg {
+				v = -v
+			}
+			return v, i + 2, nil
+		}
+		if c < '0' || c > '9' || digits >= maxIntLine {
+			return 0, 0, protoErrorf("Protocol error: invalid length byte '%c'", c)
+		}
+		v = v*10 + int64(c-'0')
+		digits++
+	}
+	return 0, 0, errIncomplete
+}
+
+// parseInline parses the inline command form: space-separated words on
+// one line. An empty line is a valid no-op (zero args).
+func parseInline(buf []byte, lim Limits, args [][]byte) ([][]byte, int, error) {
+	end := -1
+	for i, c := range buf {
+		if c == '\n' {
+			end = i
+			break
+		}
+		if i >= lim.MaxInline {
+			return args, 0, protoErrorf("Protocol error: too big inline request")
+		}
+	}
+	if end < 0 {
+		if len(buf) > lim.MaxInline {
+			return args, 0, protoErrorf("Protocol error: too big inline request")
+		}
+		return args, 0, errIncomplete
+	}
+	line := buf[:end]
+	if end > 0 && line[end-1] == '\r' {
+		line = line[:end-1]
+	}
+	for i := 0; i < len(line); {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			if len(args) >= lim.MaxArgs {
+				return args, 0, protoErrorf("Protocol error: too many inline arguments")
+			}
+			args = append(args, line[start:i])
+		}
+	}
+	return args, end + 1, nil
+}
+
+// parseArgInt parses a decimal integer command argument (e.g. the EX
+// seconds of a SET) without converting to string, so the SET hot path
+// stays allocation-free.
+func parseArgInt(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 19 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i++
+		if len(b) == 1 {
+			return 0, false
+		}
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(b[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// Reply appenders. Each appends one RESP reply to b and returns the
+// extended slice; the conn loop pre-grows its write buffer so these
+// appends never reallocate on the hot path.
+
+func appendSimple(b []byte, s string) []byte {
+	b = append(b, '+')
+	b = append(b, s...)
+	return append(b, '\r', '\n')
+}
+
+func appendError(b []byte, msg string) []byte {
+	b = append(b, '-')
+	b = append(b, msg...)
+	return append(b, '\r', '\n')
+}
+
+func appendInt(b []byte, n int64) []byte {
+	b = append(b, ':')
+	b = strconv.AppendInt(b, n, 10)
+	return append(b, '\r', '\n')
+}
+
+func appendBulk(b, val []byte) []byte {
+	b = append(b, '$')
+	b = strconv.AppendInt(b, int64(len(val)), 10)
+	b = append(b, '\r', '\n')
+	b = append(b, val...)
+	return append(b, '\r', '\n')
+}
+
+func appendNilBulk(b []byte) []byte {
+	return append(b, '$', '-', '1', '\r', '\n')
+}
+
+func appendArrayHeader(b []byte, n int) []byte {
+	b = append(b, '*')
+	b = strconv.AppendInt(b, int64(n), 10)
+	return append(b, '\r', '\n')
+}
+
+// upperInPlace ASCII-uppercases b (command names and option words are
+// parsed case-insensitively; the bytes belong to the read buffer, so
+// rewriting them is free).
+func upperInPlace(b []byte) {
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func parseAll(t *testing.T, input string, lim Limits) (cmds [][]string, consumed int, err error) {
+	t.Helper()
+	lim.setDefaults()
+	buf := []byte(input)
+	pos := 0
+	var args [][]byte
+	for {
+		var n int
+		args, n, err = parseCommand(buf[pos:], lim, args[:0])
+		if err != nil {
+			return cmds, pos, err
+		}
+		pos += n
+		cmd := make([]string, len(args))
+		for i, a := range args {
+			cmd[i] = string(a)
+		}
+		cmds = append(cmds, cmd)
+	}
+}
+
+func TestParseMultibulk(t *testing.T) {
+	cmds, _, err := parseAll(t, "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n", Limits{})
+	if !errors.Is(err, errIncomplete) {
+		t.Fatalf("trailing err = %v, want errIncomplete", err)
+	}
+	if len(cmds) != 1 || len(cmds[0]) != 3 || cmds[0][0] != "SET" || cmds[0][2] != "hello" {
+		t.Fatalf("parsed %q", cmds)
+	}
+}
+
+func TestParsePipelined(t *testing.T) {
+	in := "*2\r\n$3\r\nGET\r\n$1\r\na\r\n*2\r\n$3\r\nGET\r\n$1\r\nb\r\nPING\r\n"
+	cmds, consumed, err := parseAll(t, in, Limits{})
+	if !errors.Is(err, errIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+	if consumed != len(in) {
+		t.Fatalf("consumed %d of %d", consumed, len(in))
+	}
+	if len(cmds) != 3 || cmds[2][0] != "PING" {
+		t.Fatalf("parsed %q", cmds)
+	}
+}
+
+func TestParseInlineForms(t *testing.T) {
+	cmds, _, err := parseAll(t, "GET  key1\r\n\r\nSET k v\n", Limits{})
+	if !errors.Is(err, errIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+	// The empty line is a no-op that produces no command.
+	if len(cmds) != 3 {
+		t.Fatalf("parsed %d commands %q, want 3 (one empty)", len(cmds), cmds)
+	}
+	if len(cmds[0]) != 2 || cmds[0][1] != "key1" {
+		t.Fatalf("inline 0 = %q", cmds[0])
+	}
+	if len(cmds[1]) != 0 {
+		t.Fatalf("empty line = %q, want no args", cmds[1])
+	}
+	if len(cmds[2]) != 3 || cmds[2][0] != "SET" {
+		t.Fatalf("inline 2 = %q", cmds[2])
+	}
+}
+
+func TestParseIncompleteEverywhere(t *testing.T) {
+	// Every proper prefix of a valid command must report incomplete,
+	// never a protocol error or a short parse.
+	full := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nvv\r\n"
+	for i := 0; i < len(full); i++ {
+		_, _, err := parseAll(t, full[:i], Limits{})
+		if !errors.Is(err, errIncomplete) {
+			t.Fatalf("prefix %d (%q): err = %v, want errIncomplete", i, full[:i], err)
+		}
+	}
+}
+
+func TestParseProtocolErrors(t *testing.T) {
+	var pe *protoError
+	cases := []string{
+		"*abc\r\n",
+		"*2\r\nX3\r\nGET\r\n$1\r\nk\r\n",
+		"*1\r\n$-5\r\n",
+		"*1\r\n$3\r\nGETxx",   // bulk not CRLF-terminated
+		"*999999\r\n",         // over MaxArgs
+		"*1\r\n$99999999\r\n", // over MaxBulk
+		"*1\r\n$2222222222222222222222222222222222222\r\n", // absurd digits
+	}
+	for _, in := range cases {
+		lim := Limits{MaxBulk: 1024, MaxArgs: 16}
+		lim.setDefaults()
+		_, _, err := parseCommand([]byte(in), lim, nil)
+		if !errors.As(err, &pe) {
+			t.Errorf("%q: err = %v, want protoError", in, err)
+		}
+	}
+}
+
+func TestParseInlineTooLong(t *testing.T) {
+	lim := Limits{MaxInline: 16}
+	lim.setDefaults()
+	var pe *protoError
+	_, _, err := parseCommand(bytes.Repeat([]byte{'a'}, 64), lim, nil)
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want protoError", err)
+	}
+}
+
+func TestParseArgInt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true}, {"42", 42, true}, {"-7", -7, true},
+		{"", 0, false}, {"-", 0, false}, {"4x2", 0, false},
+		{"99999999999999999999999", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseArgInt([]byte(c.in))
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseArgInt(%q) = %d,%v want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestAppenders(t *testing.T) {
+	if got := string(appendSimple(nil, "OK")); got != "+OK\r\n" {
+		t.Errorf("simple = %q", got)
+	}
+	if got := string(appendError(nil, "ERR boom")); got != "-ERR boom\r\n" {
+		t.Errorf("error = %q", got)
+	}
+	if got := string(appendInt(nil, -2)); got != ":-2\r\n" {
+		t.Errorf("int = %q", got)
+	}
+	if got := string(appendBulk(nil, []byte("hi"))); got != "$2\r\nhi\r\n" {
+		t.Errorf("bulk = %q", got)
+	}
+	if got := string(appendNilBulk(nil)); got != "$-1\r\n" {
+		t.Errorf("nil = %q", got)
+	}
+	if got := string(appendArrayHeader(nil, 0)); got != "*0\r\n" {
+		t.Errorf("array = %q", got)
+	}
+}

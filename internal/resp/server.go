@@ -1,0 +1,470 @@
+package resp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
+)
+
+// Backend is the engine a RESP listener fronts: the single-node store
+// on a Server, the consistent-hash cluster engine on a fleet. All
+// methods must be safe for concurrent use (one goroutine per
+// connection). Errors follow the apierr taxonomy; the dispatcher
+// translates them (apierr.ErrNotFound becomes a nil bulk or a zero
+// count, everything else a -ERR reply).
+type Backend interface {
+	// GetInto appends the value for key to dst and returns the extended
+	// slice; a miss returns dst unchanged and apierr.ErrNotFound.
+	GetInto(ctx context.Context, key, dst []byte) ([]byte, error)
+	// Set stores value under key; ttl <= 0 never expires.
+	Set(ctx context.Context, key, value []byte, ttl time.Duration) error
+	// Delete removes key, apierr.ErrNotFound when absent.
+	Delete(ctx context.Context, key []byte) error
+	// TTL reports key's remaining time-to-live: hasExpiry false for an
+	// immortal key, apierr.ErrNotFound for an absent one.
+	TTL(ctx context.Context, key []byte) (rem time.Duration, hasExpiry bool, err error)
+	// AppendInfo appends the INFO reply body (CRLF-separated
+	// "field:value" lines grouped under "# Section" headers). Cold
+	// path; it may allocate.
+	AppendInfo(dst []byte) []byte
+}
+
+// Stats are a Server's cumulative connection and command counters
+// (Active is a gauge), exported on the ops plane.
+type Stats struct {
+	Accepted uint64 // connections accepted
+	Active   int64  // connections currently open
+	Commands uint64 // commands dispatched (pipelined commands count individually)
+	Errors   uint64 // -ERR replies sent, protocol errors included
+}
+
+// Server is a RESP front end over one listener. Serve blocks; closing
+// the listener (or calling Close) stops the accept loop, closes every
+// live connection and waits for their handlers, so a returned Serve
+// means no goroutine or buffer lease is left behind.
+type Server struct {
+	be  Backend
+	lim Limits
+	ctx context.Context
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted atomic.Uint64
+	active   atomic.Int64
+	commands atomic.Uint64
+	errs     atomic.Uint64
+}
+
+// NewServer builds a front end over be. The zero Limits take defaults;
+// the caller aligns MaxBulk with the engine's value cap (slightly
+// above, so an oversize value is an engine error, not a protocol one).
+func NewServer(be Backend, lim Limits) *Server {
+	lim.setDefaults()
+	return &Server{
+		be:    be,
+		lim:   lim,
+		ctx:   context.Background(),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted: s.accepted.Load(),
+		Active:   s.active.Load(),
+		Commands: s.commands.Load(),
+		Errors:   s.errs.Load(),
+	}
+}
+
+// Serve accepts connections on ln until it closes (or Close is called),
+// then tears down live connections, waits for their handlers and
+// returns nil. Errors other than the listener closing are returned
+// after the same teardown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return apierr.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	var err error
+	for {
+		nc, aerr := ln.Accept()
+		if aerr != nil {
+			var ne net.Error
+			if errors.As(aerr, &ne) && ne.Timeout() {
+				continue
+			}
+			if !errors.Is(aerr, net.ErrClosed) {
+				err = aerr
+			}
+			break
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			break
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
+		c := &conn{srv: s, nc: nc}
+		go c.serve()
+	}
+	s.Close()
+	return err
+}
+
+// Close stops the accept loop, closes every live connection and waits
+// for the handlers to drain. Safe to call multiple times and
+// concurrently with Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) removeConn(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	s.active.Add(-1)
+	s.wg.Done()
+}
+
+// readChunk is the minimum free read-buffer space before a Read; small
+// commands arrive whole, large values grow the buffer as they stream.
+const readChunk = 4096
+
+// flushAt bounds how many reply bytes accumulate before an early write,
+// so a deeply pipelined burst of large GETs does not buffer unbounded
+// memory (replies stay in order; flushing early is always safe).
+const flushAt = 256 << 10
+
+// conn serves one RESP connection: read a burst, parse and execute
+// every complete command, batch the in-order replies into one write.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	r    buffer   // incoming bytes; args alias it between reads
+	w    buffer   // accumulated replies
+	v    buffer   // value scratch (GetInto target)
+	args [][]byte // parsed argument slices, reused across commands
+}
+
+func (c *conn) serve() {
+	defer func() {
+		c.nc.Close()
+		c.r.release()
+		c.w.release()
+		c.v.release()
+		c.srv.removeConn(c.nc)
+	}()
+	c.r.init(readChunk)
+	c.w.init(readChunk)
+	c.v.init(readChunk)
+
+	pos := 0 // parse offset into c.r.data
+	for {
+		for {
+			args, n, err := parseCommand(c.r.data[pos:], c.srv.lim, c.args)
+			c.args = args
+			if err == errIncomplete {
+				break
+			}
+			if err != nil {
+				// Protocol violation: one -ERR, then hang up, the way
+				// Redis treats unparseable input.
+				c.srv.errs.Add(1)
+				c.w.grow(len(err.Error()) + 8)
+				c.w.adopt(appendError(c.w.data, "ERR "+err.Error()))
+				c.flush()
+				return
+			}
+			pos += n
+			if len(args) == 0 {
+				continue // empty inline line: no-op
+			}
+			c.srv.commands.Add(1)
+			if quit := c.dispatch(args); quit {
+				c.flush()
+				return
+			}
+			if len(c.w.data) >= flushAt {
+				if !c.flush() {
+					return
+				}
+			}
+		}
+		if len(c.w.data) > 0 && !c.flush() {
+			return
+		}
+		// Compact the consumed prefix, then read more. The argument
+		// slices of past commands are dead here — every command is
+		// executed before its bytes are recycled.
+		if pos > 0 {
+			c.r.data = c.r.data[:copy(c.r.data, c.r.data[pos:])]
+			pos = 0
+		}
+		c.r.grow(readChunk)
+		free := c.r.data[len(c.r.data):cap(c.r.data)]
+		n, err := c.nc.Read(free)
+		if n > 0 {
+			c.r.data = c.r.data[:len(c.r.data)+n]
+		}
+		if err != nil {
+			// EOF, half-close or reset: either way the conversation is
+			// over. A partial command still buffered is discarded.
+			return
+		}
+	}
+}
+
+// flush writes the accumulated replies; false means the connection is
+// dead and the handler should exit.
+func (c *conn) flush() bool {
+	if len(c.w.data) == 0 {
+		return true
+	}
+	_, err := c.nc.Write(c.w.data)
+	c.w.reset()
+	return err == nil
+}
+
+// dispatch executes one parsed command, appending its reply to c.w.
+// It returns true when the connection should close (QUIT).
+func (c *conn) dispatch(args [][]byte) (quit bool) {
+	be, ctx := c.srv.be, c.srv.ctx
+	cmd := args[0]
+	upperInPlace(cmd)
+	switch string(cmd) {
+	case "GET":
+		if len(args) != 2 {
+			c.arityError(cmd)
+			return false
+		}
+		c.v.reset()
+		val, err := be.GetInto(ctx, args[1], c.v.data)
+		c.v.adopt(val)
+		switch {
+		case err == nil:
+			c.w.grow(len(val) + 32)
+			c.w.adopt(appendBulk(c.w.data, val))
+		case errors.Is(err, apierr.ErrNotFound):
+			c.w.grow(8)
+			c.w.adopt(appendNilBulk(c.w.data))
+		default:
+			c.backendError(err)
+		}
+
+	case "SET":
+		if len(args) < 3 {
+			c.arityError(cmd)
+			return false
+		}
+		ttl, ok := parseSetOptions(args[3:])
+		if !ok {
+			c.replyError("ERR syntax error")
+			return false
+		}
+		if err := be.Set(ctx, args[1], args[2], ttl); err != nil {
+			c.backendError(err)
+			return false
+		}
+		c.w.grow(8)
+		c.w.adopt(appendSimple(c.w.data, "OK"))
+
+	case "DEL":
+		if len(args) < 2 {
+			c.arityError(cmd)
+			return false
+		}
+		var n int64
+		for _, key := range args[1:] {
+			err := be.Delete(ctx, key)
+			switch {
+			case err == nil:
+				n++
+			case errors.Is(err, apierr.ErrNotFound):
+			default:
+				c.backendError(err)
+				return false
+			}
+		}
+		c.w.grow(32)
+		c.w.adopt(appendInt(c.w.data, n))
+
+	case "EXISTS":
+		if len(args) < 2 {
+			c.arityError(cmd)
+			return false
+		}
+		var n int64
+		for _, key := range args[1:] {
+			c.v.reset()
+			val, err := be.GetInto(ctx, key, c.v.data)
+			c.v.adopt(val)
+			switch {
+			case err == nil:
+				n++
+			case errors.Is(err, apierr.ErrNotFound):
+			default:
+				c.backendError(err)
+				return false
+			}
+		}
+		c.w.grow(32)
+		c.w.adopt(appendInt(c.w.data, n))
+
+	case "TTL":
+		if len(args) != 2 {
+			c.arityError(cmd)
+			return false
+		}
+		rem, hasExpiry, err := be.TTL(ctx, args[1])
+		c.w.grow(32)
+		switch {
+		case errors.Is(err, apierr.ErrNotFound):
+			c.w.adopt(appendInt(c.w.data, -2))
+		case err != nil:
+			c.backendError(err)
+		case !hasExpiry:
+			c.w.adopt(appendInt(c.w.data, -1))
+		default:
+			// Round up: a key with any life left reports at least 1,
+			// matching how callers use TTL ("is it about to vanish?").
+			secs := int64((rem + time.Second - 1) / time.Second)
+			c.w.adopt(appendInt(c.w.data, secs))
+		}
+
+	case "PING":
+		switch len(args) {
+		case 1:
+			c.w.grow(16)
+			c.w.adopt(appendSimple(c.w.data, "PONG"))
+		case 2:
+			c.w.grow(len(args[1]) + 32)
+			c.w.adopt(appendBulk(c.w.data, args[1]))
+		default:
+			c.arityError(cmd)
+		}
+
+	case "ECHO":
+		if len(args) != 2 {
+			c.arityError(cmd)
+			return false
+		}
+		c.w.grow(len(args[1]) + 32)
+		c.w.adopt(appendBulk(c.w.data, args[1]))
+
+	case "INFO":
+		// Cold path: the body is rebuilt per call and sections are not
+		// filtered (any section argument returns the full report).
+		info := be.AppendInfo(nil)
+		c.w.grow(len(info) + 32)
+		c.w.adopt(appendBulk(c.w.data, info))
+
+	case "COMMAND":
+		// Introspection stub: enough for redis-cli's startup probe
+		// (COMMAND DOCS) to proceed without a command table.
+		c.w.grow(8)
+		c.w.adopt(appendArrayHeader(c.w.data, 0))
+
+	case "QUIT":
+		c.w.grow(8)
+		c.w.adopt(appendSimple(c.w.data, "OK"))
+		return true
+
+	default:
+		c.replyError("ERR unknown command '" + string(cmd) + "'")
+	}
+	return false
+}
+
+// parseSetOptions parses the trailing SET options (EX seconds | PX
+// millis); ok is false on anything else (NX/XX/EXAT/KEEPTTL are not in
+// the subset).
+func parseSetOptions(opts [][]byte) (ttl time.Duration, ok bool) {
+	for i := 0; i < len(opts); i += 2 {
+		upperInPlace(opts[i])
+		if i+1 >= len(opts) {
+			return 0, false
+		}
+		n, numOK := parseArgInt(opts[i+1])
+		if !numOK || n <= 0 {
+			return 0, false
+		}
+		switch string(opts[i]) {
+		case "EX":
+			ttl = time.Duration(n) * time.Second
+		case "PX":
+			ttl = time.Duration(n) * time.Millisecond
+		default:
+			return 0, false
+		}
+	}
+	return ttl, true
+}
+
+// backendError translates an engine error into a -ERR reply using the
+// apierr taxonomy. Error paths are cold; they may allocate.
+func (c *conn) backendError(err error) {
+	switch {
+	case errors.Is(err, apierr.ErrValueTooLarge):
+		c.replyError("ERR value too large")
+	case errors.Is(err, apierr.ErrKeyTooLarge):
+		c.replyError("ERR key too large")
+	case errors.Is(err, apierr.ErrTimeout):
+		c.replyError("ERR request timed out")
+	case errors.Is(err, apierr.ErrClosed):
+		c.replyError("ERR server shutting down")
+	default:
+		c.replyError("ERR " + err.Error())
+	}
+}
+
+func (c *conn) arityError(cmd []byte) {
+	c.replyError("ERR wrong number of arguments for '" + strings.ToLower(string(cmd)) + "' command")
+}
+
+func (c *conn) replyError(msg string) {
+	c.srv.errs.Add(1)
+	c.w.grow(len(msg) + 8)
+	c.w.adopt(appendError(c.w.data, msg))
+}

@@ -1,0 +1,345 @@
+package resp
+
+// Conversation tests over real TCP against a map-backed fake engine:
+// dispatch semantics, pipelining, TTL translation, protocol-error
+// hangups, and the no-leaked-goroutines guarantee after abrupt client
+// departures. The engine-backed suites live in the root package's
+// frontend tests; this file owns the protocol itself.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
+)
+
+// fakeBackend is an in-memory Backend with per-key expiry.
+type fakeBackend struct {
+	mu     sync.Mutex
+	items  map[string]fakeItem
+	maxVal int
+}
+
+type fakeItem struct {
+	val    []byte
+	expire time.Time // zero = immortal
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{items: make(map[string]fakeItem), maxVal: 1 << 20}
+}
+
+func (f *fakeBackend) get(key []byte) (fakeItem, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	it, ok := f.items[string(key)]
+	if !ok {
+		return fakeItem{}, false
+	}
+	if !it.expire.IsZero() && time.Now().After(it.expire) {
+		delete(f.items, string(key))
+		return fakeItem{}, false
+	}
+	return it, true
+}
+
+func (f *fakeBackend) GetInto(_ context.Context, key, dst []byte) ([]byte, error) {
+	it, ok := f.get(key)
+	if !ok {
+		return dst, apierr.ErrNotFound
+	}
+	return append(dst, it.val...), nil
+}
+
+func (f *fakeBackend) Set(_ context.Context, key, value []byte, ttl time.Duration) error {
+	if len(value) > f.maxVal {
+		return apierr.ErrValueTooLarge
+	}
+	it := fakeItem{val: append([]byte(nil), value...)}
+	if ttl > 0 {
+		it.expire = time.Now().Add(ttl)
+	}
+	f.mu.Lock()
+	f.items[string(key)] = it
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeBackend) Delete(_ context.Context, key []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.items[string(key)]; !ok {
+		return apierr.ErrNotFound
+	}
+	delete(f.items, string(key))
+	return nil
+}
+
+func (f *fakeBackend) TTL(_ context.Context, key []byte) (time.Duration, bool, error) {
+	it, ok := f.get(key)
+	if !ok {
+		return 0, false, apierr.ErrNotFound
+	}
+	if it.expire.IsZero() {
+		return 0, false, nil
+	}
+	return time.Until(it.expire), true, nil
+}
+
+func (f *fakeBackend) AppendInfo(dst []byte) []byte {
+	return append(dst, "# Server\r\nrole:fake\r\n"...)
+}
+
+// startServer boots a Server on a loopback listener, returning its
+// address; cleanup closes it and verifies Serve returned.
+func startServer(t *testing.T, be Backend, lim Limits) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(be, lim)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+	})
+	return ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc, bufio.NewReader(nc)
+}
+
+// cmd renders a multibulk command.
+func cmd(args ...string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(a), a)
+	}
+	return b.String()
+}
+
+// readReply reads one RESP reply, rendering it compactly: +s, -e, :n,
+// $-1 as "(nil)", bulks as their bytes, arrays as "[n]".
+func readReply(t *testing.T, r *bufio.Reader) string {
+	t.Helper()
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading reply: %v", err)
+	}
+	line = strings.TrimSuffix(line, "\r\n")
+	switch {
+	case line == "$-1":
+		return "(nil)"
+	case strings.HasPrefix(line, "$"):
+		var n int
+		fmt.Sscanf(line, "$%d", &n)
+		body := make([]byte, n+2)
+		if _, err := io.ReadFull(r, body); err != nil {
+			t.Fatalf("reading bulk body: %v", err)
+		}
+		return string(body[:n])
+	case strings.HasPrefix(line, "*"):
+		return "[" + line[1:] + "]"
+	default:
+		return line
+	}
+}
+
+func TestConversation(t *testing.T) {
+	addr := startServer(t, newFakeBackend(), Limits{})
+	nc, r := dial(t, addr)
+
+	steps := []struct{ send, want string }{
+		{cmd("PING"), "+PONG"},
+		{cmd("PING", "hello"), "hello"},
+		{cmd("ECHO", "echoed"), "echoed"},
+		{cmd("SET", "k", "v1"), "+OK"},
+		{cmd("GET", "k"), "v1"},
+		{cmd("EXISTS", "k", "k", "nope"), ":2"},
+		{cmd("TTL", "k"), ":-1"},
+		{cmd("TTL", "absent"), ":-2"},
+		{cmd("DEL", "k", "nope"), ":1"},
+		{cmd("GET", "k"), "(nil)"},
+		{cmd("SET", "e", "v", "PX", "40"), "+OK"},
+		{cmd("TTL", "e"), ":1"},
+		{cmd("COMMAND", "DOCS"), "[0]"},
+		{cmd("NOSUCH", "x"), "-ERR unknown command 'NOSUCH'"},
+		{cmd("GET"), "-ERR wrong number of arguments for 'get' command"},
+		{cmd("SET", "k", "v", "BOGUS", "1"), "-ERR syntax error"},
+		{"PING\r\n", "+PONG"}, // inline form on the same connection
+	}
+	for i, s := range steps {
+		if _, err := nc.Write([]byte(s.send)); err != nil {
+			t.Fatalf("step %d write: %v", i, err)
+		}
+		if got := readReply(t, r); got != s.want {
+			t.Fatalf("step %d: reply %q, want %q", i, got, s.want)
+		}
+	}
+
+	// The PX 40 item must age out.
+	time.Sleep(60 * time.Millisecond)
+	nc.Write([]byte(cmd("GET", "e")))
+	if got := readReply(t, r); got != "(nil)" {
+		t.Fatalf("expired GET = %q, want nil", got)
+	}
+
+	// INFO returns a bulk with sections.
+	nc.Write([]byte(cmd("INFO")))
+	if got := readReply(t, r); !strings.Contains(got, "role:fake") {
+		t.Fatalf("INFO = %q", got)
+	}
+
+	// QUIT acknowledges then closes.
+	nc.Write([]byte(cmd("QUIT")))
+	if got := readReply(t, r); got != "+OK" {
+		t.Fatalf("QUIT = %q", got)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		t.Fatalf("after QUIT: %v, want EOF", err)
+	}
+}
+
+func TestPipelinedBurst(t *testing.T) {
+	addr := startServer(t, newFakeBackend(), Limits{})
+	nc, r := dial(t, addr)
+
+	// 100 SETs and 100 GETs in a single write; replies must come back
+	// complete and in order.
+	var b strings.Builder
+	const n = 100
+	for i := 0; i < n; i++ {
+		b.WriteString(cmd("SET", fmt.Sprintf("k%03d", i), fmt.Sprintf("v%03d", i)))
+	}
+	for i := 0; i < n; i++ {
+		b.WriteString(cmd("GET", fmt.Sprintf("k%03d", i)))
+	}
+	if _, err := nc.Write([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := readReply(t, r); got != "+OK" {
+			t.Fatalf("SET %d: %q", i, got)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got, want := readReply(t, r), fmt.Sprintf("v%03d", i); got != want {
+			t.Fatalf("GET %d: %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestProtocolErrorCloses(t *testing.T) {
+	addr := startServer(t, newFakeBackend(), Limits{})
+	nc, r := dial(t, addr)
+	nc.Write([]byte("*notanumber\r\n"))
+	if got := readReply(t, r); !strings.HasPrefix(got, "-ERR Protocol error") {
+		t.Fatalf("reply = %q", got)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		t.Fatalf("after protocol error: %v, want EOF", err)
+	}
+}
+
+func TestValueLargerThanEngineCap(t *testing.T) {
+	// Parser cap above the engine cap: the oversize SET parses, the
+	// backend rejects it, and the connection stays usable.
+	be := newFakeBackend()
+	be.maxVal = 1024
+	addr := startServer(t, be, Limits{MaxBulk: 4096})
+	nc, r := dial(t, addr)
+	nc.Write([]byte(cmd("SET", "k", strings.Repeat("x", 2048))))
+	if got := readReply(t, r); got != "-ERR value too large" {
+		t.Fatalf("oversize SET = %q", got)
+	}
+	nc.Write([]byte(cmd("PING")))
+	if got := readReply(t, r); got != "+PONG" {
+		t.Fatalf("PING after oversize = %q", got)
+	}
+}
+
+func TestAbruptDisconnectsDoNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	be := newFakeBackend()
+	func() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(be, Limits{})
+		done := make(chan struct{})
+		go func() { srv.Serve(ln); close(done) }()
+
+		addr := ln.Addr().String()
+		for i := 0; i < 20; i++ {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch i % 4 {
+			case 0:
+				// Mid-command truncation: close with half a command sent.
+				nc.Write([]byte("*2\r\n$3\r\nGET\r\n$5\r\nab"))
+				nc.Close()
+			case 1:
+				// Half-close: shut the write side, server sees EOF.
+				nc.Write([]byte(cmd("PING")))
+				nc.(*net.TCPConn).CloseWrite()
+				io.ReadAll(nc)
+				nc.Close()
+			case 2:
+				// Idle connection left open; server Close reaps it.
+			case 3:
+				nc.Write([]byte(cmd("SET", "a", "b")))
+				nc.Close()
+			}
+		}
+		srv.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Serve did not return")
+		}
+		if st := srv.Stats(); st.Active != 0 {
+			t.Fatalf("Active = %d after Close, want 0", st.Active)
+		}
+	}()
+
+	// Every handler goroutine must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -159,6 +159,10 @@ type Server struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+
+	// start is stamped once at construction; Stats derives uptime from it
+	// so no clock is read on the data path.
+	start time.Time
 }
 
 // swqCap bounds each software queue; overflow drops the request, counted
@@ -200,6 +204,7 @@ func New(cfg Config, tr nic.ServerTransport) (*Server, error) {
 		ctrl:  ctrl,
 		cores: make([]coreState, cfg.Cores),
 		stop:  make(chan struct{}),
+		start: time.Now(),
 	}
 	plan := ctrl.Plan()
 	s.plan.Store(&plan)
@@ -284,11 +289,14 @@ type Stats struct {
 	// unbounded).
 	MemBytes    int64
 	MemoryLimit int64
+
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64
 }
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
-	st := Stats{Plan: *s.plan.Load()}
+	st := Stats{Plan: *s.plan.Load(), UptimeSeconds: time.Since(s.start).Seconds()}
 	for i := range s.cores {
 		c := &s.cores[i]
 		cs := CoreStat{Ops: c.ops.Load(), Packets: c.pkts.Load()}

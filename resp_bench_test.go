@@ -1,0 +1,105 @@
+package minos_test
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	minos "github.com/minoskv/minos"
+)
+
+// RESP front-end round-trip benchmarks over real loopback TCP, one
+// blocking command at a time. The client side pre-encodes its commands
+// and reads replies into reused buffers, so allocs/op measures the
+// server's RESP hot path (parse → dispatch → reply) on top of the
+// datapath — cmd/benchgate ratchets it alongside the Live/Wire
+// benchmarks: any allocs/op increase fails CI.
+
+// benchRESP boots a single-node server with a RESP listener and returns
+// a connected raw TCP client.
+func benchRESP(b *testing.B) (net.Conn, *bufio.Reader, func()) {
+	b.Helper()
+	fab := minos.NewFabric(1)
+	srv, err := minos.NewServer(fab.Server(), minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Stop()
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeRESP(ln)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		<-done
+		srv.Stop()
+		b.Fatal(err)
+	}
+	return nc, bufio.NewReader(nc), func() {
+		nc.Close()
+		ln.Close()
+		<-done
+		srv.Stop()
+	}
+}
+
+func BenchmarkRESPGetRoundTrip(b *testing.B) {
+	nc, br, stop := benchRESP(b)
+	defer stop()
+
+	set := []byte("*3\r\n$3\r\nSET\r\n$9\r\nbench-key\r\n$128\r\n" + string(make([]byte, 128)) + "\r\n")
+	if _, err := nc.Write(set); err != nil {
+		b.Fatal(err)
+	}
+	if line, err := br.ReadString('\n'); err != nil || line != "+OK\r\n" {
+		b.Fatal(line, err)
+	}
+
+	get := []byte("*2\r\n$3\r\nGET\r\n$9\r\nbench-key\r\n")
+	// "$128\r\n" + 128 bytes + "\r\n": the reply is fixed-size, so one
+	// ReadFull per op keeps the client allocation-free.
+	reply := make([]byte, len("$128\r\n")+128+2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nc.Write(get); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(br, reply); err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.HasPrefix(reply, []byte("$128\r\n")) {
+			b.Fatalf("reply %q", reply[:6])
+		}
+	}
+}
+
+func BenchmarkRESPSetRoundTrip(b *testing.B) {
+	nc, br, stop := benchRESP(b)
+	defer stop()
+
+	set := []byte("*3\r\n$3\r\nSET\r\n$9\r\nbench-key\r\n$128\r\n" + string(make([]byte, 128)) + "\r\n")
+	reply := make([]byte, len("+OK\r\n"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nc.Write(set); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(br, reply); err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(reply, []byte("+OK\r\n")) {
+			b.Fatalf("reply %q", reply)
+		}
+	}
+}

@@ -212,6 +212,10 @@ func WithMemoryLimit(bytes int64) ServerOption {
 // designs over a transport.
 type Server struct {
 	s *server.Server
+
+	// fronts aggregates the RESP front ends served with ServeRESP (see
+	// frontend.go).
+	fronts frontSet
 }
 
 // NewServer builds a live server over tr. Call Start to launch its core
@@ -297,6 +301,11 @@ type Snapshot struct {
 	// the configured cap, 0 when unbounded.
 	MemBytes    int64
 	MemoryLimit int64
+
+	// UptimeSeconds is the time since the server was constructed,
+	// derived from a start stamp taken once in NewServer (no clock reads
+	// on the data path).
+	UptimeSeconds float64
 }
 
 // HitRatio returns the fraction of GETs answered with a value, in
@@ -314,18 +323,19 @@ func (s Snapshot) HitRatio() float64 {
 func (s *Server) Snapshot() Snapshot {
 	st := s.s.Stats()
 	snap := Snapshot{
-		Ops:         st.Ops,
-		SwDrops:     st.SwDrops,
-		BadFrames:   st.BadFrames,
-		Items:       s.s.Store().Len(),
-		ValueBytes:  s.s.Store().ValueBytes(),
-		Plan:        planFromCore(st.Plan),
-		Hits:        st.Hits,
-		Misses:      st.Misses,
-		Expired:     st.Expired,
-		Evicted:     st.Evicted,
-		MemBytes:    st.MemBytes,
-		MemoryLimit: st.MemoryLimit,
+		Ops:           st.Ops,
+		SwDrops:       st.SwDrops,
+		BadFrames:     st.BadFrames,
+		Items:         s.s.Store().Len(),
+		ValueBytes:    s.s.Store().ValueBytes(),
+		Plan:          planFromCore(st.Plan),
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Expired:       st.Expired,
+		Evicted:       st.Evicted,
+		MemBytes:      st.MemBytes,
+		MemoryLimit:   st.MemoryLimit,
+		UptimeSeconds: st.UptimeSeconds,
 	}
 	if len(st.PerCore) > 0 {
 		snap.PerCore = make([]CoreSnapshot, len(st.PerCore))
