@@ -8,6 +8,7 @@ import (
 	"github.com/minoskv/minos/internal/client"
 	"github.com/minoskv/minos/internal/cluster"
 	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/rebalance"
 )
 
 // Cluster-layer errors (see DESIGN.md §7).
@@ -31,6 +32,10 @@ var (
 	// Server handle: the wire protocol has no TTL operation, so only
 	// locally introspectable nodes can answer one.
 	ErrNoTTL = cluster.ErrNoTTL
+
+	// ErrRebalanceOff reports a Rebalance call on a cluster built
+	// without WithRebalancing.
+	ErrRebalanceOff = cluster.ErrRebalanceOff
 )
 
 // ClusterNode attaches one Minos server to a Cluster: a stable routing
@@ -123,6 +128,63 @@ func WithFailureDetection(interval, timeout time.Duration) ClusterOption {
 	return func(c *clusterConfig) {
 		c.cfg.Probe.Interval = interval
 		c.cfg.Probe.Timeout = timeout
+	}
+}
+
+// RebalanceConfig tunes WithRebalancing. The zero value is a sensible
+// controller: 5s epochs, a 1.6 skew trigger armed by two consecutive
+// hot epochs, at most 4 arc moves per epoch.
+type RebalanceConfig struct {
+	// Epoch is the controller period: every epoch the traffic recorder
+	// is drained and skew evaluated (default 5s).
+	Epoch time.Duration
+	// SkewThreshold is the max-node-load over mean-node-load ratio above
+	// which an epoch counts as hot (default 1.6). 1.0 is perfect
+	// balance; a single saturated node on an M-node cluster shows M.
+	SkewThreshold float64
+	// RestoreSkew is the projected skew at which the planner stops
+	// adding moves (default halfway between 1.0 and SkewThreshold) —
+	// the anti-thrash band between trigger and target.
+	RestoreSkew float64
+	// HotEpochs is how many consecutive hot epochs arm the trigger
+	// (default 2): a one-epoch spike is ignored.
+	HotEpochs int
+	// MaxMoves bounds the arc moves per epoch (default 4) — the
+	// move-rate budget that keeps migration traffic a sliver of serving
+	// traffic.
+	MaxMoves int
+	// MinOps is the per-epoch traffic below which skew is not evaluated
+	// (default 256): an idle cluster's ratios are noise.
+	MinOps uint64
+	// TopK is the hot-key sketch width (default 16).
+	TopK int
+	// Sample feeds every 1-in-Sample routed operation to the sketch
+	// (default 8, rounded to a power of two; 1 sketches every
+	// operation).
+	Sample int
+}
+
+// WithRebalancing turns on the traffic-aware ring controller: every
+// epoch the cluster measures per-node load from its own routing
+// decisions (plus a SpaceSaving top-k hot-key sketch), and when the
+// skew threshold holds for HotEpochs consecutive epochs it moves a
+// bounded number of hot vnode arcs onto cold nodes — live, through the
+// same key-streaming migration AddNode uses, reads served throughout.
+// See DESIGN.md §11.
+func WithRebalancing(cfg RebalanceConfig) ClusterOption {
+	return func(c *clusterConfig) {
+		c.cfg.Rebalance = &cluster.RebalanceConfig{
+			Epoch: cfg.Epoch,
+			Policy: rebalance.Policy{
+				SkewThreshold: cfg.SkewThreshold,
+				RestoreSkew:   cfg.RestoreSkew,
+				HotEpochs:     cfg.HotEpochs,
+				MaxMoves:      cfg.MaxMoves,
+				MinOps:        cfg.MinOps,
+			},
+			TopK:   cfg.TopK,
+			Sample: cfg.Sample,
+		}
 	}
 }
 
@@ -321,6 +383,35 @@ func (c *Cluster) RemoveNode(ctx context.Context, name string) (moved int, err e
 	return c.c.RemoveNode(ctx, name)
 }
 
+// RebalanceResult is one rebalance epoch's outcome.
+type RebalanceResult struct {
+	// Skew is the epoch's measured max-over-mean node-load ratio (0 on
+	// an idle epoch); ProjectedSkew is what the executed plan's loads
+	// project to (equal to Skew when nothing moved).
+	Skew, ProjectedSkew float64
+	// Moves is how many vnode arcs moved; KeysStreamed how many keys
+	// their migration copied.
+	Moves, KeysStreamed int
+}
+
+// Rebalance runs one controller epoch immediately, bypassing the
+// hysteresis trigger (but not the planner's thresholds: a balanced or
+// idle epoch still plans nothing): the traffic recorder is drained,
+// skew measured, and any planned arc moves execute live before the
+// call returns. It is how tests and operators force the decision the
+// epoch loop would otherwise reach on its own schedule. Requires
+// WithRebalancing (ErrRebalanceOff otherwise); concurrent topology
+// changes are serialized against it.
+func (c *Cluster) Rebalance(ctx context.Context) (RebalanceResult, error) {
+	res, err := c.c.Rebalance(ctx, true)
+	return RebalanceResult{
+		Skew:          res.Skew,
+		ProjectedSkew: res.ProjectedSkew,
+		Moves:         res.Moves,
+		KeysStreamed:  res.KeysStreamed,
+	}, err
+}
+
 // Nodes returns the current node names, sorted.
 func (c *Cluster) Nodes() []string {
 	return append([]string(nil), c.c.Ring().Nodes()...)
@@ -383,29 +474,66 @@ type ClusterStats struct {
 	// holds in each state.
 	NodesSuspect, NodesDead int
 
+	// Rebalance is the traffic-aware ring controller's counter block;
+	// zero (Enabled false) without WithRebalancing.
+	Rebalance RebalanceStats
+
 	// UptimeSeconds is the time since the cluster was constructed,
 	// derived from a start stamp taken once in NewCluster (no clock
 	// reads on the data path).
 	UptimeSeconds float64
 }
 
+// RebalanceStats is the ring controller's counter block inside
+// ClusterStats.
+type RebalanceStats struct {
+	// Enabled reports whether the cluster was built with
+	// WithRebalancing.
+	Enabled bool
+	// Epochs counts controller evaluations; Plans how many produced at
+	// least one move; Failed how many epochs whose execution errored (a
+	// migration failure leaves the ring unchanged; a failure in the
+	// trailing stale deletion happens after the ring already swapped).
+	Epochs, Plans, Failed uint64
+	// Moves counts arcs moved over the cluster's lifetime, KeysStreamed
+	// the keys their migrations copied.
+	Moves, KeysStreamed uint64
+	// ArcsMoved is how many arcs are currently served away from their
+	// home node.
+	ArcsMoved int
+	// Skew is the last epoch's measured max-over-mean node-load ratio;
+	// SkewAfter the projection after the last executed plan.
+	Skew, SkewAfter float64
+}
+
 // Stats snapshots the cluster's counters.
 func (c *Cluster) Stats() ClusterStats {
 	st := c.c.Stats()
 	out := ClusterStats{
-		Ops:           st.Ops,
-		P50:           st.P50,
-		P99:           st.P99,
-		P999:          st.P999,
-		MaxNodeP99:    st.MaxNodeP99,
-		Hedged:        st.Hedged,
-		HedgeWins:     st.HedgeWins,
-		Failovers:     st.Failovers,
-		Handoffs:      st.Handoffs,
-		HintsQueued:   st.HintsQueued,
-		HintsDropped:  st.HintsDropped,
-		NodesSuspect:  st.NodesSuspect,
-		NodesDead:     st.NodesDead,
+		Ops:          st.Ops,
+		P50:          st.P50,
+		P99:          st.P99,
+		P999:         st.P999,
+		MaxNodeP99:   st.MaxNodeP99,
+		Hedged:       st.Hedged,
+		HedgeWins:    st.HedgeWins,
+		Failovers:    st.Failovers,
+		Handoffs:     st.Handoffs,
+		HintsQueued:  st.HintsQueued,
+		HintsDropped: st.HintsDropped,
+		NodesSuspect: st.NodesSuspect,
+		NodesDead:    st.NodesDead,
+		Rebalance: RebalanceStats{
+			Enabled:      st.Rebalance.Enabled,
+			Epochs:       st.Rebalance.Epochs,
+			Plans:        st.Rebalance.Plans,
+			Failed:       st.Rebalance.Failed,
+			Moves:        st.Rebalance.Moves,
+			KeysStreamed: st.Rebalance.KeysStreamed,
+			ArcsMoved:    st.Rebalance.ArcsMoved,
+			Skew:         st.Rebalance.Skew,
+			SkewAfter:    st.Rebalance.SkewAfter,
+		},
 		UptimeSeconds: st.UptimeSeconds,
 	}
 	for _, n := range st.Nodes {

@@ -28,10 +28,11 @@ func experimentIDs(fig string, tab int, all bool) ([]string, error) {
 			}
 			return []string{fmt.Sprintf("fig%d", n)}, nil
 		}
-		// Named experiment, e.g. "cache", "clustertail" or "hedgetail".
+		// Named experiment, e.g. "cache", "clustertail", "hedgetail" or
+		// "flashcrowd".
 		id := fig
 		if _, ok := find(id); !ok {
-			return nil, fmt.Errorf("unknown -fig %q (want 1-10, %q, %q or %q)", fig, "cache", "clustertail", "hedgetail")
+			return nil, fmt.Errorf("unknown -fig %q (want 1-10, %q, %q, %q or %q)", fig, "cache", "clustertail", "hedgetail", "flashcrowd")
 		}
 		return []string{id}, nil
 	case tab != 0:

@@ -7,6 +7,7 @@
 //	minos-bench -fig cache             # the cache experiment (p99 vs memory limit)
 //	minos-bench -fig clustertail       # live cluster: fan-out p99 vs node count
 //	minos-bench -fig hedgetail         # hedged vs unhedged p99, one degraded replica
+//	minos-bench -fig flashcrowd        # flash-crowd recovery, rebalancer off vs on
 //	minos-bench -tab 1                 # Table 1
 //	minos-bench -all                   # everything, in paper order
 //	minos-bench -fig 6 -scale quick    # sparse grids, seconds per figure
@@ -53,6 +54,7 @@ var experiments = []struct {
 	{"cache", wrap(harness.CacheTail)},
 	{"clustertail", wrap(harness.ClusterTail)},
 	{"hedgetail", wrap(harness.HedgeTail)},
+	{"flashcrowd", wrap(harness.FlashCrowd)},
 }
 
 // wrap adapts each typed harness function to the common signature.
@@ -61,7 +63,7 @@ func wrap[T tabler](fn func(harness.Options) (T, error)) func(harness.Options) (
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 1-10, \"cache\", \"clustertail\" or \"hedgetail\"")
+	fig := flag.String("fig", "", "figure to regenerate: 1-10, \"cache\", \"clustertail\", \"hedgetail\" or \"flashcrowd\"")
 	tab := flag.Int("tab", 0, "table number to regenerate (1)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")

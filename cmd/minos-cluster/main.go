@@ -58,6 +58,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replicas per key (R-way writes; 1 = no replication)")
 	noHedge := flag.Bool("nohedge", false, "disable hedged reads (with -replicas >= 2)")
 	kill := flag.Bool("kill", false, "kill one node mid-run (requires -replicas >= 2)")
+	rebalance := flag.Duration("rebalance", 0, "traffic-aware rebalancing epoch (e.g. 500ms; 0 = off)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	respAddr := flag.String("resp", "", "TCP address for the RESP front end (e.g. :6379; empty = off)")
 	opsAddr := flag.String("ops", "", "TCP address for the HTTP admin/metrics plane (e.g. :9100; empty = off)")
@@ -104,7 +105,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *replicas, *noHedge, *kill, *seed, *respAddr, *opsAddr); err != nil {
+	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *replicas, *noHedge, *kill, *rebalance, *seed, *respAddr, *opsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "minos-cluster: %v\n", err)
 		os.Exit(1)
 	}
@@ -141,7 +142,7 @@ func startNode(fc *minos.FabricCluster, i int, d minos.Design, cores int) (minos
 	}, srv, nil
 }
 
-func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, replicas int, noHedge, kill bool, seed int64, respAddr, opsAddr string) error {
+func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, replicas int, noHedge, kill bool, rebalance time.Duration, seed int64, respAddr, opsAddr string) error {
 	ctx := context.Background()
 	fc := minos.NewFabricCluster(nodes, cores)
 	fc.SetRTT(rtt)
@@ -188,6 +189,9 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 			// alive -> suspect -> dead transition after the kill.
 			copts = append(copts, minos.WithFailureDetection(50*time.Millisecond, 150*time.Millisecond))
 		}
+	}
+	if rebalance > 0 {
+		copts = append(copts, minos.WithRebalancing(minos.RebalanceConfig{Epoch: rebalance}))
 	}
 	cl, err := minos.NewCluster(members, copts...)
 	if err != nil {
@@ -337,6 +341,10 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 		fmt.Printf("replication: R=%d hedged=%d hedge-wins=%d failovers=%d handoffs=%d hints-queued=%d hints-dropped=%d suspect=%d dead=%d\n",
 			replicas, st.Hedged, st.HedgeWins, st.Failovers, st.Handoffs,
 			st.HintsQueued, st.HintsDropped, st.NodesSuspect, st.NodesDead)
+	}
+	if rb := st.Rebalance; rb.Enabled {
+		fmt.Printf("rebalancing: epochs=%d plans=%d moves=%d keys-streamed=%d arcs-moved=%d skew=%.2f->%.2f\n",
+			rb.Epochs, rb.Plans, rb.Moves, rb.KeysStreamed, rb.ArcsMoved, rb.Skew, rb.SkewAfter)
 	}
 	if drops := fc.Drops(); drops > 0 {
 		fmt.Fprintf(os.Stderr, "fabric drops: %d\n", drops)

@@ -293,6 +293,17 @@ func (src *clusterOpsSource) WriteMetrics(m *ops.Metrics) {
 	m.Counter("minos_cluster_hints_dropped_total", "Hints dropped on an overflowing hint queue.", float64(st.HintsDropped))
 	m.Gauge("minos_cluster_nodes_suspect", "Nodes the failure detector currently holds suspect.", float64(st.NodesSuspect))
 	m.Gauge("minos_cluster_nodes_dead", "Nodes the failure detector currently holds dead.", float64(st.NodesDead))
+	if st.Rebalance.Enabled {
+		rb := st.Rebalance
+		m.Counter("minos_cluster_rebalance_epochs_total", "Rebalance controller epochs evaluated.", float64(rb.Epochs))
+		m.Counter("minos_cluster_rebalance_plans_total", "Rebalance epochs that produced at least one arc move.", float64(rb.Plans))
+		m.Counter("minos_cluster_rebalance_failed_total", "Rebalance plans whose execution failed (ring unchanged).", float64(rb.Failed))
+		m.Counter("minos_cluster_rebalance_moves_total", "Vnode arcs moved by the rebalancer.", float64(rb.Moves))
+		m.Counter("minos_cluster_rebalance_keys_total", "Keys streamed by rebalance arc moves.", float64(rb.KeysStreamed))
+		m.Gauge("minos_cluster_rebalance_arcs_moved", "Arcs currently served away from their home node.", float64(rb.ArcsMoved))
+		m.Gauge("minos_cluster_rebalance_skew", "Last epoch's measured max-over-mean node-load ratio.", rb.Skew)
+		m.Gauge("minos_cluster_rebalance_skew_after", "Projected skew after the last executed plan.", rb.SkewAfter)
+	}
 	// Per-node families; each family's samples stay consecutive, as the
 	// exposition format requires.
 	for _, n := range st.Nodes {
@@ -324,6 +335,15 @@ func (src *clusterOpsSource) Topology() ops.Topology {
 	st := src.c.Stats()
 	counts := src.c.c.KeyCounts()
 	t := ops.Topology{VNodes: src.c.c.VNodes(), Replicas: src.c.c.Replicas()}
+	if rb := st.Rebalance; rb.Enabled {
+		t.Rebalance = &ops.TopologyRebalance{
+			Epochs:    rb.Epochs,
+			Moves:     rb.Moves,
+			ArcsMoved: rb.ArcsMoved,
+			Skew:      rb.Skew,
+			SkewAfter: rb.SkewAfter,
+		}
+	}
 	for _, n := range st.Nodes {
 		keys := -1
 		if k, ok := counts[n.Name]; ok {

@@ -11,6 +11,7 @@ import (
 
 	"github.com/minoskv/minos/internal/apierr"
 	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/rebalance"
 	"github.com/minoskv/minos/internal/replica"
 	"github.com/minoskv/minos/internal/stats"
 )
@@ -92,6 +93,10 @@ type Config struct {
 	// HintLimit bounds each down node's hinted hand-off queue (default
 	// replica.DefaultHintLimit).
 	HintLimit int
+	// Rebalance, when non-nil, turns on the traffic-aware ring
+	// controller of DESIGN.md §11: per-arc traffic is recorded on the
+	// datapath and an epoch loop moves hot arcs to cold nodes live.
+	Rebalance *RebalanceConfig
 }
 
 // node is the runtime state of one attached node.
@@ -143,6 +148,12 @@ type Cluster struct {
 	// rep is the replication runtime; nil when Replicas <= 1, and every
 	// request path then takes the original single-copy route.
 	rep *repState
+
+	// reb is the rebalancer runtime; nil when Config.Rebalance is nil.
+	// rebRec is the current epoch's traffic recorder, guarded by mu and
+	// swapped together with the ring it indexes.
+	reb    *rebState
+	rebRec *rebalance.Recorder
 
 	// retired accumulates the latency history of removed nodes, so the
 	// aggregate counters never run backwards across a topology change.
@@ -198,6 +209,11 @@ func New(cfg Config, nodes []NodeConfig) (*Cluster, error) {
 		}
 		c.rep.det.Start()
 	}
+	if cfg.Rebalance != nil {
+		c.reb = newRebState(*cfg.Rebalance)
+		c.rebRec = c.reb.newRecorder(ring.PointCount())
+		go c.rebalanceLoop()
+	}
 	return c, nil
 }
 
@@ -220,17 +236,27 @@ func (c *Cluster) Ring() *Ring {
 func (c *Cluster) Owner(key []byte) string { return c.Ring().Owner(key) }
 
 // nodeFor resolves key to its owner's runtime state under the current
-// ring.
+// ring, feeding the rebalancer's traffic recorder on the way (an atomic
+// add against the owning arc; nothing when rebalancing is off).
 func (c *Cluster) nodeFor(key []byte) (*node, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
 		return nil, apierr.ErrClosed
 	}
-	name := c.ring.Owner(key)
+	if c.rebRec == nil {
+		name := c.ring.Owner(key)
+		if name == "" {
+			return nil, ErrNoNodes
+		}
+		return c.nodes[name], nil
+	}
+	h := KeyPoint(key)
+	name, idx := c.ring.LookupIdx(h)
 	if name == "" {
 		return nil, ErrNoNodes
 	}
+	c.rebRec.Observe(idx, h)
 	return c.nodes[name], nil
 }
 
@@ -377,10 +403,14 @@ func (c *Cluster) fanout(ctx context.Context, keys, values [][]byte, idx []int, 
 	}
 	groups := make(map[*node][]int)
 	for _, i := range idx {
-		name := c.ring.Owner(keys[i])
+		h := KeyPoint(keys[i])
+		name, arc := c.ring.LookupIdx(h)
 		if name == "" {
 			c.mu.RUnlock()
 			return ErrNoNodes
+		}
+		if c.rebRec != nil {
+			c.rebRec.Observe(arc, h)
 		}
 		groups[c.nodes[name]] = append(groups[c.nodes[name]], i)
 	}
@@ -482,6 +512,10 @@ type Stats struct {
 	// NodesSuspect/NodesDead are the failure detector's current counts.
 	NodesSuspect, NodesDead int
 
+	// Rebalance is the traffic-aware controller's counter block; the
+	// zero value (Enabled false) on clusters built without it.
+	Rebalance RebalanceStats
+
 	// UptimeSeconds is the time since the cluster was constructed.
 	UptimeSeconds float64
 }
@@ -568,6 +602,7 @@ func (c *Cluster) Stats() Stats {
 		st.HintsDropped = rs.hints.Dropped()
 		st.NodesSuspect, st.NodesDead = rs.det.Counts()
 	}
+	st.Rebalance = c.rebalanceStats()
 	return st
 }
 
@@ -585,6 +620,11 @@ func (c *Cluster) Close() error {
 	nodes := c.nodes
 	c.nodes = map[string]*node{}
 	c.mu.Unlock()
+	// Stop the epoch controller. Not awaited: an epoch blocked on topo
+	// (held here) finishes against the closed cluster and exits.
+	if c.reb != nil {
+		close(c.reb.stop)
+	}
 	// Stop probing before the pipes close: an in-flight probe riding a
 	// closing pipeline would just fail and get discarded, but there is no
 	// reason to spawn more.

@@ -11,14 +11,15 @@ import (
 )
 
 // Topology changes stream keys between nodes over the ordinary wire
-// protocol: the donor is enumerated with its ScanFunc, live items are
-// copied to their new owner with pipelined PUTs (remaining TTL
-// preserved), and only then does the ring swap — so reads are served by
-// the old owner for the whole copy phase and by the new owner, which
-// already holds the keys, immediately after. See DESIGN.md §7 for the
-// protocol and the consistency it does and does not promise (writes
-// racing a topology change on a moving key can be lost; reads never
-// observe a moved key as absent).
+// protocol: donors are enumerated with their ScanFunc, and every key
+// whose *replica placement* differs between the old and new ring is
+// copied to each newly assigned node with pipelined PUTs (remaining TTL
+// preserved). Only then does the ring swap — so reads are served by the
+// old placement for the whole copy phase and by the new placement,
+// which already holds the keys, immediately after. The same engine
+// drives AddNode, RemoveNode and the rebalancer's arc moves; see
+// DESIGN.md §7 for the protocol and §9/§11 for what replication and
+// rebalancing layer on top.
 
 // drainPoll/drainMax bound the post-swap wait for a retiring node's
 // in-flight requests before its engine is closed.
@@ -54,15 +55,126 @@ func (m *migrator) flush() {
 	m.pending = m.pending[:0]
 }
 
-// movedKey is one copied item, remembered so the donor copy can be
-// deleted after the ring swap (AddNode) or so a failed migration can be
-// rolled back off the recipient.
-type movedKey struct{ key []byte }
+// copyOp is one key on one node: a copy that landed on a recipient (for
+// rollback) or a stale placement to retire after the ring swap.
+type copyOp struct {
+	n   *node
+	key []byte
+}
+
+// replicas is the configured copies-per-key count (1 = unreplicated).
+func (c *Cluster) replicas() int {
+	if c.rep != nil {
+		return c.rep.r
+	}
+	return 1
+}
+
+// migrateKeys is the shared copy phase of every topology change: it
+// scans the donors and, for each key whose replica set differs between
+// oldRing and newRing, streams a copy from the key's old primary to
+// every newly assigned node. It returns the number of keys copied and
+// the stale placements — (node, key) pairs the old ring placed but the
+// new one does not — for the caller to delete *after* the ring swap.
+// Nodes leaving the new ring are never recorded as stale: their copies
+// die with them.
+//
+// The old primary is the single designated donor for its keys, so a key
+// replicated on several scanned donors is copied exactly once. A key
+// the primary lost (a write that hedged onto a replica while the
+// primary was down, not yet repaired) is not seen and not moved — the
+// same bounded-staleness window hinted hand-off already documents.
+//
+// On failure the ring must not swap: copies already landed are
+// best-effort deleted off the recipients before returning.
+func (c *Cluster) migrateKeys(ctx context.Context, oldRing, newRing *Ring, donors []*node, resolve func(string) *node) (moved int, stales []copyOp, err error) {
+	r := c.replicas()
+	m := &migrator{ctx: ctx, window: c.cfg.MigrateWindow}
+	var copies []copyOp
+	oldSet := make([]string, 0, r+1)
+	newSet := make([]string, 0, r+1)
+	for _, d := range donors {
+		d.scan(func(key, value []byte, ttl time.Duration) bool {
+			if ctx.Err() != nil || m.err != nil {
+				return false
+			}
+			h := KeyPoint(key)
+			oldSet = oldRing.AppendReplicas(oldSet[:0], h, r)
+			if len(oldSet) == 0 || oldSet[0] != d.name {
+				return true // not this key's primary: its primary donates
+			}
+			newSet = newRing.AppendReplicas(newSet[:0], h, r)
+			copied := false
+			for _, dst := range newSet {
+				if containsName(oldSet, dst) {
+					continue // already holds the key
+				}
+				t := resolve(dst)
+				if t == nil {
+					m.err = fmt.Errorf("%w: %q", ErrUnknownNode, dst)
+					return false
+				}
+				m.push(t.pipe.PutTTLAsync(key, value, ttl))
+				copies = append(copies, copyOp{n: t, key: key})
+				copied = true
+			}
+			for _, src := range oldSet {
+				if containsName(newSet, src) || !newRing.Has(src) {
+					continue
+				}
+				if t := resolve(src); t != nil {
+					stales = append(stales, copyOp{n: t, key: key})
+				}
+			}
+			if copied {
+				moved++
+			}
+			return true
+		})
+	}
+	m.flush()
+	if m.err == nil && ctx.Err() != nil {
+		m.err = ctx.Err()
+	}
+	if m.err != nil {
+		// Roll back: the ring never changed, so routing is intact;
+		// best-effort remove the partial copies from the recipients.
+		rb := &migrator{ctx: context.Background(), window: c.cfg.MigrateWindow}
+		for _, op := range copies {
+			rb.push(op.n.pipe.DeleteAsync(op.key))
+		}
+		rb.flush()
+		return 0, nil, m.err
+	}
+	return moved, stales, nil
+}
+
+// deleteStales retires placements the new ring no longer assigns.
+// Without this a later topology change would re-scan the holder and
+// resurrect stale values.
+func (c *Cluster) deleteStales(ctx context.Context, stales []copyOp) error {
+	del := &migrator{ctx: ctx, window: c.cfg.MigrateWindow}
+	for _, op := range stales {
+		del.push(op.n.pipe.DeleteAsync(op.key))
+	}
+	del.flush()
+	return del.err
+}
+
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // AddNode attaches a new node and rebalances: every key the grown ring
-// assigns to the new node is copied off its current owner (remaining TTL
-// preserved), the ring swaps, and the stale donor copies are deleted.
-// Reads are served throughout. It returns the number of keys moved.
+// places on the new node — as owner or as replica — is copied off its
+// current primary (remaining TTL preserved), the ring swaps, and the
+// stale placements are deleted. Reads are served throughout. It returns
+// the number of keys moved.
 //
 // Every existing node must have been attached with a ScanFunc; otherwise
 // AddNode fails with ErrNoScan before any state changes. If the copy
@@ -103,76 +215,43 @@ func (c *Cluster) AddNode(ctx context.Context, nc NodeConfig) (moved int, err er
 		}
 	}
 	newNode := newNode(nc)
-
-	// Copy phase: scan each donor, stream the keys the new ring hands to
-	// the new node. The old ring stays live, so reads keep hitting the
-	// donors, which still hold everything.
-	m := &migrator{ctx: ctx, window: c.cfg.MigrateWindow}
-	perDonor := make(map[*node][]movedKey)
-	for _, d := range donors {
-		d.scan(func(key, value []byte, ttl time.Duration) bool {
-			if ctx.Err() != nil || m.err != nil {
-				return false
-			}
-			if newRing.Owner(key) != nc.Name {
-				return true
-			}
-			m.push(newNode.pipe.PutTTLAsync(key, value, ttl))
-			perDonor[d] = append(perDonor[d], movedKey{key: key})
-			moved++
-			return true
-		})
-	}
-	m.flush()
-	if m.err == nil && ctx.Err() != nil {
-		m.err = ctx.Err()
-	}
-	if m.err != nil {
-		// Roll back: the ring never changed, so routing is intact;
-		// best-effort remove the partial copies from the recipient.
-		rb := &migrator{ctx: context.Background(), window: c.cfg.MigrateWindow}
-		for _, keys := range perDonor {
-			for _, mk := range keys {
-				rb.push(newNode.pipe.DeleteAsync(mk.key))
-			}
+	resolve := func(name string) *node {
+		if name == nc.Name {
+			return newNode
 		}
-		rb.flush()
-		return 0, m.err
+		n, _ := c.currentNode(name)
+		return n
+	}
+
+	// Copy phase: the old ring stays live, so reads keep hitting the old
+	// placement, which still holds everything.
+	moved, stales, err := c.migrateKeys(ctx, oldRing, newRing, donors, resolve)
+	if err != nil {
+		return 0, err
 	}
 
 	// Swap: from here on the new node owns its arcs and already holds
 	// their keys.
-	c.mu.Lock()
-	c.ring = newRing
-	c.nodes[nc.Name] = newNode
-	c.mu.Unlock()
+	c.swapRing(newRing, func() { c.nodes[nc.Name] = newNode })
 	if c.rep != nil {
 		c.rep.det.Watch(nc.Name)
 	}
-
-	// Retire the donor copies. Without this a later topology change
-	// would re-scan the donor and resurrect stale values.
-	del := &migrator{ctx: ctx, window: c.cfg.MigrateWindow}
-	for d, keys := range perDonor {
-		for _, mk := range keys {
-			del.push(d.pipe.DeleteAsync(mk.key))
-		}
-	}
-	del.flush()
-	return moved, del.err
+	return moved, c.deleteStales(ctx, stales)
 }
 
-// RemoveNode detaches a node after streaming every live key it holds to
-// that key's owner under the shrunk ring (remaining TTL preserved).
-// Reads are served throughout: by the retiring node until the swap, by
-// the recipients — which already hold the keys — after it. Once the ring
-// has swapped, the retiring node's in-flight requests are drained
+// RemoveNode detaches a node after streaming the keys it holds to their
+// owners and replicas under the shrunk ring (remaining TTL preserved).
+// Reads are served throughout: by the old placement until the swap, by
+// the recipients — which already hold the keys — after it. Once the
+// ring has swapped, the retiring node's in-flight requests are drained
 // (bounded wait) and its client engine is closed. It returns the number
 // of keys moved.
 //
-// The retiring node must have been attached with a ScanFunc. Removing
-// the last node leaves an empty cluster whose operations fail with
-// ErrNoNodes.
+// The retiring node must have been attached with a ScanFunc. On a
+// replicated cluster — or when the rebalancer has moved arcs — removal
+// perturbs placements on the surviving nodes too, so every node must be
+// scannable. Removing the last node leaves an empty cluster whose
+// operations fail with ErrNoNodes.
 func (c *Cluster) RemoveNode(ctx context.Context, name string) (moved int, err error) {
 	c.topo.Lock()
 	defer c.topo.Unlock()
@@ -183,71 +262,50 @@ func (c *Cluster) RemoveNode(ctx context.Context, name string) (moved int, err e
 		return 0, apierr.ErrClosed
 	}
 	oldRing := c.ring
-	donor := c.nodes[name]
+	retiring := c.nodes[name]
+	all := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		all = append(all, n)
+	}
 	c.mu.RUnlock()
 
-	if donor == nil {
+	if retiring == nil {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownNode, name)
-	}
-	if donor.scan == nil {
-		return 0, fmt.Errorf("%w: %q", ErrNoScan, name)
 	}
 	newRing, err := oldRing.Without(name)
 	if err != nil {
 		return 0, err
 	}
+	// Unreplicated and unmoved, only the retiring node's keys change
+	// placement; otherwise replica sets and reverted arcs shift on the
+	// survivors too, and every primary must donate.
+	donors := []*node{retiring}
+	if c.replicas() > 1 || oldRing.MovedCount() > 0 {
+		donors = all
+	}
+	for _, d := range donors {
+		if d.scan == nil {
+			return 0, fmt.Errorf("%w: %q", ErrNoScan, d.name)
+		}
+	}
+	resolve := func(n string) *node {
+		t, _ := c.currentNode(n)
+		return t
+	}
 
 	// Copy phase: the retiring node keeps serving reads while its keys
-	// stream to their new owners.
-	m := &migrator{ctx: ctx, window: c.cfg.MigrateWindow}
-	var copied []movedKey
-	donor.scan(func(key, value []byte, ttl time.Duration) bool {
-		if ctx.Err() != nil || m.err != nil {
-			return false
-		}
-		dest := newRing.Owner(key)
-		if dest == "" {
-			// Last node: nowhere to move keys; they are discarded with
-			// the node. Draining to zero nodes is explicit data loss.
-			return true
-		}
-		target, ok := c.currentNode(dest)
-		if !ok {
-			m.err = fmt.Errorf("%w: %q", ErrUnknownNode, dest)
-			return false
-		}
-		m.push(target.pipe.PutTTLAsync(key, value, ttl))
-		copied = append(copied, movedKey{key: key})
-		moved++
-		return true
-	})
-	m.flush()
-	if m.err == nil && ctx.Err() != nil {
-		m.err = ctx.Err()
-	}
-	if m.err != nil {
-		// Roll back: ring unchanged, donor still owns its arcs. The
-		// copies already landed on other nodes are stale-but-unrouted
-		// duplicates; best-effort delete them.
-		rb := &migrator{ctx: context.Background(), window: c.cfg.MigrateWindow}
-		for _, mk := range copied {
-			if dest := newRing.Owner(mk.key); dest != "" {
-				if target, ok := c.currentNode(dest); ok {
-					rb.push(target.pipe.DeleteAsync(mk.key))
-				}
-			}
-		}
-		rb.flush()
-		return 0, m.err
+	// stream to their new owners. An empty new ring (removing the last
+	// node) has no placements: keys are discarded with the node —
+	// draining to zero nodes is explicit data loss.
+	moved, stales, err := c.migrateKeys(ctx, oldRing, newRing, donors, resolve)
+	if err != nil {
+		return 0, err
 	}
 
 	// Swap, then retire the node: drain its in-flight requests before
 	// closing so a request routed at it just before the swap completes
 	// normally instead of failing with ErrClosed.
-	c.mu.Lock()
-	c.ring = newRing
-	delete(c.nodes, name)
-	c.mu.Unlock()
+	c.swapRing(newRing, func() { delete(c.nodes, name) })
 	if c.rep != nil {
 		// The node leaves the probe set and its queued hints die with it:
 		// a removed node never comes back under this identity.
@@ -255,18 +313,20 @@ func (c *Cluster) RemoveNode(ctx context.Context, name string) (moved int, err e
 		c.rep.hints.Forget(name)
 	}
 
+	delErr := c.deleteStales(ctx, stales)
+
 	deadline := time.Now().Add(drainMax)
-	for donor.pipe.Stats().InFlight > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
+	for retiring.pipe.Stats().InFlight > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
 		time.Sleep(drainPoll)
 	}
-	_ = donor.pipe.Close()
+	_ = retiring.pipe.Close()
 
 	// Fold the retired node's latency history into the cluster-lifetime
 	// aggregate, so Stats.Ops and the merged percentiles never run
 	// backwards across a topology change.
-	donor.latMu.Lock()
-	history := donor.lat.Clone()
-	donor.latMu.Unlock()
+	retiring.latMu.Lock()
+	history := retiring.lat.Clone()
+	retiring.latMu.Unlock()
 	c.retiredMu.Lock()
 	if c.retired == nil {
 		c.retired = history
@@ -274,7 +334,23 @@ func (c *Cluster) RemoveNode(ctx context.Context, name string) (moved int, err e
 		c.retired.Merge(history)
 	}
 	c.retiredMu.Unlock()
-	return moved, nil
+	return moved, delErr
+}
+
+// swapRing installs a new ring (and applies the node-map mutation)
+// under the write lock, retiring the current traffic recorder and
+// installing a fresh one sized for the new ring when the rebalancer is
+// on — arc indices are only meaningful against one ring value.
+func (c *Cluster) swapRing(newRing *Ring, mutate func()) {
+	c.mu.Lock()
+	c.ring = newRing
+	if mutate != nil {
+		mutate()
+	}
+	if c.reb != nil {
+		c.rebRec = c.reb.newRecorder(newRing.PointCount())
+	}
+	c.mu.Unlock()
 }
 
 // currentNode returns the live runtime state for name.

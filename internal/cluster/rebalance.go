@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
+	"github.com/minoskv/minos/internal/rebalance"
+)
+
+// ErrRebalanceOff reports a rebalance request against a cluster built
+// without RebalanceConfig.
+var ErrRebalanceOff = errors.New("cluster: rebalancing not enabled")
+
+// DefaultRebalanceEpoch is the controller period when a config leaves
+// it zero: long enough that an epoch's traffic sample is meaningful,
+// short enough that a flash crowd is answered in seconds.
+const DefaultRebalanceEpoch = 5 * time.Second
+
+// RebalanceConfig turns on the traffic-aware ring controller of
+// DESIGN.md §11: every Epoch it drains the datapath traffic recorder,
+// measures per-node load skew, and — after the policy's hysteresis —
+// moves hot vnode arcs to cold nodes live through the migration
+// protocol. Zero fields take defaults.
+type RebalanceConfig struct {
+	// Epoch is the controller period (default DefaultRebalanceEpoch).
+	Epoch time.Duration
+	// Policy tunes the detector, trigger and planner; zero fields take
+	// the rebalance-package defaults.
+	Policy rebalance.Policy
+	// TopK is the hot-key sketch width (default rebalance.DefaultTopK).
+	TopK int
+	// Sample feeds every 1-in-Sample observation to the sketch (default
+	// rebalance.DefaultSample; 1 disables sampling — deterministic, at
+	// the price of a mutex on every routed operation).
+	Sample int
+}
+
+// rebState is the rebalancer runtime hanging off a Cluster when
+// Config.Rebalance is set.
+type rebState struct {
+	cfg  RebalanceConfig
+	trig *rebalance.Trigger
+	stop chan struct{}
+	done chan struct{}
+
+	epochs    atomic.Uint64 // epochs evaluated
+	plans     atomic.Uint64 // epochs whose plan had at least one move
+	moves     atomic.Uint64 // arcs moved
+	keys      atomic.Uint64 // keys streamed by arc moves
+	failed    atomic.Uint64 // epochs whose execution failed (ring unchanged)
+	skew      atomic.Uint64 // float64 bits: last measured skew
+	skewAfter atomic.Uint64 // float64 bits: projected skew after the last plan
+
+	hotMu   sync.Mutex
+	hotKeys []rebalance.HotKey // last epoch's sketch report
+}
+
+func newRebState(cfg RebalanceConfig) *rebState {
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = DefaultRebalanceEpoch
+	}
+	cfg.Policy = cfg.Policy.WithDefaults()
+	return &rebState{
+		cfg:  cfg,
+		trig: rebalance.NewTrigger(cfg.Policy),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+func (rb *rebState) newRecorder(points int) *rebalance.Recorder {
+	return rebalance.NewRecorder(points, rb.cfg.TopK, rb.cfg.Sample)
+}
+
+func (rb *rebState) setHotKeys(hot []rebalance.HotKey) {
+	rb.hotMu.Lock()
+	rb.hotKeys = hot
+	rb.hotMu.Unlock()
+}
+
+// HotKeys returns the last epoch's sketch report, hottest first (counts
+// are in sketch samples when sampling is enabled).
+func (c *Cluster) HotKeys() []rebalance.HotKey {
+	rb := c.reb
+	if rb == nil {
+		return nil
+	}
+	rb.hotMu.Lock()
+	defer rb.hotMu.Unlock()
+	return append([]rebalance.HotKey(nil), rb.hotKeys...)
+}
+
+// storeSkew/loadSkew pack a float64 into an atomic word.
+func storeSkew(a *atomic.Uint64, v float64) { a.Store(math.Float64bits(v)) }
+func loadSkew(a *atomic.Uint64) float64     { return math.Float64frombits(a.Load()) }
+
+// rebalanceLoop is the epoch controller goroutine.
+func (c *Cluster) rebalanceLoop() {
+	rb := c.reb
+	defer close(rb.done)
+	t := time.NewTicker(rb.cfg.Epoch)
+	defer t.Stop()
+	for {
+		select {
+		case <-rb.stop:
+			return
+		case <-t.C:
+			// An epoch that fails (a destination died mid-stream) left the
+			// ring unchanged; the next epoch re-measures and re-plans.
+			_, _ = c.Rebalance(context.Background(), false)
+		}
+	}
+}
+
+// RebalanceResult is one controller epoch's outcome.
+type RebalanceResult struct {
+	// Skew is the measured max/mean node-load ratio for the epoch; 0 on
+	// an idle epoch.
+	Skew float64
+	// ProjectedSkew is the skew the plan's loads project to; equals Skew
+	// when nothing moved.
+	ProjectedSkew float64
+	// Moves is how many arcs were moved, KeysStreamed how many keys their
+	// migration copied.
+	Moves, KeysStreamed int
+}
+
+// Rebalance runs one controller epoch now: drain the traffic recorder,
+// measure skew, and — when the hysteresis trigger fires (or force is
+// set, which bypasses the trigger but not the planner's thresholds) —
+// plan and execute arc moves through the live migration protocol. It is
+// the deterministic entry point the epoch loop, tests and the admin
+// plane share. Concurrent topology changes are serialized against it.
+func (c *Cluster) Rebalance(ctx context.Context, force bool) (RebalanceResult, error) {
+	rb := c.reb
+	if rb == nil {
+		return RebalanceResult{}, ErrRebalanceOff
+	}
+	c.topo.Lock()
+	defer c.topo.Unlock()
+
+	// Drain: retire the recorder with the ring it indexes. topo is held,
+	// so no topology change can swap the ring under the epoch.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return RebalanceResult{}, apierr.ErrClosed
+	}
+	ring := c.ring
+	rec := c.rebRec
+	c.rebRec = rb.newRecorder(ring.PointCount())
+	live := make([]string, 0, len(c.nodes))
+	for _, name := range ring.Nodes() {
+		if n, ok := c.nodes[name]; ok && n.alive() {
+			live = append(live, name)
+		}
+	}
+	c.mu.Unlock()
+
+	rb.epochs.Add(1)
+	counts, total := rec.AppendCounts(make([]uint64, 0, rec.Arcs()))
+	arcs := make([]rebalance.Arc, ring.PointCount())
+	for i := range arcs {
+		h, owner, home := ring.PointAt(i)
+		arcs[i] = rebalance.Arc{Point: h, Owner: owner, Home: home, Ops: counts[i]}
+	}
+	hot := rec.AppendHotKeys(nil)
+	rebalance.MarkHot(arcs, hot)
+	rb.setHotKeys(hot)
+
+	skew := rebalance.Skew(rebalance.Loads(live, arcs))
+	storeSkew(&rb.skew, skew)
+	res := RebalanceResult{Skew: skew, ProjectedSkew: skew}
+	if fire := rb.trig.Observe(skew, total); !fire && !force {
+		return res, nil
+	}
+
+	plan := rebalance.PlanMoves(live, arcs, rb.cfg.Policy)
+	if len(plan.Moves) == 0 {
+		return res, nil
+	}
+	rb.plans.Add(1)
+
+	moved, swapped, err := c.executeMoves(ctx, ring, plan.Moves)
+	if swapped {
+		// The moves took effect the moment the ring swapped; count them
+		// even when the trailing stale deletion failed.
+		res.ProjectedSkew = plan.ProjectedSkew
+		res.Moves = len(plan.Moves)
+		res.KeysStreamed = moved
+		storeSkew(&rb.skewAfter, plan.ProjectedSkew)
+		rb.moves.Add(uint64(len(plan.Moves)))
+		rb.keys.Add(uint64(moved))
+	}
+	if err != nil {
+		rb.failed.Add(1)
+		return res, err
+	}
+	return res, nil
+}
+
+// executeMoves applies a plan live: the keys of every moved arc stream
+// to their new owner (and, replicated, to any shifted replica
+// placements) while the old ring keeps serving reads, then the ring
+// swaps and the stale placements are deleted. swapped reports whether
+// the new ring took effect — false means a migration failure left the
+// ring unchanged, true with a non-nil error means only the trailing
+// stale deletion failed. The caller holds c.topo.
+func (c *Cluster) executeMoves(ctx context.Context, ring *Ring, moves []rebalance.Move) (moved int, swapped bool, err error) {
+	mv := make(map[uint64]string, len(moves))
+	for _, m := range moves {
+		mv[m.Point] = m.To
+	}
+	newRing, err := ring.WithMoves(mv)
+	if err != nil {
+		return 0, false, err
+	}
+
+	// Donors: unreplicated, only the sources' keys change placement;
+	// replicated, the moved points perturb replica walks that start on
+	// other nodes' arcs too, so every primary donates.
+	var donors []*node
+	c.mu.RLock()
+	if c.replicas() == 1 {
+		seen := make(map[string]bool, len(moves))
+		for _, m := range moves {
+			if n, ok := c.nodes[m.From]; ok && !seen[m.From] {
+				seen[m.From] = true
+				donors = append(donors, n)
+			}
+		}
+	} else {
+		for _, n := range c.nodes {
+			donors = append(donors, n)
+		}
+	}
+	c.mu.RUnlock()
+	for _, d := range donors {
+		if d.scan == nil {
+			return 0, false, ErrNoScan
+		}
+	}
+	resolve := func(name string) *node {
+		n, _ := c.currentNode(name)
+		return n
+	}
+
+	moved, stales, err := c.migrateKeys(ctx, ring, newRing, donors, resolve)
+	if err != nil {
+		return 0, false, err // ring unchanged; the copies were rolled back
+	}
+	c.swapRing(newRing, nil)
+	return moved, true, c.deleteStales(ctx, stales)
+}
+
+// RebalanceStats is the controller's counter block inside Stats.
+type RebalanceStats struct {
+	// Enabled reports whether the cluster was built with rebalancing.
+	Enabled bool
+	// Epochs counts controller evaluations; Plans how many produced at
+	// least one move; Failed how many epochs whose execution errored (a
+	// migration failure leaves the ring unchanged; a failure in the
+	// trailing stale deletion happens after the ring already swapped,
+	// and the Moves/KeysStreamed counters then still reflect the swap).
+	Epochs, Plans, Failed uint64
+	// Moves counts arcs moved over the cluster's lifetime, KeysStreamed
+	// the keys their migrations copied.
+	Moves, KeysStreamed uint64
+	// ArcsMoved is how many arcs are currently served away from their
+	// home node.
+	ArcsMoved int
+	// Skew is the last epoch's measured max/mean node-load ratio;
+	// SkewAfter the projection after the last executed plan.
+	Skew, SkewAfter float64
+}
+
+// rebalanceStats snapshots the controller counters.
+func (c *Cluster) rebalanceStats() RebalanceStats {
+	rb := c.reb
+	if rb == nil {
+		return RebalanceStats{}
+	}
+	return RebalanceStats{
+		Enabled:      true,
+		Epochs:       rb.epochs.Load(),
+		Plans:        rb.plans.Load(),
+		Failed:       rb.failed.Load(),
+		Moves:        rb.moves.Load(),
+		KeysStreamed: rb.keys.Load(),
+		ArcsMoved:    c.Ring().MovedCount(),
+		Skew:         loadSkew(&rb.skew),
+		SkewAfter:    loadSkew(&rb.skewAfter),
+	}
+}

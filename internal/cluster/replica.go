@@ -149,16 +149,23 @@ func (sc *repScratch) armTimer(d time.Duration) *time.Timer {
 func (n *node) alive() bool { return n.state.Load() == int32(replica.Alive) }
 
 // replicaSet resolves key's replica set under one ring snapshot into
-// sc.names/sc.nodes (owner first).
+// sc.names/sc.nodes (owner first), feeding the rebalancer's traffic
+// recorder against the owning arc when the controller is on.
 func (c *Cluster) replicaSet(key []byte, sc *repScratch) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
 		return apierr.ErrClosed
 	}
-	sc.names = c.ring.AppendReplicas(sc.names[:0], KeyPoint(key), c.rep.r)
+	h := KeyPoint(key)
+	sc.names = c.ring.AppendReplicas(sc.names[:0], h, c.rep.r)
 	if len(sc.names) == 0 {
 		return ErrNoNodes
+	}
+	if c.rebRec != nil {
+		if arc, ok := c.ring.successor(h); ok {
+			c.rebRec.Observe(arc, h)
+		}
 	}
 	sc.nodes = sc.nodes[:0]
 	for _, name := range sc.names {

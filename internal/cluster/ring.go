@@ -30,13 +30,21 @@ type Ring struct {
 	seed   uint64
 	names  []string // sorted, for deterministic reporting
 	points []point  // sorted by hash
+	// moved holds the rebalancer's arc overrides: canonical point hash →
+	// current owner. Overrides survive With/Without rebuilds (pruned when
+	// the source point or target node leaves the ring) so a rebalanced
+	// key stays reachable across ordinary topology changes.
+	moved map[uint64]string
 }
 
-// point is one virtual node: a position on the circle and the index of
-// its owner in names.
+// point is one virtual node: a position on the circle, the index of its
+// current owner in names, and the index of its canonical (home) owner —
+// the node whose name hashed the point there. owner == home unless the
+// rebalancer moved the arc.
 type point struct {
-	hash uint64
-	node int32
+	hash  uint64
+	owner int32
+	home  int32
 }
 
 // splitmix64 is the finalizer used to place vnode points and to de-bias
@@ -74,6 +82,16 @@ func pointHash(seed uint64, name string, i int) uint64 {
 // DefaultVNodes. Duplicate names are an error; an empty ring is legal
 // (lookups report no owner) so a cluster can be drained to nothing.
 func NewRing(names []string, vnodes int, seed uint64) (*Ring, error) {
+	return newRing(names, vnodes, seed, nil)
+}
+
+// newRing is the full constructor: canonical point placement plus the
+// rebalancer's arc overrides. Overrides that no longer apply — the source
+// point vanished with its home node, the target left the ring, or the
+// target is the point's own home — are silently pruned rather than
+// rejected, because that is exactly what happens when a topology change
+// rebuilds a ring that carries older moves.
+func newRing(names []string, vnodes int, seed uint64, moved map[uint64]string) (*Ring, error) {
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
 	}
@@ -92,7 +110,8 @@ func NewRing(names []string, vnodes int, seed uint64) (*Ring, error) {
 	}
 	for ni, name := range sorted {
 		for i := 0; i < vnodes; i++ {
-			r.points = append(r.points, point{hash: pointHash(seed, name, i), node: int32(ni)})
+			h := pointHash(seed, name, i)
+			r.points = append(r.points, point{hash: h, owner: int32(ni), home: int32(ni)})
 		}
 	}
 	// Ties (astronomically unlikely 64-bit collisions) break by node
@@ -101,9 +120,33 @@ func NewRing(names []string, vnodes int, seed uint64) (*Ring, error) {
 		if r.points[i].hash != r.points[j].hash {
 			return r.points[i].hash < r.points[j].hash
 		}
-		return r.points[i].node < r.points[j].node
+		return r.points[i].home < r.points[j].home
 	})
+	for h, target := range moved {
+		ti := sort.SearchStrings(sorted, target)
+		if ti == len(sorted) || sorted[ti] != target {
+			continue // target left the ring: arc falls back to its home node
+		}
+		pi := r.pointIndex(h)
+		if pi < 0 || r.points[pi].home == int32(ti) {
+			continue // source point gone, or move became a no-op
+		}
+		r.points[pi].owner = int32(ti)
+		if r.moved == nil {
+			r.moved = make(map[uint64]string)
+		}
+		r.moved[h] = target
+	}
 	return r, nil
+}
+
+// pointIndex returns the index of the point placed exactly at h, or -1.
+func (r *Ring) pointIndex(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) || r.points[i].hash != h {
+		return -1
+	}
+	return i
 }
 
 // Nodes returns the node names, sorted. The slice is shared; do not
@@ -134,7 +177,19 @@ func (r *Ring) Lookup(h uint64) string {
 	if !ok {
 		return ""
 	}
-	return r.names[r.points[i].node]
+	return r.names[r.points[i].owner]
+}
+
+// LookupIdx is Lookup plus the index of the owning vnode point — the
+// arc identifier the rebalancer's traffic recorder counts against. The
+// index is only meaningful against this ring value; a rebuilt ring
+// renumbers its points.
+func (r *Ring) LookupIdx(h uint64) (string, int) {
+	i, ok := r.successor(h)
+	if !ok {
+		return "", -1
+	}
+	return r.names[r.points[i].owner], i
 }
 
 // LookupN returns up to n distinct nodes for a circle position, walking
@@ -161,9 +216,12 @@ func (r *Ring) AppendReplicas(dst []string, h uint64, n int) []string {
 		n = len(r.names)
 	}
 	base := len(dst)
-	for i := 0; len(dst)-base < n; i++ {
+	// The walk is bounded by one full revolution: with arc overrides a
+	// member can own zero points, in which case fewer than n distinct
+	// owners exist on the circle no matter how far we walk.
+	for i := 0; len(dst)-base < n && i < len(r.points); i++ {
 		p := r.points[(start+i)%len(r.points)]
-		name := r.names[p.node]
+		name := r.names[p.owner]
 		dup := false
 		for _, have := range dst[base:] {
 			if have == name {
@@ -191,13 +249,16 @@ func (r *Ring) successor(h uint64) (int, bool) {
 	return i, true
 }
 
-// With returns a new ring with name added (same vnodes and seed).
+// With returns a new ring with name added (same vnodes and seed). Arc
+// overrides carry over, except where the new node's own points displace
+// them.
 func (r *Ring) With(name string) (*Ring, error) {
-	return NewRing(append(append([]string(nil), r.names...), name), r.vnodes, r.seed)
+	return newRing(append(append([]string(nil), r.names...), name), r.vnodes, r.seed, r.moved)
 }
 
 // Without returns a new ring with name removed. Removing an absent name
 // is an error, so topology bookkeeping bugs surface instead of no-opping.
+// Arc overrides sourced at or targeting the removed node are pruned.
 func (r *Ring) Without(name string) (*Ring, error) {
 	out := make([]string, 0, len(r.names))
 	found := false
@@ -211,5 +272,53 @@ func (r *Ring) Without(name string) (*Ring, error) {
 	if !found {
 		return nil, fmt.Errorf("cluster: ring has no node %q", name)
 	}
-	return NewRing(out, r.vnodes, r.seed)
+	return newRing(out, r.vnodes, r.seed, r.moved)
+}
+
+// Has reports whether name is a ring member.
+func (r *Ring) Has(name string) bool {
+	i := sort.SearchStrings(r.names, name)
+	return i < len(r.names) && r.names[i] == name
+}
+
+// WithMoves returns a new ring with the given arc overrides applied on
+// top of the existing ones: each entry reassigns the arc ending at a
+// canonical point hash to a named member. Mapping a point back to its
+// home node reverts an earlier move. An unknown point hash or target is
+// an error — the caller planned against a stale ring and must replan.
+func (r *Ring) WithMoves(moves map[uint64]string) (*Ring, error) {
+	merged := make(map[uint64]string, len(r.moved)+len(moves))
+	for h, target := range r.moved {
+		merged[h] = target
+	}
+	for h, target := range moves {
+		if !r.Has(target) {
+			return nil, fmt.Errorf("cluster: arc move targets unknown node %q", target)
+		}
+		pi := r.pointIndex(h)
+		if pi < 0 {
+			return nil, fmt.Errorf("cluster: arc move names unknown point %#x", h)
+		}
+		if r.names[r.points[pi].home] == target {
+			delete(merged, h) // explicit revert to the home node
+			continue
+		}
+		merged[h] = target
+	}
+	return newRing(r.names, r.vnodes, r.seed, merged)
+}
+
+// MovedCount is the number of arcs currently owned away from their home
+// node.
+func (r *Ring) MovedCount() int { return len(r.moved) }
+
+// PointCount is the number of vnode points (arcs) on the circle.
+func (r *Ring) PointCount() int { return len(r.points) }
+
+// PointAt describes vnode point i in hash order: its circle position,
+// its current owner, and its home node. It panics if i is out of range,
+// like a slice index.
+func (r *Ring) PointAt(i int) (h uint64, owner, home string) {
+	p := r.points[i]
+	return p.hash, r.names[p.owner], r.names[p.home]
 }

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/minoskv/minos/internal/rebalance"
+)
+
+// BenchmarkRingLookupWithRebalance is the rebalancer's datapath tax,
+// asserted at zero allocations: a lookup on a ring carrying moved arcs
+// plus the traffic-recorder observation every routed operation pays
+// (atomic arc counter, 1-in-N sampled sketch). The CI perf ratchet
+// (cmd/benchgate) gates allocs/op on this benchmark.
+func BenchmarkRingLookupWithRebalance(b *testing.B) {
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%d", i)
+	}
+	ring, err := NewRing(names, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Move a handful of arcs so lookups exercise the override path.
+	moves := make(map[uint64]string, 4)
+	for i := 0; i < 4; i++ {
+		h, owner, _ := ring.PointAt(i * 97)
+		if owner != names[0] {
+			moves[h] = names[0]
+		} else {
+			moves[h] = names[1]
+		}
+	}
+	ring, err = ring.WithMoves(moves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := rebalance.NewRecorder(ring.PointCount(), 0, 0)
+
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench-ring-key-%05d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(len(keys)-1)]
+		h := KeyPoint(k)
+		name, idx := ring.LookupIdx(h)
+		if name == "" {
+			b.Fatal("empty lookup")
+		}
+		rec.Observe(idx, h)
+	}
+}

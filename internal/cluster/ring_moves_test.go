@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringWithMove builds a small ring and moves the first arc homed at
+// "from" onto "to", returning the ring pair and the moved point hash.
+func ringWithMove(t *testing.T, from, to string) (base, moved *Ring, h uint64) {
+	t.Helper()
+	base, err := NewRing([]string{"a", "b", "c"}, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base.PointCount(); i++ {
+		ph, _, home := base.PointAt(i)
+		if home == from {
+			h = ph
+			break
+		}
+	}
+	moved, err = base.WithMoves(map[uint64]string{h: to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, moved, h
+}
+
+func TestRingWithMovesReassignsArc(t *testing.T) {
+	base, moved, h := ringWithMove(t, "a", "b")
+	if got := base.Lookup(h); got != "a" {
+		t.Fatalf("canonical owner of point = %q, want a", got)
+	}
+	if got := moved.Lookup(h); got != "b" {
+		t.Fatalf("moved owner of point = %q, want b", got)
+	}
+	if moved.MovedCount() != 1 {
+		t.Fatalf("MovedCount = %d, want 1", moved.MovedCount())
+	}
+	// Home assignment is remembered even while the arc is moved.
+	pi := moved.pointIndex(h)
+	_, owner, home := moved.PointAt(pi)
+	if owner != "b" || home != "a" {
+		t.Fatalf("PointAt = owner %q home %q, want b/a", owner, home)
+	}
+	// Every other point is untouched.
+	changed := 0
+	for i := 0; i < base.PointCount(); i++ {
+		_, o1, _ := base.PointAt(i)
+		_, o2, _ := moved.PointAt(i)
+		if o1 != o2 {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("%d arcs changed owner, want exactly 1", changed)
+	}
+}
+
+func TestRingWithMovesRevert(t *testing.T) {
+	base, moved, h := ringWithMove(t, "a", "b")
+	back, err := moved.WithMoves(map[uint64]string{h: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MovedCount() != 0 {
+		t.Fatalf("MovedCount after revert = %d, want 0", back.MovedCount())
+	}
+	if got, want := back.Lookup(h), base.Lookup(h); got != want {
+		t.Fatalf("owner after revert = %q, want %q", got, want)
+	}
+}
+
+func TestRingWithMovesValidates(t *testing.T) {
+	base, _, h := ringWithMove(t, "a", "b")
+	if _, err := base.WithMoves(map[uint64]string{h: "nope"}); err == nil {
+		t.Fatal("move to unknown node did not fail")
+	}
+	if _, err := base.WithMoves(map[uint64]string{h + 1: "b"}); err == nil {
+		t.Fatal("move of unknown point did not fail")
+	}
+}
+
+func TestRingMovesSurviveTopologyChanges(t *testing.T) {
+	_, moved, h := ringWithMove(t, "a", "b")
+
+	// Adding an unrelated node keeps the override (unless the new node's
+	// own points happen to land on the moved hash, which they don't here).
+	grown, err := moved.With("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grown.Lookup(h); got != "b" {
+		t.Fatalf("owner after With = %q, want b", got)
+	}
+
+	// Removing the override's target reverts the arc to its home node.
+	noTarget, err := moved.Without("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := noTarget.Lookup(h); got != "a" {
+		t.Fatalf("owner after target removal = %q, want home a", got)
+	}
+	if noTarget.MovedCount() != 0 {
+		t.Fatalf("MovedCount after target removal = %d, want 0", noTarget.MovedCount())
+	}
+
+	// Removing the home node deletes the point itself; the override is
+	// pruned rather than left dangling.
+	noHome, err := moved.Without("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noHome.MovedCount() != 0 {
+		t.Fatalf("MovedCount after home removal = %d, want 0", noHome.MovedCount())
+	}
+	if noHome.pointIndex(h) >= 0 {
+		t.Fatal("removed node's point still on the ring")
+	}
+}
+
+func TestRingAppendReplicasWithDrainedNode(t *testing.T) {
+	// Move every one of a's arcs away: a is a member that owns nothing.
+	base, err := NewRing([]string{"a", "b"}, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := make(map[uint64]string)
+	for i := 0; i < base.PointCount(); i++ {
+		h, _, home := base.PointAt(i)
+		if home == "a" {
+			moves[h] = "b"
+		}
+	}
+	drained, err := base.WithMoves(moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking for 2 replicas must terminate and return just b: fewer
+	// distinct owners than members exist on the circle.
+	got := drained.LookupN(42, 2)
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("LookupN on drained ring = %v, want [b]", got)
+	}
+}
+
+func TestRingLookupIdxMatchesLookup(t *testing.T) {
+	_, moved, _ := ringWithMove(t, "a", "c")
+	for k := 0; k < 1000; k++ {
+		h := splitmix64(uint64(k))
+		name, idx := moved.LookupIdx(h)
+		if name != moved.Lookup(h) {
+			t.Fatalf("LookupIdx owner %q != Lookup %q at %#x", name, moved.Lookup(h), h)
+		}
+		if ph, owner, _ := moved.PointAt(idx); owner != name {
+			t.Fatalf("PointAt(%d) owner %q != %q (point %#x, key %#x)", idx, owner, name, ph, h)
+		}
+	}
+}
+
+func TestRingMovesDeterministic(t *testing.T) {
+	// The same moves applied to equal rings yield identical ownership —
+	// the property that lets two cluster clients agree after an epoch.
+	mk := func() *Ring {
+		_, m, _ := ringWithMove(t, "b", "c")
+		return m
+	}
+	r1, r2 := mk(), mk()
+	for k := 0; k < 4096; k++ {
+		h := splitmix64(uint64(k) * 0x9E3779B97F4A7C15)
+		if r1.Lookup(h) != r2.Lookup(h) {
+			t.Fatalf("rings diverge at %#x: %q vs %q", h, r1.Lookup(h), r2.Lookup(h))
+		}
+	}
+	if fmt.Sprint(r1.Nodes()) != fmt.Sprint(r2.Nodes()) {
+		t.Fatal("node sets diverge")
+	}
+}

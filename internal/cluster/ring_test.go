@@ -115,7 +115,7 @@ func TestRingSkewBound(t *testing.T) {
 	var total float64
 	for _, p := range r.points {
 		width := float64(p.hash - prev) // uint64 arithmetic wraps correctly
-		arc[r.names[p.node]] += width
+		arc[r.names[p.owner]] += width
 		total += width
 		prev = p.hash
 	}
@@ -248,8 +248,8 @@ func TestRingLookupNWrapAround(t *testing.T) {
 		}
 	}
 	// And the owner past the top is the owner of the first point.
-	if wrapped[0] != r.names[r.points[0].node] {
-		t.Fatalf("owner past top = %q, want first point's owner %q", wrapped[0], r.names[r.points[0].node])
+	if wrapped[0] != r.names[r.points[0].owner] {
+		t.Fatalf("owner past top = %q, want first point's owner %q", wrapped[0], r.names[r.points[0].owner])
 	}
 }
 

@@ -1,0 +1,360 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/cluster"
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/rebalance"
+	"github.com/minoskv/minos/internal/server"
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// This file is the flash-crowd experiment for the traffic-aware
+// rebalancer (DESIGN.md §11). A 4-node R=1 fleet serves a uniform read
+// load; at t=0 the popularity distribution snaps so that most GETs hit
+// a small crowd of keys that all live on one node. That node's
+// pipeline saturates and the open-loop p99 departs; the experiment
+// measures the recovery timeline with the rebalancer off (the p99
+// never comes back) and on (the controller detects the skew within an
+// epoch or two and walks hot arcs off the victim, live). The
+// per-epoch rows put the two runs side by side: p99, achieved
+// throughput, measured skew and cumulative arcs moved.
+
+// Flash-crowd geometry. The fleet is deliberately small and the ring
+// deliberately coarse: FlashVNodes arcs per node means one node's
+// crowd spreads over a handful of arcs, so a MaxMoves-bounded plan
+// relocates a visible fraction of the hot traffic every epoch.
+const (
+	flashNodes   = 4
+	flashCores   = 1
+	flashVNodes  = 8
+	flashWindow  = 4
+	flashRTT     = time.Millisecond
+	flashHotKeys = 32
+	// flashCrowdFrac of reads hit the crowd after the shift. On
+	// flashNodes nodes that is a skew of flashCrowdFrac*flashNodes —
+	// far beyond the 1.6 trigger.
+	flashCrowdFrac = 0.8
+	// flashEpoch is the controller period and the timeline bucket: short
+	// enough that a seconds-long run shows the whole recovery arc.
+	flashEpoch = 150 * time.Millisecond
+)
+
+// flashParams returns the offered GET rate, the uniform warm phase and
+// the measured crowd phase. The rate is chosen against the victim's
+// capacity — flashCores*flashWindow in-flight slots draining one per
+// flashRTT puts a node's ceiling near 4k/s, so the crowd's share
+// (flashCrowdFrac of the rate) saturates a single node while a
+// balanced fleet carries the same total with headroom.
+func (o Options) flashParams() (rate float64, warm, dur time.Duration) {
+	if o.Scale == Full {
+		return 6000, 500 * time.Millisecond, 4 * time.Second
+	}
+	return 6000, 300 * time.Millisecond, 1200 * time.Millisecond
+}
+
+// FlashCrowdRow is one epoch-length bucket of the recovery timeline,
+// with the off and on runs side by side.
+type FlashCrowdRow struct {
+	// TMs is the bucket's offset from the popularity shift, in ms.
+	TMs int
+	// OffP99/OnP99 are the bucket's GET p99 latencies in nanoseconds,
+	// measured from scheduled arrival (no coordinated omission).
+	OffP99, OnP99 int64
+	// OffAchieved/OnAchieved are completed GETs per second.
+	OffAchieved, OnAchieved float64
+	// OnSkew is the rebalancing run's measured max-over-mean node load
+	// in the bucket; OnArcsMoved the arcs moved off their home so far.
+	OnSkew      float64
+	OnArcsMoved int
+}
+
+// FlashCrowdResult holds the flash-crowd experiment.
+type FlashCrowdResult struct {
+	Nodes     int
+	HotKeys   int
+	CrowdFrac float64
+	Epoch     time.Duration
+	Rows      []FlashCrowdRow
+	// MovesTotal and KeysStreamed summarize the on-run's controller
+	// work; FinalSkew is its last measured skew.
+	MovesTotal   uint64
+	KeysStreamed uint64
+	FinalSkew    float64
+}
+
+// flashBucket is one run's per-bucket measurement.
+type flashBucket struct {
+	lat       *stats.Histogram
+	skew      float64
+	arcsMoved int
+}
+
+// xorshift64 is the tiny deterministic RNG the load mix draws from.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// runFlashCrowd measures one mode on a fresh fleet and returns the
+// per-bucket timeline plus the controller's final counters.
+func runFlashCrowd(rebalancing bool, o Options) ([]flashBucket, cluster.RebalanceStats, error) {
+	rate, warm, dur := o.flashParams()
+
+	fc := nic.NewFabricCluster(flashNodes, flashCores)
+	fc.SetRTT(flashRTT)
+	stores := make(map[string]*kv.Store, flashNodes)
+	configs := make([]cluster.NodeConfig, flashNodes)
+	for i := 0; i < flashNodes; i++ {
+		srv, err := server.New(server.Config{
+			Design: server.Minos,
+			Cores:  flashCores,
+			Epoch:  100 * time.Millisecond,
+		}, fc.Node(i).Server())
+		if err != nil {
+			return nil, cluster.RebalanceStats{}, err
+		}
+		name := clusterNodeName(i)
+		stores[name] = srv.Store()
+		store := srv.Store()
+		configs[i] = cluster.NodeConfig{
+			Name: name,
+			Pipe: client.NewPipeline(fc.Node(i).NewClient(), flashCores, client.PipelineConfig{
+				Window: flashWindow,
+				Seed:   o.seed() + int64(i),
+			}),
+			// Arc moves stream keys off their donors live; the scan and
+			// TTL hooks are what make a node a migration donor.
+			Scan: func(fn func(key, value []byte, ttl time.Duration) bool) {
+				store.Range(func(it *kv.Item) bool { return fn(it.Key, it.Value, 0) })
+			},
+		}
+		srv.Start()
+		defer srv.Stop()
+	}
+	cfg := cluster.Config{Seed: uint64(o.seed()), VNodes: flashVNodes}
+	if rebalancing {
+		cfg.Rebalance = &cluster.RebalanceConfig{
+			Epoch: flashEpoch,
+			// React within one hot epoch: the experiment is the recovery
+			// timeline, not the (golden-tested) hysteresis.
+			Policy: rebalance.Policy{HotEpochs: 1, MaxMoves: 4, MinOps: 200},
+		}
+	}
+	cl, err := cluster.New(cfg, configs)
+	if err != nil {
+		return nil, cluster.RebalanceStats{}, err
+	}
+	defer cl.Close()
+
+	// Workload: a catalog of small keys, preloaded straight into each
+	// owner's store. The crowd is flashHotKeys keys that all live on one
+	// victim node under the initial ring.
+	prof := workload.DefaultProfile()
+	prof.NumKeys = 4096
+	prof.NumLargeKeys = 1 // keep the catalog tiny and the values small
+	prof.MaxLargeSize = 2048
+	prof.Seed = o.seed()
+	cat := workload.NewCatalog(prof)
+	ring := cl.Ring()
+	victim := clusterNodeName(0)
+	var hotIDs []uint64
+	filler := make([]byte, prof.MaxLargeSize)
+	var keyBuf []byte
+	for id := 0; id < cat.NumRegularKeys(); id++ {
+		keyBuf = kv.AppendKeyForID(keyBuf[:0], uint64(id))
+		owner := ring.Owner(keyBuf)
+		stores[owner].Put(keyBuf, filler[:cat.Size(uint64(id))])
+		if owner == victim && len(hotIDs) < flashHotKeys {
+			hotIDs = append(hotIDs, uint64(id))
+		}
+	}
+	if len(hotIDs) < flashHotKeys {
+		return nil, cluster.RebalanceStats{}, fmt.Errorf("victim %s owns only %d keys", victim, len(hotIDs))
+	}
+
+	buckets := make([]flashBucket, int(dur/flashEpoch))
+	for i := range buckets {
+		buckets[i].lat = stats.NewLatencyHistogram()
+	}
+	var latMu sync.Mutex
+
+	arr := workload.NewArrivals(rate, o.seed()+29)
+	rng := xorshift64(uint64(o.seed())*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	sem := make(chan struct{}, 1024)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+
+	// One open-loop GET per arrival. During the crowd phase,
+	// flashCrowdFrac of draws come from the hot set.
+	run := func(phase time.Duration, crowd bool, phaseStart time.Time) {
+		next := phaseStart
+		for time.Since(phaseStart) < phase {
+			next = next.Add(arr.ExpGap())
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+			}
+			r := rng.next()
+			var id uint64
+			if crowd && float64(r>>11)/(1<<53) < flashCrowdFrac {
+				id = hotIDs[int(r%uint64(len(hotIDs)))]
+			} else {
+				id = r % uint64(cat.NumRegularKeys())
+			}
+			key := kv.KeyForID(id)
+			scheduled := next
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _ = cl.Get(ctx, key)
+				if crowd {
+					if b := int(scheduled.Sub(phaseStart) / flashEpoch); b >= 0 && b < len(buckets) {
+						l := int64(time.Since(scheduled))
+						latMu.Lock()
+						buckets[b].lat.Record(l)
+						latMu.Unlock()
+					}
+				}
+				<-sem
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Sampler: at every bucket boundary, attribute the interval's
+	// per-node traffic (skew) and snapshot the controller's progress.
+	sampleStop := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	startSampler := func(phaseStart time.Time) {
+		samplerDone.Add(1)
+		go func() {
+			defer samplerDone.Done()
+			prev := make(map[string]uint64, flashNodes)
+			t := time.NewTicker(flashEpoch)
+			defer t.Stop()
+			for {
+				select {
+				case <-sampleStop:
+					return
+				case now := <-t.C:
+					st := cl.Stats()
+					var total, max uint64
+					for _, n := range st.Nodes {
+						d := n.Ops - prev[n.Name]
+						prev[n.Name] = n.Ops
+						total += d
+						if d > max {
+							max = d
+						}
+					}
+					b := int(now.Sub(phaseStart)/flashEpoch) - 1
+					if b >= 0 && b < len(buckets) && total > 0 {
+						latMu.Lock()
+						buckets[b].skew = float64(max) * flashNodes / float64(total)
+						buckets[b].arcsMoved = st.Rebalance.ArcsMoved
+						latMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+
+	run(warm, false, time.Now())
+	crowdStart := time.Now()
+	startSampler(crowdStart)
+	run(dur, true, crowdStart)
+	close(sampleStop)
+	samplerDone.Wait()
+
+	// Close first: it serializes against an in-flight epoch (a trailing
+	// stale deletion can outlive the measured window behind a saturated
+	// pipe), so the counters read below are final.
+	cl.Close()
+	return buckets, cl.Stats().Rebalance, nil
+}
+
+// FlashCrowd runs the flash-crowd experiment: the same popularity
+// shift, rebalancing off then on, reported as one aligned recovery
+// timeline. Run it via minos-bench -fig flashcrowd.
+func FlashCrowd(o Options) (*FlashCrowdResult, error) {
+	r := &FlashCrowdResult{
+		Nodes:     flashNodes,
+		HotKeys:   flashHotKeys,
+		CrowdFrac: flashCrowdFrac,
+		Epoch:     flashEpoch,
+	}
+	off, _, err := runFlashCrowd(false, o)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("rebalance=off p99(last)=%sus", us(off[len(off)-1].lat.Quantile(0.99)))
+	on, reb, err := runFlashCrowd(true, o)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("rebalance=on  p99(last)=%sus epochs=%d plans=%d failed=%d moves=%d keys=%d skew=%.2f",
+		us(on[len(on)-1].lat.Quantile(0.99)), reb.Epochs, reb.Plans, reb.Failed, reb.Moves, reb.KeysStreamed, reb.Skew)
+
+	sec := flashEpoch.Seconds()
+	for i := range off {
+		r.Rows = append(r.Rows, FlashCrowdRow{
+			TMs:         i * int(flashEpoch/time.Millisecond),
+			OffP99:      off[i].lat.Quantile(0.99),
+			OnP99:       on[i].lat.Quantile(0.99),
+			OffAchieved: float64(off[i].lat.Count()) / sec,
+			OnAchieved:  float64(on[i].lat.Count()) / sec,
+			OnSkew:      on[i].skew,
+			OnArcsMoved: on[i].arcsMoved,
+		})
+	}
+	r.MovesTotal = reb.Moves
+	r.KeysStreamed = reb.KeysStreamed
+	r.FinalSkew = reb.Skew
+	return r, nil
+}
+
+// Table renders the flash-crowd experiment.
+func (r *FlashCrowdResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("FlashCrowd: %d nodes R=1, %.0f%% of GETs shift onto %d keys of one node at t=0; rebalancer epoch %v (moved %d arcs, %d keys streamed)",
+			r.Nodes, r.CrowdFrac*100, r.HotKeys, r.Epoch, r.MovesTotal, r.KeysStreamed),
+		Headers: []string{"t(ms)", "off-p99(us)", "on-p99(us)",
+			"off-achieved(/s)", "on-achieved(/s)", "on-skew", "on-arcs-moved"},
+	}
+	for _, row := range r.Rows {
+		// An empty bucket (p99 0, nothing completed) means the run's
+		// client backlog grew past the phase end and the open loop
+		// stopped issuing arrivals — total collapse, not a fast bucket.
+		offP99, onP99 := us(row.OffP99), us(row.OnP99)
+		if row.OffP99 == 0 {
+			offP99 = "-"
+		}
+		if row.OnP99 == 0 {
+			onP99 = "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.TMs),
+			offP99,
+			onP99,
+			fmt.Sprintf("%.0f", row.OffAchieved),
+			fmt.Sprintf("%.0f", row.OnAchieved),
+			fmt.Sprintf("%.2f", row.OnSkew),
+			fmt.Sprintf("%d", row.OnArcsMoved),
+		})
+	}
+	return t
+}

@@ -26,6 +26,24 @@ type Topology struct {
 	VNodes int `json:"vnodesPerNode"`
 	// Replicas is how many nodes hold each key (1 = unreplicated).
 	Replicas int `json:"replicas"`
+	// Rebalance is the traffic-aware ring controller's block, present
+	// only when the cluster runs one.
+	Rebalance *TopologyRebalance `json:"rebalance,omitempty"`
+}
+
+// TopologyRebalance reports the ring controller inside Topology.
+type TopologyRebalance struct {
+	// Epochs counts controller evaluations, Moves the arcs moved over
+	// the cluster's lifetime.
+	Epochs uint64 `json:"epochs"`
+	Moves  uint64 `json:"arcMovesTotal"`
+	// ArcsMoved is how many arcs are currently served away from their
+	// home node.
+	ArcsMoved int `json:"arcsMoved"`
+	// Skew is the last epoch's measured max-over-mean node-load ratio;
+	// SkewAfter the projection after the last executed plan.
+	Skew      float64 `json:"skew"`
+	SkewAfter float64 `json:"skewAfter"`
 }
 
 // TopologyNode is one ring member.

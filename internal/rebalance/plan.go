@@ -1,0 +1,244 @@
+package rebalance
+
+import "sort"
+
+// Arc is one vnode arc as the planner sees it: the circle position of
+// the point that ends the arc, who serves it now, whose name placed it
+// there, the epoch's measured traffic, and whether the hot-key sketch
+// attributes a top-k key to it. Arcs must be sorted by Point (the order
+// the ring enumerates them in).
+type Arc struct {
+	Point uint64
+	Owner string
+	Home  string
+	Ops   uint64
+	Hot   bool
+}
+
+// Move relocates one arc: the vnode point, the node serving it when the
+// plan was made, the destination, and the epoch traffic the move is
+// expected to relocate.
+type Move struct {
+	Point    uint64
+	From, To string
+	Ops      uint64
+}
+
+// Policy tunes the detector, trigger and planner. The zero value takes
+// the defaults documented per field.
+type Policy struct {
+	// SkewThreshold is the max-node-load over mean-node-load ratio above
+	// which an epoch counts as hot (default 1.6). 1.0 is perfect
+	// balance; on an M-node cluster a single saturated node shows M.
+	SkewThreshold float64
+	// RestoreSkew is the projected skew at which the planner stops
+	// adding moves (default halfway between 1 and SkewThreshold).
+	// Keeping it well under the trigger is the anti-thrash band: a
+	// cluster balanced to RestoreSkew needs a genuine load shift, not
+	// measurement noise, to trip the trigger again.
+	RestoreSkew float64
+	// HotEpochs is how many consecutive hot epochs arm the trigger
+	// before a plan is made (default 2) — a one-epoch spike is ignored.
+	HotEpochs int
+	// MaxMoves bounds the arc moves per epoch (default 4): the move-rate
+	// budget that keeps migration traffic a sliver of serving traffic.
+	MaxMoves int
+	// MinOps is the epoch traffic below which skew is not evaluated at
+	// all (default 256): an idle cluster's ratios are noise.
+	MinOps uint64
+}
+
+// WithDefaults returns p with zero fields replaced by defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.SkewThreshold <= 1 {
+		p.SkewThreshold = 1.6
+	}
+	if p.RestoreSkew <= 1 || p.RestoreSkew > p.SkewThreshold {
+		p.RestoreSkew = 1 + (p.SkewThreshold-1)/2
+	}
+	if p.HotEpochs <= 0 {
+		p.HotEpochs = 2
+	}
+	if p.MaxMoves <= 0 {
+		p.MaxMoves = 4
+	}
+	if p.MinOps == 0 {
+		p.MinOps = 256
+	}
+	return p
+}
+
+// NodeLoad is one node's share of an epoch's traffic.
+type NodeLoad struct {
+	Name string
+	Ops  uint64
+	Arcs int // arcs currently served (not homed) by the node
+}
+
+// Loads attributes per-arc traffic to the arcs' current owners. nodes
+// fixes the membership (a node serving zero arcs still appears) and the
+// output order.
+func Loads(nodes []string, arcs []Arc) []NodeLoad {
+	idx := make(map[string]int, len(nodes))
+	out := make([]NodeLoad, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+		out[i].Name = n
+	}
+	for _, a := range arcs {
+		if i, ok := idx[a.Owner]; ok {
+			out[i].Ops += a.Ops
+			out[i].Arcs++
+		}
+	}
+	return out
+}
+
+// Skew is the load-imbalance measure the controller acts on: the
+// hottest node's traffic over the per-node mean. It reports 0 on an
+// idle or empty cluster (no basis to act).
+func Skew(loads []NodeLoad) float64 {
+	var total, max uint64
+	for _, l := range loads {
+		total += l.Ops
+		if l.Ops > max {
+			max = l.Ops
+		}
+	}
+	if total == 0 || len(loads) == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(loads)) / float64(total)
+}
+
+// MarkHot flags each arc that the sketch attributes a top-k key to:
+// the key at circle position HotKey.Hash belongs to the first arc point
+// at or clockwise after it. arcs must be sorted by Point. The planner
+// prefers moving flagged arcs — they carry the keys that explain the
+// skew, so moving them relocates the measured load with confidence.
+func MarkHot(arcs []Arc, hot []HotKey) {
+	if len(arcs) == 0 {
+		return
+	}
+	for _, hk := range hot {
+		i := sort.Search(len(arcs), func(i int) bool { return arcs[i].Point >= hk.Hash })
+		if i == len(arcs) {
+			i = 0 // wraps past the top of the circle
+		}
+		arcs[i].Hot = true
+	}
+}
+
+// Plan is one epoch's decision: the measured skew, the moves chosen,
+// and the skew the loads project to if every move lands.
+type Plan struct {
+	Skew          float64
+	ProjectedSkew float64
+	Moves         []Move
+}
+
+// PlanMoves turns one epoch of measurements into a bounded, greedy set
+// of arc moves. It is a pure, deterministic function: same nodes, arcs
+// and policy in, same plan out — the golden-test surface.
+//
+// Each round moves the best arc off the currently hottest node onto the
+// currently coldest (projected loads, so consecutive moves spread
+// rather than pile onto one cold node). "Best" prefers sketch-flagged
+// hot arcs, then highest traffic, then lowest point hash; a move is
+// only taken if it strictly lowers the hottest node's projected load,
+// and never strips a node of its last arc. Two anti-churn rules keep a
+// single plan coherent: an arc moves at most once per plan, and a node
+// that received an arc never donates in the same plan — if absorbing a
+// hot arc made it the hottest, the plan is done (next epoch measures
+// the new shape instead of guessing). Planning stops at RestoreSkew, at
+// MaxMoves, or when no move improves.
+func PlanMoves(nodes []string, arcs []Arc, pol Policy) Plan {
+	pol = pol.WithDefaults()
+	loads := Loads(nodes, arcs)
+	plan := Plan{Skew: Skew(loads)}
+	plan.ProjectedSkew = plan.Skew
+	var total uint64
+	for _, l := range loads {
+		total += l.Ops
+	}
+	if len(nodes) < 2 || total < pol.MinOps || plan.Skew < pol.SkewThreshold {
+		return plan
+	}
+
+	work := append([]Arc(nil), arcs...)
+	received := make(map[string]bool, len(nodes))
+	for len(plan.Moves) < pol.MaxMoves {
+		hot, cold := hottestColdest(loads)
+		if hot == cold || Skew(loads) <= pol.RestoreSkew {
+			break
+		}
+		if received[loads[hot].Name] || loads[hot].Arcs <= 1 {
+			break
+		}
+		best := -1
+		for i, a := range work {
+			if a.Owner != loads[hot].Name || a.Ops == 0 || movedThisPlan(plan.Moves, a.Point) {
+				continue
+			}
+			// A move must strictly improve the hottest node: the
+			// destination must stay below the source's current load even
+			// after absorbing the arc.
+			if loads[cold].Ops+a.Ops >= loads[hot].Ops {
+				continue
+			}
+			if best < 0 || betterCandidate(a, work[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		a := &work[best]
+		plan.Moves = append(plan.Moves, Move{Point: a.Point, From: a.Owner, To: loads[cold].Name, Ops: a.Ops})
+		loads[hot].Ops -= a.Ops
+		loads[hot].Arcs--
+		loads[cold].Ops += a.Ops
+		loads[cold].Arcs++
+		received[loads[cold].Name] = true
+		a.Owner = loads[cold].Name
+	}
+	plan.ProjectedSkew = Skew(loads)
+	return plan
+}
+
+// movedThisPlan reports whether the arc at point already moved in this
+// plan (plans are a handful of moves; the linear scan beats a map).
+func movedThisPlan(moves []Move, point uint64) bool {
+	for _, m := range moves {
+		if m.Point == point {
+			return true
+		}
+	}
+	return false
+}
+
+// betterCandidate orders arcs for eviction off a hot node: sketch-
+// flagged first, then by traffic, then by point hash for determinism.
+func betterCandidate(a, b Arc) bool {
+	if a.Hot != b.Hot {
+		return a.Hot
+	}
+	if a.Ops != b.Ops {
+		return a.Ops > b.Ops
+	}
+	return a.Point < b.Point
+}
+
+// hottestColdest picks the indices of the max- and min-load nodes; ties
+// break by name so plans are deterministic.
+func hottestColdest(loads []NodeLoad) (hot, cold int) {
+	for i := 1; i < len(loads); i++ {
+		if loads[i].Ops > loads[hot].Ops {
+			hot = i
+		}
+		if loads[i].Ops < loads[cold].Ops {
+			cold = i
+		}
+	}
+	return hot, cold
+}

@@ -1,0 +1,264 @@
+package rebalance
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mkArcs builds a deterministic arc set: per-node arc traffic is given
+// as ops[node][i] and point hashes are synthesized in interleaved
+// order (node0:arc0, node1:arc0, ... round-robin around the circle).
+func mkArcs(nodes []string, ops map[string][]uint64) []Arc {
+	var arcs []Arc
+	var h uint64
+	max := 0
+	for _, n := range nodes {
+		if len(ops[n]) > max {
+			max = len(ops[n])
+		}
+	}
+	for i := 0; i < max; i++ {
+		for _, n := range nodes {
+			if i < len(ops[n]) {
+				h += 1 << 32
+				arcs = append(arcs, Arc{Point: h, Owner: n, Home: n, Ops: ops[n][i]})
+			}
+		}
+	}
+	return arcs
+}
+
+func TestSkew(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		loads []NodeLoad
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"idle", []NodeLoad{{Name: "a"}, {Name: "b"}}, 0},
+		{"balanced", []NodeLoad{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}}, 1},
+		{"one-sided", []NodeLoad{{Name: "a", Ops: 300}, {Name: "b", Ops: 100}}, 1.5},
+		{"saturated", []NodeLoad{{Name: "a", Ops: 400}, {Name: "b"}, {Name: "c"}, {Name: "d"}}, 4},
+	} {
+		if got := Skew(tc.loads); got != tc.want {
+			t.Errorf("%s: Skew = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPlanMovesGolden pins the planner's exact output on hand-built
+// scenarios: the contract that execution, stats and the flash-crowd
+// experiment all build on.
+func TestPlanMovesGolden(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	pol := Policy{SkewThreshold: 1.5, MaxMoves: 4, MinOps: 1, HotEpochs: 1}
+
+	t.Run("balanced cluster plans nothing", func(t *testing.T) {
+		arcs := mkArcs(nodes, map[string][]uint64{
+			"a": {100, 100}, "b": {100, 100}, "c": {100, 100}, "d": {100, 100},
+		})
+		plan := PlanMoves(nodes, arcs, pol)
+		if len(plan.Moves) != 0 {
+			t.Fatalf("moves = %v, want none", plan.Moves)
+		}
+		if plan.Skew != 1 {
+			t.Fatalf("skew = %v, want 1", plan.Skew)
+		}
+	})
+
+	t.Run("single hot arc moves to the coldest node", func(t *testing.T) {
+		arcs := mkArcs(nodes, map[string][]uint64{
+			"a": {300, 100}, "b": {110, 90}, "c": {100, 80}, "d": {50, 30},
+		})
+		plan := PlanMoves(nodes, arcs, pol)
+		want := []Move{{Point: arcs[0].Point, From: "a", To: "d", Ops: 300}}
+		if !reflect.DeepEqual(plan.Moves, want) {
+			t.Fatalf("moves = %+v, want %+v", plan.Moves, want)
+		}
+		if plan.ProjectedSkew >= plan.Skew {
+			t.Fatalf("projected skew %v did not improve on %v", plan.ProjectedSkew, plan.Skew)
+		}
+	})
+
+	t.Run("two hot arcs spread across two cold nodes", func(t *testing.T) {
+		// Naive placement would dump both hot arcs on d; projected loads
+		// must send the second one to c.
+		arcs := mkArcs(nodes, map[string][]uint64{
+			"a": {150, 150, 150, 150, 20}, "b": {140, 60}, "c": {90, 30}, "d": {70, 30},
+		})
+		plan := PlanMoves(nodes, arcs, pol)
+		if len(plan.Moves) != 2 {
+			t.Fatalf("moves = %+v, want 2", plan.Moves)
+		}
+		if plan.Moves[0].To == plan.Moves[1].To {
+			t.Fatalf("both hot arcs piled onto %q: %+v", plan.Moves[0].To, plan.Moves)
+		}
+		for _, m := range plan.Moves {
+			if m.From != "a" || m.Ops != 150 {
+				t.Fatalf("unexpected move %+v", m)
+			}
+		}
+	})
+
+	t.Run("sketch-flagged arc preferred over hotter unflagged", func(t *testing.T) {
+		arcs := mkArcs(nodes, map[string][]uint64{
+			"a": {500, 450}, "b": {50, 50}, "c": {40, 40}, "d": {30, 30},
+		})
+		// Flag the *second* (slightly cooler) arc as carrying a top-k key.
+		MarkHot(arcs, []HotKey{{Hash: arcs[4].Point}})
+		if !arcs[4].Hot || arcs[4].Owner != "a" {
+			t.Fatalf("test setup: expected a's second arc flagged, got %+v", arcs[4])
+		}
+		plan := PlanMoves(nodes, arcs, Policy{SkewThreshold: 1.5, MaxMoves: 1, MinOps: 1})
+		if len(plan.Moves) != 1 || plan.Moves[0].Point != arcs[4].Point {
+			t.Fatalf("moves = %+v, want the flagged arc %#x", plan.Moves, arcs[4].Point)
+		}
+	})
+
+	t.Run("budget caps the plan", func(t *testing.T) {
+		arcs := mkArcs(nodes, map[string][]uint64{
+			"a": {300, 300, 300, 300, 300, 300}, "b": {10}, "c": {10}, "d": {10},
+		})
+		plan := PlanMoves(nodes, arcs, Policy{SkewThreshold: 1.2, RestoreSkew: 1.01, MaxMoves: 3, MinOps: 1})
+		if len(plan.Moves) != 3 {
+			t.Fatalf("moves = %+v, want budget of 3", plan.Moves)
+		}
+	})
+
+	t.Run("idle epoch plans nothing", func(t *testing.T) {
+		arcs := mkArcs(nodes, map[string][]uint64{"a": {5}, "b": {0}, "c": {0}, "d": {0}})
+		plan := PlanMoves(nodes, arcs, Policy{SkewThreshold: 1.5, MinOps: 100})
+		if len(plan.Moves) != 0 {
+			t.Fatalf("moves on idle cluster: %+v", plan.Moves)
+		}
+	})
+
+	t.Run("mega-arc stays put", func(t *testing.T) {
+		// One arc carries almost everything: relocating it would just
+		// relocate the hotspot (the destination would end up hotter than
+		// the source is now), so the planner must leave it alone and only
+		// drain what genuinely improves the maximum.
+		arcs := mkArcs(nodes, map[string][]uint64{
+			"a": {1000, 5}, "b": {5}, "c": {5}, "d": {5},
+		})
+		plan := PlanMoves(nodes, arcs, Policy{SkewThreshold: 1.5, MaxMoves: 4, MinOps: 1})
+		for _, m := range plan.Moves {
+			if m.Ops == 1000 {
+				t.Fatalf("mega-arc was bounced to another node: %+v", plan.Moves)
+			}
+		}
+		if len(plan.Moves) != 1 || plan.Moves[0].Ops != 5 || plan.Moves[0].From != "a" {
+			t.Fatalf("moves = %+v, want just a's 5-op arc drained", plan.Moves)
+		}
+	})
+
+	t.Run("never strips the last arc", func(t *testing.T) {
+		two := []string{"a", "b"}
+		arcs := mkArcs(two, map[string][]uint64{"a": {900}, "b": {10}})
+		plan := PlanMoves(two, arcs, Policy{SkewThreshold: 1.2, MaxMoves: 4, MinOps: 1})
+		if len(plan.Moves) != 0 {
+			t.Fatalf("planner stripped a node bare: %+v", plan.Moves)
+		}
+	})
+}
+
+// TestPlanMovesDeterministic fuzzes the planner with seeded load and
+// asserts run-to-run identity — the property the golden tests and the
+// cross-client agreement story both rest on.
+func TestPlanMovesDeterministic(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := make(map[string][]uint64, len(nodes))
+		for _, n := range nodes {
+			row := make([]uint64, 16)
+			for i := range row {
+				row[i] = uint64(rng.Intn(50))
+			}
+			ops[n] = row
+		}
+		hotNode := nodes[rng.Intn(len(nodes))]
+		ops[hotNode][rng.Intn(16)] += uint64(1000 + rng.Intn(1000))
+		arcs := mkArcs(nodes, ops)
+		pol := Policy{SkewThreshold: 1.3, MaxMoves: 4, MinOps: 1}
+
+		p1 := PlanMoves(nodes, append([]Arc(nil), arcs...), pol)
+		p2 := PlanMoves(nodes, append([]Arc(nil), arcs...), pol)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("seed %d: plans diverge:\n%+v\n%+v", seed, p1, p2)
+		}
+		if p1.Skew >= pol.SkewThreshold && len(p1.Moves) == 0 {
+			t.Fatalf("seed %d: skew %.2f over threshold but no moves", seed, p1.Skew)
+		}
+		if len(p1.Moves) > 0 && p1.ProjectedSkew >= p1.Skew {
+			t.Fatalf("seed %d: projected skew %.2f did not improve on %.2f", seed, p1.ProjectedSkew, p1.Skew)
+		}
+		if len(p1.Moves) > 0 && p1.Moves[0].From != hotNode {
+			t.Fatalf("seed %d: first move %+v does not drain the hot node %q", seed, p1.Moves[0], hotNode)
+		}
+		// Anti-churn invariants: an arc moves at most once, and no node
+		// both receives and donates within one plan.
+		seen := map[uint64]bool{}
+		recv := map[string]bool{}
+		for _, m := range p1.Moves {
+			if seen[m.Point] {
+				t.Fatalf("seed %d: arc %#x moved twice: %+v", seed, m.Point, p1.Moves)
+			}
+			seen[m.Point] = true
+			if recv[m.From] {
+				t.Fatalf("seed %d: node %q received then donated: %+v", seed, m.From, p1.Moves)
+			}
+			recv[m.To] = true
+		}
+	}
+}
+
+func TestMarkHotWrapsCircle(t *testing.T) {
+	arcs := []Arc{{Point: 100, Owner: "a", Home: "a"}, {Point: 200, Owner: "b", Home: "b"}}
+	// A key past the last point wraps to the first arc.
+	MarkHot(arcs, []HotKey{{Hash: 500}})
+	if !arcs[0].Hot || arcs[1].Hot {
+		t.Fatalf("wrap-around hot flag wrong: %+v", arcs)
+	}
+	arcs[0].Hot = false
+	MarkHot(arcs, []HotKey{{Hash: 150}})
+	if !arcs[1].Hot || arcs[0].Hot {
+		t.Fatalf("interior hot flag wrong: %+v", arcs)
+	}
+}
+
+func TestTriggerHysteresis(t *testing.T) {
+	tr := NewTrigger(Policy{SkewThreshold: 1.5, HotEpochs: 3, MinOps: 100})
+	hot, calm := 2.0, 1.0
+
+	// Two hot epochs arm but do not fire; a calm epoch disarms.
+	if tr.Observe(hot, 1000) || tr.Observe(hot, 1000) {
+		t.Fatal("fired before HotEpochs consecutive hot epochs")
+	}
+	if tr.Armed() != 2 {
+		t.Fatalf("armed = %d, want 2", tr.Armed())
+	}
+	if tr.Observe(calm, 1000) {
+		t.Fatal("fired on a calm epoch")
+	}
+	if tr.Armed() != 0 {
+		t.Fatalf("calm epoch did not disarm: armed = %d", tr.Armed())
+	}
+
+	// Three consecutive hot epochs fire exactly once, then re-arm fresh.
+	tr.Observe(hot, 1000)
+	tr.Observe(hot, 1000)
+	if !tr.Observe(hot, 1000) {
+		t.Fatal("did not fire after HotEpochs hot epochs")
+	}
+	if tr.Observe(hot, 1000) {
+		t.Fatal("fired again immediately after firing")
+	}
+
+	// Idle epochs never arm, however skewed the ratio looks.
+	tr2 := NewTrigger(Policy{SkewThreshold: 1.5, HotEpochs: 1, MinOps: 100})
+	if tr2.Observe(10, 99) {
+		t.Fatal("fired on an idle epoch below MinOps")
+	}
+}

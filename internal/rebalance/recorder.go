@@ -1,0 +1,87 @@
+package rebalance
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSample is the recorder's 1-in-N sketch sampling rate when a
+// config leaves it zero. Per-arc counters are exact (a lock-free atomic
+// add per routed operation); only the mutex-guarded hot-key sketch is
+// sampled, so its lock is off the fast path 7 times out of 8.
+const DefaultSample = 8
+
+// Recorder accumulates one epoch of datapath traffic against one ring
+// value: an exact per-arc operation counter (indexed by the ring's
+// vnode point index) and a sampled SpaceSaving hot-key sketch. Observe
+// is safe for unlimited concurrency and never allocates; the epoch
+// controller drains a recorder by swapping in a fresh one and reading
+// the retired one at leisure.
+type Recorder struct {
+	counts []atomic.Uint64
+	seq    atomic.Uint64
+	mask   uint64 // sample-1, sample forced to a power of two
+
+	mu     sync.Mutex
+	sketch *TopK
+}
+
+// NewRecorder builds a recorder for a ring with arcs vnode points,
+// tracking up to k hot keys and feeding every 1-in-sample observation
+// to the sketch. sample is rounded up to a power of two; <= 0 takes
+// DefaultSample, 1 disables sampling (every observation counts, which
+// deterministic tests rely on).
+func NewRecorder(arcs, k, sample int) *Recorder {
+	if sample <= 0 {
+		sample = DefaultSample
+	}
+	p := 1
+	for p < sample {
+		p <<= 1
+	}
+	return &Recorder{
+		counts: make([]atomic.Uint64, arcs),
+		mask:   uint64(p - 1),
+		sketch: NewTopK(k),
+	}
+}
+
+// Arcs returns the number of per-arc counters (the ring's point count
+// at recorder construction).
+func (r *Recorder) Arcs() int { return len(r.counts) }
+
+// Observe counts one routed operation: the key at circle position h was
+// served by the arc ending at vnode point index arc. Out-of-range arcs
+// (a racing ring swap) are dropped rather than misattributed.
+func (r *Recorder) Observe(arc int, h uint64) {
+	if arc < 0 || arc >= len(r.counts) {
+		return
+	}
+	r.counts[arc].Add(1)
+	if r.seq.Add(1)&r.mask != 0 {
+		return
+	}
+	r.mu.Lock()
+	r.sketch.Observe(h)
+	r.mu.Unlock()
+}
+
+// AppendCounts appends a snapshot of the per-arc counters to dst and
+// returns it along with their sum.
+func (r *Recorder) AppendCounts(dst []uint64) (counts []uint64, total uint64) {
+	for i := range r.counts {
+		c := r.counts[i].Load()
+		dst = append(dst, c)
+		total += c
+	}
+	return dst, total
+}
+
+// AppendHotKeys appends the sketch's current entries to dst, hottest
+// first. Counts are in sketch samples, not raw operations, when
+// sampling is enabled.
+func (r *Recorder) AppendHotKeys(dst []HotKey) []HotKey {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sketch.AppendEntries(dst)
+}

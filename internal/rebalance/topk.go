@@ -1,0 +1,150 @@
+// Package rebalance is the traffic-aware ring controller's pure core:
+// a SpaceSaving top-k hot-key sketch, a per-arc traffic recorder fed
+// from the cluster datapath, a skew detector with a hysteresis trigger,
+// and a deterministic planner that turns one epoch of measurements into
+// a bounded set of vnode-arc moves from hot nodes to cold ones. Nothing
+// here touches the network or the ring itself — internal/cluster owns
+// execution — which is what makes the detector and planner testable
+// against golden plans. See DESIGN.md §11.
+package rebalance
+
+// TopK is a SpaceSaving top-k sketch over 64-bit key points. It tracks
+// at most k candidate keys with per-key overestimation bounds: when a
+// new key displaces the current minimum it inherits the minimum's count
+// as its error. Observe is O(log k) and allocation-free after the first
+// k distinct keys; the sketch is not safe for concurrent use (the
+// Recorder serializes access).
+type TopK struct {
+	k    int
+	heap []ssEntry      // min-heap on count: heap[0] is the eviction victim
+	pos  map[uint64]int // key hash → heap index
+}
+
+// ssEntry is one monitored key: its estimated count and the count it
+// may have inherited from the entry it evicted (the overestimation
+// bound: true count ∈ [Count-Err, Count]).
+type ssEntry struct {
+	hash  uint64
+	count uint64
+	errs  uint64
+}
+
+// HotKey is one reported sketch entry.
+type HotKey struct {
+	Hash  uint64
+	Count uint64
+	// Err is the SpaceSaving overestimation bound: the true count is at
+	// least Count-Err.
+	Err uint64
+}
+
+// DefaultTopK is the sketch width when a config leaves it zero: wide
+// enough to hold a flash crowd's working set, narrow enough that the
+// per-epoch report stays readable.
+const DefaultTopK = 16
+
+// NewTopK builds a sketch tracking up to k keys (k <= 0 takes
+// DefaultTopK).
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &TopK{k: k, heap: make([]ssEntry, 0, k), pos: make(map[uint64]int, k)}
+}
+
+// K returns the sketch width.
+func (t *TopK) K() int { return t.k }
+
+// Observe counts one access to key hash h.
+func (t *TopK) Observe(h uint64) {
+	if i, ok := t.pos[h]; ok {
+		t.heap[i].count++
+		t.siftDown(i)
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, ssEntry{hash: h, count: 1})
+		t.pos[h] = len(t.heap) - 1
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	// SpaceSaving replacement: the new key takes over the minimum's
+	// counter, charging the old count to its error bound.
+	victim := &t.heap[0]
+	delete(t.pos, victim.hash)
+	t.pos[h] = 0
+	victim.errs = victim.count
+	victim.count++
+	victim.hash = h
+	t.siftDown(0)
+}
+
+// AppendEntries appends the sketch contents to dst, hottest first (ties
+// break by hash so reports are deterministic), and returns it.
+func (t *TopK) AppendEntries(dst []HotKey) []HotKey {
+	base := len(dst)
+	for _, e := range t.heap {
+		dst = append(dst, HotKey{Hash: e.hash, Count: e.count, Err: e.errs})
+	}
+	out := dst[base:]
+	for i := 1; i < len(out); i++ { // insertion sort: k is small
+		for j := i; j > 0; j-- {
+			if out[j-1].Count > out[j].Count ||
+				(out[j-1].Count == out[j].Count && out[j-1].Hash <= out[j].Hash) {
+				break
+			}
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return dst
+}
+
+// Reset empties the sketch for the next epoch, keeping its capacity.
+func (t *TopK) Reset() {
+	t.heap = t.heap[:0]
+	for h := range t.pos {
+		delete(t.pos, h)
+	}
+}
+
+func (t *TopK) less(i, j int) bool {
+	if t.heap[i].count != t.heap[j].count {
+		return t.heap[i].count < t.heap[j].count
+	}
+	return t.heap[i].hash < t.heap[j].hash
+}
+
+func (t *TopK) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].hash] = i
+	t.pos[t.heap[j].hash] = j
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.less(i, p) {
+			return
+		}
+		t.swap(i, p)
+		i = p
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(t.heap) && t.less(l, small) {
+			small = l
+		}
+		if r < len(t.heap) && t.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,129 @@
+package rebalance
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTopKExactBelowCapacity(t *testing.T) {
+	tk := NewTopK(8)
+	for i := 0; i < 5; i++ {
+		for rep := 0; rep <= i; rep++ {
+			tk.Observe(uint64(i))
+		}
+	}
+	got := tk.AppendEntries(nil)
+	if len(got) != 5 {
+		t.Fatalf("entries = %d, want 5", len(got))
+	}
+	// Hottest first, exact counts, zero error below capacity.
+	for i, e := range got {
+		wantHash := uint64(4 - i)
+		if e.Hash != wantHash || e.Count != wantHash+1 || e.Err != 0 {
+			t.Fatalf("entry %d = %+v, want hash %d count %d err 0", i, e, wantHash, wantHash+1)
+		}
+	}
+}
+
+func TestTopKKeepsHeavyHitters(t *testing.T) {
+	// SpaceSaving guarantee: any key with true count > N/k is reported.
+	const k = 8
+	tk := NewTopK(k)
+	rng := rand.New(rand.NewSource(1))
+	heavy := []uint64{1000, 2000, 3000}
+	n := 0
+	for i := 0; i < 20000; i++ {
+		if i%4 != 0 {
+			tk.Observe(heavy[i%len(heavy)])
+		} else {
+			tk.Observe(uint64(rng.Intn(5000)))
+		}
+		n++
+	}
+	got := tk.AppendEntries(nil)
+	if len(got) != k {
+		t.Fatalf("entries = %d, want %d", len(got), k)
+	}
+	for _, h := range heavy {
+		found := false
+		for _, e := range got {
+			if e.Hash == h {
+				found = true
+				// True count ~5000 each; the estimate must not undershoot.
+				if e.Count < 4500 {
+					t.Fatalf("heavy hitter %d underestimated: %+v", h, e)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("heavy hitter %d missing from %+v", h, got)
+		}
+	}
+}
+
+func TestTopKReset(t *testing.T) {
+	tk := NewTopK(4)
+	for i := 0; i < 100; i++ {
+		tk.Observe(uint64(i % 6))
+	}
+	tk.Reset()
+	if got := tk.AppendEntries(nil); len(got) != 0 {
+		t.Fatalf("entries after reset: %+v", got)
+	}
+	tk.Observe(7)
+	got := tk.AppendEntries(nil)
+	if len(got) != 1 || got[0].Count != 1 || got[0].Err != 0 {
+		t.Fatalf("post-reset observe = %+v", got)
+	}
+}
+
+func TestRecorderCountsAndSampling(t *testing.T) {
+	rec := NewRecorder(4, 8, 1) // sample=1: every observation hits the sketch
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				rec.Observe(g, uint64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	counts, total := rec.AppendCounts(nil)
+	if total != 4000 {
+		t.Fatalf("total = %d, want 4000", total)
+	}
+	for i, c := range counts {
+		if c != 1000 {
+			t.Fatalf("arc %d = %d, want 1000", i, c)
+		}
+	}
+	hot := rec.AppendHotKeys(nil)
+	if len(hot) != 4 {
+		t.Fatalf("hot keys = %+v, want 4 entries", hot)
+	}
+	for _, e := range hot {
+		if e.Count != 1000 {
+			t.Fatalf("sketch count %+v, want exact 1000 at sample=1", e)
+		}
+	}
+
+	// Out-of-range arcs (racing ring swap) are dropped, not misattributed.
+	rec.Observe(99, 99)
+	rec.Observe(-1, 99)
+	if _, total := rec.AppendCounts(nil); total != 4000 {
+		t.Fatalf("out-of-range observe leaked into counts: %d", total)
+	}
+}
+
+func TestRecorderSampleRounding(t *testing.T) {
+	rec := NewRecorder(1, 4, 5) // rounds up to 8
+	if rec.mask != 7 {
+		t.Fatalf("mask = %d, want 7", rec.mask)
+	}
+	if def := NewRecorder(1, 4, 0); def.mask != DefaultSample-1 {
+		t.Fatalf("default mask = %d, want %d", def.mask, DefaultSample-1)
+	}
+}

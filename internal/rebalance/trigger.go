@@ -1,0 +1,38 @@
+package rebalance
+
+// Trigger is the hysteresis gate between measurement and action: a plan
+// is only made after Policy.HotEpochs *consecutive* epochs measured
+// over the skew threshold with enough traffic to trust the ratio. A
+// single hot epoch — a client burst, a GC pause skewing one node's
+// counters — arms it but moves nothing; any calm epoch disarms it. The
+// zero value is unusable; build with NewTrigger. Not safe for
+// concurrent use (the epoch controller is the only caller).
+type Trigger struct {
+	pol Policy
+	hot int
+}
+
+// NewTrigger builds a trigger over the policy (defaults applied).
+func NewTrigger(pol Policy) *Trigger {
+	return &Trigger{pol: pol.WithDefaults()}
+}
+
+// Observe feeds one epoch's measurement and reports whether the
+// controller should plan now. Firing resets the armed count: the
+// epochs after a rebalance measure its effect before it can fire again.
+func (t *Trigger) Observe(skew float64, totalOps uint64) bool {
+	if totalOps < t.pol.MinOps || skew < t.pol.SkewThreshold {
+		t.hot = 0
+		return false
+	}
+	t.hot++
+	if t.hot >= t.pol.HotEpochs {
+		t.hot = 0
+		return true
+	}
+	return false
+}
+
+// Armed reports how many consecutive hot epochs have been observed
+// since the trigger last fired or disarmed.
+func (t *Trigger) Armed() int { return t.hot }

@@ -1,0 +1,96 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHedgePolicyDelayTable pins the estimator's edge behaviour: the
+// delay is the median of the *positive* per-node quantiles (empty
+// histograms report 0 and must not drag the median down), clamped to
+// [Min, Max], with Max as the conservative answer whenever there is no
+// signal at all — a cold cluster, a single node with no observations,
+// or a fleet the detector holds entirely dead (no live quantiles to
+// feed in).
+func TestHedgePolicyDelayTable(t *testing.T) {
+	ms := func(d time.Duration) int64 { return int64(d) }
+	def := HedgePolicy{}.WithDefaults()
+	tests := []struct {
+		name string
+		pol  HedgePolicy
+		qs   []int64
+		want time.Duration
+	}{
+		{
+			name: "all-dead cluster: no live quantiles, hedge late",
+			pol:  def,
+			qs:   nil,
+			want: def.Max,
+		},
+		{
+			name: "cold cluster: every histogram empty",
+			pol:  def,
+			qs:   []int64{0, 0, 0, 0},
+			want: def.Max,
+		},
+		{
+			name: "single live node inside the clamp: its p95 is the delay",
+			pol:  def,
+			qs:   []int64{ms(300 * time.Microsecond)},
+			want: 300 * time.Microsecond,
+		},
+		{
+			name: "single live node, empty histogram",
+			pol:  def,
+			qs:   []int64{0},
+			want: def.Max,
+		},
+		{
+			name: "empty histograms ignored, not counted as fast nodes",
+			pol:  def,
+			qs:   []int64{0, 0, 0, ms(400 * time.Microsecond), ms(500 * time.Microsecond)},
+			want: 500 * time.Microsecond, // median of {400µs, 500µs}, not of {0,0,0,...}
+		},
+		{
+			name: "median below Min clamps up",
+			pol:  def,
+			qs:   []int64{ms(5 * time.Microsecond), ms(8 * time.Microsecond), ms(10 * time.Microsecond)},
+			want: def.Min,
+		},
+		{
+			name: "median above Max clamps down",
+			pol:  def,
+			qs:   []int64{ms(40 * time.Millisecond), ms(50 * time.Millisecond), ms(60 * time.Millisecond)},
+			want: def.Max,
+		},
+		{
+			name: "one degraded node cannot move the fleet median",
+			pol:  def,
+			qs: []int64{
+				ms(200 * time.Microsecond), ms(210 * time.Microsecond),
+				ms(190 * time.Microsecond), ms(8 * time.Millisecond), // the straggler
+				ms(205 * time.Microsecond),
+			},
+			want: 205 * time.Microsecond,
+		},
+		{
+			name: "even count takes the upper-middle quantile",
+			pol:  def,
+			qs:   []int64{ms(200 * time.Microsecond), ms(300 * time.Microsecond)},
+			want: 300 * time.Microsecond,
+		},
+		{
+			name: "custom clamp with Max below Min normalizes to Min",
+			pol:  HedgePolicy{Min: 2 * time.Millisecond, Max: time.Millisecond}.WithDefaults(),
+			qs:   []int64{ms(5 * time.Millisecond)},
+			want: 2 * time.Millisecond,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.pol.Delay(tc.qs); got != tc.want {
+				t.Fatalf("Delay(%v) = %v, want %v", tc.qs, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,432 @@
+package minos_test
+
+// Live coverage for the traffic-aware rebalancer (DESIGN.md §11) and
+// the replica-aware migration it shares with AddNode/RemoveNode. The
+// detector and planner are golden-tested in internal/rebalance; this
+// file exercises the execution path against real fabric fleets: hot
+// arcs moving live under traffic, a destination dying mid-stream (the
+// epoch must fail and leave the ring unchanged), rebalancing racing
+// topology churn, and — the replica-migration regression — the old
+// owner of migrated keys being killed right after a topology change
+// with every key still readable at R=2. The TestChaos* names ride the
+// CI `-run Chaos` -race step.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	minos "github.com/minoskv/minos"
+)
+
+// rebalanceOpts is the controller tuning these tests drive by hand: the
+// epoch loop is parked (an hour) so every epoch is forced through
+// Rebalance, and coarse vnodes make individual arcs carry enough of a
+// hot node's traffic that a bounded plan visibly rebalances.
+func rebalanceOpts() []minos.ClusterOption {
+	return []minos.ClusterOption{
+		minos.WithVNodes(8),
+		minos.WithRebalancing(minos.RebalanceConfig{
+			Epoch:  time.Hour,
+			MinOps: 64,
+		}),
+	}
+}
+
+// keysOwnedBy returns the subset of keys the current ring routes to
+// node name.
+func keysOwnedBy(cl *minos.Cluster, keys [][]byte, name string) [][]byte {
+	var out [][]byte
+	for _, k := range keys {
+		if cl.NodeFor(k) == name {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestRebalanceMovesHotArcsLive is the happy path: all read traffic
+// aimed at one node must trip the skew detector, and the forced epoch
+// must move arcs off it — live, with every key readable before and
+// after and the fleet still holding each key exactly once.
+func TestRebalanceMovesHotArcsLive(t *testing.T) {
+	ctx := context.Background()
+	cl, _, servers := testCluster(t, 4, 1, rebalanceOpts()...)
+
+	const numKeys = 400
+	keys := make([][]byte, numKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("reb:%05d", i))
+		if err := cl.Put(ctx, keys[i], []byte(fmt.Sprintf("val-%05d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+
+	// Drain the (balanced) preload traffic: this epoch must not plan.
+	res, err := cl.Rebalance(ctx)
+	if err != nil {
+		t.Fatalf("drain epoch: %v", err)
+	}
+	if res.Moves != 0 {
+		t.Fatalf("balanced preload epoch planned %d moves (skew %.2f)", res.Moves, res.Skew)
+	}
+
+	// Flash crowd: every read goes to one node's keys.
+	hot := cl.NodeFor(keys[0])
+	hotKeys := keysOwnedBy(cl, keys, hot)
+	if len(hotKeys) < 8 {
+		t.Fatalf("node %s owns only %d of %d keys", hot, len(hotKeys), numKeys)
+	}
+	for r := 0; r < 40; r++ {
+		for _, k := range hotKeys {
+			if _, err := cl.Get(ctx, k); err != nil {
+				t.Fatalf("hot Get: %v", err)
+			}
+		}
+	}
+
+	res, err = cl.Rebalance(ctx)
+	if err != nil {
+		t.Fatalf("hot epoch: %v", err)
+	}
+	if res.Moves == 0 {
+		t.Fatalf("single-node flash crowd planned no moves (skew %.2f)", res.Skew)
+	}
+	if res.Skew < 2 {
+		t.Errorf("measured skew %.2f with all traffic on one of 4 nodes; want > 2", res.Skew)
+	}
+	if res.ProjectedSkew >= res.Skew {
+		t.Errorf("projected skew %.2f did not improve on measured %.2f", res.ProjectedSkew, res.Skew)
+	}
+	if res.KeysStreamed == 0 {
+		t.Error("arcs moved but no keys streamed")
+	}
+
+	// The moves actually changed routing: some hot key answers to a new
+	// owner now.
+	moved := 0
+	for _, k := range hotKeys {
+		if cl.NodeFor(k) != hot {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no hot key changed owner after the rebalance")
+	}
+
+	// Nothing lost, nothing duplicated, everything readable.
+	for i, k := range keys {
+		v, err := cl.Get(ctx, k)
+		if err != nil || string(v) != fmt.Sprintf("val-%05d", i) {
+			t.Fatalf("Get %q after rebalance = %q, %v", k, v, err)
+		}
+	}
+	if got := clusterItems(servers); got != numKeys {
+		t.Fatalf("fleet holds %d items after rebalance, want %d", got, numKeys)
+	}
+
+	st := cl.Stats().Rebalance
+	if !st.Enabled || st.Epochs < 2 || st.Plans != 1 {
+		t.Fatalf("RebalanceStats = %+v; want enabled, >=2 epochs, 1 plan", st)
+	}
+	if st.Moves != uint64(res.Moves) || st.ArcsMoved != res.Moves || st.KeysStreamed != uint64(res.KeysStreamed) {
+		t.Fatalf("RebalanceStats counters %+v disagree with result %+v", st, res)
+	}
+}
+
+// TestChaosRebalanceDestinationDies kills the node a rebalance is about
+// to stream keys onto. The epoch must fail, roll its copies back and
+// leave the ring unchanged — and once the node is replaced, the next
+// forced epoch must succeed.
+func TestChaosRebalanceDestinationDies(t *testing.T) {
+	ctx := context.Background()
+	opts := append(rebalanceOpts(),
+		minos.WithNodeOptions(minos.WithDeadline(50*time.Millisecond)))
+	cl, fc, servers := testCluster(t, 4, 1, opts...)
+
+	const numKeys = 200
+	keys := make([][]byte, numKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("rebkill:%05d", i))
+		if err := cl.Put(ctx, keys[i], []byte(fmt.Sprintf("val-%05d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if _, err := cl.Rebalance(ctx); err != nil { // drain the preload epoch
+		t.Fatalf("drain epoch: %v", err)
+	}
+
+	// Skew the epoch: a flood on n0's keys, a trickle on n1 and n2, and
+	// nothing at all on n3 — making n3 the unambiguous coldest node, the
+	// planner's first destination.
+	hot, victim := "n0", "n3"
+	hotKeys := keysOwnedBy(cl, keys, hot)
+	for r := 0; r < 40; r++ {
+		for _, k := range hotKeys {
+			if _, err := cl.Get(ctx, k); err != nil {
+				t.Fatalf("hot Get: %v", err)
+			}
+		}
+	}
+	for _, name := range []string{"n1", "n2"} {
+		warm := keysOwnedBy(cl, keys, name)
+		for i := 0; i < 5 && i < len(warm); i++ {
+			if _, err := cl.Get(ctx, warm[i]); err != nil {
+				t.Fatalf("warm Get: %v", err)
+			}
+		}
+	}
+
+	// Kill the destination cold — no failure detector at R=1, so the
+	// controller finds out the hard way, mid-stream. A forced epoch may
+	// already have rebalanced the preload traffic; the failed one must
+	// leave those counters exactly where they were.
+	before := cl.Stats().Rebalance
+	servers[victim].Stop()
+	if _, err := cl.Rebalance(ctx); err == nil {
+		t.Fatal("rebalance streamed onto a dead node and reported success")
+	}
+	st := cl.Stats().Rebalance
+	if st.Failed != before.Failed+1 {
+		t.Fatalf("Failed = %d after a dead-destination epoch, want %d", st.Failed, before.Failed+1)
+	}
+	if st.ArcsMoved != before.ArcsMoved || st.Moves != before.Moves {
+		t.Fatalf("ring changed under a failed epoch: %+v (before: %+v)", st, before)
+	}
+
+	// Serving continues on the survivors; routing is untouched.
+	for i, k := range keys {
+		if cl.NodeFor(k) == victim {
+			continue // R=1: the victim's own keys die with it
+		}
+		v, err := cl.Get(ctx, k)
+		if err != nil || string(v) != fmt.Sprintf("val-%05d", i) {
+			t.Fatalf("Get %q after failed rebalance = %q, %v", k, v, err)
+		}
+	}
+
+	// Replace the victim (fresh server on the same fabric node, same ring
+	// identity) and re-skew: the controller must recover on its own.
+	srv, err := minos.NewServer(fc.Node(3).Server(),
+		minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	servers[victim] = srv
+
+	if _, err := cl.Rebalance(ctx); err != nil { // drain the recovery-read epoch
+		t.Fatalf("drain epoch: %v", err)
+	}
+	for r := 0; r < 40; r++ {
+		for _, k := range hotKeys {
+			if _, err := cl.Get(ctx, k); err != nil {
+				t.Fatalf("re-skew Get: %v", err)
+			}
+		}
+	}
+	res, err := cl.Rebalance(ctx)
+	if err != nil {
+		t.Fatalf("rebalance after node replacement: %v", err)
+	}
+	if res.Moves == 0 {
+		t.Fatalf("recovered cluster planned no moves (skew %.2f)", res.Skew)
+	}
+	for _, k := range hotKeys {
+		v, err := cl.Get(ctx, k)
+		if err != nil || len(v) == 0 {
+			t.Fatalf("hot Get %q after recovery = %q, %v", k, v, err)
+		}
+	}
+	if st := cl.Stats().Rebalance; st.Failed != before.Failed+1 {
+		t.Fatalf("Failed = %d after recovery, want still %d", st.Failed, before.Failed+1)
+	}
+}
+
+// TestChaosRebalanceRacesTopology runs the epoch loop hot (5ms epochs,
+// skewed read load) while nodes join and leave the ring. Epochs and
+// topology changes serialize on the same lock, so under -race this
+// pins the absence of ring/recorder races — and at the end the fleet
+// must hold every key exactly once, wherever the churn left it.
+func TestChaosRebalanceRacesTopology(t *testing.T) {
+	ctx := context.Background()
+	cl, fc, servers := testCluster(t, 4, 1,
+		minos.WithVNodes(8),
+		minos.WithRebalancing(minos.RebalanceConfig{
+			Epoch:  5 * time.Millisecond,
+			MinOps: 32,
+		}))
+
+	const numKeys = 200
+	keys := make([][]byte, numKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("rebrace:%05d", i))
+		if err := cl.Put(ctx, keys[i], []byte(fmt.Sprintf("val-%05d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	hotKeys := keysOwnedBy(cl, keys, cl.NodeFor(keys[0]))
+
+	// Skewed read load for the whole churn window, so epochs keep
+	// finding something to move.
+	stop := make(chan struct{})
+	loadDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				loadDone <- nil
+				return
+			default:
+			}
+			for _, k := range hotKeys {
+				if _, err := cl.Get(ctx, k); err != nil {
+					loadDone <- fmt.Errorf("Get %q under churn: %w", k, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Churn: a transient node joins and leaves, three times, while the
+	// epoch loop fires every few milliseconds.
+	for round := 0; round < 3; round++ {
+		fab, idx := fc.Grow()
+		srv, err := minos.NewServer(fc.Node(idx).Server(),
+			minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		name := fmt.Sprintf("churn-%d", round)
+		if _, err := cl.AddNode(ctx, minos.ClusterNode{Name: name, Transport: fab.NewClient(), Server: srv}); err != nil {
+			t.Fatalf("AddNode %s: %v", name, err)
+		}
+		time.Sleep(20 * time.Millisecond) // a few epochs against the grown ring
+		if _, err := cl.RemoveNode(ctx, name); err != nil {
+			t.Fatalf("RemoveNode %s: %v", name, err)
+		}
+		srv.Stop()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	if err := <-loadDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// The dust settles: every key readable, each held exactly once.
+	for i, k := range keys {
+		v, err := cl.Get(ctx, k)
+		if err != nil || string(v) != fmt.Sprintf("val-%05d", i) {
+			t.Fatalf("Get %q after churn = %q, %v", k, v, err)
+		}
+	}
+	if got := clusterItems(servers); got != numKeys {
+		t.Fatalf("fleet holds %d items after churn, want %d", got, numKeys)
+	}
+	if st := cl.Stats().Rebalance; st.Epochs == 0 {
+		t.Fatal("epoch loop never fired during the churn window")
+	}
+}
+
+// TestChaosKillOldOwnerAfterAddNode is the replica-migration regression
+// test: growing an R=2 cluster must restream every *replica* placement
+// the new ring shifts, not just the keys whose primary changed. Killing
+// any pre-existing node right after the join then leaves at least one
+// live copy of every key — before the fix, keys whose secondary copy
+// moved onto the new node were readable only from their old primary,
+// and died with it.
+func TestChaosKillOldOwnerAfterAddNode(t *testing.T) {
+	ctx := context.Background()
+	cl, fc, servers := testCluster(t, 6, 1, chaosDetection()...)
+
+	const numKeys = 300
+	key := func(i int) []byte { return []byte(fmt.Sprintf("growkill:%05d", i)) }
+	val := func(i int) string { return fmt.Sprintf("val-%05d", i) }
+	for i := 0; i < numKeys; i++ {
+		if err := cl.Put(ctx, key(i), []byte(val(i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+
+	// Grow: a 7th node joins; every key's new replica set must be fully
+	// materialized when AddNode returns.
+	fab, idx := fc.Grow()
+	srv, err := minos.NewServer(fc.Node(idx).Server(),
+		minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	moved, err := cl.AddNode(ctx, minos.ClusterNode{Name: "n6", Transport: fab.NewClient(), Server: srv})
+	if err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if moved == 0 {
+		t.Fatal("AddNode moved no keys")
+	}
+	servers["n6"] = srv
+
+	// Exactly R copies of every key, wherever the new ring places them:
+	// stale placements retired, shifted replicas restreamed.
+	if got := clusterItems(servers); got != 2*numKeys {
+		t.Fatalf("fleet holds %d items after R=2 AddNode, want %d", got, 2*numKeys)
+	}
+
+	// Kill an old owner cold, right after the migration.
+	servers["n1"].Stop()
+	delete(servers, "n1")
+
+	// Every key must survive: its other replica — on the new node, for
+	// the keys whose secondary placement just moved there — serves it.
+	for i := 0; i < numKeys; i++ {
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != val(i) {
+			t.Fatalf("Get %d after killing old owner = %q, %v", i, v, err)
+		}
+	}
+}
+
+// TestChaosKillOldOwnerAfterRemoveNode is the shrink-side twin: at R=2,
+// removing a node shifts replica placements on the survivors, and all
+// of them must be restreamed before the retiring node disappears.
+// Killing another node right after the removal must not lose a key.
+func TestChaosKillOldOwnerAfterRemoveNode(t *testing.T) {
+	ctx := context.Background()
+	cl, _, servers := testCluster(t, 6, 1, chaosDetection()...)
+
+	const numKeys = 300
+	key := func(i int) []byte { return []byte(fmt.Sprintf("shrinkkill:%05d", i)) }
+	val := func(i int) string { return fmt.Sprintf("val-%05d", i) }
+	for i := 0; i < numKeys; i++ {
+		if err := cl.Put(ctx, key(i), []byte(val(i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+
+	moved, err := cl.RemoveNode(ctx, "n5")
+	if err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if moved == 0 {
+		t.Fatal("RemoveNode moved no keys")
+	}
+	servers["n5"].Stop()
+	delete(servers, "n5")
+
+	if got := clusterItems(servers); got != 2*numKeys {
+		t.Fatalf("fleet holds %d items after R=2 RemoveNode, want %d", got, 2*numKeys)
+	}
+
+	servers["n2"].Stop()
+	delete(servers, "n2")
+	for i := 0; i < numKeys; i++ {
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != val(i) {
+			t.Fatalf("Get %d after killing survivor = %q, %v", i, v, err)
+		}
+	}
+}
