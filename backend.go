@@ -1,0 +1,226 @@
+package minos
+
+// The unified engine surface: Backend is the one interface both
+// engines — a single *Server and a routed *Cluster — satisfy, so
+// front ends (ServeRESP, ServeOps), durability tooling and embedders
+// write against one type instead of maintaining parallel Server and
+// Cluster code paths. The package-level ServeRESP/ServeOps here accept
+// any Backend; the method forms on Server and Cluster remain and are
+// unchanged.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/minoskv/minos/internal/apierr"
+	"github.com/minoskv/minos/internal/ops"
+	"github.com/minoskv/minos/internal/resp"
+	"github.com/minoskv/minos/internal/wire"
+)
+
+// Backend is the key-value engine contract shared by *Server (local
+// store, no routing) and *Cluster (ring-routed with replication and
+// hedging). Every method is safe for concurrent use, returns the API
+// v1 error taxonomy (ErrNotFound for misses, ErrKeyTooLarge /
+// ErrValueTooLarge for oversize arguments), and honors the engine's
+// own semantics — a Server serves from its store directly and ignores
+// ctx, a Cluster routes with deadlines, retries and failover.
+type Backend interface {
+	// Get fetches the value for key; a missing key returns ErrNotFound.
+	Get(ctx context.Context, key []byte) ([]byte, error)
+	// GetInto appends the value for key to dst and returns the
+	// extended slice — the allocation-free form of Get.
+	GetInto(ctx context.Context, key, dst []byte) ([]byte, error)
+	// Put stores value under key.
+	Put(ctx context.Context, key, value []byte) error
+	// PutTTL stores value under key with a time-to-live; ttl <= 0
+	// never expires.
+	PutTTL(ctx context.Context, key, value []byte, ttl time.Duration) error
+	// Delete removes key; deleting an absent key returns ErrNotFound.
+	Delete(ctx context.Context, key []byte) error
+	// TTL reports the remaining time-to-live of key: hasExpiry is
+	// false when the key is present but never expires. An absent (or
+	// expired) key returns ErrNotFound.
+	TTL(ctx context.Context, key []byte) (rem time.Duration, hasExpiry bool, err error)
+	// BackendStats snapshots the engine-independent counters. The full
+	// pictures stay on the concrete types: Server.Snapshot and
+	// Cluster.Stats.
+	BackendStats() BackendStats
+}
+
+// Both engines satisfy Backend; keep it that way.
+var (
+	_ Backend = (*Server)(nil)
+	_ Backend = (*Cluster)(nil)
+)
+
+// BackendStats is the engine-independent slice of an engine's
+// accounting — what a front end can report without knowing whether it
+// serves a node or a fleet.
+type BackendStats struct {
+	// Ops is the total operations the engine served.
+	Ops uint64
+	// UptimeSeconds is the time since the engine was constructed.
+	UptimeSeconds float64
+}
+
+// ---- Server: Backend implementation ----
+
+// checkKey and checkValue centralize the argument limits every Backend
+// entry point enforces (the wire format's 64 KiB key cap and 16 MiB
+// value cap).
+func checkKey(key []byte) error {
+	if len(key) > wire.MaxKeySize {
+		return apierr.ErrKeyTooLarge
+	}
+	return nil
+}
+
+func checkValue(value []byte) error {
+	if len(value) > wire.MaxValueSize {
+		return apierr.ErrValueTooLarge
+	}
+	return nil
+}
+
+// Get fetches the value for key from the server's store; a missing key
+// returns ErrNotFound. The read is local — no wire round-trip — and
+// ctx is unused (store reads complete in sub-microsecond time).
+func (s *Server) Get(ctx context.Context, key []byte) ([]byte, error) {
+	return s.GetInto(ctx, key, nil)
+}
+
+// GetInto appends the value for key to dst and returns the extended
+// slice — the allocation-free read when dst has capacity.
+func (s *Server) GetInto(_ context.Context, key, dst []byte) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return dst, err
+	}
+	val, ok := s.s.Store().Get(key, dst)
+	if !ok {
+		return dst, apierr.ErrNotFound
+	}
+	return val, nil
+}
+
+// Put stores value under key in the server's store.
+func (s *Server) Put(ctx context.Context, key, value []byte) error {
+	return s.PutTTL(ctx, key, value, 0)
+}
+
+// PutTTL stores value under key with a time-to-live; ttl <= 0 never
+// expires. The write is immediately visible to reads; on a durable
+// server it is also appended to the write-behind log.
+func (s *Server) PutTTL(_ context.Context, key, value []byte, ttl time.Duration) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if err := checkValue(value); err != nil {
+		return err
+	}
+	s.s.Store().PutTTL(key, value, int64(ttl))
+	return nil
+}
+
+// Delete removes key from the server's store; deleting an absent key
+// returns ErrNotFound.
+func (s *Server) Delete(_ context.Context, key []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if !s.s.Store().Delete(key) {
+		return apierr.ErrNotFound
+	}
+	return nil
+}
+
+// TTL reports the remaining time-to-live of key: hasExpiry is false
+// when the key is present but never expires. An absent (or expired)
+// key returns ErrNotFound.
+func (s *Server) TTL(_ context.Context, key []byte) (rem time.Duration, hasExpiry bool, err error) {
+	if err := checkKey(key); err != nil {
+		return 0, false, err
+	}
+	remNs, hasExpiry, ok := s.s.Store().TTL(key)
+	if !ok {
+		return 0, false, apierr.ErrNotFound
+	}
+	return time.Duration(remNs), hasExpiry, nil
+}
+
+// BackendStats snapshots the engine-independent counters; the full
+// picture is Snapshot.
+func (s *Server) BackendStats() BackendStats {
+	st := s.s.Stats()
+	return BackendStats{Ops: st.Ops, UptimeSeconds: st.UptimeSeconds}
+}
+
+// ---- Cluster: the Backend methods it did not already have ----
+
+// GetInto appends the value for key to dst and returns the extended
+// slice, routing the read like Get (owner, failover, hedging).
+func (c *Cluster) GetInto(ctx context.Context, key, dst []byte) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return dst, err
+	}
+	val, err := c.Get(ctx, key)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, val...), nil
+}
+
+// BackendStats snapshots the engine-independent counters; the full
+// picture is Stats.
+func (c *Cluster) BackendStats() BackendStats {
+	st := c.Stats()
+	return BackendStats{Ops: st.Ops, UptimeSeconds: st.UptimeSeconds}
+}
+
+// ---- package-level front ends over any Backend ----
+
+// ServeRESP serves the RESP front end on ln against any Backend and
+// blocks until the listener closes. For *Server and *Cluster it is
+// exactly the corresponding method (engine-specific INFO sections,
+// counters aggregated on the engine); for other Backend
+// implementations it serves the generic command set with a minimal
+// INFO.
+func ServeRESP(ln net.Listener, b Backend) error {
+	switch t := b.(type) {
+	case *Server:
+		return t.ServeRESP(ln)
+	case *Cluster:
+		return t.ServeRESP(ln)
+	}
+	rs := resp.NewServer(respBackend{b: b, info: func(dst []byte) []byte {
+		st := b.BackendStats()
+		return fmt.Appendf(dst, "# Server\r\nuptime_in_seconds:%d\r\ntotal_ops:%d\r\n", int64(st.UptimeSeconds), st.Ops)
+	}}, respLimits())
+	return rs.Serve(ln)
+}
+
+// ServeOps serves the HTTP admin plane on ln against any Backend and
+// blocks until the listener closes. Topology options (such as
+// WithNodeProvisioner) are honored by *Cluster backends; a single
+// Server has no topology, so they are ignored there.
+func ServeOps(ln net.Listener, b Backend, opts ...OpsOption) error {
+	switch t := b.(type) {
+	case *Server:
+		return t.ServeOps(ln)
+	case *Cluster:
+		return t.ServeOps(ln, opts...)
+	}
+	return serveOps(ln, genericOpsSource{b})
+}
+
+// genericOpsSource serves /metrics and /healthz for a Backend the
+// package does not know concretely.
+type genericOpsSource struct{ b Backend }
+
+func (src genericOpsSource) WriteMetrics(m *ops.Metrics) {
+	st := src.b.BackendStats()
+	m.Counter("minos_ops_total", "Operations the backend served.", float64(st.Ops))
+	m.Gauge("minos_uptime_seconds", "Seconds since the backend was constructed.", st.UptimeSeconds)
+}

@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	benchgate -baseline bench/ -current BENCH_current.json [-match 'LiveGet|LivePut|Wire|RESP|RingLookup'] [-threshold 15]
+//	benchgate -baseline bench/ -current BENCH_current.json [-match 'LiveGet|LivePut|Wire|RESP|RingLookup|WAL'] [-threshold 15]
 //
 // -baseline may name a report file or a directory holding exactly one
 // BENCH_*.json (the repo convention: the blessed baseline is the only
@@ -133,7 +133,7 @@ func load(path string) (Report, error) {
 func main() {
 	baselinePath := flag.String("baseline", "bench", "blessed baseline report (file, or directory with one BENCH_*.json)")
 	currentPath := flag.String("current", "", "benchjson report for the current commit")
-	matchExpr := flag.String("match", "LiveGet|LivePut|Wire|RESP|RingLookup", "regexp selecting gated (datapath) benchmarks")
+	matchExpr := flag.String("match", "LiveGet|LivePut|Wire|RESP|RingLookup|WAL", "regexp selecting gated (datapath) benchmarks")
 	threshold := flag.Float64("threshold", 15, "allowed ns/op regression in percent (same-CPU runs only)")
 	flag.Parse()
 

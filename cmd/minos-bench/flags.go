@@ -28,11 +28,11 @@ func experimentIDs(fig string, tab int, all bool) ([]string, error) {
 			}
 			return []string{fmt.Sprintf("fig%d", n)}, nil
 		}
-		// Named experiment, e.g. "cache", "clustertail", "hedgetail" or
-		// "flashcrowd".
+		// Named experiment, e.g. "cache", "clustertail", "hedgetail",
+		// "flashcrowd" or "restart".
 		id := fig
 		if _, ok := find(id); !ok {
-			return nil, fmt.Errorf("unknown -fig %q (want 1-10, %q, %q, %q or %q)", fig, "cache", "clustertail", "hedgetail", "flashcrowd")
+			return nil, fmt.Errorf("unknown -fig %q (want 1-10, %q, %q, %q, %q or %q)", fig, "cache", "clustertail", "hedgetail", "flashcrowd", "restart")
 		}
 		return []string{id}, nil
 	case tab != 0:

@@ -8,6 +8,7 @@
 //	minos-bench -fig clustertail       # live cluster: fan-out p99 vs node count
 //	minos-bench -fig hedgetail         # hedged vs unhedged p99, one degraded replica
 //	minos-bench -fig flashcrowd        # flash-crowd recovery, rebalancer off vs on
+//	minos-bench -fig restart           # rolling restart, warm vs cold reboot
 //	minos-bench -tab 1                 # Table 1
 //	minos-bench -all                   # everything, in paper order
 //	minos-bench -fig 6 -scale quick    # sparse grids, seconds per figure
@@ -55,6 +56,7 @@ var experiments = []struct {
 	{"clustertail", wrap(harness.ClusterTail)},
 	{"hedgetail", wrap(harness.HedgeTail)},
 	{"flashcrowd", wrap(harness.FlashCrowd)},
+	{"restart", wrap(harness.Restart)},
 }
 
 // wrap adapts each typed harness function to the common signature.
@@ -63,7 +65,7 @@ func wrap[T tabler](fn func(harness.Options) (T, error)) func(harness.Options) (
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 1-10, \"cache\", \"clustertail\", \"hedgetail\" or \"flashcrowd\"")
+	fig := flag.String("fig", "", "figure to regenerate: 1-10, \"cache\", \"clustertail\", \"hedgetail\", \"flashcrowd\" or \"restart\"")
 	tab := flag.Int("tab", 0, "table number to regenerate (1)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")

@@ -10,6 +10,8 @@
 //	minos-cluster -nodes 8 -design hkh -rate 20000  # the baseline fleet
 //	minos-cluster -nodes 3 -grow                    # add a 4th node mid-run
 //	minos-cluster -nodes 4 -replicas 2 -kill        # kill a node mid-run
+//	minos-cluster -nodes 4 -replicas 2 -durable dir -kill -revive
+//	                                                # crash + warm restart
 //
 // With -grow, a fresh node joins the ring at half time while the load
 // keeps running: the command reports how many keys streamed to it and
@@ -21,6 +23,12 @@
 // server is stopped cold at half time: the failure detector marks it
 // dead, reads fail over, writes queue hints, and the final report shows
 // the replication counters alongside the latency distribution.
+//
+// With -durable every node keeps a write-behind log under the given
+// directory (one subdirectory per node). Adding -revive to a -kill run
+// restarts the killed node from its own log at three-quarter time: it
+// replays the log, rejoins warm, and drains the hints that accumulated
+// while it was down — the full crash-recovery story in one run.
 //
 // With -resp the cluster answers a RESP2 subset on the given TCP address
 // (redis-cli against the whole fleet: commands route through the ring,
@@ -37,6 +45,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -58,6 +67,8 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replicas per key (R-way writes; 1 = no replication)")
 	noHedge := flag.Bool("nohedge", false, "disable hedged reads (with -replicas >= 2)")
 	kill := flag.Bool("kill", false, "kill one node mid-run (requires -replicas >= 2)")
+	durable := flag.String("durable", "", "base directory for per-node write-behind logs (empty = off)")
+	revive := flag.Bool("revive", false, "with -kill: restart the killed node from its write-behind log at 3/4 time (requires -durable)")
 	rebalance := flag.Duration("rebalance", 0, "traffic-aware rebalancing epoch (e.g. 500ms; 0 = off)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	respAddr := flag.String("resp", "", "TCP address for the RESP front end (e.g. :6379; empty = off)")
@@ -105,7 +116,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *replicas, *noHedge, *kill, *rebalance, *seed, *respAddr, *opsAddr); err != nil {
+	if err := validateRevive(*revive, *kill, *durable); err != nil {
+		fmt.Fprintf(os.Stderr, "minos-cluster: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(d, *nodes, *cores, *rate, *dur, *fanout, *window, *rtt, *keys, *grow, *replicas, *noHedge, *kill, *rebalance, *seed, *respAddr, *opsAddr, *durable, *revive); err != nil {
 		fmt.Fprintf(os.Stderr, "minos-cluster: %v\n", err)
 		os.Exit(1)
 	}
@@ -124,13 +140,40 @@ func validateReplicas(replicas, nodes int) error {
 	return nil
 }
 
+// validateRevive checks the -revive flag's prerequisites: it restarts
+// the node -kill crashed, from the log only -durable maintains.
+func validateRevive(revive, kill bool, durable string) error {
+	if !revive {
+		return nil
+	}
+	if !kill {
+		return fmt.Errorf("-revive without -kill has nothing to restart")
+	}
+	if durable == "" {
+		return fmt.Errorf("-revive needs -durable: the node restarts from its write-behind log")
+	}
+	return nil
+}
+
+// nodeWALDir is the per-node log directory under the -durable base.
+func nodeWALDir(base string, i int) string {
+	return filepath.Join(base, fmt.Sprintf("node-%d", i))
+}
+
 // startNode boots one live server on the fabric node and returns its
-// cluster attachment.
-func startNode(fc *minos.FabricCluster, i int, d minos.Design, cores int) (minos.ClusterNode, *minos.Server, error) {
+// cluster attachment. A non-empty durable base gives the server a
+// write-behind log under its own subdirectory, so a restart of the same
+// node index comes back warm.
+func startNode(fc *minos.FabricCluster, i int, d minos.Design, cores int, durable string) (minos.ClusterNode, *minos.Server, error) {
 	fab := fc.Node(i)
-	srv, err := minos.NewServer(fab.Server(),
+	opts := []minos.ServerOption{
 		minos.WithDesign(d), minos.WithCores(cores),
-		minos.WithEpoch(100*time.Millisecond))
+		minos.WithEpoch(100 * time.Millisecond),
+	}
+	if durable != "" {
+		opts = append(opts, minos.WithDurability(minos.DurabilityConfig{Dir: nodeWALDir(durable, i)}))
+	}
+	srv, err := minos.NewServer(fab.Server(), opts...)
 	if err != nil {
 		return minos.ClusterNode{}, nil, err
 	}
@@ -142,7 +185,7 @@ func startNode(fc *minos.FabricCluster, i int, d minos.Design, cores int) (minos
 	}, srv, nil
 }
 
-func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, replicas int, noHedge, kill bool, rebalance time.Duration, seed int64, respAddr, opsAddr string) error {
+func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fanout, window int, rtt time.Duration, numKeys int, grow bool, replicas int, noHedge, kill bool, rebalance time.Duration, seed int64, respAddr, opsAddr, durable string, revive bool) error {
 	ctx := context.Background()
 	fc := minos.NewFabricCluster(nodes, cores)
 	fc.SetRTT(rtt)
@@ -160,7 +203,7 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 	}
 	var members []minos.ClusterNode
 	for i := 0; i < nodes; i++ {
-		n, srv, err := startNode(fc, i, d, cores)
+		n, srv, err := startNode(fc, i, d, cores, durable)
 		if err != nil {
 			return err
 		}
@@ -224,7 +267,7 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 		provision := func(_ context.Context, name string) (minos.ClusterNode, error) {
 			fab, i := fc.Grow()
 			fab.SetRTT(rtt)
-			n, srv, perr := startNode(fc, i, d, cores)
+			n, srv, perr := startNode(fc, i, d, cores, durable)
 			if perr != nil {
 				return minos.ClusterNode{}, perr
 			}
@@ -274,24 +317,42 @@ func run(d minos.Design, nodes, cores int, rate float64, dur time.Duration, fano
 	grown := false
 	killAt := start.Add(dur / 2)
 	killed := false
+	reviveAt := start.Add(3 * dur / 4)
+	revived := false
+	const victim = 1
 	for time.Since(start) < dur {
 		if kill && !killed && time.Now().After(killAt) {
 			killed = true
-			// Stop serving without telling anyone — requests at the victim
-			// just time out, the way a crashed process looks from the wire.
-			victim := 1
+			// Crash without telling anyone — requests at the victim just
+			// time out, the way a killed process looks from the wire. On a
+			// durable node Kill abandons the write-behind ring mid-flight,
+			// so the log on disk is exactly what a kill -9 leaves.
 			srvMu.Lock()
 			vs := servers[victim]
 			srvMu.Unlock()
-			vs.Stop()
-			fmt.Printf("  [%.2fs] node-%d killed (server stopped cold)\n",
+			vs.Kill()
+			fmt.Printf("  [%.2fs] node-%d killed (server crashed cold)\n",
 				time.Since(start).Seconds(), victim)
+		}
+		if revive && killed && !revived && time.Now().After(reviveAt) {
+			revived = true
+			// Reboot the victim on the same fabric endpoint from the same
+			// log directory: it replays its log, the failure detector
+			// flips it back alive, and the hint queue drains onto it.
+			_, srv, rerr := startNode(fc, victim, d, cores, durable)
+			if rerr != nil {
+				return fmt.Errorf("revive node-%d: %w", victim, rerr)
+			}
+			addServer(srv)
+			w := srv.Snapshot().WAL
+			fmt.Printf("  [%.2fs] node-%d revived warm: %d records replayed from %s\n",
+				time.Since(start).Seconds(), victim, w.Replayed, nodeWALDir(durable, victim))
 		}
 		if grow && !grown && time.Now().After(growAt) {
 			grown = true
 			fab, i := fc.Grow()
 			fab.SetRTT(rtt)
-			n, srv, err := startNode(fc, i, d, cores)
+			n, srv, err := startNode(fc, i, d, cores, durable)
 			if err != nil {
 				return err
 			}

@@ -27,3 +27,28 @@ func TestValidateReplicas(t *testing.T) {
 		})
 	}
 }
+
+func TestValidateRevive(t *testing.T) {
+	cases := []struct {
+		name    string
+		revive  bool
+		kill    bool
+		durable string
+		wantErr bool
+	}{
+		{"off", false, false, "", false},
+		{"off with kill and durable", false, true, "d", false},
+		{"full crash-recovery run", true, true, "d", false},
+		{"revive without kill", true, false, "d", true},
+		{"revive without durable", true, true, "", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateRevive(c.revive, c.kill, c.durable)
+			if gotErr := err != nil; gotErr != c.wantErr {
+				t.Errorf("validateRevive(%v, %v, %q) = %v, wantErr %v",
+					c.revive, c.kill, c.durable, err, c.wantErr)
+			}
+		})
+	}
+}

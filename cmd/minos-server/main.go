@@ -8,6 +8,10 @@
 //	minos-server -design hkh -cores 4                 # a baseline design
 //	minos-server -preload -keys 20000 -largekeys 20   # preload a dataset
 //	minos-server -resp :6379 -ops :9100               # RESP + admin planes
+//	minos-server -durable /var/lib/minos              # restart-durable
+//
+// With -durable every write is appended (write-behind) to a crash-safe
+// log in the given directory and the server restarts warm from it.
 //
 // With -resp the server additionally answers a RESP2 subset on the given
 // TCP address (redis-cli compatible: GET/SET/DEL/EXISTS/TTL/PING/INFO).
@@ -42,6 +46,7 @@ func main() {
 	maxLarge := flag.Int("slarge", 500_000, "maximum large item size (bytes)")
 	respAddr := flag.String("resp", "", "TCP address for the RESP front end (e.g. :6379; empty = off)")
 	opsAddr := flag.String("ops", "", "TCP address for the HTTP admin/metrics plane (e.g. :9100; empty = off)")
+	durable := flag.String("durable", "", "directory for the write-behind log; a restart pointed at the same directory comes back warm (empty = off)")
 	flag.Parse()
 
 	d, err := minos.ParseDesign(*design)
@@ -56,14 +61,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "minos-server: %v\n", err)
 		os.Exit(1)
 	}
-	srv, err := minos.NewServer(tr,
+	opts := []minos.ServerOption{
 		minos.WithDesign(d),
 		minos.WithCores(*cores),
 		minos.WithEpoch(*epoch),
-	)
+	}
+	if *durable != "" {
+		opts = append(opts, minos.WithDurability(minos.DurabilityConfig{Dir: *durable}))
+	}
+	srv, err := minos.NewServer(tr, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "minos-server: %v\n", err)
 		os.Exit(1)
+	}
+	if *durable != "" {
+		if w := srv.Snapshot().WAL; w.Replayed > 0 {
+			fmt.Printf("replayed %d records from %s (warm restart)\n", w.Replayed, *durable)
+		} else {
+			fmt.Printf("write-behind log in %s\n", *durable)
+		}
 	}
 
 	if *preload {

@@ -1,0 +1,344 @@
+package minos_test
+
+// Restart-durability suite: servers running WithDurability must come
+// back warm — a clean Stop loses nothing, a crash (Kill: the WAL ring
+// dropped on the floor, nothing flushed) loses at most the write-behind
+// window, and a durable replica in a cluster replays its log and then
+// catches up on what it missed via hinted hand-off. CI runs this file
+// under -race in a dedicated `-run 'Durab|Restart|WAL'` step.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	minos "github.com/minoskv/minos"
+)
+
+// durableServer boots a one-core server with a write-behind log in dir.
+func durableServer(t *testing.T, dir string, opts ...minos.ServerOption) *minos.Server {
+	t.Helper()
+	fabric := minos.NewFabric(1)
+	opts = append([]minos.ServerOption{
+		minos.WithDesign(minos.DesignMinos),
+		minos.WithCores(1),
+		minos.WithDurability(minos.DurabilityConfig{Dir: dir}),
+	}, opts...)
+	srv, err := minos.NewServer(fabric.Server(), opts...)
+	if err != nil {
+		t.Fatalf("NewServer(durable %s): %v", dir, err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return srv
+}
+
+// waitWALDrained polls until the write-behind ring is empty (every
+// appended record filed) or the deadline lapses.
+func waitWALDrained(t *testing.T, srv *minos.Server, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		w := srv.Snapshot().WAL
+		if w.Written == w.Appended && w.LagBytes == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("WAL never drained: %+v", w)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDurableRestartWarm is the headline single-node contract: put a
+// keyset (plain, TTL'd, and already-expired), Stop cleanly, boot a new
+// server on the same directory, and everything still live is served
+// warm with its remaining TTL — while the expired key stays dead.
+func TestDurableRestartWarm(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	const n = 500
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("warm:%05d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("value-%05d", i)) }
+
+	srv := durableServer(t, dir)
+	for i := 0; i < n; i++ {
+		if err := srv.Put(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if err := srv.PutTTL(ctx, []byte("leased"), []byte("v"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PutTTL(ctx, []byte("doomed"), []byte("v"), 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Delete(ctx, key(0)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond) // let "doomed" expire before the restart
+	srv.Stop()                        // graceful: drains and fsyncs the log
+
+	srv2 := durableServer(t, dir)
+	snap := srv2.Snapshot()
+	if !snap.Durable || snap.WAL.Replayed == 0 {
+		t.Fatalf("restart not warm: %+v", snap.WAL)
+	}
+	if _, err := srv2.Get(ctx, key(0)); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("deleted key resurrected by replay: %v", err)
+	}
+	for i := 1; i < n; i++ {
+		v, err := srv2.Get(ctx, key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("key %d after restart = %q, %v", i, v, err)
+		}
+	}
+	// TTLs ride through the restart as absolute instants: the lease keeps
+	// its remaining time, and the key that expired pre-crash stays dead.
+	rem, hasExpiry, err := srv2.TTL(ctx, []byte("leased"))
+	if err != nil || !hasExpiry {
+		t.Fatalf("leased key TTL after restart: rem=%v hasExpiry=%v err=%v", rem, hasExpiry, err)
+	}
+	if rem <= 50*time.Minute || rem > time.Hour {
+		t.Fatalf("leased key remaining TTL = %v, want ~1h", rem)
+	}
+	if _, _, err := srv2.TTL(ctx, key(42)); err != nil {
+		t.Fatalf("plain key TTL after restart: %v", err)
+	}
+	if _, err := srv2.Get(ctx, []byte("doomed")); !errors.Is(err, minos.ErrNotFound) {
+		t.Fatalf("expired key served after restart: %v", err)
+	}
+}
+
+// TestDurableRestartAfterKill exercises the crash path: Kill abandons
+// the write-behind ring, so everything the writer had already filed —
+// which we wait for — must survive, while nothing requires an fsync to
+// have happened (the process died, not the machine).
+func TestDurableRestartAfterKill(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	const n = 300
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("crash:%05d", i)) }
+
+	srv := durableServer(t, dir)
+	for i := 0; i < n; i++ {
+		if err := srv.Put(ctx, key(i), []byte("v")); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	waitWALDrained(t, srv, 2*time.Second)
+	srv.Kill()
+
+	srv2 := durableServer(t, dir)
+	snap := srv2.Snapshot()
+	if got := uint64(n); snap.WAL.Replayed < got {
+		t.Fatalf("replayed %d records after crash, want >= %d", snap.WAL.Replayed, got)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := srv2.Get(ctx, key(i)); err != nil {
+			t.Fatalf("drained write %d lost across a crash: %v", i, err)
+		}
+	}
+}
+
+// TestChaosDurableRestart is the cluster acceptance scenario: an R=2
+// fleet of durable nodes loses one to a crash mid-write-load, the
+// fleet keeps acking on the survivors, and the crashed node reboots
+// from its own log — warm — then catches up on the outage window via
+// hinted hand-off. No acknowledged quorum write may be lost, and the
+// cluster's lifetime counters must stay monotone across the restart.
+func TestChaosDurableRestart(t *testing.T) {
+	ctx := context.Background()
+	const nodes = 4
+	base := t.TempDir()
+
+	fc := minos.NewFabricCluster(nodes, 1)
+	servers := make(map[string]*minos.Server, nodes)
+	clusterNodes := make([]minos.ClusterNode, 0, nodes)
+	walDir := func(i int) string { return filepath.Join(base, fmt.Sprintf("n%d", i)) }
+	boot := func(i int) *minos.Server {
+		srv, err := minos.NewServer(fc.Node(i).Server(),
+			minos.WithDesign(minos.DesignMinos), minos.WithCores(1),
+			minos.WithDurability(minos.DurabilityConfig{Dir: walDir(i)}))
+		if err != nil {
+			t.Fatalf("boot n%d: %v", i, err)
+		}
+		srv.Start()
+		t.Cleanup(srv.Stop)
+		return srv
+	}
+	for i := 0; i < nodes; i++ {
+		srv := boot(i)
+		name := fmt.Sprintf("n%d", i)
+		servers[name] = srv
+		clusterNodes = append(clusterNodes, minos.ClusterNode{
+			Name: name, Transport: fc.Node(i).NewClient(), Server: srv,
+		})
+	}
+	opts := append([]minos.ClusterOption{
+		minos.WithClusterSeed(7),
+		minos.WithNodeOptions(minos.WithQueues(1), minos.WithSeed(11)),
+	}, chaosDetection()...)
+	cl, err := minos.NewCluster(clusterNodes, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("dchaos:%06d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("v-%06d", i)) }
+
+	const baseline = 200
+	for i := 0; i < baseline; i++ {
+		if err := cl.Put(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("baseline Put %d: %v", i, err)
+		}
+	}
+
+	// Open-loop writers ride through the crash, recording every
+	// acknowledged key; failed writes are allowed (a write racing the
+	// undetected crash must not ack), lost acked writes are not.
+	var (
+		acked   sync.Map
+		nextKey atomic.Int64
+		stop    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	nextKey.Store(baseline)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := int(nextKey.Add(1))
+				if err := cl.Put(ctx, key(i), val(i)); err == nil {
+					acked.Store(i, true)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	servers["n1"].Kill() // crash: WAL ring abandoned, nothing flushed
+
+	if _, ok := waitStats(cl, 2*time.Second, func(st minos.ClusterStats) bool { return st.NodesDead == 1 }); !ok {
+		t.Fatal("crashed node never marked dead")
+	}
+	// Accumulate an outage window so the restarted node has both a log
+	// to replay and hints to drain.
+	time.Sleep(300 * time.Millisecond)
+	preRestart := cl.Stats()
+
+	srv2 := boot(1)
+	servers["n1"] = srv2
+	warm := srv2.Snapshot()
+	if warm.WAL.Replayed == 0 || warm.Items == 0 {
+		t.Fatalf("node restarted cold: %d replayed, %d items", warm.WAL.Replayed, warm.Items)
+	}
+
+	st, ok := waitStats(cl, 3*time.Second, func(st minos.ClusterStats) bool {
+		return st.NodesDead == 0 && st.Handoffs > preRestart.Handoffs
+	})
+	if !ok {
+		t.Fatalf("rejoined node not caught up: %+v", st)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Monotone lifetime counters across crash and rejoin.
+	if st.Ops < preRestart.Ops || st.Handoffs < preRestart.Handoffs ||
+		st.HintsQueued < preRestart.HintsQueued || st.Failovers < preRestart.Failovers {
+		t.Fatalf("counters ran backwards across restart: %+v -> %+v", preRestart, st)
+	}
+	if st.HintsQueued == 0 {
+		t.Error("no hints queued during the outage despite write load")
+	}
+
+	// The core promise: every acknowledged quorum write survives the
+	// crash-and-rejoin, served by the cluster as a whole.
+	checked := 0
+	acked.Range(func(k, _ any) bool {
+		i := k.(int)
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("acked write %d lost across durable restart: %q, %v", i, v, err)
+		}
+		checked++
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no writes were acknowledged during the chaos window")
+	}
+	for i := 0; i < baseline; i++ {
+		v, err := cl.Get(ctx, key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("baseline write %d lost: %q, %v", i, v, err)
+		}
+	}
+	t.Logf("durable chaos: %d acked writes through the crash window, node warm with %d replayed records", checked, warm.WAL.Replayed)
+}
+
+// TestBackendUnifiedSurface pins the Backend contract both engines
+// share: a *Server and a *Cluster behind the same interface variable
+// answer the same calls with the same error taxonomy.
+func TestBackendUnifiedSurface(t *testing.T) {
+	ctx := context.Background()
+
+	fabric := minos.NewFabric(1)
+	srv, err := minos.NewServer(fabric.Server(), minos.WithDesign(minos.DesignMinos), minos.WithCores(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	cl, _, _ := testCluster(t, 2, 1, minos.WithReplication(2))
+
+	for name, b := range map[string]minos.Backend{"server": srv, "cluster": cl} {
+		t.Run(name, func(t *testing.T) {
+			if err := b.Put(ctx, []byte("k"), []byte("v")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if v, err := b.Get(ctx, []byte("k")); err != nil || string(v) != "v" {
+				t.Fatalf("Get = %q, %v", v, err)
+			}
+			scratch := append([]byte(nil), "prefix-"...)
+			if v, err := b.GetInto(ctx, []byte("k"), scratch); err != nil || string(v) != "prefix-v" {
+				t.Fatalf("GetInto = %q, %v", v, err)
+			}
+			if err := b.PutTTL(ctx, []byte("tk"), []byte("v"), time.Hour); err != nil {
+				t.Fatalf("PutTTL: %v", err)
+			}
+			rem, hasExpiry, err := b.TTL(ctx, []byte("tk"))
+			if err != nil || !hasExpiry || rem <= 0 || rem > time.Hour {
+				t.Fatalf("TTL = %v, %v, %v", rem, hasExpiry, err)
+			}
+			if err := b.Delete(ctx, []byte("k")); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := b.Get(ctx, []byte("k")); !errors.Is(err, minos.ErrNotFound) {
+				t.Fatalf("Get after Delete: %v, want ErrNotFound", err)
+			}
+			if err := b.Put(ctx, make([]byte, 70_000), []byte("v")); !errors.Is(err, minos.ErrKeyTooLarge) {
+				t.Fatalf("oversize key: %v, want ErrKeyTooLarge", err)
+			}
+			if err := b.Put(ctx, []byte("k"), make([]byte, 18<<20)); !errors.Is(err, minos.ErrValueTooLarge) {
+				t.Fatalf("oversize value: %v, want ErrValueTooLarge", err)
+			}
+			if st := b.BackendStats(); st.UptimeSeconds < 0 {
+				t.Fatalf("BackendStats: %+v", st)
+			}
+		})
+	}
+}

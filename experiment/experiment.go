@@ -132,3 +132,19 @@ var ClusterTail = harness.ClusterTail
 // for a small duplicate-read overhead (the Hedged/HedgeWins columns).
 // Run it via minos-bench -fig hedgetail.
 var HedgeTail = harness.HedgeTail
+
+// FlashCrowd is the rebalancing experiment beyond the paper's
+// evaluation: a live fabric cluster where the key popularity collapses
+// onto one arc mid-run, measured with the traffic-aware rebalancer off
+// and on. Run it via minos-bench -fig flashcrowd.
+var FlashCrowd = harness.FlashCrowd
+
+// Restart is the durability experiment beyond the paper's evaluation: a
+// live 4-node R=2 fleet of restart-durable servers under a mixed
+// open-loop load; one node is crashed cold mid-run and rebooted either
+// warm (replaying its write-behind log) or cold (empty directory). The
+// aligned timelines show the p99 through kill and rejoin, and the
+// recovery summaries show the warm boot restoring the victim's keyset
+// in milliseconds while the cold boot never catches up within the run.
+// Run it via minos-bench -fig restart.
+var Restart = harness.Restart

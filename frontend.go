@@ -38,7 +38,7 @@ func respLimits() resp.Limits {
 // advance, but the RESP path reads and writes the store directly — it
 // does not ride the binary wire protocol.
 func (s *Server) ServeRESP(ln net.Listener) error {
-	rs := resp.NewServer(serverBackend{s}, respLimits())
+	rs := resp.NewServer(respBackend{b: s, info: s.appendRESPInfo}, respLimits())
 	s.fronts.add(rs)
 	return rs.Serve(ln)
 }
@@ -53,7 +53,7 @@ func (s *Server) ServeOps(ln net.Listener) error {
 // through the cluster (ring routing, replication, hedged reads — the
 // same datapath Get/Put take), and blocks until the listener closes.
 func (c *Cluster) ServeRESP(ln net.Listener) error {
-	rs := resp.NewServer(clusterBackend{c}, respLimits())
+	rs := resp.NewServer(respBackend{b: c, info: c.appendRESPInfo}, respLimits())
 	c.fronts.add(rs)
 	return rs.Serve(ln)
 }
@@ -127,54 +127,55 @@ func (f *frontSet) stats() resp.Stats {
 	return total
 }
 
-// serverBackend dispatches RESP commands straight against a Server's
-// store: no wire round-trip, no allocation on the small-item hot path
-// (Get appends into the connection's reusable scratch buffer).
-type serverBackend struct{ s *Server }
+// respBackend adapts any public Backend onto the RESP dispatcher's
+// internal contract. One adapter replaces what used to be parallel
+// server/cluster code paths: the argument limits live here once, and
+// the engine difference collapses into which Backend is behind b and
+// which INFO writer was attached. A *Server still answers without a
+// wire round-trip — its Backend methods go straight to the store — so
+// the small-item hot path stays allocation-free (GetInto appends into
+// the connection's reusable scratch buffer).
+type respBackend struct {
+	b    Backend
+	info func(dst []byte) []byte
+}
 
-func (b serverBackend) GetInto(_ context.Context, key, dst []byte) ([]byte, error) {
+func (rb respBackend) GetInto(ctx context.Context, key, dst []byte) ([]byte, error) {
 	if len(key) > wire.MaxKeySize {
 		return dst, apierr.ErrKeyTooLarge
 	}
-	val, ok := b.s.s.Store().Get(key, dst)
-	if !ok {
-		return dst, apierr.ErrNotFound
-	}
-	return val, nil
+	return rb.b.GetInto(ctx, key, dst)
 }
 
-func (b serverBackend) Set(_ context.Context, key, value []byte, ttl time.Duration) error {
+func (rb respBackend) Set(ctx context.Context, key, value []byte, ttl time.Duration) error {
 	if len(key) > wire.MaxKeySize {
 		return apierr.ErrKeyTooLarge
 	}
 	if len(value) > wire.MaxValueSize {
 		return apierr.ErrValueTooLarge
 	}
-	b.s.s.Store().PutTTL(key, value, int64(ttl))
-	return nil
+	return rb.b.PutTTL(ctx, key, value, ttl)
 }
 
-func (b serverBackend) Delete(_ context.Context, key []byte) error {
+func (rb respBackend) Delete(ctx context.Context, key []byte) error {
 	if len(key) > wire.MaxKeySize {
 		return apierr.ErrKeyTooLarge
 	}
-	if !b.s.s.Store().Delete(key) {
-		return apierr.ErrNotFound
-	}
-	return nil
+	return rb.b.Delete(ctx, key)
 }
 
-func (b serverBackend) TTL(_ context.Context, key []byte) (time.Duration, bool, error) {
-	remNs, hasExpiry, ok := b.s.s.Store().TTL(key)
-	if !ok {
-		return 0, false, apierr.ErrNotFound
-	}
-	return time.Duration(remNs), hasExpiry, nil
+func (rb respBackend) TTL(ctx context.Context, key []byte) (time.Duration, bool, error) {
+	return rb.b.TTL(ctx, key)
 }
 
-func (b serverBackend) AppendInfo(dst []byte) []byte {
-	snap := b.s.Snapshot()
-	rst := b.s.fronts.stats()
+func (rb respBackend) AppendInfo(dst []byte) []byte {
+	return rb.info(dst)
+}
+
+// appendRESPInfo writes the server's INFO sections.
+func (s *Server) appendRESPInfo(dst []byte) []byte {
+	snap := s.Snapshot()
+	rst := s.fronts.stats()
 	dst = fmt.Appendf(dst, "# Server\r\nuptime_in_seconds:%d\r\n", int64(snap.UptimeSeconds))
 	dst = fmt.Appendf(dst, "# Stats\r\ntotal_ops:%d\r\nkeyspace_hits:%d\r\nkeyspace_misses:%d\r\nexpired_keys:%d\r\nevicted_keys:%d\r\nresp_connections:%d\r\nresp_commands:%d\r\n",
 		snap.Ops, snap.Hits, snap.Misses, snap.Expired, snap.Evicted, rst.Accepted, rst.Commands)
@@ -182,47 +183,17 @@ func (b serverBackend) AppendInfo(dst []byte) []byte {
 		snap.Items, snap.ValueBytes, snap.MemBytes, snap.MemoryLimit)
 	dst = fmt.Appendf(dst, "# Plan\r\nepoch:%d\r\nthreshold:%d\r\nsmall_cores:%d\r\nlarge_cores:%d\r\n",
 		snap.Plan.Epoch, snap.Plan.Threshold, snap.Plan.NumSmall, snap.Plan.NumLarge)
+	if snap.Durable {
+		dst = fmt.Appendf(dst, "# Durability\r\nwal_appended:%d\r\nwal_written:%d\r\nwal_fsyncs:%d\r\nwal_lag_bytes:%d\r\nwal_replayed:%d\r\nwal_snapshots:%d\r\nwal_segments:%d\r\n",
+			snap.WAL.Appended, snap.WAL.Written, snap.WAL.Fsyncs, snap.WAL.LagBytes, snap.WAL.Replayed, snap.WAL.Snapshots, snap.WAL.Segments)
+	}
 	return dst
 }
 
-// clusterBackend dispatches RESP commands through the cluster datapath.
-type clusterBackend struct{ c *Cluster }
-
-func (b clusterBackend) GetInto(ctx context.Context, key, dst []byte) ([]byte, error) {
-	if len(key) > wire.MaxKeySize {
-		return dst, apierr.ErrKeyTooLarge
-	}
-	val, err := b.c.Get(ctx, key)
-	if err != nil {
-		return dst, err
-	}
-	return append(dst, val...), nil
-}
-
-func (b clusterBackend) Set(ctx context.Context, key, value []byte, ttl time.Duration) error {
-	if len(key) > wire.MaxKeySize {
-		return apierr.ErrKeyTooLarge
-	}
-	if len(value) > wire.MaxValueSize {
-		return apierr.ErrValueTooLarge
-	}
-	return b.c.PutTTL(ctx, key, value, ttl)
-}
-
-func (b clusterBackend) Delete(ctx context.Context, key []byte) error {
-	if len(key) > wire.MaxKeySize {
-		return apierr.ErrKeyTooLarge
-	}
-	return b.c.Delete(ctx, key)
-}
-
-func (b clusterBackend) TTL(ctx context.Context, key []byte) (time.Duration, bool, error) {
-	return b.c.TTL(ctx, key)
-}
-
-func (b clusterBackend) AppendInfo(dst []byte) []byte {
-	st := b.c.Stats()
-	rst := b.c.fronts.stats()
+// appendRESPInfo writes the cluster's INFO sections.
+func (c *Cluster) appendRESPInfo(dst []byte) []byte {
+	st := c.Stats()
+	rst := c.fronts.stats()
 	dst = fmt.Appendf(dst, "# Cluster\r\nnodes:%d\r\nuptime_in_seconds:%d\r\ntotal_ops:%d\r\nresp_connections:%d\r\nresp_commands:%d\r\n",
 		len(st.Nodes), int64(st.UptimeSeconds), st.Ops, rst.Accepted, rst.Commands)
 	dst = fmt.Appendf(dst, "# Latency\r\np50_us:%d\r\np99_us:%d\r\np999_us:%d\r\nmax_node_p99_us:%d\r\n",
@@ -257,6 +228,23 @@ func (src serverSource) WriteMetrics(m *ops.Metrics) {
 	m.Gauge("minos_plan_threshold_bytes", "Controller's current small/large size threshold.", float64(snap.Plan.Threshold))
 	m.Gauge("minos_plan_small_cores", "Cores the controller assigned to small requests.", float64(snap.Plan.NumSmall))
 	m.Gauge("minos_plan_large_cores", "Cores the controller assigned to large requests.", float64(snap.Plan.NumLarge))
+	if snap.Durable {
+		w := snap.WAL
+		m.Counter("minos_wal_appended_total", "Mutations accepted onto the write-behind ring.", float64(w.Appended))
+		m.Counter("minos_wal_written_total", "Mutations the WAL writer has filed to a segment.", float64(w.Written))
+		m.Counter("minos_wal_fsyncs_total", "fsync calls issued by the WAL writer.", float64(w.Fsyncs))
+		m.Counter("minos_wal_stalls_total", "Appends that found the WAL ring full and waited.", float64(w.Stalls))
+		m.Gauge("minos_wal_lag_bytes", "Write-behind backlog: bytes enqueued but not yet filed.", float64(w.LagBytes))
+		m.Counter("minos_wal_replayed_total", "Records restored by boot-time replay.", float64(w.Replayed))
+		m.Counter("minos_wal_replay_skipped_expired_total", "Replayed records dropped because their TTL had already passed.", float64(w.SkippedTTLs))
+		m.Counter("minos_wal_snapshots_total", "Compaction snapshots taken.", float64(w.Snapshots))
+		m.Gauge("minos_wal_segments", "Live WAL segment files.", float64(w.Segments))
+		corrupt := 0.0
+		if w.Corrupt {
+			corrupt = 1.0
+		}
+		m.Gauge("minos_wal_corrupt", "1 after boot replay hit a damaged record and recovered a prefix.", corrupt)
+	}
 	writeRESPMetrics(m, src.s.fronts.stats())
 }
 

@@ -420,9 +420,10 @@ func transportFailure(err error) bool {
 }
 
 // repGet serves one replicated GET: hedged read against the first two
-// live replicas, then serial failover across the rest on transport
-// failure, with read-repair hinting the value back at the replica that
-// failed to answer.
+// live replicas, then serial failover across the rest — on transport
+// failure and on a primary miss (another replica may still hold an
+// acknowledged write the primary lost to a crash) — with read-repair
+// hinting the value back at the replica that failed to answer.
 func (c *Cluster) repGet(ctx context.Context, key []byte) ([]byte, error) {
 	sc := getScratch()
 	defer putScratch(sc)
@@ -431,8 +432,30 @@ func (c *Cluster) repGet(ctx context.Context, key []byte) ([]byte, error) {
 	}
 	prim, sec := c.pickReadReplicas(sc.nodes)
 	v, rttl, err, winner := c.hedgedGet(ctx, key, prim, sec, sc)
-	if !transportFailure(err) {
-		return v, err
+	if err == nil {
+		return v, nil
+	}
+	if errors.Is(err, apierr.ErrNotFound) {
+		// Miss-failover: one replica's miss is not authoritative. A node
+		// that crashed and restarted warm from its WAL can be missing its
+		// final write-behind window, and the hint queue can overflow — in
+		// both cases the other replicas still hold the acknowledged
+		// write. Consult them before answering not-found, and repair the
+		// lagging replica when one of them has the value. Genuine misses
+		// pay one extra replica round-trip; acknowledged quorum writes
+		// are never reported lost.
+		for _, n := range sc.nodes {
+			if n == winner || !n.alive() {
+				continue
+			}
+			c.rep.failovers.Add(1)
+			fv, fttl, ferr := c.plainGet(ctx, key, n)
+			if ferr == nil {
+				c.addHint(winner.name, key, fv, fttl, false)
+				return fv, nil
+			}
+		}
+		return nil, err
 	}
 	// Failover walk: every replica not yet asked, in set order.
 	for _, n := range sc.nodes {

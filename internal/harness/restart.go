@@ -1,0 +1,403 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/minoskv/minos/internal/client"
+	"github.com/minoskv/minos/internal/cluster"
+	"github.com/minoskv/minos/internal/kv"
+	"github.com/minoskv/minos/internal/nic"
+	"github.com/minoskv/minos/internal/server"
+	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/wal"
+	"github.com/minoskv/minos/internal/workload"
+)
+
+// This file is the rolling-restart experiment for the durability
+// subsystem (DESIGN.md §12). A 4-node R=2 fleet of durable servers
+// carries a sustained mixed read/write load; one node is crashed cold
+// (its write-behind ring abandoned, exactly what kill -9 leaves) and
+// later rebooted on the same endpoint. The experiment runs the reboot
+// twice — warm, from the node's own write-behind log, and cold, from an
+// empty directory — and reports the p99 timeline through kill and
+// rejoin next to how fast (and how far) each variant recovers the
+// victim's pre-crash keyset. The warm node replays its log in
+// milliseconds at boot; the cold node starts empty and only ever gets
+// back what hinted hand-off and read-repair happen to push at it.
+
+// Restart geometry: a small replicated fleet, one core per node so the
+// fleet fits a CI host, and a deliberately fast failure detector so a
+// sub-second run shows the whole kill -> dead -> rejoin arc.
+const (
+	restartNodes    = 4
+	restartCores    = 1
+	restartReplicas = 2
+	restartVictim   = 1
+	// restartEpoch is the timeline bucket width.
+	restartEpoch = 100 * time.Millisecond
+	// restartPutFrac of arrivals are PUTs (fresh WAL traffic); the rest
+	// are GETs (where the kill's tail damage shows).
+	restartPutFrac = 0.25
+	// restartRecoverFrac of the victim's pre-crash keyset counts as
+	// "recovered" — the warm replay loses at most the abandoned
+	// write-behind window, so it clears this bar at boot.
+	restartRecoverFrac = 0.9
+)
+
+// restartParams returns the offered op rate, the (discarded) warm-up,
+// and the kill, revive and end offsets of the measured timeline.
+func (o Options) restartParams() (rate float64, warm, killAt, reviveAt, dur time.Duration) {
+	if o.Scale == Full {
+		return 4000, 500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second
+	}
+	return 4000, 200 * time.Millisecond, 300 * time.Millisecond, 600 * time.Millisecond, 1200 * time.Millisecond
+}
+
+// RestartRecovery summarizes one reboot variant.
+type RestartRecovery struct {
+	// BootMs is how long the reboot took (construction, log replay
+	// included, through serving); Replayed is the records its write-
+	// behind log restored (0 on a cold boot).
+	BootMs   float64
+	Replayed uint64
+	// PreKillItems is the victim's live keyset when it was crashed.
+	PreKillItems int
+	// RecoverMs is the time from reboot start until the victim's store
+	// held restartRecoverFrac of PreKillItems again; negative means it
+	// never did within the run. FinalFrac is the fraction it ended at.
+	RecoverMs float64
+	FinalFrac float64
+}
+
+// RestartRow is one timeline bucket, warm and cold runs side by side.
+type RestartRow struct {
+	// TMs is the bucket's offset from the measured start, in ms.
+	TMs int
+	// WarmP99/ColdP99 are the bucket's op p99 latencies in nanoseconds,
+	// measured from scheduled arrival (no coordinated omission).
+	WarmP99, ColdP99 int64
+	// WarmAchieved/ColdAchieved are completed ops per second.
+	WarmAchieved, ColdAchieved float64
+	// WarmVictimItems/ColdVictimItems sample the victim store's live
+	// keys at the bucket boundary (0 while it is down).
+	WarmVictimItems, ColdVictimItems int
+}
+
+// RestartResult holds the rolling-restart experiment.
+type RestartResult struct {
+	Nodes, Replicas  int
+	Epoch            time.Duration
+	KillMs, ReviveMs int
+	Rows             []RestartRow
+	Warm, Cold       RestartRecovery
+}
+
+// restartBucket is one run's per-bucket measurement.
+type restartBucket struct {
+	lat         *stats.Histogram
+	victimItems int
+}
+
+// runRestart measures one reboot variant on a fresh durable fleet.
+func runRestart(warmBoot bool, o Options) ([]restartBucket, RestartRecovery, error) {
+	rate, warm, killAt, reviveAt, dur := o.restartParams()
+	var rec RestartRecovery
+
+	base, err := os.MkdirTemp("", "minos-restart-*")
+	if err != nil {
+		return nil, rec, err
+	}
+	defer os.RemoveAll(base)
+
+	fc := nic.NewFabricCluster(restartNodes, restartCores)
+	boot := func(i int, dir string) (*server.Server, error) {
+		srv, err := server.New(server.Config{
+			Design: server.Minos,
+			Cores:  restartCores,
+			Epoch:  100 * time.Millisecond,
+			WAL:    &server.WALConfig{Options: wal.Options{Dir: dir}},
+		}, fc.Node(i).Server())
+		if err != nil {
+			return nil, err
+		}
+		srv.Start()
+		return srv, nil
+	}
+	walDir := func(i int) string { return filepath.Join(base, clusterNodeName(i)) }
+
+	stores := make(map[string]*kv.Store, restartNodes)
+	servers := make([]*server.Server, restartNodes)
+	configs := make([]cluster.NodeConfig, restartNodes)
+	for i := 0; i < restartNodes; i++ {
+		srv, err := boot(i, walDir(i))
+		if err != nil {
+			return nil, rec, err
+		}
+		servers[i] = srv
+		name := clusterNodeName(i)
+		stores[name] = srv.Store()
+		configs[i] = cluster.NodeConfig{
+			Name: name,
+			Pipe: client.NewPipeline(fc.Node(i).NewClient(), restartCores, client.PipelineConfig{
+				Window: 256,
+				Seed:   o.seed() + int64(i),
+			}),
+		}
+		defer func() { srv.Stop() }()
+	}
+	cl, err := cluster.New(cluster.Config{
+		Seed:     uint64(o.seed()),
+		Replicas: restartReplicas,
+		Probe:    cluster.ProbeConfig{Interval: 5 * time.Millisecond, Timeout: 40 * time.Millisecond},
+	}, configs)
+	if err != nil {
+		return nil, rec, err
+	}
+	defer cl.Close()
+
+	// Preload every key into its whole replica set, directly into the
+	// stores — the steady state after R-way writes without paying for
+	// them on the wire. The stores log the puts, so each node's
+	// write-behind log holds its keyset from the start.
+	prof := clusterProfile(o.seed())
+	prof.NumKeys = 4096
+	prof.NumLargeKeys = 2
+	prof.MaxLargeSize = 10_000
+	cat := workload.NewCatalog(prof)
+	ring := cl.Ring()
+	filler := make([]byte, prof.MaxLargeSize)
+	var keyBuf []byte
+	var replicas []string
+	for id := 0; id < cat.NumKeys(); id++ {
+		keyBuf = kv.AppendKeyForID(keyBuf[:0], uint64(id))
+		replicas = ring.AppendReplicas(replicas[:0], cluster.KeyPoint(keyBuf), restartReplicas)
+		for _, name := range replicas {
+			stores[name].Put(keyBuf, filler[:cat.Size(uint64(id))])
+		}
+	}
+
+	buckets := make([]restartBucket, int(dur/restartEpoch))
+	for i := range buckets {
+		buckets[i].lat = stats.NewLatencyHistogram()
+	}
+	var mu sync.Mutex // guards buckets and rec past this point
+
+	victimName := clusterNodeName(restartVictim)
+	victimStore := func() *kv.Store {
+		mu.Lock()
+		defer mu.Unlock()
+		return stores[victimName]
+	}
+
+	gen := workload.NewGenerator(cat, o.seed()+17)
+	arr := workload.NewArrivals(rate, o.seed()+29)
+	rng := xorshift64(uint64(o.seed())*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	sem := make(chan struct{}, 1024)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+
+	run := func(phase time.Duration, record bool, phaseStart time.Time) {
+		next := phaseStart
+		for time.Since(phaseStart) < phase {
+			next = next.Add(arr.ExpGap())
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+			}
+			r := rng.next()
+			id := gen.Next().Key
+			key := kv.KeyForID(id)
+			put := float64(r>>11)/(1<<53) < restartPutFrac
+			scheduled := next
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if put {
+					_ = cl.Put(ctx, key, filler[:cat.Size(id)])
+				} else {
+					_, _ = cl.Get(ctx, key)
+				}
+				if record {
+					if b := int(scheduled.Sub(phaseStart) / restartEpoch); b >= 0 && b < len(buckets) {
+						l := int64(time.Since(scheduled))
+						mu.Lock()
+						buckets[b].lat.Record(l)
+						mu.Unlock()
+					}
+				}
+				<-sem
+			}()
+		}
+	}
+
+	// The kill/revive/sampler loop rides beside the load loop on its own
+	// goroutine, so a slow log replay never stalls the arrival schedule.
+	ctl := make(chan struct{})
+	var ctlWg sync.WaitGroup
+	var ctlErr error
+	startCtl := func(phaseStart time.Time) {
+		ctlWg.Add(1)
+		go func() {
+			defer ctlWg.Done()
+			killed, revived := false, false
+			t := time.NewTicker(2 * time.Millisecond)
+			defer t.Stop()
+			var reviveStart time.Time
+			for {
+				select {
+				case <-ctl:
+					return
+				case now := <-t.C:
+					off := now.Sub(phaseStart)
+					if !killed && off >= killAt {
+						killed = true
+						rec.PreKillItems = victimStore().Len()
+						servers[restartVictim].Kill()
+					}
+					if killed && !revived && off >= reviveAt {
+						revived = true
+						dir := walDir(restartVictim)
+						if !warmBoot {
+							dir = filepath.Join(base, "cold")
+						}
+						reviveStart = time.Now()
+						srv, berr := boot(restartVictim, dir)
+						if berr != nil {
+							mu.Lock()
+							ctlErr = berr
+							mu.Unlock()
+							return
+						}
+						boot := time.Since(reviveStart)
+						st := srv.Stats()
+						mu.Lock()
+						servers[restartVictim] = srv
+						stores[victimName] = srv.Store()
+						rec.BootMs = float64(boot) / 1e6
+						rec.Replayed = st.WAL.Replayed
+						mu.Unlock()
+					}
+					if revived && rec.RecoverMs == 0 && rec.PreKillItems > 0 {
+						if victimStore().Len() >= int(float64(rec.PreKillItems)*restartRecoverFrac) {
+							mu.Lock()
+							rec.RecoverMs = float64(time.Since(reviveStart)) / 1e6
+							mu.Unlock()
+						}
+					}
+					if b := int(off / restartEpoch); b >= 0 && b < len(buckets) {
+						items := 0
+						if !killed || revived {
+							items = victimStore().Len()
+						}
+						mu.Lock()
+						if buckets[b].victimItems == 0 {
+							buckets[b].victimItems = items
+						}
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+
+	run(warm, false, time.Now())
+	measured := time.Now()
+	startCtl(measured)
+	run(dur, true, measured)
+	wg.Wait()
+	close(ctl)
+	ctlWg.Wait()
+	if ctlErr != nil {
+		return nil, rec, ctlErr
+	}
+	if rec.PreKillItems > 0 {
+		rec.FinalFrac = float64(victimStore().Len()) / float64(rec.PreKillItems)
+	}
+	if rec.RecoverMs == 0 {
+		rec.RecoverMs = -1
+	}
+	return buckets, rec, nil
+}
+
+// Restart runs the rolling-restart experiment: the same crash at the
+// same offset, rebooted warm (from the node's write-behind log) and
+// cold (empty directory), reported as one aligned timeline plus each
+// variant's recovery summary. Run it via minos-bench -fig restart.
+func Restart(o Options) (*RestartResult, error) {
+	_, _, killAt, reviveAt, _ := o.restartParams()
+	r := &RestartResult{
+		Nodes:    restartNodes,
+		Replicas: restartReplicas,
+		Epoch:    restartEpoch,
+		KillMs:   int(killAt / time.Millisecond),
+		ReviveMs: int(reviveAt / time.Millisecond),
+	}
+	warm, warmRec, err := runRestart(true, o)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("boot=warm replayed=%d boot=%.1fms recover=%.1fms frac=%.3f",
+		warmRec.Replayed, warmRec.BootMs, warmRec.RecoverMs, warmRec.FinalFrac)
+	cold, coldRec, err := runRestart(false, o)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("boot=cold replayed=%d boot=%.1fms recover=%.1fms frac=%.3f",
+		coldRec.Replayed, coldRec.BootMs, coldRec.RecoverMs, coldRec.FinalFrac)
+
+	sec := restartEpoch.Seconds()
+	for i := range warm {
+		r.Rows = append(r.Rows, RestartRow{
+			TMs:             i * int(restartEpoch/time.Millisecond),
+			WarmP99:         warm[i].lat.Quantile(0.99),
+			ColdP99:         cold[i].lat.Quantile(0.99),
+			WarmAchieved:    float64(warm[i].lat.Count()) / sec,
+			ColdAchieved:    float64(cold[i].lat.Count()) / sec,
+			WarmVictimItems: warm[i].victimItems,
+			ColdVictimItems: cold[i].victimItems,
+		})
+	}
+	r.Warm, r.Cold = warmRec, coldRec
+	return r, nil
+}
+
+// Table renders the rolling-restart experiment.
+func (r *RestartResult) Table() Table {
+	recov := func(rec RestartRecovery) string {
+		if rec.RecoverMs < 0 {
+			return fmt.Sprintf("never (%.0f%% at end)", rec.FinalFrac*100)
+		}
+		return fmt.Sprintf("%.0fms", rec.RecoverMs)
+	}
+	t := Table{
+		Title: fmt.Sprintf("Restart: %d nodes R=%d durable, victim killed at %dms, rebooted at %dms; warm replay %d records, boot %.0fms, keyset back in %s — cold boot recovers %s",
+			r.Nodes, r.Replicas, r.KillMs, r.ReviveMs,
+			r.Warm.Replayed, r.Warm.BootMs, recov(r.Warm), recov(r.Cold)),
+		Headers: []string{"t(ms)", "warm-p99(us)", "cold-p99(us)",
+			"warm-achieved(/s)", "cold-achieved(/s)", "warm-victim-items", "cold-victim-items"},
+	}
+	for _, row := range r.Rows {
+		warmP99, coldP99 := us(row.WarmP99), us(row.ColdP99)
+		if row.WarmP99 == 0 {
+			warmP99 = "-"
+		}
+		if row.ColdP99 == 0 {
+			coldP99 = "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.TMs),
+			warmP99,
+			coldP99,
+			fmt.Sprintf("%.0f", row.WarmAchieved),
+			fmt.Sprintf("%.0f", row.ColdAchieved),
+			fmt.Sprintf("%d", row.WarmVictimItems),
+			fmt.Sprintf("%d", row.ColdVictimItems),
+		})
+	}
+	return t
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestRestartWarmQuick runs one warm-reboot measurement and checks its
+// shape: the victim's write-behind log actually replayed, and the
+// replayed keyset cleared the recovery bar. The cold run and the
+// aligned comparison are minos-bench -fig restart territory.
+func TestRestartWarmQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live multi-node durable cluster run; run without -short")
+	}
+	o := Options{Scale: Quick, Seed: 1}
+	buckets, rec, err := runRestart(true, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no timeline buckets")
+	}
+	recorded := 0
+	for _, b := range buckets {
+		recorded += int(b.lat.Count())
+	}
+	if recorded == 0 {
+		t.Error("no ops recorded in the measured window")
+	}
+	if rec.PreKillItems == 0 {
+		t.Error("victim held no items at kill time")
+	}
+	if rec.Replayed == 0 {
+		t.Error("warm reboot replayed no write-behind records")
+	}
+	if rec.BootMs <= 0 {
+		t.Errorf("degenerate boot time %.3fms", rec.BootMs)
+	}
+	if rec.RecoverMs < 0 {
+		t.Errorf("warm reboot never recovered %.0f%% of %d pre-kill items (ended at %.0f%%)",
+			restartRecoverFrac*100, rec.PreKillItems, rec.FinalFrac*100)
+	}
+}
+
+// TestRestartTable checks the rendering contract the CSV export and
+// minos-bench rely on.
+func TestRestartTable(t *testing.T) {
+	r := &RestartResult{
+		Nodes: restartNodes, Replicas: restartReplicas, Epoch: restartEpoch,
+		KillMs: 300, ReviveMs: 600,
+		Rows: []RestartRow{{
+			TMs: 0, WarmP99: 10_000, ColdP99: 12_000,
+			WarmAchieved: 4000, ColdAchieved: 3990,
+			WarmVictimItems: 2000, ColdVictimItems: 2000,
+		}, {
+			TMs: 100, WarmP99: 0, ColdP99: 0,
+		}},
+		Warm: RestartRecovery{BootMs: 30, Replayed: 2000, PreKillItems: 2000, RecoverMs: 30, FinalFrac: 1},
+		Cold: RestartRecovery{BootMs: 3, PreKillItems: 2000, RecoverMs: -1, FinalFrac: 0.1},
+	}
+	tab := r.Table()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("table rows = %d, want 2", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Headers) {
+			t.Fatalf("row %d: %d cells vs %d headers", i, len(row), len(tab.Headers))
+		}
+	}
+	if tab.Rows[1][1] != "-" || tab.Rows[1][2] != "-" {
+		t.Errorf("empty bucket renders %q/%q, want dashes", tab.Rows[1][1], tab.Rows[1][2])
+	}
+}

@@ -151,12 +151,32 @@ type partition struct {
 	retiredN atomic.Int32
 }
 
+// MutationLogger observes every committed mutation — the write-ahead
+// hook the durability layer hangs off the store. Calls arrive under the
+// bucket spinlock of the mutated key, so per-key call order equals
+// publish order; implementations must therefore be fast and must never
+// call back into the store. The slices alias live item memory and must
+// be consumed (copied or encoded) before returning. *wal.Log satisfies
+// this directly.
+type MutationLogger interface {
+	// AppendPut records key=value with absolute expiry instant expire
+	// (store-clock nanoseconds; 0 = immortal).
+	AppendPut(key, value []byte, expire int64)
+	// AppendDelete records the removal of key.
+	AppendDelete(key []byte)
+}
+
 // Store is the MICA-style partitioned hash table. All methods are safe for
 // concurrent use; see the package comment for the concurrency design.
 type Store struct {
 	cfg      Config
 	parts    []partition
 	partMask uint64
+
+	// logger, when set, observes every PutItem and Delete (not expiry or
+	// eviction — see SetLogger). Behind an atomic pointer so it can be
+	// installed after boot-time replay without fencing the datapath.
+	logger atomic.Pointer[MutationLogger]
 
 	// limitPerPart is the per-partition byte budget (0 = unbounded).
 	limitPerPart int64
@@ -208,6 +228,25 @@ func NewStore(cfg Config) (*Store, error) {
 		s.now = func() int64 { return time.Now().UnixNano() }
 	}
 	return s, nil
+}
+
+// SetLogger installs (or, with nil, removes) the mutation observer.
+// Install it after boot-time replay so replayed writes are not
+// re-logged. Only explicit mutations are observed — PutItem (every
+// write path: wire PUTs, RESP SETs, migration, hint replay, preload)
+// and Delete. TTL expiry and CLOCK eviction are not logged: expiry
+// needs no record (replay re-filters on the absolute instants it
+// restores) and eviction is a local cache decision — a durability log
+// replaying an eviction would delete data another replica still owns.
+// The one consequence: an evicted item can resurrect on restart until
+// the next snapshot re-scans the live store. DESIGN.md documents the
+// contract.
+func (s *Store) SetLogger(lg MutationLogger) {
+	if lg == nil {
+		s.logger.Store(nil)
+		return
+	}
+	s.logger.Store(&lg)
 }
 
 // NumPartitions returns the partition count (for CREW core mastering).
@@ -466,6 +505,11 @@ func (s *Store) PutItem(item *Item) {
 			cur = next
 		}
 	}
+	// Log before unlock: the bucket spinlock serializes mutations of
+	// this key, so the write-behind ring receives them in publish order.
+	if lg := s.logger.Load(); lg != nil {
+		(*lg).AppendPut(item.Key, item.Value, item.Expire)
+	}
 	unlockBucket(b, locked)
 	if s.limitPerPart > 0 && p.mem.Load() > s.limitPerPart {
 		s.enforce(p)
@@ -501,6 +545,12 @@ func (s *Store) Delete(key []byte) bool {
 					s.expired.Add(1)
 				}
 				s.retire(p, it)
+				// Logged even when the item had already expired: the
+				// slot mutated either way, and replaying a delete of an
+				// absent key is a no-op.
+				if lg := s.logger.Load(); lg != nil {
+					(*lg).AppendDelete(key)
+				}
 				unlockBucket(b, locked)
 				s.maybeReclaim(p)
 				return present

@@ -13,6 +13,7 @@ import (
 	"github.com/minoskv/minos/internal/nic"
 	"github.com/minoskv/minos/internal/ring"
 	"github.com/minoskv/minos/internal/stats"
+	"github.com/minoskv/minos/internal/wal"
 	"github.com/minoskv/minos/internal/wire"
 )
 
@@ -70,6 +71,24 @@ type Config struct {
 	Alpha           float64
 	Cost            core.CostFunc
 	StaticThreshold int64
+
+	// WAL, when non-nil, gives the server restart durability: New
+	// replays the log into the store before serving, every committed
+	// mutation is appended write-behind, and a snapshot loop compacts
+	// the log. Nil (the default) keeps the memory-only server.
+	WAL *WALConfig
+}
+
+// WALConfig wires a write-behind log through the server.
+type WALConfig struct {
+	// Options opens the log (Dir is required).
+	Options wal.Options
+	// SnapshotEvery is the compaction period: each tick seals the
+	// active segment, dumps the live store, and drops older segments.
+	// 0 defaults to one minute; negative disables periodic snapshots
+	// (the log then only compacts on the boot-time heal after a
+	// corrupted replay).
+	SnapshotEvery time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -163,6 +182,14 @@ type Server struct {
 	// start is stamped once at construction; Stats derives uptime from it
 	// so no clock is read on the data path.
 	start time.Time
+
+	// Durability state (Config.WAL): the log, whether boot-time replay
+	// hit corruption (the snapshot loop heals immediately), and how
+	// many replayed records were skipped because their TTL had already
+	// passed while the node was down.
+	wal            *wal.Log
+	walCorrupt     bool
+	walSkippedTTLs uint64
 }
 
 // swqCap bounds each software queue; overflow drops the request, counted
@@ -216,7 +243,48 @@ func New(cfg Config, tr nic.ServerTransport) (*Server, error) {
 		c.sizeHist = ctrl.NewSizeHistogram()
 		c.reader = store.AcquireReader()
 	}
+	if cfg.WAL != nil {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// openWAL opens the log, replays it into the (still-private) store,
+// then installs the mutation hook and starts the write-behind writer.
+// Order matters: replay runs before the hook exists, so restored items
+// are not re-logged.
+func (s *Server) openWAL() error {
+	w, err := wal.Open(s.cfg.WAL.Options)
+	if err != nil {
+		return err
+	}
+	now := s.store.Clock()
+	res, err := w.Replay(func(op byte, key, value []byte, expire int64) {
+		switch op {
+		case wal.OpPut:
+			if expire != 0 && expire <= now {
+				// The TTL ran out while the node was down; restoring
+				// the item would only make the next read bury it.
+				s.walSkippedTTLs++
+				return
+			}
+			s.store.PutExpire(key, value, expire)
+		case wal.OpDelete:
+			s.store.Delete(key)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.walCorrupt = res.Corrupt
+	if err := w.Start(); err != nil {
+		return err
+	}
+	s.store.SetLogger(w)
+	s.wal = w
+	return nil
 }
 
 // Store exposes the underlying KV store, e.g. for preloading datasets.
@@ -238,7 +306,8 @@ func (s *Server) OnPlan(fn func(core.Plan)) {
 	s.planHook.Store(&fn)
 }
 
-// Start launches the core and controller goroutines.
+// Start launches the core and controller goroutines (plus the WAL
+// snapshot loop on durable servers).
 func (s *Server) Start() {
 	for i := range s.cores {
 		s.wg.Add(1)
@@ -246,12 +315,77 @@ func (s *Server) Start() {
 	}
 	s.wg.Add(1)
 	go s.controlLoop()
+	if s.wal != nil {
+		s.wg.Add(1)
+		go s.walLoop()
+	}
 }
 
-// Stop terminates all goroutines and waits for them.
+// Stop terminates all goroutines and waits for them. On a durable
+// server it then drains and fsyncs the log: a clean Stop loses nothing.
 func (s *Server) Stop() {
 	s.once.Do(func() { close(s.stop) })
 	s.wg.Wait()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
+
+// Kill is Stop with crash semantics: the WAL is abandoned first — its
+// ring is dropped on the floor, nothing is flushed or fsynced — so the
+// on-disk state is exactly what a kill -9 would have left. Used to
+// test and demo crash recovery; a killed server restarts warm from the
+// same WAL directory via Config.WAL.
+func (s *Server) Kill() {
+	if s.wal != nil {
+		s.wal.Abandon()
+	}
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// walLoop runs snapshot compaction: immediately after a corrupted
+// replay (re-anchoring recovery past the damage), then periodically.
+func (s *Server) walLoop() {
+	defer s.wg.Done()
+	if s.walCorrupt {
+		s.walSnapshot()
+	}
+	every := s.cfg.WAL.SnapshotEvery
+	if every == 0 {
+		every = time.Minute
+	}
+	if every < 0 {
+		<-s.stop
+		return
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.walSnapshot()
+		}
+	}
+}
+
+// walSnapshot dumps the live store into a compaction snapshot. Dead
+// items are filtered here rather than replayed-and-refiltered later, so
+// snapshots shrink with the keyset. Errors are left to the next tick —
+// the segments a failed snapshot would have replaced are all retained,
+// so nothing is lost.
+func (s *Server) walSnapshot() {
+	now := s.store.Clock()
+	s.wal.Snapshot(func(emit func(key, value []byte, expire int64) bool) {
+		s.store.Range(func(it *kv.Item) bool {
+			if it.Expire != 0 && it.Expire <= now {
+				return true
+			}
+			return emit(it.Key, it.Value, it.Expire)
+		})
+	})
 }
 
 func (s *Server) stopped() bool {
@@ -292,6 +426,14 @@ type Stats struct {
 
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64
+
+	// Durable reports Config.WAL was set; WAL then carries the log's
+	// counters and WALSkippedTTLs how many replayed records were
+	// dropped because their TTL passed while the node was down.
+	Durable        bool
+	WAL            wal.Stats
+	WALCorrupt     bool
+	WALSkippedTTLs uint64
 }
 
 // Stats snapshots the counters.
@@ -312,6 +454,12 @@ func (s *Server) Stats() Stats {
 	st.Evicted = cs.Evicted
 	st.MemBytes = cs.MemBytes
 	st.MemoryLimit = cs.MemoryLimit
+	if s.wal != nil {
+		st.Durable = true
+		st.WAL = s.wal.Stats()
+		st.WALCorrupt = s.walCorrupt
+		st.WALSkippedTTLs = s.walSkippedTTLs
+	}
 	return st
 }
 

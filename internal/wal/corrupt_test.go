@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureRec is one record in a hand-built golden segment.
+type fixtureRec struct {
+	op       byte
+	key, val string
+	expire   int64
+}
+
+// writeSegment writes a byte-exact segment file so corruption tests can
+// damage known offsets. It returns the offset of each record start.
+func writeSegment(t *testing.T, dir string, seq uint64, recs []fixtureRec) []int {
+	t.Helper()
+	buf := []byte(segMagic)
+	offsets := make([]int, len(recs))
+	for i, r := range recs {
+		offsets[i] = len(buf)
+		b := make([]byte, recordSize(len(r.key), len(r.val)))
+		encodeRecord(b, r.op, []byte(r.key), []byte(r.val), r.expire)
+		buf = append(buf, b...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(seq)), buf, 0o644); err != nil {
+		t.Fatalf("writeSegment: %v", err)
+	}
+	return offsets
+}
+
+// fiveRecords is the golden fixture: three puts, a replace, a delete.
+var fiveRecords = []fixtureRec{
+	{OpPut, "apple", "red", 0},
+	{OpPut, "banana", "yellow", 1234567890},
+	{OpPut, "cherry", "dark-red", 0},
+	{OpPut, "apple", "green", 0}, // replace
+	{OpDelete, "cherry", "", 0},
+}
+
+// stateAfter computes the expected map after applying recs[:n].
+func stateAfter(recs []fixtureRec, n int) map[string]string {
+	m := map[string]string{}
+	for _, r := range recs[:n] {
+		if r.op == OpPut {
+			m[r.key] = r.val
+		} else {
+			delete(m, r.key)
+		}
+	}
+	return m
+}
+
+func TestWALCorruptionRecovery(t *testing.T) {
+	cases := []struct {
+		name string
+		// damage mutates the written segment file; offsets are record
+		// starts within the file.
+		damage func(t *testing.T, path string, offsets []int)
+		// wantRecords is how many of the five golden records replay.
+		wantRecords int
+		wantCorrupt bool
+	}{
+		{
+			name:        "clean",
+			damage:      func(*testing.T, string, []int) {},
+			wantRecords: 5,
+			wantCorrupt: false,
+		},
+		{
+			name: "truncated-tail-mid-record",
+			damage: func(t *testing.T, path string, offsets []int) {
+				// Cut into the last record's payload: a torn write.
+				truncateTo(t, path, offsets[4]+recHdrSize+2)
+			},
+			wantRecords: 4,
+			wantCorrupt: true,
+		},
+		{
+			name: "truncated-tail-mid-header",
+			damage: func(t *testing.T, path string, offsets []int) {
+				// Only 3 bytes of the final record's header made it out.
+				truncateTo(t, path, offsets[4]+3)
+			},
+			wantRecords: 4,
+			wantCorrupt: true,
+		},
+		{
+			name: "crc-mangled-value-byte",
+			damage: func(t *testing.T, path string, offsets []int) {
+				// Flip one bit inside record 2's value; records 0-1
+				// survive, and the consistent-prefix rule drops 3-4 too.
+				flipByte(t, path, offsets[2]+recHdrSize+recFixedSize+len("cherry")+1)
+			},
+			wantRecords: 2,
+			wantCorrupt: true,
+		},
+		{
+			name: "crc-mangled-length-field",
+			damage: func(t *testing.T, path string, offsets []int) {
+				// A trashed length field must not send the reader off
+				// into the weeds — the record is rejected, prefix kept.
+				flipByte(t, path, offsets[3]+2)
+			},
+			wantRecords: 3,
+			wantCorrupt: true,
+		},
+		{
+			name: "bad-magic-rejects-whole-file",
+			damage: func(t *testing.T, path string, offsets []int) {
+				flipByte(t, path, 0)
+			},
+			wantRecords: 0,
+			wantCorrupt: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			offsets := writeSegment(t, dir, 1, fiveRecords)
+			path := filepath.Join(dir, segmentName(1))
+			tc.damage(t, path, offsets)
+
+			st, res := collect(t, mustOpen(t, dir, Options{}))
+			if res.Corrupt != tc.wantCorrupt {
+				t.Fatalf("Corrupt = %v, want %v", res.Corrupt, tc.wantCorrupt)
+			}
+			if int(res.Records) != tc.wantRecords {
+				t.Fatalf("replayed %d records, want %d", res.Records, tc.wantRecords)
+			}
+			want := stateAfter(fiveRecords, tc.wantRecords)
+			if len(st.vals) != len(want) {
+				t.Fatalf("state %v, want %v", st.vals, want)
+			}
+			for k, v := range want {
+				if st.vals[k] != v {
+					t.Fatalf("key %q = %q, want %q (state %v)", k, st.vals[k], v, st.vals)
+				}
+			}
+		})
+	}
+}
+
+func TestWALCorruptMidSegmentSkipsLaterSegments(t *testing.T) {
+	// Consistent prefix across FILES, not just within one: damage in
+	// segment 1 means segment 2's records are newer than the hole and
+	// must not be applied.
+	dir := t.TempDir()
+	offsets := writeSegment(t, dir, 1, fiveRecords[:3])
+	writeSegment(t, dir, 2, fiveRecords[3:])
+	flipByte(t, filepath.Join(dir, segmentName(1)), offsets[1]+recHdrSize+1)
+
+	st, res := collect(t, mustOpen(t, dir, Options{}))
+	if !res.Corrupt {
+		t.Fatalf("expected corrupt replay")
+	}
+	if res.Records != 1 {
+		t.Fatalf("replayed %d records, want 1 (prefix of segment 1 only)", res.Records)
+	}
+	if _, ok := st.vals["apple"]; !ok {
+		t.Fatalf("pre-damage record lost: %v", st.vals)
+	}
+}
+
+func TestWALCorruptSnapshotStillReplaysSegments(t *testing.T) {
+	// A snapshot is an unordered state dump: a damaged suffix loses
+	// those keys, but the retained segments are newer and still apply.
+	dir := t.TempDir()
+	l := startLog(t, dir, Options{})
+	l.AppendPut([]byte("seed"), []byte("v"), 0)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	err := l.Snapshot(func(emit func(key, value []byte, expire int64) bool) {
+		emit([]byte("snap-a"), []byte("1"), 0)
+		emit([]byte("snap-b"), []byte("2"), 0)
+	})
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	l.AppendPut([]byte("post"), []byte("v"), 0)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot.*"))
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %v", snaps)
+	}
+	// Truncate the snapshot mid-second-record: snap-a survives, snap-b
+	// is lost, the post-snapshot segment still replays.
+	fi, err := os.Stat(snaps[0])
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	truncateTo(t, snaps[0], int(fi.Size())-3)
+
+	st, res := collect(t, mustOpen(t, dir, Options{}))
+	if !res.Corrupt {
+		t.Fatalf("expected corrupt flag from damaged snapshot")
+	}
+	if st.vals["snap-a"] != "1" {
+		t.Fatalf("valid snapshot prefix lost: %v", st.vals)
+	}
+	if st.vals["post"] != "v" {
+		t.Fatalf("segment newer than damaged snapshot not applied: %v", st.vals)
+	}
+	if _, ok := st.vals["snap-b"]; ok {
+		t.Fatalf("truncated snapshot record resurrected: %v", st.vals)
+	}
+}
+
+func truncateTo(t *testing.T, path string, size int) {
+	t.Helper()
+	if err := os.Truncate(path, int64(size)); err != nil {
+		t.Fatalf("truncate %s: %v", path, err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if off >= len(b) {
+		t.Fatalf("flip offset %d past EOF %d", off, len(b))
+	}
+	b[off] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}

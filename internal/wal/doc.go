@@ -1,0 +1,49 @@
+// Package wal is the restart-durability engine: a write-behind
+// append-only log plus snapshot compaction that lets a killed node
+// restart warm without putting persistence I/O on the Get/Put hot path.
+//
+// # Write-behind discipline
+//
+// The datapath never touches a file. A mutation is packed into a leased
+// buffer (mem.Lease — size-classed recycling, zero steady-state
+// allocations) and enqueued on a bounded MPMC ring; a single dedicated
+// writer goroutine drains the ring, frames records into segment files
+// and fsyncs per policy. When the ring is full the producer spins with
+// backpressure (counted in Stats.Stalls) rather than dropping the
+// record — dropping would unbound the loss window, backpressure keeps
+// it at exactly the un-drained + un-fsynced tail.
+//
+// # On-disk format
+//
+// A directory holds numbered segment files (wal.<seq>.log) and at most
+// a few snapshot files (snapshot.<seq>). Both use the same framing
+// after an 8-byte magic header:
+//
+//	[4 length][4 crc32c][1 op][8 expire][2 klen][4 vlen][key][value]
+//
+// length counts the bytes after the crc field; the crc32 (Castagnoli)
+// covers those same bytes. Integers are little-endian. op is 1 for put,
+// 2 for delete (vlen 0). expire is the absolute expiry instant in
+// nanoseconds on the store clock (0 = immortal), so remaining TTLs
+// survive a restart without rewriting records.
+//
+// A snapshot named snapshot.<seq> means "this file captures the store
+// state as of the start of segment <seq>; replay segments with
+// sequence >= <seq> on top of it". Compaction is therefore: seal the
+// current segment (the writer drains, syncs, and opens seq+1),
+// Range-scan the live store into snapshot.tmp, fsync+rename, then
+// delete every segment below the new sequence. The scan is weakly
+// consistent, but every mutation that races it is also in the
+// still-retained segment and replays on top in per-key FIFO order, so
+// recovery converges to the pre-crash state.
+//
+// # Corruption policy
+//
+// Replay applies the longest valid prefix: the first record that fails
+// its length or CRC check — a torn tail after a crash, or a flipped
+// bit anywhere — ends replay. Everything before it is restored;
+// nothing after it is trusted (a consistent prefix beats a state with
+// holes). Callers are told via ReplayResult.Corrupt so they can take
+// an immediate healing snapshot, which re-anchors recovery past the
+// damage instead of re-hitting it every boot.
+package wal

@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record framing (see the package comment):
+//
+//	[4 length][4 crc32c][1 op][8 expire][2 klen][4 vlen][key][value]
+//
+// length counts everything after the crc field; the crc covers those
+// same bytes.
+const (
+	recHdrSize   = 8  // length + crc
+	recFixedSize = 15 // op + expire + klen + vlen
+
+	// OpPut and OpDelete are the two record kinds.
+	OpPut    = 1
+	OpDelete = 2
+)
+
+// maxRecordPayload bounds the length field a reader will trust: the
+// fixed fields plus the largest key (64 KiB wire limit) and a 16 MiB
+// value with headroom. Anything larger is corruption, not data.
+const maxRecordPayload = recFixedSize + (1 << 16) + (17 << 20)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recordSize returns the full framed size of a record.
+func recordSize(keyLen, valueLen int) int {
+	return recHdrSize + recFixedSize + keyLen + valueLen
+}
+
+// encodeRecord frames one mutation into b, which must be exactly
+// recordSize(len(key), len(value)) bytes. It allocates nothing.
+func encodeRecord(b []byte, op byte, key, value []byte, expire int64) {
+	payload := recFixedSize + len(key) + len(value)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
+	b[8] = op
+	binary.LittleEndian.PutUint64(b[9:17], uint64(expire))
+	binary.LittleEndian.PutUint16(b[17:19], uint16(len(key)))
+	binary.LittleEndian.PutUint32(b[19:23], uint32(len(value)))
+	copy(b[23:], key)
+	copy(b[23+len(key):], value)
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[8:], castagnoli))
+}
+
+// record is one decoded log entry. Key and Value alias the reader's
+// scratch buffer and are only valid until the next readRecord call.
+type record struct {
+	Op     byte
+	Expire int64
+	Key    []byte
+	Value  []byte
+}
+
+// errCorrupt marks a framing, length or checksum failure. Replay treats
+// it (and io.ErrUnexpectedEOF — a torn tail) as "stop here, keep the
+// prefix".
+var errCorrupt = fmt.Errorf("wal: corrupt record")
+
+// recordReader decodes framed records from one file.
+type recordReader struct {
+	r       *bufio.Reader
+	scratch []byte
+}
+
+func newRecordReader(r io.Reader) *recordReader {
+	return &recordReader{r: bufio.NewReaderSize(r, 256<<10)}
+}
+
+// next returns the next record, io.EOF at a clean end of file, or
+// errCorrupt / io.ErrUnexpectedEOF at the first damaged or torn record.
+func (rr *recordReader) next() (record, error) {
+	var hdr [recHdrSize]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		// A partial header is a torn tail, not a clean end.
+		return record{}, err
+	}
+	payload := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if payload < recFixedSize || payload > maxRecordPayload {
+		return record{}, errCorrupt
+	}
+	if cap(rr.scratch) < payload {
+		rr.scratch = make([]byte, payload+payload/2)
+	}
+	buf := rr.scratch[:payload]
+	if _, err := io.ReadFull(rr.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return record{}, err
+	}
+	if crc32.Checksum(buf, castagnoli) != want {
+		return record{}, errCorrupt
+	}
+	rec := record{
+		Op:     buf[0],
+		Expire: int64(binary.LittleEndian.Uint64(buf[1:9])),
+	}
+	klen := int(binary.LittleEndian.Uint16(buf[9:11]))
+	vlen := int(binary.LittleEndian.Uint32(buf[11:15]))
+	if recFixedSize+klen+vlen != payload || (rec.Op != OpPut && rec.Op != OpDelete) {
+		return record{}, errCorrupt
+	}
+	rec.Key = buf[recFixedSize : recFixedSize+klen]
+	rec.Value = buf[recFixedSize+klen : recFixedSize+klen+vlen]
+	return rec, nil
+}

@@ -1,0 +1,124 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot compacts the log: it seals the active segment (the writer
+// drains the ring, fsyncs and rotates to a fresh sequence), streams the
+// caller's scan of the live store into snapshot.tmp, fsync+renames it
+// to snapshot.<newSeq>, then deletes every older segment and snapshot.
+//
+// scan must call emit once per live item (key/value copied immediately;
+// expire is the absolute store-clock expiry, 0 = immortal) and may
+// observe a weakly consistent view: any mutation racing the scan is
+// also in the retained segment and replays on top in per-key order, so
+// recovery still converges. Returning false from emit aborts the scan.
+//
+// Safe to call from any goroutine while appends continue; concurrent
+// Snapshot calls serialize.
+func (l *Log) Snapshot(scan func(emit func(key, value []byte, expire int64) bool)) error {
+	if !l.started.Load() || l.closed.Load() {
+		return fmt.Errorf("wal: not running")
+	}
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+
+	// Seal: everything before this instant is in segments < newSeq and
+	// will be covered by the state dump; everything after lands in
+	// segment newSeq, which the snapshot name tells replay to keep.
+	ack := make(chan sealResult, 1)
+	select {
+	case l.sealReq <- ack:
+	case <-l.done:
+		return fmt.Errorf("wal: writer stopped")
+	}
+	res := <-ack
+	if res.err != nil {
+		return res.err
+	}
+	newSeq := res.newSeq
+
+	tmp := filepath.Join(l.opts.Dir, "snapshot.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	var scratch []byte
+	var werr error
+	scan(func(key, value []byte, expire int64) bool {
+		n := recordSize(len(key), len(value))
+		if cap(scratch) < n {
+			scratch = make([]byte, n+n/2)
+		}
+		b := scratch[:n]
+		encodeRecord(b, OpPut, key, value, expire)
+		if _, err := bw.Write(b); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", werr)
+	}
+	final := filepath.Join(l.opts.Dir, snapshotName(newSeq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	syncDir(l.opts.Dir)
+	l.snapshots.Add(1)
+
+	// The rename is the commit point; everything below newSeq is now
+	// redundant. Deletion failures are harmless (retried next time).
+	ents, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range ents {
+		name := e.Name()
+		var seq uint64
+		switch {
+		case len(name) == len("wal.0000000000000000.log") && name[:4] == "wal.":
+			if _, err := fmt.Sscanf(name, "wal.%d.log", &seq); err == nil && seq < newSeq {
+				if os.Remove(filepath.Join(l.opts.Dir, name)) == nil {
+					l.segments.Add(-1)
+				}
+			}
+		case len(name) == len("snapshot.0000000000000000") && name[:9] == "snapshot.":
+			if _, err := fmt.Sscanf(name, "snapshot.%d", &seq); err == nil && seq < newSeq {
+				os.Remove(filepath.Join(l.opts.Dir, name))
+			}
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a
+// machine crash; errors are ignored (best-effort on platforms where
+// directory fsync is unsupported).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/minoskv/minos/internal/core"
 	"github.com/minoskv/minos/internal/server"
+	"github.com/minoskv/minos/internal/wal"
 )
 
 // CostFunc assigns a processing cost to a request for an item of the
@@ -208,6 +209,88 @@ func WithMemoryLimit(bytes int64) ServerOption {
 	}
 }
 
+// FsyncPolicy selects when the durability log reaches stable storage,
+// which is what an acknowledged write can lose to a machine crash. A
+// process kill (kill -9) loses at most the write-behind ring regardless
+// of policy — see the durability contract in DESIGN.md.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) fsyncs on a timer
+	// (DurabilityConfig.FsyncEvery, 100ms unless set): bounded loss at
+	// near-FsyncOS speed.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways fsyncs after every write-behind batch — the
+	// strongest guarantee the write-behind design offers.
+	FsyncAlways
+	// FsyncOS never fsyncs; the OS flushes on its own schedule.
+	FsyncOS
+)
+
+func (p FsyncPolicy) toInternal() (wal.FsyncPolicy, error) {
+	switch p {
+	case FsyncInterval:
+		return wal.FsyncInterval, nil
+	case FsyncAlways:
+		return wal.FsyncAlways, nil
+	case FsyncOS:
+		return wal.FsyncOS, nil
+	}
+	return 0, errors.New("minos: unknown FsyncPolicy")
+}
+
+// DurabilityConfig parameterizes WithDurability. Only Dir is required.
+type DurabilityConfig struct {
+	// Dir is the log directory. A restart pointed at the same Dir
+	// replays it and serves the pre-crash keyset warm.
+	Dir string
+	// Fsync picks the stable-storage policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period (default 100ms).
+	FsyncEvery time.Duration
+	// SnapshotEvery is the compaction period: each tick dumps the live
+	// store into a snapshot and drops the log segments it covers.
+	// 0 defaults to one minute; negative disables periodic compaction.
+	SnapshotEvery time.Duration
+	// SegmentBytes rotates log segments past this size (default 64 MiB).
+	SegmentBytes int64
+}
+
+// WithDurability gives the server restart durability: every committed
+// write is appended — write-behind, off the hot path — to a CRC-framed
+// log under Dir, compacted by periodic snapshots, and replayed with
+// remaining TTLs on the next NewServer pointed at the same Dir. The
+// datapath cost is packing the record into a recycled buffer and one
+// lock-free ring enqueue (zero allocations); file I/O happens on a
+// dedicated writer goroutine. See Snapshot.WAL for the log's counters
+// and DESIGN.md for the exact durability contract per FsyncPolicy.
+func WithDurability(d DurabilityConfig) ServerOption {
+	return func(c *serverConfig) {
+		if d.Dir == "" {
+			if c.err == nil {
+				c.err = errors.New("minos: WithDurability needs DurabilityConfig.Dir")
+			}
+			return
+		}
+		policy, err := d.Fsync.toInternal()
+		if err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			return
+		}
+		c.cfg.WAL = &server.WALConfig{
+			Options: wal.Options{
+				Dir:          d.Dir,
+				Fsync:        policy,
+				Interval:     d.FsyncEvery,
+				SegmentBytes: d.SegmentBytes,
+			},
+			SnapshotEvery: d.SnapshotEvery,
+		}
+	}
+}
+
 // Server is a live multi-core key-value server running one of the four
 // designs over a transport.
 type Server struct {
@@ -241,8 +324,17 @@ func NewServer(tr ServerTransport, opts ...ServerOption) (*Server, error) {
 // Start launches the core and controller goroutines.
 func (s *Server) Start() { s.s.Start() }
 
-// Stop terminates all goroutines and waits for them.
+// Stop terminates all goroutines and waits for them. On a durable
+// server (WithDurability) it then drains and fsyncs the log, so a
+// clean Stop loses nothing.
 func (s *Server) Stop() { s.s.Stop() }
+
+// Kill is Stop with crash semantics: on a durable server the log is
+// abandoned mid-flight — pending write-behind records are dropped,
+// nothing is flushed or fsynced — leaving the directory exactly as a
+// kill -9 would. A NewServer pointed at the same durability Dir then
+// exercises real crash recovery. On a non-durable server Kill is Stop.
+func (s *Server) Kill() { s.s.Kill() }
 
 // Plan returns the controller's current plan.
 func (s *Server) Plan() Plan { return planFromCore(s.s.Plan()) }
@@ -306,6 +398,40 @@ type Snapshot struct {
 	// derived from a start stamp taken once in NewServer (no clock reads
 	// on the data path).
 	UptimeSeconds float64
+
+	// Durable reports the server runs with WithDurability; WAL then
+	// carries the log's counters.
+	Durable bool
+	WAL     WALSnapshot
+}
+
+// WALSnapshot is the durability log's accounting (Snapshot.WAL).
+type WALSnapshot struct {
+	// Appended counts records accepted onto the write-behind ring;
+	// Written counts records the writer goroutine has filed. The
+	// difference is in flight — LagBytes is its byte-sized gauge, the
+	// most a process kill can lose.
+	Appended uint64
+	Written  uint64
+	// Fsyncs counts fsync calls; Stalls counts appends that found the
+	// ring full and had to wait for the writer.
+	Fsyncs uint64
+	Stalls uint64
+	// LagBytes is the write-behind backlog (enqueued, not yet filed).
+	LagBytes int64
+	// Replayed counts records restored by boot-time replay; SkippedTTLs
+	// of those arrived already expired and were dropped. Corrupt
+	// reports replay ended at a damaged record and recovered the
+	// longest valid prefix (an immediate healing snapshot follows).
+	Replayed    uint64
+	SkippedTTLs uint64
+	Corrupt     bool
+	// Snapshots counts compaction snapshots; Segments is the live
+	// segment-file count (gauge). Err carries the first writer I/O
+	// error ("" = healthy).
+	Snapshots uint64
+	Segments  int
+	Err       string
 }
 
 // HitRatio returns the fraction of GETs answered with a value, in
@@ -341,6 +467,22 @@ func (s *Server) Snapshot() Snapshot {
 		snap.PerCore = make([]CoreSnapshot, len(st.PerCore))
 		for i, cs := range st.PerCore {
 			snap.PerCore[i] = CoreSnapshot{Ops: cs.Ops, Packets: cs.Packets}
+		}
+	}
+	if st.Durable {
+		snap.Durable = true
+		snap.WAL = WALSnapshot{
+			Appended:    st.WAL.Appended,
+			Written:     st.WAL.Written,
+			Fsyncs:      st.WAL.Fsyncs,
+			Stalls:      st.WAL.Stalls,
+			LagBytes:    st.WAL.LagBytes,
+			Replayed:    st.WAL.Replayed,
+			SkippedTTLs: st.WALSkippedTTLs,
+			Corrupt:     st.WALCorrupt,
+			Snapshots:   st.WAL.Snapshots,
+			Segments:    st.WAL.Segments,
+			Err:         st.WAL.Err,
 		}
 	}
 	return snap
